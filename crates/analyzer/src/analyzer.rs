@@ -1,0 +1,618 @@
+//! The analysis engine: connection table + identification pipeline.
+
+use crate::connection::ConnRecord;
+use crate::delay::DelayTracker;
+use crate::report::{ConnSummary, TraceReport};
+use std::collections::HashMap;
+use std::net::SocketAddrV4;
+use upbound_net::{
+    wire, Cidr, Direction, FiveTuple, NetError, Packet, Protocol, TimeDelta, Timestamp,
+};
+use upbound_pattern::{AppLabel, SignatureDb};
+
+/// The Section 3 traffic analyzer.
+///
+/// Feed packets in time order with [`process`](Self::process) (or raw
+/// frames with [`process_frame`](Self::process_frame), which verifies
+/// checksums like the paper's analyzer), then call
+/// [`finish`](Self::finish) for the [`TraceReport`].
+#[derive(Debug)]
+pub struct Analyzer {
+    inside: Cidr,
+    db: SignatureDb,
+    conns: HashMap<FiveTuple, ConnRecord>,
+    /// Finished (closed + flushed) connections, in completion order.
+    done: Vec<ConnSummary>,
+    /// `B:y → app`: endpoints learned from payload-identified P2P
+    /// connections; future connections to the endpoint inherit the label.
+    p2p_endpoints: HashMap<SocketAddrV4, AppLabel>,
+    /// Data-connection endpoints advertised inside FTP control streams.
+    ftp_expected: HashMap<SocketAddrV4, ()>,
+    delay: DelayTracker,
+    packets: u64,
+    bad_checksums: u64,
+}
+
+impl Analyzer {
+    /// Creates an analyzer for the given client network, with the
+    /// standard signature database and the paper's 600-second delay
+    /// expiry timer.
+    pub fn new(inside: Cidr) -> Self {
+        Self::with_delay_expiry(inside, TimeDelta::from_secs(600.0))
+    }
+
+    /// Creates an analyzer with a custom out-in-delay expiry timer `T_e`.
+    pub fn with_delay_expiry(inside: Cidr, expiry: TimeDelta) -> Self {
+        Self {
+            inside,
+            db: SignatureDb::standard(),
+            conns: HashMap::new(),
+            done: Vec::new(),
+            p2p_endpoints: HashMap::new(),
+            ftp_expected: HashMap::new(),
+            delay: DelayTracker::new(expiry),
+            packets: 0,
+            bad_checksums: 0,
+        }
+    }
+
+    /// The monitored client network.
+    pub fn inside(&self) -> Cidr {
+        self.inside
+    }
+
+    /// Ingests one raw Ethernet frame, verifying checksums; packets with
+    /// incorrect checksums "are not considered for examination" (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors other than checksum failures (which are
+    /// counted and swallowed).
+    pub fn process_frame(
+        &mut self,
+        frame: &[u8],
+        ts: Timestamp,
+        orig_len: u32,
+    ) -> Result<(), NetError> {
+        match wire::decode(frame, ts, orig_len, wire::ChecksumPolicy::Verify) {
+            Ok(packet) => {
+                self.process(&packet);
+                Ok(())
+            }
+            Err(NetError::BadChecksum { .. }) => {
+                self.bad_checksums += 1;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Ingests one decoded packet.
+    pub fn process(&mut self, packet: &Packet) {
+        self.packets += 1;
+        let tuple = packet.tuple();
+        let direction = self.inside.direction_of(&tuple);
+
+        // Out-in delay measurement (§3.3).
+        match direction {
+            Direction::Outbound => self.delay.on_outbound(&tuple, packet.ts()),
+            Direction::Inbound => {
+                let _ = self.delay.on_inbound(&tuple, packet.ts());
+            }
+        }
+
+        let key = tuple.canonical();
+        // Port reuse: a fresh SYN on a tuple whose previous connection
+        // already closed starts a *new* connection (the paper counts the
+        // reused tuple as a distinct connection). The closed record is
+        // flushed to the finished list.
+        if packet.is_tcp_syn() {
+            if let Some(old) = self.conns.get(&key) {
+                if old.tcp_state.is_some_and(|st| st.is_closed()) {
+                    let old = self.conns.remove(&key).expect("checked above");
+                    self.done.push(summarize(old, &self.db));
+                }
+            }
+        }
+        let record = self.conns.entry(key).or_insert_with(|| {
+            let mut rec = ConnRecord::new(packet, direction);
+            // Inherited labels: FTP data connections and known P2P
+            // endpoints, checked against the opening destination.
+            let service = rec.service_endpoint();
+            if rec.first_tuple.protocol() == Protocol::Tcp
+                && self.ftp_expected.remove(&service).is_some()
+            {
+                rec.label = Some(AppLabel::Ftp);
+            } else if let Some(&label) = self.p2p_endpoints.get(&service) {
+                rec.label = Some(label);
+            }
+            rec
+        });
+
+        let new_payload = record.absorb(packet);
+        if new_payload {
+            // First stage: payload pattern matching over the concatenated
+            // streams, initiator side first.
+            if record.label.is_none() || !record.labeled_by_payload {
+                let matched = self
+                    .db
+                    .match_payload(&record.fwd_stream)
+                    .or_else(|| self.db.match_payload(&record.rev_stream));
+                if let Some(label) = matched {
+                    let promote = match record.label {
+                        // Payload evidence overrides inherited labels.
+                        None => true,
+                        Some(existing) => existing != label || !record.labeled_by_payload,
+                    };
+                    if promote {
+                        record.label = Some(label);
+                        record.labeled_by_payload = true;
+                        if label.is_p2p() {
+                            self.p2p_endpoints.insert(record.service_endpoint(), label);
+                        }
+                    }
+                }
+            }
+            // FTP control streams: harvest PORT/PASV endpoints.
+            if record.label == Some(AppLabel::Ftp) {
+                let client_ip = match record.first_direction {
+                    Direction::Outbound => *record.first_tuple.src().ip(),
+                    Direction::Inbound => *record.first_tuple.dst().ip(),
+                };
+                let remote_ip = match record.first_direction {
+                    Direction::Outbound => *record.first_tuple.dst().ip(),
+                    Direction::Inbound => *record.first_tuple.src().ip(),
+                };
+                for ep in extract_ftp_endpoints(&record.fwd_stream, client_ip)
+                    .into_iter()
+                    .chain(extract_ftp_endpoints(&record.rev_stream, remote_ip))
+                {
+                    self.ftp_expected.insert(ep, ());
+                }
+            }
+        }
+    }
+
+    /// Packets processed so far.
+    pub fn packets_processed(&self) -> u64 {
+        self.packets
+    }
+
+    /// Live (unfinished) connections.
+    pub fn live_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Completes the analysis: applies the port-based second
+    /// identification stage to everything still unlabeled and produces
+    /// the report.
+    pub fn finish(self) -> TraceReport {
+        let db = self.db;
+        let mut connections = self.done;
+        connections.reserve(self.conns.len());
+        for record in self.conns.into_values() {
+            connections.push(summarize(record, &db));
+        }
+        TraceReport {
+            connections,
+            out_in_delays: self.delay.into_delays(),
+            expired_delay_pairs: 0,
+            packets: self.packets,
+            bad_checksum_packets: self.bad_checksums,
+        }
+    }
+}
+
+/// Converts a record to its summary, applying the well-known-port
+/// fallback for connections the payload stages left unidentified.
+fn summarize(record: ConnRecord, db: &SignatureDb) -> ConnSummary {
+    let service_port = record.first_tuple.dst().port();
+    let src_port = record.first_tuple.src().port();
+    let label = record.label.unwrap_or_else(|| {
+        let by_port = if record.is_tcp() {
+            db.match_tcp_port(service_port)
+        } else {
+            db.match_udp_port(service_port)
+                .or_else(|| db.match_udp_port(src_port))
+        };
+        by_port.unwrap_or(AppLabel::Unknown)
+    });
+    let (upload_bytes, download_bytes) = record.directional_bytes();
+    let (client_addr, remote_addr) = match record.first_direction {
+        Direction::Outbound => (
+            *record.first_tuple.src().ip(),
+            *record.first_tuple.dst().ip(),
+        ),
+        Direction::Inbound => (
+            *record.first_tuple.dst().ip(),
+            *record.first_tuple.src().ip(),
+        ),
+    };
+    ConnSummary {
+        label,
+        protocol: record.first_tuple.protocol(),
+        client_addr,
+        remote_addr,
+        src_port,
+        service_port,
+        upload_bytes,
+        download_bytes,
+        outside_initiated: record.first_direction == Direction::Inbound,
+        lifetime_secs: record.closed_lifetime_secs(),
+        packets: record.fwd_packets + record.rev_packets,
+        syn_seen: record.syn_seen || !record.is_tcp(),
+    }
+}
+
+/// Extracts data-connection endpoints advertised by FTP PORT commands
+/// ("PORT h1,h2,h3,h4,p1,p2") and PASV replies
+/// ("227 Entering Passive Mode (h1,h2,h3,h4,p1,p2)").
+///
+/// `fallback_ip` replaces obviously bogus advertised addresses (0.0.0.0),
+/// which some servers send expecting the client to reuse the control
+/// connection's address.
+fn extract_ftp_endpoints(stream: &[u8], fallback_ip: std::net::Ipv4Addr) -> Vec<SocketAddrV4> {
+    let mut out = Vec::new();
+    let text = stream;
+    let mut i = 0;
+    while i < text.len() {
+        let rest = &text[i..];
+        let is_port = starts_with_ignore_case(rest, b"PORT ");
+        let is_pasv = rest.starts_with(b"227 ");
+        if !(is_port || is_pasv) {
+            i += 1;
+            continue;
+        }
+        // Find the first digit run after the marker and parse six
+        // comma-separated numbers.
+        let tail = &rest[4..];
+        if let Some((nums, _consumed)) = parse_six_numbers(tail) {
+            let [h1, h2, h3, h4, p1, p2] = nums;
+            if p1 < 256 && p2 < 256 && h1 < 256 && h2 < 256 && h3 < 256 && h4 < 256 {
+                let ip = std::net::Ipv4Addr::new(h1 as u8, h2 as u8, h3 as u8, h4 as u8);
+                let ip = if ip.is_unspecified() { fallback_ip } else { ip };
+                let port = (p1 * 256 + p2) as u16;
+                if port != 0 {
+                    out.push(SocketAddrV4::new(ip, port));
+                }
+            }
+        }
+        i += 4;
+    }
+    out
+}
+
+fn starts_with_ignore_case(hay: &[u8], needle: &[u8]) -> bool {
+    hay.len() >= needle.len()
+        && hay
+            .iter()
+            .zip(needle)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+}
+
+/// Parses six comma-separated decimal numbers, skipping leading
+/// non-digits (e.g. " Entering Passive Mode (").
+fn parse_six_numbers(text: &[u8]) -> Option<([u32; 6], usize)> {
+    let start = text.iter().position(|b| b.is_ascii_digit())?;
+    // Bail out if the digits are too far away to belong to this command.
+    if start > 40 {
+        return None;
+    }
+    let mut nums = [0u32; 6];
+    let mut idx = 0;
+    let mut i = start;
+    let mut current: Option<u32> = None;
+    while i < text.len() && idx < 6 {
+        let b = text[i];
+        if b.is_ascii_digit() {
+            let v = current.unwrap_or(0) * 10 + (b - b'0') as u32;
+            if v > 999 {
+                return None;
+            }
+            current = Some(v);
+        } else if b == b',' {
+            nums[idx] = current?;
+            idx += 1;
+            current = None;
+        } else {
+            break;
+        }
+        i += 1;
+    }
+    if idx == 5 {
+        nums[5] = current?;
+        return Some((nums, i));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upbound_net::TcpFlags;
+
+    fn inside() -> Cidr {
+        "10.0.0.0/16".parse().unwrap()
+    }
+
+    fn tcp_conn(src: &str, dst: &str) -> FiveTuple {
+        FiveTuple::new(Protocol::Tcp, src.parse().unwrap(), dst.parse().unwrap())
+    }
+
+    fn open_and_send(
+        analyzer: &mut Analyzer,
+        conn: FiveTuple,
+        t0: f64,
+        payload: &[u8],
+        reply: &[u8],
+    ) {
+        analyzer.process(&Packet::tcp(
+            Timestamp::from_secs(t0),
+            conn,
+            TcpFlags::SYN,
+            &[][..],
+        ));
+        analyzer.process(&Packet::tcp(
+            Timestamp::from_secs(t0 + 0.05),
+            conn.inverse(),
+            TcpFlags::SYN | TcpFlags::ACK,
+            &[][..],
+        ));
+        if !payload.is_empty() {
+            analyzer.process(&Packet::tcp(
+                Timestamp::from_secs(t0 + 0.1),
+                conn,
+                TcpFlags::PSH | TcpFlags::ACK,
+                payload.to_vec(),
+            ));
+        }
+        if !reply.is_empty() {
+            analyzer.process(&Packet::tcp(
+                Timestamp::from_secs(t0 + 0.2),
+                conn.inverse(),
+                TcpFlags::PSH | TcpFlags::ACK,
+                reply.to_vec(),
+            ));
+        }
+    }
+
+    #[test]
+    fn identifies_http_by_payload() {
+        let mut a = Analyzer::new(inside());
+        let conn = tcp_conn("10.0.0.1:40000", "198.51.100.2:9999");
+        open_and_send(&mut a, conn, 0.0, b"GET / HTTP/1.1\r\nHost: x\r\n", b"");
+        let report = a.finish();
+        assert_eq!(report.connections[0].label, AppLabel::Http);
+        // Identified on a non-standard port: payload beat port matching.
+        assert_eq!(report.connections[0].service_port, 9999);
+    }
+
+    #[test]
+    fn identifies_by_response_payload() {
+        let mut a = Analyzer::new(inside());
+        let conn = tcp_conn("10.0.0.1:40001", "198.51.100.2:2121");
+        open_and_send(&mut a, conn, 0.0, b"", b"220 my ftp server ready\r\n");
+        let report = a.finish();
+        assert_eq!(report.connections[0].label, AppLabel::Ftp);
+    }
+
+    #[test]
+    fn port_fallback_when_no_payload_matches() {
+        let mut a = Analyzer::new(inside());
+        let conn = tcp_conn("10.0.0.1:40002", "198.51.100.2:443");
+        open_and_send(&mut a, conn, 0.0, &[0x16, 0x03, 0x01], &[0x16, 0x03, 0x03]);
+        let report = a.finish();
+        assert_eq!(report.connections[0].label, AppLabel::Https);
+    }
+
+    #[test]
+    fn unidentifiable_is_unknown() {
+        let mut a = Analyzer::new(inside());
+        let conn = tcp_conn("10.0.0.1:40003", "198.51.100.2:23456");
+        open_and_send(&mut a, conn, 0.0, &[0x7A, 0x01, 0x02], &[0x7B, 0x03]);
+        let report = a.finish();
+        assert_eq!(report.connections[0].label, AppLabel::Unknown);
+    }
+
+    #[test]
+    fn p2p_endpoint_propagates_to_future_connections() {
+        let mut a = Analyzer::new(inside());
+        let server = "198.51.100.2:31337";
+        let first = tcp_conn("10.0.0.1:40004", server);
+        open_and_send(&mut a, first, 0.0, b"\x13BitTorrent protocol.....", b"");
+        // Second connection to the same B:y, different client, encrypted
+        // payload that matches nothing.
+        let second = tcp_conn("10.0.0.2:40005", server);
+        open_and_send(&mut a, second, 10.0, &[0x7A, 0x01], &[0x7B]);
+        let report = a.finish();
+        let labels: Vec<AppLabel> = report.connections.iter().map(|c| c.label).collect();
+        assert_eq!(labels, vec![AppLabel::BitTorrent, AppLabel::BitTorrent]);
+    }
+
+    #[test]
+    fn ftp_pasv_data_connection_is_associated() {
+        let mut a = Analyzer::new(inside());
+        let ctl = tcp_conn("10.0.0.1:40006", "198.51.100.2:21");
+        open_and_send(&mut a, ctl, 0.0, b"", b"220 ProFTPD ftp ready\r\n");
+        // PASV exchange on the control connection.
+        a.process(&Packet::tcp(
+            Timestamp::from_secs(0.5),
+            ctl,
+            TcpFlags::PSH | TcpFlags::ACK,
+            b"PASV\r\n".to_vec(),
+        ));
+        a.process(&Packet::tcp(
+            Timestamp::from_secs(0.6),
+            ctl.inverse(),
+            TcpFlags::PSH | TcpFlags::ACK,
+            b"227 Entering Passive Mode (198,51,100,2,78,32)\r\n".to_vec(),
+        ));
+        // Data connection to the advertised endpoint 198.51.100.2:20000.
+        let data = tcp_conn("10.0.0.1:40007", "198.51.100.2:20000");
+        open_and_send(&mut a, data, 1.0, &[0u8, 1, 2, 3], b"");
+        let report = a.finish();
+        let data_conn = report
+            .connections
+            .iter()
+            .find(|c| c.service_port == 20000)
+            .unwrap();
+        assert_eq!(data_conn.label, AppLabel::Ftp);
+    }
+
+    #[test]
+    fn ftp_port_command_is_associated() {
+        let mut a = Analyzer::new(inside());
+        let ctl = tcp_conn("10.0.0.1:40008", "198.51.100.2:21");
+        open_and_send(&mut a, ctl, 0.0, b"", b"220 ftp service\r\n");
+        a.process(&Packet::tcp(
+            Timestamp::from_secs(0.5),
+            ctl,
+            TcpFlags::PSH | TcpFlags::ACK,
+            b"PORT 10,0,0,1,200,10\r\n".to_vec(),
+        ));
+        // Active-mode data connection: server connects *in* to 10.0.0.1:51210.
+        let data = FiveTuple::new(
+            Protocol::Tcp,
+            "198.51.100.2:20".parse().unwrap(),
+            "10.0.0.1:51210".parse().unwrap(),
+        );
+        open_and_send(&mut a, data, 1.0, &[9u8, 9, 9], b"");
+        let report = a.finish();
+        let data_conn = report
+            .connections
+            .iter()
+            .find(|c| c.service_port == 51210)
+            .unwrap();
+        assert_eq!(data_conn.label, AppLabel::Ftp);
+        assert!(data_conn.outside_initiated);
+    }
+
+    #[test]
+    fn udp_identified_by_port() {
+        let mut a = Analyzer::new(inside());
+        let q = FiveTuple::new(
+            Protocol::Udp,
+            "10.0.0.1:5353".parse().unwrap(),
+            "198.51.100.2:53".parse().unwrap(),
+        );
+        a.process(&Packet::udp(
+            Timestamp::ZERO,
+            q,
+            vec![0xAB, 0xCD, 0x01, 0x00],
+        ));
+        a.process(&Packet::udp(
+            Timestamp::from_secs(0.05),
+            q.inverse(),
+            vec![0xAB, 0xCD, 0x81, 0x80],
+        ));
+        let report = a.finish();
+        assert_eq!(report.connections.len(), 1);
+        assert_eq!(report.connections[0].label, AppLabel::Dns);
+    }
+
+    #[test]
+    fn port_reuse_after_close_counts_as_new_connection() {
+        let mut a = Analyzer::new(inside());
+        let conn = tcp_conn("10.0.0.1:45555", "198.51.100.2:80");
+        // First connection: open, identify as HTTP, close with RST.
+        open_and_send(&mut a, conn, 0.0, b"GET /a HTTP/1.1\r\n", b"");
+        a.process(&Packet::tcp(
+            Timestamp::from_secs(1.0),
+            conn,
+            TcpFlags::RST,
+            &[][..],
+        ));
+        // The exact tuple is reused a minute later (port-reuse echo).
+        open_and_send(&mut a, conn, 61.0, b"GET /b HTTP/1.1\r\n", b"");
+        let report = a.finish();
+        assert_eq!(report.connections.len(), 2, "reuse must split records");
+        assert!(report.connections.iter().all(|c| c.label == AppLabel::Http));
+        // The first record's lifetime was measured to its RST.
+        assert!(report
+            .connections
+            .iter()
+            .any(|c| c.lifetime_secs.is_some_and(|l| (0.9..1.1).contains(&l))));
+    }
+
+    #[test]
+    fn late_packets_of_closed_connection_do_not_split() {
+        let mut a = Analyzer::new(inside());
+        let conn = tcp_conn("10.0.0.1:45556", "198.51.100.2:80");
+        open_and_send(&mut a, conn, 0.0, b"", b"");
+        a.process(&Packet::tcp(
+            Timestamp::from_secs(1.0),
+            conn,
+            TcpFlags::RST,
+            &[][..],
+        ));
+        // A trailing non-SYN packet (retransmit) stays with the record.
+        a.process(&Packet::tcp(
+            Timestamp::from_secs(1.5),
+            conn.inverse(),
+            TcpFlags::ACK,
+            &[][..],
+        ));
+        let report = a.finish();
+        assert_eq!(report.connections.len(), 1);
+    }
+
+    #[test]
+    fn out_in_delays_are_measured() {
+        let mut a = Analyzer::new(inside());
+        let conn = tcp_conn("10.0.0.1:40009", "198.51.100.2:80");
+        open_and_send(&mut a, conn, 0.0, b"x", b"y");
+        let report = a.finish();
+        assert!(!report.out_in_delays.is_empty());
+        assert!(report.out_in_delays.iter().all(|&d| d < 1.0));
+    }
+
+    #[test]
+    fn both_directions_map_to_one_connection() {
+        let mut a = Analyzer::new(inside());
+        let conn = tcp_conn("10.0.0.1:40010", "198.51.100.2:80");
+        open_and_send(
+            &mut a,
+            conn,
+            0.0,
+            b"GET / HTTP/1.1\r\n",
+            b"HTTP/1.1 200 OK\r\n",
+        );
+        let report = a.finish();
+        assert_eq!(report.connections.len(), 1);
+        let c = &report.connections[0];
+        assert!(c.upload_bytes > 0 && c.download_bytes > 0);
+        assert!(!c.outside_initiated);
+    }
+
+    #[test]
+    fn frame_ingestion_rejects_bad_checksums() {
+        let mut a = Analyzer::new(inside());
+        let conn = tcp_conn("10.0.0.1:40011", "198.51.100.2:80");
+        let pkt = Packet::tcp(Timestamp::ZERO, conn, TcpFlags::SYN, &[][..]);
+        let mut frame = wire::encode(&pkt).to_vec();
+        a.process_frame(&frame, pkt.ts(), pkt.wire_len()).unwrap();
+        // Corrupt the frame: counted, not processed.
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        a.process_frame(&frame, pkt.ts(), pkt.wire_len()).unwrap();
+        assert_eq!(a.packets_processed(), 1);
+        let report = a.finish();
+        assert_eq!(report.bad_checksum_packets, 1);
+    }
+
+    #[test]
+    fn ftp_endpoint_parser_handles_malformed_input() {
+        let ip = "10.0.0.1".parse().unwrap();
+        assert!(extract_ftp_endpoints(b"PORT 1,2,3\r\n", ip).is_empty());
+        assert!(extract_ftp_endpoints(b"PORT a,b,c,d,e,f\r\n", ip).is_empty());
+        assert!(
+            extract_ftp_endpoints(b"227 no numbers here at all, nothing to see\r\n", ip).is_empty()
+        );
+        assert!(extract_ftp_endpoints(b"PORT 999,2,3,4,5,6\r\n", ip).is_empty());
+        // Port zero is rejected.
+        assert!(extract_ftp_endpoints(b"PORT 1,2,3,4,0,0\r\n", ip).is_empty());
+        // Unspecified address falls back.
+        let eps = extract_ftp_endpoints(b"227 ok (0,0,0,0,4,210)\r\n", ip);
+        assert_eq!(eps, vec![SocketAddrV4::new(ip, 1234)]);
+    }
+}

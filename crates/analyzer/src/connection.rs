@@ -1,0 +1,281 @@
+//! Per-connection reassembly state.
+
+use upbound_net::{Direction, Packet, TcpConnState, Timestamp};
+use upbound_pattern::AppLabel;
+
+/// How many leading data packets per direction are concatenated for
+/// pattern matching — "we concatenate at most four TCP data packets"
+/// (paper §3.2, footnote 1).
+pub(crate) const MAX_INSPECT_PACKETS: usize = 4;
+/// Byte cap on each inspected stream; signatures match within the first
+/// few hundred bytes.
+pub(crate) const MAX_INSPECT_BYTES: usize = 2048;
+
+/// Reassembly state of one connection (both directions).
+///
+/// Keyed in the connection table by the *canonical* five-tuple; the
+/// record remembers which concrete orientation arrived first so service
+/// ports and directions are reported like the paper (destination of the
+/// opening packet = service port).
+#[derive(Debug, Clone)]
+pub struct ConnRecord {
+    /// The five-tuple as seen on the first packet (initiator → responder).
+    pub(crate) first_tuple: upbound_net::FiveTuple,
+    /// Direction (relative to the client network) of the first packet.
+    pub(crate) first_direction: Direction,
+    /// Whether the connection began with an explicit TCP SYN — payload
+    /// inspection is gated on this for TCP.
+    pub(crate) syn_seen: bool,
+    pub(crate) first_ts: Timestamp,
+    pub(crate) last_ts: Timestamp,
+    /// Time of the close event (valid FIN or RST), if any.
+    pub(crate) closed_ts: Option<Timestamp>,
+    pub(crate) tcp_state: Option<TcpConnState>,
+    /// Wire bytes sent by the initiator / by the responder.
+    pub(crate) fwd_bytes: u64,
+    pub(crate) rev_bytes: u64,
+    pub(crate) fwd_packets: u64,
+    pub(crate) rev_packets: u64,
+    /// Concatenated leading payloads per direction, for identification.
+    pub(crate) fwd_stream: Vec<u8>,
+    pub(crate) rev_stream: Vec<u8>,
+    pub(crate) fwd_data_pkts: usize,
+    pub(crate) rev_data_pkts: usize,
+    /// Current identification, if any.
+    pub(crate) label: Option<AppLabel>,
+    /// `true` once `label` was set by payload patterns (used to feed the
+    /// P2P endpoint propagation cache exactly once).
+    pub(crate) labeled_by_payload: bool,
+}
+
+impl ConnRecord {
+    pub(crate) fn new(packet: &Packet, direction: Direction) -> Self {
+        Self {
+            first_tuple: packet.tuple(),
+            first_direction: direction,
+            syn_seen: packet.is_tcp_syn(),
+            first_ts: packet.ts(),
+            last_ts: packet.ts(),
+            closed_ts: None,
+            tcp_state: packet.tcp_flags().map(TcpConnState::from_first_packet),
+            fwd_bytes: 0,
+            rev_bytes: 0,
+            fwd_packets: 0,
+            rev_packets: 0,
+            fwd_stream: Vec::new(),
+            rev_stream: Vec::new(),
+            fwd_data_pkts: 0,
+            rev_data_pkts: 0,
+            label: None,
+            labeled_by_payload: false,
+        }
+    }
+
+    /// `true` when `packet` travels the same way as the first packet.
+    pub(crate) fn is_forward(&self, packet: &Packet) -> bool {
+        packet.tuple() == self.first_tuple
+    }
+
+    /// Folds one packet into the record; returns `true` when new payload
+    /// was appended to an inspection stream (identification should
+    /// re-run).
+    pub(crate) fn absorb(&mut self, packet: &Packet) -> bool {
+        let forward = self.is_forward(packet);
+        self.last_ts = self.last_ts.max(packet.ts());
+        if let (Some(state), Some(flags)) = (self.tcp_state, packet.tcp_flags()) {
+            let next = state.advance(flags);
+            if next.is_closed() && self.closed_ts.is_none() {
+                self.closed_ts = Some(packet.ts());
+            }
+            self.tcp_state = Some(next);
+        }
+        if forward {
+            self.fwd_bytes += packet.wire_len() as u64;
+            self.fwd_packets += 1;
+        } else {
+            self.rev_bytes += packet.wire_len() as u64;
+            self.rev_packets += 1;
+        }
+        // Payload inspection: UDP always; TCP only when SYN-gated.
+        let inspectable = packet.tcp_flags().is_none() || self.syn_seen;
+        if !inspectable || packet.payload().is_empty() {
+            return false;
+        }
+        let (stream, count) = if forward {
+            (&mut self.fwd_stream, &mut self.fwd_data_pkts)
+        } else {
+            (&mut self.rev_stream, &mut self.rev_data_pkts)
+        };
+        if *count >= MAX_INSPECT_PACKETS || stream.len() >= MAX_INSPECT_BYTES {
+            return false;
+        }
+        *count += 1;
+        let room = MAX_INSPECT_BYTES - stream.len();
+        let take = packet.payload().len().min(room);
+        stream.extend_from_slice(&packet.payload()[..take]);
+        true
+    }
+
+    /// The service endpoint: the destination of the opening packet —
+    /// what Figure 2 counts for TCP ("the destination port of the
+    /// corresponding TCP-SYN packet").
+    pub(crate) fn service_endpoint(&self) -> std::net::SocketAddrV4 {
+        self.first_tuple.dst()
+    }
+
+    /// Lifetime from first SYN to valid FIN/RST, as Figure 4 measures;
+    /// `None` when the connection never closed (or is UDP).
+    pub(crate) fn closed_lifetime_secs(&self) -> Option<f64> {
+        let closed = self.closed_ts?;
+        if !self.syn_seen {
+            return None;
+        }
+        Some(closed.saturating_since(self.first_ts).as_secs_f64())
+    }
+
+    /// `true` for TCP records (has flags).
+    pub(crate) fn is_tcp(&self) -> bool {
+        self.tcp_state.is_some()
+    }
+
+    /// Upload/download wire bytes (relative to the client network).
+    pub(crate) fn directional_bytes(&self) -> (u64, u64) {
+        match self.first_direction {
+            Direction::Outbound => (self.fwd_bytes, self.rev_bytes),
+            Direction::Inbound => (self.rev_bytes, self.fwd_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upbound_net::{FiveTuple, Protocol, TcpFlags};
+
+    fn tuple() -> FiveTuple {
+        FiveTuple::new(
+            Protocol::Tcp,
+            "10.0.0.1:40000".parse().unwrap(),
+            "198.51.100.2:80".parse().unwrap(),
+        )
+    }
+
+    fn syn() -> Packet {
+        Packet::tcp(Timestamp::from_secs(1.0), tuple(), TcpFlags::SYN, &[][..])
+    }
+
+    #[test]
+    fn records_direction_and_service_endpoint() {
+        let rec = ConnRecord::new(&syn(), Direction::Outbound);
+        assert!(rec.syn_seen);
+        assert_eq!(rec.service_endpoint(), "198.51.100.2:80".parse().unwrap());
+        assert!(rec.is_tcp());
+    }
+
+    #[test]
+    fn byte_accounting_by_direction() {
+        let mut rec = ConnRecord::new(&syn(), Direction::Outbound);
+        rec.absorb(&syn());
+        let reply = Packet::tcp(
+            Timestamp::from_secs(1.1),
+            tuple().inverse(),
+            TcpFlags::SYN | TcpFlags::ACK,
+            &[][..],
+        );
+        rec.absorb(&reply);
+        let (up, down) = rec.directional_bytes();
+        assert_eq!(up, 54);
+        assert_eq!(down, 54);
+        assert_eq!(rec.fwd_packets, 1);
+        assert_eq!(rec.rev_packets, 1);
+    }
+
+    #[test]
+    fn inbound_first_swaps_directional_bytes() {
+        let inbound = Packet::tcp(
+            Timestamp::from_secs(0.0),
+            tuple().inverse(),
+            TcpFlags::SYN,
+            &[][..],
+        );
+        let mut rec = ConnRecord::new(&inbound, Direction::Inbound);
+        rec.absorb(&inbound);
+        let (up, down) = rec.directional_bytes();
+        assert_eq!(up, 0);
+        assert_eq!(down, 54);
+    }
+
+    #[test]
+    fn stream_concatenates_at_most_four_data_packets() {
+        let mut rec = ConnRecord::new(&syn(), Direction::Outbound);
+        for i in 0..6u8 {
+            let p = Packet::tcp(
+                Timestamp::from_secs(1.0 + i as f64),
+                tuple(),
+                TcpFlags::PSH | TcpFlags::ACK,
+                vec![b'a' + i; 10],
+            );
+            let appended = rec.absorb(&p);
+            assert_eq!(appended, i < 4, "packet {i}");
+        }
+        assert_eq!(rec.fwd_stream.len(), 40);
+        assert_eq!(rec.fwd_data_pkts, 4);
+    }
+
+    #[test]
+    fn non_syn_tcp_connection_is_not_inspected() {
+        let midstream = Packet::tcp(
+            Timestamp::from_secs(0.0),
+            tuple(),
+            TcpFlags::ACK,
+            b"GET / HTTP/1.1".to_vec(),
+        );
+        let mut rec = ConnRecord::new(&midstream, Direction::Outbound);
+        assert!(!rec.absorb(&midstream));
+        assert!(rec.fwd_stream.is_empty());
+    }
+
+    #[test]
+    fn udp_is_always_inspected() {
+        let udp_tuple = FiveTuple::new(
+            Protocol::Udp,
+            "10.0.0.1:5000".parse().unwrap(),
+            "198.51.100.2:53".parse().unwrap(),
+        );
+        let p = Packet::udp(Timestamp::ZERO, udp_tuple, b"query".to_vec());
+        let mut rec = ConnRecord::new(&p, Direction::Outbound);
+        assert!(rec.absorb(&p));
+        assert_eq!(rec.fwd_stream, b"query");
+    }
+
+    #[test]
+    fn lifetime_requires_syn_and_close() {
+        let mut rec = ConnRecord::new(&syn(), Direction::Outbound);
+        rec.absorb(&syn());
+        assert_eq!(rec.closed_lifetime_secs(), None);
+        let fin = Packet::tcp(
+            Timestamp::from_secs(11.0),
+            tuple().inverse(),
+            TcpFlags::FIN | TcpFlags::ACK,
+            &[][..],
+        );
+        // SYN -> (advance with SYN) SynSent; FIN closes from SynSent.
+        rec.absorb(&fin);
+        assert!(rec.closed_lifetime_secs().is_some());
+        let life = rec.closed_lifetime_secs().unwrap();
+        assert!((life - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_byte_cap_is_enforced() {
+        let mut rec = ConnRecord::new(&syn(), Direction::Outbound);
+        let big = Packet::tcp(
+            Timestamp::from_secs(1.0),
+            tuple(),
+            TcpFlags::PSH | TcpFlags::ACK,
+            vec![0u8; 5000],
+        );
+        rec.absorb(&big);
+        assert_eq!(rec.fwd_stream.len(), MAX_INSPECT_BYTES);
+    }
+}

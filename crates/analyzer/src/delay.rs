@@ -1,0 +1,169 @@
+//! Out-in packet delay measurement (paper §3.3).
+
+use std::collections::HashMap;
+use upbound_net::{FiveTuple, TimeDelta, Timestamp};
+
+/// Measures out-in packet delays exactly as the paper defines them:
+///
+/// 1. On an **outbound** packet with socket pair `σ_out`, record (or
+///    refresh) a timestamp for `σ_out`.
+/// 2. On an **inbound** packet with socket pair `σ_in`, look up the
+///    inverse `σ̄_in`; if present with timestamp `t0`, the out-in delay
+///    is `t − t0`.
+/// 3. An expiry timer `T_e` deletes pairs older than `T_e` (the paper
+///    uses 600 s for measurement, which leaves OS port-reuse echoes
+///    visible as peaks at multiples of 60 s — Figure 5-a).
+#[derive(Debug, Clone)]
+pub struct DelayTracker {
+    expiry: TimeDelta,
+    pairs: HashMap<FiveTuple, Timestamp>,
+    delays: Vec<f64>,
+    expired: u64,
+}
+
+impl DelayTracker {
+    /// Creates a tracker with expiry timer `T_e`.
+    pub fn new(expiry: TimeDelta) -> Self {
+        Self {
+            expiry,
+            pairs: HashMap::new(),
+            delays: Vec::new(),
+            expired: 0,
+        }
+    }
+
+    /// The configured expiry timer.
+    pub fn expiry(&self) -> TimeDelta {
+        self.expiry
+    }
+
+    /// Step 1: outbound packet with tuple `σ_out` at time `t`.
+    pub fn on_outbound(&mut self, tuple: &FiveTuple, t: Timestamp) {
+        self.pairs.insert(*tuple, t);
+    }
+
+    /// Step 2 + 3: inbound packet with tuple `σ_in` at time `t`; returns
+    /// the measured delay in seconds when one was recorded.
+    pub fn on_inbound(&mut self, tuple: &FiveTuple, t: Timestamp) -> Option<f64> {
+        let key = tuple.inverse();
+        let t0 = *self.pairs.get(&key)?;
+        if t.saturating_since(t0) > self.expiry {
+            self.pairs.remove(&key);
+            self.expired += 1;
+            return None;
+        }
+        let delay = t.saturating_since(t0).as_secs_f64();
+        self.delays.push(delay);
+        Some(delay)
+    }
+
+    /// All measured delays, in arrival order.
+    pub fn delays(&self) -> &[f64] {
+        &self.delays
+    }
+
+    /// Pairs dropped by the expiry timer.
+    pub fn expired_pairs(&self) -> u64 {
+        self.expired
+    }
+
+    /// Number of live tracked pairs.
+    pub fn live_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Consumes the tracker, returning the measured delays.
+    pub fn into_delays(self) -> Vec<f64> {
+        self.delays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upbound_net::Protocol;
+
+    fn out_tuple() -> FiveTuple {
+        FiveTuple::new(
+            Protocol::Tcp,
+            "10.0.0.1:40000".parse().unwrap(),
+            "198.51.100.2:80".parse().unwrap(),
+        )
+    }
+
+    fn tracker() -> DelayTracker {
+        DelayTracker::new(TimeDelta::from_secs(600.0))
+    }
+
+    #[test]
+    fn measures_out_in_gap() {
+        let mut d = tracker();
+        d.on_outbound(&out_tuple(), Timestamp::from_secs(1.0));
+        let delay = d.on_inbound(&out_tuple().inverse(), Timestamp::from_secs(1.25));
+        assert_eq!(delay, Some(0.25));
+        assert_eq!(d.delays(), &[0.25]);
+    }
+
+    #[test]
+    fn refresh_uses_latest_outbound() {
+        let mut d = tracker();
+        d.on_outbound(&out_tuple(), Timestamp::from_secs(1.0));
+        d.on_outbound(&out_tuple(), Timestamp::from_secs(5.0));
+        let delay = d.on_inbound(&out_tuple().inverse(), Timestamp::from_secs(5.5));
+        assert_eq!(delay, Some(0.5));
+    }
+
+    #[test]
+    fn unknown_inbound_measures_nothing() {
+        let mut d = tracker();
+        assert_eq!(
+            d.on_inbound(&out_tuple().inverse(), Timestamp::from_secs(1.0)),
+            None
+        );
+        assert!(d.delays().is_empty());
+    }
+
+    #[test]
+    fn expiry_timer_discards_stale_pairs() {
+        let mut d = DelayTracker::new(TimeDelta::from_secs(10.0));
+        d.on_outbound(&out_tuple(), Timestamp::from_secs(0.0));
+        assert_eq!(
+            d.on_inbound(&out_tuple().inverse(), Timestamp::from_secs(20.0)),
+            None
+        );
+        assert_eq!(d.expired_pairs(), 1);
+        assert_eq!(d.live_pairs(), 0);
+        // A later inbound finds nothing.
+        assert_eq!(
+            d.on_inbound(&out_tuple().inverse(), Timestamp::from_secs(21.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn port_reuse_echo_is_visible_below_expiry() {
+        // Old connection's outbound packet at t=0; reused tuple's inbound
+        // SYN-ACK arrives 60 s later: with T_e = 600 s the tracker reports
+        // a 60 s "delay" — the Figure 5 artifact.
+        let mut d = tracker();
+        d.on_outbound(&out_tuple(), Timestamp::from_secs(0.0));
+        let echo = d.on_inbound(&out_tuple().inverse(), Timestamp::from_secs(60.0));
+        assert_eq!(echo, Some(60.0));
+    }
+
+    #[test]
+    fn delays_accumulate_across_tuples() {
+        let mut d = tracker();
+        for port in 0..10u16 {
+            let t = FiveTuple::new(
+                Protocol::Udp,
+                format!("10.0.0.1:{}", 1000 + port).parse().unwrap(),
+                "198.51.100.2:53".parse().unwrap(),
+            );
+            d.on_outbound(&t, Timestamp::from_secs(port as f64));
+            d.on_inbound(&t.inverse(), Timestamp::from_secs(port as f64 + 0.1));
+        }
+        assert_eq!(d.delays().len(), 10);
+        assert_eq!(d.into_delays().len(), 10);
+    }
+}

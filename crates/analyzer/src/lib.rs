@@ -1,0 +1,64 @@
+//! The traffic analyzer of the paper's Section 3.
+//!
+//! Rebuilds the authors' custom analyzer: it classifies packets into
+//! connections, identifies the application of each connection, and
+//! measures the client-network traffic characteristics that motivate the
+//! bitmap filter:
+//!
+//! * **Connection reassembly** — five-tuple classification with SYN-gated
+//!   TCP payload inspection, concatenating up to the first four data
+//!   packets of each direction into a short stream (§3.2).
+//! * **Application identification** — three stages, in order: payload
+//!   pattern matching against the Table 1 signatures; the P2P endpoint
+//!   propagation strategy ("if `c` is identified as one of the
+//!   peer-to-peer applications, all future connections to `B:y` are also
+//!   identified as the same application"); FTP PORT/PASV tracking that
+//!   associates data connections with their control connection; and
+//!   finally well-known-port matching.
+//! * **Traffic characterization** — protocol distributions (Table 2),
+//!   per-class port distributions (Figures 2–3), connection lifetimes
+//!   (Figure 4), and out-in packet delays with an expiry timer
+//!   (Figure 5).
+//!
+//! # Examples
+//!
+//! ```
+//! use upbound_analyzer::Analyzer;
+//! use upbound_net::{Cidr, FiveTuple, Packet, Protocol, TcpFlags, Timestamp};
+//!
+//! let inside: Cidr = "10.0.0.0/16".parse()?;
+//! let mut analyzer = Analyzer::new(inside);
+//!
+//! let conn = FiveTuple::new(
+//!     Protocol::Tcp,
+//!     "10.0.0.1:40000".parse()?,
+//!     "198.51.100.2:80".parse()?,
+//! );
+//! analyzer.process(&Packet::tcp(Timestamp::from_secs(0.0), conn, TcpFlags::SYN, &[][..]));
+//! analyzer.process(&Packet::tcp(
+//!     Timestamp::from_secs(0.1),
+//!     conn,
+//!     TcpFlags::PSH | TcpFlags::ACK,
+//!     b"GET / HTTP/1.1\r\nHost: x\r\n\r\n".to_vec(),
+//! ));
+//! let report = analyzer.finish();
+//! assert_eq!(report.connections.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod active;
+mod analyzer;
+mod connection;
+mod delay;
+mod report;
+
+pub use active::ActiveConnectionCounter;
+pub use analyzer::Analyzer;
+pub use connection::ConnRecord;
+pub use delay::DelayTracker;
+pub use report::{ConnSummary, ProtocolShare, TraceReport};
+
+pub use upbound_pattern::{AppLabel, PortClass};

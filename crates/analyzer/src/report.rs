@@ -1,0 +1,385 @@
+//! Aggregated analysis results (the inputs to Table 2 and Figures 2–5).
+
+use serde::{Deserialize, Serialize};
+use upbound_net::Protocol;
+use upbound_pattern::{AppLabel, PortClass};
+use upbound_stats::{EmpiricalCdf, Summary};
+
+/// One analyzed connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnSummary {
+    /// Identified application (UNKNOWN when no stage matched).
+    pub label: AppLabel,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// The inside (client-network) host.
+    pub client_addr: std::net::Ipv4Addr,
+    /// The outside host.
+    pub remote_addr: std::net::Ipv4Addr,
+    /// Source port of the opening packet.
+    pub src_port: u16,
+    /// Destination port of the opening packet — the "service port"
+    /// Figure 2 counts for TCP.
+    pub service_port: u16,
+    /// Wire bytes uploaded (inside → outside).
+    pub upload_bytes: u64,
+    /// Wire bytes downloaded (outside → inside).
+    pub download_bytes: u64,
+    /// `true` when the opening packet came from outside (an inbound
+    /// request).
+    pub outside_initiated: bool,
+    /// SYN-to-FIN/RST lifetime in seconds (TCP with observed close only).
+    pub lifetime_secs: Option<f64>,
+    /// Total packets in both directions.
+    pub packets: u64,
+    /// Whether the connection began with an explicit TCP SYN.
+    pub syn_seen: bool,
+}
+
+/// One row of the Table 2 protocol distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolShare {
+    /// Row name using the paper's Table 2 vocabulary.
+    pub name: String,
+    /// Fraction of connections (0..=1).
+    pub connection_share: f64,
+    /// Fraction of wire bytes (0..=1) — the paper's "Utilizations".
+    pub byte_share: f64,
+}
+
+/// The complete output of an [`Analyzer`](crate::Analyzer) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Every analyzed connection.
+    pub connections: Vec<ConnSummary>,
+    /// Out-in packet delays in seconds (Figure 5).
+    pub out_in_delays: Vec<f64>,
+    /// Socket pairs discarded by the delay expiry timer.
+    pub expired_delay_pairs: u64,
+    /// Total packets processed.
+    pub packets: u64,
+    /// Packets rejected for bad checksums (frame-level ingestion only).
+    pub bad_checksum_packets: u64,
+}
+
+impl TraceReport {
+    /// Total wire bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.connections
+            .iter()
+            .map(|c| c.upload_bytes + c.download_bytes)
+            .sum()
+    }
+
+    /// Upload (outbound) wire bytes.
+    pub fn upload_bytes(&self) -> u64 {
+        self.connections.iter().map(|c| c.upload_bytes).sum()
+    }
+
+    /// Fraction of bytes that went upstream (paper: 89.8%).
+    pub fn upload_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.upload_bytes() as f64 / total as f64
+        }
+    }
+
+    /// Fraction of upload bytes on outside-initiated connections
+    /// (paper: ~80%).
+    pub fn upload_on_inbound_fraction(&self) -> f64 {
+        let up = self.upload_bytes();
+        if up == 0 {
+            return 0.0;
+        }
+        let triggered: u64 = self
+            .connections
+            .iter()
+            .filter(|c| c.outside_initiated)
+            .map(|c| c.upload_bytes)
+            .sum();
+        triggered as f64 / up as f64
+    }
+
+    /// Fraction of connections that are UDP (paper: 70.1%).
+    pub fn udp_connection_fraction(&self) -> f64 {
+        if self.connections.is_empty() {
+            return 0.0;
+        }
+        let udp = self
+            .connections
+            .iter()
+            .filter(|c| c.protocol == Protocol::Udp)
+            .count();
+        udp as f64 / self.connections.len() as f64
+    }
+
+    /// Fraction of bytes on TCP (paper: 99.5%).
+    pub fn tcp_byte_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        let tcp: u64 = self
+            .connections
+            .iter()
+            .filter(|c| c.protocol == Protocol::Tcp)
+            .map(|c| c.upload_bytes + c.download_bytes)
+            .sum();
+        tcp as f64 / total as f64
+    }
+
+    /// The Table 2 distribution: HTTP, bittorrent, gnutella, edonkey,
+    /// UNKNOWN, and Others, as fractions of connections and of bytes.
+    pub fn protocol_table(&self) -> Vec<ProtocolShare> {
+        type RowPredicate = Box<dyn Fn(AppLabel) -> bool>;
+        let rows: [(&str, RowPredicate); 6] = [
+            ("HTTP", Box::new(|l| l == AppLabel::Http)),
+            ("bittorrent", Box::new(|l| l == AppLabel::BitTorrent)),
+            ("gnutella", Box::new(|l| l == AppLabel::Gnutella)),
+            ("edonkey", Box::new(|l| l == AppLabel::EDonkey)),
+            ("UNKNOWN", Box::new(|l| l == AppLabel::Unknown)),
+            (
+                "Others",
+                Box::new(|l| {
+                    !matches!(
+                        l,
+                        AppLabel::Http
+                            | AppLabel::BitTorrent
+                            | AppLabel::Gnutella
+                            | AppLabel::EDonkey
+                            | AppLabel::Unknown
+                    )
+                }),
+            ),
+        ];
+        let n = self.connections.len().max(1) as f64;
+        let total_bytes = self.total_bytes().max(1) as f64;
+        rows.iter()
+            .map(|(name, pred)| {
+                let conns = self.connections.iter().filter(|c| pred(c.label)).count();
+                let bytes: u64 = self
+                    .connections
+                    .iter()
+                    .filter(|c| pred(c.label))
+                    .map(|c| c.upload_bytes + c.download_bytes)
+                    .sum();
+                ProtocolShare {
+                    name: (*name).to_owned(),
+                    connection_share: conns as f64 / n,
+                    byte_share: bytes as f64 / total_bytes,
+                }
+            })
+            .collect()
+    }
+
+    /// TCP service-port CDF for one class (`None` = the "ALL" curve) —
+    /// Figure 2. Only SYN-opened TCP connections are counted, per §3.3.
+    pub fn tcp_port_cdf(&self, class: Option<PortClass>) -> EmpiricalCdf {
+        self.connections
+            .iter()
+            .filter(|c| c.protocol == Protocol::Tcp && c.syn_seen)
+            .filter(|c| class.is_none_or(|cl| c.label.port_class() == cl))
+            .map(|c| c.service_port as f64)
+            .collect()
+    }
+
+    /// UDP port CDF for one class (`None` = "ALL") — Figure 3. Both
+    /// source and destination ports are counted, per §3.3.
+    pub fn udp_port_cdf(&self, class: Option<PortClass>) -> EmpiricalCdf {
+        self.connections
+            .iter()
+            .filter(|c| c.protocol == Protocol::Udp)
+            .filter(|c| class.is_none_or(|cl| c.label.port_class() == cl))
+            .flat_map(|c| [c.src_port as f64, c.service_port as f64])
+            .collect()
+    }
+
+    /// CDF of closed-connection lifetimes in seconds — Figure 4.
+    pub fn lifetime_cdf(&self) -> EmpiricalCdf {
+        self.connections
+            .iter()
+            .filter_map(|c| c.lifetime_secs)
+            .collect()
+    }
+
+    /// Summary statistics of closed-connection lifetimes.
+    pub fn lifetime_summary(&self) -> Summary {
+        self.connections
+            .iter()
+            .filter_map(|c| c.lifetime_secs)
+            .collect()
+    }
+
+    /// CDF of out-in packet delays in seconds — Figure 5-b.
+    pub fn delay_cdf(&self) -> EmpiricalCdf {
+        EmpiricalCdf::from_samples(self.out_in_delays.iter().copied())
+    }
+
+    /// The `n` inside hosts uploading the most bytes, descending — the
+    /// per-host view an administrator uses to find seeders.
+    pub fn top_uploaders(&self, n: usize) -> Vec<(std::net::Ipv4Addr, u64)> {
+        let mut per_host: std::collections::HashMap<std::net::Ipv4Addr, u64> =
+            std::collections::HashMap::new();
+        for c in &self.connections {
+            *per_host.entry(c.client_addr).or_default() += c.upload_bytes;
+        }
+        let mut hosts: Vec<(std::net::Ipv4Addr, u64)> = per_host.into_iter().collect();
+        hosts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hosts.truncate(n);
+        hosts
+    }
+
+    /// The `n` outside endpoints receiving the most upload bytes — the
+    /// remote peers consuming the client network's uplink.
+    pub fn top_remote_sinks(&self, n: usize) -> Vec<(std::net::Ipv4Addr, u64)> {
+        let mut per_host: std::collections::HashMap<std::net::Ipv4Addr, u64> =
+            std::collections::HashMap::new();
+        for c in &self.connections {
+            *per_host.entry(c.remote_addr).or_default() += c.upload_bytes;
+        }
+        let mut hosts: Vec<(std::net::Ipv4Addr, u64)> = per_host.into_iter().collect();
+        hosts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hosts.truncate(n);
+        hosts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn(label: AppLabel, protocol: Protocol, up: u64, down: u64, outside: bool) -> ConnSummary {
+        ConnSummary {
+            label,
+            protocol,
+            client_addr: std::net::Ipv4Addr::new(10, 0, 0, 1),
+            remote_addr: std::net::Ipv4Addr::new(198, 51, 100, 2),
+            src_port: 40_000,
+            service_port: 80,
+            upload_bytes: up,
+            download_bytes: down,
+            outside_initiated: outside,
+            lifetime_secs: Some(10.0),
+            packets: 10,
+            syn_seen: protocol == Protocol::Tcp,
+        }
+    }
+
+    fn report(conns: Vec<ConnSummary>) -> TraceReport {
+        TraceReport {
+            connections: conns,
+            out_in_delays: vec![0.1, 0.2, 5.0],
+            expired_delay_pairs: 0,
+            packets: 0,
+            bad_checksum_packets: 0,
+        }
+    }
+
+    #[test]
+    fn byte_and_direction_fractions() {
+        let r = report(vec![
+            conn(AppLabel::BitTorrent, Protocol::Tcp, 900, 50, true),
+            conn(AppLabel::Http, Protocol::Tcp, 10, 40, false),
+        ]);
+        assert_eq!(r.total_bytes(), 1000);
+        assert!((r.upload_fraction() - 0.91).abs() < 1e-12);
+        assert!((r.upload_on_inbound_fraction() - 900.0 / 910.0).abs() < 1e-12);
+        assert_eq!(r.tcp_byte_fraction(), 1.0);
+    }
+
+    #[test]
+    fn protocol_table_groups_others() {
+        let r = report(vec![
+            conn(AppLabel::Http, Protocol::Tcp, 1, 1, false),
+            conn(AppLabel::Dns, Protocol::Udp, 1, 1, false),
+            conn(AppLabel::Ssh, Protocol::Tcp, 1, 1, false),
+            conn(AppLabel::Unknown, Protocol::Udp, 1, 1, false),
+        ]);
+        let table = r.protocol_table();
+        let row = |name: &str| {
+            table
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap()
+                .connection_share
+        };
+        assert_eq!(row("HTTP"), 0.25);
+        assert_eq!(row("Others"), 0.5); // DNS + SSH
+        assert_eq!(row("UNKNOWN"), 0.25);
+        assert_eq!(row("bittorrent"), 0.0);
+        let total: f64 = table.iter().map(|s| s.connection_share).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn port_cdfs_filter_by_class_and_protocol() {
+        let mut bt = conn(AppLabel::BitTorrent, Protocol::Tcp, 1, 1, true);
+        bt.service_port = 23_456;
+        let mut dns = conn(AppLabel::Dns, Protocol::Udp, 1, 1, false);
+        dns.service_port = 53;
+        dns.src_port = 5_123;
+        let r = report(vec![bt, dns]);
+        assert_eq!(r.tcp_port_cdf(None).len(), 1);
+        assert_eq!(r.tcp_port_cdf(Some(PortClass::P2p)).len(), 1);
+        assert_eq!(r.tcp_port_cdf(Some(PortClass::NonP2p)).len(), 0);
+        // UDP counts both ports of the one DNS connection.
+        assert_eq!(r.udp_port_cdf(None).len(), 2);
+        assert_eq!(r.udp_port_cdf(Some(PortClass::NonP2p)).len(), 2);
+    }
+
+    #[test]
+    fn non_syn_connections_are_excluded_from_fig2() {
+        let mut c = conn(AppLabel::Http, Protocol::Tcp, 1, 1, false);
+        c.syn_seen = false;
+        let r = report(vec![c]);
+        assert_eq!(r.tcp_port_cdf(None).len(), 0);
+    }
+
+    #[test]
+    fn lifetime_and_delay_cdfs() {
+        let mut open_conn = conn(AppLabel::Http, Protocol::Tcp, 1, 1, false);
+        open_conn.lifetime_secs = None;
+        let r = report(vec![
+            conn(AppLabel::Http, Protocol::Tcp, 1, 1, false),
+            open_conn,
+        ]);
+        assert_eq!(r.lifetime_cdf().len(), 1);
+        assert_eq!(r.lifetime_summary().count(), 1);
+        assert_eq!(r.delay_cdf().len(), 3);
+    }
+
+    #[test]
+    fn top_talkers_rank_by_upload() {
+        let mut a = conn(AppLabel::BitTorrent, Protocol::Tcp, 500, 10, true);
+        a.client_addr = std::net::Ipv4Addr::new(10, 0, 0, 1);
+        let mut b = conn(AppLabel::BitTorrent, Protocol::Tcp, 900, 10, true);
+        b.client_addr = std::net::Ipv4Addr::new(10, 0, 0, 2);
+        let mut c = conn(AppLabel::Http, Protocol::Tcp, 100, 10, false);
+        c.client_addr = std::net::Ipv4Addr::new(10, 0, 0, 1);
+        let r = report(vec![a, b, c]);
+        let top = r.top_uploaders(10);
+        assert_eq!(top[0], (std::net::Ipv4Addr::new(10, 0, 0, 2), 900));
+        assert_eq!(top[1], (std::net::Ipv4Addr::new(10, 0, 0, 1), 600));
+        assert_eq!(r.top_uploaders(1).len(), 1);
+        let sinks = r.top_remote_sinks(10);
+        assert_eq!(sinks[0].1, 1500); // all to the same remote
+    }
+
+    #[test]
+    fn top_talkers_of_empty_report() {
+        let r = report(vec![]);
+        assert!(r.top_uploaders(5).is_empty());
+        assert!(r.top_remote_sinks(5).is_empty());
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = report(vec![]);
+        assert_eq!(r.upload_fraction(), 0.0);
+        assert_eq!(r.udp_connection_fraction(), 0.0);
+        assert_eq!(r.tcp_byte_fraction(), 0.0);
+        assert_eq!(r.upload_on_inbound_fraction(), 0.0);
+    }
+}

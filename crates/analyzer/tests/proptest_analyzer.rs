@@ -1,0 +1,113 @@
+//! Property tests: the analyzer never panics on arbitrary packet
+//! streams and its accounting stays exact.
+
+use proptest::prelude::*;
+use upbound_analyzer::Analyzer;
+use upbound_net::{Cidr, FiveTuple, Packet, Protocol, TcpFlags, Timestamp};
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        any::<bool>(),
+        0u32..16, // small address pool to force connection collisions
+        1024u16..1032,
+        0u32..16,
+        20u16..28,
+        0u64..60_000_000,
+        proptest::collection::vec(any::<u8>(), 0..64),
+        any::<u8>(),
+    )
+        .prop_map(|(tcp, s_ip, s_port, d_ip, d_port, us, payload, flags)| {
+            let src =
+                std::net::SocketAddrV4::new(std::net::Ipv4Addr::new(10, 0, 0, s_ip as u8), s_port);
+            let dst = std::net::SocketAddrV4::new(
+                std::net::Ipv4Addr::new(198, 51, 100, d_ip as u8),
+                d_port,
+            );
+            // Randomly orient the tuple so both directions appear.
+            let (src, dst) = if flags & 1 == 0 {
+                (src, dst)
+            } else {
+                (dst, src)
+            };
+            let ts = Timestamp::from_micros(us);
+            if tcp {
+                Packet::tcp(
+                    ts,
+                    FiveTuple::new(Protocol::Tcp, src, dst),
+                    TcpFlags::from_bits(flags),
+                    payload,
+                )
+            } else {
+                Packet::udp(ts, FiveTuple::new(Protocol::Udp, src, dst), payload)
+            }
+        })
+}
+
+fn inside() -> Cidr {
+    "10.0.0.0/16".parse().expect("cidr")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary (even unsorted, overlapping, malformed-flag) packet
+    /// streams never panic the analyzer, and the report's aggregate byte
+    /// accounting equals the input exactly.
+    #[test]
+    fn analyzer_is_total_and_exact(packets in proptest::collection::vec(arb_packet(), 0..300)) {
+        let mut analyzer = Analyzer::new(inside());
+        let mut in_bytes = 0u64;
+        for p in &packets {
+            analyzer.process(p);
+            in_bytes += p.wire_len() as u64;
+        }
+        prop_assert_eq!(analyzer.packets_processed(), packets.len() as u64);
+        let report = analyzer.finish();
+        prop_assert_eq!(report.total_bytes(), in_bytes);
+        prop_assert_eq!(report.packets, packets.len() as u64);
+        // Shares are well-formed.
+        let total: f64 = report.protocol_table().iter().map(|s| s.connection_share).sum();
+        if !report.connections.is_empty() {
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+        prop_assert!(report.upload_fraction() >= 0.0 && report.upload_fraction() <= 1.0);
+    }
+
+    /// Every canonical five-tuple produces at least one connection
+    /// record; extra records only arise from port reuse (a fresh SYN on
+    /// a tuple whose previous connection closed), bounded by the number
+    /// of SYNs seen.
+    #[test]
+    fn records_cover_canonical_tuples(packets in proptest::collection::vec(arb_packet(), 1..200)) {
+        let mut analyzer = Analyzer::new(inside());
+        let mut canon = std::collections::HashSet::new();
+        let mut syns = 0usize;
+        for p in &packets {
+            analyzer.process(p);
+            canon.insert(p.tuple().canonical());
+            if p.is_tcp_syn() {
+                syns += 1;
+            }
+        }
+        let report = analyzer.finish();
+        prop_assert!(report.connections.len() >= canon.len());
+        prop_assert!(report.connections.len() <= canon.len() + syns);
+    }
+
+    /// Out-in delays are always non-negative and bounded by the expiry
+    /// timer.
+    #[test]
+    fn delays_respect_expiry(packets in proptest::collection::vec(arb_packet(), 0..300)) {
+        let mut sorted = packets;
+        sorted.sort_by_key(|p| p.ts());
+        let expiry_secs = 600.0;
+        let mut analyzer = Analyzer::new(inside());
+        for p in &sorted {
+            analyzer.process(p);
+        }
+        let report = analyzer.finish();
+        for &d in &report.out_in_delays {
+            prop_assert!((0.0..=expiry_secs).contains(&d), "delay {d}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! End-to-end replay throughput: packets per second through each filter
+//! over the same synthetic trace — the headline operational cost an ISP
+//! would care about.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use upbound_core::{BitmapFilter, BitmapFilterConfig};
+use upbound_sim::{ReplayConfig, ReplayEngine};
+use upbound_spi::{SpiConfig, SpiFilter};
+use upbound_traffic::{generate, TraceConfig};
+
+fn pipeline(c: &mut Criterion) {
+    let trace = generate(
+        &TraceConfig::builder()
+            .duration_secs(60.0)
+            .flow_rate_per_sec(40.0)
+            .seed(5_2)
+            .build()
+            .expect("valid config"),
+    );
+    let engine = ReplayEngine::new(ReplayConfig::default());
+    let mut group = c.benchmark_group("replay_pipeline");
+    group.throughput(Throughput::Elements(trace.packets.len() as u64));
+
+    group.bench_function("bitmap", |b| {
+        b.iter(|| {
+            let mut filter = BitmapFilter::new(BitmapFilterConfig::paper_evaluation());
+            black_box(engine.run(&trace, &mut filter))
+        });
+    });
+    group.bench_function("spi", |b| {
+        b.iter(|| {
+            let mut filter = SpiFilter::new(SpiConfig::default());
+            black_box(engine.run(&trace, &mut filter))
+        });
+    });
+    group.finish();
+}
+
+fn generation(c: &mut Criterion) {
+    let config = TraceConfig::builder()
+        .duration_secs(30.0)
+        .flow_rate_per_sec(40.0)
+        .build()
+        .expect("valid config");
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.bench_function("generate_30s_trace", |b| {
+        b.iter(|| black_box(generate(&config)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline, generation);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! §5.2 counterpoint: the SPI baseline's state and maintenance costs
+//! grow with the number of tracked flows, while its per-packet hash
+//! lookups stay amortized O(1) — the purge sweep and the memory
+//! footprint are where O(n) bites (paper §2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use upbound_net::{FiveTuple, Protocol, TimeDelta, Timestamp};
+use upbound_spi::{FlowTable, SpiConfig, SpiFilter};
+
+fn tuple(i: u32) -> FiveTuple {
+    FiveTuple::new(
+        Protocol::Tcp,
+        std::net::SocketAddrV4::new(
+            std::net::Ipv4Addr::new(10, (i >> 16) as u8, (i >> 8) as u8, i as u8),
+            10_000 + (i % 50_000) as u16,
+        ),
+        std::net::SocketAddrV4::new(std::net::Ipv4Addr::new(198, 51, 100, 7), 6881),
+    )
+}
+
+fn loaded_filter(flows: u32) -> SpiFilter {
+    let mut f = SpiFilter::new(SpiConfig::default());
+    let t = Timestamp::from_secs(1.0);
+    for i in 0..flows {
+        f.observe_outbound(&tuple(i), None, t);
+    }
+    f
+}
+
+/// Per-packet lookup under growing table sizes.
+fn lookup_vs_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spi_lookup_vs_flows");
+    for &flows in &[1_000u32, 10_000, 100_000] {
+        let mut filter = loaded_filter(flows);
+        let t = Timestamp::from_secs(2.0);
+        group.bench_with_input(BenchmarkId::new("hit", flows), &flows, |b, _| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(filter.check_inbound(
+                    black_box(&tuple(i % flows).inverse()),
+                    None,
+                    t,
+                    1.0,
+                ));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The O(n) purge sweep the bitmap filter does not need.
+fn purge_vs_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spi_purge_vs_flows");
+    group.sample_size(20);
+    for &flows in &[1_000u32, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("sweep", flows), &flows, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut table = FlowTable::new();
+                    let t = Timestamp::from_secs(1.0);
+                    for i in 0..flows {
+                        table.touch_outbound(tuple(i), None, t);
+                    }
+                    table
+                },
+                |mut table| {
+                    // Sweep with nothing expired: pure scan cost.
+                    black_box(table.purge(Timestamp::from_secs(2.0), TimeDelta::from_secs(240.0)))
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// State insertion as the table grows (allocation + rehash pressure).
+fn insert_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spi_insert_growth");
+    group.sample_size(20);
+    for &flows in &[10_000u32, 100_000] {
+        group.bench_with_input(BenchmarkId::new("fill", flows), &flows, |b, _| {
+            b.iter(|| {
+                let mut table = FlowTable::new();
+                let t = Timestamp::from_secs(1.0);
+                for i in 0..flows {
+                    table.touch_outbound(black_box(tuple(i)), None, t);
+                }
+                black_box(table.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lookup_vs_flows, purge_vs_flows, insert_growth);
+criterion_main!(benches);

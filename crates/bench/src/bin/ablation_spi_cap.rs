@@ -1,0 +1,84 @@
+//! Ablation: SPI state exhaustion versus the bitmap's fixed footprint.
+//!
+//! The paper's §2 argument against SPI at ISP scale is that per-flow
+//! state is O(n) "which is not affordable for a larger ISP containing
+//! several client networks". Real conntrack tables have a hard entry
+//! cap; once P2P churn fills it, *new* outbound flows go untracked and
+//! their responses are dropped — legitimate traffic breaks. The bitmap
+//! filter degrades gracefully instead (false positives rise smoothly
+//! with utilization, Eq. 2).
+//!
+//! This ablation replays the same trace through SPI filters with
+//! shrinking table caps and through the 512 KiB bitmap, reporting the
+//! false-negative rate (good traffic dropped).
+
+use upbound_bench::{pct, trace_from_args, TextTable};
+use upbound_core::{BitmapFilter, BitmapFilterConfig};
+use upbound_sim::sweep::run_sweep;
+use upbound_sim::{PacketFilter, ReplayConfig, ReplayEngine, ReplayResult};
+use upbound_spi::{SpiConfig, SpiFilter};
+
+fn replay<F: PacketFilter>(
+    trace: &upbound_traffic::SyntheticTrace,
+    filter: &mut F,
+) -> ReplayResult {
+    let config = ReplayConfig {
+        block_connections: false,
+        ..ReplayConfig::default()
+    };
+    ReplayEngine::new(config).run(trace, filter)
+}
+
+fn main() {
+    let trace = trace_from_args();
+    println!(
+        "Ablation: SPI table caps vs bitmap ({} connections)\n",
+        trace.connection_count()
+    );
+
+    let caps: Vec<Option<usize>> = vec![Some(256), Some(1_024), Some(4_096), Some(16_384), None];
+    let results = run_sweep(&caps, 4, |cap| {
+        let mut spi = SpiFilter::new(SpiConfig {
+            max_entries: *cap,
+            ..SpiConfig::default()
+        });
+        let r = replay(&trace, &mut spi);
+        (spi.stats().untracked_flows, spi.table().peak_entries(), r)
+    });
+
+    let mut table = TextTable::new([
+        "filter",
+        "state cap",
+        "peak entries",
+        "untracked flows",
+        "drop rate",
+        "FN rate (good traffic lost)",
+    ]);
+    for (cap, (untracked, peak, r)) in caps.iter().zip(&results) {
+        table.row([
+            "SPI".to_owned(),
+            cap.map_or("unlimited".to_owned(), |c| c.to_string()),
+            peak.to_string(),
+            untracked.to_string(),
+            pct(r.drop_rate()),
+            pct(r.false_negative_rate()),
+        ]);
+    }
+    let mut bitmap = BitmapFilter::new(BitmapFilterConfig::paper_evaluation());
+    let r = replay(&trace, &mut bitmap);
+    table.row([
+        "bitmap".to_owned(),
+        "512 KiB fixed".to_owned(),
+        "-".to_owned(),
+        "0".to_owned(),
+        pct(r.drop_rate()),
+        pct(r.false_negative_rate()),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "Expected shape: as the SPI cap shrinks below the live flow count,\n\
+         untracked flows explode and the false-negative rate climbs —\n\
+         legitimate responses get dropped. The bitmap's error stays flat at\n\
+         a fixed 512 KiB regardless of load."
+    );
+}

@@ -1,0 +1,78 @@
+//! Reproduces **Figure 2**: cumulative distribution of TCP service
+//! ports ("only ports that used to accept TCP connections are counted"),
+//! broken out by the ALL / P2P / Non-P2P / UNKNOWN classes.
+
+use upbound_analyzer::{Analyzer, PortClass};
+use upbound_bench::{pct, trace_from_args, TextTable};
+use upbound_stats::sparkline;
+
+fn main() {
+    let trace = trace_from_args();
+    let inside = "10.0.0.0/16".parse().expect("static CIDR");
+    let mut analyzer = Analyzer::new(inside);
+    for lp in &trace.packets {
+        analyzer.process(&lp.packet);
+    }
+    let report = analyzer.finish();
+
+    println!("Figure 2: TCP service-port CDF by class\n");
+
+    let classes: [(&str, Option<PortClass>); 4] = [
+        ("ALL", None),
+        ("P2P", Some(PortClass::P2p)),
+        ("Non-P2P", Some(PortClass::NonP2p)),
+        ("UNKNOWN", Some(PortClass::Unknown)),
+    ];
+    let checkpoints = [
+        80u16, 1024, 4662, 6881, 10_000, 20_000, 30_000, 40_000, 65_535,
+    ];
+
+    let mut table = TextTable::new({
+        let mut h = vec!["Class".to_owned(), "n".to_owned()];
+        h.extend(checkpoints.iter().map(|p| format!("<={p}")));
+        h
+    });
+    for (name, class) in classes {
+        let cdf = report.tcp_port_cdf(class);
+        let mut row = vec![name.to_owned(), cdf.len().to_string()];
+        for p in checkpoints {
+            row.push(if cdf.is_empty() {
+                "-".to_owned()
+            } else {
+                pct(cdf.fraction_at(p as f64))
+            });
+        }
+        table.row(row);
+        if !cdf.is_empty() {
+            let curve: Vec<f64> = (0..64)
+                .map(|i| cdf.fraction_at(i as f64 * 65_535.0 / 63.0))
+                .collect();
+            println!("{name:>8} |{}|", sparkline(&curve));
+        }
+    }
+    println!("\n{}", table.render());
+
+    // The paper's observations, quantified.
+    let non_p2p = report.tcp_port_cdf(Some(PortClass::NonP2p));
+    let p2p = report.tcp_port_cdf(Some(PortClass::P2p));
+    let unknown = report.tcp_port_cdf(Some(PortClass::Unknown));
+    if !non_p2p.is_empty() && !p2p.is_empty() {
+        println!("Paper shape checks:");
+        println!(
+            "  Non-P2P on well-known ports (<1024): {} (expected: most)",
+            pct(non_p2p.fraction_at(1023.0))
+        );
+        let p2p_band = p2p.fraction_at(40_000.0) - p2p.fraction_at(10_000.0);
+        println!(
+            "  P2P inside the 10000-40000 band:    {} (expected: a great deal)",
+            pct(p2p_band)
+        );
+        if !unknown.is_empty() {
+            let unk_band = unknown.fraction_at(40_000.0) - unknown.fraction_at(10_000.0);
+            println!(
+                "  UNKNOWN inside 10000-40000:         {} (expected: close to P2P)",
+                pct(unk_band)
+            );
+        }
+    }
+}

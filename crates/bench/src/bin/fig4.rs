@@ -1,0 +1,72 @@
+//! Reproduces **Figure 4**: connection-lifetime statistics.
+//!
+//! Paper reference: mean 45.84 s; 90% of connections under 45 s, 95%
+//! under 4 minutes, fewer than 1% beyond 810 s; maximum ≈ 6 h.
+
+use upbound_analyzer::Analyzer;
+use upbound_bench::{pct, trace_from_args, TextTable};
+use upbound_stats::{sparkline, LogHistogram};
+
+fn main() {
+    let trace = trace_from_args();
+    let inside = "10.0.0.0/16".parse().expect("static CIDR");
+    let mut analyzer = Analyzer::new(inside);
+    for lp in &trace.packets {
+        analyzer.process(&lp.packet);
+    }
+    let report = analyzer.finish();
+
+    let cdf = report.lifetime_cdf();
+    let summary = report.lifetime_summary();
+
+    println!("Figure 4: TCP connection lifetimes (SYN to valid FIN/RST)\n");
+    println!("Closed connections measured: {}", cdf.len());
+    if cdf.is_empty() {
+        println!("no closed connections in trace");
+        return;
+    }
+
+    let mut hist = LogHistogram::new(0.0625, 20);
+    for &x in cdf.samples() {
+        hist.record(x);
+    }
+    let counts: Vec<f64> = (0..hist.n_bins())
+        .map(|i| hist.bin_count(i) as f64)
+        .collect();
+    println!("log2-binned lifetime histogram (62.5 ms .. ~18 h):");
+    println!("  |{}|\n", sparkline(&counts));
+
+    let mut table = TextTable::new(["Statistic", "Measured", "Paper"]);
+    table
+        .row([
+            "mean".to_owned(),
+            format!("{:.2} s", summary.mean()),
+            "45.84 s".to_owned(),
+        ])
+        .row([
+            "share under 45 s".to_owned(),
+            pct(cdf.fraction_at(45.0)),
+            "90%".to_owned(),
+        ])
+        .row([
+            "share under 240 s".to_owned(),
+            pct(cdf.fraction_at(240.0)),
+            "95%".to_owned(),
+        ])
+        .row([
+            "share over 810 s".to_owned(),
+            pct(1.0 - cdf.fraction_at(810.0)),
+            "<1%".to_owned(),
+        ])
+        .row([
+            "maximum".to_owned(),
+            format!("{:.0} s", cdf.max().unwrap_or(0.0)),
+            "~21600 s".to_owned(),
+        ]);
+    println!("{}", table.render());
+
+    println!(
+        "Note: on the quick/scaled trace the capture window truncates the longest flows,\n\
+         so the extreme tail is shorter than the paper's 7.5-hour capture allows."
+    );
+}

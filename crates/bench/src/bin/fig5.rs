@@ -1,0 +1,82 @@
+//! Reproduces **Figure 5**: out-in packet delays.
+//!
+//! Part (a): raw delays with port-reuse echoes visible as peaks near
+//! multiples of 60 s (measured under the paper's T_e = 600 s).
+//! Part (b): the delay CDF — the paper reports 99% of delays under
+//! 2.8 s, the key fact that makes a short bitmap expiry timer safe.
+
+use upbound_analyzer::Analyzer;
+use upbound_bench::{pct, trace_from_args, TextTable};
+use upbound_stats::{sparkline, Histogram};
+
+fn main() {
+    let trace = trace_from_args();
+    let inside = "10.0.0.0/16".parse().expect("static CIDR");
+    let mut analyzer = Analyzer::new(inside); // T_e = 600 s, as in §3.3
+    for lp in &trace.packets {
+        analyzer.process(&lp.packet);
+    }
+    let report = analyzer.finish();
+    let cdf = report.delay_cdf();
+
+    println!("Figure 5: out-in packet delay (T_e = 600 s)\n");
+    println!("Delays measured: {}", cdf.len());
+    if cdf.is_empty() {
+        return;
+    }
+
+    // Part (a): raw histogram over 0..200 s to expose port-reuse peaks.
+    let mut hist = Histogram::new(0.0, 200.0, 100);
+    for &d in cdf.samples() {
+        hist.record(d);
+    }
+    let log_counts: Vec<f64> = (0..hist.n_bins())
+        .map(|i| ((hist.bin_count(i) + 1) as f64).ln())
+        .collect();
+    println!("part (a): delay histogram, 2-second bins, log counts (0..200 s):");
+    println!("  |{}|", sparkline(&log_counts));
+    let mass = |lo: f64, hi: f64| cdf.samples().iter().filter(|&&d| d >= lo && d < hi).count();
+    println!("  port-reuse echo windows (expect local peaks at ~60k s):");
+    for k in 1..=3 {
+        let center = 60.0 * k as f64;
+        println!(
+            "    [{:>3.0}-5 s, {:>3.0}+5 s]: {:>5} samples (background 10-s window at {:.0} s: {})",
+            center,
+            center,
+            mass(center - 5.0, center + 5.0),
+            center + 20.0,
+            mass(center + 15.0, center + 25.0),
+        );
+    }
+
+    // Part (b): the CDF.
+    println!("\npart (b): delay CDF:");
+    let curve: Vec<f64> = (0..64)
+        .map(|i| cdf.fraction_at(i as f64 * 10.0 / 63.0))
+        .collect();
+    println!("  0..10 s |{}|\n", sparkline(&curve));
+
+    let mut table = TextTable::new(["Statistic", "Measured", "Paper"]);
+    table
+        .row([
+            "median delay".to_owned(),
+            format!("{:.3} s", cdf.median()),
+            "(short)".to_owned(),
+        ])
+        .row([
+            "99th percentile".to_owned(),
+            format!("{:.2} s", cdf.quantile(0.99)),
+            "2.8 s".to_owned(),
+        ])
+        .row([
+            "share under 2.8 s".to_owned(),
+            pct(cdf.fraction_at(2.8)),
+            "99%".to_owned(),
+        ])
+        .row([
+            "share under 3.61 s".to_owned(),
+            pct(cdf.fraction_at(3.61)),
+            ">99% (bounds false negatives <1%)".to_owned(),
+        ]);
+    println!("{}", table.render());
+}

@@ -1,0 +1,77 @@
+//! Reproduces **Figure 8**: per-interval packet drop rates of the SPI
+//! filter (240 s idle timeout) versus the bitmap filter
+//! ({4 × 2^20}, T_e = 20 s, drop-all policy) on the same trace.
+//!
+//! Paper: the scatter lies on the slope-1.0 line; averages 1.56% (SPI)
+//! vs 1.51% (bitmap), the SPI slightly higher because it "knows the
+//! exact time of closed connections".
+
+use upbound_bench::{pct, trace_from_args};
+use upbound_core::{BitmapFilter, BitmapFilterConfig};
+use upbound_sim::{compare, ReplayConfig};
+use upbound_spi::{SpiConfig, SpiFilter};
+use upbound_stats::render_scatter;
+
+fn main() {
+    let trace = trace_from_args();
+    println!(
+        "Figure 8: SPI vs bitmap drop rates ({} packets, {} connections)\n",
+        trace.packets.len(),
+        trace.connection_count()
+    );
+
+    let mut spi = SpiFilter::new(SpiConfig::default()); // 240 s TIME_WAIT
+    let mut bitmap = BitmapFilter::new(BitmapFilterConfig::paper_evaluation());
+    // Figure 8 measures raw per-packet filtering (no connection-block
+    // store), drop-all policy on both sides.
+    let config = ReplayConfig {
+        bin_secs: 10.0,
+        block_connections: false,
+        ..ReplayConfig::default()
+    };
+    let result = compare(&trace, &config, &mut spi, &mut bitmap);
+
+    println!(
+        "scatter: x = SPI drop rate per 10 s interval, y = bitmap drop rate ({} intervals)",
+        result.drop_rate_pairs.len()
+    );
+    println!("{}\n", render_scatter(&result.drop_rate_pairs, 56, 18));
+
+    println!("average drop rates:");
+    println!(
+        "  SPI:    {}   (paper: 1.56%)",
+        pct(result.first.drop_rate())
+    );
+    println!(
+        "  bitmap: {}   (paper: 1.51%)",
+        pct(result.second.drop_rate())
+    );
+    println!(
+        "  mean |SPI - bitmap| per interval: {} (slope-1 fit)",
+        pct(result.mean_absolute_difference())
+    );
+    if let Some(r) = upbound_stats::pearson_correlation(&result.drop_rate_pairs) {
+        let (slope, intercept) = upbound_stats::linear_fit(&result.drop_rate_pairs)
+            .expect("fit exists when correlation exists");
+        println!(
+            "  correlation r = {r:.3}; least-squares fit y = {slope:.2}x + {intercept:.4}\n  (the paper's gray-dashed line has slope 1.0)"
+        );
+    }
+    println!(
+        "  bitmap false positives vs oracle: {} packets ({})",
+        result.second.false_positives,
+        pct(result.second.false_positive_rate())
+    );
+    println!(
+        "  bitmap false negatives vs oracle: {} packets ({})",
+        result.second.false_negatives,
+        pct(result.second.false_negative_rate())
+    );
+    println!(
+        "\nShape check: SPI >= bitmap on average is expected — exact close\n\
+         tracking drops slightly more precisely (paper §5.3). Absolute rates\n\
+         differ from the paper because the synthetic workload's unsolicited\n\
+         share differs from the original campus trace; the slope-1 agreement\n\
+         between the two filters is the reproduced result."
+    );
+}

@@ -1,0 +1,57 @@
+//! Reproduces **Table 1**: the patterns and ports used to identify
+//! network applications.
+
+use upbound_bench::TextTable;
+use upbound_pattern::SignatureDb;
+
+fn main() {
+    let db = SignatureDb::standard();
+    println!("Table 1: Patterns and ports used to identify network applications");
+    println!("(transliterated from the L7-filter expressions listed in the paper)\n");
+
+    let mut table = TextTable::new(["Application", "Regular Expressions", "Ports"]);
+    for sig in db.signatures() {
+        let patterns = if sig.regexes().is_empty() {
+            "(port-only)".to_owned()
+        } else {
+            sig.regexes()
+                .iter()
+                .map(|r| r.pattern().to_owned())
+                .collect::<Vec<_>>()
+                .join("  |  ")
+        };
+        let mut ports = Vec::new();
+        if !sig.tcp_ports().is_empty() {
+            ports.push(format!(
+                "TCP: {}",
+                sig.tcp_ports()
+                    .iter()
+                    .map(u16::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        if !sig.udp_ports().is_empty() {
+            ports.push(format!(
+                "UDP: {}",
+                sig.udp_ports()
+                    .iter()
+                    .map(u16::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        let ports = if ports.is_empty() {
+            "N/A".to_owned()
+        } else {
+            ports.join("; ")
+        };
+        let mut shown = patterns;
+        if shown.len() > 100 {
+            shown.truncate(97);
+            shown.push_str("...");
+        }
+        table.row([sig.label().name().to_owned(), shown, ports]);
+    }
+    println!("{}", table.render());
+}

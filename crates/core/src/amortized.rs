@@ -1,0 +1,298 @@
+//! Amortized rotation: O(1) worst-case per-packet latency.
+//!
+//! The paper notes that `b.rotate` — zeroing an entire `N`-bit vector —
+//! is "the most time consuming operation" (§5.2). On a software router a
+//! 2^24-bit vector is a 2 MiB memset executed inline every `Δt`, a
+//! latency spike in the forwarding path.
+//!
+//! [`AmortizedBitmap`] removes the spike with one spare vector (`k+1`
+//! physical vectors, `k` active): at rotation the pre-cleared spare
+//! *swaps in* for the expiring vector in O(1), and the expired vector
+//! becomes the new spare, zeroed incrementally — a bounded chunk per
+//! packet — during the following interval. Because a freshly cleared
+//! vector and a freshly swapped-in empty vector are indistinguishable,
+//! the verdict semantics are **bit-for-bit identical** to [`Bitmap`]
+//! (property-tested in `tests/proptest_core.rs`), at the cost of `N/8`
+//! extra bytes.
+//!
+//! [`Bitmap`]: crate::Bitmap
+
+use crate::{BitVec, HashFamily};
+use serde::{Deserialize, Serialize};
+
+/// Words zeroed per [`AmortizedBitmap::clear_some`] call by default —
+/// 4 KiB per packet, far more than needed at any realistic packet rate.
+pub const DEFAULT_CLEAR_CHUNK_WORDS: usize = 512;
+
+/// A `{k × N}` bitmap with O(1)-worst-case rotation.
+///
+/// Drop-in equivalent of [`Bitmap`](crate::Bitmap): `mark`, `lookup`,
+/// and `rotate` have identical observable behaviour; the O(N) clearing
+/// work happens in the background via [`clear_some`](Self::clear_some)
+/// (called automatically by `mark`). If the spare is still dirty when
+/// the next rotation arrives — possible only at extremely low packet
+/// rates — the remaining words are cleared synchronously at that
+/// rotation, which is never worse than the plain bitmap.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_core::AmortizedBitmap;
+///
+/// let mut bm = AmortizedBitmap::new(4, 12, 3);
+/// bm.mark(b"conn");
+/// assert!(bm.lookup(b"conn"));
+/// for _ in 0..4 {
+///     bm.rotate();
+/// }
+/// assert!(!bm.lookup(b"conn"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AmortizedBitmap {
+    /// `k` active vectors followed by the spare at index `k`.
+    vectors: Vec<BitVec>,
+    /// Permutation: `slot[i]` is the physical index of ring position `i`;
+    /// `slot[k]` is the spare.
+    slot: Vec<usize>,
+    hashes: HashFamily,
+    idx: usize,
+    rotations: u64,
+    /// Next word of the spare to zero; `spare_words` when fully clean.
+    clear_watermark: usize,
+    chunk_words: usize,
+}
+
+impl AmortizedBitmap {
+    /// Creates a `{k × 2^n_bits}` amortized bitmap with `m` hash
+    /// functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or on [`HashFamily::new`] bounds.
+    pub fn new(k: usize, n_bits: u32, m: usize) -> Self {
+        Self::with_chunk_words(k, n_bits, m, DEFAULT_CLEAR_CHUNK_WORDS)
+    }
+
+    /// Creates the bitmap with an explicit background-clearing chunk
+    /// size (words per `clear_some` call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`, `chunk_words == 0`, or on hash-family bounds.
+    pub fn with_chunk_words(k: usize, n_bits: u32, m: usize, chunk_words: usize) -> Self {
+        assert!(k >= 2, "need at least two bit vectors, got {k}");
+        assert!(chunk_words > 0, "chunk must clear at least one word");
+        let hashes = HashFamily::new(m, n_bits);
+        let n = hashes.table_size();
+        Self {
+            vectors: (0..=k).map(|_| BitVec::new(n)).collect(),
+            slot: (0..=k).collect(),
+            hashes,
+            idx: 0,
+            rotations: 0,
+            clear_watermark: n.div_ceil(64), // spare starts clean
+            chunk_words,
+        }
+    }
+
+    /// Number of active bit vectors `k`.
+    pub fn k(&self) -> usize {
+        self.vectors.len() - 1
+    }
+
+    /// Bits per vector `N`.
+    pub fn vector_len(&self) -> usize {
+        self.vectors[0].len()
+    }
+
+    /// Total rotations performed.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// `true` when the spare still has unzeroed words.
+    pub fn spare_dirty(&self) -> bool {
+        self.clear_watermark < self.spare_words()
+    }
+
+    fn spare_words(&self) -> usize {
+        self.vector_len().div_ceil(64)
+    }
+
+    /// Memory of the bit storage: `((k+1) × N)/8` bytes — one vector more
+    /// than the plain bitmap.
+    pub fn memory_bytes(&self) -> usize {
+        self.vectors.iter().map(BitVec::memory_bytes).sum()
+    }
+
+    /// Marks `key` in all `k` **active** vectors, then performs one
+    /// background-clearing chunk on the spare.
+    pub fn mark(&mut self, key: &[u8]) {
+        for bit in self.hashes.indexes(key) {
+            for ring in 0..self.k() {
+                let phys = self.slot[ring];
+                self.vectors[phys].set(bit);
+            }
+        }
+        self.clear_some(self.chunk_words);
+    }
+
+    /// Looks `key` up in the current active vector only.
+    pub fn lookup(&self, key: &[u8]) -> bool {
+        let current = &self.vectors[self.slot[self.idx]];
+        self.hashes.indexes(key).all(|bit| current.get(bit))
+    }
+
+    /// Zeroes up to `words` words of the spare; returns how many were
+    /// actually cleared. O(words), called automatically by `mark`.
+    pub fn clear_some(&mut self, words: usize) -> usize {
+        let spare_phys = self.slot[self.k()];
+        let total = self.spare_words();
+        let end = (self.clear_watermark + words).min(total);
+        let cleared = end - self.clear_watermark;
+        if cleared > 0 {
+            self.vectors[spare_phys].clear_words(self.clear_watermark, end);
+            self.clear_watermark = end;
+        }
+        cleared
+    }
+
+    /// O(1) rotation: finishes any leftover spare clearing (normally a
+    /// no-op), swaps the clean spare in for the expiring vector, and
+    /// schedules the expired vector for background zeroing. Returns the
+    /// new current ring index.
+    pub fn rotate(&mut self) -> usize {
+        // Force-complete if the interval had too few packets to finish.
+        let remaining = self.spare_words() - self.clear_watermark;
+        if remaining > 0 {
+            self.clear_some(remaining);
+        }
+        let last = self.idx;
+        self.idx = (self.idx + 1) % self.k();
+        let k = self.k();
+        self.slot.swap(last, k);
+        // The vector now sitting in the spare slot is dirty.
+        // NOTE: BitVec tracks its own ones-count, but the swapped-out
+        // vector's count reflects real marks; clearing resets it.
+        self.clear_watermark = 0;
+        self.rotations += 1;
+        self.idx
+    }
+
+    /// Utilization of the current active vector.
+    pub fn utilization(&self) -> f64 {
+        self.vectors[self.slot[self.idx]].utilization()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bitmap;
+
+    #[test]
+    fn behaves_like_plain_bitmap_on_a_fixed_script() {
+        let mut plain = Bitmap::new(4, 10, 3);
+        let mut fast = AmortizedBitmap::new(4, 10, 3);
+        let keys: Vec<[u8; 4]> = (0..200u32).map(|i| i.to_le_bytes()).collect();
+        for (step, key) in keys.iter().enumerate() {
+            plain.mark(key);
+            fast.mark(key);
+            if step % 17 == 16 {
+                plain.rotate();
+                fast.rotate();
+            }
+            // Every key's visibility matches at every step.
+            for probe in &keys {
+                assert_eq!(
+                    plain.lookup(probe),
+                    fast.lookup(probe),
+                    "step {step} probe {probe:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mark_survives_k_minus_one_rotations() {
+        let mut bm = AmortizedBitmap::new(4, 12, 3);
+        bm.mark(b"conn");
+        for r in 1..4 {
+            bm.rotate();
+            assert!(bm.lookup(b"conn"), "lost after {r}");
+        }
+        bm.rotate();
+        assert!(!bm.lookup(b"conn"));
+    }
+
+    #[test]
+    fn background_clearing_progresses_with_marks() {
+        // Small chunk so progress is observable.
+        let mut bm = AmortizedBitmap::with_chunk_words(2, 12, 2, 1);
+        bm.mark(b"a");
+        bm.rotate(); // spare (just-expired vector) is now dirty
+        assert!(bm.spare_dirty());
+        let total_words = (1usize << 12) / 64;
+        for _ in 0..total_words {
+            bm.mark(b"b"); // each mark clears one word
+        }
+        assert!(!bm.spare_dirty());
+    }
+
+    #[test]
+    fn rotation_with_dirty_spare_force_completes() {
+        let mut bm = AmortizedBitmap::with_chunk_words(3, 12, 2, 1);
+        bm.mark(b"x");
+        bm.rotate(); // dirty spare, no marks afterward
+        assert!(bm.spare_dirty());
+        bm.rotate(); // must force-complete the clear
+        bm.mark(b"y");
+        assert!(bm.lookup(b"y"));
+        // "x" marked before 2 rotations with k=3: still visible.
+        assert!(bm.lookup(b"x"));
+        bm.rotate();
+        assert!(!bm.lookup(b"x"));
+    }
+
+    #[test]
+    fn stale_bits_never_leak_from_the_spare() {
+        // Fill a vector heavily, expire it, let it rest dirty, then bring
+        // it back: nothing from before the expiry may be visible.
+        let mut bm = AmortizedBitmap::with_chunk_words(2, 10, 2, 4);
+        let old_keys: Vec<[u8; 4]> = (0..300u32).map(|i| i.to_le_bytes()).collect();
+        for k in &old_keys {
+            bm.mark(k);
+        }
+        bm.rotate(); // current vector expires into the spare
+        bm.rotate(); // spare force-cleared, swaps back in; also clears all old state (k=2)
+        for k in &old_keys {
+            assert!(!bm.lookup(k), "stale key {k:?} leaked");
+        }
+    }
+
+    #[test]
+    fn memory_is_one_extra_vector() {
+        let plain = Bitmap::new(4, 20, 3);
+        let fast = AmortizedBitmap::new(4, 20, 3);
+        assert_eq!(
+            fast.memory_bytes(),
+            plain.memory_bytes() + plain.memory_bytes() / 4
+        );
+        assert_eq!(fast.k(), 4);
+        assert_eq!(fast.vector_len(), 1 << 20);
+    }
+
+    #[test]
+    fn utilization_tracks_current_vector() {
+        let mut bm = AmortizedBitmap::new(4, 10, 2);
+        assert_eq!(bm.utilization(), 0.0);
+        bm.mark(b"k");
+        assert!(bm.utilization() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two bit vectors")]
+    fn single_vector_rejected() {
+        let _ = AmortizedBitmap::new(1, 8, 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! The `{k × N}` bitmap: k rotating Bloom-filter bit vectors.
+
+use crate::{BitVec, HashFamily};
+use serde::{Deserialize, Serialize};
+
+/// The core data structure of the paper (§4.2, Figure 7): `k` bit vectors
+/// of `N = 2^n` bits sharing `m` hash functions.
+///
+/// * **mark** (outbound packet): set the key's `m` bits in **all** `k`
+///   vectors — paper Algorithm 2, lines 1–5.
+/// * **lookup** (inbound packet): check the `m` bits in the **current**
+///   vector only — Algorithm 2, lines 6–15.
+/// * **rotate** (every `Δt`): advance the current index and zero the
+///   vector it left — Algorithm 1.
+///
+/// A key marked immediately after a rotation survives `k` further
+/// rotations; one marked just before, `k−1`. Marks therefore expire after
+/// `T_e ∈ [(k−1)·Δt, k·Δt]`, without any per-flow state.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_core::Bitmap;
+///
+/// let mut bm = Bitmap::new(4, 10, 3); // {4 × 2^10}, m = 3
+/// bm.mark(b"conn");
+/// assert!(bm.lookup(b"conn"));
+/// for _ in 0..4 {
+///     bm.rotate();
+/// }
+/// assert!(!bm.lookup(b"conn")); // expired
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bitmap {
+    vectors: Vec<BitVec>,
+    hashes: HashFamily,
+    idx: usize,
+    rotations: u64,
+}
+
+impl Bitmap {
+    /// Creates a `{k × 2^n_bits}` bitmap with `m` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (rotation needs at least a current and a
+    /// clearable vector) or on [`HashFamily::new`] bounds.
+    pub fn new(k: usize, n_bits: u32, m: usize) -> Self {
+        assert!(k >= 2, "need at least two bit vectors, got {k}");
+        let hashes = HashFamily::new(m, n_bits);
+        Self {
+            vectors: (0..k).map(|_| BitVec::new(hashes.table_size())).collect(),
+            hashes,
+            idx: 0,
+            rotations: 0,
+        }
+    }
+
+    /// Number of bit vectors `k`.
+    pub fn k(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Bits per vector `N`.
+    pub fn vector_len(&self) -> usize {
+        self.vectors[0].len()
+    }
+
+    /// The shared hash family.
+    pub fn hash_family(&self) -> HashFamily {
+        self.hashes
+    }
+
+    /// Index of the current bit vector.
+    pub fn current_index(&self) -> usize {
+        self.idx
+    }
+
+    /// Total rotations performed.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Marks `key` in **all** `k` vectors (Algorithm 2, outbound path).
+    pub fn mark(&mut self, key: &[u8]) {
+        for bit in self.hashes.indexes(key) {
+            for v in &mut self.vectors {
+                v.set(bit);
+            }
+        }
+    }
+
+    /// Looks `key` up in the **current** vector only (Algorithm 2,
+    /// inbound path). `true` means the key was marked within the expiry
+    /// window (or collided — a false positive).
+    pub fn lookup(&self, key: &[u8]) -> bool {
+        let current = &self.vectors[self.idx];
+        self.hashes.indexes(key).all(|bit| current.get(bit))
+    }
+
+    /// Reads one bit of the **current** vector — the per-bit check of
+    /// Algorithm 2, exposed so the filter can apply its per-bit drop
+    /// draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= vector_len()`.
+    pub fn current_bit(&self, bit: usize) -> bool {
+        self.vectors[self.idx].get(bit)
+    }
+
+    /// The timer handler `b.rotate()` (Algorithm 1): advances the current
+    /// index to the next vector and zeroes the vector just left. Returns
+    /// the new current index.
+    pub fn rotate(&mut self) -> usize {
+        let last = self.idx;
+        self.idx = (self.idx + 1) % self.vectors.len();
+        self.vectors[last].clear();
+        self.rotations += 1;
+        self.idx
+    }
+
+    /// Utilization `U = b/N` of the current vector (paper Eq. 2).
+    pub fn utilization(&self) -> f64 {
+        self.vectors[self.idx].utilization()
+    }
+
+    /// Expected penetration probability `U^m` for a random unknown key
+    /// (paper Eq. 2).
+    pub fn penetration_probability(&self) -> f64 {
+        self.utilization().powi(self.hashes.m() as i32)
+    }
+
+    /// Total memory of the bit storage: `(k × N)/8` bytes — 512 KiB for
+    /// the paper's `{4 × 2^20}` configuration.
+    pub fn memory_bytes(&self) -> usize {
+        self.vectors.iter().map(BitVec::memory_bytes).sum()
+    }
+
+    /// Zeroes every vector and resets the index.
+    pub fn reset(&mut self) {
+        for v in &mut self.vectors {
+            v.clear();
+        }
+        self.idx = 0;
+        self.rotations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_memory() {
+        let bm = Bitmap::new(4, 20, 3);
+        assert_eq!(bm.memory_bytes(), 512 * 1024);
+        assert_eq!(bm.k(), 4);
+        assert_eq!(bm.vector_len(), 1 << 20);
+    }
+
+    #[test]
+    fn marked_key_is_found() {
+        let mut bm = Bitmap::new(4, 12, 3);
+        bm.mark(b"abc");
+        assert!(bm.lookup(b"abc"));
+        assert!(!bm.lookup(b"xyz"));
+    }
+
+    #[test]
+    fn mark_survives_k_minus_one_rotations() {
+        // Marked right after a rotation, a key must survive k−1 further
+        // rotations and disappear on the k-th.
+        let k = 4;
+        let mut bm = Bitmap::new(k, 12, 3);
+        bm.mark(b"conn");
+        for r in 1..k {
+            bm.rotate();
+            assert!(bm.lookup(b"conn"), "lost after {r} rotations");
+        }
+        bm.rotate();
+        assert!(!bm.lookup(b"conn"), "survived {k} rotations");
+    }
+
+    #[test]
+    fn remarking_refreshes_lifetime() {
+        let mut bm = Bitmap::new(3, 12, 2);
+        bm.mark(b"conn");
+        bm.rotate();
+        bm.rotate();
+        bm.mark(b"conn"); // tuple seen again: timer reset
+        bm.rotate();
+        bm.rotate();
+        assert!(bm.lookup(b"conn"));
+    }
+
+    #[test]
+    fn rotation_index_wraps() {
+        let mut bm = Bitmap::new(3, 8, 1);
+        assert_eq!(bm.current_index(), 0);
+        assert_eq!(bm.rotate(), 1);
+        assert_eq!(bm.rotate(), 2);
+        assert_eq!(bm.rotate(), 0);
+        assert_eq!(bm.rotations(), 3);
+    }
+
+    #[test]
+    fn rotate_clears_only_departed_vector() {
+        let mut bm = Bitmap::new(2, 10, 2);
+        bm.mark(b"a");
+        bm.rotate(); // vector 0 cleared; vector 1 (now current) still marked
+        assert!(bm.lookup(b"a"));
+        // Key marked now goes into both vectors, including the cleared one.
+        bm.mark(b"b");
+        bm.rotate(); // vector 1 cleared; current = vector 0 has only "b"
+        assert!(bm.lookup(b"b"));
+        assert!(!bm.lookup(b"a"));
+    }
+
+    #[test]
+    fn utilization_and_penetration_grow_with_load() {
+        let mut bm = Bitmap::new(4, 10, 3);
+        assert_eq!(bm.penetration_probability(), 0.0);
+        for i in 0..200u32 {
+            bm.mark(&i.to_le_bytes());
+        }
+        assert!(bm.utilization() > 0.0);
+        let p = bm.penetration_probability();
+        assert!(p > 0.0 && p < 1.0);
+        assert!((p - bm.utilization().powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut bm = Bitmap::new(3, 8, 2);
+        bm.mark(b"x");
+        bm.rotate();
+        bm.reset();
+        assert_eq!(bm.current_index(), 0);
+        assert_eq!(bm.rotations(), 0);
+        assert!(!bm.lookup(b"x"));
+        assert_eq!(bm.utilization(), 0.0);
+    }
+
+    #[test]
+    fn no_false_negatives_within_window_bulk() {
+        let mut bm = Bitmap::new(4, 16, 3);
+        let keys: Vec<[u8; 4]> = (0..2000u32).map(|i| i.to_le_bytes()).collect();
+        for key in &keys {
+            bm.mark(key);
+        }
+        bm.rotate();
+        bm.rotate();
+        bm.rotate(); // still within k−1 rotations
+        assert!(keys.iter().all(|k| bm.lookup(k)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two bit vectors")]
+    fn single_vector_is_rejected() {
+        let _ = Bitmap::new(1, 8, 1);
+    }
+}

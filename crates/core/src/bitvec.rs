@@ -1,0 +1,229 @@
+//! A fixed-size bit vector backed by `u64` words.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-size vector of bits — one column of the `{k × N}` bitmap.
+///
+/// All hot-path operations (set, get) are O(1); [`BitVec::clear`] is
+/// O(N/64) over a contiguous word array, which is the whole cost of the
+/// paper's `b.rotate` timer handler.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_core::BitVec;
+///
+/// let mut v = BitVec::new(1024);
+/// v.set(17);
+/// assert!(v.get(17));
+/// assert_eq!(v.count_ones(), 1);
+/// v.clear();
+/// assert!(!v.get(17));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl BitVec {
+    /// Creates a zeroed bit vector with `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "bit vector must have at least one bit");
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the vector has no bits (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i` to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.ones += 1;
+        }
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Zeroes every bit (the `b.rotate` clean-up step).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.ones = 0;
+    }
+
+    /// Zeroes the words in `[start_word, end_word)` — the incremental
+    /// clearing primitive used by
+    /// [`AmortizedBitmap`](crate::AmortizedBitmap). The ones-count is
+    /// decremented by the bits actually cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end_word` exceeds the word count or `start_word >
+    /// end_word`.
+    pub fn clear_words(&mut self, start_word: usize, end_word: usize) {
+        assert!(start_word <= end_word && end_word <= self.words.len());
+        for w in &mut self.words[start_word..end_word] {
+            self.ones -= w.count_ones() as usize;
+            *w = 0;
+        }
+    }
+
+    /// Number of set bits, maintained incrementally (O(1)).
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Fraction of bits set — the utilization `U = b/N` of the paper's
+    /// Equation 2.
+    pub fn utilization(&self) -> f64 {
+        self.ones as f64 / self.len as f64
+    }
+
+    /// Memory consumed by the bit storage, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_start_clear() {
+        let v = BitVec::new(100);
+        assert_eq!(v.len(), 100);
+        assert!((0..100).all(|i| !v.get(i)));
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_and_get_across_word_boundaries() {
+        let mut v = BitVec::new(130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            v.set(i);
+            assert!(v.get(i), "bit {i}");
+        }
+        assert_eq!(v.count_ones(), 8);
+        assert!(!v.get(2));
+    }
+
+    #[test]
+    fn double_set_counts_once() {
+        let mut v = BitVec::new(10);
+        v.set(3);
+        v.set(3);
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut v = BitVec::new(200);
+        for i in (0..200).step_by(7) {
+            v.set(i);
+        }
+        v.clear();
+        assert_eq!(v.count_ones(), 0);
+        assert!((0..200).all(|i| !v.get(i)));
+    }
+
+    #[test]
+    fn utilization_is_fraction_of_ones() {
+        let mut v = BitVec::new(64);
+        for i in 0..16 {
+            v.set(i);
+        }
+        assert!((v.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_rounds_up_to_words() {
+        assert_eq!(BitVec::new(1).memory_bytes(), 8);
+        assert_eq!(BitVec::new(64).memory_bytes(), 8);
+        assert_eq!(BitVec::new(65).memory_bytes(), 16);
+        // The paper's 2^20-bit vector is 128 KiB.
+        assert_eq!(BitVec::new(1 << 20).memory_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn clear_words_clears_ranges_and_counts() {
+        let mut v = BitVec::new(256);
+        for i in (0..256).step_by(3) {
+            v.set(i);
+        }
+        let before = v.count_ones();
+        v.clear_words(1, 2); // bits 64..128
+        assert!((64..128).all(|i| !v.get(i)));
+        assert!(v.get(0) && v.get(255));
+        // Exactly the bits ≡ 0 (mod 3) inside [64, 128) were removed.
+        let removed = (64..128).filter(|i| i % 3 == 0).count();
+        assert_eq!(v.count_ones(), before - removed);
+        // Clearing an empty range is a no-op.
+        v.clear_words(2, 2);
+        assert_eq!(v.count_ones(), before - removed);
+        // Clearing everything matches clear().
+        v.clear_words(0, 4);
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn clear_words_rejects_bad_range() {
+        let mut v = BitVec::new(64);
+        v.clear_words(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let v = BitVec::new(8);
+        let _ = v.get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        let mut v = BitVec::new(8);
+        v.set(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn empty_vector_panics() {
+        let _ = BitVec::new(0);
+    }
+}

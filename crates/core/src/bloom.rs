@@ -1,0 +1,164 @@
+//! A classic Bloom filter — one column of the bitmap plus its hash family.
+
+use crate::{BitVec, HashFamily};
+use serde::{Deserialize, Serialize};
+
+/// A standard Bloom filter (Bloom, 1970) over byte-string keys.
+///
+/// The `{k × N}`-bitmap is "a composite of k bloom filters of equal size
+/// N = 2^n bits" (paper §4.2); this type is that building block, also
+/// usable standalone.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_core::BloomFilter;
+///
+/// let mut bloom = BloomFilter::new(16, 4); // 2^16 bits, 4 hashes
+/// bloom.insert(b"alpha");
+/// assert!(bloom.contains(b"alpha"));      // never a false negative
+/// assert!(!bloom.contains(b"beta"));      // almost surely
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: BitVec,
+    hashes: HashFamily,
+    insertions: u64,
+}
+
+impl BloomFilter {
+    /// Creates a Bloom filter with `2^n_bits` bits and `m` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same bounds as [`HashFamily::new`].
+    pub fn new(n_bits: u32, m: usize) -> Self {
+        let hashes = HashFamily::new(m, n_bits);
+        Self {
+            bits: BitVec::new(hashes.table_size()),
+            hashes,
+            insertions: 0,
+        }
+    }
+
+    /// Inserts `key`.
+    pub fn insert(&mut self, key: &[u8]) {
+        for idx in self.hashes.indexes(key) {
+            self.bits.set(idx);
+        }
+        self.insertions += 1;
+    }
+
+    /// Tests membership; false positives possible, false negatives not.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.hashes.indexes(key).all(|idx| self.bits.get(idx))
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+        self.insertions = 0;
+    }
+
+    /// Number of `insert` calls since creation/clear (counts duplicates).
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Fraction of bits set (`U = b/N`, paper Eq. 2).
+    pub fn utilization(&self) -> f64 {
+        self.bits.utilization()
+    }
+
+    /// The expected probability that a random absent key reports present,
+    /// given the current utilization: `U^m` (paper Eq. 2).
+    pub fn expected_false_positive_rate(&self) -> f64 {
+        self.utilization().powi(self.hashes.m() as i32)
+    }
+
+    /// The underlying bit vector.
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// The hash family shared with the rest of the bitmap.
+    pub fn hash_family(&self) -> HashFamily {
+        self.hashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = BloomFilter::new(12, 3);
+        let keys: Vec<[u8; 4]> = (0..500u32).map(|i| i.to_le_bytes()).collect();
+        for k in &keys {
+            b.insert(k);
+        }
+        assert!(keys.iter().all(|k| b.contains(k)));
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_when_underloaded() {
+        let mut b = BloomFilter::new(16, 4); // 65536 bits
+        for i in 0..1000u32 {
+            b.insert(&i.to_le_bytes());
+        }
+        // Probe disjoint keys.
+        let fp = (1_000_000u32..1_002_000)
+            .filter(|i| b.contains(&i.to_le_bytes()))
+            .count();
+        // Expected ≈ (1000*4/65536)^4 ≈ 1.4e-5 → ~0 of 2000.
+        assert!(fp <= 2, "false positives too high: {fp}/2000");
+    }
+
+    #[test]
+    fn measured_fp_tracks_expected_fp() {
+        let mut b = BloomFilter::new(12, 2); // 4096 bits, deliberately loaded
+        for i in 0..800u32 {
+            b.insert(&i.to_le_bytes());
+        }
+        let probes = 4000;
+        let fp = (1_000_000u32..1_000_000 + probes)
+            .filter(|i| b.contains(&i.to_le_bytes()))
+            .count() as f64
+            / probes as f64;
+        let expected = b.expected_false_positive_rate();
+        assert!(
+            (fp - expected).abs() < 0.05,
+            "measured {fp:.4} vs expected {expected:.4}"
+        );
+    }
+
+    #[test]
+    fn clear_empties_filter() {
+        let mut b = BloomFilter::new(10, 3);
+        b.insert(b"x");
+        assert_eq!(b.insertions(), 1);
+        b.clear();
+        assert!(!b.contains(b"x"));
+        assert_eq!(b.insertions(), 0);
+        assert_eq!(b.utilization(), 0.0);
+    }
+
+    #[test]
+    fn utilization_grows_with_insertions() {
+        let mut b = BloomFilter::new(10, 3);
+        let u0 = b.utilization();
+        for i in 0..50u32 {
+            b.insert(&i.to_le_bytes());
+        }
+        assert!(b.utilization() > u0);
+        assert!(b.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let b = BloomFilter::new(8, 2);
+        assert!(!b.contains(b"anything"));
+        assert_eq!(b.expected_false_positive_rate(), 0.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Bitmap-filter configuration and builder.
+
+use crate::DropPolicy;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use upbound_net::TimeDelta;
+
+/// Error validating a [`BitmapFilterConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `vectors` (k) must be at least 2.
+    TooFewVectors(usize),
+    /// `vector_bits` (n) must be in `1..=32`.
+    BadVectorBits(u32),
+    /// `hash_functions` (m) must be at least 1.
+    NoHashFunctions,
+    /// `rotate_every` (Δt) must be positive.
+    ZeroRotateInterval,
+    /// Drop-policy thresholds must satisfy `0 ≤ L < H`.
+    BadThresholds {
+        /// The offending lower threshold.
+        low_bps: f64,
+        /// The offending upper threshold.
+        high_bps: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewVectors(k) => {
+                write!(f, "bitmap needs at least 2 bit vectors, got {k}")
+            }
+            ConfigError::BadVectorBits(n) => {
+                write!(f, "vector_bits must be in 1..=32, got {n}")
+            }
+            ConfigError::NoHashFunctions => write!(f, "need at least one hash function"),
+            ConfigError::ZeroRotateInterval => write!(f, "rotate interval must be positive"),
+            ConfigError::BadThresholds { low_bps, high_bps } => write!(
+                f,
+                "drop thresholds must satisfy 0 <= L < H, got L={low_bps} H={high_bps}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Complete configuration of a [`BitmapFilter`](crate::BitmapFilter).
+///
+/// Built with [`BitmapFilterConfig::builder`]; see the paper's §4.3 for
+/// parameter guidance (`T_e = k·Δt` should stay below ~60 s to avoid
+/// port-reuse false positives; `Δt` of 4–5 s is appropriate; `n` trades
+/// memory for penetration probability; Eq. 5 gives the optimal `m`).
+///
+/// # Examples
+///
+/// ```
+/// use upbound_core::BitmapFilterConfig;
+///
+/// let config = BitmapFilterConfig::builder()
+///     .vector_bits(20)
+///     .vectors(4)
+///     .rotate_every_secs(5.0)
+///     .hash_functions(3)
+///     .build()?;
+/// assert_eq!(config.expiry_timer().as_secs_f64(), 20.0);
+/// assert_eq!(config.memory_bytes(), 512 * 1024);
+/// # Ok::<(), upbound_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitmapFilterConfig {
+    pub(crate) vector_bits: u32,
+    pub(crate) vectors: usize,
+    pub(crate) hash_functions: usize,
+    pub(crate) rotate_every: TimeDelta,
+    pub(crate) hole_punching: bool,
+    pub(crate) drop_policy: DropPolicy,
+    pub(crate) rng_seed: u64,
+}
+
+impl BitmapFilterConfig {
+    /// Starts a builder with the paper's §4.3 recommended defaults:
+    /// `n = 20`, `k = 4`, `m = 3`, `Δt = 5 s`, hole punching off,
+    /// drop-all policy, seed 0.
+    pub fn builder() -> BitmapFilterConfigBuilder {
+        BitmapFilterConfigBuilder::default()
+    }
+
+    /// The configuration of the paper's §5.3 simulations: a 512 KiB
+    /// `{4 × 2^20}` bitmap, `Δt = 5 s` (`T_e = 20 s`), 3 hash functions,
+    /// dropping every unknown inbound packet.
+    pub fn paper_evaluation() -> Self {
+        Self::builder()
+            .build()
+            .expect("paper configuration is valid")
+    }
+
+    /// The Figure 9 limiter setup: paper evaluation parameters with the
+    /// RED policy `L = 50 Mbps`, `H = 100 Mbps`.
+    pub fn paper_limiter() -> Self {
+        Self::builder()
+            .drop_policy(DropPolicy::paper_figure9())
+            .build()
+            .expect("paper configuration is valid")
+    }
+
+    /// Bit-vector size exponent `n` (each vector has `2^n` bits).
+    pub fn vector_bits(&self) -> u32 {
+        self.vector_bits
+    }
+
+    /// Number of bit vectors `k`.
+    pub fn vectors(&self) -> usize {
+        self.vectors
+    }
+
+    /// Number of hash functions `m`.
+    pub fn hash_functions(&self) -> usize {
+        self.hash_functions
+    }
+
+    /// The rotation period `Δt`.
+    pub fn rotate_every(&self) -> TimeDelta {
+        self.rotate_every
+    }
+
+    /// Whether hash keys omit the remote port (hole-punching support).
+    pub fn hole_punching(&self) -> bool {
+        self.hole_punching
+    }
+
+    /// The RED-style drop policy (Equation 1).
+    pub fn drop_policy(&self) -> DropPolicy {
+        self.drop_policy
+    }
+
+    /// Seed for the drop-decision RNG (deterministic replay).
+    pub fn rng_seed(&self) -> u64 {
+        self.rng_seed
+    }
+
+    /// The mark expiry timer `T_e = k·Δt` (§4.3).
+    pub fn expiry_timer(&self) -> TimeDelta {
+        self.rotate_every.times(self.vectors as u64)
+    }
+
+    /// Bitmap storage: `(k × 2^n)/8` bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.vectors * (1usize << self.vector_bits) / 8
+    }
+}
+
+/// Builder for [`BitmapFilterConfig`].
+#[derive(Debug, Clone)]
+pub struct BitmapFilterConfigBuilder {
+    vector_bits: u32,
+    vectors: usize,
+    hash_functions: usize,
+    rotate_every: TimeDelta,
+    hole_punching: bool,
+    drop_policy: DropPolicy,
+    rng_seed: u64,
+}
+
+impl Default for BitmapFilterConfigBuilder {
+    fn default() -> Self {
+        Self {
+            vector_bits: 20,
+            vectors: 4,
+            hash_functions: 3,
+            rotate_every: TimeDelta::from_secs(5.0),
+            hole_punching: false,
+            drop_policy: DropPolicy::drop_all(),
+            rng_seed: 0,
+        }
+    }
+}
+
+impl BitmapFilterConfigBuilder {
+    /// Sets `n`: each bit vector holds `2^n` bits.
+    pub fn vector_bits(&mut self, n: u32) -> &mut Self {
+        self.vector_bits = n;
+        self
+    }
+
+    /// Sets `k`, the number of bit vectors.
+    pub fn vectors(&mut self, k: usize) -> &mut Self {
+        self.vectors = k;
+        self
+    }
+
+    /// Sets `m`, the number of hash functions.
+    pub fn hash_functions(&mut self, m: usize) -> &mut Self {
+        self.hash_functions = m;
+        self
+    }
+
+    /// Sets the rotation period `Δt`.
+    pub fn rotate_every(&mut self, dt: TimeDelta) -> &mut Self {
+        self.rotate_every = dt;
+        self
+    }
+
+    /// Sets `Δt` in seconds (convenience).
+    pub fn rotate_every_secs(&mut self, secs: f64) -> &mut Self {
+        self.rotate_every = TimeDelta::from_secs(secs);
+        self
+    }
+
+    /// Enables or disables hole-punching key derivation (§4.2).
+    pub fn hole_punching(&mut self, enabled: bool) -> &mut Self {
+        self.hole_punching = enabled;
+        self
+    }
+
+    /// Sets the drop policy (Equation 1 thresholds).
+    pub fn drop_policy(&mut self, policy: DropPolicy) -> &mut Self {
+        self.drop_policy = policy;
+        self
+    }
+
+    /// Sets the seed of the drop-decision RNG.
+    pub fn rng_seed(&mut self, seed: u64) -> &mut Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`ConfigError`] bound.
+    pub fn build(&self) -> Result<BitmapFilterConfig, ConfigError> {
+        if self.vectors < 2 {
+            return Err(ConfigError::TooFewVectors(self.vectors));
+        }
+        if !(1..=32).contains(&self.vector_bits) {
+            return Err(ConfigError::BadVectorBits(self.vector_bits));
+        }
+        if self.hash_functions == 0 {
+            return Err(ConfigError::NoHashFunctions);
+        }
+        if self.rotate_every.is_zero() {
+            return Err(ConfigError::ZeroRotateInterval);
+        }
+        Ok(BitmapFilterConfig {
+            vector_bits: self.vector_bits,
+            vectors: self.vectors,
+            hash_functions: self.hash_functions,
+            rotate_every: self.rotate_every,
+            hole_punching: self.hole_punching,
+            drop_policy: self.drop_policy,
+            rng_seed: self.rng_seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = BitmapFilterConfig::paper_evaluation();
+        assert_eq!(c.vector_bits(), 20);
+        assert_eq!(c.vectors(), 4);
+        assert_eq!(c.hash_functions(), 3);
+        assert_eq!(c.rotate_every(), TimeDelta::from_secs(5.0));
+        assert_eq!(c.expiry_timer(), TimeDelta::from_secs(20.0));
+        assert_eq!(c.memory_bytes(), 512 * 1024);
+        assert!(!c.hole_punching());
+        assert_eq!(c.drop_policy().drop_probability(0.0), 1.0);
+    }
+
+    #[test]
+    fn limiter_preset_uses_figure9_policy() {
+        let c = BitmapFilterConfig::paper_limiter();
+        assert_eq!(c.drop_policy().low_bps(), 50e6);
+        assert_eq!(c.drop_policy().high_bps(), 100e6);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = BitmapFilterConfig::builder()
+            .vector_bits(16)
+            .vectors(8)
+            .hash_functions(5)
+            .rotate_every_secs(2.5)
+            .hole_punching(true)
+            .rng_seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(c.vector_bits(), 16);
+        assert_eq!(c.vectors(), 8);
+        assert_eq!(c.hash_functions(), 5);
+        assert_eq!(c.rotate_every(), TimeDelta::from_secs(2.5));
+        assert!(c.hole_punching());
+        assert_eq!(c.rng_seed(), 99);
+        assert_eq!(c.expiry_timer(), TimeDelta::from_secs(20.0));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert_eq!(
+            BitmapFilterConfig::builder().vectors(1).build(),
+            Err(ConfigError::TooFewVectors(1))
+        );
+        assert_eq!(
+            BitmapFilterConfig::builder().vector_bits(0).build(),
+            Err(ConfigError::BadVectorBits(0))
+        );
+        assert_eq!(
+            BitmapFilterConfig::builder().vector_bits(40).build(),
+            Err(ConfigError::BadVectorBits(40))
+        );
+        assert_eq!(
+            BitmapFilterConfig::builder().hash_functions(0).build(),
+            Err(ConfigError::NoHashFunctions)
+        );
+        assert_eq!(
+            BitmapFilterConfig::builder()
+                .rotate_every(TimeDelta::ZERO)
+                .build(),
+            Err(ConfigError::ZeroRotateInterval)
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(ConfigError::TooFewVectors(1).to_string().contains('1'));
+        assert!(ConfigError::BadVectorBits(40).to_string().contains("40"));
+        let e = ConfigError::BadThresholds {
+            low_bps: 5.0,
+            high_bps: 1.0,
+        };
+        assert!(e.to_string().contains("L=5"));
+    }
+}

@@ -1,0 +1,399 @@
+//! The complete bitmap filter: bitmap + timer + throughput-driven `P_d`.
+
+use crate::{Bitmap, BitmapFilterConfig, DropPolicy, ThroughputMonitor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use upbound_net::{Direction, FiveTuple, Packet, TimeDelta, Timestamp};
+
+/// The decision of a filter for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Forward the packet.
+    Pass,
+    /// Discard the packet.
+    Drop,
+}
+
+/// Running counters of a [`BitmapFilter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterStats {
+    /// Outbound packets observed (always passed).
+    pub outbound_packets: u64,
+    /// Inbound packets checked.
+    pub inbound_packets: u64,
+    /// Inbound packets whose key was found in the current vector.
+    pub inbound_hits: u64,
+    /// Inbound packets whose key was not (fully) found.
+    pub inbound_misses: u64,
+    /// Inbound packets dropped.
+    pub dropped: u64,
+    /// Bitmap rotations performed by the timer.
+    pub rotations: u64,
+}
+
+/// The bitmap filter of the paper's Section 4: constant-space,
+/// constant-time bounding of unsolicited inbound (and therefore
+/// peer-to-peer upload) traffic.
+///
+/// Drive it either at the packet level with
+/// [`process_packet`](Self::process_packet) — which maintains the uplink
+/// [`ThroughputMonitor`] and derives `P_d` from the configured
+/// [`DropPolicy`] automatically — or at the tuple level with
+/// [`observe_outbound`](Self::observe_outbound) /
+/// [`check_inbound`](Self::check_inbound) and an explicit `P_d`.
+///
+/// Time is driven by packet timestamps: every entry point first applies
+/// any rotations that came due, so no external timer thread is needed in
+/// simulation. (For live deployments, [`SharedBitmapFilter`] adds a
+/// thread-safe handle; see its docs.)
+///
+/// [`SharedBitmapFilter`]: crate::SharedBitmapFilter
+#[derive(Debug, Clone)]
+pub struct BitmapFilter {
+    config: BitmapFilterConfig,
+    bitmap: Bitmap,
+    monitor: ThroughputMonitor,
+    rng: StdRng,
+    next_rotation: Timestamp,
+    stats: FilterStats,
+}
+
+impl BitmapFilter {
+    /// Creates a filter from a validated configuration.
+    pub fn new(config: BitmapFilterConfig) -> Self {
+        let bitmap = Bitmap::new(config.vectors, config.vector_bits, config.hash_functions);
+        // Uplink throughput is measured over a window of one expiry
+        // timer, in one-second slots (clamped to at least one slot).
+        let slot = TimeDelta::from_secs(1.0);
+        let slots = (config.expiry_timer().as_secs_f64().ceil() as usize).max(1);
+        Self {
+            rng: StdRng::seed_from_u64(config.rng_seed),
+            next_rotation: Timestamp::ZERO + config.rotate_every,
+            bitmap,
+            monitor: ThroughputMonitor::new(slot, slots),
+            config,
+            stats: FilterStats::default(),
+        }
+    }
+
+    /// The configuration the filter was built with.
+    pub fn config(&self) -> &BitmapFilterConfig {
+        &self.config
+    }
+
+    /// The underlying `{k × N}` bitmap.
+    pub fn bitmap(&self) -> &Bitmap {
+        &self.bitmap
+    }
+
+    /// The uplink throughput monitor.
+    pub fn monitor(&self) -> &ThroughputMonitor {
+        &self.monitor
+    }
+
+    /// Running counters.
+    pub fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    /// Total memory of the bit storage in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bitmap.memory_bytes()
+    }
+
+    /// Applies every rotation due at or before `now` (the `b.rotate`
+    /// timer, paper Algorithm 1).
+    pub fn advance(&mut self, now: Timestamp) {
+        while now >= self.next_rotation {
+            self.bitmap.rotate();
+            self.stats.rotations += 1;
+            self.next_rotation += self.config.rotate_every;
+        }
+    }
+
+    /// Records an outbound packet's tuple: marks its key in all bit
+    /// vectors. Outbound packets are always passed (Algorithm 2).
+    pub fn observe_outbound(&mut self, tuple: &FiveTuple, now: Timestamp) {
+        self.advance(now);
+        self.stats.outbound_packets += 1;
+        let key = tuple.outbound_key(self.config.hole_punching);
+        self.bitmap.mark(&key.to_bytes());
+    }
+
+    /// Checks an inbound packet's tuple against the current bit vector
+    /// and decides with explicit drop probability `p_d`.
+    ///
+    /// Faithful to Algorithm 2: each of the `m` hashed bits that is
+    /// *unmarked* gives an independent chance `p_d` to drop, so the
+    /// overall drop probability of a fully unknown key is
+    /// `1 − (1 − p_d)^m`.
+    pub fn check_inbound(&mut self, tuple: &FiveTuple, now: Timestamp, p_d: f64) -> Verdict {
+        self.advance(now);
+        self.stats.inbound_packets += 1;
+        let key = tuple.inbound_key(self.config.hole_punching);
+        let known = self.bitmap.lookup(&key.to_bytes());
+        if known {
+            self.stats.inbound_hits += 1;
+            return Verdict::Pass;
+        }
+        self.stats.inbound_misses += 1;
+        // Per-bit drop draws of Algorithm 2 (lines 9–13): every unmarked
+        // hashed bit gives an independent chance `p_d` to drop.
+        let key_bytes = key.to_bytes();
+        let unmarked = self.unmarked_bits(&key_bytes);
+        let mut verdict = Verdict::Pass;
+        for _ in 0..unmarked {
+            if self.rng.gen::<f64>() < p_d {
+                verdict = Verdict::Drop;
+                break;
+            }
+        }
+        if verdict == Verdict::Drop {
+            self.stats.dropped += 1;
+        }
+        verdict
+    }
+
+    fn unmarked_bits(&self, key_bytes: &[u8]) -> usize {
+        let family = self.bitmap.hash_family();
+        family
+            .indexes(key_bytes)
+            .filter(|&bit| !self.bitmap.current_bit(bit))
+            .count()
+    }
+
+    /// The drop probability Equation 1 yields for the current measured
+    /// uplink throughput.
+    pub fn drop_probability(&self, now: Timestamp) -> f64 {
+        self.config
+            .drop_policy
+            .drop_probability(self.monitor.rate_bps(now))
+    }
+
+    /// Full per-packet pipeline: outbound packets are marked, counted
+    /// toward uplink throughput, and passed; inbound packets are checked
+    /// with `P_d` derived from the measured throughput.
+    pub fn process_packet(&mut self, packet: &Packet, direction: Direction) -> Verdict {
+        let now = packet.ts();
+        match direction {
+            Direction::Outbound => {
+                self.observe_outbound(&packet.tuple(), now);
+                self.monitor.record(now, packet.wire_len() as u64);
+                Verdict::Pass
+            }
+            Direction::Inbound => {
+                let p_d = self.drop_probability(now);
+                self.check_inbound(&packet.tuple(), now, p_d)
+            }
+        }
+    }
+
+    /// The drop policy in force.
+    pub fn drop_policy(&self) -> DropPolicy {
+        self.config.drop_policy
+    }
+
+    /// Clears bitmap, monitor, statistics, and timer phase.
+    pub fn reset(&mut self) {
+        self.bitmap.reset();
+        self.monitor.reset();
+        self.stats = FilterStats::default();
+        self.next_rotation = Timestamp::ZERO + self.config.rotate_every;
+        self.rng = StdRng::seed_from_u64(self.config.rng_seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upbound_net::{Protocol, TcpFlags};
+
+    fn out_tuple(port: u16) -> FiveTuple {
+        FiveTuple::new(
+            Protocol::Tcp,
+            format!("10.0.0.5:{port}").parse().unwrap(),
+            "203.0.113.9:80".parse().unwrap(),
+        )
+    }
+
+    fn unsolicited(port: u16) -> FiveTuple {
+        FiveTuple::new(
+            Protocol::Tcp,
+            format!("198.51.100.2:{port}").parse().unwrap(),
+            "10.0.0.5:6881".parse().unwrap(),
+        )
+    }
+
+    fn filter() -> BitmapFilter {
+        BitmapFilter::new(BitmapFilterConfig::paper_evaluation())
+    }
+
+    #[test]
+    fn response_to_outbound_passes() {
+        let mut f = filter();
+        let t = Timestamp::from_secs(1.0);
+        let conn = out_tuple(40000);
+        f.observe_outbound(&conn, t);
+        assert_eq!(f.check_inbound(&conn.inverse(), t, 1.0), Verdict::Pass);
+        assert_eq!(f.stats().inbound_hits, 1);
+    }
+
+    #[test]
+    fn unsolicited_inbound_drops_with_pd_one() {
+        let mut f = filter();
+        let t = Timestamp::from_secs(1.0);
+        assert_eq!(f.check_inbound(&unsolicited(50000), t, 1.0), Verdict::Drop);
+        assert_eq!(f.stats().dropped, 1);
+        assert_eq!(f.stats().inbound_misses, 1);
+    }
+
+    #[test]
+    fn unsolicited_inbound_passes_with_pd_zero() {
+        let mut f = filter();
+        let t = Timestamp::from_secs(1.0);
+        assert_eq!(f.check_inbound(&unsolicited(50001), t, 0.0), Verdict::Pass);
+        assert_eq!(f.stats().dropped, 0);
+    }
+
+    #[test]
+    fn marks_expire_after_expiry_timer() {
+        let mut f = filter();
+        let conn = out_tuple(41000);
+        f.observe_outbound(&conn, Timestamp::from_secs(0.1));
+        // Within T_e − Δt the response is still recognized.
+        assert_eq!(
+            f.check_inbound(&conn.inverse(), Timestamp::from_secs(14.9), 1.0),
+            Verdict::Pass
+        );
+        // Well past T_e = 20 s the mark is gone.
+        assert_eq!(
+            f.check_inbound(&conn.inverse(), Timestamp::from_secs(25.0), 1.0),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn rotations_follow_packet_time() {
+        let mut f = filter();
+        f.advance(Timestamp::from_secs(17.0));
+        assert_eq!(f.stats().rotations, 3); // at 5, 10, 15 s
+        f.advance(Timestamp::from_secs(17.0));
+        assert_eq!(f.stats().rotations, 3); // idempotent
+        f.advance(Timestamp::from_secs(20.0));
+        assert_eq!(f.stats().rotations, 4);
+    }
+
+    #[test]
+    fn partial_pd_drops_at_expected_rate() {
+        let mut f = filter();
+        let t = Timestamp::from_secs(0.0);
+        let trials = 20_000;
+        let mut drops = 0;
+        for i in 0..trials {
+            if f.check_inbound(&unsolicited(1024 + (i % 40000) as u16), t, 0.3) == Verdict::Drop {
+                drops += 1;
+            }
+        }
+        // Per Algorithm 2: P(drop) = 1 − (1 − 0.3)^3 = 0.657 for 3 fully
+        // unmarked bits (bitmap is nearly empty, so misses have 3 zero bits).
+        let rate = drops as f64 / trials as f64;
+        assert!((rate - 0.657).abs() < 0.02, "drop rate {rate}");
+    }
+
+    #[test]
+    fn process_packet_pipeline_limits_when_loaded() {
+        // Build a filter with very low thresholds so modest traffic
+        // saturates the policy.
+        let config = BitmapFilterConfig::builder()
+            .drop_policy(DropPolicy::new(1_000.0, 10_000.0).unwrap())
+            .rng_seed(7)
+            .build()
+            .unwrap();
+        let mut f = BitmapFilter::new(config);
+        // Outbound chatter to drive throughput above H.
+        for i in 0..200u32 {
+            let t = Timestamp::from_micros(i as u64 * 10_000);
+            let pkt = Packet::tcp(t, out_tuple(42000), TcpFlags::ACK, vec![0u8; 1000]);
+            assert_eq!(f.process_packet(&pkt, Direction::Outbound), Verdict::Pass);
+        }
+        let now = Timestamp::from_secs(2.0);
+        assert!(f.drop_probability(now) > 0.99, "policy should saturate");
+        let pkt = Packet::tcp(now, unsolicited(51000), TcpFlags::SYN, &[][..]);
+        assert_eq!(f.process_packet(&pkt, Direction::Inbound), Verdict::Drop);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed: u64| {
+            let config = BitmapFilterConfig::builder()
+                .rng_seed(seed)
+                .build()
+                .unwrap();
+            let mut f = BitmapFilter::new(config);
+            (0..200u16)
+                .map(|i| f.check_inbound(&unsolicited(1024 + i), Timestamp::ZERO, 0.5))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2)); // different seed, different draws
+    }
+
+    #[test]
+    fn hole_punching_admits_other_remote_port() {
+        let config = BitmapFilterConfig::builder()
+            .hole_punching(true)
+            .build()
+            .unwrap();
+        let mut f = BitmapFilter::new(config);
+        let t = Timestamp::from_secs(0.0);
+        // Client 10.0.0.5:40000 talked to 203.0.113.9:80 …
+        f.observe_outbound(&out_tuple(40000), t);
+        // … so an inbound packet from 203.0.113.9 from ANY source port to
+        // that client endpoint is admitted.
+        let from_other_port = FiveTuple::new(
+            Protocol::Tcp,
+            "203.0.113.9:9999".parse().unwrap(),
+            "10.0.0.5:40000".parse().unwrap(),
+        );
+        assert_eq!(f.check_inbound(&from_other_port, t, 1.0), Verdict::Pass);
+
+        // Without hole punching the same packet is dropped.
+        let mut strict = filter();
+        strict.observe_outbound(&out_tuple(40000), t);
+        assert_eq!(
+            strict.check_inbound(&from_other_port, t, 1.0),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut f = filter();
+        let t = Timestamp::from_secs(1.0);
+        f.observe_outbound(&out_tuple(40000), t);
+        f.check_inbound(&unsolicited(50000), t, 1.0);
+        f.reset();
+        assert_eq!(f.stats(), FilterStats::default());
+        assert_eq!(
+            f.check_inbound(&out_tuple(40000).inverse(), t, 1.0),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn stats_count_each_path() {
+        let mut f = filter();
+        let t = Timestamp::from_secs(0.0);
+        f.observe_outbound(&out_tuple(1), t);
+        f.check_inbound(&out_tuple(1).inverse(), t, 1.0); // hit
+        f.check_inbound(&unsolicited(2), t, 1.0); // miss + drop
+        f.check_inbound(&unsolicited(3), t, 0.0); // miss + pass
+        let s = f.stats();
+        assert_eq!(s.outbound_packets, 1);
+        assert_eq!(s.inbound_packets, 3);
+        assert_eq!(s.inbound_hits, 1);
+        assert_eq!(s.inbound_misses, 2);
+        assert_eq!(s.dropped, 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Multi-network deployment: one filter instance per client network on
+//! an aggregating core router.
+//!
+//! The paper's Figure 6 shows bitmap filters installed either on edge
+//! routers (one client network each) or on core routers that aggregate
+//! "two or more client networks". [`MultiNetworkFilter`] is that core
+//! deployment: it classifies each packet to the client network it
+//! belongs to and drives that network's own [`BitmapFilter`] — so each
+//! network gets its own throughput policy and its own bitmap, and
+//! traffic *between* two monitored networks is treated as outbound from
+//! its source network (never dropped, matching the positive-listing
+//! intent).
+
+use crate::{BitmapFilter, BitmapFilterConfig, FilterStats, Verdict};
+use upbound_net::{Cidr, Direction, Packet, Timestamp};
+
+/// A bank of per-client-network bitmap filters for an aggregation point.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_core::{MultiNetworkFilter, BitmapFilterConfig, Verdict};
+/// use upbound_net::{FiveTuple, Packet, Protocol, TcpFlags, Timestamp};
+///
+/// let mut bank = MultiNetworkFilter::new();
+/// bank.add_network("10.1.0.0/16".parse()?, BitmapFilterConfig::paper_evaluation());
+/// bank.add_network("10.2.0.0/16".parse()?, BitmapFilterConfig::paper_evaluation());
+///
+/// // An unsolicited inbound SYN toward network 1 is dropped there …
+/// let pkt = Packet::tcp(
+///     Timestamp::from_secs(1.0),
+///     FiveTuple::new(
+///         Protocol::Tcp,
+///         "198.51.100.2:4000".parse()?,
+///         "10.1.0.9:6881".parse()?,
+///     ),
+///     TcpFlags::SYN,
+///     &[][..],
+/// );
+/// assert_eq!(bank.process_packet(&pkt), Verdict::Drop);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MultiNetworkFilter {
+    networks: Vec<(Cidr, BitmapFilter)>,
+}
+
+impl MultiNetworkFilter {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a client network with its own filter configuration.
+    ///
+    /// Networks are matched in registration order; register more-specific
+    /// prefixes first if they overlap.
+    pub fn add_network(&mut self, network: Cidr, config: BitmapFilterConfig) -> &mut Self {
+        self.networks.push((network, BitmapFilter::new(config)));
+        self
+    }
+
+    /// Number of registered networks.
+    pub fn len(&self) -> usize {
+        self.networks.len()
+    }
+
+    /// `true` when no networks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.networks.is_empty()
+    }
+
+    /// The network a source/destination address belongs to, if any.
+    fn network_of(&self, addr: std::net::Ipv4Addr) -> Option<usize> {
+        self.networks.iter().position(|(net, _)| net.contains(addr))
+    }
+
+    /// Processes one packet at the aggregation point.
+    ///
+    /// * Source inside a monitored network → outbound for that network:
+    ///   mark + measure, always pass (even if the destination is another
+    ///   monitored network — inter-network traffic is client-initiated
+    ///   from somewhere).
+    /// * Otherwise, destination inside a monitored network → inbound for
+    ///   that network: look up + RED-drop.
+    /// * Transit traffic touching no monitored network passes untouched.
+    pub fn process_packet(&mut self, packet: &Packet) -> Verdict {
+        let tuple = packet.tuple();
+        if let Some(i) = self.network_of(*tuple.src().ip()) {
+            let verdict = self.networks[i]
+                .1
+                .process_packet(packet, Direction::Outbound);
+            // If the destination is also monitored, let its filter learn
+            // nothing (the packet is inbound there) but never drop
+            // intra-ISP traffic that a client initiated.
+            debug_assert_eq!(verdict, Verdict::Pass);
+            return verdict;
+        }
+        if let Some(i) = self.network_of(*tuple.dst().ip()) {
+            return self.networks[i]
+                .1
+                .process_packet(packet, Direction::Inbound);
+        }
+        Verdict::Pass // transit
+    }
+
+    /// Applies due rotations on every member filter.
+    pub fn advance(&mut self, now: Timestamp) {
+        for (_, filter) in &mut self.networks {
+            filter.advance(now);
+        }
+    }
+
+    /// Per-network statistics, in registration order.
+    pub fn stats(&self) -> Vec<(Cidr, FilterStats)> {
+        self.networks
+            .iter()
+            .map(|(net, f)| (*net, f.stats()))
+            .collect()
+    }
+
+    /// Total bitmap memory across all networks.
+    pub fn memory_bytes(&self) -> usize {
+        self.networks.iter().map(|(_, f)| f.memory_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upbound_net::{FiveTuple, Protocol, TcpFlags};
+
+    fn pkt(src: &str, dst: &str, t: f64) -> Packet {
+        Packet::tcp(
+            Timestamp::from_secs(t),
+            FiveTuple::new(Protocol::Tcp, src.parse().unwrap(), dst.parse().unwrap()),
+            TcpFlags::ACK,
+            &[][..],
+        )
+    }
+
+    fn bank() -> MultiNetworkFilter {
+        let mut bank = MultiNetworkFilter::new();
+        bank.add_network(
+            "10.1.0.0/16".parse().unwrap(),
+            BitmapFilterConfig::paper_evaluation(),
+        );
+        bank.add_network(
+            "10.2.0.0/16".parse().unwrap(),
+            BitmapFilterConfig::paper_evaluation(),
+        );
+        bank
+    }
+
+    #[test]
+    fn each_network_has_independent_state() {
+        let mut bank = bank();
+        // Client in network 1 talks out.
+        bank.process_packet(&pkt("10.1.0.5:4000", "198.51.100.9:80", 1.0));
+        // The response is admitted in network 1 …
+        assert_eq!(
+            bank.process_packet(&pkt("198.51.100.9:80", "10.1.0.5:4000", 1.1)),
+            Verdict::Pass
+        );
+        // … but the same remote hitting network 2 is unsolicited.
+        assert_eq!(
+            bank.process_packet(&pkt("198.51.100.9:80", "10.2.0.5:4000", 1.2)),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn inter_network_traffic_is_never_dropped() {
+        let mut bank = bank();
+        assert_eq!(
+            bank.process_packet(&pkt("10.1.0.5:4000", "10.2.0.7:6881", 1.0)),
+            Verdict::Pass
+        );
+    }
+
+    #[test]
+    fn transit_traffic_passes_untouched() {
+        let mut bank = bank();
+        assert_eq!(
+            bank.process_packet(&pkt("192.0.2.1:80", "198.51.100.2:81", 1.0)),
+            Verdict::Pass
+        );
+        let stats = bank.stats();
+        assert!(stats
+            .iter()
+            .all(|(_, s)| s.inbound_packets == 0 && s.outbound_packets == 0));
+    }
+
+    #[test]
+    fn stats_and_memory_aggregate() {
+        let mut bank = bank();
+        bank.process_packet(&pkt("10.1.0.5:4000", "198.51.100.9:80", 1.0));
+        bank.process_packet(&pkt("198.51.100.9:80", "10.2.0.5:4000", 1.0));
+        let stats = bank.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].1.outbound_packets, 1);
+        assert_eq!(stats[1].1.inbound_packets, 1);
+        assert_eq!(bank.memory_bytes(), 2 * 512 * 1024);
+        assert_eq!(bank.len(), 2);
+        assert!(!bank.is_empty());
+    }
+
+    #[test]
+    fn advance_rotates_every_member() {
+        let mut bank = bank();
+        bank.advance(Timestamp::from_secs(12.0));
+        for (_, s) in bank.stats() {
+            assert_eq!(s.rotations, 2);
+        }
+    }
+
+    #[test]
+    fn empty_bank_passes_everything() {
+        let mut bank = MultiNetworkFilter::new();
+        assert!(bank.is_empty());
+        assert_eq!(
+            bank.process_packet(&pkt("1.2.3.4:1", "5.6.7.8:2", 0.0)),
+            Verdict::Pass
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Parameter analysis of the paper's §5.1: penetration probability,
+//! optimal hash count, and capacity bounds.
+//!
+//! With `c` active connections in one expiry window, `m` hash functions,
+//! and vectors of `N` bits:
+//!
+//! * Eq. 2: `p = U^m` where `U = b/N` is the current-vector utilization;
+//! * Eq. 3: `p ≈ (c·m/N)^m` assuming few hash collisions at low load;
+//! * Eq. 5: `m* = N/(e·c)` minimizes Eq. 3;
+//! * Eq. 6: at `m*`, reaching penetration `p` requires
+//!   `c/N ≤ −1/(e·ln p)`.
+//!
+//! The worked example of §5.1: `N = 2^20`, `k = 4`, `Δt = 5 s`,
+//! `T_e = 20 s` — penetration targets 10%, 5%, 1% admit at most ≈167 K,
+//! ≈125 K, ≈83 K active connections, far above the trace's ~15 K; `m = 3`
+//! and memory is 512 KiB.
+
+use std::f64::consts::E;
+
+/// Approximate penetration probability of Eq. 3: `(c·m/N)^m`.
+///
+/// Values above 1 are clamped to 1 (the approximation breaks down once
+/// `c·m > N`, where the filter is saturated anyway).
+///
+/// # Examples
+///
+/// ```
+/// use upbound_core::params::penetration_probability;
+///
+/// let p = penetration_probability(15_000.0, 1 << 20, 3);
+/// assert!(p < 0.001); // the paper's trace load barely dents a 2^20 bitmap
+/// ```
+pub fn penetration_probability(connections: f64, vector_bits_n: usize, m: usize) -> f64 {
+    assert!(connections >= 0.0, "connection count must be >= 0");
+    assert!(vector_bits_n > 0 && m > 0, "N and m must be positive");
+    ((connections * m as f64) / vector_bits_n as f64)
+        .powi(m as i32)
+        .min(1.0)
+}
+
+/// Exact Bloom false-positive probability
+/// `(1 − (1 − 1/N)^(c·m))^m` for comparison with the approximation.
+pub fn exact_false_positive(connections: f64, vector_bits_n: usize, m: usize) -> f64 {
+    assert!(connections >= 0.0, "connection count must be >= 0");
+    assert!(vector_bits_n > 0 && m > 0, "N and m must be positive");
+    let n = vector_bits_n as f64;
+    (1.0 - (1.0 - 1.0 / n).powf(connections * m as f64)).powi(m as i32)
+}
+
+/// The real-valued optimal hash count of Eq. 5: `m* = N/(e·c)`.
+///
+/// Round to a positive integer for deployment (and clamp to ≥ 1).
+///
+/// # Panics
+///
+/// Panics if `connections <= 0`.
+pub fn optimal_hash_count(connections: f64, vector_bits_n: usize) -> f64 {
+    assert!(connections > 0.0, "need a positive connection count");
+    vector_bits_n as f64 / (E * connections)
+}
+
+/// The capacity bound of Eq. 6: the maximum number of active connections
+/// `c` (within one expiry window) for which penetration probability `p`
+/// is achievable at the optimal `m`: `c ≤ −N/(e·ln p)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn max_connections(p: f64, vector_bits_n: usize) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "penetration target must be in (0,1)");
+    -(vector_bits_n as f64) / (E * p.ln())
+}
+
+/// Expected false-negative bound from the out-in-delay distribution:
+/// the fraction of legitimate inbound packets arriving more than `T_e`
+/// after their outbound packet. The paper measures 99% of delays under
+/// 2.8 s, so any `T_e ≥ 3.61 s` keeps false negatives below 1% (§5.1).
+///
+/// Given an empirical delay CDF evaluated at `t_e_secs` (fraction of
+/// delays ≤ `T_e`), the false-negative rate is simply its complement.
+pub fn false_negative_rate(cdf_at_te: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&cdf_at_te),
+        "CDF value must be in [0,1]"
+    );
+    1.0 - cdf_at_te
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N20: usize = 1 << 20;
+
+    #[test]
+    fn paper_worked_example_capacities() {
+        // §5.1: p = 10%, 5%, 1% → c ≤ ~167K, ~125K, ~83K for N = 2^20.
+        let c10 = max_connections(0.10, N20);
+        let c05 = max_connections(0.05, N20);
+        let c01 = max_connections(0.01, N20);
+        assert!((c10 / 1000.0 - 167.0).abs() < 1.0, "c10 = {c10}");
+        assert!((c05 / 1000.0 - 128.0).abs() < 4.0, "c05 = {c05}");
+        assert!((c01 / 1000.0 - 83.0).abs() < 1.0, "c01 = {c01}");
+    }
+
+    #[test]
+    fn optimal_m_for_paper_trace_is_small() {
+        // ~15K active connections in a T_e window, N = 2^20:
+        // m* = 2^20/(e·15000) ≈ 25.7 — but at the *capacity* loads the
+        // paper sizes for (~125K), m* ≈ 3, matching the paper's choice.
+        let m_at_capacity = optimal_hash_count(125_000.0, N20);
+        assert!((m_at_capacity - 3.0).abs() < 0.2, "m* = {m_at_capacity}");
+    }
+
+    #[test]
+    fn penetration_is_monotone_in_connections() {
+        let mut prev = 0.0;
+        for c in [0.0, 1_000.0, 10_000.0, 100_000.0, 300_000.0] {
+            let p = penetration_probability(c, N20, 3);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn penetration_clamps_to_one() {
+        assert_eq!(penetration_probability(1e9, 1024, 4), 1.0);
+    }
+
+    #[test]
+    fn approximation_tracks_exact_formula_at_low_load() {
+        for &c in &[1_000.0, 5_000.0, 15_000.0] {
+            let approx = penetration_probability(c, N20, 3);
+            let exact = exact_false_positive(c, N20, 3);
+            // Eq. 3 ignores hash collisions, so it slightly overestimates;
+            // at these loads the two agree to within ~10%.
+            let rel = (approx - exact).abs() / exact.max(1e-300);
+            assert!(rel < 0.10, "c={c}: approx {approx:e} vs exact {exact:e}");
+            assert!(approx >= exact, "approximation should be an upper bound");
+        }
+    }
+
+    #[test]
+    fn optimal_m_minimizes_penetration() {
+        let c = 100_000.0;
+        let m_star = optimal_hash_count(c, N20).round() as usize;
+        let p_star = penetration_probability(c, N20, m_star);
+        for m in [m_star.saturating_sub(1).max(1), m_star + 1] {
+            if m != m_star {
+                assert!(
+                    penetration_probability(c, N20, m) >= p_star,
+                    "m={m} beats m*={m_star}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_bound_is_consistent_with_penetration() {
+        // At c = max_connections(p), using the optimal m, the achieved
+        // penetration equals p (within rounding of m to a real number).
+        let p_target = 0.05;
+        let c = max_connections(p_target, N20);
+        let m = optimal_hash_count(c, N20);
+        let achieved = ((c * m) / N20 as f64).powf(m);
+        assert!((achieved - p_target).abs() / p_target < 0.02);
+    }
+
+    #[test]
+    fn false_negative_matches_paper_bound() {
+        // 99% of delays under the expiry timer → <1% false negatives.
+        assert!((false_negative_rate(0.99) - 0.01).abs() < 1e-12);
+        assert_eq!(false_negative_rate(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "penetration target must be in (0,1)")]
+    fn capacity_rejects_bad_target() {
+        let _ = max_connections(1.5, N20);
+    }
+}

@@ -1,0 +1,140 @@
+//! RED-style drop probability (paper Equation 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Maps the measured uplink throughput `b` to the conditional drop
+/// probability `P_d` of unsolicited inbound packets, in the style of
+/// Random Early Detection (Floyd & Jacobson):
+///
+/// ```text
+///        ⎧ 0                 if b ≤ L
+/// P_d =  ⎨ (b − L)/(H − L)   if L < b < H
+///        ⎩ 1                 if b ≥ H
+/// ```
+///
+/// `L` and `H` are throughput thresholds in bits per second. The paper's
+/// Figure 9 evaluation uses `L = 50 Mbps`, `H = 100 Mbps`.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_core::DropPolicy;
+///
+/// let policy = DropPolicy::new(50e6, 100e6)?;
+/// assert_eq!(policy.drop_probability(10e6), 0.0);
+/// assert_eq!(policy.drop_probability(75e6), 0.5);
+/// assert_eq!(policy.drop_probability(200e6), 1.0);
+/// # Ok::<(), upbound_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DropPolicy {
+    low_bps: f64,
+    high_bps: f64,
+}
+
+impl DropPolicy {
+    /// Creates a policy with lower threshold `low_bps` and upper
+    /// threshold `high_bps` (bits per second).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadThresholds`](crate::ConfigError) unless
+    /// `0 <= low_bps < high_bps` and both are finite.
+    pub fn new(low_bps: f64, high_bps: f64) -> Result<Self, crate::ConfigError> {
+        if !(low_bps.is_finite() && high_bps.is_finite() && 0.0 <= low_bps && low_bps < high_bps) {
+            return Err(crate::ConfigError::BadThresholds { low_bps, high_bps });
+        }
+        Ok(Self { low_bps, high_bps })
+    }
+
+    /// A policy that drops every unknown inbound packet regardless of
+    /// load (`P_d ≡ 1`) — the configuration of the paper's Figure 8
+    /// comparison ("drop all inbound packets without states").
+    pub fn drop_all() -> Self {
+        Self {
+            low_bps: -1.0,
+            high_bps: 0.0,
+        }
+    }
+
+    /// The paper's Figure 9 configuration: `L = 50 Mbps`, `H = 100 Mbps`.
+    pub fn paper_figure9() -> Self {
+        Self {
+            low_bps: 50e6,
+            high_bps: 100e6,
+        }
+    }
+
+    /// Lower threshold `L` in bits per second.
+    pub fn low_bps(&self) -> f64 {
+        self.low_bps
+    }
+
+    /// Upper threshold `H` in bits per second.
+    pub fn high_bps(&self) -> f64 {
+        self.high_bps
+    }
+
+    /// Evaluates Equation 1 for throughput `b` (bits per second).
+    pub fn drop_probability(&self, throughput_bps: f64) -> f64 {
+        if throughput_bps <= self.low_bps {
+            0.0
+        } else if throughput_bps >= self.high_bps {
+            1.0
+        } else {
+            (throughput_bps - self.low_bps) / (self.high_bps - self.low_bps)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_of_equation_one() {
+        let p = DropPolicy::new(50.0, 100.0).unwrap();
+        assert_eq!(p.drop_probability(0.0), 0.0);
+        assert_eq!(p.drop_probability(50.0), 0.0); // b ≤ L
+        assert!((p.drop_probability(60.0) - 0.2).abs() < 1e-12);
+        assert!((p.drop_probability(99.0) - 0.98).abs() < 1e-12);
+        assert_eq!(p.drop_probability(100.0), 1.0); // b ≥ H
+        assert_eq!(p.drop_probability(1e12), 1.0);
+    }
+
+    #[test]
+    fn probability_is_monotone_and_clamped() {
+        let p = DropPolicy::paper_figure9();
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let b = i as f64 * 1e6;
+            let pd = p.drop_probability(b);
+            assert!(pd >= prev);
+            assert!((0.0..=1.0).contains(&pd));
+            prev = pd;
+        }
+    }
+
+    #[test]
+    fn drop_all_always_drops() {
+        let p = DropPolicy::drop_all();
+        assert_eq!(p.drop_probability(0.0), 1.0);
+        assert_eq!(p.drop_probability(1e9), 1.0);
+    }
+
+    #[test]
+    fn invalid_thresholds_rejected() {
+        assert!(DropPolicy::new(100.0, 50.0).is_err());
+        assert!(DropPolicy::new(50.0, 50.0).is_err());
+        assert!(DropPolicy::new(-1.0, 50.0).is_err());
+        assert!(DropPolicy::new(0.0, f64::INFINITY).is_err());
+        assert!(DropPolicy::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn accessors_expose_thresholds() {
+        let p = DropPolicy::paper_figure9();
+        assert_eq!(p.low_bps(), 50e6);
+        assert_eq!(p.high_bps(), 100e6);
+    }
+}

@@ -1,0 +1,163 @@
+//! A thread-safe handle for driving one bitmap filter from several
+//! threads (e.g. per-NIC-queue workers plus a timer thread).
+
+use crate::{BitmapFilter, BitmapFilterConfig, FilterStats, Verdict};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use upbound_net::{Direction, FiveTuple, Packet, Timestamp};
+
+/// A cloneable, `Send + Sync` handle to a [`BitmapFilter`].
+///
+/// All operations take a short critical section under a [`parking_lot`]
+/// mutex; the underlying per-packet work is O(m) bit operations, so
+/// contention stays low even with many worker threads. A deployment
+/// would typically run packet workers calling
+/// [`process_packet`](Self::process_packet) and one timer thread calling
+/// [`advance`](Self::advance) every `Δt`.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_core::{SharedBitmapFilter, BitmapFilterConfig, Verdict};
+/// use upbound_net::{Direction, FiveTuple, Protocol, Packet, TcpFlags, Timestamp};
+///
+/// let shared = SharedBitmapFilter::new(BitmapFilterConfig::paper_evaluation());
+/// let worker = shared.clone();
+///
+/// let conn = FiveTuple::new(
+///     Protocol::Tcp,
+///     "10.0.0.1:9999".parse()?,
+///     "192.0.2.1:80".parse()?,
+/// );
+/// let pkt = Packet::tcp(Timestamp::ZERO, conn, TcpFlags::SYN, &[][..]);
+/// assert_eq!(worker.process_packet(&pkt, Direction::Outbound), Verdict::Pass);
+/// assert_eq!(shared.stats().outbound_packets, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedBitmapFilter {
+    inner: Arc<Mutex<BitmapFilter>>,
+}
+
+impl SharedBitmapFilter {
+    /// Creates a shared filter from a configuration.
+    pub fn new(config: BitmapFilterConfig) -> Self {
+        Self::from_filter(BitmapFilter::new(config))
+    }
+
+    /// Wraps an existing filter.
+    pub fn from_filter(filter: BitmapFilter) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(filter)),
+        }
+    }
+
+    /// See [`BitmapFilter::process_packet`].
+    pub fn process_packet(&self, packet: &Packet, direction: Direction) -> Verdict {
+        self.inner.lock().process_packet(packet, direction)
+    }
+
+    /// See [`BitmapFilter::observe_outbound`].
+    pub fn observe_outbound(&self, tuple: &FiveTuple, now: Timestamp) {
+        self.inner.lock().observe_outbound(tuple, now);
+    }
+
+    /// See [`BitmapFilter::check_inbound`].
+    pub fn check_inbound(&self, tuple: &FiveTuple, now: Timestamp, p_d: f64) -> Verdict {
+        self.inner.lock().check_inbound(tuple, now, p_d)
+    }
+
+    /// See [`BitmapFilter::advance`] — intended for a timer thread.
+    pub fn advance(&self, now: Timestamp) {
+        self.inner.lock().advance(now);
+    }
+
+    /// Snapshot of the running counters.
+    pub fn stats(&self) -> FilterStats {
+        self.inner.lock().stats()
+    }
+
+    /// Memory of the underlying bitmap in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.lock().memory_bytes()
+    }
+
+    /// Runs `f` with exclusive access to the underlying filter.
+    pub fn with<R>(&self, f: impl FnOnce(&mut BitmapFilter) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use upbound_net::Protocol;
+
+    fn shared() -> SharedBitmapFilter {
+        SharedBitmapFilter::new(BitmapFilterConfig::paper_evaluation())
+    }
+
+    fn tuple(host: u8, port: u16) -> FiveTuple {
+        FiveTuple::new(
+            Protocol::Tcp,
+            format!("10.0.0.{host}:{port}").parse().unwrap(),
+            "192.0.2.1:80".parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn handle_is_send_sync_clone() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<SharedBitmapFilter>();
+    }
+
+    #[test]
+    fn concurrent_marks_are_all_visible() {
+        let shared = shared();
+        let threads: Vec<_> = (0..4u8)
+            .map(|h| {
+                let handle = shared.clone();
+                thread::spawn(move || {
+                    for port in 1000..1100u16 {
+                        handle.observe_outbound(&tuple(h, port), Timestamp::ZERO);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(shared.stats().outbound_packets, 400);
+        // Every mark is visible to subsequent inbound checks.
+        for h in 0..4u8 {
+            for port in 1000..1100u16 {
+                assert_eq!(
+                    shared.check_inbound(&tuple(h, port).inverse(), Timestamp::ZERO, 1.0),
+                    Verdict::Pass
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timer_thread_pattern_rotates() {
+        let shared = shared();
+        let timer = shared.clone();
+        let t = thread::spawn(move || {
+            for step in 1..=4u64 {
+                timer.advance(Timestamp::from_secs(step as f64 * 5.0));
+            }
+        });
+        t.join().unwrap();
+        assert_eq!(shared.stats().rotations, 4);
+    }
+
+    #[test]
+    fn with_gives_exclusive_access() {
+        let shared = shared();
+        let mem = shared.with(|f| f.memory_bytes());
+        assert_eq!(mem, 512 * 1024);
+        assert_eq!(shared.memory_bytes(), mem);
+    }
+}

@@ -1,0 +1,176 @@
+//! Windowed uplink-throughput measurement.
+
+use serde::{Deserialize, Serialize};
+use upbound_net::{TimeDelta, Timestamp};
+
+/// Measures throughput over a sliding window of fixed-width slots.
+///
+/// "Computing the P_d requires only the knowledge of current bandwidth
+/// throughput, which is an essential component in off-the-shelf network
+/// devices" (paper §5.2). This monitor is that component: bytes are
+/// recorded per slot; the rate is the byte total over the most recent
+/// full slots divided by the window span. Storage is O(#slots).
+///
+/// # Examples
+///
+/// ```
+/// use upbound_core::ThroughputMonitor;
+/// use upbound_net::{TimeDelta, Timestamp};
+///
+/// let mut mon = ThroughputMonitor::new(TimeDelta::from_secs(1.0), 4);
+/// mon.record(Timestamp::from_secs(0.5), 125_000); // 1 Mbit in slot 0
+/// let rate = mon.rate_bps(Timestamp::from_secs(1.5));
+/// assert!(rate > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputMonitor {
+    slot_width: TimeDelta,
+    /// Ring of byte counters; `slots[i]` holds bytes of absolute slot
+    /// number `slot_base + offset` — tracked via `slot_of` modular index.
+    slots: Vec<u64>,
+    /// Absolute slot number each ring entry currently represents.
+    slot_ids: Vec<u64>,
+    total_bytes: u64,
+}
+
+impl ThroughputMonitor {
+    /// Creates a monitor with `n_slots` slots of `slot_width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_width` is zero or `n_slots == 0`.
+    pub fn new(slot_width: TimeDelta, n_slots: usize) -> Self {
+        assert!(!slot_width.is_zero(), "slot width must be positive");
+        assert!(n_slots > 0, "need at least one slot");
+        Self {
+            slot_width,
+            slots: vec![0; n_slots],
+            slot_ids: vec![u64::MAX; n_slots],
+            total_bytes: 0,
+        }
+    }
+
+    fn slot_number(&self, ts: Timestamp) -> u64 {
+        ts.as_micros() / self.slot_width.as_micros()
+    }
+
+    /// Records `bytes` sent at time `ts`.
+    pub fn record(&mut self, ts: Timestamp, bytes: u64) {
+        let slot = self.slot_number(ts);
+        let idx = (slot % self.slots.len() as u64) as usize;
+        if self.slot_ids[idx] != slot {
+            self.slot_ids[idx] = slot;
+            self.slots[idx] = 0;
+        }
+        self.slots[idx] += bytes;
+        self.total_bytes += bytes;
+    }
+
+    /// The measured throughput in bits per second at time `now`: the sum
+    /// of bytes in the window's still-valid slots (excluding slots that
+    /// have aged out) over the window span.
+    pub fn rate_bps(&self, now: Timestamp) -> f64 {
+        let current = self.slot_number(now);
+        let n = self.slots.len() as u64;
+        let window_bytes: u64 = self
+            .slot_ids
+            .iter()
+            .zip(&self.slots)
+            .filter(|(&id, _)| id != u64::MAX && id + n > current && id <= current)
+            .map(|(_, &b)| b)
+            .sum();
+        let window_secs = self.slot_width.as_secs_f64() * self.slots.len() as f64;
+        (window_bytes as f64 * 8.0) / window_secs
+    }
+
+    /// Total bytes ever recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The window span covered by the monitor.
+    pub fn window(&self) -> TimeDelta {
+        self.slot_width.times(self.slots.len() as u64)
+    }
+
+    /// Clears all recorded history.
+    pub fn reset(&mut self) {
+        self.slots.fill(0);
+        self.slot_ids.fill(u64::MAX);
+        self.total_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> ThroughputMonitor {
+        ThroughputMonitor::new(TimeDelta::from_secs(1.0), 4)
+    }
+
+    #[test]
+    fn rate_reflects_recent_bytes() {
+        let mut m = monitor();
+        // 4 Mbit spread over the window → 1 Mbps over 4 s.
+        for s in 0..4 {
+            m.record(Timestamp::from_secs(s as f64 + 0.5), 125_000);
+        }
+        let rate = m.rate_bps(Timestamp::from_secs(3.9));
+        assert!((rate - 1e6).abs() < 1e-6, "rate {rate}");
+    }
+
+    #[test]
+    fn old_slots_age_out() {
+        let mut m = monitor();
+        m.record(Timestamp::from_secs(0.5), 1_000_000);
+        // Much later, the burst has left the window entirely.
+        assert_eq!(m.rate_bps(Timestamp::from_secs(100.0)), 0.0);
+    }
+
+    #[test]
+    fn slot_reuse_overwrites_stale_counts() {
+        let mut m = monitor();
+        m.record(Timestamp::from_secs(0.5), 1000);
+        // Slot index 0 is reused at t≈4–5 s; stale data must not leak.
+        m.record(Timestamp::from_secs(4.5), 500);
+        let current = m.rate_bps(Timestamp::from_secs(4.6));
+        let expected = 500.0 * 8.0 / 4.0;
+        assert!((current - expected).abs() < 1e-9, "rate {current}");
+    }
+
+    #[test]
+    fn empty_monitor_reports_zero() {
+        let m = monitor();
+        assert_eq!(m.rate_bps(Timestamp::from_secs(10.0)), 0.0);
+        assert_eq!(m.total_bytes(), 0);
+    }
+
+    #[test]
+    fn total_bytes_accumulates() {
+        let mut m = monitor();
+        m.record(Timestamp::from_secs(0.0), 100);
+        m.record(Timestamp::from_secs(9.0), 200);
+        assert_eq!(m.total_bytes(), 300);
+    }
+
+    #[test]
+    fn window_span_is_slots_times_width() {
+        assert_eq!(monitor().window(), TimeDelta::from_secs(4.0));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = monitor();
+        m.record(Timestamp::from_secs(0.5), 1000);
+        m.reset();
+        assert_eq!(m.rate_bps(Timestamp::from_secs(0.6)), 0.0);
+        assert_eq!(m.total_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot width must be positive")]
+    fn zero_slot_width_panics() {
+        let _ = ThroughputMonitor::new(TimeDelta::ZERO, 4);
+    }
+}

@@ -1,0 +1,218 @@
+//! Property tests on the bitmap filter's data structures and math.
+
+use proptest::prelude::*;
+use upbound_core::params::{
+    exact_false_positive, max_connections, optimal_hash_count, penetration_probability,
+};
+use upbound_core::{BitVec, Bitmap, BloomFilter, ThroughputMonitor};
+use upbound_net::{TimeDelta, Timestamp};
+
+proptest! {
+    /// BitVec: set/get/count coherence under arbitrary index sequences.
+    #[test]
+    fn bitvec_set_get_count(
+        len in 1usize..2000,
+        indices in proptest::collection::vec(any::<usize>(), 0..200),
+    ) {
+        let mut v = BitVec::new(len);
+        let mut reference = std::collections::HashSet::new();
+        for raw in indices {
+            let i = raw % len;
+            v.set(i);
+            reference.insert(i);
+        }
+        prop_assert_eq!(v.count_ones(), reference.len());
+        for i in 0..len {
+            prop_assert_eq!(v.get(i), reference.contains(&i));
+        }
+        prop_assert!((v.utilization() - reference.len() as f64 / len as f64).abs() < 1e-12);
+    }
+
+    /// Bloom filter: no false negatives, ever.
+    #[test]
+    fn bloom_no_false_negatives(
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..100),
+        m in 1usize..6,
+    ) {
+        let mut b = BloomFilter::new(12, m);
+        for k in &keys {
+            b.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(b.contains(k));
+        }
+    }
+
+    /// Bitmap: a mark is visible through exactly k−1 subsequent
+    /// rotations and gone after k (with no interleaved re-marks).
+    #[test]
+    fn bitmap_mark_lifetime(
+        key in proptest::collection::vec(any::<u8>(), 1..24),
+        k in 2usize..8,
+        pre_rotations in 0usize..10,
+    ) {
+        let mut bm = Bitmap::new(k, 12, 3);
+        for _ in 0..pre_rotations {
+            bm.rotate(); // phase should not matter
+        }
+        bm.mark(&key);
+        for step in 1..k {
+            bm.rotate();
+            prop_assert!(bm.lookup(&key), "lost after {step} of {k} rotations");
+        }
+        bm.rotate();
+        prop_assert!(!bm.lookup(&key), "survived {k} rotations");
+    }
+
+    /// Bitmap: marks never interfere destructively — adding more keys
+    /// can only add bits, never remove one (monotone utilization).
+    #[test]
+    fn bitmap_marking_is_monotone(
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..50),
+    ) {
+        let mut bm = Bitmap::new(4, 10, 2);
+        let mut prev = 0.0;
+        for key in &keys {
+            bm.mark(key);
+            let u = bm.utilization();
+            prop_assert!(u >= prev);
+            prev = u;
+        }
+        // Everything marked is found (no rotations happened).
+        for key in &keys {
+            prop_assert!(bm.lookup(key));
+        }
+    }
+
+    /// Throughput monitor: the reported rate is always non-negative and
+    /// bounded by total-bytes × 8 / window.
+    #[test]
+    fn monitor_rate_bounds(
+        events in proptest::collection::vec((0u64..60_000_000, 0u64..100_000), 0..100),
+        probe_us in 0u64..90_000_000,
+    ) {
+        let mut mon = ThroughputMonitor::new(TimeDelta::from_secs(1.0), 10);
+        let mut total = 0u64;
+        for (us, bytes) in events {
+            mon.record(Timestamp::from_micros(us), bytes);
+            total += bytes;
+        }
+        let rate = mon.rate_bps(Timestamp::from_micros(probe_us));
+        prop_assert!(rate >= 0.0);
+        prop_assert!(rate <= total as f64 * 8.0 / mon.window().as_secs_f64() + 1e-9);
+        prop_assert_eq!(mon.total_bytes(), total);
+    }
+
+    /// Eq. 3 upper-bounds the exact Bloom probability (they agree at low
+    /// load and the approximation only over-estimates).
+    #[test]
+    fn approximation_upper_bounds_exact(c in 1.0f64..200_000.0, m in 1usize..8) {
+        let n = 1usize << 20;
+        let approx = penetration_probability(c, n, m);
+        let exact = exact_false_positive(c, n, m);
+        prop_assert!(approx >= exact - 1e-12,
+            "approx {approx} < exact {exact} at c={c}, m={m}");
+    }
+
+    /// Eq. 5's optimum really is a minimum of Eq. 3 over integer m.
+    #[test]
+    fn optimal_m_is_a_minimum(c in 1_000.0f64..500_000.0) {
+        let n = 1usize << 20;
+        let m_star = optimal_hash_count(c, n);
+        let m_int = (m_star.round() as usize).max(1);
+        let p_star = penetration_probability(c, n, m_int);
+        for m in [m_int.saturating_sub(2).max(1), m_int.saturating_sub(1).max(1), m_int + 1, m_int + 2] {
+            // Allow tiny slack: the real-valued optimum rounds.
+            prop_assert!(penetration_probability(c, n, m) >= p_star * 0.75,
+                "m={m} wildly beats m*={m_int} at c={c}");
+        }
+    }
+
+    /// Eq. 6 inverts Eq. 5+3: at c = max_connections(p), the achieved
+    /// penetration with the real-valued optimal m equals p.
+    #[test]
+    fn capacity_bound_inverts(p in 0.001f64..0.5) {
+        let n = 1usize << 20;
+        let c = max_connections(p, n);
+        let m = optimal_hash_count(c, n);
+        let achieved = ((c * m) / n as f64).powf(m);
+        prop_assert!((achieved - p).abs() / p < 0.01,
+            "achieved {achieved} vs target {p}");
+    }
+
+    /// Monte-Carlo: measured bitmap penetration stays within noise of the
+    /// exact Bloom prediction (small sizes for test speed).
+    #[test]
+    fn measured_penetration_matches_prediction(seed_keys in 50usize..400) {
+        let n_bits = 12u32;
+        let m = 2usize;
+        let mut bm = Bitmap::new(4, n_bits, m);
+        for i in 0..seed_keys as u64 {
+            bm.mark(&i.to_le_bytes());
+        }
+        let probes = 2_000u64;
+        let hits = (0..probes)
+            .filter(|i| bm.lookup(&(i + 1_000_000).to_le_bytes()))
+            .count() as f64;
+        let measured = hits / probes as f64;
+        let predicted = bm.penetration_probability();
+        // Loose tolerance: binomial noise at 2000 probes.
+        prop_assert!((measured - predicted).abs() < 0.05,
+            "measured {measured} vs predicted {predicted} with {seed_keys} keys");
+    }
+}
+
+mod amortized_equivalence {
+    use super::*;
+    use upbound_core::AmortizedBitmap;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Mark(Vec<u8>),
+        Rotate,
+        Lookup(Vec<u8>),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            proptest::collection::vec(any::<u8>(), 1..12).prop_map(Op::Mark),
+            Just(Op::Rotate),
+            proptest::collection::vec(any::<u8>(), 1..12).prop_map(Op::Lookup),
+        ]
+    }
+
+    proptest! {
+        /// The amortized bitmap is observationally equivalent to the
+        /// plain bitmap under arbitrary mark/rotate/lookup interleavings
+        /// and arbitrary background-clearing chunk sizes.
+        #[test]
+        fn amortized_equals_plain(
+            ops in proptest::collection::vec(arb_op(), 0..120),
+            k in 2usize..6,
+            chunk in 1usize..64,
+        ) {
+            let mut plain = Bitmap::new(k, 8, 2);
+            let mut fast = AmortizedBitmap::with_chunk_words(k, 8, 2, chunk);
+            for op in &ops {
+                match op {
+                    Op::Mark(key) => {
+                        plain.mark(key);
+                        fast.mark(key);
+                    }
+                    Op::Rotate => {
+                        plain.rotate();
+                        fast.rotate();
+                    }
+                    Op::Lookup(key) => {
+                        prop_assert_eq!(
+                            plain.lookup(key),
+                            fast.lookup(key),
+                            "divergence on {:?}",
+                            key
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Simulated microsecond clock.
+//!
+//! Packet traces (and the pcap file format) carry timestamps with
+//! microsecond resolution. [`Timestamp`] is an absolute instant measured
+//! from the trace epoch; [`TimeDelta`] is a non-negative span between two
+//! instants. Both are integer microseconds under the hood so trace replay
+//! is exact and deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Microseconds in one second.
+pub(crate) const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An absolute instant on the simulated trace clock, in integer
+/// microseconds since the trace epoch.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_net::{Timestamp, TimeDelta};
+///
+/// let t = Timestamp::from_secs(1.5);
+/// assert_eq!(t.as_micros(), 1_500_000);
+/// assert_eq!(t + TimeDelta::from_secs(0.5), Timestamp::from_secs(2.0));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The trace epoch (time zero).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from integer microseconds since the epoch.
+    pub const fn from_micros(micros: u64) -> Self {
+        Timestamp(micros)
+    }
+
+    /// Creates a timestamp from (possibly fractional) seconds since the
+    /// epoch, rounding to the nearest microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "timestamp must be >= 0");
+        Timestamp((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// The span from `earlier` to `self`, saturating to zero if `earlier`
+    /// is actually later.
+    pub fn saturating_since(self, earlier: Timestamp) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Splits into whole seconds and leftover microseconds, as stored in a
+    /// pcap record header.
+    pub const fn to_sec_usec(self) -> (u32, u32) {
+        (
+            (self.0 / MICROS_PER_SEC) as u32,
+            (self.0 % MICROS_PER_SEC) as u32,
+        )
+    }
+
+    /// Rebuilds a timestamp from pcap-style seconds + microseconds fields.
+    pub const fn from_sec_usec(sec: u32, usec: u32) -> Self {
+        Timestamp(sec as u64 * MICROS_PER_SEC + usec as u64)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for Timestamp {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = TimeDelta;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Timestamp::saturating_since`] when ordering is uncertain.
+    fn sub(self, rhs: Timestamp) -> TimeDelta {
+        debug_assert!(self.0 >= rhs.0, "timestamp subtraction went negative");
+        TimeDelta(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// A non-negative span of simulated time, in integer microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_net::TimeDelta;
+///
+/// let d = TimeDelta::from_secs(2.5);
+/// assert_eq!(d.as_micros(), 2_500_000);
+/// assert!(d > TimeDelta::from_millis(2400));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimeDelta(u64);
+
+impl TimeDelta {
+    /// The zero-length span.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Creates a span from integer microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        TimeDelta(micros)
+    }
+
+    /// Creates a span from integer milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        TimeDelta(millis * 1_000)
+    }
+
+    /// Creates a span from (possibly fractional) seconds, rounding to the
+    /// nearest microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "delta must be >= 0");
+        TimeDelta((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// The span in integer microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The span in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Multiplies the span by an integer factor.
+    pub const fn times(self, n: u64) -> TimeDelta {
+        TimeDelta(self.0 * n)
+    }
+
+    /// `true` for the zero-length span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_round_trip() {
+        let t = Timestamp::from_secs(12.345678);
+        assert_eq!(t.as_micros(), 12_345_678);
+        assert!((t.as_secs_f64() - 12.345678).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        let t0 = Timestamp::from_secs(1.0);
+        let t1 = t0 + TimeDelta::from_secs(2.0);
+        assert_eq!(t1, Timestamp::from_secs(3.0));
+        assert_eq!(t1 - t0, TimeDelta::from_secs(2.0));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = Timestamp::from_secs(1.0);
+        let late = Timestamp::from_secs(5.0);
+        assert_eq!(early.saturating_since(late), TimeDelta::ZERO);
+        assert_eq!(late.saturating_since(early), TimeDelta::from_secs(4.0));
+    }
+
+    #[test]
+    fn sec_usec_round_trip() {
+        let t = Timestamp::from_micros(7_000_123);
+        let (s, us) = t.to_sec_usec();
+        assert_eq!((s, us), (7, 123));
+        assert_eq!(Timestamp::from_sec_usec(s, us), t);
+    }
+
+    #[test]
+    fn delta_constructors_agree() {
+        assert_eq!(TimeDelta::from_millis(1500), TimeDelta::from_secs(1.5));
+        assert_eq!(TimeDelta::from_micros(250), TimeDelta::from_secs(0.00025));
+    }
+
+    #[test]
+    fn delta_times_scales() {
+        assert_eq!(
+            TimeDelta::from_secs(5.0).times(4),
+            TimeDelta::from_secs(20.0)
+        );
+        assert!(TimeDelta::ZERO.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp must be >= 0")]
+    fn negative_timestamp_panics() {
+        let _ = Timestamp::from_secs(-1.0);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(Timestamp::from_secs(1.0) < Timestamp::from_secs(2.0));
+        let mut add = Timestamp::from_secs(1.0);
+        add += TimeDelta::from_secs(1.5);
+        assert_eq!(add, Timestamp::from_secs(2.5));
+    }
+
+    #[test]
+    fn display_renders_seconds() {
+        assert_eq!(format!("{}", Timestamp::from_secs(1.5)), "1.500000s");
+        assert_eq!(format!("{}", TimeDelta::from_millis(250)), "0.250000s");
+    }
+}

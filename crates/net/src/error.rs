@@ -1,0 +1,115 @@
+//! Error type shared by the wire codec and the pcap reader/writer.
+
+use std::fmt;
+
+/// Errors produced while encoding, decoding, or (de)serializing packets
+/// and traces.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The byte buffer ended before a complete header or payload.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+        /// How many bytes were needed.
+        needed: usize,
+        /// How many bytes were available.
+        available: usize,
+    },
+    /// A header field held a value the codec cannot represent.
+    InvalidField {
+        /// Which field was invalid.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// An IPv4/TCP/UDP checksum did not verify.
+    ///
+    /// The paper's analyzer explicitly skips packets with bad checksums;
+    /// surfacing this as a distinct variant lets callers do the same.
+    BadChecksum {
+        /// Which protocol layer failed.
+        layer: &'static str,
+    },
+    /// A pcap file did not start with a recognized magic number.
+    BadMagic(u32),
+    /// The packet uses a protocol the substrate does not model.
+    UnsupportedProtocol(u8),
+    /// An underlying I/O error from reading or writing a trace file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {context}: needed {needed} bytes, had {available}"
+            ),
+            NetError::InvalidField { field, value } => {
+                write!(f, "invalid value {value} for field {field}")
+            }
+            NetError::BadChecksum { layer } => write!(f, "{layer} checksum mismatch"),
+            NetError::BadMagic(magic) => write!(f, "unrecognized pcap magic {magic:#010x}"),
+            NetError::UnsupportedProtocol(p) => write!(f, "unsupported IP protocol {p}"),
+            NetError::Io(e) => write!(f, "trace I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NetError::Truncated {
+            context: "IPv4 header",
+            needed: 20,
+            available: 7,
+        };
+        assert_eq!(
+            format!("{e}"),
+            "truncated IPv4 header: needed 20 bytes, had 7"
+        );
+
+        let e = NetError::BadMagic(0xdeadbeef);
+        assert!(format!("{e}").contains("0xdeadbeef"));
+
+        let e = NetError::BadChecksum { layer: "TCP" };
+        assert_eq!(format!("{e}"), "TCP checksum mismatch");
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: NetError = io.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+}

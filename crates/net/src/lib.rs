@@ -1,0 +1,58 @@
+//! Packet and network substrate for the `upbound` reproduction.
+//!
+//! The DSN 2007 paper operates on packet traces collected at the edge of a
+//! campus client network. This crate rebuilds that entire substrate from
+//! scratch:
+//!
+//! * [`Timestamp`] / [`TimeDelta`] — a simulated microsecond clock.
+//! * [`Protocol`], [`FiveTuple`], [`FilterKey`] — socket pairs, their
+//!   inverses, and the hash keys the bitmap filter derives from them
+//!   (including the hole-punching variant that omits the remote port).
+//! * [`TcpFlags`], [`TcpConnState`] — TCP control flags and a lifetime
+//!   state machine (SYN → established → FIN/RST) used by the analyzer.
+//! * [`Packet`], [`Direction`], [`Cidr`] — trace records and the
+//!   inside/outside classification relative to the client network.
+//! * [`wire`] — Ethernet II / IPv4 / TCP / UDP header encoding and
+//!   decoding with real Internet checksums.
+//! * [`pcap`] — a from-scratch reader/writer for the classic libpcap file
+//!   format (both endiannesses, snaplen truncation), standing in for the
+//!   paper's tcpdump capture stage.
+//!
+//! # Examples
+//!
+//! ```
+//! use upbound_net::{FiveTuple, Protocol, Cidr, Direction};
+//!
+//! let net: Cidr = "10.0.0.0/8".parse()?;
+//! let t = FiveTuple::new(
+//!     Protocol::Tcp,
+//!     "10.1.2.3:45000".parse()?,
+//!     "198.51.100.7:6881".parse()?,
+//! );
+//! assert_eq!(net.direction_of(&t), Direction::Outbound);
+//! assert_eq!(t.inverse().inverse(), t);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod clock;
+mod error;
+mod merge;
+mod packet;
+pub mod pcap;
+mod protocol;
+mod subnet;
+mod tcp;
+mod tuple;
+pub mod wire;
+
+pub use clock::{TimeDelta, Timestamp};
+pub use error::NetError;
+pub use merge::{merge_sorted, MergeSorted};
+pub use packet::{Direction, Packet};
+pub use protocol::Protocol;
+pub use subnet::Cidr;
+pub use tcp::{TcpConnState, TcpFlags};
+pub use tuple::{FilterKey, FiveTuple};

@@ -1,0 +1,282 @@
+//! Trace packet records.
+
+use crate::{FiveTuple, Protocol, TcpFlags, Timestamp};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which way a packet crosses the client-network boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Sent *from* the client network toward the Internet (upload).
+    Outbound,
+    /// Received *by* the client network from the Internet (download).
+    Inbound,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::Outbound => Direction::Inbound,
+            Direction::Inbound => Direction::Outbound,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Outbound => write!(f, "outbound"),
+            Direction::Inbound => write!(f, "inbound"),
+        }
+    }
+}
+
+/// One packet of a trace: timestamp, five-tuple, TCP flags (if TCP), the
+/// application payload, and the original on-the-wire length.
+///
+/// `wire_len` is what throughput accounting uses; it includes all headers
+/// (Ethernet + IP + transport), so it can exceed `payload.len()` even for
+/// header-only (payload-stripped) traces, exactly like the paper's stage-3
+/// traces that keep "the original traffic patterns" while storing only
+/// layers 2–4.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_net::{Packet, FiveTuple, Protocol, TcpFlags, Timestamp};
+///
+/// let t = FiveTuple::new(
+///     Protocol::Tcp,
+///     "10.0.0.1:5000".parse()?,
+///     "192.0.2.1:80".parse()?,
+/// );
+/// let syn = Packet::tcp(Timestamp::ZERO, t, TcpFlags::SYN, &[][..]);
+/// assert!(syn.is_tcp_syn());
+/// assert_eq!(syn.wire_len(), 54); // Ethernet 14 + IPv4 20 + TCP 20
+/// # Ok::<(), std::net::AddrParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    ts: Timestamp,
+    tuple: FiveTuple,
+    tcp_flags: Option<TcpFlags>,
+    #[serde(with = "serde_bytes_compat")]
+    payload: Bytes,
+    wire_len: u32,
+}
+
+/// Ethernet II header length.
+pub(crate) const ETH_HDR_LEN: usize = 14;
+/// Minimal IPv4 header length (no options).
+pub(crate) const IPV4_HDR_LEN: usize = 20;
+/// Minimal TCP header length (no options).
+pub(crate) const TCP_HDR_LEN: usize = 20;
+/// UDP header length.
+pub(crate) const UDP_HDR_LEN: usize = 8;
+
+mod serde_bytes_compat {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+impl Packet {
+    /// Creates a TCP packet; `wire_len` is computed from the headers plus
+    /// the payload length.
+    pub fn tcp(
+        ts: Timestamp,
+        tuple: FiveTuple,
+        flags: TcpFlags,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        debug_assert_eq!(tuple.protocol(), Protocol::Tcp);
+        let payload = payload.into();
+        let wire_len = (ETH_HDR_LEN + IPV4_HDR_LEN + TCP_HDR_LEN + payload.len()) as u32;
+        Self {
+            ts,
+            tuple,
+            tcp_flags: Some(flags),
+            payload,
+            wire_len,
+        }
+    }
+
+    /// Creates a UDP packet; `wire_len` is computed from the headers plus
+    /// the payload length.
+    pub fn udp(ts: Timestamp, tuple: FiveTuple, payload: impl Into<Bytes>) -> Self {
+        debug_assert_eq!(tuple.protocol(), Protocol::Udp);
+        let payload = payload.into();
+        let wire_len = (ETH_HDR_LEN + IPV4_HDR_LEN + UDP_HDR_LEN + payload.len()) as u32;
+        Self {
+            ts,
+            tuple,
+            tcp_flags: None,
+            payload,
+            wire_len,
+        }
+    }
+
+    /// Creates a packet with an explicit wire length, e.g. when decoding a
+    /// snaplen-truncated capture whose original length exceeded the
+    /// captured bytes.
+    pub fn with_wire_len(mut self, wire_len: u32) -> Self {
+        self.wire_len = wire_len;
+        self
+    }
+
+    /// Capture timestamp.
+    pub const fn ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// The five-tuple as it appears on the wire (src = sender).
+    pub const fn tuple(&self) -> FiveTuple {
+        self.tuple
+    }
+
+    /// Transport protocol.
+    pub const fn protocol(&self) -> Protocol {
+        self.tuple.protocol()
+    }
+
+    /// TCP flags, `None` for UDP.
+    pub const fn tcp_flags(&self) -> Option<TcpFlags> {
+        self.tcp_flags
+    }
+
+    /// Application payload bytes (possibly empty or stripped).
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// Original on-the-wire length in bytes, headers included.
+    pub const fn wire_len(&self) -> u32 {
+        self.wire_len
+    }
+
+    /// On-the-wire length in bits (for Mbps accounting).
+    pub const fn wire_bits(&self) -> u64 {
+        self.wire_len as u64 * 8
+    }
+
+    /// `true` for a connection-opening TCP SYN (SYN without ACK).
+    pub fn is_tcp_syn(&self) -> bool {
+        self.tcp_flags.is_some_and(TcpFlags::is_initial_syn)
+    }
+
+    /// Returns a copy with the payload removed but `wire_len` preserved —
+    /// the paper's header-only trace transformation.
+    pub fn strip_payload(&self) -> Packet {
+        Packet {
+            ts: self.ts,
+            tuple: self.tuple,
+            tcp_flags: self.tcp_flags,
+            payload: Bytes::new(),
+            wire_len: self.wire_len,
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} len={}", self.ts, self.tuple, self.wire_len)?;
+        if let Some(flags) = self.tcp_flags {
+            write!(f, " flags={flags}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp_tuple() -> FiveTuple {
+        FiveTuple::new(
+            Protocol::Tcp,
+            "10.0.0.1:5000".parse().unwrap(),
+            "192.0.2.1:80".parse().unwrap(),
+        )
+    }
+
+    fn udp_tuple() -> FiveTuple {
+        FiveTuple::new(
+            Protocol::Udp,
+            "10.0.0.1:5000".parse().unwrap(),
+            "192.0.2.1:53".parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn tcp_wire_len_includes_headers() {
+        let p = Packet::tcp(Timestamp::ZERO, tcp_tuple(), TcpFlags::ACK, &b"hello"[..]);
+        assert_eq!(p.wire_len(), 54 + 5);
+        assert_eq!(p.wire_bits(), (54 + 5) * 8);
+    }
+
+    #[test]
+    fn udp_wire_len_includes_headers() {
+        let p = Packet::udp(Timestamp::ZERO, udp_tuple(), &b"q"[..]);
+        assert_eq!(p.wire_len(), 14 + 20 + 8 + 1);
+        assert_eq!(p.tcp_flags(), None);
+    }
+
+    #[test]
+    fn syn_detection_requires_no_ack() {
+        let syn = Packet::tcp(Timestamp::ZERO, tcp_tuple(), TcpFlags::SYN, &[][..]);
+        let synack = Packet::tcp(
+            Timestamp::ZERO,
+            tcp_tuple(),
+            TcpFlags::SYN | TcpFlags::ACK,
+            &[][..],
+        );
+        assert!(syn.is_tcp_syn());
+        assert!(!synack.is_tcp_syn());
+        let udp = Packet::udp(Timestamp::ZERO, udp_tuple(), &[][..]);
+        assert!(!udp.is_tcp_syn());
+    }
+
+    #[test]
+    fn strip_payload_preserves_wire_len() {
+        let p = Packet::tcp(Timestamp::ZERO, tcp_tuple(), TcpFlags::PSH, vec![0u8; 1000]);
+        let stripped = p.strip_payload();
+        assert!(stripped.payload().is_empty());
+        assert_eq!(stripped.wire_len(), p.wire_len());
+        assert_eq!(stripped.tuple(), p.tuple());
+    }
+
+    #[test]
+    fn with_wire_len_overrides() {
+        let p =
+            Packet::tcp(Timestamp::ZERO, tcp_tuple(), TcpFlags::ACK, &[][..]).with_wire_len(1514);
+        assert_eq!(p.wire_len(), 1514);
+    }
+
+    #[test]
+    fn direction_opposite_flips() {
+        assert_eq!(Direction::Inbound.opposite(), Direction::Outbound);
+        assert_eq!(Direction::Outbound.opposite(), Direction::Inbound);
+        assert_eq!(Direction::Inbound.to_string(), "inbound");
+    }
+
+    #[test]
+    fn display_contains_flags_for_tcp() {
+        let p = Packet::tcp(
+            Timestamp::from_secs(1.0),
+            tcp_tuple(),
+            TcpFlags::SYN,
+            &[][..],
+        );
+        assert!(p.to_string().contains("flags=S"));
+    }
+}

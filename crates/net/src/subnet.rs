@@ -1,0 +1,216 @@
+//! IPv4 CIDR prefixes and inbound/outbound classification.
+
+use crate::{Direction, FiveTuple};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 CIDR prefix describing the client network monitored by a filter.
+///
+/// "The traffic sent to the campus network is inbound traffic while traffic
+/// in the other direction is outbound traffic" (paper Fig. 1). Direction is
+/// therefore defined by whether the *source* of a packet lies inside this
+/// prefix.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_net::Cidr;
+///
+/// let net: Cidr = "192.168.0.0/16".parse()?;
+/// assert!(net.contains("192.168.3.4".parse()?));
+/// assert!(!net.contains("10.0.0.1".parse()?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cidr {
+    base: Ipv4Addr,
+    prefix_len: u8,
+}
+
+impl Cidr {
+    /// Creates a prefix from a base address and prefix length, normalizing
+    /// host bits to zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if `prefix_len > 32`.
+    pub fn new(base: Ipv4Addr, prefix_len: u8) -> Result<Self, ParseCidrError> {
+        if prefix_len > 32 {
+            return Err(ParseCidrError::PrefixTooLong(prefix_len));
+        }
+        let masked = u32::from(base) & Self::mask_bits(prefix_len);
+        Ok(Self {
+            base: Ipv4Addr::from(masked),
+            prefix_len,
+        })
+    }
+
+    fn mask_bits(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len as u32)
+        }
+    }
+
+    /// The (normalized) network base address.
+    pub const fn base(self) -> Ipv4Addr {
+        self.base
+    }
+
+    /// The prefix length in bits.
+    pub const fn prefix_len(self) -> u8 {
+        self.prefix_len
+    }
+
+    /// `true` when `addr` lies inside this prefix.
+    pub fn contains(self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask_bits(self.prefix_len) == u32::from(self.base)
+    }
+
+    /// Classifies a packet's five-tuple relative to this client network:
+    /// [`Direction::Outbound`] when the source is inside,
+    /// [`Direction::Inbound`] otherwise.
+    pub fn direction_of(self, tuple: &FiveTuple) -> Direction {
+        if self.contains(*tuple.src().ip()) {
+            Direction::Outbound
+        } else {
+            Direction::Inbound
+        }
+    }
+
+    /// Number of addresses covered by the prefix.
+    pub fn size(self) -> u64 {
+        1u64 << (32 - self.prefix_len as u32)
+    }
+
+    /// The `i`-th host address inside the prefix (0-based, wrapping within
+    /// the prefix). Useful for deterministic synthetic host assignment.
+    pub fn host(self, i: u64) -> Ipv4Addr {
+        let offset = (i % self.size()) as u32;
+        Ipv4Addr::from(u32::from(self.base).wrapping_add(offset))
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.base, self.prefix_len)
+    }
+}
+
+/// Error parsing a CIDR string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseCidrError {
+    /// Missing the `/` separator.
+    MissingSlash,
+    /// The address part failed to parse.
+    BadAddress,
+    /// The prefix-length part failed to parse.
+    BadPrefix,
+    /// Prefix length exceeded 32.
+    PrefixTooLong(u8),
+}
+
+impl fmt::Display for ParseCidrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCidrError::MissingSlash => write!(f, "missing '/' in CIDR"),
+            ParseCidrError::BadAddress => write!(f, "invalid IPv4 address in CIDR"),
+            ParseCidrError::BadPrefix => write!(f, "invalid prefix length in CIDR"),
+            ParseCidrError::PrefixTooLong(n) => write!(f, "prefix length {n} exceeds 32"),
+        }
+    }
+}
+
+impl std::error::Error for ParseCidrError {}
+
+impl FromStr for Cidr {
+    type Err = ParseCidrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or(ParseCidrError::MissingSlash)?;
+        let base: Ipv4Addr = addr.parse().map_err(|_| ParseCidrError::BadAddress)?;
+        let prefix_len: u8 = len.parse().map_err(|_| ParseCidrError::BadPrefix)?;
+        Cidr::new(base, prefix_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Protocol;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let c: Cidr = "172.16.0.0/12".parse().unwrap();
+        assert_eq!(c.to_string(), "172.16.0.0/12");
+        assert_eq!(c.prefix_len(), 12);
+    }
+
+    #[test]
+    fn host_bits_are_normalized() {
+        let c: Cidr = "10.1.2.3/8".parse().unwrap();
+        assert_eq!(c.base(), Ipv4Addr::new(10, 0, 0, 0));
+    }
+
+    #[test]
+    fn containment_at_boundaries() {
+        let c: Cidr = "192.168.4.0/24".parse().unwrap();
+        assert!(c.contains(Ipv4Addr::new(192, 168, 4, 0)));
+        assert!(c.contains(Ipv4Addr::new(192, 168, 4, 255)));
+        assert!(!c.contains(Ipv4Addr::new(192, 168, 5, 0)));
+        assert!(!c.contains(Ipv4Addr::new(192, 168, 3, 255)));
+    }
+
+    #[test]
+    fn zero_prefix_contains_everything() {
+        let c: Cidr = "0.0.0.0/0".parse().unwrap();
+        assert!(c.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert_eq!(c.size(), 1 << 32);
+    }
+
+    #[test]
+    fn slash_32_contains_only_itself() {
+        let c: Cidr = "8.8.8.8/32".parse().unwrap();
+        assert!(c.contains(Ipv4Addr::new(8, 8, 8, 8)));
+        assert!(!c.contains(Ipv4Addr::new(8, 8, 8, 9)));
+        assert_eq!(c.size(), 1);
+    }
+
+    #[test]
+    fn parse_errors_are_specific() {
+        assert_eq!(
+            "10.0.0.0".parse::<Cidr>(),
+            Err(ParseCidrError::MissingSlash)
+        );
+        assert_eq!("bogus/8".parse::<Cidr>(), Err(ParseCidrError::BadAddress));
+        assert_eq!("10.0.0.0/x".parse::<Cidr>(), Err(ParseCidrError::BadPrefix));
+        assert_eq!(
+            "10.0.0.0/33".parse::<Cidr>(),
+            Err(ParseCidrError::PrefixTooLong(33))
+        );
+    }
+
+    #[test]
+    fn direction_follows_source_address() {
+        let c: Cidr = "10.0.0.0/8".parse().unwrap();
+        let out = FiveTuple::new(
+            Protocol::Tcp,
+            "10.0.0.1:5000".parse().unwrap(),
+            "192.0.2.1:80".parse().unwrap(),
+        );
+        assert_eq!(c.direction_of(&out), Direction::Outbound);
+        assert_eq!(c.direction_of(&out.inverse()), Direction::Inbound);
+    }
+
+    #[test]
+    fn host_enumeration_wraps_within_prefix() {
+        let c: Cidr = "10.0.0.0/30".parse().unwrap();
+        assert_eq!(c.host(0), Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(c.host(3), Ipv4Addr::new(10, 0, 0, 3));
+        assert_eq!(c.host(4), Ipv4Addr::new(10, 0, 0, 0));
+    }
+}

@@ -1,0 +1,247 @@
+//! TCP control flags and a connection-lifetime state machine.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::BitOr;
+
+/// TCP header control flags (low 6 bits of the flags byte).
+///
+/// The analyzer uses these to gate payload inspection (only connections
+/// that begin with an explicit SYN are reassembled, §3.2) and to measure
+/// connection lifetimes ("counted from the first TCP-SYN packet to the
+/// appearance of a valid TCP-FIN or TCP-RST packet", §3.3).
+///
+/// # Examples
+///
+/// ```
+/// use upbound_net::TcpFlags;
+///
+/// let synack = TcpFlags::SYN | TcpFlags::ACK;
+/// assert!(synack.contains(TcpFlags::SYN));
+/// assert!(!synack.contains(TcpFlags::FIN));
+/// assert_eq!(synack.bits(), 0b01_0010);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
+)]
+pub struct TcpFlags(u8);
+
+impl TcpFlags {
+    /// No flags set.
+    pub const EMPTY: TcpFlags = TcpFlags(0);
+    /// FIN — sender has finished sending.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN — synchronize sequence numbers (connection open).
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST — reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH — push buffered data to the application.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK — acknowledgment field is significant.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG — urgent pointer is significant.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// Builds flags from the raw header byte (upper two bits ignored).
+    pub const fn from_bits(bits: u8) -> TcpFlags {
+        TcpFlags(bits & 0x3F)
+    }
+
+    /// The raw flag bits as they appear in the TCP header.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// `true` when every flag in `other` is also set in `self`.
+    pub const fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// `true` when no flags are set.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` for a connection-opening SYN (SYN set, ACK clear).
+    pub const fn is_initial_syn(self) -> bool {
+        self.contains(TcpFlags::SYN) && !self.contains(TcpFlags::ACK)
+    }
+}
+
+impl BitOr for TcpFlags {
+    type Output = TcpFlags;
+
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, ".");
+        }
+        let names = [
+            (TcpFlags::FIN, 'F'),
+            (TcpFlags::SYN, 'S'),
+            (TcpFlags::RST, 'R'),
+            (TcpFlags::PSH, 'P'),
+            (TcpFlags::ACK, 'A'),
+            (TcpFlags::URG, 'U'),
+        ];
+        for (flag, c) in names {
+            if self.contains(flag) {
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The lifetime states of a tracked TCP connection.
+///
+/// This is deliberately coarser than a full RFC 793 state machine: the
+/// analyzer and the SPI baseline only need to know whether a connection has
+/// properly opened, is exchanging data, or has terminated — the same
+/// granularity the paper's measurements use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TcpConnState {
+    /// Initial SYN seen, waiting for the peer's SYN-ACK.
+    SynSent,
+    /// Three-way handshake completed (or data seen on both sides).
+    Established,
+    /// One side sent FIN; draining.
+    FinWait,
+    /// Connection closed by FIN exchange or RST.
+    Closed,
+}
+
+impl TcpConnState {
+    /// Starts tracking from the first packet's flags.
+    ///
+    /// A connection observed mid-stream (no SYN) is treated as already
+    /// established, matching how a filter bootstraps on live traffic.
+    pub fn from_first_packet(flags: TcpFlags) -> TcpConnState {
+        if flags.contains(TcpFlags::RST) {
+            TcpConnState::Closed
+        } else if flags.is_initial_syn() {
+            TcpConnState::SynSent
+        } else {
+            TcpConnState::Established
+        }
+    }
+
+    /// Advances the state machine with the flags of the next packet
+    /// (either direction) and returns the new state.
+    pub fn advance(self, flags: TcpFlags) -> TcpConnState {
+        if flags.contains(TcpFlags::RST) {
+            return TcpConnState::Closed;
+        }
+        match self {
+            TcpConnState::SynSent => {
+                if flags.contains(TcpFlags::FIN) {
+                    TcpConnState::Closed
+                } else if flags.contains(TcpFlags::ACK) {
+                    TcpConnState::Established
+                } else {
+                    TcpConnState::SynSent
+                }
+            }
+            TcpConnState::Established => {
+                if flags.contains(TcpFlags::FIN) {
+                    TcpConnState::FinWait
+                } else {
+                    TcpConnState::Established
+                }
+            }
+            TcpConnState::FinWait => {
+                if flags.contains(TcpFlags::FIN) {
+                    TcpConnState::Closed
+                } else {
+                    TcpConnState::FinWait
+                }
+            }
+            TcpConnState::Closed => TcpConnState::Closed,
+        }
+    }
+
+    /// `true` once the connection has terminated.
+    pub const fn is_closed(self) -> bool {
+        matches!(self, TcpConnState::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_bits_round_trip() {
+        let f = TcpFlags::SYN | TcpFlags::ACK | TcpFlags::PSH;
+        assert_eq!(TcpFlags::from_bits(f.bits()), f);
+    }
+
+    #[test]
+    fn from_bits_masks_reserved_bits() {
+        assert_eq!(TcpFlags::from_bits(0xFF).bits(), 0x3F);
+    }
+
+    #[test]
+    fn initial_syn_detection() {
+        assert!(TcpFlags::SYN.is_initial_syn());
+        assert!(!(TcpFlags::SYN | TcpFlags::ACK).is_initial_syn());
+        assert!(!TcpFlags::ACK.is_initial_syn());
+    }
+
+    #[test]
+    fn display_shows_flag_letters() {
+        assert_eq!((TcpFlags::SYN | TcpFlags::ACK).to_string(), "SA");
+        assert_eq!(TcpFlags::EMPTY.to_string(), ".");
+        assert_eq!((TcpFlags::FIN | TcpFlags::RST).to_string(), "FR");
+    }
+
+    #[test]
+    fn normal_handshake_and_close() {
+        let mut s = TcpConnState::from_first_packet(TcpFlags::SYN);
+        assert_eq!(s, TcpConnState::SynSent);
+        s = s.advance(TcpFlags::SYN | TcpFlags::ACK);
+        assert_eq!(s, TcpConnState::Established);
+        s = s.advance(TcpFlags::ACK);
+        assert_eq!(s, TcpConnState::Established);
+        s = s.advance(TcpFlags::FIN | TcpFlags::ACK);
+        assert_eq!(s, TcpConnState::FinWait);
+        s = s.advance(TcpFlags::FIN | TcpFlags::ACK);
+        assert_eq!(s, TcpConnState::Closed);
+        assert!(s.is_closed());
+    }
+
+    #[test]
+    fn rst_closes_from_any_state() {
+        for start in [
+            TcpConnState::SynSent,
+            TcpConnState::Established,
+            TcpConnState::FinWait,
+        ] {
+            assert_eq!(start.advance(TcpFlags::RST), TcpConnState::Closed);
+        }
+    }
+
+    #[test]
+    fn closed_is_absorbing() {
+        let s = TcpConnState::Closed;
+        assert_eq!(s.advance(TcpFlags::SYN), TcpConnState::Closed);
+        assert_eq!(s.advance(TcpFlags::ACK), TcpConnState::Closed);
+    }
+
+    #[test]
+    fn midstream_start_is_established() {
+        assert_eq!(
+            TcpConnState::from_first_packet(TcpFlags::ACK),
+            TcpConnState::Established
+        );
+        assert_eq!(
+            TcpConnState::from_first_packet(TcpFlags::RST),
+            TcpConnState::Closed
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests on the packet substrate: codec round-trips, fuzz
+//! robustness, and structural invariants.
+
+use proptest::prelude::*;
+use upbound_net::pcap;
+use upbound_net::{wire, Cidr, FiveTuple, Packet, Protocol, TcpFlags, TimeDelta, Timestamp};
+
+fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
+    (
+        any::<bool>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u16>(),
+    )
+        .prop_map(|(tcp, sip, sp, dip, dp)| {
+            FiveTuple::new(
+                if tcp { Protocol::Tcp } else { Protocol::Udp },
+                std::net::SocketAddrV4::new(sip.into(), sp),
+                std::net::SocketAddrV4::new(dip.into(), dp),
+            )
+        })
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        arb_tuple(),
+        0u64..100_000_000,
+        proptest::collection::vec(any::<u8>(), 0..1400),
+        any::<u8>(),
+    )
+        .prop_map(|(tuple, us, payload, flags)| match tuple.protocol() {
+            Protocol::Tcp => Packet::tcp(
+                Timestamp::from_micros(us),
+                tuple,
+                TcpFlags::from_bits(flags),
+                payload,
+            ),
+            Protocol::Udp => Packet::udp(Timestamp::from_micros(us), tuple, payload),
+        })
+}
+
+proptest! {
+    /// Decoding arbitrary bytes never panics — it returns a packet or a
+    /// structured error, under both checksum policies.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        for policy in [wire::ChecksumPolicy::Verify, wire::ChecksumPolicy::Ignore] {
+            let _ = wire::decode(&bytes, Timestamp::ZERO, bytes.len() as u32, policy);
+        }
+    }
+
+    /// Reading arbitrary bytes as a pcap file never panics.
+    #[test]
+    fn pcap_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = pcap::from_bytes(&bytes);
+    }
+
+    /// Every prefix truncation of a valid capture yields a clean error or
+    /// a prefix of the original packets — never garbage.
+    #[test]
+    fn pcap_truncation_is_safe(pkts in proptest::collection::vec(arb_packet(), 1..5), cut_frac in 0.0f64..1.0) {
+        let bytes = pcap::to_bytes(&pkts, 65_535).expect("write");
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        if let Ok(read) = pcap::from_bytes(&bytes[..cut]) {
+            prop_assert!(read.len() <= pkts.len());
+            prop_assert_eq!(&pkts[..read.len()], &read[..]);
+        } // a clean error is equally fine
+    }
+
+    /// A reader can always recover every full record before a truncation
+    /// point using read_packet until the error.
+    #[test]
+    fn pcap_streaming_recovers_prefix(pkts in proptest::collection::vec(arb_packet(), 1..6)) {
+        let bytes = pcap::to_bytes(&pkts, 65_535).expect("write");
+        // Cut inside the last record body.
+        let cut = bytes.len() - 1;
+        if let Ok(mut reader) = pcap::PcapReader::new(&bytes[..cut]) {
+            let mut recovered = Vec::new();
+            while let Ok(Some(p)) = reader.read_packet() {
+                recovered.push(p);
+            }
+            prop_assert_eq!(recovered.len(), pkts.len() - 1);
+            prop_assert_eq!(&recovered[..], &pkts[..pkts.len() - 1]);
+        }
+    }
+
+    /// Snaplen truncation preserves tuples, flags, timestamps, and
+    /// original lengths for every generated packet.
+    #[test]
+    fn snaplen_preserves_metadata(pkts in proptest::collection::vec(arb_packet(), 1..5)) {
+        let bytes = pcap::to_bytes(&pkts, pcap::HEADER_SNAPLEN).expect("write");
+        let read = pcap::from_bytes(&bytes).expect("read");
+        prop_assert_eq!(read.len(), pkts.len());
+        for (orig, got) in pkts.iter().zip(&read) {
+            prop_assert_eq!(got.tuple(), orig.tuple());
+            prop_assert_eq!(got.ts(), orig.ts());
+            prop_assert_eq!(got.tcp_flags(), orig.tcp_flags());
+            prop_assert_eq!(got.wire_len(), orig.wire_len());
+        }
+    }
+
+    /// The Internet checksum of any frame we encode verifies to zero over
+    /// the IPv4 header.
+    #[test]
+    fn encoded_ip_header_checksums_verify(p in arb_packet()) {
+        let frame = wire::encode(&p);
+        prop_assert_eq!(wire::internet_checksum(&frame[14..34]), 0);
+    }
+
+    /// Direction classification is a partition: every tuple is exactly
+    /// one of inbound/outbound relative to any prefix, and flipping the
+    /// tuple flips the direction iff exactly one endpoint is inside.
+    #[test]
+    fn direction_partition(t in arb_tuple(), base in any::<u32>(), len in 0u8..=32) {
+        let cidr = Cidr::new(base.into(), len).expect("valid prefix");
+        let fwd = cidr.direction_of(&t);
+        let rev = cidr.direction_of(&t.inverse());
+        let src_in = cidr.contains(*t.src().ip());
+        let dst_in = cidr.contains(*t.dst().ip());
+        if src_in != dst_in {
+            prop_assert_ne!(fwd, rev);
+        }
+        if src_in && dst_in {
+            // Both inside: both directions classify as outbound.
+            prop_assert_eq!(fwd, rev);
+        }
+    }
+
+    /// Timestamp arithmetic: (a + d) − a == d and ordering is preserved.
+    #[test]
+    fn timestamp_arithmetic(a in 0u64..1_000_000_000, d in 0u64..1_000_000_000) {
+        let t = Timestamp::from_micros(a);
+        let delta = TimeDelta::from_micros(d);
+        prop_assert_eq!((t + delta) - t, delta);
+        prop_assert!(t + delta >= t);
+        prop_assert_eq!(t.saturating_since(t + delta), TimeDelta::ZERO);
+    }
+
+    /// Sec/usec split (the pcap record format) round-trips.
+    #[test]
+    fn sec_usec_round_trip(us in 0u64..4_000_000_000_000) {
+        let t = Timestamp::from_micros(us);
+        let (s, u) = t.to_sec_usec();
+        prop_assert!(u < 1_000_000);
+        prop_assert_eq!(Timestamp::from_sec_usec(s, u), t);
+    }
+}

@@ -1,0 +1,547 @@
+//! Regular-expression parser producing an AST.
+//!
+//! Grammar (byte-oriented):
+//!
+//! ```text
+//! alt    := concat ('|' concat)*
+//! concat := rep*
+//! rep    := atom quantifier*
+//! quant  := '*' | '+' | '?' | '{' n [',' [m]] '}'
+//! atom   := '(' alt ')' | '[' class ']' | '.' | '^' | '$'
+//!         | '\' escape | literal byte
+//! ```
+
+use crate::PatternError;
+
+/// Maximum bound accepted in `{n,m}` repetitions; keeps the compiled
+/// program size under control.
+pub(crate) const MAX_REPEAT: u32 = 255;
+
+/// A parsed regular-expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Ast {
+    /// The empty expression (matches the empty string).
+    Empty,
+    /// A single literal byte.
+    Byte(u8),
+    /// Any byte (`.`).
+    Any,
+    /// A character class; `ranges` are inclusive byte ranges.
+    Class {
+        /// `true` for `[^...]`.
+        negated: bool,
+        /// Sorted inclusive byte ranges.
+        ranges: Vec<(u8, u8)>,
+    },
+    /// Start-of-input assertion (`^`).
+    StartAnchor,
+    /// End-of-input assertion (`$`).
+    EndAnchor,
+    /// Concatenation of subexpressions.
+    Concat(Vec<Ast>),
+    /// Alternation between subexpressions.
+    Alt(Vec<Ast>),
+    /// Repetition of a subexpression between `min` and `max` times
+    /// (`max == None` means unbounded).
+    Repeat {
+        /// The repeated subexpression.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions; `None` = unbounded.
+        max: Option<u32>,
+    },
+}
+
+pub(crate) fn parse(pattern: &str) -> Result<Ast, PatternError> {
+    let bytes = pattern.as_bytes();
+    let mut parser = Parser { bytes, pos: 0 };
+    let ast = parser.parse_alt()?;
+    if parser.pos != bytes.len() {
+        return Err(PatternError::Unexpected {
+            at: parser.pos,
+            found: bytes[parser.pos] as char,
+        });
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, PatternError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, PatternError> {
+        let mut parts: Vec<Ast> = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            let at = self.pos;
+            if matches!(b, b'*' | b'+' | b'?' | b'{') {
+                // A quantifier here would repeat the previous atom, which
+                // parse_rep already consumed, so this must be a dangling
+                // quantifier — except `{` that does not start a valid
+                // repetition, which L7 patterns use literally.
+                if b == b'{' && !self.looks_like_repetition() {
+                    self.bump();
+                    parts.push(Ast::Byte(b'{'));
+                    continue;
+                }
+                return Err(PatternError::NothingToRepeat { at });
+            }
+            parts.push(self.parse_rep()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    /// Checks (without consuming) whether the input at `{` is a valid
+    /// `{n}`, `{n,}`, or `{n,m}` repetition.
+    fn looks_like_repetition(&self) -> bool {
+        let rest = &self.bytes[self.pos..];
+        if rest.first() != Some(&b'{') {
+            return false;
+        }
+        let mut i = 1;
+        let mut saw_digit = false;
+        while i < rest.len() && rest[i].is_ascii_digit() {
+            saw_digit = true;
+            i += 1;
+        }
+        if !saw_digit {
+            return false;
+        }
+        if i < rest.len() && rest[i] == b',' {
+            i += 1;
+            while i < rest.len() && rest[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+        i < rest.len() && rest[i] == b'}'
+    }
+
+    fn parse_rep(&mut self) -> Result<Ast, PatternError> {
+        let mut node = self.parse_atom()?;
+        loop {
+            let at = self.pos;
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    node = Ast::Repeat {
+                        node: Box::new(node),
+                        min: 0,
+                        max: None,
+                    };
+                }
+                Some(b'+') => {
+                    self.bump();
+                    node = Ast::Repeat {
+                        node: Box::new(node),
+                        min: 1,
+                        max: None,
+                    };
+                }
+                Some(b'?') => {
+                    self.bump();
+                    node = Ast::Repeat {
+                        node: Box::new(node),
+                        min: 0,
+                        max: Some(1),
+                    };
+                }
+                Some(b'{') if self.looks_like_repetition() => {
+                    self.bump();
+                    let (min, max) = self.parse_bounds(at)?;
+                    node = Ast::Repeat {
+                        node: Box::new(node),
+                        min,
+                        max,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(node)
+    }
+
+    fn parse_bounds(&mut self, at: usize) -> Result<(u32, Option<u32>), PatternError> {
+        let min = self.parse_number(at)?;
+        let max = match self.peek() {
+            Some(b',') => {
+                self.bump();
+                if self.peek() == Some(b'}') {
+                    None
+                } else {
+                    Some(self.parse_number(at)?)
+                }
+            }
+            _ => Some(min),
+        };
+        match self.bump() {
+            Some(b'}') => {}
+            _ => return Err(PatternError::BadRepetition { at }),
+        }
+        if let Some(m) = max {
+            if min > m || m > MAX_REPEAT {
+                return Err(PatternError::BadRepetition { at });
+            }
+        }
+        if min > MAX_REPEAT {
+            return Err(PatternError::BadRepetition { at });
+        }
+        Ok((min, max))
+    }
+
+    fn parse_number(&mut self, at: usize) -> Result<u32, PatternError> {
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(b) = self.peek() {
+            if !b.is_ascii_digit() {
+                break;
+            }
+            self.bump();
+            any = true;
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add((b - b'0') as u32))
+                .ok_or(PatternError::BadRepetition { at })?;
+        }
+        if !any {
+            return Err(PatternError::BadRepetition { at });
+        }
+        Ok(n)
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, PatternError> {
+        let at = self.pos;
+        let b = self
+            .bump()
+            .ok_or(PatternError::UnexpectedEnd { context: "an atom" })?;
+        match b {
+            b'(' => {
+                let inner = self.parse_alt()?;
+                match self.bump() {
+                    Some(b')') => Ok(inner),
+                    _ => Err(PatternError::UnexpectedEnd { context: "a group" }),
+                }
+            }
+            b'[' => self.parse_class(),
+            b'.' => Ok(Ast::Any),
+            b'^' => Ok(Ast::StartAnchor),
+            b'$' => Ok(Ast::EndAnchor),
+            b'\\' => self.parse_escape(at).map(Ast::Byte),
+            b')' => Err(PatternError::Unexpected { at, found: ')' }),
+            other => Ok(Ast::Byte(other)),
+        }
+    }
+
+    fn parse_escape(&mut self, at: usize) -> Result<u8, PatternError> {
+        let b = self.bump().ok_or(PatternError::UnexpectedEnd {
+            context: "an escape",
+        })?;
+        match b {
+            b'x' => {
+                let hi = self.bump().ok_or(PatternError::BadHexEscape { at })?;
+                let lo = self.bump().ok_or(PatternError::BadHexEscape { at })?;
+                let hex = |c: u8| -> Option<u8> { (c as char).to_digit(16).map(|d| d as u8) };
+                match (hex(hi), hex(lo)) {
+                    (Some(h), Some(l)) => Ok(h * 16 + l),
+                    _ => Err(PatternError::BadHexEscape { at }),
+                }
+            }
+            b'n' => Ok(b'\n'),
+            b'r' => Ok(b'\r'),
+            b't' => Ok(b'\t'),
+            b'0' => Ok(0),
+            // Punctuation escapes: identity.
+            b'\\' | b'.' | b'*' | b'+' | b'?' | b'(' | b')' | b'[' | b']' | b'|' | b'^' | b'$'
+            | b'{' | b'}' | b'/' | b'-' | b' ' | b'\'' | b'"' => Ok(b),
+            other => Err(PatternError::UnknownEscape {
+                at,
+                found: other as char,
+            }),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, PatternError> {
+        let mut negated = false;
+        if self.peek() == Some(b'^') {
+            self.bump();
+            negated = true;
+        }
+        let mut ranges: Vec<(u8, u8)> = Vec::new();
+        let mut first = true;
+        loop {
+            let at = self.pos;
+            let b = self.bump().ok_or(PatternError::UnexpectedEnd {
+                context: "a character class",
+            })?;
+            if b == b']' && !first {
+                break;
+            }
+            first = false;
+            let lo = if b == b'\\' {
+                self.parse_escape(at)?
+            } else {
+                b
+            };
+            // Range `lo-hi` unless the '-' is last in the class.
+            if self.peek() == Some(b'-') && self.bytes.get(self.pos + 1) != Some(&b']') {
+                self.bump(); // '-'
+                let at2 = self.pos;
+                let hb = self.bump().ok_or(PatternError::UnexpectedEnd {
+                    context: "a class range",
+                })?;
+                let hi = if hb == b'\\' {
+                    self.parse_escape(at2)?
+                } else {
+                    hb
+                };
+                if hi < lo {
+                    return Err(PatternError::BadClassRange { at });
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        ranges.sort_unstable();
+        Ok(Ast::Class { negated, ranges })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_concat() {
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Byte(b'a'), Ast::Byte(b'b')])
+        );
+    }
+
+    #[test]
+    fn empty_pattern_is_empty() {
+        assert_eq!(parse("").unwrap(), Ast::Empty);
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let ast = parse("a|(bc)").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Alt(vec![
+                Ast::Byte(b'a'),
+                Ast::Concat(vec![Ast::Byte(b'b'), Ast::Byte(b'c')]),
+            ])
+        );
+    }
+
+    #[test]
+    fn quantifiers_parse() {
+        assert_eq!(
+            parse("a*").unwrap(),
+            Ast::Repeat {
+                node: Box::new(Ast::Byte(b'a')),
+                min: 0,
+                max: None
+            }
+        );
+        assert_eq!(
+            parse("a{2,5}").unwrap(),
+            Ast::Repeat {
+                node: Box::new(Ast::Byte(b'a')),
+                min: 2,
+                max: Some(5)
+            }
+        );
+        assert_eq!(
+            parse("a{3}").unwrap(),
+            Ast::Repeat {
+                node: Box::new(Ast::Byte(b'a')),
+                min: 3,
+                max: Some(3)
+            }
+        );
+        assert_eq!(
+            parse("a{3,}").unwrap(),
+            Ast::Repeat {
+                node: Box::new(Ast::Byte(b'a')),
+                min: 3,
+                max: None
+            }
+        );
+    }
+
+    #[test]
+    fn nested_quantifier_applies_to_previous() {
+        // `a+?` = (a+)? in this grammar (quantifier chains).
+        let ast = parse("a+?").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Repeat {
+                node: Box::new(Ast::Repeat {
+                    node: Box::new(Ast::Byte(b'a')),
+                    min: 1,
+                    max: None
+                }),
+                min: 0,
+                max: Some(1)
+            }
+        );
+    }
+
+    #[test]
+    fn hex_escapes_decode() {
+        assert_eq!(parse(r"\x13").unwrap(), Ast::Byte(0x13));
+        assert_eq!(parse(r"\xFf").unwrap(), Ast::Byte(0xFF));
+        assert!(matches!(
+            parse(r"\xg1"),
+            Err(PatternError::BadHexEscape { .. })
+        ));
+        assert!(matches!(
+            parse(r"\x1"),
+            Err(PatternError::BadHexEscape { .. })
+        ));
+    }
+
+    #[test]
+    fn named_escapes_decode() {
+        assert_eq!(parse(r"\n").unwrap(), Ast::Byte(b'\n'));
+        assert_eq!(parse(r"\.").unwrap(), Ast::Byte(b'.'));
+        assert!(matches!(
+            parse(r"\q"),
+            Err(PatternError::UnknownEscape { found: 'q', .. })
+        ));
+    }
+
+    #[test]
+    fn classes_with_ranges_and_negation() {
+        assert_eq!(
+            parse("[a-c]").unwrap(),
+            Ast::Class {
+                negated: false,
+                ranges: vec![(b'a', b'c')]
+            }
+        );
+        assert_eq!(
+            parse(r"[^\x00-\x1f]").unwrap(),
+            Ast::Class {
+                negated: true,
+                ranges: vec![(0x00, 0x1f)]
+            }
+        );
+    }
+
+    #[test]
+    fn class_with_literal_bracket_first() {
+        // A `]` directly after `[` is a literal member.
+        assert_eq!(
+            parse("[]a]").unwrap(),
+            Ast::Class {
+                negated: false,
+                ranges: vec![(b']', b']'), (b'a', b'a')]
+            }
+        );
+    }
+
+    #[test]
+    fn class_trailing_dash_is_literal() {
+        assert_eq!(
+            parse("[a-]").unwrap(),
+            Ast::Class {
+                negated: false,
+                ranges: vec![(b'-', b'-'), (b'a', b'a')]
+            }
+        );
+    }
+
+    #[test]
+    fn inverted_range_is_error() {
+        assert!(matches!(
+            parse("[z-a]"),
+            Err(PatternError::BadClassRange { .. })
+        ));
+    }
+
+    #[test]
+    fn anchors_parse() {
+        assert_eq!(
+            parse("^a$").unwrap(),
+            Ast::Concat(vec![Ast::StartAnchor, Ast::Byte(b'a'), Ast::EndAnchor])
+        );
+    }
+
+    #[test]
+    fn dangling_quantifier_is_error() {
+        assert!(matches!(
+            parse("*a"),
+            Err(PatternError::NothingToRepeat { .. })
+        ));
+    }
+
+    #[test]
+    fn non_repetition_brace_is_literal() {
+        assert_eq!(parse("{").unwrap(), Ast::Byte(b'{'));
+        assert_eq!(
+            parse("a{x}").unwrap(),
+            Ast::Concat(vec![
+                Ast::Byte(b'a'),
+                Ast::Byte(b'{'),
+                Ast::Byte(b'x'),
+                Ast::Byte(b'}'),
+            ])
+        );
+    }
+
+    #[test]
+    fn unbalanced_group_is_error() {
+        assert!(parse("(ab").is_err());
+        assert!(matches!(
+            parse("ab)"),
+            Err(PatternError::Unexpected { found: ')', .. })
+        ));
+    }
+
+    #[test]
+    fn bad_bounds_are_rejected() {
+        assert!(matches!(
+            parse("a{5,2}"),
+            Err(PatternError::BadRepetition { .. })
+        ));
+        assert!(matches!(
+            parse("a{999}"),
+            Err(PatternError::BadRepetition { .. })
+        ));
+    }
+}

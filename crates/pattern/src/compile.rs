@@ -1,0 +1,260 @@
+//! AST → NFA program compilation (Thompson construction).
+
+use crate::ast::Ast;
+use crate::PatternError;
+
+/// Safety cap on compiled program size.
+const MAX_PROGRAM: usize = 65_536;
+
+/// One NFA instruction of the Pike VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Inst {
+    /// Match one specific byte.
+    Byte(u8),
+    /// Match any byte.
+    Any,
+    /// Match a byte against inclusive ranges; `negated` inverts.
+    Class {
+        /// `true` for `[^...]`.
+        negated: bool,
+        /// Sorted inclusive ranges.
+        ranges: Vec<(u8, u8)>,
+    },
+    /// Assert start of input.
+    StartAnchor,
+    /// Assert end of input.
+    EndAnchor,
+    /// Fork execution to both targets.
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Accept.
+    Match,
+}
+
+/// A compiled NFA program. Entry point is instruction 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Program {
+    pub(crate) insts: Vec<Inst>,
+    /// `true` when the pattern begins with `^` on every alternative, which
+    /// lets the VM skip re-seeding threads at every input position.
+    pub(crate) anchored_start: bool,
+}
+
+pub(crate) fn compile(ast: &Ast) -> Result<Program, PatternError> {
+    let mut c = Compiler { insts: Vec::new() };
+    c.emit_node(ast)?;
+    c.push(Inst::Match)?;
+    Ok(Program {
+        anchored_start: starts_anchored(ast),
+        insts: c.insts,
+    })
+}
+
+/// Conservatively determines whether every path through the pattern starts
+/// with a `^` assertion.
+fn starts_anchored(ast: &Ast) -> bool {
+    match ast {
+        Ast::StartAnchor => true,
+        Ast::Concat(parts) => parts.first().is_some_and(starts_anchored),
+        Ast::Alt(branches) => branches.iter().all(starts_anchored),
+        Ast::Repeat { node, min, .. } => *min >= 1 && starts_anchored(node),
+        _ => false,
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+}
+
+impl Compiler {
+    fn push(&mut self, inst: Inst) -> Result<usize, PatternError> {
+        if self.insts.len() >= MAX_PROGRAM {
+            return Err(PatternError::TooLarge);
+        }
+        self.insts.push(inst);
+        Ok(self.insts.len() - 1)
+    }
+
+    fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn emit_node(&mut self, ast: &Ast) -> Result<(), PatternError> {
+        match ast {
+            Ast::Empty => Ok(()),
+            Ast::Byte(b) => self.push(Inst::Byte(*b)).map(drop),
+            Ast::Any => self.push(Inst::Any).map(drop),
+            Ast::Class { negated, ranges } => self
+                .push(Inst::Class {
+                    negated: *negated,
+                    ranges: ranges.clone(),
+                })
+                .map(drop),
+            Ast::StartAnchor => self.push(Inst::StartAnchor).map(drop),
+            Ast::EndAnchor => self.push(Inst::EndAnchor).map(drop),
+            Ast::Concat(parts) => {
+                for p in parts {
+                    self.emit_node(p)?;
+                }
+                Ok(())
+            }
+            Ast::Alt(branches) => self.emit_alt(branches),
+            Ast::Repeat { node, min, max } => self.emit_repeat(node, *min, *max),
+        }
+    }
+
+    fn emit_alt(&mut self, branches: &[Ast]) -> Result<(), PatternError> {
+        debug_assert!(branches.len() >= 2);
+        // For each branch but the last: Split(branch, next_alternative),
+        // branch code, Jmp(end).
+        let mut jmp_ends: Vec<usize> = Vec::new();
+        for (i, branch) in branches.iter().enumerate() {
+            if i + 1 < branches.len() {
+                let split = self.push(Inst::Split(0, 0))?;
+                let branch_start = self.here();
+                self.emit_node(branch)?;
+                let jmp = self.push(Inst::Jmp(0))?;
+                jmp_ends.push(jmp);
+                let next_alt = self.here();
+                self.insts[split] = Inst::Split(branch_start, next_alt);
+            } else {
+                self.emit_node(branch)?;
+            }
+        }
+        let end = self.here();
+        for jmp in jmp_ends {
+            self.insts[jmp] = Inst::Jmp(end);
+        }
+        Ok(())
+    }
+
+    fn emit_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) -> Result<(), PatternError> {
+        // Mandatory copies.
+        for _ in 0..min {
+            self.emit_node(node)?;
+        }
+        match max {
+            None => {
+                if min == 0 {
+                    // `e*`: split over a loop.
+                    let split = self.push(Inst::Split(0, 0))?;
+                    let body = self.here();
+                    self.emit_node(node)?;
+                    self.push(Inst::Jmp(split))?;
+                    let end = self.here();
+                    self.insts[split] = Inst::Split(body, end);
+                } else {
+                    // `e{n,}`: after the copies, loop the last one.
+                    // Emit: Split(body, end); body; Jmp(split).
+                    let split = self.push(Inst::Split(0, 0))?;
+                    let body = self.here();
+                    self.emit_node(node)?;
+                    self.push(Inst::Jmp(split))?;
+                    let end = self.here();
+                    self.insts[split] = Inst::Split(body, end);
+                }
+            }
+            Some(max) => {
+                // Optional copies: each is Split(body, end).
+                let mut splits = Vec::new();
+                for _ in min..max {
+                    let split = self.push(Inst::Split(0, 0))?;
+                    let body = self.here();
+                    self.emit_node(node)?;
+                    self.insts[split] = Inst::Split(body, 0); // end patched below
+                    splits.push(split);
+                }
+                let end = self.here();
+                for split in splits {
+                    if let Inst::Split(body, _) = self.insts[split] {
+                        self.insts[split] = Inst::Split(body, end);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+
+    fn prog(p: &str) -> Program {
+        compile(&parse(p).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn literal_compiles_to_bytes_and_match() {
+        let p = prog("ab");
+        assert_eq!(
+            p.insts,
+            vec![Inst::Byte(b'a'), Inst::Byte(b'b'), Inst::Match]
+        );
+    }
+
+    #[test]
+    fn star_builds_loop() {
+        let p = prog("a*");
+        assert_eq!(
+            p.insts,
+            vec![
+                Inst::Split(1, 3),
+                Inst::Byte(b'a'),
+                Inst::Jmp(0),
+                Inst::Match
+            ]
+        );
+    }
+
+    #[test]
+    fn alternation_splits() {
+        let p = prog("a|b");
+        assert_eq!(
+            p.insts,
+            vec![
+                Inst::Split(1, 3),
+                Inst::Byte(b'a'),
+                Inst::Jmp(4),
+                Inst::Byte(b'b'),
+                Inst::Match
+            ]
+        );
+    }
+
+    #[test]
+    fn bounded_repeat_expands() {
+        let p = prog("a{2,4}");
+        // 2 mandatory bytes + 2 optional (split+byte each) + match.
+        let bytes = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Byte(_)))
+            .count();
+        assert_eq!(bytes, 4);
+        let splits = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Split(_, _)))
+            .count();
+        assert_eq!(splits, 2);
+    }
+
+    #[test]
+    fn anchored_detection() {
+        assert!(prog("^abc").anchored_start);
+        assert!(prog("^a|^b").anchored_start);
+        assert!(!prog("abc").anchored_start);
+        assert!(!prog("^a|b").anchored_start);
+        assert!(!prog("(^a)?b").anchored_start);
+    }
+
+    #[test]
+    fn plus_requires_one_iteration() {
+        let p = prog("a+");
+        assert_eq!(p.insts[0], Inst::Byte(b'a'));
+        assert!(matches!(p.insts[1], Inst::Split(_, _)));
+    }
+}

@@ -1,0 +1,100 @@
+//! Pattern-compilation errors.
+
+use std::fmt;
+
+/// An error raised while parsing or compiling a regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PatternError {
+    /// The pattern ended in the middle of a construct.
+    UnexpectedEnd {
+        /// What was being parsed when the pattern ended.
+        context: &'static str,
+    },
+    /// A character appeared where it is not allowed.
+    Unexpected {
+        /// Byte offset in the pattern.
+        at: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// A `\x` escape was not followed by two hex digits.
+    BadHexEscape {
+        /// Byte offset of the escape.
+        at: usize,
+    },
+    /// An unknown escape like `\q`.
+    UnknownEscape {
+        /// Byte offset of the escape.
+        at: usize,
+        /// The escaped character.
+        found: char,
+    },
+    /// A `{n,m}` repetition had `n > m` or exceeded the supported bound.
+    BadRepetition {
+        /// Byte offset of the repetition.
+        at: usize,
+    },
+    /// A quantifier had nothing to repeat (e.g. a pattern starting `*`).
+    NothingToRepeat {
+        /// Byte offset of the quantifier.
+        at: usize,
+    },
+    /// A character class had an inverted range like `[z-a]`.
+    BadClassRange {
+        /// Byte offset within the class.
+        at: usize,
+    },
+    /// The compiled program exceeded the safety limit.
+    TooLarge,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::UnexpectedEnd { context } => {
+                write!(f, "pattern ended while parsing {context}")
+            }
+            PatternError::Unexpected { at, found } => {
+                write!(f, "unexpected character {found:?} at offset {at}")
+            }
+            PatternError::BadHexEscape { at } => {
+                write!(f, "\\x escape at offset {at} needs two hex digits")
+            }
+            PatternError::UnknownEscape { at, found } => {
+                write!(f, "unknown escape \\{found} at offset {at}")
+            }
+            PatternError::BadRepetition { at } => {
+                write!(f, "invalid repetition bounds at offset {at}")
+            }
+            PatternError::NothingToRepeat { at } => {
+                write!(f, "quantifier at offset {at} has nothing to repeat")
+            }
+            PatternError::BadClassRange { at } => {
+                write!(f, "inverted class range at offset {at}")
+            }
+            PatternError::TooLarge => write!(f, "compiled pattern exceeds size limit"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = PatternError::BadHexEscape { at: 3 };
+        assert!(e.to_string().contains("offset 3"));
+        let e = PatternError::UnknownEscape { at: 1, found: 'q' };
+        assert!(e.to_string().contains("\\q"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PatternError>();
+    }
+}

@@ -1,0 +1,49 @@
+//! A from-scratch regular-expression subset engine and the L7-filter-style
+//! application signature database of the paper's Table 1.
+//!
+//! The paper's traffic analyzer identifies applications by matching packet
+//! payloads "against several predefined patterns … written in the form of
+//! regular expressions. Most of these patterns are adopted from the
+//! L7-filter project" (§3.2). This crate rebuilds that capability without
+//! any external regex dependency:
+//!
+//! * [`Regex`] — a byte-oriented Thompson-NFA (Pike VM) engine supporting
+//!   exactly the features those signatures need: literals, `\xHH` escapes,
+//!   character classes with ranges and negation, `.`, alternation,
+//!   grouping, the `*` `+` `?` `{n,m}` quantifiers, and `^`/`$` anchors.
+//!   Matching is linear-time in the haystack (no backtracking blow-up) and
+//!   optionally case-insensitive, as L7-filter patterns are.
+//! * [`SignatureDb`] / [`Signature`] / [`AppLabel`] — the Table 1
+//!   signature set (bittorrent, edonkey, fasttrack, gnutella,
+//!   http/http-proxy, ftp) with its port fallbacks, plus the well-known
+//!   service ports the analyzer's second-stage port matching uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use upbound_pattern::{Regex, SignatureDb, AppLabel};
+//!
+//! let re = Regex::case_insensitive(r"^\x13bittorrent protocol")?;
+//! assert!(re.is_match(b"\x13BitTorrent protocol..."));
+//!
+//! let db = SignatureDb::standard();
+//! assert_eq!(
+//!     db.match_payload(b"\x13BitTorrent protocol ex"),
+//!     Some(AppLabel::BitTorrent),
+//! );
+//! # Ok::<(), upbound_pattern::PatternError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod ast;
+mod compile;
+mod error;
+mod regex;
+mod signatures;
+mod vm;
+
+pub use error::PatternError;
+pub use regex::Regex;
+pub use signatures::{AppLabel, PortClass, Signature, SignatureDb};

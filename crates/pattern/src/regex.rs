@@ -1,0 +1,203 @@
+//! The public [`Regex`] type.
+
+use crate::ast::{self, Ast};
+use crate::compile::{self, Program};
+use crate::vm;
+use crate::PatternError;
+
+/// A compiled regular expression over bytes.
+///
+/// Supports the subset of syntax the L7-filter application signatures use:
+/// literals, `\xHH`/`\n`/`\r`/`\t`/`\0` and punctuation escapes, character
+/// classes with ranges and negation, `.` (any byte), grouping,
+/// alternation, the `*` `+` `?` and `{n[,m]}` quantifiers, and `^`/`$`
+/// anchors. Matching is unanchored substring search unless the pattern is
+/// anchored, and runs in time linear in the haystack (Pike VM — no
+/// backtracking).
+///
+/// # Examples
+///
+/// ```
+/// use upbound_pattern::Regex;
+///
+/// let re = Regex::new(r"^220[\x09-\x0d -~]*ftp")?;
+/// assert!(re.is_match(b"220 welcome to my ftp server"));
+/// assert!(!re.is_match(b"250 ok"));
+/// # Ok::<(), upbound_pattern::PatternError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    program: Program,
+    fold_case: bool,
+}
+
+impl Regex {
+    /// Compiles a case-sensitive pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PatternError`] describing the first syntax problem.
+    pub fn new(pattern: &str) -> Result<Self, PatternError> {
+        Self::build(pattern, false)
+    }
+
+    /// Compiles a case-insensitive pattern (ASCII folding), matching
+    /// L7-filter's default behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PatternError`] describing the first syntax problem.
+    pub fn case_insensitive(pattern: &str) -> Result<Self, PatternError> {
+        Self::build(pattern, true)
+    }
+
+    fn build(pattern: &str, fold_case: bool) -> Result<Self, PatternError> {
+        let mut tree = ast::parse(pattern)?;
+        if fold_case {
+            fold_ast(&mut tree);
+        }
+        let program = compile::compile(&tree)?;
+        Ok(Self {
+            pattern: pattern.to_owned(),
+            program,
+            fold_case,
+        })
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// `true` when the expression was compiled case-insensitively.
+    pub fn is_case_insensitive(&self) -> bool {
+        self.fold_case
+    }
+
+    /// Tests whether `haystack` contains a match.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        vm::is_match(&self.program, haystack, self.fold_case)
+    }
+
+    /// Returns the byte span `[start, end)` of the leftmost match — the
+    /// earliest start, and for that start the earliest end — or `None`.
+    ///
+    /// Quadratic in the haystack in the worst case (one scan per start
+    /// position); intended for the short payload prefixes signature
+    /// identification inspects. Use [`is_match`](Self::is_match) when
+    /// only a yes/no answer is needed.
+    pub fn find(&self, haystack: &[u8]) -> Option<(usize, usize)> {
+        vm::find(&self.program, haystack, self.fold_case)
+    }
+}
+
+impl std::fmt::Display for Regex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "/{}/{}",
+            self.pattern,
+            if self.fold_case { "i" } else { "" }
+        )
+    }
+}
+
+/// Rewrites an AST for ASCII case-insensitive matching: input bytes are
+/// lowercased by the VM, so uppercase literals fold to lowercase and
+/// uppercase class ranges gain their lowercase images.
+fn fold_ast(ast: &mut Ast) {
+    match ast {
+        Ast::Byte(b) => *b = b.to_ascii_lowercase(),
+        Ast::Class { ranges, .. } => {
+            let mut extra = Vec::new();
+            for &(lo, hi) in ranges.iter() {
+                if lo.is_ascii_uppercase() && hi.is_ascii_uppercase() {
+                    extra.push((lo.to_ascii_lowercase(), hi.to_ascii_lowercase()));
+                }
+            }
+            ranges.extend(extra);
+            ranges.sort_unstable();
+        }
+        Ast::Concat(parts) | Ast::Alt(parts) => parts.iter_mut().for_each(fold_ast),
+        Ast::Repeat { node, .. } => fold_ast(node),
+        Ast::Empty | Ast::Any | Ast::StartAnchor | Ast::EndAnchor => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitive_vs_insensitive() {
+        let s = Regex::new("http").unwrap();
+        let i = Regex::case_insensitive("http").unwrap();
+        assert!(s.is_match(b"http/1.1"));
+        assert!(!s.is_match(b"HTTP/1.1"));
+        assert!(i.is_match(b"HTTP/1.1"));
+        assert!(i.is_match(b"HtTp/1.1"));
+    }
+
+    #[test]
+    fn insensitive_pattern_with_uppercase_literals() {
+        let i = Regex::case_insensitive("GET").unwrap();
+        assert!(i.is_match(b"get / http/1.0"));
+        assert!(i.is_match(b"GET / HTTP/1.0"));
+    }
+
+    #[test]
+    fn insensitive_class_ranges_fold() {
+        let i = Regex::case_insensitive("^[A-F]+$").unwrap();
+        assert!(i.is_match(b"AbCf"));
+        assert!(!i.is_match(b"g"));
+    }
+
+    #[test]
+    fn binary_bytes_unaffected_by_folding() {
+        let i = Regex::case_insensitive(r"^\xc5\x01").unwrap();
+        assert!(i.is_match(b"\xc5\x01rest"));
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let re = Regex::case_insensitive("abc").unwrap();
+        assert_eq!(re.pattern(), "abc");
+        assert!(re.is_case_insensitive());
+        assert_eq!(re.to_string(), "/abc/i");
+        assert_eq!(Regex::new("x").unwrap().to_string(), "/x/");
+    }
+
+    #[test]
+    fn find_locates_signatures_in_streams() {
+        let re = Regex::case_insensitive(r"user-agent: (limewire|bearshare)").unwrap();
+        let hay = b"GET /f HTTP/1.1\r\nUser-Agent: LimeWire/4.9\r\n";
+        let (start, end) = re.find(hay).expect("match");
+        assert_eq!(&hay[start..end], b"User-Agent: LimeWire");
+        assert_eq!(re.find(b"nothing here"), None);
+    }
+
+    #[test]
+    fn invalid_pattern_reports_error() {
+        assert!(Regex::new("(unclosed").is_err());
+        assert!(Regex::new(r"\xzz").is_err());
+    }
+
+    #[test]
+    fn realistic_l7_patterns_compile() {
+        // Transliterations of actual L7-filter expressions.
+        for p in [
+            r"^\x13bittorrent protocol",
+            r"^(get|post|head) [\x09-\x0d -~]* http/[01]\.[019]",
+            r"^220[\x09-\x0d -~]*ftp",
+            r"^gnutella connect/[012]\.[0-9]\x0d\x0a",
+            r"get /uri-res/n2r\?urn:sha1:",
+            r"^giv [0-9]*:[0-9a-f]*",
+        ] {
+            assert!(
+                Regex::case_insensitive(p).is_ok(),
+                "pattern {p} must compile"
+            );
+        }
+    }
+}

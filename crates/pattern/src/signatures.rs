@@ -1,0 +1,452 @@
+//! The application signature database of the paper's Table 1.
+//!
+//! Patterns are transliterated from the L7-filter expressions listed in
+//! the paper (simplified where the original relies on PCRE features the
+//! signatures do not actually need). Each signature carries the well-known
+//! ports used by the analyzer's second identification stage.
+
+use crate::Regex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The application labels the reproduction distinguishes.
+///
+/// These are the rows of the paper's Table 2 (HTTP, bittorrent, gnutella,
+/// edonkey, UNKNOWN, Others) with "Others" broken out into the concrete
+/// well-known services the generator models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AppLabel {
+    /// HTTP and HTTP proxy traffic.
+    Http,
+    /// FTP control (and tracked data) connections.
+    Ftp,
+    /// Domain Name System.
+    Dns,
+    /// Simple Mail Transfer Protocol.
+    Smtp,
+    /// Secure Shell.
+    Ssh,
+    /// TLS web traffic (identified by port only).
+    Https,
+    /// BitTorrent peer wire and tracker traffic.
+    BitTorrent,
+    /// eDonkey / eMule.
+    EDonkey,
+    /// FastTrack (Kazaa).
+    FastTrack,
+    /// Gnutella and descendants.
+    Gnutella,
+    /// Traffic no stage could identify.
+    Unknown,
+}
+
+/// The port-class buckets of the paper's Figures 2 and 3:
+/// "P2P", "Non-P2P", and "UNKNOWN" (plus the implicit "ALL").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortClass {
+    /// Identified as a peer-to-peer application.
+    P2p,
+    /// Identified as a traditional client-server application.
+    NonP2p,
+    /// Not identified.
+    Unknown,
+}
+
+impl AppLabel {
+    /// Human-readable name matching the paper's tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AppLabel::Http => "HTTP",
+            AppLabel::Ftp => "FTP",
+            AppLabel::Dns => "DNS",
+            AppLabel::Smtp => "SMTP",
+            AppLabel::Ssh => "SSH",
+            AppLabel::Https => "HTTPS",
+            AppLabel::BitTorrent => "bittorrent",
+            AppLabel::EDonkey => "edonkey",
+            AppLabel::FastTrack => "fasttrack",
+            AppLabel::Gnutella => "gnutella",
+            AppLabel::Unknown => "UNKNOWN",
+        }
+    }
+
+    /// `true` for peer-to-peer applications.
+    pub const fn is_p2p(self) -> bool {
+        matches!(
+            self,
+            AppLabel::BitTorrent | AppLabel::EDonkey | AppLabel::FastTrack | AppLabel::Gnutella
+        )
+    }
+
+    /// The Figure 2/3 bucket this label falls in.
+    pub const fn port_class(self) -> PortClass {
+        match self {
+            AppLabel::Unknown => PortClass::Unknown,
+            l if l.is_p2p() => PortClass::P2p,
+            _ => PortClass::NonP2p,
+        }
+    }
+
+    /// All labels, for iteration in reports.
+    pub const fn all() -> [AppLabel; 11] {
+        [
+            AppLabel::Http,
+            AppLabel::Ftp,
+            AppLabel::Dns,
+            AppLabel::Smtp,
+            AppLabel::Ssh,
+            AppLabel::Https,
+            AppLabel::BitTorrent,
+            AppLabel::EDonkey,
+            AppLabel::FastTrack,
+            AppLabel::Gnutella,
+            AppLabel::Unknown,
+        ]
+    }
+}
+
+impl fmt::Display for AppLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One application signature: payload patterns plus well-known ports.
+#[derive(Debug, Clone)]
+pub struct Signature {
+    label: AppLabel,
+    regexes: Vec<Regex>,
+    tcp_ports: Vec<u16>,
+    udp_ports: Vec<u16>,
+}
+
+impl Signature {
+    /// Builds a signature; `patterns` are compiled case-insensitively, as
+    /// L7-filter does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern fails to compile — signatures are static
+    /// program data, so a bad pattern is a programming error.
+    pub fn new(label: AppLabel, patterns: &[&str], tcp_ports: &[u16], udp_ports: &[u16]) -> Self {
+        let regexes = patterns
+            .iter()
+            .map(|p| {
+                Regex::case_insensitive(p)
+                    .unwrap_or_else(|e| panic!("signature pattern {p:?} failed to compile: {e}"))
+            })
+            .collect();
+        Self {
+            label,
+            regexes,
+            tcp_ports: tcp_ports.to_vec(),
+            udp_ports: udp_ports.to_vec(),
+        }
+    }
+
+    /// The application this signature identifies.
+    pub fn label(&self) -> AppLabel {
+        self.label
+    }
+
+    /// The compiled payload patterns.
+    pub fn regexes(&self) -> &[Regex] {
+        &self.regexes
+    }
+
+    /// Well-known TCP service ports.
+    pub fn tcp_ports(&self) -> &[u16] {
+        &self.tcp_ports
+    }
+
+    /// Well-known UDP service ports.
+    pub fn udp_ports(&self) -> &[u16] {
+        &self.udp_ports
+    }
+
+    /// `true` when any pattern matches the payload.
+    pub fn matches_payload(&self, payload: &[u8]) -> bool {
+        self.regexes.iter().any(|r| r.is_match(payload))
+    }
+}
+
+/// The full signature database (paper Table 1 plus the well-known
+/// client-server service ports used for second-stage identification).
+///
+/// # Examples
+///
+/// ```
+/// use upbound_pattern::{SignatureDb, AppLabel};
+///
+/// let db = SignatureDb::standard();
+/// assert_eq!(db.match_payload(b"GET / HTTP/1.1\r\nHost: x\r\n"), Some(AppLabel::Http));
+/// assert_eq!(db.match_tcp_port(21), Some(AppLabel::Ftp));
+/// assert_eq!(db.match_udp_port(4672), Some(AppLabel::EDonkey));
+/// assert_eq!(db.match_payload(b"\x00\x01\x02"), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignatureDb {
+    signatures: Vec<Signature>,
+}
+
+impl SignatureDb {
+    /// Builds the standard Table 1 database.
+    ///
+    /// Peer-to-peer signatures are ordered before HTTP so tracker requests
+    /// (`GET /scrape?info_hash=…`) and Gnutella-over-HTTP handshakes
+    /// resolve to their P2P application, as the paper's analyzer does.
+    pub fn standard() -> Self {
+        let signatures = vec![
+            Signature::new(
+                AppLabel::BitTorrent,
+                &[
+                    r"^\x13bittorrent protocol",
+                    r"d1:ad2:id20:",
+                    r"^azver\x01$",
+                    r"^get /scrape\?info_hash=",
+                    r"^get /announce\?info_hash=",
+                ],
+                &[],
+                &[],
+            ),
+            Signature::new(
+                AppLabel::EDonkey,
+                // First byte selects the eDonkey/eMule family, then up to
+                // four length bytes, then a known opcode.
+                &[
+                    r"^[\xc5\xd4\xe3-\xe5].?.?.?.?[\x01\x02\x05\x14\x15\x16\x18\x19\x1a\x1b\x1c\x20\x21\x32\x33\x34\x35\x36\x38\x40\x41\x42\x43\x46\x47\x48\x49\x4a\x4b\x4c\x4d\x4e\x4f\x50\x51\x52\x53\x54\x55\x56\x57\x58\x60\x81\x82\x90\x91\x93\x96\x97\x98\x99\x9a\x9b\x9c\x9e\xa0\xa1\xa2\xa3\xa4]",
+                ],
+                &[4661, 4662],
+                &[4661, 4662, 4665, 4672],
+            ),
+            Signature::new(
+                AppLabel::FastTrack,
+                &[
+                    r"^get (/\.hash=[0-9a-f]*|/\.supernode|/\.status|/\.network)",
+                    r"^give [0-9][0-9]*",
+                ],
+                &[],
+                &[],
+            ),
+            Signature::new(
+                AppLabel::Gnutella,
+                &[
+                    r"^gnd[\x01\x02]?.?.?\x01",
+                    r"^gnutella connect/[012]\.[0-9]\x0d\x0a",
+                    r"get /uri-res/n2r\?urn:sha1:",
+                    r"get /[\x09-\x0d -~]*user-agent: (gtk-gnutella|bearshare|mactella|gnucleus|gnotella|limewire|imesh)",
+                    r"get /[\x09-\x0d -~]*content-type: application/x-gnutella-packets",
+                    r"^giv [0-9]*:[0-9a-f]*",
+                ],
+                &[],
+                &[],
+            ),
+            Signature::new(AppLabel::Ftp, &[r"^220[\x09-\x0d -~]*ftp"], &[21], &[]),
+            Signature::new(
+                AppLabel::Http,
+                &[
+                    r"^(get|post|head|put|delete|options|connect) [\x09-\x0d -~]* http/[01]\.[019]",
+                    r"^http/[01]\.[019] [1-5][0-9][0-9]",
+                ],
+                &[80, 3128, 8080],
+                &[],
+            ),
+            // Port-only well-known services (second-stage fallback).
+            Signature::new(AppLabel::Dns, &[], &[53], &[53]),
+            Signature::new(
+                AppLabel::Smtp,
+                &[r"^220[\x09-\x0d -~]*(smtp|mail)"],
+                &[25],
+                &[],
+            ),
+            Signature::new(AppLabel::Ssh, &[r"^ssh-[12]\.[0-9]"], &[22], &[]),
+            Signature::new(AppLabel::Https, &[], &[443], &[]),
+        ];
+        Self { signatures }
+    }
+
+    /// All signatures in matching priority order.
+    pub fn signatures(&self) -> &[Signature] {
+        &self.signatures
+    }
+
+    /// First-stage identification: matches a (possibly concatenated)
+    /// payload stream against every pattern in priority order.
+    pub fn match_payload(&self, payload: &[u8]) -> Option<AppLabel> {
+        if payload.is_empty() {
+            return None;
+        }
+        self.signatures
+            .iter()
+            .find(|s| s.matches_payload(payload))
+            .map(Signature::label)
+    }
+
+    /// Second-stage identification: well-known TCP service port.
+    pub fn match_tcp_port(&self, port: u16) -> Option<AppLabel> {
+        self.signatures
+            .iter()
+            .find(|s| s.tcp_ports.contains(&port))
+            .map(Signature::label)
+    }
+
+    /// Second-stage identification: well-known UDP service port.
+    pub fn match_udp_port(&self, port: u16) -> Option<AppLabel> {
+        self.signatures
+            .iter()
+            .find(|s| s.udp_ports.contains(&port))
+            .map(Signature::label)
+    }
+}
+
+impl Default for SignatureDb {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> SignatureDb {
+        SignatureDb::standard()
+    }
+
+    #[test]
+    fn bittorrent_handshake_matches() {
+        let payload = b"\x13BitTorrent protocol\x00\x00\x00\x00\x00\x10\x00\x05";
+        assert_eq!(db().match_payload(payload), Some(AppLabel::BitTorrent));
+    }
+
+    #[test]
+    fn bittorrent_tracker_scrape_beats_http() {
+        let payload = b"GET /scrape?info_hash=abcdef HTTP/1.0\r\n";
+        assert_eq!(db().match_payload(payload), Some(AppLabel::BitTorrent));
+    }
+
+    #[test]
+    fn bittorrent_dht_bencoding_matches() {
+        let payload = b"d1:ad2:id20:abcdefghij0123456789e1:q4:ping";
+        assert_eq!(db().match_payload(payload), Some(AppLabel::BitTorrent));
+    }
+
+    #[test]
+    fn edonkey_hello_matches() {
+        // 0xe3 header, 4-byte length, opcode 0x01 (hello).
+        let payload = b"\xe3\x10\x00\x00\x00\x01rest-of-hello";
+        assert_eq!(db().match_payload(payload), Some(AppLabel::EDonkey));
+    }
+
+    #[test]
+    fn edonkey_emule_extension_matches() {
+        let payload = b"\xc5\x05\x00\x00\x00\x60data";
+        assert_eq!(db().match_payload(payload), Some(AppLabel::EDonkey));
+    }
+
+    #[test]
+    fn gnutella_connect_matches() {
+        let payload = b"GNUTELLA CONNECT/0.6\r\nUser-Agent: LimeWire\r\n";
+        assert_eq!(db().match_payload(payload), Some(AppLabel::Gnutella));
+    }
+
+    #[test]
+    fn gnutella_http_style_download_matches() {
+        let payload = b"GET /uri-res/N2R?urn:sha1:PLSTHIPQGSSZTS5FJUPAKUZWUGYQYPFB HTTP/1.1\r\n";
+        assert_eq!(db().match_payload(payload), Some(AppLabel::Gnutella));
+    }
+
+    #[test]
+    fn gnutella_user_agent_beats_http() {
+        let payload = b"GET /file.mp3 HTTP/1.1\r\nUser-Agent: BearShare 4.0\r\n";
+        assert_eq!(db().match_payload(payload), Some(AppLabel::Gnutella));
+    }
+
+    #[test]
+    fn fasttrack_supernode_matches() {
+        assert_eq!(
+            db().match_payload(b"GET /.supernode HTTP/1.0"),
+            Some(AppLabel::FastTrack)
+        );
+        assert_eq!(
+            db().match_payload(b"GIVE 1234567"),
+            Some(AppLabel::FastTrack)
+        );
+    }
+
+    #[test]
+    fn plain_http_request_and_response_match() {
+        assert_eq!(
+            db().match_payload(b"GET /index.html HTTP/1.1\r\nHost: example.com\r\n"),
+            Some(AppLabel::Http)
+        );
+        assert_eq!(
+            db().match_payload(b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n"),
+            Some(AppLabel::Http)
+        );
+    }
+
+    #[test]
+    fn ftp_banner_matches() {
+        assert_eq!(
+            db().match_payload(b"220 ProFTPD FTP Server ready.\r\n"),
+            Some(AppLabel::Ftp)
+        );
+    }
+
+    #[test]
+    fn ssh_banner_matches() {
+        assert_eq!(
+            db().match_payload(b"SSH-2.0-OpenSSH_4.3"),
+            Some(AppLabel::Ssh)
+        );
+    }
+
+    #[test]
+    fn random_binary_does_not_match() {
+        assert_eq!(db().match_payload(b"\x00\x01\x02\x03\x04"), None);
+        assert_eq!(db().match_payload(b""), None);
+    }
+
+    #[test]
+    fn encrypted_like_payload_does_not_match() {
+        // High-entropy bytes that avoid the eDonkey first-byte family.
+        let payload: Vec<u8> = (0u8..64)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
+        assert_eq!(db().match_payload(&payload), None);
+    }
+
+    #[test]
+    fn port_fallbacks_match_table_one() {
+        let db = db();
+        assert_eq!(db.match_tcp_port(80), Some(AppLabel::Http));
+        assert_eq!(db.match_tcp_port(3128), Some(AppLabel::Http));
+        assert_eq!(db.match_tcp_port(8080), Some(AppLabel::Http));
+        assert_eq!(db.match_tcp_port(21), Some(AppLabel::Ftp));
+        assert_eq!(db.match_tcp_port(4662), Some(AppLabel::EDonkey));
+        assert_eq!(db.match_udp_port(4672), Some(AppLabel::EDonkey));
+        assert_eq!(db.match_tcp_port(53), Some(AppLabel::Dns));
+        assert_eq!(db.match_tcp_port(443), Some(AppLabel::Https));
+        assert_eq!(db.match_tcp_port(12345), None);
+        assert_eq!(db.match_udp_port(80), None);
+    }
+
+    #[test]
+    fn label_classes_partition() {
+        assert!(AppLabel::BitTorrent.is_p2p());
+        assert!(!AppLabel::Http.is_p2p());
+        assert_eq!(AppLabel::Gnutella.port_class(), PortClass::P2p);
+        assert_eq!(AppLabel::Dns.port_class(), PortClass::NonP2p);
+        assert_eq!(AppLabel::Unknown.port_class(), PortClass::Unknown);
+        assert_eq!(AppLabel::all().len(), 11);
+    }
+
+    #[test]
+    fn display_uses_paper_names() {
+        assert_eq!(AppLabel::BitTorrent.to_string(), "bittorrent");
+        assert_eq!(AppLabel::Unknown.to_string(), "UNKNOWN");
+        assert_eq!(AppLabel::Http.to_string(), "HTTP");
+    }
+}

@@ -1,0 +1,315 @@
+//! Pike-VM execution of compiled NFA programs.
+//!
+//! Runs in O(|haystack| × |program|) worst case with no backtracking, so a
+//! hostile payload cannot blow up the traffic analyzer — an essential
+//! property for a filter sitting on an ISP edge router.
+
+use crate::compile::{Inst, Program};
+
+/// A list of active NFA threads with O(1) dedup membership testing.
+struct ThreadList {
+    dense: Vec<usize>,
+    /// `mark[pc] == generation` means pc is already in `dense`.
+    mark: Vec<u32>,
+    generation: u32,
+}
+
+impl ThreadList {
+    fn new(n: usize) -> Self {
+        Self {
+            dense: Vec::with_capacity(n),
+            mark: vec![0; n],
+            generation: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.dense.clear();
+        self.generation += 1;
+    }
+
+    fn contains(&self, pc: usize) -> bool {
+        self.mark[pc] == self.generation
+    }
+
+    fn insert(&mut self, pc: usize) {
+        self.mark[pc] = self.generation;
+        self.dense.push(pc);
+    }
+}
+
+/// Executes `prog` over `haystack`, returning whether any substring
+/// matches (or any prefix-anchored position when the program is
+/// anchored).
+///
+/// `fold_case` lowercases ASCII input bytes before comparison; compiled
+/// patterns must have been case-folded the same way (see `regex.rs`).
+pub(crate) fn is_match(prog: &Program, haystack: &[u8], fold_case: bool) -> bool {
+    let n = prog.insts.len();
+    let mut clist = ThreadList::new(n);
+    let mut nlist = ThreadList::new(n);
+    clist.clear();
+    nlist.clear();
+
+    // Seed at position 0.
+    if add_thread(prog, &mut clist, 0, 0, haystack.len()) {
+        return true;
+    }
+
+    for (pos, &raw) in haystack.iter().enumerate() {
+        let byte = if fold_case {
+            raw.to_ascii_lowercase()
+        } else {
+            raw
+        };
+        nlist.clear();
+        let mut matched = false;
+        for i in 0..clist.dense.len() {
+            let pc = clist.dense[i];
+            let consumed = match &prog.insts[pc] {
+                Inst::Byte(b) => *b == byte,
+                Inst::Any => true,
+                Inst::Class { negated, ranges } => class_matches(ranges, byte) != *negated,
+                // Non-consuming instructions were expanded by add_thread.
+                _ => false,
+            };
+            if consumed && add_thread(prog, &mut nlist, pc + 1, pos + 1, haystack.len()) {
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            return true;
+        }
+        std::mem::swap(&mut clist, &mut nlist);
+        // Unanchored search: also start a fresh attempt at pos + 1.
+        if !prog.anchored_start && add_thread(prog, &mut clist, 0, pos + 1, haystack.len()) {
+            return true;
+        }
+        if clist.dense.is_empty() && prog.anchored_start {
+            return false;
+        }
+    }
+    false
+}
+
+/// Executes `prog` over `haystack`, returning the span of the leftmost
+/// match (earliest start; for that start, the earliest end). Returns
+/// `None` when nothing matches.
+///
+/// Runs one anchored Pike-VM scan per start position, so it is
+/// O(|haystack|² × |program|) worst case — fine for the short
+/// first-payload streams signatures inspect; use [`is_match`] on hot
+/// paths.
+pub(crate) fn find(prog: &Program, haystack: &[u8], fold_case: bool) -> Option<(usize, usize)> {
+    let starts: Box<dyn Iterator<Item = usize>> = if prog.anchored_start {
+        Box::new(std::iter::once(0))
+    } else {
+        Box::new(0..=haystack.len())
+    };
+    for start in starts {
+        if let Some(len) = shortest_match_at(prog, &haystack[start..], fold_case) {
+            return Some((start, start + len));
+        }
+    }
+    None
+}
+
+/// Anchored scan: the length of the shortest match beginning at the
+/// start of `input`, if any.
+fn shortest_match_at(prog: &Program, input: &[u8], fold_case: bool) -> Option<usize> {
+    let n = prog.insts.len();
+    let mut clist = ThreadList::new(n);
+    let mut nlist = ThreadList::new(n);
+    clist.clear();
+    nlist.clear();
+    if add_thread(prog, &mut clist, 0, 0, input.len()) {
+        return Some(0);
+    }
+    for (pos, &raw) in input.iter().enumerate() {
+        let byte = if fold_case {
+            raw.to_ascii_lowercase()
+        } else {
+            raw
+        };
+        nlist.clear();
+        for i in 0..clist.dense.len() {
+            let pc = clist.dense[i];
+            let consumed = match &prog.insts[pc] {
+                Inst::Byte(b) => *b == byte,
+                Inst::Any => true,
+                Inst::Class { negated, ranges } => class_matches(ranges, byte) != *negated,
+                _ => false,
+            };
+            if consumed && add_thread(prog, &mut nlist, pc + 1, pos + 1, input.len()) {
+                return Some(pos + 1);
+            }
+        }
+        std::mem::swap(&mut clist, &mut nlist);
+        if clist.dense.is_empty() {
+            return None;
+        }
+    }
+    None
+}
+
+fn class_matches(ranges: &[(u8, u8)], byte: u8) -> bool {
+    ranges.iter().any(|&(lo, hi)| lo <= byte && byte <= hi)
+}
+
+/// Adds `pc` (expanding epsilon transitions) to `list`; returns `true`
+/// when a `Match` instruction is reached.
+fn add_thread(prog: &Program, list: &mut ThreadList, pc: usize, pos: usize, len: usize) -> bool {
+    if pc >= prog.insts.len() || list.contains(pc) {
+        return false;
+    }
+    list.insert(pc);
+    match &prog.insts[pc] {
+        Inst::Match => true,
+        Inst::Jmp(t) => add_thread(prog, list, *t, pos, len),
+        Inst::Split(a, b) => {
+            add_thread(prog, list, *a, pos, len) || add_thread(prog, list, *b, pos, len)
+        }
+        Inst::StartAnchor => pos == 0 && add_thread(prog, list, pc + 1, pos, len),
+        Inst::EndAnchor => pos == len && add_thread(prog, list, pc + 1, pos, len),
+        // Consuming instructions wait in the list for the next byte.
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::compile::compile;
+
+    fn matches(pattern: &str, haystack: &[u8]) -> bool {
+        let prog = compile(&parse(pattern).unwrap()).unwrap();
+        is_match(&prog, haystack, false)
+    }
+
+    #[test]
+    fn literal_substring_search() {
+        assert!(matches("bc", b"abcd"));
+        assert!(!matches("bd", b"abcd"));
+        assert!(matches("", b"anything"));
+        assert!(matches("", b""));
+    }
+
+    #[test]
+    fn anchors_constrain_position() {
+        assert!(matches("^ab", b"abxx"));
+        assert!(!matches("^ab", b"xab"));
+        assert!(matches("cd$", b"abcd"));
+        assert!(!matches("cd$", b"cdx"));
+        assert!(matches("^abcd$", b"abcd"));
+        assert!(!matches("^abcd$", b"abcde"));
+    }
+
+    #[test]
+    fn quantifiers_match() {
+        assert!(matches("ab*c", b"ac"));
+        assert!(matches("ab*c", b"abbbbc"));
+        assert!(matches("ab+c", b"abc"));
+        assert!(!matches("ab+c", b"ac"));
+        assert!(matches("ab?c", b"ac"));
+        assert!(matches("ab?c", b"abc"));
+        assert!(!matches("ab?c", b"abbc"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        assert!(matches("^a{2,3}$", b"aa"));
+        assert!(matches("^a{2,3}$", b"aaa"));
+        assert!(!matches("^a{2,3}$", b"a"));
+        assert!(!matches("^a{2,3}$", b"aaaa"));
+        assert!(matches("^a{2,}$", b"aaaaa"));
+        assert!(!matches("^a{2,}$", b"a"));
+    }
+
+    #[test]
+    fn classes_and_dot() {
+        assert!(matches("[0-9]+", b"port 8080"));
+        assert!(!matches("[0-9]", b"no digits"));
+        assert!(matches("^[^x]", b"abc"));
+        assert!(!matches("^[^x]", b"xabc"));
+        assert!(matches("a.c", b"azc"));
+        assert!(matches("a.c", b"a\x00c"));
+    }
+
+    #[test]
+    fn alternation_searches_all_branches() {
+        assert!(matches("cat|dog", b"hotdog"));
+        assert!(matches("cat|dog", b"catalog"));
+        assert!(!matches("cat|dog", b"bird"));
+    }
+
+    #[test]
+    fn binary_bytes_match() {
+        assert!(matches(r"^\x13bit", b"\x13bittorrent"));
+        assert!(!matches(r"^\x13bit", b"x\x13bit"));
+        assert!(matches(r"[\xc5\xd4\xe3-\xe5]", b"\xe4"));
+        assert!(!matches(r"[\xc5\xd4\xe3-\xe5]", b"\xe6"));
+    }
+
+    #[test]
+    fn case_folding_at_vm_level() {
+        let prog = compile(&parse("abc").unwrap()).unwrap();
+        assert!(is_match(&prog, b"xxABCxx", true));
+        assert!(!is_match(&prog, b"xxABCxx", false));
+    }
+
+    #[test]
+    fn pathological_pattern_terminates_quickly() {
+        // (a*)* style blow-up patterns are linear under a Pike VM.
+        let hay = vec![b'a'; 2000];
+        assert!(matches("^(a|a)(a|a)*$", &hay));
+        let mut hay2 = hay.clone();
+        hay2.push(b'b');
+        assert!(!matches("^(a|a)(a|a)*$", &hay2));
+    }
+
+    #[test]
+    fn empty_repeat_does_not_loop_forever() {
+        // `()*`-style empty-width loop must terminate.
+        assert!(matches("(a?)*b", b"b"));
+        assert!(matches("(a?)*", b""));
+    }
+
+    #[test]
+    fn anchored_miss_exits_early() {
+        assert!(!matches("^zz", b"aaaaaaaaaaaaaaaa"));
+    }
+
+    fn find_span(pattern: &str, haystack: &[u8]) -> Option<(usize, usize)> {
+        let prog = compile(&parse(pattern).unwrap()).unwrap();
+        find(&prog, haystack, false)
+    }
+
+    #[test]
+    fn find_returns_leftmost_shortest() {
+        assert_eq!(find_span("bc", b"abcbc"), Some((1, 3)));
+        assert_eq!(find_span("a+", b"xxaaay"), Some((2, 3))); // shortest end
+        assert_eq!(find_span("^ab", b"abab"), Some((0, 2)));
+        assert_eq!(find_span("q", b"abc"), None);
+        assert_eq!(find_span("", b"abc"), Some((0, 0)));
+    }
+
+    #[test]
+    fn find_respects_end_anchor() {
+        assert_eq!(find_span("bc$", b"abcbc"), Some((3, 5)));
+        assert_eq!(find_span("bc$", b"bcx"), None);
+    }
+
+    #[test]
+    fn find_agrees_with_is_match() {
+        for (p, h) in [
+            ("a(b|c)d", &b"zzacdzz"[..]),
+            ("[0-9]{2,3}", b"port 8080 here"),
+            ("nope", b"hay"),
+        ] {
+            let prog = compile(&parse(p).unwrap()).unwrap();
+            assert_eq!(is_match(&prog, h, false), find(&prog, h, false).is_some());
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Property tests: the Pike-VM engine agrees with an independent
+//! backtracking reference matcher on randomly generated patterns and
+//! haystacks, and never panics or blows up on arbitrary input.
+
+use proptest::prelude::*;
+use upbound_pattern::Regex;
+
+/// A deliberately naive (exponential-time) backtracking matcher over a
+/// tiny regex AST, used purely as an executable specification.
+mod reference {
+    #[derive(Debug, Clone)]
+    pub enum Node {
+        Byte(u8),
+        Any,
+        Class {
+            negated: bool,
+            ranges: Vec<(u8, u8)>,
+        },
+        Concat(Vec<Node>),
+        Alt(Vec<Node>),
+        Star(Box<Node>),
+        Opt(Box<Node>),
+        Plus(Box<Node>),
+    }
+
+    impl Node {
+        /// Renders the node back to pattern syntax for the real engine.
+        pub fn to_pattern(&self) -> String {
+            match self {
+                Node::Byte(b) => format!(r"\x{b:02x}"),
+                Node::Any => ".".to_owned(),
+                Node::Class { negated, ranges } => {
+                    let mut s = String::from("[");
+                    if *negated {
+                        s.push('^');
+                    }
+                    for (lo, hi) in ranges {
+                        if lo == hi {
+                            s.push_str(&format!(r"\x{lo:02x}"));
+                        } else {
+                            s.push_str(&format!(r"\x{lo:02x}-\x{hi:02x}"));
+                        }
+                    }
+                    s.push(']');
+                    s
+                }
+                Node::Concat(parts) => parts.iter().map(Node::to_pattern).collect(),
+                Node::Alt(parts) => {
+                    // Parenthesize the whole alternation so it keeps its
+                    // precedence when embedded in a concatenation.
+                    let inner: Vec<String> = parts
+                        .iter()
+                        .map(|p| format!("({})", p.to_pattern()))
+                        .collect();
+                    format!("({})", inner.join("|"))
+                }
+                Node::Star(inner) => format!("({})*", inner.to_pattern()),
+                Node::Opt(inner) => format!("({})?", inner.to_pattern()),
+                Node::Plus(inner) => format!("({})+", inner.to_pattern()),
+            }
+        }
+    }
+
+    /// Returns every length `l` such that the node matches `input[..l]`.
+    fn match_lens(node: &Node, input: &[u8]) -> Vec<usize> {
+        match node {
+            Node::Byte(b) => {
+                if input.first() == Some(b) {
+                    vec![1]
+                } else {
+                    vec![]
+                }
+            }
+            Node::Any => {
+                if input.is_empty() {
+                    vec![]
+                } else {
+                    vec![1]
+                }
+            }
+            Node::Class { negated, ranges } => match input.first() {
+                Some(&c) => {
+                    let inside = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+                    if inside != *negated {
+                        vec![1]
+                    } else {
+                        vec![]
+                    }
+                }
+                None => vec![],
+            },
+            Node::Concat(parts) => {
+                let mut lens = vec![0usize];
+                for part in parts {
+                    let mut next = Vec::new();
+                    for &l in &lens {
+                        for m in match_lens(part, &input[l..]) {
+                            if !next.contains(&(l + m)) {
+                                next.push(l + m);
+                            }
+                        }
+                    }
+                    lens = next;
+                    if lens.is_empty() {
+                        break;
+                    }
+                }
+                lens
+            }
+            Node::Alt(parts) => {
+                let mut lens = Vec::new();
+                for part in parts {
+                    for m in match_lens(part, input) {
+                        if !lens.contains(&m) {
+                            lens.push(m);
+                        }
+                    }
+                }
+                lens
+            }
+            Node::Star(inner) => {
+                let mut lens = vec![0usize];
+                let mut frontier = vec![0usize];
+                while let Some(l) = frontier.pop() {
+                    for m in match_lens(inner, &input[l..]) {
+                        if m > 0 && !lens.contains(&(l + m)) {
+                            lens.push(l + m);
+                            frontier.push(l + m);
+                        }
+                    }
+                }
+                lens
+            }
+            Node::Opt(inner) => {
+                let mut lens = vec![0usize];
+                for m in match_lens(inner, input) {
+                    if !lens.contains(&m) {
+                        lens.push(m);
+                    }
+                }
+                lens
+            }
+            Node::Plus(inner) => {
+                let star = Node::Star(inner.clone());
+                let mut lens = Vec::new();
+                for f in match_lens(inner, input) {
+                    for rest in match_lens(&star, &input[f..]) {
+                        if !lens.contains(&(f + rest)) {
+                            lens.push(f + rest);
+                        }
+                    }
+                }
+                lens
+            }
+        }
+    }
+
+    /// Unanchored substring search.
+    pub fn is_match(node: &Node, haystack: &[u8]) -> bool {
+        (0..=haystack.len()).any(|start| !match_lens(node, &haystack[start..]).is_empty())
+    }
+}
+
+use reference::Node;
+
+/// Small byte alphabet keeps match probability interesting.
+fn arb_byte() -> impl Strategy<Value = u8> {
+    prop_oneof![
+        Just(b'a'),
+        Just(b'b'),
+        Just(b'c'),
+        Just(0x00u8),
+        Just(0xffu8)
+    ]
+}
+
+fn arb_leaf() -> impl Strategy<Value = Node> {
+    prop_oneof![
+        arb_byte().prop_map(Node::Byte),
+        Just(Node::Any),
+        (
+            any::<bool>(),
+            proptest::collection::vec((arb_byte(), arb_byte()), 1..3)
+        )
+            .prop_map(|(negated, pairs)| {
+                let ranges = pairs
+                    .into_iter()
+                    .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+                    .collect();
+                Node::Class { negated, ranges }
+            }),
+    ]
+}
+
+fn arb_node() -> impl Strategy<Value = Node> {
+    arb_leaf().prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Node::Concat),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Node::Alt),
+            inner.clone().prop_map(|n| Node::Star(Box::new(n))),
+            inner.clone().prop_map(|n| Node::Opt(Box::new(n))),
+            inner.prop_map(|n| Node::Plus(Box::new(n))),
+        ]
+    })
+}
+
+fn arb_haystack() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(arb_byte(), 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The production engine and the reference matcher agree on every
+    /// (pattern, haystack) pair.
+    #[test]
+    fn engine_matches_reference(node in arb_node(), hay in arb_haystack()) {
+        let pattern = node.to_pattern();
+        let re = Regex::new(&pattern)
+            .unwrap_or_else(|e| panic!("generated pattern {pattern:?} must compile: {e}"));
+        let expected = reference::is_match(&node, &hay);
+        prop_assert_eq!(
+            re.is_match(&hay),
+            expected,
+            "pattern {:?} on {:?}",
+            pattern,
+            hay
+        );
+    }
+
+    /// Arbitrary pattern strings either compile or error — never panic —
+    /// and compiled ones never panic on arbitrary haystacks.
+    #[test]
+    fn arbitrary_patterns_never_panic(
+        pattern in "[ -~]{0,20}",
+        hay in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        if let Ok(re) = Regex::new(&pattern) {
+            let _ = re.is_match(&hay);
+        }
+        if let Ok(re) = Regex::case_insensitive(&pattern) {
+            let _ = re.is_match(&hay);
+        }
+    }
+
+    /// `find` agrees with `is_match` on presence, and its span really
+    /// contains a match of the pattern (verified with the reference).
+    #[test]
+    fn find_presence_matches_is_match(node in arb_node(), hay in arb_haystack()) {
+        let pattern = node.to_pattern();
+        let re = Regex::new(&pattern).expect("generated pattern compiles");
+        let span = re.find(&hay);
+        prop_assert_eq!(span.is_some(), re.is_match(&hay));
+        if let Some((start, end)) = span {
+            prop_assert!(start <= end && end <= hay.len());
+            // The reported span's prefix region must contain a match when
+            // checked independently.
+            prop_assert!(reference::is_match(&node, &hay[start..]));
+        }
+    }
+
+    /// Case-insensitive matching is invariant under ASCII case changes of
+    /// the haystack.
+    #[test]
+    fn insensitive_matching_ignores_case(
+        node in arb_node(),
+        hay in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'A'), Just(b'B')], 0..10),
+    ) {
+        let pattern = node.to_pattern();
+        if let Ok(re) = Regex::case_insensitive(&pattern) {
+            let upper: Vec<u8> = hay.iter().map(|b| b.to_ascii_uppercase()).collect();
+            let lower: Vec<u8> = hay.iter().map(|b| b.to_ascii_lowercase()).collect();
+            prop_assert_eq!(re.is_match(&upper), re.is_match(&lower));
+        }
+    }
+}

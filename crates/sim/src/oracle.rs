@@ -1,0 +1,123 @@
+//! An exact reference filter for error accounting.
+
+use crate::PacketFilter;
+use std::collections::HashMap;
+use upbound_core::Verdict;
+use upbound_net::{Direction, FiveTuple, Packet, TimeDelta, Timestamp};
+
+/// The idealized filter the bitmap filter approximates: exact,
+/// infinite-capacity positive listing with expiry window `T_e` and
+/// unconditional dropping (`P_d ≡ 1`).
+///
+/// An inbound packet passes iff an outbound packet of the same connection
+/// was seen within the last `T_e`. Comparing a real filter's verdicts
+/// against the oracle's gives exact false-positive ("should drop,
+/// passed") and false-negative ("should pass, dropped") counts in the
+/// sense of the paper's §5.1.
+#[derive(Debug, Clone)]
+pub struct OracleFilter {
+    expiry: TimeDelta,
+    last_outbound: HashMap<FiveTuple, Timestamp>,
+}
+
+impl OracleFilter {
+    /// Creates an oracle with expiry window `T_e`.
+    pub fn new(expiry: TimeDelta) -> Self {
+        Self {
+            expiry,
+            last_outbound: HashMap::new(),
+        }
+    }
+
+    /// The expiry window.
+    pub fn expiry(&self) -> TimeDelta {
+        self.expiry
+    }
+
+    /// `true` when an inbound packet of `tuple` at `now` is a legitimate
+    /// response to recent outbound traffic.
+    pub fn is_solicited(&self, tuple: &FiveTuple, now: Timestamp) -> bool {
+        match self.last_outbound.get(&tuple.inverse()) {
+            Some(&t0) => now.saturating_since(t0) <= self.expiry,
+            None => false,
+        }
+    }
+}
+
+impl PacketFilter for OracleFilter {
+    fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
+        let now = packet.ts();
+        match direction {
+            Direction::Outbound => {
+                self.last_outbound.insert(packet.tuple(), now);
+                Verdict::Pass
+            }
+            Direction::Inbound => {
+                if self.is_solicited(&packet.tuple(), now) {
+                    Verdict::Pass
+                } else {
+                    Verdict::Drop
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "oracle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upbound_net::{Protocol, TcpFlags};
+
+    fn conn() -> FiveTuple {
+        FiveTuple::new(
+            Protocol::Tcp,
+            "10.0.0.1:40000".parse().unwrap(),
+            "198.51.100.2:80".parse().unwrap(),
+        )
+    }
+
+    fn pkt(tuple: FiveTuple, t: f64) -> Packet {
+        Packet::tcp(Timestamp::from_secs(t), tuple, TcpFlags::ACK, &[][..])
+    }
+
+    #[test]
+    fn responses_pass_within_window() {
+        let mut o = OracleFilter::new(TimeDelta::from_secs(20.0));
+        assert_eq!(
+            o.decide(&pkt(conn(), 0.0), Direction::Outbound),
+            Verdict::Pass
+        );
+        assert_eq!(
+            o.decide(&pkt(conn().inverse(), 19.0), Direction::Inbound),
+            Verdict::Pass
+        );
+        assert_eq!(
+            o.decide(&pkt(conn().inverse(), 30.0), Direction::Inbound),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn unsolicited_inbound_always_drops() {
+        let mut o = OracleFilter::new(TimeDelta::from_secs(20.0));
+        assert_eq!(
+            o.decide(&pkt(conn().inverse(), 1.0), Direction::Inbound),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn outbound_refresh_extends_window() {
+        let mut o = OracleFilter::new(TimeDelta::from_secs(10.0));
+        o.decide(&pkt(conn(), 0.0), Direction::Outbound);
+        o.decide(&pkt(conn(), 9.0), Direction::Outbound);
+        assert_eq!(
+            o.decide(&pkt(conn().inverse(), 15.0), Direction::Inbound),
+            Verdict::Pass
+        );
+    }
+}

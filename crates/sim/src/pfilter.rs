@@ -1,0 +1,76 @@
+//! The common filter interface the replay engine drives.
+
+use upbound_core::{BitmapFilter, Verdict};
+use upbound_net::{Direction, Packet};
+use upbound_spi::SpiFilter;
+
+/// Anything that can decide, packet by packet, whether traffic crossing
+/// the client-network edge passes or drops.
+///
+/// Implementations must treat `decide` as the full per-packet pipeline:
+/// learn from outbound packets, measure throughput, and judge inbound
+/// packets. The engine calls it exactly once per surviving packet, in
+/// timestamp order.
+pub trait PacketFilter {
+    /// Decides the fate of one packet.
+    fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict;
+
+    /// A short display name for reports.
+    fn name(&self) -> &str;
+}
+
+impl PacketFilter for BitmapFilter {
+    fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
+        self.process_packet(packet, direction)
+    }
+
+    fn name(&self) -> &str {
+        "bitmap"
+    }
+}
+
+impl PacketFilter for SpiFilter {
+    fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
+        self.process_packet(packet, direction)
+    }
+
+    fn name(&self) -> &str {
+        "spi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upbound_core::BitmapFilterConfig;
+    use upbound_net::{FiveTuple, Protocol, TcpFlags, Timestamp};
+    use upbound_spi::SpiConfig;
+
+    fn packet(dir_src: &str, dir_dst: &str) -> Packet {
+        Packet::tcp(
+            Timestamp::from_secs(1.0),
+            FiveTuple::new(
+                Protocol::Tcp,
+                dir_src.parse().unwrap(),
+                dir_dst.parse().unwrap(),
+            ),
+            TcpFlags::SYN,
+            &[][..],
+        )
+    }
+
+    #[test]
+    fn both_filters_implement_the_trait_consistently() {
+        let outbound = packet("10.0.0.1:40000", "198.51.100.2:80");
+        let unsolicited = packet("198.51.100.9:50000", "10.0.0.1:6881");
+        let mut bitmap = BitmapFilter::new(BitmapFilterConfig::paper_evaluation());
+        let mut spi = SpiFilter::new(SpiConfig::default());
+        let filters: [&mut dyn PacketFilter; 2] = [&mut bitmap, &mut spi];
+        for f in filters {
+            assert_eq!(f.decide(&outbound, Direction::Outbound), Verdict::Pass);
+            assert_eq!(f.decide(&unsolicited, Direction::Inbound), Verdict::Drop);
+        }
+        assert_eq!(bitmap.name(), "bitmap");
+        assert_eq!(spi.name(), "spi");
+    }
+}

@@ -1,0 +1,96 @@
+//! Parallel parameter sweeps for the ablation benches.
+
+use crossbeam::thread;
+
+/// Runs `f` over every input on a small thread pool, preserving input
+/// order in the outputs.
+///
+/// Used by the ablation binaries to evaluate many `(k, Δt, n, m)`
+/// configurations over the same trace concurrently; each job is
+/// independent, so plain fork-join with crossbeam's scoped threads is
+/// enough.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_sim::sweep::run_sweep;
+///
+/// let squares = run_sweep(&[1, 2, 3, 4], 2, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `workers == 0` or a job panics.
+pub fn run_sweep<I, O, F>(inputs: &[I], workers: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.min(inputs.len());
+    let chunk = inputs.len().div_ceil(workers);
+    let mut outputs: Vec<Option<O>> = (0..inputs.len()).map(|_| None).collect();
+
+    thread::scope(|scope| {
+        for (slot_chunk, input_chunk) in outputs.chunks_mut(chunk).zip(inputs.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (slot, input) in slot_chunk.iter_mut().zip(input_chunk) {
+                    *slot = Some(f(input));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    outputs
+        .into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let inputs: Vec<u32> = (0..100).collect();
+        let out = run_sweep(&inputs, 8, |&x| x + 1);
+        assert_eq!(out, (1..101).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn single_worker_works() {
+        assert_eq!(run_sweep(&[5, 6], 1, |&x| x * 10), vec![50, 60]);
+    }
+
+    #[test]
+    fn more_workers_than_inputs() {
+        assert_eq!(run_sweep(&[7], 16, |&x| x - 1), vec![6]);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let out: Vec<i32> = run_sweep(&[] as &[i32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn heavy_jobs_complete() {
+        let inputs: Vec<u64> = (0..16).collect();
+        let out = run_sweep(&inputs, 4, |&x| (0..10_000u64).map(|i| i ^ x).sum::<u64>());
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_workers_panics() {
+        let _ = run_sweep(&[1], 0, |&x: &i32| x);
+    }
+}

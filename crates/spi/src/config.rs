@@ -1,0 +1,72 @@
+//! SPI filter configuration.
+
+use serde::{Deserialize, Serialize};
+use upbound_core::DropPolicy;
+use upbound_net::TimeDelta;
+
+/// Configuration of an [`SpiFilter`](crate::SpiFilter).
+///
+/// The default matches the paper's Figure 8 setup: idle connections are
+/// deleted after 240 seconds ("the default TIME_WAIT timeout used in the
+/// Microsoft Windows operating system"), TCP closes are tracked exactly,
+/// and every unknown inbound packet is dropped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpiConfig {
+    /// Idle timeout after which a flow entry is deleted.
+    pub idle_timeout: TimeDelta,
+    /// Track TCP FIN/RST and delete closed connections immediately.
+    pub tcp_aware: bool,
+    /// Drop policy for unknown inbound packets (paper Equation 1).
+    pub drop_policy: DropPolicy,
+    /// Seed for the drop-decision RNG.
+    pub rng_seed: u64,
+    /// How often the table is swept for expired entries.
+    pub purge_interval: TimeDelta,
+    /// Hard cap on tracked flows (conntrack-style table limit); `None`
+    /// means unlimited. When the table is full, *new* outbound flows are
+    /// not tracked — their responses will be dropped, the state-exhaustion
+    /// failure mode the bitmap filter is immune to.
+    pub max_entries: Option<usize>,
+}
+
+impl Default for SpiConfig {
+    fn default() -> Self {
+        Self {
+            idle_timeout: TimeDelta::from_secs(240.0),
+            tcp_aware: true,
+            drop_policy: DropPolicy::drop_all(),
+            rng_seed: 0,
+            purge_interval: TimeDelta::from_secs(30.0),
+            max_entries: None,
+        }
+    }
+}
+
+impl SpiConfig {
+    /// The Figure 9-style limiter variant (`L = 50 Mbps`, `H = 100 Mbps`).
+    pub fn limiter() -> Self {
+        Self {
+            drop_policy: DropPolicy::paper_figure9(),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_figure8() {
+        let c = SpiConfig::default();
+        assert_eq!(c.idle_timeout, TimeDelta::from_secs(240.0));
+        assert!(c.tcp_aware);
+        assert_eq!(c.drop_policy.drop_probability(0.0), 1.0);
+    }
+
+    #[test]
+    fn limiter_uses_red_policy() {
+        let c = SpiConfig::limiter();
+        assert_eq!(c.drop_policy.drop_probability(75e6), 0.5);
+    }
+}

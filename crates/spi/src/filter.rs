@@ -1,0 +1,416 @@
+//! The SPI filter: exact positive listing with per-flow state.
+
+use crate::{FlowTable, SpiConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use upbound_core::{ThroughputMonitor, Verdict};
+use upbound_net::{Direction, FiveTuple, Packet, TcpFlags, TimeDelta, Timestamp};
+
+/// Running counters of an [`SpiFilter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpiStats {
+    /// Outbound packets observed (always passed).
+    pub outbound_packets: u64,
+    /// Inbound packets checked.
+    pub inbound_packets: u64,
+    /// Inbound packets matched to tracked state.
+    pub inbound_hits: u64,
+    /// Inbound packets with no state.
+    pub inbound_misses: u64,
+    /// Inbound packets dropped.
+    pub dropped: u64,
+    /// Entries removed by periodic purges.
+    pub purged_entries: u64,
+    /// Number of purge sweeps run.
+    pub purge_sweeps: u64,
+    /// Outbound flows that could not be tracked because the table was
+    /// full (state exhaustion).
+    pub untracked_flows: u64,
+}
+
+/// The exact stateful-packet-inspection filter the paper benchmarks the
+/// bitmap filter against (§5.3, Figure 8).
+///
+/// Policy is identical to the bitmap filter — outbound always passes and
+/// creates state; inbound passes only with state, else it is dropped with
+/// probability `P_d` — but the memory is an exact [`FlowTable`]: no false
+/// positives, precise close tracking, and O(flows) storage plus periodic
+/// O(flows) purge sweeps.
+#[derive(Debug, Clone)]
+pub struct SpiFilter {
+    config: SpiConfig,
+    table: FlowTable,
+    monitor: ThroughputMonitor,
+    rng: StdRng,
+    next_purge: Timestamp,
+    stats: SpiStats,
+}
+
+impl SpiFilter {
+    /// Creates a filter from a configuration.
+    pub fn new(config: SpiConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(config.rng_seed),
+            table: FlowTable::new(),
+            monitor: ThroughputMonitor::new(TimeDelta::from_secs(1.0), 20),
+            next_purge: Timestamp::ZERO + config.purge_interval,
+            stats: SpiStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SpiConfig {
+        &self.config
+    }
+
+    /// The underlying flow table (for memory accounting).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Running counters.
+    pub fn stats(&self) -> SpiStats {
+        self.stats
+    }
+
+    /// The uplink throughput monitor.
+    pub fn monitor(&self) -> &ThroughputMonitor {
+        &self.monitor
+    }
+
+    /// Runs any purge sweep that came due at or before `now`.
+    pub fn advance(&mut self, now: Timestamp) {
+        while now >= self.next_purge {
+            let removed = self.table.purge(self.next_purge, self.config.idle_timeout);
+            self.stats.purged_entries += removed as u64;
+            self.stats.purge_sweeps += 1;
+            self.next_purge += self.config.purge_interval;
+        }
+    }
+
+    /// Records an outbound packet: creates/refreshes flow state. Outbound
+    /// packets always pass.
+    pub fn observe_outbound(&mut self, tuple: &FiveTuple, flags: Option<TcpFlags>, now: Timestamp) {
+        self.advance(now);
+        self.stats.outbound_packets += 1;
+        let flags = if self.config.tcp_aware { flags } else { None };
+        match self.config.max_entries {
+            Some(cap) => {
+                if !self.table.touch_outbound_capped(*tuple, flags, now, cap) {
+                    self.stats.untracked_flows += 1;
+                }
+            }
+            None => self.table.touch_outbound(*tuple, flags, now),
+        }
+    }
+
+    /// Checks an inbound packet against the flow table with explicit drop
+    /// probability `p_d`.
+    pub fn check_inbound(
+        &mut self,
+        tuple: &FiveTuple,
+        flags: Option<TcpFlags>,
+        now: Timestamp,
+        p_d: f64,
+    ) -> Verdict {
+        self.advance(now);
+        self.stats.inbound_packets += 1;
+        let outbound = tuple.inverse();
+        if self
+            .table
+            .lookup(&outbound, now, self.config.idle_timeout)
+            .is_some()
+        {
+            self.stats.inbound_hits += 1;
+            let flags = if self.config.tcp_aware { flags } else { None };
+            self.table.touch_inbound(&outbound, flags, now);
+            return Verdict::Pass;
+        }
+        self.stats.inbound_misses += 1;
+        if self.rng.gen::<f64>() < p_d {
+            self.stats.dropped += 1;
+            Verdict::Drop
+        } else {
+            Verdict::Pass
+        }
+    }
+
+    /// The drop probability Equation 1 yields for the current measured
+    /// uplink throughput.
+    pub fn drop_probability(&self, now: Timestamp) -> f64 {
+        self.config
+            .drop_policy
+            .drop_probability(self.monitor.rate_bps(now))
+    }
+
+    /// Full per-packet pipeline mirroring
+    /// [`BitmapFilter::process_packet`](upbound_core::BitmapFilter::process_packet).
+    pub fn process_packet(&mut self, packet: &Packet, direction: Direction) -> Verdict {
+        let now = packet.ts();
+        match direction {
+            Direction::Outbound => {
+                self.observe_outbound(&packet.tuple(), packet.tcp_flags(), now);
+                self.monitor.record(now, packet.wire_len() as u64);
+                Verdict::Pass
+            }
+            Direction::Inbound => {
+                let p_d = self.drop_probability(now);
+                self.check_inbound(&packet.tuple(), packet.tcp_flags(), now, p_d)
+            }
+        }
+    }
+
+    /// Clears table, monitor, statistics, and timers.
+    pub fn reset(&mut self) {
+        self.table.clear();
+        self.monitor.reset();
+        self.stats = SpiStats::default();
+        self.next_purge = Timestamp::ZERO + self.config.purge_interval;
+        self.rng = StdRng::seed_from_u64(self.config.rng_seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upbound_net::Protocol;
+
+    fn conn(port: u16) -> FiveTuple {
+        FiveTuple::new(
+            Protocol::Tcp,
+            format!("10.0.0.1:{port}").parse().unwrap(),
+            "192.0.2.1:80".parse().unwrap(),
+        )
+    }
+
+    fn stranger(port: u16) -> FiveTuple {
+        FiveTuple::new(
+            Protocol::Tcp,
+            format!("198.51.100.7:{port}").parse().unwrap(),
+            "10.0.0.1:6881".parse().unwrap(),
+        )
+    }
+
+    fn spi() -> SpiFilter {
+        SpiFilter::new(SpiConfig::default())
+    }
+
+    #[test]
+    fn response_passes_and_stranger_drops() {
+        let mut f = spi();
+        let t = Timestamp::from_secs(0.0);
+        f.observe_outbound(&conn(4000), Some(TcpFlags::SYN), t);
+        assert_eq!(
+            f.check_inbound(
+                &conn(4000).inverse(),
+                Some(TcpFlags::SYN | TcpFlags::ACK),
+                t,
+                1.0
+            ),
+            Verdict::Pass
+        );
+        assert_eq!(
+            f.check_inbound(&stranger(5000), Some(TcpFlags::SYN), t, 1.0),
+            Verdict::Drop
+        );
+        let s = f.stats();
+        assert_eq!((s.inbound_hits, s.inbound_misses, s.dropped), (1, 1, 1));
+    }
+
+    #[test]
+    fn idle_timeout_expires_state() {
+        let mut f = spi();
+        f.observe_outbound(&conn(4000), None, Timestamp::from_secs(0.0));
+        assert_eq!(
+            f.check_inbound(
+                &conn(4000).inverse(),
+                None,
+                Timestamp::from_secs(239.0),
+                1.0
+            ),
+            Verdict::Pass
+        );
+        // Refreshed by the inbound packet at 239 s; idle again until 500 s.
+        assert_eq!(
+            f.check_inbound(
+                &conn(4000).inverse(),
+                None,
+                Timestamp::from_secs(500.0),
+                1.0
+            ),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn tcp_close_removes_state_immediately() {
+        let mut f = spi();
+        let c = conn(4100);
+        let t = Timestamp::from_secs(0.0);
+        f.observe_outbound(&c, Some(TcpFlags::SYN), t);
+        f.check_inbound(&c.inverse(), Some(TcpFlags::SYN | TcpFlags::ACK), t, 1.0);
+        f.observe_outbound(&c, Some(TcpFlags::ACK), t);
+        // FIN exchange.
+        f.observe_outbound(&c, Some(TcpFlags::FIN | TcpFlags::ACK), t);
+        f.check_inbound(&c.inverse(), Some(TcpFlags::FIN | TcpFlags::ACK), t, 1.0);
+        // Connection closed: a late packet finds no state.
+        assert_eq!(
+            f.check_inbound(
+                &c.inverse(),
+                Some(TcpFlags::ACK),
+                Timestamp::from_secs(1.0),
+                1.0
+            ),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn tcp_unaware_mode_ignores_close() {
+        let mut f = SpiFilter::new(SpiConfig {
+            tcp_aware: false,
+            ..SpiConfig::default()
+        });
+        let c = conn(4200);
+        let t = Timestamp::from_secs(0.0);
+        f.observe_outbound(&c, Some(TcpFlags::RST), t);
+        assert_eq!(
+            f.check_inbound(&c.inverse(), Some(TcpFlags::ACK), t, 1.0),
+            Verdict::Pass
+        );
+    }
+
+    #[test]
+    fn purge_sweeps_run_on_schedule() {
+        let mut f = spi();
+        f.observe_outbound(&conn(1), None, Timestamp::from_secs(0.0));
+        f.advance(Timestamp::from_secs(100.0));
+        assert_eq!(f.stats().purge_sweeps, 3); // at 30, 60, 90
+                                               // Entry still fresh relative to 240 s timeout.
+        assert_eq!(f.table().len(), 1);
+        f.advance(Timestamp::from_secs(400.0));
+        assert_eq!(f.table().len(), 0);
+        assert!(f.stats().purged_entries >= 1);
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_flows() {
+        let mut f = spi();
+        let t = Timestamp::from_secs(0.0);
+        for p in 0..1000u16 {
+            f.observe_outbound(&conn(10_000 + p), None, t);
+        }
+        assert_eq!(f.table().len(), 1000);
+        assert_eq!(f.table().peak_entries(), 1000);
+        assert!(f.table().approx_memory_bytes() >= 1000 * 32);
+    }
+
+    #[test]
+    fn process_packet_counts_uplink_only_on_outbound() {
+        let mut f = spi();
+        let pkt = Packet::tcp(
+            Timestamp::from_secs(0.5),
+            conn(4300),
+            TcpFlags::ACK,
+            vec![0u8; 500],
+        );
+        f.process_packet(&pkt, Direction::Outbound);
+        assert!(f.monitor().total_bytes() > 0);
+        let inbound = Packet::tcp(
+            Timestamp::from_secs(0.6),
+            conn(4300).inverse(),
+            TcpFlags::ACK,
+            vec![0u8; 500],
+        );
+        let before = f.monitor().total_bytes();
+        assert_eq!(
+            f.process_packet(&inbound, Direction::Inbound),
+            Verdict::Pass
+        );
+        assert_eq!(f.monitor().total_bytes(), before);
+    }
+
+    #[test]
+    fn pd_zero_never_drops() {
+        let mut f = spi();
+        let t = Timestamp::from_secs(0.0);
+        for p in 0..100u16 {
+            assert_eq!(
+                f.check_inbound(&stranger(1000 + p), None, t, 0.0),
+                Verdict::Pass
+            );
+        }
+        assert_eq!(f.stats().dropped, 0);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut f = spi();
+        let t = Timestamp::from_secs(0.0);
+        f.observe_outbound(&conn(1), None, t);
+        f.reset();
+        assert_eq!(f.stats(), SpiStats::default());
+        assert!(f.table().is_empty());
+        assert_eq!(
+            f.check_inbound(&conn(1).inverse(), None, t, 1.0),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn table_cap_causes_state_exhaustion() {
+        let mut f = SpiFilter::new(SpiConfig {
+            max_entries: Some(10),
+            ..SpiConfig::default()
+        });
+        let t = Timestamp::from_secs(0.0);
+        for p in 0..20u16 {
+            f.observe_outbound(&conn(10_000 + p), None, t);
+        }
+        assert_eq!(f.table().len(), 10);
+        assert_eq!(f.stats().untracked_flows, 10);
+        // Tracked flows answer; untracked flows' responses are dropped —
+        // the conntrack-full failure mode.
+        assert_eq!(
+            f.check_inbound(&conn(10_000).inverse(), None, t, 1.0),
+            Verdict::Pass
+        );
+        assert_eq!(
+            f.check_inbound(&conn(10_015).inverse(), None, t, 1.0),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn cap_still_refreshes_existing_flows() {
+        let mut f = SpiFilter::new(SpiConfig {
+            max_entries: Some(1),
+            ..SpiConfig::default()
+        });
+        f.observe_outbound(&conn(1), None, Timestamp::from_secs(0.0));
+        // Refresh of the same flow is never counted as exhaustion.
+        f.observe_outbound(&conn(1), None, Timestamp::from_secs(100.0));
+        assert_eq!(f.stats().untracked_flows, 0);
+        assert_eq!(
+            f.check_inbound(&conn(1).inverse(), None, Timestamp::from_secs(200.0), 1.0),
+            Verdict::Pass
+        );
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let run = |seed| {
+            let mut f = SpiFilter::new(SpiConfig {
+                rng_seed: seed,
+                ..SpiConfig::default()
+            });
+            (0..100u16)
+                .map(|p| f.check_inbound(&stranger(1000 + p), None, Timestamp::ZERO, 0.5))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

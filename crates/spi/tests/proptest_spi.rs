@@ -1,0 +1,138 @@
+//! Property tests: the SPI filter implements exact positive listing —
+//! its verdicts coincide with a brute-force reference over arbitrary
+//! packet schedules.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use upbound_core::Verdict;
+use upbound_net::{FiveTuple, Protocol, TimeDelta, Timestamp};
+use upbound_spi::{SpiConfig, SpiFilter};
+
+#[derive(Debug, Clone)]
+struct Event {
+    conn: u8,
+    outbound: bool,
+    at_ms: u64,
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec((0u8..8, any::<bool>(), 0u64..600_000), 0..60).prop_map(|v| {
+        let mut events: Vec<Event> = v
+            .into_iter()
+            .map(|(conn, outbound, at_ms)| Event {
+                conn,
+                outbound,
+                at_ms,
+            })
+            .collect();
+        events.sort_by_key(|e| e.at_ms);
+        events
+    })
+}
+
+fn conn_tuple(i: u8) -> FiveTuple {
+    FiveTuple::new(
+        Protocol::Udp, // UDP: no TCP-state side effects
+        format!("10.0.0.1:{}", 10_000 + i as u16)
+            .parse()
+            .expect("addr"),
+        format!("198.51.100.2:{}", 20_000 + i as u16)
+            .parse()
+            .expect("addr"),
+    )
+}
+
+proptest! {
+    /// For UDP flows (no close tracking) with P_d = 1, the SPI verdict
+    /// for every inbound packet equals the brute-force rule: "an
+    /// outbound or accepted inbound packet of this connection occurred
+    /// within the idle timeout".
+    #[test]
+    fn spi_equals_reference_positive_listing(events in arb_events()) {
+        let idle = TimeDelta::from_secs(240.0);
+        let mut spi = SpiFilter::new(SpiConfig {
+            idle_timeout: idle,
+            // Disable periodic sweeps entirely: expiry is checked lazily,
+            // so the semantics must not depend on sweep timing.
+            purge_interval: TimeDelta::from_secs(1_000_000.0),
+            ..SpiConfig::default()
+        });
+        // Reference: last activity per connection (created by outbound).
+        let mut last_seen: HashMap<u8, Timestamp> = HashMap::new();
+
+        for e in &events {
+            let t = Timestamp::from_micros(e.at_ms * 1000);
+            if e.outbound {
+                spi.observe_outbound(&conn_tuple(e.conn), None, t);
+                last_seen.insert(e.conn, t);
+            } else {
+                let verdict = spi.check_inbound(&conn_tuple(e.conn).inverse(), None, t, 1.0);
+                let expected = match last_seen.get(&e.conn) {
+                    Some(&t0) => t.saturating_since(t0) <= idle,
+                    None => false,
+                };
+                prop_assert_eq!(
+                    verdict == Verdict::Pass,
+                    expected,
+                    "conn {} at {}ms",
+                    e.conn,
+                    e.at_ms
+                );
+                if expected {
+                    // An accepted inbound packet refreshes the state too.
+                    last_seen.insert(e.conn, t);
+                }
+            }
+        }
+    }
+
+    /// Purge sweeps never change verdicts, only memory: running the same
+    /// schedule with aggressive sweeping gives identical outcomes.
+    #[test]
+    fn purge_timing_does_not_change_verdicts(events in arb_events()) {
+        let run = |purge_secs: f64| {
+            let mut spi = SpiFilter::new(SpiConfig {
+                purge_interval: TimeDelta::from_secs(purge_secs),
+                ..SpiConfig::default()
+            });
+            events
+                .iter()
+                .map(|e| {
+                    let t = Timestamp::from_micros(e.at_ms * 1000);
+                    if e.outbound {
+                        spi.observe_outbound(&conn_tuple(e.conn), None, t);
+                        None
+                    } else {
+                        Some(spi.check_inbound(&conn_tuple(e.conn).inverse(), None, t, 1.0))
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(1.0), run(1_000_000.0));
+    }
+
+    /// Table size never exceeds the number of distinct connections that
+    /// sent outbound packets, and purging with everything expired empties
+    /// the table.
+    #[test]
+    fn table_size_is_bounded(events in arb_events()) {
+        let mut spi = SpiFilter::new(SpiConfig::default());
+        let mut distinct = std::collections::HashSet::new();
+        let mut last = Timestamp::ZERO;
+        for e in &events {
+            let t = Timestamp::from_micros(e.at_ms * 1000);
+            last = last.max(t);
+            if e.outbound {
+                spi.observe_outbound(&conn_tuple(e.conn), None, t);
+                distinct.insert(e.conn);
+            } else {
+                let _ = spi.check_inbound(&conn_tuple(e.conn).inverse(), None, t, 0.5);
+            }
+        }
+        prop_assert!(spi.table().len() <= distinct.len());
+        prop_assert!(spi.table().peak_entries() <= distinct.len());
+        // Far in the future, everything expires.
+        spi.advance(last + TimeDelta::from_secs(10_000.0));
+        prop_assert_eq!(spi.table().len(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Minimal ASCII rendering for terminal reports produced by the
+//! reproduction binaries (`fig2` … `fig9`).
+
+/// A rendered ASCII plot plus its axis metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsciiPlot {
+    /// The rendered rows, top row first.
+    pub rows: Vec<String>,
+    /// Minimum and maximum of the x axis.
+    pub x_range: (f64, f64),
+    /// Minimum and maximum of the y axis.
+    pub y_range: (f64, f64),
+}
+
+impl std::fmt::Display for AsciiPlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        write!(
+            f,
+            "x: [{:.3}, {:.3}]  y: [{:.3}, {:.3}]",
+            self.x_range.0, self.x_range.1, self.y_range.0, self.y_range.1
+        )
+    }
+}
+
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a one-line sparkline of `values`.
+///
+/// Returns an empty string for no input. Non-finite values render as spaces.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_stats::sparkline;
+/// let line = sparkline(&[0.0, 0.5, 1.0]);
+/// assert_eq!(line.chars().count(), 3);
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else {
+                let level = (((v - lo) / span) * (SPARK_LEVELS.len() - 1) as f64).round() as usize;
+                SPARK_LEVELS[level.min(SPARK_LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+fn ranges(points: &[(f64, f64)]) -> ((f64, f64), (f64, f64)) {
+    let mut x_lo = f64::INFINITY;
+    let mut x_hi = f64::NEG_INFINITY;
+    let mut y_lo = f64::INFINITY;
+    let mut y_hi = f64::NEG_INFINITY;
+    for &(x, y) in points {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if x_hi <= x_lo {
+        x_hi = x_lo + 1.0;
+    }
+    if y_hi <= y_lo {
+        y_hi = y_lo + 1.0;
+    }
+    ((x_lo, x_hi), (y_lo, y_hi))
+}
+
+/// Renders an x/y scatter plot on a `width`×`height` character grid.
+///
+/// Used by the `fig8` reproduction (SPI vs bitmap drop-rate scatter).
+/// Points with non-finite coordinates are skipped. With no finite points the
+/// grid is blank and both ranges are `[0, 1]`.
+pub fn render_scatter(points: &[(f64, f64)], width: usize, height: usize) -> AsciiPlot {
+    render_with_marker(points, width, height, '*')
+}
+
+/// Renders a series (x sorted or not) as a dot-per-point line chart.
+///
+/// Used by the `fig9` reproduction (throughput over time).
+pub fn render_series(points: &[(f64, f64)], width: usize, height: usize) -> AsciiPlot {
+    render_with_marker(points, width, height, '·')
+}
+
+fn render_with_marker(
+    points: &[(f64, f64)],
+    width: usize,
+    height: usize,
+    marker: char,
+) -> AsciiPlot {
+    let width = width.max(2);
+    let height = height.max(2);
+    let finite: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return AsciiPlot {
+            rows: vec![" ".repeat(width); height],
+            x_range: (0.0, 1.0),
+            y_range: (0.0, 1.0),
+        };
+    }
+    let (x_range, y_range) = ranges(&finite);
+    let mut grid = vec![vec![' '; width]; height];
+    for (x, y) in finite {
+        let cx =
+            (((x - x_range.0) / (x_range.1 - x_range.0)) * (width - 1) as f64).round() as usize;
+        let cy =
+            (((y - y_range.0) / (y_range.1 - y_range.0)) * (height - 1) as f64).round() as usize;
+        // Row 0 is the top of the plot.
+        grid[height - 1 - cy.min(height - 1)][cx.min(width - 1)] = marker;
+    }
+    AsciiPlot {
+        rows: grid.into_iter().map(|r| r.into_iter().collect()).collect(),
+        x_range,
+        y_range,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_has_one_char_per_value() {
+        assert_eq!(sparkline(&[1.0, 2.0, 3.0, 4.0]).chars().count(), 4);
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn sparkline_extremes_map_to_extreme_levels() {
+        let s: Vec<char> = sparkline(&[0.0, 1.0]).chars().collect();
+        assert_eq!(s[0], '▁');
+        assert_eq!(s[1], '█');
+    }
+
+    #[test]
+    fn sparkline_constant_input_is_flat() {
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert!(chars.iter().all(|&c| c == chars[0]));
+    }
+
+    #[test]
+    fn sparkline_handles_nan() {
+        let s: Vec<char> = sparkline(&[0.0, f64::NAN, 1.0]).chars().collect();
+        assert_eq!(s[1], ' ');
+    }
+
+    #[test]
+    fn scatter_plots_corners() {
+        let plot = render_scatter(&[(0.0, 0.0), (1.0, 1.0)], 10, 5);
+        assert_eq!(plot.rows.len(), 5);
+        // Bottom-left and top-right corners are marked.
+        assert_eq!(plot.rows[4].chars().next(), Some('*'));
+        assert_eq!(plot.rows[0].chars().last(), Some('*'));
+    }
+
+    #[test]
+    fn scatter_of_empty_is_blank() {
+        let plot = render_scatter(&[], 4, 3);
+        assert!(plot.rows.iter().all(|r| r.trim().is_empty()));
+        assert_eq!(plot.x_range, (0.0, 1.0));
+    }
+
+    #[test]
+    fn series_uses_dot_marker() {
+        let plot = render_series(&[(0.0, 0.0)], 3, 3);
+        let joined = plot.rows.join("");
+        assert!(joined.contains('·'));
+    }
+
+    #[test]
+    fn display_includes_ranges() {
+        let plot = render_scatter(&[(0.0, 0.0), (2.0, 4.0)], 4, 4);
+        let text = format!("{plot}");
+        assert!(text.contains("x: [0.000, 2.000]"));
+        assert!(text.contains("y: [0.000, 4.000]"));
+    }
+
+    #[test]
+    fn degenerate_single_point_does_not_panic() {
+        let plot = render_scatter(&[(3.0, 3.0)], 5, 5);
+        assert_eq!(plot.rows.len(), 5);
+    }
+}

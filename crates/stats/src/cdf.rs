@@ -1,0 +1,197 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF built from a finite set of samples.
+///
+/// Samples are stored sorted; `NaN` samples are discarded at construction.
+/// The CDF is right-continuous: `fraction_at(x)` is the fraction of samples
+/// `<= x`.
+///
+/// The paper uses CDFs for port-number distributions (Figs. 2–3),
+/// connection lifetimes (Fig. 4), and out-in packet delays (Fig. 5-b).
+///
+/// # Examples
+///
+/// ```
+/// use upbound_stats::EmpiricalCdf;
+///
+/// let cdf = EmpiricalCdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.fraction_at(2.0), 0.5);
+/// assert_eq!(cdf.fraction_at(0.0), 0.0);
+/// assert_eq!(cdf.fraction_at(10.0), 1.0);
+/// assert_eq!(cdf.quantile(0.99), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from an iterator of samples, discarding `NaN`s.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered out"));
+        Self { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`; `0.0` for an empty CDF.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point gives the count of samples <= x because the
+        // array is sorted.
+        let n_le = self.sorted.partition_point(|&s| s <= x);
+        n_le as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0.0 <= q <= 1.0`) using the nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Median (50th percentile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Evaluates the CDF at `n_points` evenly spaced x positions spanning
+    /// the sample range, returning `(x, F(x))` pairs ready for plotting.
+    ///
+    /// Returns an empty vector for an empty CDF or `n_points == 0`.
+    pub fn curve(&self, n_points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n_points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("nonempty");
+        if n_points == 1 || hi == lo {
+            return vec![(hi, 1.0)];
+        }
+        (0..n_points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n_points - 1) as f64;
+                (x, self.fraction_at(x))
+            })
+            .collect()
+    }
+
+    /// Access the sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl FromIterator<f64> for EmpiricalCdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self::from_samples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_is_monotone_and_bounded() {
+        let cdf = EmpiricalCdf::from_samples([5.0, 1.0, 3.0, 3.0, 2.0]);
+        let mut prev = 0.0;
+        for i in 0..60 {
+            let x = i as f64 * 0.1;
+            let f = cdf.fraction_at(x);
+            assert!(f >= prev, "CDF must be monotone");
+            assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        assert_eq!(cdf.fraction_at(5.0), 1.0);
+    }
+
+    #[test]
+    fn duplicates_are_counted() {
+        let cdf = EmpiricalCdf::from_samples([1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(cdf.fraction_at(1.0), 0.75);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let cdf = EmpiricalCdf::from_samples((1..=100).map(f64::from));
+        assert_eq!(cdf.quantile(0.5), 50.0);
+        assert_eq!(cdf.quantile(0.99), 99.0);
+        assert_eq!(cdf.quantile(1.0), 100.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.median(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty CDF")]
+    fn quantile_of_empty_panics() {
+        let cdf = EmpiricalCdf::from_samples(std::iter::empty());
+        let _ = cdf.quantile(0.5);
+    }
+
+    #[test]
+    fn nan_samples_are_dropped() {
+        let cdf = EmpiricalCdf::from_samples([f64::NAN, 1.0, f64::NAN]);
+        assert_eq!(cdf.len(), 1);
+    }
+
+    #[test]
+    fn curve_spans_range() {
+        let cdf = EmpiricalCdf::from_samples([0.0, 10.0]);
+        let curve = cdf.curve(11);
+        assert_eq!(curve.len(), 11);
+        assert_eq!(curve[0], (0.0, 0.5));
+        assert_eq!(curve[10], (10.0, 1.0));
+    }
+
+    #[test]
+    fn curve_of_constant_sample_collapses() {
+        let cdf = EmpiricalCdf::from_samples([7.0, 7.0]);
+        assert_eq!(cdf.curve(5), vec![(7.0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_cdf_behaviour() {
+        let cdf = EmpiricalCdf::from_samples(std::iter::empty());
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at(1.0), 0.0);
+        assert!(cdf.curve(5).is_empty());
+        assert_eq!(cdf.min(), None);
+        assert_eq!(cdf.max(), None);
+    }
+}

@@ -1,0 +1,121 @@
+//! Correlation and simple linear fits for paired series.
+
+/// Pearson correlation coefficient of paired samples.
+///
+/// Returns `None` with fewer than two pairs or when either variable has
+/// zero variance. Used by the Figure 8 reproduction to quantify how
+/// tightly the SPI and bitmap drop rates track each other.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_stats::pearson_correlation;
+///
+/// let r = pearson_correlation(&[(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson_correlation(pairs: &[(f64, f64)]) -> Option<f64> {
+    if pairs.len() < 2 {
+        return None;
+    }
+    let n = pairs.len() as f64;
+    let mean_x = pairs.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = pairs.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for &(x, y) in pairs {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// Least-squares slope and intercept of `y` on `x`.
+///
+/// Returns `None` with fewer than two pairs or zero x-variance. A slope
+/// near 1 with intercept near 0 is the Figure 8 "gray-dashed line"
+/// agreement.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_stats::linear_fit;
+///
+/// let (slope, intercept) = linear_fit(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]).unwrap();
+/// assert!((slope - 2.0).abs() < 1e-12);
+/// assert!((intercept - 1.0).abs() < 1e-12);
+/// ```
+pub fn linear_fit(pairs: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if pairs.len() < 2 {
+        return None;
+    }
+    let n = pairs.len() as f64;
+    let mean_x = pairs.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = pairs.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    for &(x, y) in pairs {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x) * (x - mean_x);
+    }
+    if var_x <= 0.0 {
+        return None;
+    }
+    let slope = cov / var_x;
+    Some((slope, mean_y - slope * mean_x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative_correlation() {
+        let up: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        assert!((pearson_correlation(&up).unwrap() - 1.0).abs() < 1e-12);
+        let down: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, -2.0 * i as f64)).collect();
+        assert!((pearson_correlation(&down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_data_is_near_zero() {
+        // A symmetric cross pattern has exactly zero correlation.
+        let pairs = [(0.0, 1.0), (0.0, -1.0), (1.0, 0.0), (-1.0, 0.0)];
+        assert!(pearson_correlation(&pairs).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert_eq!(pearson_correlation(&[]), None);
+        assert_eq!(pearson_correlation(&[(1.0, 2.0)]), None);
+        assert_eq!(pearson_correlation(&[(1.0, 2.0), (1.0, 3.0)]), None); // zero x-variance
+        assert_eq!(linear_fit(&[(2.0, 5.0)]), None);
+        assert_eq!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]), None);
+    }
+
+    #[test]
+    fn fit_recovers_slope_one_line() {
+        let pairs: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64 * 0.01, i as f64 * 0.01))
+            .collect();
+        let (slope, intercept) = linear_fit(&pairs).unwrap();
+        assert!((slope - 1.0).abs() < 1e-12);
+        assert!(intercept.abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_is_symmetric() {
+        let pairs = [(1.0, 4.0), (2.0, 3.0), (5.0, 8.0), (7.0, 6.0)];
+        let swapped: Vec<(f64, f64)> = pairs.iter().map(|&(x, y)| (y, x)).collect();
+        let a = pearson_correlation(&pairs).unwrap();
+        let b = pearson_correlation(&swapped).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+}

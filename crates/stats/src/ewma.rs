@@ -1,0 +1,138 @@
+//! Exponentially-weighted moving average.
+
+use serde::{Deserialize, Serialize};
+
+/// An exponentially-weighted moving average, as used by RED-style queue
+/// management (Floyd & Jacobson) and by the bitmap filter's throughput
+/// monitor to smooth the uplink bandwidth estimate `b` that feeds the
+/// drop-probability `P_d` of the paper's Equation 1.
+///
+/// `alpha` is the weight of the newest observation:
+/// `avg ← (1 − alpha)·avg + alpha·x`.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_stats::Ewma;
+///
+/// let mut e = Ewma::new(0.5);
+/// e.update(10.0);
+/// e.update(20.0);
+/// assert_eq!(e.value(), 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < alpha <= 1.0`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Self { alpha, value: None }
+    }
+
+    /// Feeds a new observation and returns the updated average.
+    ///
+    /// The first observation initializes the average directly (no warm-up
+    /// bias toward zero). Non-finite observations are ignored.
+    pub fn update(&mut self, x: f64) -> f64 {
+        if x.is_finite() {
+            self.value = Some(match self.value {
+                None => x,
+                Some(v) => v + self.alpha * (x - v),
+            });
+        }
+        self.value()
+    }
+
+    /// The current average, or `0.0` before the first observation.
+    pub fn value(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+
+    /// `true` until the first observation arrives.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_none()
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Clears the average back to the pre-first-observation state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes_directly() {
+        let mut e = Ewma::new(0.1);
+        assert!(e.is_empty());
+        assert_eq!(e.update(42.0), 42.0);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..200 {
+            e.update(7.0);
+        }
+        assert!((e.value() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_one_tracks_input_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.update(1.0);
+        e.update(99.0);
+        assert_eq!(e.value(), 99.0);
+    }
+
+    #[test]
+    fn smoothing_dampens_spikes() {
+        let mut e = Ewma::new(0.1);
+        e.update(0.0);
+        e.update(100.0);
+        assert_eq!(e.value(), 10.0);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut e = Ewma::new(0.5);
+        e.update(10.0);
+        e.update(f64::NAN);
+        e.update(f64::INFINITY);
+        assert_eq!(e.value(), 10.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut e = Ewma::new(0.5);
+        e.update(10.0);
+        e.reset();
+        assert!(e.is_empty());
+        assert_eq!(e.value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn zero_alpha_panics() {
+        let _ = Ewma::new(0.0);
+    }
+}

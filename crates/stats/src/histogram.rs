@@ -1,0 +1,315 @@
+//! Fixed-width and logarithmic histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with fixed-width bins over `[lo, hi)` plus underflow and
+/// overflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// h.record(0.5);
+/// h.record(9.5);
+/// h.record(42.0); // overflow
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bin_count(0), 1);
+/// assert_eq!(h.bin_count(9), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n_bins` equal-width bins covering `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, `n_bins == 0`, or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, n_bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "lo must be strictly below hi");
+        assert!(n_bins > 0, "need at least one bin");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; n_bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation. `NaN` is ignored.
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_bins()`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.bins.len() as f64
+    }
+
+    /// Upper edge of bin `i`.
+    pub fn bin_hi(&self, i: usize) -> f64 {
+        self.bin_lo(i + 1)
+    }
+
+    /// Iterator over `(bin_lo, bin_hi, count)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        (0..self.bins.len()).map(|i| (self.bin_lo(i), self.bin_hi(i), self.bins[i]))
+    }
+
+    /// Index of the fullest bin, or `None` when all in-range bins are empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let (idx, &max) = self.bins.iter().enumerate().max_by_key(|(_, &c)| c)?;
+        if max == 0 {
+            None
+        } else {
+            Some(idx)
+        }
+    }
+
+    /// Fraction of in-range observations at or below the upper edge of bin `i`.
+    ///
+    /// Returns `0.0` when no in-range observation has been recorded.
+    pub fn cumulative_fraction(&self, i: usize) -> f64 {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return 0.0;
+        }
+        let upto: u64 = self.bins[..=i].iter().sum();
+        upto as f64 / in_range as f64
+    }
+}
+
+/// A base-2 logarithmic histogram for positive values spanning many orders
+/// of magnitude (packet counts, byte volumes, lifetimes).
+///
+/// Bin `i` covers `[2^i, 2^(i+1))` scaled by `unit`; values in `[0, unit)`
+/// land in a dedicated zero bin.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_stats::LogHistogram;
+///
+/// let mut h = LogHistogram::new(1.0, 32);
+/// h.record(3.0);   // bin [2,4)
+/// h.record(1000.0); // bin [512,1024)
+/// assert_eq!(h.count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    unit: f64,
+    bins: Vec<u64>,
+    zero: u64,
+    count: u64,
+}
+
+impl LogHistogram {
+    /// Creates a log histogram with `n_bins` power-of-two bins above `unit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is not strictly positive or `n_bins == 0`.
+    pub fn new(unit: f64, n_bins: usize) -> Self {
+        assert!(unit > 0.0 && unit.is_finite(), "unit must be positive");
+        assert!(n_bins > 0, "need at least one bin");
+        Self {
+            unit,
+            bins: vec![0; n_bins],
+            zero: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation; negative and `NaN` values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() || x < 0.0 {
+            return;
+        }
+        self.count += 1;
+        let scaled = x / self.unit;
+        if scaled < 1.0 {
+            self.zero += 1;
+            return;
+        }
+        let idx = (scaled.log2() as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below `unit`.
+    pub fn zero_count(&self) -> u64 {
+        self.zero
+    }
+
+    /// Number of logarithmic bins.
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count in bin `i` (covering `[unit·2^i, unit·2^(i+1))`).
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Iterator over `(bin_lo, bin_hi, count)` triples (excluding the zero bin).
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        (0..self.bins.len()).map(move |i| {
+            let lo = self.unit * (1u64 << i) as f64;
+            (lo, lo * 2.0, self.bins[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_cover_range_evenly() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        for b in 0..10 {
+            assert_eq!(h.bin_count(b), 10, "bin {b}");
+        }
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn boundary_values_go_to_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0); // first bin
+        h.record(10.0); // == hi -> overflow
+        h.record(-0.0001); // underflow
+        h.record(9.9999); // last bin
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(9), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+    }
+
+    #[test]
+    fn bin_edges_are_consistent() {
+        let h = Histogram::new(2.0, 12.0, 5);
+        assert_eq!(h.bin_lo(0), 2.0);
+        assert_eq!(h.bin_hi(0), 4.0);
+        assert_eq!(h.bin_lo(4), 10.0);
+        assert_eq!(h.bin_hi(4), 12.0);
+    }
+
+    #[test]
+    fn cumulative_fraction_reaches_one() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.5, 1.5, 2.5, 3.5] {
+            h.record(x);
+        }
+        assert!((h.cumulative_fraction(1) - 0.5).abs() < 1e-12);
+        assert!((h.cumulative_fraction(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.record(1.5);
+        h.record(1.6);
+        h.record(0.5);
+        assert_eq!(h.mode_bin(), Some(1));
+        let empty = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(empty.mode_bin(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be strictly below hi")]
+    fn invalid_bounds_panic() {
+        let _ = Histogram::new(5.0, 5.0, 3);
+    }
+
+    #[test]
+    fn log_histogram_bins_powers_of_two() {
+        let mut h = LogHistogram::new(1.0, 16);
+        h.record(0.5); // zero bin
+        h.record(1.0); // bin 0: [1,2)
+        h.record(2.0); // bin 1: [2,4)
+        h.record(3.9); // bin 1
+        h.record(1024.0); // bin 10
+        assert_eq!(h.zero_count(), 1);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(1), 2);
+        assert_eq!(h.bin_count(10), 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn log_histogram_clamps_huge_values_to_last_bin() {
+        let mut h = LogHistogram::new(1.0, 4);
+        h.record(1e30);
+        assert_eq!(h.bin_count(3), 1);
+    }
+
+    #[test]
+    fn log_histogram_ignores_negative() {
+        let mut h = LogHistogram::new(1.0, 4);
+        h.record(-1.0);
+        assert_eq!(h.count(), 0);
+    }
+}

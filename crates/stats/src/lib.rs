@@ -1,0 +1,44 @@
+//! Streaming statistics toolkit for the `upbound` project.
+//!
+//! This crate provides the measurement primitives used throughout the
+//! reproduction of *Bounding Peer-to-Peer Upload Traffic in Client
+//! Networks* (Huang & Lei, DSN 2007): summary statistics, histograms,
+//! empirical CDFs, exponentially-weighted moving averages, binned time
+//! series, and lightweight ASCII rendering for terminal reports.
+//!
+//! Everything here is allocation-conscious and purely deterministic so the
+//! reproduction binaries emit stable output for a fixed seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use upbound_stats::{Summary, EmpiricalCdf};
+//!
+//! let mut s = Summary::new();
+//! for x in [1.0, 2.0, 3.0, 4.0] {
+//!     s.record(x);
+//! }
+//! assert_eq!(s.mean(), 2.5);
+//!
+//! let cdf = EmpiricalCdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+//! assert_eq!(cdf.quantile(0.5), 2.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod ascii;
+mod cdf;
+mod correlation;
+mod ewma;
+mod histogram;
+mod summary;
+mod timeseries;
+
+pub use ascii::{render_scatter, render_series, sparkline, AsciiPlot};
+pub use cdf::EmpiricalCdf;
+pub use correlation::{linear_fit, pearson_correlation};
+pub use ewma::Ewma;
+pub use histogram::{Histogram, LogHistogram};
+pub use summary::Summary;
+pub use timeseries::{BinnedSeries, RatePoint};

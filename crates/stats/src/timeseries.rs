@@ -1,0 +1,208 @@
+//! Time-binned accumulation series (e.g. bytes per interval → Mbps).
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a rate series: the bin start time (seconds) and the rate in
+/// that bin (units per second, e.g. bits/s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatePoint {
+    /// Start of the bin, in seconds from the series origin.
+    pub t_secs: f64,
+    /// Accumulated amount divided by the bin width.
+    pub rate: f64,
+}
+
+/// Accumulates `(time, amount)` events into fixed-width time bins.
+///
+/// This is how the reproduction computes the uplink/downlink throughput
+/// curves of the paper's Figure 9: each accepted packet contributes its
+/// wire size (in bits) at its timestamp, and `rates()` yields the Mbps-style
+/// series.
+///
+/// Events may arrive in any time order; bins grow on demand. Events with
+/// negative timestamps are rejected.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_stats::BinnedSeries;
+///
+/// let mut s = BinnedSeries::new(1.0);
+/// s.add(0.2, 100.0);
+/// s.add(0.9, 100.0);
+/// s.add(1.5, 300.0);
+/// let rates = s.rates();
+/// assert_eq!(rates[0].rate, 200.0); // 200 units in a 1-second bin
+/// assert_eq!(rates[1].rate, 300.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinnedSeries {
+    bin_secs: f64,
+    bins: Vec<f64>,
+    total: f64,
+}
+
+impl BinnedSeries {
+    /// Creates a series with bins of `bin_secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bin_secs` is finite and strictly positive.
+    pub fn new(bin_secs: f64) -> Self {
+        assert!(
+            bin_secs.is_finite() && bin_secs > 0.0,
+            "bin width must be positive"
+        );
+        Self {
+            bin_secs,
+            bins: Vec::new(),
+            total: 0.0,
+        }
+    }
+
+    /// Adds `amount` at time `t_secs` (seconds from the series origin).
+    ///
+    /// Events at negative times or with non-finite values are ignored.
+    pub fn add(&mut self, t_secs: f64, amount: f64) {
+        if !t_secs.is_finite() || t_secs < 0.0 || !amount.is_finite() {
+            return;
+        }
+        let idx = (t_secs / self.bin_secs) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        self.bins[idx] += amount;
+        self.total += amount;
+    }
+
+    /// The configured bin width in seconds.
+    pub fn bin_secs(&self) -> f64 {
+        self.bin_secs
+    }
+
+    /// Number of bins currently materialized.
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Sum of everything added.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Raw accumulated amount in bin `i` (`0.0` past the end).
+    pub fn bin_total(&self, i: usize) -> f64 {
+        self.bins.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// The per-bin rate series (`amount / bin_secs` for every bin).
+    pub fn rates(&self) -> Vec<RatePoint> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &amount)| RatePoint {
+                t_secs: i as f64 * self.bin_secs,
+                rate: amount / self.bin_secs,
+            })
+            .collect()
+    }
+
+    /// Mean rate across all materialized bins (`0.0` when empty).
+    pub fn mean_rate(&self) -> f64 {
+        if self.bins.is_empty() {
+            0.0
+        } else {
+            self.total / (self.bins.len() as f64 * self.bin_secs)
+        }
+    }
+
+    /// Peak per-bin rate (`0.0` when empty).
+    pub fn peak_rate(&self) -> f64 {
+        self.bins
+            .iter()
+            .fold(0.0_f64, |acc, &a| acc.max(a / self.bin_secs))
+    }
+
+    /// Fraction of bins whose rate exceeds `threshold` (`0.0` when empty).
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.bins.is_empty() {
+            return 0.0;
+        }
+        let over = self
+            .bins
+            .iter()
+            .filter(|&&a| a / self.bin_secs > threshold)
+            .count();
+        over as f64 / self.bins.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_land_in_correct_bins() {
+        let mut s = BinnedSeries::new(5.0);
+        s.add(0.0, 1.0);
+        s.add(4.999, 1.0);
+        s.add(5.0, 10.0);
+        assert_eq!(s.bin_total(0), 2.0);
+        assert_eq!(s.bin_total(1), 10.0);
+        assert_eq!(s.n_bins(), 2);
+    }
+
+    #[test]
+    fn out_of_order_events_are_fine() {
+        let mut s = BinnedSeries::new(1.0);
+        s.add(9.5, 1.0);
+        s.add(0.5, 2.0);
+        assert_eq!(s.n_bins(), 10);
+        assert_eq!(s.bin_total(0), 2.0);
+        assert_eq!(s.bin_total(9), 1.0);
+    }
+
+    #[test]
+    fn rates_divide_by_bin_width() {
+        let mut s = BinnedSeries::new(2.0);
+        s.add(1.0, 10.0);
+        let r = s.rates();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].t_secs, 0.0);
+        assert_eq!(r[0].rate, 5.0);
+    }
+
+    #[test]
+    fn mean_and_peak_rates() {
+        let mut s = BinnedSeries::new(1.0);
+        s.add(0.5, 10.0);
+        s.add(1.5, 30.0);
+        assert_eq!(s.mean_rate(), 20.0);
+        assert_eq!(s.peak_rate(), 30.0);
+        assert_eq!(s.fraction_above(15.0), 0.5);
+        assert_eq!(s.fraction_above(100.0), 0.0);
+    }
+
+    #[test]
+    fn negative_time_ignored() {
+        let mut s = BinnedSeries::new(1.0);
+        s.add(-1.0, 5.0);
+        assert_eq!(s.total(), 0.0);
+        assert_eq!(s.n_bins(), 0);
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let s = BinnedSeries::new(1.0);
+        assert_eq!(s.mean_rate(), 0.0);
+        assert_eq!(s.peak_rate(), 0.0);
+        assert!(s.rates().is_empty());
+        assert_eq!(s.bin_total(42), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn zero_bin_width_panics() {
+        let _ = BinnedSeries::new(0.0);
+    }
+}

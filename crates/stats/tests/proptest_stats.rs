@@ -1,0 +1,108 @@
+//! Property tests on the statistics toolkit.
+
+use proptest::prelude::*;
+use upbound_stats::{BinnedSeries, EmpiricalCdf, Ewma, Histogram, Summary};
+
+fn finite_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e9f64..1e9, 0..200)
+}
+
+proptest! {
+    /// Summary mean/min/max/variance agree with the naive computation.
+    #[test]
+    fn summary_agrees_with_naive(xs in finite_vec()) {
+        let s: Summary = xs.iter().copied().collect();
+        prop_assert_eq!(s.count() as usize, xs.len());
+        if !xs.is_empty() {
+            let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let scale = naive_mean.abs().max(1.0);
+            prop_assert!((s.mean() - naive_mean).abs() / scale < 1e-9);
+            let naive_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let naive_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(s.min(), naive_min);
+            prop_assert_eq!(s.max(), naive_max);
+            prop_assert!(s.variance() >= -1e-9);
+        }
+    }
+
+    /// Merging summaries in any split equals one sequential pass.
+    #[test]
+    fn summary_merge_any_split(xs in finite_vec(), split_frac in 0.0f64..1.0) {
+        let split = (xs.len() as f64 * split_frac) as usize;
+        let whole: Summary = xs.iter().copied().collect();
+        let mut left: Summary = xs[..split].iter().copied().collect();
+        let right: Summary = xs[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        if !xs.is_empty() {
+            let scale = whole.mean().abs().max(1.0);
+            prop_assert!((left.mean() - whole.mean()).abs() / scale < 1e-9);
+            let vscale = whole.variance().abs().max(1.0);
+            prop_assert!((left.variance() - whole.variance()).abs() / vscale < 1e-6);
+        }
+    }
+
+    /// CDF: fraction_at(quantile(q)) >= q (Galois connection of the
+    /// nearest-rank definitions).
+    #[test]
+    fn cdf_quantile_fraction_duality(xs in proptest::collection::vec(-1e6f64..1e6, 1..100), q in 0.0f64..=1.0) {
+        let cdf = EmpiricalCdf::from_samples(xs.iter().copied());
+        let v = cdf.quantile(q);
+        prop_assert!(cdf.fraction_at(v) >= q - 1e-12);
+        prop_assert!(xs.contains(&v), "quantile must be an actual sample");
+    }
+
+    /// Histogram conserves counts: bins + underflow + overflow == total.
+    #[test]
+    fn histogram_conserves_counts(
+        xs in proptest::collection::vec(-100.0f64..200.0, 0..300),
+        bins in 1usize..40,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, bins);
+        for &x in &xs {
+            h.record(x);
+        }
+        let in_bins: u64 = (0..h.n_bins()).map(|i| h.bin_count(i)).sum();
+        prop_assert_eq!(in_bins + h.underflow() + h.overflow(), xs.len() as u64);
+        prop_assert_eq!(h.count(), xs.len() as u64);
+    }
+
+    /// BinnedSeries conserves mass and its mean rate matches the naive
+    /// total/span computation.
+    #[test]
+    fn binned_series_conserves_mass(
+        events in proptest::collection::vec((0.0f64..1000.0, 0.0f64..1e6), 0..200),
+        width in 0.1f64..60.0,
+    ) {
+        let mut s = BinnedSeries::new(width);
+        let mut total = 0.0;
+        for &(t, v) in &events {
+            s.add(t, v);
+            total += v;
+        }
+        prop_assert!((s.total() - total).abs() < 1e-6 * total.max(1.0));
+        let binned: f64 = (0..s.n_bins()).map(|i| s.bin_total(i)).sum();
+        prop_assert!((binned - total).abs() < 1e-6 * total.max(1.0));
+        if s.n_bins() > 0 {
+            let naive = total / (s.n_bins() as f64 * width);
+            prop_assert!((s.mean_rate() - naive).abs() < 1e-9 * naive.max(1.0));
+        }
+    }
+
+    /// EWMA stays within the observed sample range.
+    #[test]
+    fn ewma_stays_in_range(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        alpha in 0.01f64..1.0,
+    ) {
+        let mut e = Ewma::new(alpha);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in &xs {
+            e.update(x);
+            lo = lo.min(x);
+            hi = hi.max(x);
+            prop_assert!(e.value() >= lo - 1e-9 && e.value() <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Per-application workload models and the calibrated traffic mix.
+//!
+//! The numbers here are the calibration knobs that make the synthetic
+//! trace reproduce the paper's published marginals (Table 2, Figures
+//! 2–5). Each application samples a [`FlowShape`]: protocol, initiator
+//! side, service port, byte volumes per direction, lifetime, and close
+//! behaviour.
+
+use crate::dist;
+use crate::spec::{CloseKind, Initiator};
+use rand::Rng;
+use upbound_net::Protocol;
+use upbound_pattern::AppLabel;
+
+/// The transport/port/volume/lifetime shape of one sampled flow, before
+/// endpoints are assigned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowShape {
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// Which side opens the connection.
+    pub initiator: Initiator,
+    /// The service port (destination of the opening packet).
+    pub service_port: u16,
+    /// Application bytes inside → outside.
+    pub upload_bytes: u64,
+    /// Application bytes outside → inside.
+    pub download_bytes: u64,
+    /// Flow lifetime in seconds.
+    pub lifetime_secs: f64,
+    /// TCP close behaviour.
+    pub close: CloseKind,
+}
+
+/// The connection-count mix calibrated to the paper's Table 2.
+///
+/// Shares count *connections* (TCP and UDP): bittorrent 47.9%,
+/// edonkey 22.0%, UNKNOWN 17.55%, gnutella 7.56%, HTTP 2.17%, and 2.82%
+/// of traditional services. UDP-heavy per-app protocol splits bring the
+/// overall UDP share near the trace's 70%.
+pub fn paper_campus_mix() -> Vec<(AppLabel, f64)> {
+    vec![
+        (AppLabel::BitTorrent, 47.90),
+        (AppLabel::EDonkey, 22.00),
+        (AppLabel::Unknown, 17.55),
+        (AppLabel::Gnutella, 7.56),
+        (AppLabel::Http, 2.17),
+        (AppLabel::Dns, 1.40),
+        (AppLabel::Https, 0.60),
+        (AppLabel::Ftp, 0.32),
+        (AppLabel::Smtp, 0.30),
+        (AppLabel::Ssh, 0.20),
+    ]
+}
+
+/// Samples a lifetime from the calibrated global mixture, scaled by a
+/// per-app median factor: log-normal body (σ = 1.5) plus a 2% heavy tail,
+/// capped at the six-hour maximum the paper observes.
+fn lifetime<R: Rng + ?Sized>(rng: &mut R, median_secs: f64) -> f64 {
+    let body = dist::log_normal(rng, median_secs, 1.5);
+    let value = if rng.gen::<f64>() < 0.02 {
+        body + dist::pareto(rng, 600.0, 1.6)
+    } else {
+        body
+    };
+    value.clamp(0.02, 6.0 * 3600.0)
+}
+
+/// Log-normal byte volume helper (median in bytes).
+fn volume<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> u64 {
+    dist::log_normal(rng, median, sigma).max(16.0) as u64
+}
+
+fn p2p_tcp_service_port<R: Rng + ?Sized>(rng: &mut R, well_known: &[u16]) -> u16 {
+    let roll = rng.gen::<f64>();
+    if roll < 0.80 {
+        // The 10000–40000 band the paper highlights in Figure 2.
+        rng.gen_range(10_000..40_000)
+    } else if roll < 0.92 && !well_known.is_empty() {
+        well_known[rng.gen_range(0..well_known.len())]
+    } else {
+        rng.gen_range(1_025..65_535)
+    }
+}
+
+fn close_kind<R: Rng + ?Sized>(rng: &mut R) -> CloseKind {
+    let roll = rng.gen::<f64>();
+    if roll < 0.88 {
+        CloseKind::Fin
+    } else if roll < 0.96 {
+        CloseKind::Rst
+    } else {
+        CloseKind::None
+    }
+}
+
+fn initiator<R: Rng + ?Sized>(rng: &mut R, outside_frac: f64) -> Initiator {
+    if rng.gen::<f64>() < outside_frac {
+        Initiator::Outside
+    } else {
+        Initiator::Inside
+    }
+}
+
+/// Samples the shape of one flow of application `app`.
+///
+/// Calibration notes (targets in parentheses):
+///
+/// * P2P TCP flows are mostly outside-initiated and upload-heavy (≈90%
+///   of bytes upstream overall, ≈80% of upload on inbound-triggered
+///   connections);
+/// * UNKNOWN TCP flows are few but enormous — the paper's hypothesis
+///   that unidentified traffic is protocol-encrypted P2P (35% of bytes
+///   from 17.55% of connections);
+/// * UDP flows are numerous and tiny (70% of connections, 0.5% of
+///   bytes).
+pub fn sample_shape<R: Rng + ?Sized>(rng: &mut R, app: AppLabel) -> FlowShape {
+    match app {
+        AppLabel::BitTorrent => {
+            if rng.gen::<f64>() < 0.62 {
+                udp_chatter(rng, None)
+            } else {
+                let init = initiator(rng, 0.65);
+                p2p_tcp(rng, init, &[6881, 6882, 6883, 6889], 95_000.0, 10.0)
+            }
+        }
+        AppLabel::EDonkey => {
+            if rng.gen::<f64>() < 0.76 {
+                udp_chatter(rng, Some(&[4672, 4661, 4665]))
+            } else {
+                let init = initiator(rng, 0.65);
+                p2p_tcp(rng, init, &[4662], 380_000.0, 14.0)
+            }
+        }
+        AppLabel::Gnutella => {
+            if rng.gen::<f64>() < 0.58 {
+                udp_chatter(rng, None)
+            } else {
+                let init = initiator(rng, 0.65);
+                p2p_tcp(rng, init, &[6346, 6347], 390_000.0, 14.0)
+            }
+        }
+        AppLabel::Unknown => {
+            if rng.gen::<f64>() < 0.88 {
+                udp_chatter(rng, None)
+            } else {
+                // Encrypted bulk transfer: few flows, huge upload.
+                let init = initiator(rng, 0.66);
+                let (up, down) = directional_volumes(rng, init, 1_500_000.0, 1.3, 12_000.0);
+                FlowShape {
+                    protocol: Protocol::Tcp,
+                    initiator: init,
+                    service_port: rng.gen_range(1_025..65_535),
+                    upload_bytes: up,
+                    download_bytes: down,
+                    lifetime_secs: lifetime(rng, 20.0),
+                    close: close_kind(rng),
+                }
+            }
+        }
+        AppLabel::Http => {
+            let roll = rng.gen::<f64>();
+            let port = if roll < 0.85 {
+                80
+            } else if roll < 0.93 {
+                8080
+            } else {
+                3128
+            };
+            FlowShape {
+                protocol: Protocol::Tcp,
+                initiator: Initiator::Inside,
+                service_port: port,
+                upload_bytes: volume(rng, 1_500.0, 0.8),
+                download_bytes: volume(rng, 170_000.0, 1.4),
+                lifetime_secs: lifetime(rng, 4.0),
+                close: close_kind(rng),
+            }
+        }
+        AppLabel::Https => FlowShape {
+            protocol: Protocol::Tcp,
+            initiator: Initiator::Inside,
+            service_port: 443,
+            upload_bytes: volume(rng, 4_000.0, 1.0),
+            download_bytes: volume(rng, 150_000.0, 1.3),
+            lifetime_secs: lifetime(rng, 6.0),
+            close: close_kind(rng),
+        },
+        AppLabel::Dns => FlowShape {
+            protocol: Protocol::Udp,
+            initiator: Initiator::Inside,
+            service_port: 53,
+            upload_bytes: 70,
+            download_bytes: 180,
+            lifetime_secs: dist::exponential(rng, 0.08).clamp(0.001, 2.0),
+            close: CloseKind::None,
+        },
+        AppLabel::Ftp => FlowShape {
+            protocol: Protocol::Tcp,
+            initiator: Initiator::Inside,
+            service_port: 21,
+            upload_bytes: volume(rng, 600.0, 0.6),
+            download_bytes: volume(rng, 1_200.0, 0.6),
+            lifetime_secs: lifetime(rng, 12.0),
+            close: close_kind(rng),
+        },
+        AppLabel::Smtp => FlowShape {
+            protocol: Protocol::Tcp,
+            initiator: Initiator::Inside,
+            service_port: 25,
+            upload_bytes: volume(rng, 30_000.0, 1.0),
+            download_bytes: volume(rng, 1_000.0, 0.5),
+            lifetime_secs: lifetime(rng, 5.0),
+            close: close_kind(rng),
+        },
+        AppLabel::Ssh => FlowShape {
+            protocol: Protocol::Tcp,
+            initiator: Initiator::Inside,
+            service_port: 22,
+            upload_bytes: volume(rng, 20_000.0, 1.2),
+            download_bytes: volume(rng, 40_000.0, 1.2),
+            lifetime_secs: lifetime(rng, 40.0),
+            close: close_kind(rng),
+        },
+        AppLabel::FastTrack => {
+            let init = initiator(rng, 0.65);
+            p2p_tcp(rng, init, &[1214], 150_000.0, 12.0)
+        }
+        // `AppLabel` is non-exhaustive; treat future labels as generic
+        // unidentified chatter.
+        _ => udp_chatter(rng, None),
+    }
+}
+
+/// A P2P TCP flow: upload-heavy when outside-initiated (a peer fetching
+/// shared content), download-heavy when inside-initiated.
+fn p2p_tcp<R: Rng + ?Sized>(
+    rng: &mut R,
+    init: Initiator,
+    well_known: &[u16],
+    median_bulk: f64,
+    median_life: f64,
+) -> FlowShape {
+    let (up, down) = directional_volumes(rng, init, median_bulk, 1.2, 6_000.0);
+    FlowShape {
+        protocol: Protocol::Tcp,
+        initiator: init,
+        service_port: p2p_tcp_service_port(rng, well_known),
+        upload_bytes: up,
+        download_bytes: down,
+        lifetime_secs: lifetime(rng, median_life),
+        close: close_kind(rng),
+    }
+}
+
+/// Splits a bulk volume into (upload, download) according to who
+/// initiated. Outside-initiated connections upload the full bulk (a peer
+/// fetching shared content). Inside-initiated P2P connections still
+/// upload substantially (~45% of a bulk: reciprocal uploading and pushes
+/// over client-opened connections) but download little — the campus
+/// trace is a net *server* (89.8% of bytes upstream), with 80% of upload
+/// on inbound-triggered connections and 20% actively sent by clients
+/// (§3.3).
+fn directional_volumes<R: Rng + ?Sized>(
+    rng: &mut R,
+    init: Initiator,
+    median_bulk: f64,
+    sigma: f64,
+    median_chatter: f64,
+) -> (u64, u64) {
+    match init {
+        Initiator::Outside => (
+            volume(rng, median_bulk, sigma),
+            volume(rng, median_chatter, 0.8),
+        ),
+        Initiator::Inside => (
+            volume(rng, median_bulk * 0.35, sigma),
+            volume(rng, median_chatter * 2.0, 0.8),
+        ),
+    }
+}
+
+/// Small bidirectional UDP exchange (DHT pings, search chatter).
+fn udp_chatter<R: Rng + ?Sized>(rng: &mut R, spike_ports: Option<&[u16]>) -> FlowShape {
+    let service_port = match spike_ports {
+        // Half the eDonkey UDP load sits on its well-known ports — the
+        // Figure 3 spikes.
+        Some(ports) if rng.gen::<f64>() < 0.5 => ports[rng.gen_range(0..ports.len())],
+        _ => rng.gen_range(1_025..65_535),
+    };
+    FlowShape {
+        protocol: Protocol::Udp,
+        initiator: if rng.gen::<f64>() < 0.45 {
+            Initiator::Outside
+        } else {
+            Initiator::Inside
+        },
+        service_port,
+        upload_bytes: volume(rng, 250.0, 0.7),
+        download_bytes: volume(rng, 400.0, 0.7),
+        lifetime_secs: dist::exponential(rng, 3.0).clamp(0.01, 120.0),
+        close: CloseKind::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn mix_shares_match_table_two() {
+        let mix = paper_campus_mix();
+        let total: f64 = mix.iter().map(|(_, w)| w).sum();
+        assert!((total - 100.0).abs() < 0.5, "total {total}");
+        let share = |l: AppLabel| mix.iter().find(|(a, _)| *a == l).unwrap().1 / total;
+        assert!((share(AppLabel::BitTorrent) - 0.479).abs() < 0.01);
+        assert!((share(AppLabel::EDonkey) - 0.22).abs() < 0.01);
+        assert!((share(AppLabel::Unknown) - 0.1755).abs() < 0.01);
+        assert!((share(AppLabel::Gnutella) - 0.0756).abs() < 0.01);
+        assert!((share(AppLabel::Http) - 0.0217).abs() < 0.005);
+    }
+
+    #[test]
+    fn dns_is_tiny_udp_to_port_53() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let s = sample_shape(&mut r, AppLabel::Dns);
+            assert_eq!(s.protocol, Protocol::Udp);
+            assert_eq!(s.service_port, 53);
+            assert!(s.upload_bytes < 1_000);
+        }
+    }
+
+    #[test]
+    fn http_is_inside_initiated_download_heavy() {
+        let mut r = rng();
+        let mut down_total = 0u64;
+        let mut up_total = 0u64;
+        for _ in 0..300 {
+            let s = sample_shape(&mut r, AppLabel::Http);
+            assert_eq!(s.initiator, Initiator::Inside);
+            assert!(matches!(s.service_port, 80 | 8080 | 3128));
+            down_total += s.download_bytes;
+            up_total += s.upload_bytes;
+        }
+        assert!(down_total > up_total * 5, "HTTP must be download-heavy");
+    }
+
+    #[test]
+    fn bittorrent_tcp_ports_cluster_in_p2p_band() {
+        let mut r = rng();
+        let mut in_band = 0;
+        let mut tcp = 0;
+        for _ in 0..3000 {
+            let s = sample_shape(&mut r, AppLabel::BitTorrent);
+            if s.protocol == Protocol::Tcp {
+                tcp += 1;
+                if (10_000..40_000).contains(&s.service_port) {
+                    in_band += 1;
+                }
+            }
+        }
+        assert!(tcp > 1000, "should generate TCP flows");
+        let frac = in_band as f64 / tcp as f64;
+        assert!(frac > 0.7, "P2P band fraction {frac}");
+    }
+
+    #[test]
+    fn p2p_upload_rides_outside_initiated_flows() {
+        let mut r = rng();
+        let mut up_outside = 0u64;
+        let mut up_inside = 0u64;
+        for _ in 0..3000 {
+            for app in [AppLabel::BitTorrent, AppLabel::EDonkey, AppLabel::Unknown] {
+                let s = sample_shape(&mut r, app);
+                match s.initiator {
+                    Initiator::Outside => up_outside += s.upload_bytes,
+                    Initiator::Inside => up_inside += s.upload_bytes,
+                }
+            }
+        }
+        let frac = up_outside as f64 / (up_outside + up_inside) as f64;
+        assert!(
+            frac > 0.70 && frac < 0.95,
+            "outside-initiated upload share {frac} (paper: ~0.8)"
+        );
+    }
+
+    #[test]
+    fn udp_flows_dominate_connection_counts() {
+        let mut r = rng();
+        let mix = paper_campus_mix();
+        let weights: Vec<f64> = mix.iter().map(|(_, w)| *w).collect();
+        let mut udp = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let app = mix[crate::dist::weighted_index(&mut r, &weights)].0;
+            if sample_shape(&mut r, app).protocol == Protocol::Udp {
+                udp += 1;
+            }
+        }
+        let frac = udp as f64 / n as f64;
+        assert!(
+            (0.55..0.8).contains(&frac),
+            "UDP connection share {frac} (paper: 0.70)"
+        );
+    }
+
+    #[test]
+    fn tcp_carries_nearly_all_bytes() {
+        let mut r = rng();
+        let mix = paper_campus_mix();
+        let weights: Vec<f64> = mix.iter().map(|(_, w)| *w).collect();
+        let (mut tcp_bytes, mut udp_bytes) = (0u64, 0u64);
+        for _ in 0..20_000 {
+            let app = mix[crate::dist::weighted_index(&mut r, &weights)].0;
+            let s = sample_shape(&mut r, app);
+            let b = s.upload_bytes + s.download_bytes;
+            match s.protocol {
+                Protocol::Tcp => tcp_bytes += b,
+                Protocol::Udp => udp_bytes += b,
+            }
+        }
+        let frac = tcp_bytes as f64 / (tcp_bytes + udp_bytes) as f64;
+        assert!(frac > 0.985, "TCP byte share {frac} (paper: 0.995)");
+    }
+
+    #[test]
+    fn lifetimes_match_figure_four_shape() {
+        let mut r = rng();
+        let mix = paper_campus_mix();
+        let weights: Vec<f64> = mix.iter().map(|(_, w)| *w).collect();
+        let mut lifetimes: Vec<f64> = (0..30_000)
+            .map(|_| {
+                let app = mix[crate::dist::weighted_index(&mut r, &weights)].0;
+                sample_shape(&mut r, app).lifetime_secs
+            })
+            .collect();
+        lifetimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = |p: f64| lifetimes[(p * lifetimes.len() as f64) as usize];
+        // Paper: 90% < 45 s, 95% < 240 s, <1% > 810 s, mean ≈ 46 s.
+        assert!(q(0.90) < 60.0, "p90 {}", q(0.90));
+        assert!(q(0.95) < 300.0, "p95 {}", q(0.95));
+        assert!(q(0.99) > 60.0, "p99 {}", q(0.99));
+        let mean: f64 = lifetimes.iter().sum::<f64>() / lifetimes.len() as f64;
+        assert!((10.0..90.0).contains(&mean), "mean lifetime {mean}");
+        assert!(*lifetimes.last().unwrap() <= 6.0 * 3600.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! From-scratch sampling primitives (the sanctioned `rand` crate provides
+//! uniform bits; the distributions the workload model needs are built
+//! here rather than pulling in `rand_distr`).
+
+use rand::Rng;
+
+/// Samples an exponential with the given mean via inverse transform.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `mean` is not positive.
+pub(crate) fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    // 1 − U avoids ln(0).
+    -mean * (1.0 - rng.gen::<f64>()).ln()
+}
+
+/// Samples a standard normal via Box–Muller.
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a log-normal with the given *median* (`e^μ`) and log-space σ.
+pub(crate) fn log_normal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    debug_assert!(median > 0.0 && sigma >= 0.0);
+    median * (sigma * standard_normal(rng)).exp()
+}
+
+/// Samples a Pareto with scale `xm` and shape `alpha` via inverse
+/// transform.
+pub(crate) fn pareto<R: Rng + ?Sized>(rng: &mut R, xm: f64, alpha: f64) -> f64 {
+    debug_assert!(xm > 0.0 && alpha > 0.0);
+    xm / (1.0 - rng.gen::<f64>()).powf(1.0 / alpha)
+}
+
+/// Picks an index according to non-negative weights.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub(crate) fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target < 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, 2.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = rng();
+        assert!((0..1000).all(|_| exponential(&mut r, 0.1) > 0.0));
+    }
+
+    #[test]
+    fn normal_mean_and_variance() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean: f64 = xs.iter().sum::<f64>() / n as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median_is_parameter() {
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..20_001).map(|_| log_normal(&mut r, 6.0, 1.5)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[10_000];
+        assert!((median - 6.0).abs() < 0.4, "median {median}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = rng();
+        assert!((0..1000).all(|_| pareto(&mut r, 10.0, 1.5) >= 10.0));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_index(&mut r, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must sum to a positive value")]
+    fn zero_weights_panic() {
+        let mut r = rng();
+        let _ = weighted_index(&mut r, &[0.0, 0.0]);
+    }
+}

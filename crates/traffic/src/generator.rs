@@ -1,0 +1,708 @@
+//! Whole-trace assembly: arrivals, endpoint assignment, FTP data
+//! connections, port-reuse echoes, and time-sorting.
+
+use crate::apps::{self, FlowShape};
+use crate::dist;
+use crate::profile::RateProfile;
+use crate::spec::{self, CloseKind, FlowSpec, FlowSummary, Initiator, LabeledPacket};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{Ipv4Addr, SocketAddrV4};
+use upbound_net::{Cidr, Direction, FiveTuple, Packet, Protocol, TcpFlags, TimeDelta, Timestamp};
+use upbound_pattern::AppLabel;
+
+/// Error validating a [`TraceConfig`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceConfigError {
+    /// Duration must be positive.
+    BadDuration,
+    /// Flow arrival rate must be positive and finite.
+    BadRate,
+    /// At least one inside client host is required.
+    NoClients,
+    /// The mix must be non-empty with positive total weight.
+    BadMix,
+    /// The rate profile has invalid parameters.
+    BadProfile,
+}
+
+impl fmt::Display for TraceConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceConfigError::BadDuration => write!(f, "trace duration must be positive"),
+            TraceConfigError::BadRate => write!(f, "flow arrival rate must be positive"),
+            TraceConfigError::NoClients => write!(f, "need at least one client host"),
+            TraceConfigError::BadMix => write!(f, "traffic mix must have positive weight"),
+            TraceConfigError::BadProfile => write!(f, "rate profile parameters are invalid"),
+        }
+    }
+}
+
+impl std::error::Error for TraceConfigError {}
+
+/// Configuration of a synthetic trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    duration: TimeDelta,
+    flow_rate_per_sec: f64,
+    inside: Cidr,
+    clients: u32,
+    seed: u64,
+    mix: Vec<(AppLabel, f64)>,
+    port_reuse_prob: f64,
+    rate_profile: RateProfile,
+}
+
+impl TraceConfig {
+    /// Starts a builder with defaults: 300 s, 40 flows/s, inside network
+    /// `10.0.0.0/16` with 200 clients, the paper mix, seed 42.
+    pub fn builder() -> TraceConfigBuilder {
+        TraceConfigBuilder::default()
+    }
+
+    /// Trace length.
+    pub fn duration(&self) -> TimeDelta {
+        self.duration
+    }
+
+    /// Mean connection arrivals per second (Poisson).
+    pub fn flow_rate_per_sec(&self) -> f64 {
+        self.flow_rate_per_sec
+    }
+
+    /// The monitored client network.
+    pub fn inside(&self) -> Cidr {
+        self.inside
+    }
+
+    /// Number of distinct inside hosts.
+    pub fn clients(&self) -> u32 {
+        self.clients
+    }
+
+    /// RNG seed; equal seeds give byte-identical traces.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The application mix (label, relative connection weight).
+    pub fn mix(&self) -> &[(AppLabel, f64)] {
+        &self.mix
+    }
+
+    /// Probability that a new flow re-uses a recently-ended five-tuple at
+    /// a ~60·k-second echo (the Figure 5 port-reuse peaks).
+    pub fn port_reuse_prob(&self) -> f64 {
+        self.port_reuse_prob
+    }
+
+    /// The time-varying arrival-intensity profile.
+    pub fn rate_profile(&self) -> &RateProfile {
+        &self.rate_profile
+    }
+}
+
+/// Builder for [`TraceConfig`].
+#[derive(Debug, Clone)]
+pub struct TraceConfigBuilder {
+    duration: TimeDelta,
+    flow_rate_per_sec: f64,
+    inside: Cidr,
+    clients: u32,
+    seed: u64,
+    mix: Vec<(AppLabel, f64)>,
+    port_reuse_prob: f64,
+    rate_profile: RateProfile,
+}
+
+impl Default for TraceConfigBuilder {
+    fn default() -> Self {
+        Self {
+            duration: TimeDelta::from_secs(300.0),
+            flow_rate_per_sec: 40.0,
+            inside: "10.0.0.0/16".parse().expect("static CIDR"),
+            clients: 200,
+            seed: 42,
+            mix: apps::paper_campus_mix(),
+            port_reuse_prob: 0.01,
+            rate_profile: RateProfile::Constant,
+        }
+    }
+}
+
+impl TraceConfigBuilder {
+    /// Sets the trace duration in seconds.
+    pub fn duration_secs(&mut self, secs: f64) -> &mut Self {
+        self.duration = TimeDelta::from_secs(secs);
+        self
+    }
+
+    /// Sets the mean flow arrival rate (flows per second).
+    pub fn flow_rate_per_sec(&mut self, rate: f64) -> &mut Self {
+        self.flow_rate_per_sec = rate;
+        self
+    }
+
+    /// Sets the client network prefix.
+    pub fn inside(&mut self, cidr: Cidr) -> &mut Self {
+        self.inside = cidr;
+        self
+    }
+
+    /// Sets the number of inside hosts.
+    pub fn clients(&mut self, n: u32) -> &mut Self {
+        self.clients = n;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the application mix.
+    pub fn mix(&mut self, mix: Vec<(AppLabel, f64)>) -> &mut Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the port-reuse echo probability.
+    pub fn port_reuse_prob(&mut self, p: f64) -> &mut Self {
+        self.port_reuse_prob = p;
+        self
+    }
+
+    /// Sets the time-varying arrival profile (default: constant).
+    pub fn rate_profile(&mut self, profile: RateProfile) -> &mut Self {
+        self.rate_profile = profile;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`TraceConfigError`] bound.
+    pub fn build(&self) -> Result<TraceConfig, TraceConfigError> {
+        if self.duration.is_zero() {
+            return Err(TraceConfigError::BadDuration);
+        }
+        if !self.flow_rate_per_sec.is_finite() || self.flow_rate_per_sec <= 0.0 {
+            return Err(TraceConfigError::BadRate);
+        }
+        if self.clients == 0 {
+            return Err(TraceConfigError::NoClients);
+        }
+        let total: f64 = self.mix.iter().map(|(_, w)| w).sum();
+        if self.mix.is_empty() || total <= 0.0 {
+            return Err(TraceConfigError::BadMix);
+        }
+        if !self.rate_profile.is_valid() {
+            return Err(TraceConfigError::BadProfile);
+        }
+        Ok(TraceConfig {
+            duration: self.duration,
+            flow_rate_per_sec: self.flow_rate_per_sec,
+            inside: self.inside,
+            clients: self.clients,
+            seed: self.seed,
+            mix: self.mix.clone(),
+            port_reuse_prob: self.port_reuse_prob,
+            rate_profile: self.rate_profile.clone(),
+        })
+    }
+}
+
+/// A complete synthetic trace: time-sorted labeled packets plus per-flow
+/// ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticTrace {
+    /// All packets, sorted by timestamp.
+    pub packets: Vec<LabeledPacket>,
+    /// Ground-truth summaries, one per connection.
+    pub flows: Vec<FlowSummary>,
+}
+
+impl SyntheticTrace {
+    /// Total upload (outbound) wire bytes.
+    pub fn upload_bytes(&self) -> u64 {
+        self.packets
+            .iter()
+            .filter(|p| p.direction == Direction::Outbound)
+            .map(|p| p.packet.wire_len() as u64)
+            .sum()
+    }
+
+    /// Total download (inbound) wire bytes.
+    pub fn download_bytes(&self) -> u64 {
+        self.packets
+            .iter()
+            .filter(|p| p.direction == Direction::Inbound)
+            .map(|p| p.packet.wire_len() as u64)
+            .sum()
+    }
+
+    /// Number of connections.
+    pub fn connection_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Iterator over the bare packets (labels stripped).
+    pub fn raw_packets(&self) -> impl Iterator<Item = &Packet> + '_ {
+        self.packets.iter().map(|lp| &lp.packet)
+    }
+}
+
+struct EndedFlow {
+    tuple: FiveTuple,
+    end: Timestamp,
+}
+
+/// Generates a synthetic trace from a validated configuration.
+///
+/// Deterministic: equal configurations produce identical traces.
+pub fn generate(config: &TraceConfig) -> SyntheticTrace {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let weights: Vec<f64> = config.mix.iter().map(|(_, w)| *w).collect();
+    let mut packets: Vec<LabeledPacket> = Vec::new();
+    let mut flows: Vec<FlowSummary> = Vec::new();
+    let mut ended: Vec<EndedFlow> = Vec::new();
+    let mut flow_id: u64 = 0;
+
+    let duration_secs = config.duration.as_secs_f64();
+    // Non-homogeneous Poisson arrivals by thinning: candidates arrive at
+    // the profile's maximum intensity and are accepted with probability
+    // multiplier(t)/max.
+    let max_mult = match &config.rate_profile {
+        RateProfile::Constant => 1.0,
+        RateProfile::Diurnal { amplitude, .. } => 1.0 + amplitude,
+        RateProfile::Burst { peak, .. } => peak.max(1.0),
+    };
+    let lambda_max = config.flow_rate_per_sec * max_mult;
+    let mut t = 0.0f64;
+    loop {
+        t += dist::exponential(&mut rng, 1.0 / lambda_max);
+        if t >= duration_secs {
+            break;
+        }
+        let accept = config.rate_profile.multiplier(t) / max_mult;
+        if rng.gen::<f64>() >= accept {
+            continue;
+        }
+        let app = config.mix[dist::weighted_index(&mut rng, &weights)].0;
+        let shape = apps::sample_shape(&mut rng, app);
+        let start = Timestamp::from_secs(t);
+
+        let spec = build_spec(
+            &mut rng,
+            config,
+            &mut flow_id,
+            app,
+            shape,
+            start,
+            &mut ended,
+        );
+        emit_flow(
+            &mut rng,
+            config,
+            spec,
+            &mut packets,
+            &mut flows,
+            &mut ended,
+            &mut flow_id,
+        );
+    }
+
+    packets.sort_by_key(|p| p.packet.ts());
+    SyntheticTrace { packets, flows }
+}
+
+/// Builds a [`FlowSpec`], possibly re-using a recently-ended tuple to
+/// create the ~60·k-second port-reuse echoes of Figure 5.
+fn build_spec(
+    rng: &mut StdRng,
+    config: &TraceConfig,
+    flow_id: &mut u64,
+    app: AppLabel,
+    shape: FlowShape,
+    start: Timestamp,
+    ended: &mut Vec<EndedFlow>,
+) -> FlowSpec {
+    *flow_id += 1;
+    let id = *flow_id;
+
+    // Port-reuse echo: reuse an ended TCP tuple whose age is near a
+    // multiple of 60 s (OS port-reuse timers "in multiples of 60 seconds",
+    // §3.3).
+    if shape.protocol == Protocol::Tcp && rng.gen::<f64>() < config.port_reuse_prob {
+        if let Some(pos) = ended.iter().position(|e| {
+            let age = start.saturating_since(e.end).as_secs_f64();
+            (55.0..65.0).contains(&age)
+                || (115.0..125.0).contains(&age)
+                || (175.0..185.0).contains(&age)
+        }) {
+            let old = ended.swap_remove(pos);
+            let (client, remote) = (old.tuple.src(), old.tuple.dst());
+            return FlowSpec {
+                flow_id: id,
+                app,
+                protocol: Protocol::Tcp,
+                initiator: Initiator::Inside,
+                client,
+                remote,
+                start,
+                lifetime: clamp_lifetime(config, start, shape.lifetime_secs).0,
+                upload_bytes: shape.upload_bytes,
+                download_bytes: shape.download_bytes,
+                close: clamp_lifetime(config, start, shape.lifetime_secs)
+                    .1
+                    .unwrap_or(shape.close),
+            };
+        }
+    }
+
+    let client_host = config
+        .inside()
+        .host(1 + rng.gen_range(0..config.clients()) as u64);
+    let remote_addr = random_public_addr(rng, config.inside());
+    let ephemeral: u16 = rng.gen_range(1024..65535);
+    let (client, remote) = match shape.initiator {
+        // Inside client connects out: service port on the remote.
+        Initiator::Inside => (
+            SocketAddrV4::new(client_host, ephemeral),
+            SocketAddrV4::new(remote_addr, shape.service_port),
+        ),
+        // Outside peer connects in: the inside host is listening on the
+        // service port (the P2P listening ports of Figure 2).
+        Initiator::Outside => (
+            SocketAddrV4::new(client_host, shape.service_port),
+            SocketAddrV4::new(remote_addr, ephemeral),
+        ),
+    };
+
+    let (lifetime, close_override) = clamp_lifetime(config, start, shape.lifetime_secs);
+    FlowSpec {
+        flow_id: id,
+        app,
+        protocol: shape.protocol,
+        initiator: shape.initiator,
+        client,
+        remote,
+        start,
+        lifetime,
+        upload_bytes: shape.upload_bytes,
+        download_bytes: shape.download_bytes,
+        close: close_override.unwrap_or(shape.close),
+    }
+}
+
+/// Truncates lifetimes at the capture end; truncated flows never close.
+fn clamp_lifetime(
+    config: &TraceConfig,
+    start: Timestamp,
+    lifetime_secs: f64,
+) -> (TimeDelta, Option<CloseKind>) {
+    let remaining = config.duration().as_secs_f64() - start.as_secs_f64();
+    if lifetime_secs >= remaining {
+        (
+            TimeDelta::from_secs(remaining.max(0.01)),
+            Some(CloseKind::None),
+        )
+    } else {
+        (TimeDelta::from_secs(lifetime_secs), None)
+    }
+}
+
+fn random_public_addr(rng: &mut StdRng, inside: Cidr) -> Ipv4Addr {
+    loop {
+        let addr = Ipv4Addr::from(rng.gen::<u32>());
+        let first = addr.octets()[0];
+        if (1..=223).contains(&first) && first != 127 && !inside.contains(addr) {
+            return addr;
+        }
+    }
+}
+
+/// Synthesizes one flow's packets and, for FTP control connections, the
+/// PASV exchange plus the separate data connection the analyzer must
+/// associate (§3.2, second identification strategy).
+fn emit_flow(
+    rng: &mut StdRng,
+    config: &TraceConfig,
+    spec: FlowSpec,
+    packets: &mut Vec<LabeledPacket>,
+    flows: &mut Vec<FlowSummary>,
+    ended: &mut Vec<EndedFlow>,
+    flow_id: &mut u64,
+) {
+    let flow_packets = spec::synthesize(&spec, rng);
+    let n = flow_packets.len() as u32;
+
+    if spec.protocol == Protocol::Tcp {
+        // Remember client-perspective tuple for port-reuse echoes.
+        if ended.len() >= 4096 {
+            ended.remove(0);
+        }
+        ended.push(EndedFlow {
+            tuple: FiveTuple::new(Protocol::Tcp, spec.client, spec.remote),
+            end: spec.start + spec.lifetime,
+        });
+    }
+
+    packets.extend(flow_packets);
+    flows.push(FlowSummary {
+        spec: spec.clone(),
+        packets: n,
+    });
+
+    // FTP: inject the PASV negotiation into the control stream and spawn
+    // the advertised data connection.
+    if spec.app == AppLabel::Ftp && spec.protocol == Protocol::Tcp {
+        // The two PASV packets below belong to the control flow.
+        flows.last_mut().expect("control flow just pushed").packets += 2;
+        let data_port: u16 = rng.gen_range(20_000..60_000);
+        let remote_ip = *spec.remote.ip();
+        let o = remote_ip.octets();
+        let pasv_time = spec.start + TimeDelta::from_secs(0.8);
+        let ctl = FiveTuple::new(Protocol::Tcp, spec.client, spec.remote);
+        let pasv_req = Packet::tcp(
+            pasv_time,
+            ctl,
+            TcpFlags::PSH | TcpFlags::ACK,
+            b"PASV\r\n".to_vec(),
+        );
+        let reply = format!(
+            "227 Entering Passive Mode ({},{},{},{},{},{})\r\n",
+            o[0],
+            o[1],
+            o[2],
+            o[3],
+            data_port / 256,
+            data_port % 256
+        );
+        let pasv_resp = Packet::tcp(
+            pasv_time + TimeDelta::from_millis(120),
+            ctl.inverse(),
+            TcpFlags::PSH | TcpFlags::ACK,
+            reply.into_bytes(),
+        );
+        for (packet, direction) in [
+            (pasv_req, Direction::Outbound),
+            (pasv_resp, Direction::Inbound),
+        ] {
+            packets.push(LabeledPacket {
+                packet,
+                direction,
+                app: AppLabel::Ftp,
+                flow_id: spec.flow_id,
+                outside_initiated: false,
+            });
+        }
+
+        *flow_id += 1;
+        let data_spec = FlowSpec {
+            flow_id: *flow_id,
+            app: AppLabel::Ftp,
+            protocol: Protocol::Tcp,
+            initiator: Initiator::Inside,
+            client: SocketAddrV4::new(*spec.client.ip(), rng.gen_range(1024..65535)),
+            remote: SocketAddrV4::new(remote_ip, data_port),
+            start: pasv_time + TimeDelta::from_millis(300),
+            lifetime: TimeDelta::from_secs(
+                (spec.lifetime.as_secs_f64() * 0.6).clamp(0.5, 600.0).min(
+                    (config.duration().as_secs_f64() - pasv_time.as_secs_f64() - 0.3).max(0.1),
+                ),
+            ),
+            upload_bytes: 500,
+            download_bytes: 400_000,
+            close: CloseKind::Fin,
+        };
+        let data_packets = spec::synthesize(&data_spec, rng);
+        let dn = data_packets.len() as u32;
+        packets.extend(data_packets);
+        flows.push(FlowSummary {
+            spec: data_spec,
+            packets: dn,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64) -> TraceConfig {
+        TraceConfig::builder()
+            .duration_secs(60.0)
+            .flow_rate_per_sec(30.0)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small_config(5));
+        let b = generate(&small_config(5));
+        assert_eq!(a, b);
+        let c = generate(&small_config(6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn packets_are_sorted_and_labeled() {
+        let trace = generate(&small_config(1));
+        assert!(!trace.packets.is_empty());
+        assert!(trace
+            .packets
+            .windows(2)
+            .all(|w| w[0].packet.ts() <= w[1].packet.ts()));
+        let inside = small_config(1).inside();
+        for lp in &trace.packets {
+            let expected = inside.direction_of(&lp.packet.tuple());
+            assert_eq!(lp.direction, expected, "direction label must match CIDR");
+        }
+    }
+
+    #[test]
+    fn upload_dominates_as_in_the_paper() {
+        let config = TraceConfig::builder()
+            .duration_secs(120.0)
+            .flow_rate_per_sec(60.0)
+            .seed(2)
+            .build()
+            .unwrap();
+        let trace = generate(&config);
+        let up = trace.upload_bytes() as f64;
+        let down = trace.download_bytes() as f64;
+        let frac = up / (up + down);
+        // Paper: 89.8% upload. Allow a generous band for a short trace.
+        assert!((0.75..0.97).contains(&frac), "upload share {frac}");
+    }
+
+    #[test]
+    fn most_upload_rides_outside_initiated_connections() {
+        let trace = generate(&small_config(3));
+        let (mut triggered, mut total) = (0u64, 0u64);
+        for lp in &trace.packets {
+            if lp.direction == Direction::Outbound {
+                total += lp.packet.wire_len() as u64;
+                if lp.outside_initiated {
+                    triggered += lp.packet.wire_len() as u64;
+                }
+            }
+        }
+        let frac = triggered as f64 / total as f64;
+        // Paper §3.3: 80% of outbound traffic rides inbound connections.
+        assert!((0.6..0.95).contains(&frac), "triggered upload share {frac}");
+    }
+
+    #[test]
+    fn connection_mix_tracks_table_two() {
+        let config = TraceConfig::builder()
+            .duration_secs(240.0)
+            .flow_rate_per_sec(50.0)
+            .seed(4)
+            .build()
+            .unwrap();
+        let trace = generate(&config);
+        let n = trace.flows.len() as f64;
+        let share =
+            |app: AppLabel| trace.flows.iter().filter(|f| f.spec.app == app).count() as f64 / n;
+        assert!((share(AppLabel::BitTorrent) - 0.479).abs() < 0.04);
+        assert!((share(AppLabel::EDonkey) - 0.22).abs() < 0.03);
+        assert!((share(AppLabel::Unknown) - 0.1755).abs() < 0.03);
+    }
+
+    #[test]
+    fn ftp_flows_spawn_data_connections() {
+        let config = TraceConfig::builder()
+            .duration_secs(120.0)
+            .flow_rate_per_sec(40.0)
+            .mix(vec![(AppLabel::Ftp, 1.0)])
+            .seed(9)
+            .build()
+            .unwrap();
+        let trace = generate(&config);
+        let control = trace
+            .flows
+            .iter()
+            .filter(|f| f.spec.remote.port() == 21)
+            .count();
+        let data = trace.flows.len() - control;
+        assert!(control > 0);
+        assert_eq!(control, data, "one data connection per control connection");
+        // The PASV reply is on the wire.
+        assert!(trace
+            .packets
+            .iter()
+            .any(|p| p.packet.payload().starts_with(b"227 Entering Passive Mode")));
+    }
+
+    #[test]
+    fn flows_do_not_outlive_the_capture() {
+        let config = small_config(8);
+        let trace = generate(&config);
+        let end = Timestamp::from_secs(config.duration().as_secs_f64() + 5.0);
+        assert!(trace.packets.iter().all(|p| p.packet.ts() <= end));
+    }
+
+    #[test]
+    fn builder_validation_rejects_bad_inputs() {
+        assert_eq!(
+            TraceConfig::builder().duration_secs(0.0).build(),
+            Err(TraceConfigError::BadDuration)
+        );
+        assert_eq!(
+            TraceConfig::builder().flow_rate_per_sec(0.0).build(),
+            Err(TraceConfigError::BadRate)
+        );
+        assert_eq!(
+            TraceConfig::builder().clients(0).build(),
+            Err(TraceConfigError::NoClients)
+        );
+        assert_eq!(
+            TraceConfig::builder().mix(vec![]).build(),
+            Err(TraceConfigError::BadMix)
+        );
+    }
+
+    #[test]
+    fn remote_addresses_are_outside_the_client_network() {
+        let config = small_config(10);
+        let trace = generate(&config);
+        for f in &trace.flows {
+            assert!(config.inside().contains(*f.spec.client.ip()));
+            assert!(!config.inside().contains(*f.spec.remote.ip()));
+        }
+    }
+
+    #[test]
+    fn port_reuse_echoes_exist_when_enabled() {
+        let config = TraceConfig::builder()
+            .duration_secs(200.0)
+            .flow_rate_per_sec(50.0)
+            .port_reuse_prob(0.5)
+            .seed(11)
+            .build()
+            .unwrap();
+        let trace = generate(&config);
+        // Count flows sharing an identical client-side tuple.
+        let mut seen = std::collections::HashMap::new();
+        let mut reused = 0;
+        for f in &trace.flows {
+            if f.spec.protocol == Protocol::Tcp {
+                let key = (f.spec.client, f.spec.remote);
+                if *seen.entry(key).or_insert(0u32) >= 1 {
+                    reused += 1;
+                }
+                *seen.get_mut(&key).unwrap() += 1;
+            }
+        }
+        assert!(reused > 0, "expected at least one port-reuse echo");
+    }
+}

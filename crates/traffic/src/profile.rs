@@ -1,0 +1,171 @@
+//! Time-varying flow-arrival profiles.
+//!
+//! The paper's campus trace is not flat: Figure 9 shows visible load
+//! variation over the capture. [`RateProfile`] modulates the generator's
+//! Poisson arrival intensity over time so synthetic traces can carry the
+//! same structure: constant load, diurnal swings, or a flash-crowd
+//! burst.
+
+use serde::{Deserialize, Serialize};
+
+/// Flow arrival intensity as a function of time, as a multiplier applied
+/// to the configured base rate.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RateProfile {
+    /// Flat intensity (multiplier 1 everywhere).
+    #[default]
+    Constant,
+    /// Sinusoidal modulation: multiplier
+    /// `1 + amplitude·sin(2π·t/period_secs)`, clamped at a small floor.
+    ///
+    /// `amplitude` in `[0, 1)` keeps the rate positive.
+    Diurnal {
+        /// Oscillation period in seconds.
+        period_secs: f64,
+        /// Relative swing around the base rate.
+        amplitude: f64,
+    },
+    /// A flash crowd: multiplier `peak` inside `[start_secs,
+    /// start_secs + duration_secs)`, 1 elsewhere.
+    Burst {
+        /// Burst start, seconds from trace start.
+        start_secs: f64,
+        /// Burst length in seconds.
+        duration_secs: f64,
+        /// Intensity multiplier during the burst (≥ 0).
+        peak: f64,
+    },
+}
+
+impl RateProfile {
+    /// The intensity multiplier at time `t_secs` (always ≥ 0; the
+    /// generator additionally floors the effective rate).
+    pub fn multiplier(&self, t_secs: f64) -> f64 {
+        match self {
+            RateProfile::Constant => 1.0,
+            RateProfile::Diurnal {
+                period_secs,
+                amplitude,
+            } => {
+                let phase = std::f64::consts::TAU * t_secs / period_secs.max(1e-9);
+                (1.0 + amplitude * phase.sin()).max(0.05)
+            }
+            RateProfile::Burst {
+                start_secs,
+                duration_secs,
+                peak,
+            } => {
+                if (*start_secs..start_secs + duration_secs).contains(&t_secs) {
+                    peak.max(0.0)
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// `true` when the profile is valid (finite, positive periods,
+    /// non-negative amplitudes/peaks, amplitude < 1).
+    pub fn is_valid(&self) -> bool {
+        match self {
+            RateProfile::Constant => true,
+            RateProfile::Diurnal {
+                period_secs,
+                amplitude,
+            } => period_secs.is_finite() && *period_secs > 0.0 && (0.0..1.0).contains(amplitude),
+            RateProfile::Burst {
+                start_secs,
+                duration_secs,
+                peak,
+            } => {
+                start_secs.is_finite()
+                    && *start_secs >= 0.0
+                    && duration_secs.is_finite()
+                    && *duration_secs >= 0.0
+                    && peak.is_finite()
+                    && *peak >= 0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_always_one() {
+        let p = RateProfile::Constant;
+        for t in [0.0, 17.0, 1e6] {
+            assert_eq!(p.multiplier(t), 1.0);
+        }
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn diurnal_oscillates_around_one() {
+        let p = RateProfile::Diurnal {
+            period_secs: 100.0,
+            amplitude: 0.5,
+        };
+        assert!((p.multiplier(0.0) - 1.0).abs() < 1e-12);
+        assert!((p.multiplier(25.0) - 1.5).abs() < 1e-9); // peak at T/4
+        assert!((p.multiplier(75.0) - 0.5).abs() < 1e-9); // trough at 3T/4
+        assert!(p.is_valid());
+        // Mean over one period ≈ 1.
+        let mean: f64 = (0..1000).map(|i| p.multiplier(i as f64 * 0.1)).sum::<f64>() / 1000.0;
+        assert!((mean - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn diurnal_never_goes_nonpositive() {
+        let p = RateProfile::Diurnal {
+            period_secs: 10.0,
+            amplitude: 0.99,
+        };
+        for i in 0..1000 {
+            assert!(p.multiplier(i as f64 * 0.01) > 0.0);
+        }
+    }
+
+    #[test]
+    fn burst_is_a_window() {
+        let p = RateProfile::Burst {
+            start_secs: 10.0,
+            duration_secs: 5.0,
+            peak: 4.0,
+        };
+        assert_eq!(p.multiplier(9.999), 1.0);
+        assert_eq!(p.multiplier(10.0), 4.0);
+        assert_eq!(p.multiplier(14.999), 4.0);
+        assert_eq!(p.multiplier(15.0), 1.0);
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(!RateProfile::Diurnal {
+            period_secs: 0.0,
+            amplitude: 0.5
+        }
+        .is_valid());
+        assert!(!RateProfile::Diurnal {
+            period_secs: 10.0,
+            amplitude: 1.5
+        }
+        .is_valid());
+        assert!(!RateProfile::Burst {
+            start_secs: -1.0,
+            duration_secs: 5.0,
+            peak: 2.0
+        }
+        .is_valid());
+        assert!(!RateProfile::Burst {
+            start_secs: 0.0,
+            duration_secs: 5.0,
+            peak: f64::NAN
+        }
+        .is_valid());
+    }
+}

@@ -1,0 +1,533 @@
+//! Flow specifications and packet synthesis.
+
+use crate::dist;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::net::SocketAddrV4;
+use upbound_net::{Direction, FiveTuple, Packet, Protocol, TcpFlags, TimeDelta, Timestamp};
+use upbound_pattern::AppLabel;
+
+/// Who opened the connection, relative to the client network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Initiator {
+    /// An inside client connected out (a download/request).
+    Inside,
+    /// An outside peer connected in — the inbound requests that trigger
+    /// P2P upload (§3.3: 80% of outbound bytes ride such connections).
+    Outside,
+}
+
+/// How a TCP flow terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CloseKind {
+    /// Orderly FIN exchange.
+    Fin,
+    /// Abortive reset.
+    Rst,
+    /// Still open when the trace ends.
+    None,
+}
+
+/// Complete ground-truth description of one synthetic connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Unique id within the trace.
+    pub flow_id: u64,
+    /// Ground-truth application.
+    pub app: AppLabel,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// Who connected to whom.
+    pub initiator: Initiator,
+    /// The inside endpoint.
+    pub client: SocketAddrV4,
+    /// The outside endpoint.
+    pub remote: SocketAddrV4,
+    /// First packet time.
+    pub start: Timestamp,
+    /// Span from first to last packet.
+    pub lifetime: TimeDelta,
+    /// Application bytes sent inside → outside (upload).
+    pub upload_bytes: u64,
+    /// Application bytes sent outside → inside (download).
+    pub download_bytes: u64,
+    /// Termination behaviour (TCP only).
+    pub close: CloseKind,
+}
+
+/// A packet plus its ground truth, as produced by the generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledPacket {
+    /// The packet as it would appear on the wire at the trace point.
+    pub packet: Packet,
+    /// Direction relative to the client network.
+    pub direction: Direction,
+    /// Ground-truth application of the owning flow.
+    pub app: AppLabel,
+    /// Id of the owning flow.
+    pub flow_id: u64,
+    /// `true` when the owning flow was opened by an outside peer.
+    pub outside_initiated: bool,
+}
+
+/// Per-flow roll-up emitted alongside the packets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSummary {
+    /// The generating spec.
+    pub spec: FlowSpec,
+    /// Packets synthesized for this flow.
+    pub packets: u32,
+}
+
+const MSS: u64 = 1460;
+/// Cap on synthesized data packets per flow and direction; byte totals
+/// beyond the cap are carried by inflating `wire_len` (aggregation), so
+/// throughput accounting stays exact while traces stay tractable.
+const MAX_DATA_PKTS: u64 = 64;
+
+/// The first-payload bytes each application puts on the wire, matching
+/// the Table 1 signatures (or deliberately matching nothing for
+/// UNKNOWN — emulating protocol-encrypted P2P).
+fn handshake_payload(app: AppLabel, from_initiator: bool) -> Vec<u8> {
+    match (app, from_initiator) {
+        (AppLabel::BitTorrent, _) => {
+            let mut p = b"\x13BitTorrent protocol".to_vec();
+            p.extend_from_slice(&[0u8; 8]);
+            p.extend_from_slice(b"01234567890123456789ABCDEFGHIJKLMNOPQRS");
+            p
+        }
+        (AppLabel::EDonkey, _) => {
+            // 0xe3 | u32 length | opcode 0x01 (hello).
+            let mut p = vec![0xe3, 0x2e, 0x00, 0x00, 0x00, 0x01];
+            p.extend_from_slice(&[0x10; 16]);
+            p
+        }
+        (AppLabel::FastTrack, true) => b"GET /.supernode HTTP/1.0\r\n\r\n".to_vec(),
+        (AppLabel::FastTrack, false) => b"GIVE 0123456789".to_vec(),
+        (AppLabel::Gnutella, true) => {
+            b"GNUTELLA CONNECT/0.6\r\nUser-Agent: LimeWire/4.9\r\n\r\n".to_vec()
+        }
+        (AppLabel::Gnutella, false) => {
+            b"GNUTELLA/0.6 200 OK\r\nUser-Agent: LimeWire/4.9\r\n\r\n".to_vec()
+        }
+        (AppLabel::Http, true) => {
+            b"GET /index.html HTTP/1.1\r\nHost: www.example.com\r\nUser-Agent: Mozilla/5.0\r\n\r\n"
+                .to_vec()
+        }
+        (AppLabel::Http, false) => {
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: 512\r\n\r\n<html>"
+                .to_vec()
+        }
+        (AppLabel::Ftp, true) => b"USER anonymous\r\n".to_vec(),
+        (AppLabel::Ftp, false) => b"220 campus FTP server (Version 6.00LS) ready.\r\n".to_vec(),
+        (AppLabel::Smtp, true) => b"EHLO client.example.net\r\n".to_vec(),
+        (AppLabel::Smtp, false) => b"220 mail.example.com ESMTP SMTP service ready\r\n".to_vec(),
+        (AppLabel::Ssh, _) => b"SSH-2.0-OpenSSH_4.3\r\n".to_vec(),
+        (AppLabel::Dns, true) => {
+            // A plausible DNS query header + QNAME (binary, matches nothing).
+            let mut p = vec![0xAB, 0xCD, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0];
+            p.extend_from_slice(b"\x03www\x07example\x03com\x00\x00\x01\x00\x01");
+            p
+        }
+        (AppLabel::Dns, false) => vec![0xAB, 0xCD, 0x81, 0x80, 0x00, 0x01, 0x00, 0x01, 0, 0, 0, 0],
+        (AppLabel::Https, true) => {
+            // TLS ClientHello prefix (binary, identified by port only).
+            vec![
+                0x16, 0x03, 0x01, 0x00, 0x8f, 0x01, 0x00, 0x00, 0x8b, 0x03, 0x03,
+            ]
+        }
+        (AppLabel::Https, false) => vec![0x16, 0x03, 0x03, 0x00, 0x51, 0x02],
+        (AppLabel::Unknown, _) => {
+            // Encrypted-looking bytes whose first byte avoids every
+            // signature family (paper §3.3: "many of those unidentified
+            // connections have a high probability to also be peer-to-peer
+            // traffic").
+            let mut p = vec![0x7Au8];
+            p.extend((1..48u8).map(|i| i.wrapping_mul(0x9D).wrapping_add(0x33)));
+            p
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Synthesizes the packet sequence of one flow.
+///
+/// TCP flows get a three-way handshake, alternating request/response data
+/// exchanges spread across the lifetime (responses trail requests by a
+/// short out-in delay), and the configured close. UDP flows are
+/// query/response exchanges. Packets are returned time-sorted.
+pub(crate) fn synthesize<R: Rng + ?Sized>(spec: &FlowSpec, rng: &mut R) -> Vec<LabeledPacket> {
+    let mut pkts: Vec<LabeledPacket> = Vec::new();
+    let (init_src, init_dst, init_dir) = match spec.initiator {
+        Initiator::Inside => (spec.client, spec.remote, Direction::Outbound),
+        Initiator::Outside => (spec.remote, spec.client, Direction::Inbound),
+    };
+    let fwd = FiveTuple::new(spec.protocol, init_src, init_dst);
+    let rev = fwd.inverse();
+    let rtt = TimeDelta::from_secs(dist::exponential(rng, 0.08).clamp(0.004, 1.5));
+    let half_rtt = TimeDelta::from_micros(rtt.as_micros() / 2);
+
+    let mut push = |ts: Timestamp,
+                    tuple: FiveTuple,
+                    flags: Option<TcpFlags>,
+                    payload: Vec<u8>,
+                    wire_override: Option<u32>| {
+        let packet = match spec.protocol {
+            Protocol::Tcp => Packet::tcp(ts, tuple, flags.unwrap_or(TcpFlags::ACK), payload),
+            Protocol::Udp => Packet::udp(ts, tuple, payload),
+        };
+        let packet = match wire_override {
+            Some(w) => packet.with_wire_len(w),
+            None => packet,
+        };
+        let direction = if tuple == fwd {
+            init_dir
+        } else {
+            init_dir.opposite()
+        };
+        pkts.push(LabeledPacket {
+            packet,
+            direction,
+            app: spec.app,
+            flow_id: spec.flow_id,
+            outside_initiated: spec.initiator == Initiator::Outside,
+        });
+    };
+
+    // Bytes each side must send, initiator-relative.
+    let (init_bytes, resp_bytes) = match spec.initiator {
+        Initiator::Inside => (spec.upload_bytes, spec.download_bytes),
+        Initiator::Outside => (spec.download_bytes, spec.upload_bytes),
+    };
+
+    let mut t = spec.start;
+    let end = spec.start + spec.lifetime;
+
+    if spec.protocol == Protocol::Tcp {
+        push(t, fwd, Some(TcpFlags::SYN), Vec::new(), None);
+        t += half_rtt;
+        push(
+            t,
+            rev,
+            Some(TcpFlags::SYN | TcpFlags::ACK),
+            Vec::new(),
+            None,
+        );
+        t += half_rtt;
+        push(t, fwd, Some(TcpFlags::ACK), Vec::new(), None);
+    }
+
+    // Data phase: split each side's bytes into chunks and pair them into
+    // exchanges scattered across the remaining lifetime.
+    let init_pkts = if init_bytes == 0 {
+        0
+    } else {
+        (init_bytes / MSS + 1).min(MAX_DATA_PKTS)
+    };
+    let resp_pkts = if resp_bytes == 0 {
+        0
+    } else {
+        (resp_bytes / MSS + 1).min(MAX_DATA_PKTS)
+    };
+    let exchanges = init_pkts
+        .max(resp_pkts)
+        .max(if spec.protocol == Protocol::Udp { 1 } else { 0 });
+
+    if exchanges > 0 {
+        let data_start = t;
+        let data_span = end.saturating_since(data_start);
+        // Sorted random offsets for exchange start times.
+        let mut offsets: Vec<u64> = (0..exchanges)
+            .map(|_| (rng.gen::<f64>() * data_span.as_micros() as f64 * 0.9) as u64)
+            .collect();
+        offsets.sort_unstable();
+
+        let init_chunk = init_bytes.checked_div(init_pkts).unwrap_or(0);
+        let resp_chunk = resp_bytes.checked_div(resp_pkts).unwrap_or(0);
+
+        for (i, off) in offsets.iter().enumerate() {
+            let ex_t = data_start + TimeDelta::from_micros(*off);
+            // Out-in delay: 95% fast, 5% slow — 99% stays under ~2.8 s.
+            let delay_secs = if rng.gen::<f64>() < 0.95 {
+                dist::exponential(rng, 0.18)
+            } else {
+                dist::exponential(rng, 0.9)
+            };
+            // Replies never trail the flow's own lifetime.
+            let reply_t = (ex_t + TimeDelta::from_secs(delay_secs.clamp(0.001, 25.0))).min(end);
+
+            let has_init = (i as u64) < init_pkts;
+            let has_resp = (i as u64) < resp_pkts;
+            if has_init {
+                let payload = if i == 0 {
+                    handshake_payload(spec.app, true)
+                } else {
+                    Vec::new()
+                };
+                let wire = chunk_wire_len(spec.protocol, init_chunk, payload.len());
+                push(
+                    ex_t,
+                    fwd,
+                    Some(TcpFlags::PSH | TcpFlags::ACK),
+                    payload,
+                    wire,
+                );
+            }
+            if has_resp {
+                let payload = if i == 0 {
+                    handshake_payload(spec.app, false)
+                } else {
+                    Vec::new()
+                };
+                let wire = chunk_wire_len(spec.protocol, resp_chunk, payload.len());
+                // A lone response burst (no request this round) goes out
+                // at the exchange time; a reply trails the request.
+                let t_data = if has_init { reply_t } else { ex_t };
+                push(
+                    t_data,
+                    rev,
+                    Some(TcpFlags::PSH | TcpFlags::ACK),
+                    payload,
+                    wire,
+                );
+                // TCP acknowledges data promptly in the other direction —
+                // this reverse chatter is what keeps real out-in delays
+                // short (99% < 2.8 s in the paper's trace).
+                if !has_init && spec.protocol == Protocol::Tcp {
+                    push(reply_t, fwd, Some(TcpFlags::ACK), Vec::new(), None);
+                }
+            } else if has_init && spec.protocol == Protocol::Tcp {
+                // Pure request burst: the peer still ACKs it.
+                push(reply_t, rev, Some(TcpFlags::ACK), Vec::new(), None);
+            }
+        }
+    }
+
+    if spec.protocol == Protocol::Tcp {
+        match spec.close {
+            CloseKind::Fin => {
+                push(
+                    end,
+                    fwd,
+                    Some(TcpFlags::FIN | TcpFlags::ACK),
+                    Vec::new(),
+                    None,
+                );
+                push(
+                    end + half_rtt,
+                    rev,
+                    Some(TcpFlags::FIN | TcpFlags::ACK),
+                    Vec::new(),
+                    None,
+                );
+                push(end + rtt, fwd, Some(TcpFlags::ACK), Vec::new(), None);
+            }
+            CloseKind::Rst => push(end, fwd, Some(TcpFlags::RST), Vec::new(), None),
+            CloseKind::None => {}
+        }
+    }
+
+    pkts.sort_by_key(|p| p.packet.ts());
+    pkts
+}
+
+/// Computes the `wire_len` override for an (aggregated) data chunk:
+/// headers + the larger of the real payload and the modeled chunk size.
+fn chunk_wire_len(protocol: Protocol, chunk_bytes: u64, payload_len: usize) -> Option<u32> {
+    let hdr = match protocol {
+        Protocol::Tcp => 54u64,
+        Protocol::Udp => 42u64,
+    };
+    let modeled = hdr + chunk_bytes.max(payload_len as u64);
+    Some(modeled.min(u32::MAX as u64) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base_spec() -> FlowSpec {
+        FlowSpec {
+            flow_id: 1,
+            app: AppLabel::Http,
+            protocol: Protocol::Tcp,
+            initiator: Initiator::Inside,
+            client: "10.0.0.5:40000".parse().unwrap(),
+            remote: "198.51.100.2:80".parse().unwrap(),
+            start: Timestamp::from_secs(10.0),
+            lifetime: TimeDelta::from_secs(20.0),
+            upload_bytes: 2_000,
+            download_bytes: 50_000,
+            close: CloseKind::Fin,
+        }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn tcp_flow_has_handshake_and_close() {
+        let pkts = synthesize(&base_spec(), &mut rng());
+        assert!(pkts[0].packet.is_tcp_syn());
+        assert_eq!(pkts[0].direction, Direction::Outbound);
+        assert_eq!(
+            pkts[1].packet.tcp_flags().unwrap(),
+            TcpFlags::SYN | TcpFlags::ACK
+        );
+        assert!(pkts
+            .iter()
+            .any(|p| p.packet.tcp_flags().unwrap().contains(TcpFlags::FIN)));
+    }
+
+    #[test]
+    fn packets_are_time_sorted_and_within_lifetime() {
+        let spec = base_spec();
+        let pkts = synthesize(&spec, &mut rng());
+        assert!(pkts
+            .windows(2)
+            .all(|w| w[0].packet.ts() <= w[1].packet.ts()));
+        let end = spec.start + spec.lifetime + TimeDelta::from_secs(2.0);
+        assert!(pkts
+            .iter()
+            .all(|p| p.packet.ts() >= spec.start && p.packet.ts() <= end));
+    }
+
+    #[test]
+    fn byte_totals_are_preserved_by_wire_len() {
+        let spec = base_spec();
+        let pkts = synthesize(&spec, &mut rng());
+        let up: u64 = pkts
+            .iter()
+            .filter(|p| p.direction == Direction::Outbound)
+            .map(|p| p.packet.wire_len() as u64)
+            .sum();
+        let down: u64 = pkts
+            .iter()
+            .filter(|p| p.direction == Direction::Inbound)
+            .map(|p| p.packet.wire_len() as u64)
+            .sum();
+        // Wire bytes = app bytes + header overhead; must be at least the
+        // modeled app bytes and not wildly more.
+        assert!(up >= spec.upload_bytes, "up {up}");
+        assert!(down >= spec.download_bytes, "down {down}");
+        assert!(down < spec.download_bytes * 2, "down {down}");
+    }
+
+    #[test]
+    fn outside_initiated_flow_starts_inbound() {
+        let spec = FlowSpec {
+            initiator: Initiator::Outside,
+            app: AppLabel::BitTorrent,
+            remote: "198.51.100.2:50123".parse().unwrap(),
+            client: "10.0.0.5:23456".parse().unwrap(),
+            upload_bytes: 100_000,
+            download_bytes: 3_000,
+            ..base_spec()
+        };
+        let pkts = synthesize(&spec, &mut rng());
+        assert_eq!(pkts[0].direction, Direction::Inbound);
+        assert!(pkts[0].packet.is_tcp_syn());
+        assert!(pkts.iter().all(|p| p.outside_initiated));
+        // Upload bytes dominate the outbound direction.
+        let up: u64 = pkts
+            .iter()
+            .filter(|p| p.direction == Direction::Outbound)
+            .map(|p| p.packet.wire_len() as u64)
+            .sum();
+        assert!(up >= 100_000);
+    }
+
+    #[test]
+    fn first_data_packets_carry_signatures() {
+        let spec = FlowSpec {
+            app: AppLabel::BitTorrent,
+            ..base_spec()
+        };
+        let pkts = synthesize(&spec, &mut rng());
+        let first_data = pkts
+            .iter()
+            .find(|p| !p.packet.payload().is_empty())
+            .expect("has data");
+        assert!(first_data.packet.payload().starts_with(b"\x13BitTorrent"));
+    }
+
+    #[test]
+    fn unknown_payload_matches_no_signature() {
+        let db = upbound_pattern::SignatureDb::standard();
+        for from_init in [true, false] {
+            let payload = handshake_payload(AppLabel::Unknown, from_init);
+            assert_eq!(db.match_payload(&payload), None);
+        }
+    }
+
+    #[test]
+    fn all_app_payloads_match_their_own_signature() {
+        let db = upbound_pattern::SignatureDb::standard();
+        for app in [
+            AppLabel::BitTorrent,
+            AppLabel::EDonkey,
+            AppLabel::FastTrack,
+            AppLabel::Gnutella,
+            AppLabel::Http,
+            AppLabel::Ftp,
+        ] {
+            let payload = handshake_payload(app, true);
+            let matched = db.match_payload(&payload);
+            // FTP's client side has no banner; its server side does.
+            if app == AppLabel::Ftp {
+                assert_eq!(db.match_payload(&handshake_payload(app, false)), Some(app));
+            } else {
+                assert_eq!(matched, Some(app), "app {app}");
+            }
+        }
+    }
+
+    #[test]
+    fn udp_flow_has_no_tcp_artifacts() {
+        let spec = FlowSpec {
+            protocol: Protocol::Udp,
+            app: AppLabel::Dns,
+            remote: "198.51.100.2:53".parse().unwrap(),
+            upload_bytes: 60,
+            download_bytes: 120,
+            lifetime: TimeDelta::from_secs(1.0),
+            ..base_spec()
+        };
+        let pkts = synthesize(&spec, &mut rng());
+        assert!(!pkts.is_empty());
+        assert!(pkts.iter().all(|p| p.packet.tcp_flags().is_none()));
+    }
+
+    #[test]
+    fn rst_close_emits_single_reset() {
+        let spec = FlowSpec {
+            close: CloseKind::Rst,
+            ..base_spec()
+        };
+        let pkts = synthesize(&spec, &mut rng());
+        let rsts = pkts
+            .iter()
+            .filter(|p| {
+                p.packet
+                    .tcp_flags()
+                    .is_some_and(|f| f.contains(TcpFlags::RST))
+            })
+            .count();
+        assert_eq!(rsts, 1);
+    }
+
+    #[test]
+    fn zero_byte_flow_is_just_control_packets() {
+        let spec = FlowSpec {
+            upload_bytes: 0,
+            download_bytes: 0,
+            ..base_spec()
+        };
+        let pkts = synthesize(&spec, &mut rng());
+        assert!(pkts.iter().all(|p| p.packet.payload().is_empty()));
+        assert!(pkts.len() >= 4); // handshake + close
+    }
+}

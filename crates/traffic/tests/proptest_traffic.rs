@@ -1,0 +1,225 @@
+//! Property tests on the workload generator: structural invariants hold
+//! for every configuration, not just the calibrated defaults.
+
+use proptest::prelude::*;
+use upbound_net::{Direction, Protocol, TcpFlags, Timestamp};
+use upbound_pattern::AppLabel;
+use upbound_traffic::{generate, TraceConfig};
+
+fn arb_config() -> impl Strategy<Value = TraceConfig> {
+    (
+        5.0f64..60.0, // duration
+        1.0f64..30.0, // flow rate
+        1u32..100,    // clients
+        any::<u64>(), // seed
+        0.0f64..0.2,  // port reuse
+    )
+        .prop_map(|(dur, rate, clients, seed, reuse)| {
+            TraceConfig::builder()
+                .duration_secs(dur)
+                .flow_rate_per_sec(rate)
+                .clients(clients)
+                .seed(seed)
+                .port_reuse_prob(reuse)
+                .build()
+                .expect("generated config is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Packets are time-sorted, labels agree with CIDR classification,
+    /// and every packet belongs to a summarized flow.
+    #[test]
+    fn structural_invariants(config in arb_config()) {
+        let trace = generate(&config);
+        // Sorted.
+        prop_assert!(trace
+            .packets
+            .windows(2)
+            .all(|w| w[0].packet.ts() <= w[1].packet.ts()));
+        // Direction labels match the configured inside prefix.
+        let inside = config.inside();
+        let flow_ids: std::collections::HashSet<u64> =
+            trace.flows.iter().map(|f| f.spec.flow_id).collect();
+        for lp in &trace.packets {
+            prop_assert_eq!(lp.direction, inside.direction_of(&lp.packet.tuple()));
+            prop_assert!(flow_ids.contains(&lp.flow_id), "orphan packet");
+        }
+        // Per-flow packet counts add up to the stream length.
+        let total: u64 = trace.flows.iter().map(|f| f.packets as u64).sum();
+        prop_assert_eq!(total as usize, trace.packets.len());
+    }
+
+    /// Determinism: the same config generates the identical trace.
+    #[test]
+    fn determinism(config in arb_config()) {
+        prop_assert_eq!(generate(&config), generate(&config));
+    }
+
+    /// TCP flows that close do so after their SYN; every TCP flow with a
+    /// SYN has it as its first packet.
+    #[test]
+    fn tcp_flows_start_with_syn(config in arb_config()) {
+        let trace = generate(&config);
+        let mut first_by_flow: std::collections::HashMap<u64, &upbound_traffic::LabeledPacket> =
+            std::collections::HashMap::new();
+        for lp in &trace.packets {
+            first_by_flow.entry(lp.flow_id).or_insert(lp);
+        }
+        for f in &trace.flows {
+            if f.spec.protocol == Protocol::Tcp {
+                let first = first_by_flow.get(&f.spec.flow_id).expect("flow has packets");
+                prop_assert_eq!(
+                    first.packet.tcp_flags().expect("tcp packet"),
+                    TcpFlags::SYN,
+                    "flow {} first packet",
+                    f.spec.flow_id
+                );
+                prop_assert_eq!(first.packet.ts(), f.spec.start);
+            }
+        }
+    }
+
+    /// Wire-byte totals per flow cover the modeled application bytes.
+    #[test]
+    fn byte_accounting_covers_spec(config in arb_config()) {
+        let trace = generate(&config);
+        let mut up: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut down: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for lp in &trace.packets {
+            let slot = match lp.direction {
+                Direction::Outbound => up.entry(lp.flow_id).or_default(),
+                Direction::Inbound => down.entry(lp.flow_id).or_default(),
+            };
+            *slot += lp.packet.wire_len() as u64;
+        }
+        for f in &trace.flows {
+            let u = up.get(&f.spec.flow_id).copied().unwrap_or(0);
+            let d = down.get(&f.spec.flow_id).copied().unwrap_or(0);
+            prop_assert!(
+                u >= f.spec.upload_bytes,
+                "flow {}: wire up {} < modeled {}",
+                f.spec.flow_id, u, f.spec.upload_bytes
+            );
+            prop_assert!(
+                d >= f.spec.download_bytes,
+                "flow {}: wire down {} < modeled {}",
+                f.spec.flow_id, d, f.spec.download_bytes
+            );
+        }
+    }
+
+    /// No packet is emitted after the capture window (plus the small
+    /// close-handshake slack).
+    #[test]
+    fn capture_window_is_respected(config in arb_config()) {
+        let trace = generate(&config);
+        let end = Timestamp::from_secs(config.duration().as_secs_f64() + 5.0);
+        for lp in &trace.packets {
+            prop_assert!(lp.packet.ts() <= end);
+        }
+    }
+
+    /// Ground-truth labels only use mix applications (plus FTP data
+    /// connections spawned by FTP controls).
+    #[test]
+    fn labels_come_from_the_mix(config in arb_config()) {
+        let trace = generate(&config);
+        let allowed: std::collections::HashSet<AppLabel> =
+            config.mix().iter().map(|(l, _)| *l).collect();
+        for f in &trace.flows {
+            prop_assert!(
+                allowed.contains(&f.spec.app),
+                "unexpected label {:?}",
+                f.spec.app
+            );
+        }
+    }
+}
+
+mod rate_profiles {
+    use super::*;
+    use upbound_traffic::RateProfile;
+
+    #[test]
+    fn diurnal_profile_shapes_arrivals() {
+        let config = TraceConfig::builder()
+            .duration_secs(200.0)
+            .flow_rate_per_sec(30.0)
+            .rate_profile(RateProfile::Diurnal {
+                period_secs: 200.0,
+                amplitude: 0.8,
+            })
+            .seed(12)
+            .build()
+            .expect("valid");
+        let trace = generate(&config);
+        // First half (rising sine) must hold clearly more flow starts
+        // than the second half (falling below baseline).
+        let first = trace
+            .flows
+            .iter()
+            .filter(|f| f.spec.start.as_secs_f64() < 100.0)
+            .count();
+        let second = trace.flows.len() - first;
+        assert!(
+            first as f64 > second as f64 * 1.5,
+            "first {first} vs second {second}"
+        );
+    }
+
+    #[test]
+    fn burst_profile_concentrates_arrivals() {
+        let config = TraceConfig::builder()
+            .duration_secs(100.0)
+            .flow_rate_per_sec(20.0)
+            .rate_profile(RateProfile::Burst {
+                start_secs: 40.0,
+                duration_secs: 20.0,
+                peak: 5.0,
+            })
+            .seed(13)
+            .build()
+            .expect("valid");
+        let trace = generate(&config);
+        let in_burst = trace
+            .flows
+            .iter()
+            .filter(|f| (40.0..60.0).contains(&f.spec.start.as_secs_f64()))
+            .count() as f64;
+        let outside = trace.flows.len() as f64 - in_burst;
+        // Burst window is 1/5 of the trace at 5x rate: roughly equal
+        // totals inside and outside; require the burst clearly outweighs
+        // its fair 1/5 share.
+        assert!(in_burst > outside * 0.7, "in {in_burst} out {outside}");
+    }
+
+    #[test]
+    fn invalid_profile_is_rejected() {
+        let err = TraceConfig::builder()
+            .rate_profile(RateProfile::Diurnal {
+                period_secs: -5.0,
+                amplitude: 0.5,
+            })
+            .build();
+        assert_eq!(err, Err(upbound_traffic::TraceConfigError::BadProfile));
+    }
+
+    #[test]
+    fn constant_profile_matches_default_behaviour() {
+        let base = TraceConfig::builder()
+            .duration_secs(30.0)
+            .seed(5)
+            .build()
+            .unwrap();
+        let explicit = TraceConfig::builder()
+            .duration_secs(30.0)
+            .seed(5)
+            .rate_profile(RateProfile::Constant)
+            .build()
+            .unwrap();
+        assert_eq!(generate(&base), generate(&explicit));
+    }
+}

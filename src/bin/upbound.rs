@@ -1,0 +1,324 @@
+//! `upbound` — command-line front end for the bitmap-filter toolkit.
+//!
+//! Subcommands:
+//!
+//! * `generate` — synthesize a client-network workload and write a pcap.
+//! * `analyze`  — run the Section 3 traffic analyzer over a pcap.
+//! * `filter`   — replay a pcap through the bitmap filter, writing the
+//!   surviving packets to a new pcap and printing throughput/drop stats.
+//! * `params`   — capacity planning with the §5.1 equations.
+//!
+//! Run `upbound help` (or any subcommand with `--help`) for usage.
+
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use upbound::analyzer::Analyzer;
+use upbound::core::params::{max_connections, optimal_hash_count, penetration_probability};
+use upbound::core::{BitmapFilter, BitmapFilterConfig, DropPolicy, Verdict};
+use upbound::net::pcap::{PcapReader, PcapWriter};
+use upbound::net::{Cidr, Direction, FiveTuple};
+use upbound::traffic::{generate, TraceConfig};
+
+const USAGE: &str = "\
+upbound — bound peer-to-peer upload traffic without payload inspection
+
+USAGE:
+    upbound generate --out <FILE> [--duration <SECS>] [--rate <FLOWS/S>]
+                     [--seed <N>] [--snaplen <BYTES>] [--inside <CIDR>]
+    upbound analyze  --in <FILE> [--inside <CIDR>]
+    upbound filter   --in <FILE> [--out <FILE>] [--inside <CIDR>]
+                     [--low-mbps <F>] [--high-mbps <F>] [--vector-bits <N>]
+                     [--vectors <K>] [--rotate-secs <F>] [--hashes <M>]
+                     [--hole-punching] [--no-block]
+    upbound params   [--connections <N>]
+    upbound help
+";
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if !a.starts_with("--") {
+                return Err(format!("unexpected argument {a:?}"));
+            }
+            let name = a.trim_start_matches("--").to_owned();
+            let value = if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                i += 1;
+                Some(argv[i].clone())
+            } else {
+                None
+            };
+            flags.push((name, value));
+            i += 1;
+        }
+        Ok(Self { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match argv.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if command == "help" || rest.iter().any(|a| a == "--help") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        "generate" => cmd_generate(&args),
+        "analyze" => cmd_analyze(&args),
+        "filter" => cmd_filter(&args),
+        "params" => cmd_params(&args),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn inside_of(args: &Args) -> Result<Cidr, String> {
+    args.get("inside")
+        .unwrap_or("10.0.0.0/16")
+        .parse()
+        .map_err(|e| format!("--inside: {e}"))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let out_path = args.get("out").ok_or("generate requires --out <FILE>")?;
+    let duration: f64 = args.parse_num("duration", 60.0)?;
+    let rate: f64 = args.parse_num("rate", 40.0)?;
+    let seed: u64 = args.parse_num("seed", 42u64)?;
+    let snaplen: u32 = args.parse_num("snaplen", 65_535u32)?;
+    let inside = inside_of(args)?;
+
+    let config = TraceConfig::builder()
+        .duration_secs(duration)
+        .flow_rate_per_sec(rate)
+        .seed(seed)
+        .inside(inside)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let trace = generate(&config);
+
+    let file = File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    let mut writer = PcapWriter::new(BufWriter::new(file), snaplen).map_err(|e| e.to_string())?;
+    for lp in &trace.packets {
+        writer.write_packet(&lp.packet).map_err(|e| e.to_string())?;
+    }
+    writer.finish().map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} packets / {} connections ({:.1} s of traffic) to {}",
+        trace.packets.len(),
+        trace.connection_count(),
+        duration,
+        out_path
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let in_path = args.get("in").ok_or("analyze requires --in <FILE>")?;
+    let inside = inside_of(args)?;
+    let file = File::open(in_path).map_err(|e| format!("{in_path}: {e}"))?;
+    let mut reader = PcapReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let mut analyzer = Analyzer::new(inside);
+    while let Some(p) = reader.read_packet().map_err(|e| e.to_string())? {
+        analyzer.process(&p);
+    }
+    let report = analyzer.finish();
+
+    println!(
+        "{}: {} packets, {} connections",
+        in_path,
+        report.packets,
+        report.connections.len()
+    );
+    println!("\nprotocol distribution:");
+    for share in report.protocol_table() {
+        println!(
+            "  {:<12} {:>6.2}% of connections  {:>6.2}% of bytes",
+            share.name,
+            share.connection_share * 100.0,
+            share.byte_share * 100.0
+        );
+    }
+    println!(
+        "\nupload: {:.1}% of bytes ({:.1}% of it on inbound-initiated connections)",
+        report.upload_fraction() * 100.0,
+        report.upload_on_inbound_fraction() * 100.0
+    );
+    let delays = report.delay_cdf();
+    if !delays.is_empty() {
+        println!(
+            "out-in delay: median {:.3} s, p99 {:.2} s",
+            delays.median(),
+            delays.quantile(0.99)
+        );
+    }
+    println!("\ntop uploaders:");
+    for (host, bytes) in report.top_uploaders(5) {
+        println!(
+            "  {host:<15} {:.2} MiB up",
+            bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_filter(args: &Args) -> Result<(), String> {
+    let in_path = args.get("in").ok_or("filter requires --in <FILE>")?;
+    let inside = inside_of(args)?;
+    let low: f64 = args.parse_num("low-mbps", 0.0)?;
+    let high: f64 = args.parse_num("high-mbps", 0.0)?;
+
+    let mut builder = BitmapFilterConfig::builder();
+    builder
+        .vector_bits(args.parse_num("vector-bits", 20u32)?)
+        .vectors(args.parse_num("vectors", 4usize)?)
+        .rotate_every_secs(args.parse_num("rotate-secs", 5.0f64)?)
+        .hash_functions(args.parse_num("hashes", 3usize)?)
+        .hole_punching(args.has("hole-punching"));
+    if high > 0.0 {
+        builder.drop_policy(DropPolicy::new(low * 1e6, high * 1e6).map_err(|e| e.to_string())?);
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
+    println!(
+        "bitmap filter: {{{} x 2^{}}} = {} KiB, T_e = {:.0} s, m = {}",
+        config.vectors(),
+        config.vector_bits(),
+        config.memory_bytes() / 1024,
+        config.expiry_timer().as_secs_f64(),
+        config.hash_functions()
+    );
+    let mut filter = BitmapFilter::new(config);
+
+    let file = File::open(in_path).map_err(|e| format!("{in_path}: {e}"))?;
+    let mut reader = PcapReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let mut writer = match args.get("out") {
+        Some(path) => {
+            let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(PcapWriter::new(BufWriter::new(f), 65_535).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+
+    let block = !args.has("no-block");
+    let mut blocked: HashSet<FiveTuple> = HashSet::new();
+    let (mut total, mut dropped) = (0u64, 0u64);
+    let (mut up_bits, mut up_kept) = (0u64, 0u64);
+    let mut last_ts = upbound::net::Timestamp::ZERO;
+
+    while let Some(p) = reader.read_packet().map_err(|e| e.to_string())? {
+        total += 1;
+        last_ts = last_ts.max(p.ts());
+        let direction = inside.direction_of(&p.tuple());
+        if direction == Direction::Outbound {
+            up_bits += p.wire_bits();
+        }
+        let tuple = p.tuple();
+        let verdict = if block && (blocked.contains(&tuple) || blocked.contains(&tuple.inverse())) {
+            Verdict::Drop
+        } else {
+            let v = filter.process_packet(&p, direction);
+            if v == Verdict::Drop && block {
+                blocked.insert(tuple.canonical());
+            }
+            v
+        };
+        match verdict {
+            Verdict::Pass => {
+                if direction == Direction::Outbound {
+                    up_kept += p.wire_bits();
+                }
+                if let Some(w) = writer.as_mut() {
+                    w.write_packet(&p).map_err(|e| e.to_string())?;
+                }
+            }
+            Verdict::Drop => dropped += 1,
+        }
+    }
+    if let Some(w) = writer {
+        w.finish().map_err(|e| e.to_string())?;
+    }
+
+    let span = last_ts.as_secs_f64().max(1e-9);
+    println!(
+        "{} packets; dropped {} ({:.2}%); blocked {} connections",
+        total,
+        dropped,
+        dropped as f64 / total.max(1) as f64 * 100.0,
+        blocked.len()
+    );
+    println!(
+        "uplink: {:.2} Mbps offered -> {:.2} Mbps after filtering",
+        up_bits as f64 / span / 1e6,
+        up_kept as f64 / span / 1e6
+    );
+    Ok(())
+}
+
+fn cmd_params(args: &Args) -> Result<(), String> {
+    let c: f64 = args.parse_num("connections", 15_000.0)?;
+    println!("capacity planning for ~{c:.0} active connections per expiry window\n");
+    println!(
+        "{:>4} {:>10} {:>8} {:>14} {:>14}",
+        "n", "memory", "m*", "penetration", "cap @5%"
+    );
+    for n in [16u32, 18, 20, 22, 24] {
+        let size = 1usize << n;
+        let m = (optimal_hash_count(c, size).round() as usize).clamp(1, 8);
+        println!(
+            "{:>4} {:>7}KiB {:>8} {:>14.6} {:>13.0}K",
+            n,
+            4 * size / 8 / 1024,
+            m,
+            penetration_probability(c, size, m),
+            max_connections(0.05, size) / 1000.0
+        );
+    }
+    Ok(())
+}

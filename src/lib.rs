@@ -1,0 +1,63 @@
+//! # upbound — bounding peer-to-peer upload traffic in client networks
+//!
+//! A full Rust reproduction of *Bounding Peer-to-Peer Upload Traffic in
+//! Client Networks* (Chun-Ying Huang and Chin-Laung Lei, DSN 2007).
+//!
+//! The paper's contribution is the **bitmap filter**: a composite of `k`
+//! rotating Bloom filters that remembers, approximately and in O(1) space
+//! and time, which five-tuples recently sent an *outbound* packet from a
+//! client network. Inbound packets whose inverted five-tuple is unknown are
+//! *unsolicited* inbound requests — overwhelmingly peer-to-peer upload
+//! triggers — and are dropped with a RED-style probability derived from the
+//! measured uplink throughput. This bounds P2P upload traffic without any
+//! payload inspection.
+//!
+//! This facade crate re-exports every subsystem of the reproduction:
+//!
+//! * [`core`] — the bitmap filter itself (Algorithms 1 & 2, Equations 1–6).
+//! * [`net`] — packet substrate: five-tuples, headers, checksums, pcap.
+//! * [`pattern`] — from-scratch regex engine + Table 1 signature database.
+//! * [`traffic`] — synthetic client-network workload generator.
+//! * [`analyzer`] — the Section 3 traffic analyzer and characterization.
+//! * [`spi`] — the stateful-packet-inspection baseline filter.
+//! * [`sim`] — trace-replay simulation harness (Figures 8 and 9).
+//! * [`stats`] — histograms, CDFs, EWMA, time series, ASCII plots.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use upbound::core::{BitmapFilter, BitmapFilterConfig, Verdict};
+//! use upbound::net::{FiveTuple, Protocol, Timestamp};
+//!
+//! // 512 KiB filter: k=4 vectors of 2^20 bits, rotated every 5 s (T_e = 20 s).
+//! let config = BitmapFilterConfig::builder()
+//!     .vector_bits(20)
+//!     .vectors(4)
+//!     .rotate_every_secs(5.0)
+//!     .hash_functions(3)
+//!     .build()
+//!     .expect("valid configuration");
+//! let mut filter = BitmapFilter::new(config);
+//!
+//! let outbound = FiveTuple::new(
+//!     Protocol::Tcp,
+//!     "10.0.0.5:40000".parse().unwrap(),
+//!     "203.0.113.9:80".parse().unwrap(),
+//! );
+//! let t0 = Timestamp::from_secs(0.0);
+//!
+//! // The client talks out; the filter learns the tuple.
+//! filter.observe_outbound(&outbound, t0);
+//! // The response comes back and is recognized.
+//! let verdict = filter.check_inbound(&outbound.inverse(), t0, 1.0);
+//! assert_eq!(verdict, Verdict::Pass);
+//! ```
+
+pub use upbound_analyzer as analyzer;
+pub use upbound_core as core;
+pub use upbound_net as net;
+pub use upbound_pattern as pattern;
+pub use upbound_sim as sim;
+pub use upbound_spi as spi;
+pub use upbound_stats as stats;
+pub use upbound_traffic as traffic;

@@ -1,0 +1,60 @@
+//! Scale tests: long traces, large bitmaps, memory sanity.
+//!
+//! The heavyweight case is `#[ignore]`d by default; run it explicitly
+//! with `cargo test --release --test scale -- --ignored`.
+
+use upbound::core::{BitmapFilter, BitmapFilterConfig};
+use upbound::sim::{ReplayConfig, ReplayEngine};
+use upbound::traffic::{generate, TraceConfig};
+
+#[test]
+fn medium_scale_replay_is_stable() {
+    // ~8K connections, ~250K packets: confirms throughput accounting,
+    // drop accounting, and error rates all stay coherent at scale.
+    let trace = generate(
+        &TraceConfig::builder()
+            .duration_secs(180.0)
+            .flow_rate_per_sec(45.0)
+            .seed(777)
+            .build()
+            .expect("valid"),
+    );
+    assert!(trace.connection_count() > 5_000);
+    let mut filter = BitmapFilter::new(BitmapFilterConfig::paper_evaluation());
+    let result = ReplayEngine::new(ReplayConfig::default()).run(&trace, &mut filter);
+    assert_eq!(result.total_packets as usize, trace.packets.len());
+    assert!(result.drop_rate() > 0.0 && result.drop_rate() < 1.0);
+    assert!(result.false_positive_rate() < 0.01);
+    // Constant memory held, by construction.
+    assert_eq!(filter.memory_bytes(), 512 * 1024);
+}
+
+#[test]
+#[ignore = "heavy: ~1.5M-connection hour-long trace; run with --ignored --release"]
+fn hour_scale_trace_runs_within_constant_filter_memory() {
+    let trace = generate(
+        &TraceConfig::builder()
+            .duration_secs(3_600.0)
+            .flow_rate_per_sec(400.0)
+            .clients(2_000)
+            .seed(2007)
+            .build()
+            .expect("valid"),
+    );
+    assert!(trace.connection_count() > 1_000_000);
+    let mut filter = BitmapFilter::new(BitmapFilterConfig::paper_evaluation());
+    let config = ReplayConfig {
+        block_connections: false,
+        ..ReplayConfig::default()
+    };
+    let result = ReplayEngine::new(config).run(&trace, &mut filter);
+    assert_eq!(result.total_packets as usize, trace.packets.len());
+    // The paper's capacity math says this load is still far under the
+    // 2^20 bitmap's 5%-penetration bound, so false positives stay small.
+    assert!(
+        result.false_positive_rate() < 0.02,
+        "fp rate {} at hour scale",
+        result.false_positive_rate()
+    );
+    assert_eq!(filter.memory_bytes(), 512 * 1024);
+}
