@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use upbound_core::{AmortizedBitmap, Bitmap, BitmapFilter, BitmapFilterConfig};
+use upbound_core::{AmortizedBitmap, Bitmap, BitmapFilter, BitmapFilterConfig, TelemetryObserver};
 use upbound_net::{FiveTuple, Protocol, Timestamp};
+use upbound_telemetry::Registry;
 
 fn tuple(i: u32) -> FiveTuple {
     FiveTuple::new(
@@ -134,11 +135,60 @@ fn amortized_rotate_vs_plain(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observer hook cost on the hot path. `BitmapFilter::new` installs the
+/// `NoopObserver`, whose empty `#[inline]` methods must monomorphize
+/// away — `noop/*` here is the uninstrumented baseline and should match
+/// the pre-hook filter to within noise (<2%). `telemetry/*` shows what
+/// full instrumentation (atomic counters + gauges, journal on drops)
+/// costs per packet.
+fn observer_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observer_overhead");
+    let t = Timestamp::from_secs(1.0);
+
+    let mut noop = BitmapFilter::new(BitmapFilterConfig::paper_evaluation());
+    group.bench_function("noop/mark", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            noop.observe_outbound(black_box(&tuple(i % 10_000)), t);
+        });
+    });
+    group.bench_function("noop/lookup_hit", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(noop.check_inbound(black_box(&tuple(i % 10_000).inverse()), t, 1.0));
+        });
+    });
+
+    let registry = Registry::new();
+    let mut observed = BitmapFilter::with_observer(
+        BitmapFilterConfig::paper_evaluation(),
+        TelemetryObserver::with_default_journal(&registry, "core"),
+    );
+    group.bench_function("telemetry/mark", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            observed.observe_outbound(black_box(&tuple(i % 10_000)), t);
+        });
+    });
+    group.bench_function("telemetry/lookup_hit", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(observed.check_inbound(black_box(&tuple(i % 10_000).inverse()), t, 1.0));
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     per_packet_constant_time,
     per_packet_vs_m,
     rotate_vs_n,
-    amortized_rotate_vs_plain
+    amortized_rotate_vs_plain,
+    observer_overhead
 );
 criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! The complete bitmap filter: bitmap + timer + throughput-driven `P_d`.
 
+use crate::observe::{FilterObserver, InboundDecision, NoopObserver, RotationEvent};
 use crate::{Bitmap, BitmapFilterConfig, DropPolicy, ThroughputMonitor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,20 +49,35 @@ pub struct FilterStats {
 /// simulation. (For live deployments, [`SharedBitmapFilter`] adds a
 /// thread-safe handle; see its docs.)
 ///
+/// The filter is generic over a [`FilterObserver`] called on every
+/// packet decision and rotation. The default [`NoopObserver`]
+/// monomorphizes to nothing, so uninstrumented filters pay no cost;
+/// [`with_observer`](Self::with_observer) installs a real one (e.g.
+/// [`TelemetryObserver`](crate::TelemetryObserver)).
+///
 /// [`SharedBitmapFilter`]: crate::SharedBitmapFilter
 #[derive(Debug, Clone)]
-pub struct BitmapFilter {
+pub struct BitmapFilter<O: FilterObserver = NoopObserver> {
     config: BitmapFilterConfig,
     bitmap: Bitmap,
     monitor: ThroughputMonitor,
     rng: StdRng,
     next_rotation: Timestamp,
     stats: FilterStats,
+    observer: O,
 }
 
 impl BitmapFilter {
-    /// Creates a filter from a validated configuration.
+    /// Creates an unobserved filter from a validated configuration.
     pub fn new(config: BitmapFilterConfig) -> Self {
+        BitmapFilter::with_observer(config, NoopObserver)
+    }
+}
+
+impl<O: FilterObserver> BitmapFilter<O> {
+    /// Creates a filter that reports decisions and rotations to
+    /// `observer`.
+    pub fn with_observer(config: BitmapFilterConfig, observer: O) -> Self {
         let bitmap = Bitmap::new(config.vectors, config.vector_bits, config.hash_functions);
         // Uplink throughput is measured over a window of one expiry
         // timer, in one-second slots (clamped to at least one slot).
@@ -74,7 +90,18 @@ impl BitmapFilter {
             monitor: ThroughputMonitor::new(slot, slots),
             config,
             stats: FilterStats::default(),
+            observer,
         }
+    }
+
+    /// The installed observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// The installed observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
     }
 
     /// The configuration the filter was built with.
@@ -106,9 +133,22 @@ impl BitmapFilter {
     /// timer, paper Algorithm 1).
     pub fn advance(&mut self, now: Timestamp) {
         while now >= self.next_rotation {
+            let at = self.next_rotation;
             self.bitmap.rotate();
             self.stats.rotations += 1;
             self.next_rotation += self.config.rotate_every;
+            // Rotations are rare (once per Δt), so the operating point
+            // is computed eagerly for the observer.
+            let p_d = self
+                .config
+                .drop_policy
+                .drop_probability(self.monitor.rate_bps(at));
+            self.observer.on_rotation(&RotationEvent {
+                now: at,
+                rotations: self.stats.rotations,
+                monitor: &self.monitor,
+                p_d,
+            });
         }
     }
 
@@ -119,6 +159,7 @@ impl BitmapFilter {
         self.stats.outbound_packets += 1;
         let key = tuple.outbound_key(self.config.hole_punching);
         self.bitmap.mark(&key.to_bytes());
+        self.observer.on_outbound(tuple, now);
     }
 
     /// Checks an inbound packet's tuple against the current bit vector
@@ -132,26 +173,37 @@ impl BitmapFilter {
         self.advance(now);
         self.stats.inbound_packets += 1;
         let key = tuple.inbound_key(self.config.hole_punching);
-        let known = self.bitmap.lookup(&key.to_bytes());
-        if known {
-            self.stats.inbound_hits += 1;
-            return Verdict::Pass;
-        }
-        self.stats.inbound_misses += 1;
-        // Per-bit drop draws of Algorithm 2 (lines 9–13): every unmarked
-        // hashed bit gives an independent chance `p_d` to drop.
         let key_bytes = key.to_bytes();
-        let unmarked = self.unmarked_bits(&key_bytes);
-        let mut verdict = Verdict::Pass;
-        for _ in 0..unmarked {
-            if self.rng.gen::<f64>() < p_d {
-                verdict = Verdict::Drop;
-                break;
+        let known = self.bitmap.lookup(&key_bytes);
+        let (verdict, drop_draws) = if known {
+            self.stats.inbound_hits += 1;
+            (Verdict::Pass, 0)
+        } else {
+            self.stats.inbound_misses += 1;
+            // Per-bit drop draws of Algorithm 2 (lines 9–13): every
+            // unmarked hashed bit gives an independent chance `p_d` to
+            // drop.
+            let unmarked = self.unmarked_bits(&key_bytes);
+            let mut verdict = Verdict::Pass;
+            for _ in 0..unmarked {
+                if self.rng.gen::<f64>() < p_d {
+                    verdict = Verdict::Drop;
+                    break;
+                }
             }
-        }
-        if verdict == Verdict::Drop {
-            self.stats.dropped += 1;
-        }
+            if verdict == Verdict::Drop {
+                self.stats.dropped += 1;
+            }
+            (verdict, unmarked)
+        };
+        self.observer.on_inbound(&InboundDecision {
+            now,
+            verdict,
+            p_d,
+            known,
+            drop_draws,
+            monitor: &self.monitor,
+        });
         verdict
     }
 

@@ -70,6 +70,7 @@ mod config;
 mod filter;
 mod hash;
 mod multi;
+pub mod observe;
 pub mod params;
 mod red;
 mod shared;
@@ -83,6 +84,9 @@ pub use config::{BitmapFilterConfig, BitmapFilterConfigBuilder, ConfigError};
 pub use filter::{BitmapFilter, FilterStats, Verdict};
 pub use hash::HashFamily;
 pub use multi::MultiNetworkFilter;
+pub use observe::{
+    FilterObserver, InboundDecision, NoopObserver, RotationEvent, TelemetryObserver,
+};
 pub use red::DropPolicy;
 pub use shared::SharedBitmapFilter;
 pub use throughput::ThroughputMonitor;

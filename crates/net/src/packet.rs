@@ -62,7 +62,6 @@ pub struct Packet {
     ts: Timestamp,
     tuple: FiveTuple,
     tcp_flags: Option<TcpFlags>,
-    #[serde(with = "serde_bytes_compat")]
     payload: Bytes,
     wire_len: u32,
 }
@@ -75,20 +74,6 @@ pub(crate) const IPV4_HDR_LEN: usize = 20;
 pub(crate) const TCP_HDR_LEN: usize = 20;
 /// UDP header length.
 pub(crate) const UDP_HDR_LEN: usize = 8;
-
-mod serde_bytes_compat {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
-}
 
 impl Packet {
     /// Creates a TCP packet; `wire_len` is computed from the headers plus

@@ -56,5 +56,7 @@ pub mod sweep;
 pub use compare::{compare, ComparisonResult};
 pub use oracle::OracleFilter;
 pub use pfilter::PacketFilter;
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineResult};
+pub use pipeline::{
+    run_pipeline, run_pipeline_instrumented, PipelineConfig, PipelineResult, PipelineTelemetry,
+};
 pub use replay::{ReplayConfig, ReplayEngine, ReplayResult};

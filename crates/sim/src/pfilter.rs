@@ -1,5 +1,6 @@
 //! The common filter interface the replay engine drives.
 
+use upbound_core::observe::FilterObserver;
 use upbound_core::{BitmapFilter, Verdict};
 use upbound_net::{Direction, Packet};
 use upbound_spi::SpiFilter;
@@ -19,7 +20,7 @@ pub trait PacketFilter {
     fn name(&self) -> &str;
 }
 
-impl PacketFilter for BitmapFilter {
+impl<O: FilterObserver> PacketFilter for BitmapFilter<O> {
     fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
         self.process_packet(packet, direction)
     }
@@ -29,7 +30,7 @@ impl PacketFilter for BitmapFilter {
     }
 }
 
-impl PacketFilter for SpiFilter {
+impl<O: FilterObserver> PacketFilter for SpiFilter<O> {
     fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
         self.process_packet(packet, direction)
     }

@@ -17,10 +17,13 @@
 //!
 //! [`BitmapFilter`]: upbound_core::BitmapFilter
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, SendError, Sender, TrySendError};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use upbound_core::observe::FilterObserver;
 use upbound_core::{BitmapFilter, BitmapFilterConfig, FilterStats, Verdict};
 use upbound_net::{Cidr, Direction, Packet};
+use upbound_telemetry::{Counter, Gauge, Registry};
 
 /// Pipeline tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,6 +57,88 @@ pub struct PipelineResult {
     pub filter_stats: FilterStats,
 }
 
+/// Per-stage pipeline instrumentation published into an
+/// [`upbound_telemetry::Registry`] under `upbound_sim_*`.
+///
+/// For each stage it tracks throughput (packets and wire bytes), and for
+/// each inter-stage channel the live queue depth plus the number of
+/// backpressure stalls (sends that found the channel full and had to
+/// block).
+#[derive(Debug, Clone)]
+pub struct PipelineTelemetry {
+    ingest_packets: Arc<Counter>,
+    ingest_bytes: Arc<Counter>,
+    ingest_stalls: Arc<Counter>,
+    ingest_queue_depth: Arc<Gauge>,
+    filter_packets: Arc<Counter>,
+    filter_bytes: Arc<Counter>,
+    filter_stalls: Arc<Counter>,
+    filter_queue_depth: Arc<Gauge>,
+    account_packets: Arc<Counter>,
+    account_forwarded_bytes: Arc<Counter>,
+}
+
+impl PipelineTelemetry {
+    /// Registers the pipeline's stage metrics in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            ingest_packets: registry.counter(
+                "upbound_sim_ingest_packets_total",
+                "Packets classified by the ingest stage",
+            ),
+            ingest_bytes: registry.counter(
+                "upbound_sim_ingest_bytes_total",
+                "Wire bytes entering the pipeline",
+            ),
+            ingest_stalls: registry.counter(
+                "upbound_sim_ingest_backpressure_stalls_total",
+                "Ingest sends that blocked on a full ingest->filter channel",
+            ),
+            ingest_queue_depth: registry.gauge(
+                "upbound_sim_ingest_queue_depth",
+                "Occupancy of the ingest->filter channel after the last send",
+            ),
+            filter_packets: registry.counter(
+                "upbound_sim_filter_packets_total",
+                "Packets decided by the filter stage",
+            ),
+            filter_bytes: registry.counter(
+                "upbound_sim_filter_bytes_total",
+                "Wire bytes decided by the filter stage",
+            ),
+            filter_stalls: registry.counter(
+                "upbound_sim_filter_backpressure_stalls_total",
+                "Filter sends that blocked on a full filter->account channel",
+            ),
+            filter_queue_depth: registry.gauge(
+                "upbound_sim_filter_queue_depth",
+                "Occupancy of the filter->account channel after the last send",
+            ),
+            account_packets: registry.counter(
+                "upbound_sim_account_packets_total",
+                "Packets tallied by the accounting stage",
+            ),
+            account_forwarded_bytes: registry.counter(
+                "upbound_sim_account_forwarded_bytes_total",
+                "Wire bytes of packets that passed the filter",
+            ),
+        }
+    }
+}
+
+/// Sends on `tx`, counting a backpressure stall (and falling back to a
+/// blocking send) when the channel is full.
+fn send_counting_stalls<T>(tx: &Sender<T>, value: T, stalls: &Counter) -> Result<(), SendError<T>> {
+    match tx.try_send(value) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Full(value)) => {
+            stalls.inc();
+            tx.send(value)
+        }
+        Err(TrySendError::Disconnected(value)) => Err(SendError(value)),
+    }
+}
+
 /// Runs `packets` through a freshly-built filter on a three-stage
 /// threaded pipeline and returns the aggregate result.
 ///
@@ -69,6 +154,45 @@ pub fn run_pipeline<I>(
 where
     I: IntoIterator<Item = Packet>,
 {
+    run_pipeline_with(
+        packets,
+        inside,
+        BitmapFilter::new(filter_config),
+        pipeline_config,
+        None,
+    )
+    .0
+}
+
+/// [`run_pipeline`] with a caller-supplied filter (typically carrying a
+/// [`TelemetryObserver`](upbound_core::TelemetryObserver)) and per-stage
+/// pipeline metrics. Returns the aggregate result together with the
+/// filter, so observer state (e.g. the event journal) survives the run.
+pub fn run_pipeline_instrumented<I, O>(
+    packets: I,
+    inside: Cidr,
+    filter: BitmapFilter<O>,
+    pipeline_config: PipelineConfig,
+    telemetry: &PipelineTelemetry,
+) -> (PipelineResult, BitmapFilter<O>)
+where
+    I: IntoIterator<Item = Packet>,
+    O: FilterObserver + Send,
+{
+    run_pipeline_with(packets, inside, filter, pipeline_config, Some(telemetry))
+}
+
+fn run_pipeline_with<I, O>(
+    packets: I,
+    inside: Cidr,
+    mut filter: BitmapFilter<O>,
+    pipeline_config: PipelineConfig,
+    telemetry: Option<&PipelineTelemetry>,
+) -> (PipelineResult, BitmapFilter<O>)
+where
+    I: IntoIterator<Item = Packet>,
+    O: FilterObserver + Send,
+{
     let (to_filter_tx, to_filter_rx): (Sender<(Packet, Direction)>, Receiver<_>) =
         bounded(pipeline_config.channel_capacity);
     let (to_stats_tx, to_stats_rx): (Sender<(Packet, Direction, Verdict)>, Receiver<_>) =
@@ -77,15 +201,30 @@ where
     crossbeam::thread::scope(|scope| {
         // Stage 2: the filter thread — exclusive owner of the bitmap.
         let filter_handle = scope.spawn(move |_| {
-            let mut filter = BitmapFilter::new(filter_config);
             for (packet, direction) in to_filter_rx {
                 let verdict = filter.process_packet(&packet, direction);
+                if let Some(t) = telemetry {
+                    t.filter_packets.inc();
+                    t.filter_bytes.add(packet.wire_len() as u64);
+                }
                 // A closed stats stage means shutdown was requested.
-                if to_stats_tx.send((packet, direction, verdict)).is_err() {
+                let sent = match telemetry {
+                    Some(t) => {
+                        let sent = send_counting_stalls(
+                            &to_stats_tx,
+                            (packet, direction, verdict),
+                            &t.filter_stalls,
+                        );
+                        t.filter_queue_depth.set_u64(to_stats_tx.len() as u64);
+                        sent
+                    }
+                    None => to_stats_tx.send((packet, direction, verdict)),
+                };
+                if sent.is_err() {
                     break;
                 }
             }
-            filter.stats()
+            filter
         });
 
         // Stage 3: accounting.
@@ -100,9 +239,15 @@ where
             };
             for (packet, direction, verdict) in to_stats_rx {
                 result.ingested += 1;
+                if let Some(t) = telemetry {
+                    t.account_packets.inc();
+                }
                 match verdict {
                     Verdict::Pass => {
                         result.passed += 1;
+                        if let Some(t) = telemetry {
+                            t.account_forwarded_bytes.add(packet.wire_len() as u64);
+                        }
                         match direction {
                             Direction::Outbound => {
                                 result.uplink_bytes += packet.wire_len() as u64;
@@ -121,16 +266,27 @@ where
         // Stage 1: ingest — parse/classify on the calling thread.
         for packet in packets {
             let direction = inside.direction_of(&packet.tuple());
-            if to_filter_tx.send((packet, direction)).is_err() {
+            let sent = match telemetry {
+                Some(t) => {
+                    t.ingest_packets.inc();
+                    t.ingest_bytes.add(packet.wire_len() as u64);
+                    let sent =
+                        send_counting_stalls(&to_filter_tx, (packet, direction), &t.ingest_stalls);
+                    t.ingest_queue_depth.set_u64(to_filter_tx.len() as u64);
+                    sent
+                }
+                None => to_filter_tx.send((packet, direction)),
+            };
+            if sent.is_err() {
                 break;
             }
         }
         drop(to_filter_tx); // signal end-of-stream downstream
 
-        let filter_stats = filter_handle.join().expect("filter stage panicked");
+        let filter = filter_handle.join().expect("filter stage panicked");
         let mut result = stats_handle.join().expect("stats stage panicked");
-        result.filter_stats = filter_stats;
-        result
+        result.filter_stats = filter.stats();
+        (result, filter)
     })
     .expect("pipeline scope panicked")
 }
@@ -181,6 +337,82 @@ mod tests {
         assert_eq!(result.passed, seq_passed);
         assert_eq!(result.dropped, seq_dropped);
         assert_eq!(result.filter_stats, reference.stats());
+    }
+
+    #[test]
+    fn instrumented_pipeline_matches_sequential_with_observer() {
+        use upbound_core::TelemetryObserver;
+
+        let trace = trace();
+        let config = BitmapFilterConfig::paper_evaluation();
+
+        // Sequential reference with a live observer.
+        let seq_registry = Registry::new();
+        let mut reference = BitmapFilter::with_observer(
+            config.clone(),
+            TelemetryObserver::new(&seq_registry, "core", 256),
+        );
+        for lp in &trace.packets {
+            reference.process_packet(&lp.packet, lp.direction);
+        }
+
+        // Pipeline run with its own observer plus stage metrics.
+        let pipe_registry = Registry::new();
+        let telemetry = PipelineTelemetry::new(&pipe_registry);
+        let observed = BitmapFilter::with_observer(
+            config,
+            TelemetryObserver::new(&pipe_registry, "core", 256),
+        );
+        let (result, filter) = run_pipeline_instrumented(
+            trace.packets.iter().map(|lp| lp.packet.clone()),
+            inside(),
+            observed,
+            PipelineConfig {
+                // A tiny channel forces backpressure, exercising the
+                // stall-counting send path without changing verdicts.
+                channel_capacity: 2,
+            },
+            &telemetry,
+        );
+
+        // Verdict-for-verdict determinism: same filter counters and the
+        // exact same journal (events carry P_d and uplink estimates, so
+        // this checks the full observed operating-point sequence too).
+        assert_eq!(result.filter_stats, reference.stats());
+        let seq_events: Vec<_> = reference.observer().journal().iter().copied().collect();
+        let pipe_events: Vec<_> = filter.observer().journal().iter().copied().collect();
+        assert_eq!(seq_events, pipe_events);
+        assert!(!pipe_events.is_empty(), "trace should produce events");
+
+        let seq_snap = seq_registry.snapshot();
+        let pipe_snap = pipe_registry.snapshot();
+        for name in [
+            "upbound_core_outbound_packets_total",
+            "upbound_core_inbound_pass_total",
+            "upbound_core_drops_unsolicited_total",
+            "upbound_core_drops_red_total",
+            "upbound_core_rotations_total",
+        ] {
+            assert_eq!(seq_snap.counter(name), pipe_snap.counter(name), "{name}");
+        }
+
+        // Stage metrics are internally consistent.
+        assert_eq!(
+            pipe_snap.counter("upbound_sim_ingest_packets_total"),
+            Some(result.ingested)
+        );
+        assert_eq!(
+            pipe_snap.counter("upbound_sim_filter_packets_total"),
+            Some(result.ingested)
+        );
+        assert_eq!(
+            pipe_snap.counter("upbound_sim_account_packets_total"),
+            Some(result.ingested)
+        );
+        assert_eq!(
+            pipe_snap.counter("upbound_sim_account_forwarded_bytes_total"),
+            Some(result.uplink_bytes + result.downlink_bytes)
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::{FlowTable, SpiConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use upbound_core::observe::{FilterObserver, InboundDecision, NoopObserver, RotationEvent};
 use upbound_core::{ThroughputMonitor, Verdict};
 use upbound_net::{Direction, FiveTuple, Packet, TcpFlags, TimeDelta, Timestamp};
 
@@ -37,19 +38,33 @@ pub struct SpiStats {
 /// probability `P_d` — but the memory is an exact [`FlowTable`]: no false
 /// positives, precise close tracking, and O(flows) storage plus periodic
 /// O(flows) purge sweeps.
+///
+/// Like the bitmap filter, it is generic over a
+/// [`FilterObserver`](upbound_core::FilterObserver) (default
+/// [`NoopObserver`](upbound_core::NoopObserver), which costs nothing);
+/// purge sweeps are reported through the rotation hook.
 #[derive(Debug, Clone)]
-pub struct SpiFilter {
+pub struct SpiFilter<O: FilterObserver = NoopObserver> {
     config: SpiConfig,
     table: FlowTable,
     monitor: ThroughputMonitor,
     rng: StdRng,
     next_purge: Timestamp,
     stats: SpiStats,
+    observer: O,
 }
 
 impl SpiFilter {
-    /// Creates a filter from a configuration.
+    /// Creates an unobserved filter from a configuration.
     pub fn new(config: SpiConfig) -> Self {
+        SpiFilter::with_observer(config, NoopObserver)
+    }
+}
+
+impl<O: FilterObserver> SpiFilter<O> {
+    /// Creates a filter that reports decisions and purge sweeps to
+    /// `observer`.
+    pub fn with_observer(config: SpiConfig, observer: O) -> Self {
         Self {
             rng: StdRng::seed_from_u64(config.rng_seed),
             table: FlowTable::new(),
@@ -57,7 +72,18 @@ impl SpiFilter {
             next_purge: Timestamp::ZERO + config.purge_interval,
             stats: SpiStats::default(),
             config,
+            observer,
         }
+    }
+
+    /// The installed observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// The installed observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
     }
 
     /// The configuration in force.
@@ -83,10 +109,21 @@ impl SpiFilter {
     /// Runs any purge sweep that came due at or before `now`.
     pub fn advance(&mut self, now: Timestamp) {
         while now >= self.next_purge {
-            let removed = self.table.purge(self.next_purge, self.config.idle_timeout);
+            let at = self.next_purge;
+            let removed = self.table.purge(at, self.config.idle_timeout);
             self.stats.purged_entries += removed as u64;
             self.stats.purge_sweeps += 1;
             self.next_purge += self.config.purge_interval;
+            let p_d = self
+                .config
+                .drop_policy
+                .drop_probability(self.monitor.rate_bps(at));
+            self.observer.on_rotation(&RotationEvent {
+                now: at,
+                rotations: self.stats.purge_sweeps,
+                monitor: &self.monitor,
+                p_d,
+            });
         }
     }
 
@@ -104,6 +141,7 @@ impl SpiFilter {
             }
             None => self.table.touch_outbound(*tuple, flags, now),
         }
+        self.observer.on_outbound(tuple, now);
     }
 
     /// Checks an inbound packet against the flow table with explicit drop
@@ -118,23 +156,34 @@ impl SpiFilter {
         self.advance(now);
         self.stats.inbound_packets += 1;
         let outbound = tuple.inverse();
-        if self
+        let known = self
             .table
             .lookup(&outbound, now, self.config.idle_timeout)
-            .is_some()
-        {
+            .is_some();
+        let verdict = if known {
             self.stats.inbound_hits += 1;
             let flags = if self.config.tcp_aware { flags } else { None };
             self.table.touch_inbound(&outbound, flags, now);
-            return Verdict::Pass;
-        }
-        self.stats.inbound_misses += 1;
-        if self.rng.gen::<f64>() < p_d {
-            self.stats.dropped += 1;
-            Verdict::Drop
-        } else {
             Verdict::Pass
-        }
+        } else {
+            self.stats.inbound_misses += 1;
+            if self.rng.gen::<f64>() < p_d {
+                self.stats.dropped += 1;
+                Verdict::Drop
+            } else {
+                Verdict::Pass
+            }
+        };
+        self.observer.on_inbound(&InboundDecision {
+            now,
+            verdict,
+            p_d,
+            known,
+            // An SPI miss is a single table lookup, hence one draw.
+            drop_draws: usize::from(!known),
+            monitor: &self.monitor,
+        });
+        verdict
     }
 
     /// The drop probability Equation 1 yields for the current measured

@@ -1,0 +1,96 @@
+//! Structured filter events for the journal.
+//!
+//! These are plain-scalar records (timestamps in microseconds, rates in
+//! bits/second) so the telemetry crate stays independent of the
+//! networking types; the filter layers translate their own types into
+//! these when publishing.
+
+/// Why an inbound packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// No bitmap/table state admitted the packet and the drop
+    /// probability had reached the hard limit (`P_d >= 1`): the packet
+    /// is unsolicited by any recorded outbound traffic.
+    UnsolicitedMiss,
+    /// The packet lost the random-early-drop coin flip while the filter
+    /// was shedding load (`0 < P_d < 1`), RED-style.
+    RandomEarlyDrop,
+}
+
+impl DropReason {
+    /// Short machine-friendly label (used by exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::UnsolicitedMiss => "unsolicited_miss",
+            DropReason::RandomEarlyDrop => "random_early_drop",
+        }
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FilterEventKind {
+    /// The bitmap rotated (or the SPI table ran a purge sweep).
+    Rotation {
+        /// Total rotations so far.
+        rotations: u64,
+    },
+    /// An inbound packet passed.
+    Pass,
+    /// An inbound packet was dropped.
+    Drop {
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+}
+
+/// One journal entry: when, what, and the filter's live operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterEvent {
+    /// Trace time, microseconds since the trace epoch.
+    pub at_micros: u64,
+    /// The event itself.
+    pub kind: FilterEventKind,
+    /// Drop probability `P_d` in effect when the event fired.
+    pub drop_probability: f64,
+    /// Estimated uplink rate (bits/second) over the monitor window.
+    pub uplink_bps: f64,
+}
+
+impl FilterEvent {
+    /// One-line human rendering, used by the interval report.
+    pub fn describe(&self) -> String {
+        let what = match self.kind {
+            FilterEventKind::Rotation { rotations } => format!("rotation #{rotations}"),
+            FilterEventKind::Pass => "pass".to_string(),
+            FilterEventKind::Drop { reason } => format!("drop ({})", reason.label()),
+        };
+        format!(
+            "t={:.6}s {what} P_d={:.4} uplink={:.1} kbit/s",
+            self.at_micros as f64 / 1e6,
+            self.drop_probability,
+            self.uplink_bps / 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_is_stable() {
+        let e = FilterEvent {
+            at_micros: 1_500_000,
+            kind: FilterEventKind::Drop {
+                reason: DropReason::UnsolicitedMiss,
+            },
+            drop_probability: 1.0,
+            uplink_bps: 128_000.0,
+        };
+        assert_eq!(
+            e.describe(),
+            "t=1.500000s drop (unsolicited_miss) P_d=1.0000 uplink=128.0 kbit/s"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Fixed-capacity ring-buffer event journal.
+//!
+//! Keeps the most recent `capacity` events; older ones are overwritten
+//! in place (no allocation after construction). `total_recorded` keeps
+//! counting past the wrap, so a reader can tell how much history was
+//! discarded.
+
+/// A bounded journal that overwrites its oldest entry when full.
+#[derive(Debug, Clone)]
+pub struct EventJournal<T> {
+    slots: Vec<Option<T>>,
+    /// Index of the slot the *next* event will be written to.
+    head: usize,
+    len: usize,
+    total: u64,
+}
+
+impl<T> EventJournal<T> {
+    /// A journal holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "journal capacity must be positive");
+        EventJournal {
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+            total: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest if the journal is full.
+    pub fn record(&mut self, event: T) {
+        self.slots[self.head] = Some(event);
+        self.head = (self.head + 1) % self.slots.len();
+        self.len = (self.len + 1).min(self.slots.len());
+        self.total += 1;
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events ever recorded, including overwritten ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to overwriting.
+    pub fn overwritten(&self) -> u64 {
+        self.total - self.len as u64
+    }
+
+    /// Iterates retained events oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let cap = self.slots.len();
+        // Oldest retained event sits `len` slots behind the write head.
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len).map(move |i| {
+            self.slots[(start + i) % cap]
+                .as_ref()
+                .expect("retained slot is populated")
+        })
+    }
+
+    /// The most recent event, if any.
+    pub fn last(&self) -> Option<&T> {
+        if self.len == 0 {
+            return None;
+        }
+        let cap = self.slots.len();
+        self.slots[(self.head + cap - 1) % cap].as_ref()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a EventJournal<T> {
+    type Item = &'a T;
+    type IntoIter = Box<dyn Iterator<Item = &'a T> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut j = EventJournal::with_capacity(3);
+        assert!(j.is_empty());
+        for i in 0..3 {
+            j.record(i);
+        }
+        assert_eq!(j.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        j.record(3);
+        j.record(4);
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.total_recorded(), 5);
+        assert_eq!(j.overwritten(), 2);
+        assert_eq!(j.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(j.last(), Some(&4));
+    }
+
+    #[test]
+    fn capacity_one_keeps_newest() {
+        let mut j = EventJournal::with_capacity(1);
+        j.record("a");
+        j.record("b");
+        assert_eq!(j.iter().copied().collect::<Vec<_>>(), vec!["b"]);
+        assert_eq!(j.total_recorded(), 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! Telemetry for the upbound filter stack: lock-free metrics, a
+//! fixed-capacity event journal, and text exporters.
+//!
+//! The crate is deliberately standalone (std only, no dependency on the
+//! networking crates) so any layer can publish into it:
+//!
+//! - [`metrics`]: atomic [`Counter`], [`Gauge`], and [`Histogram`]
+//!   whose hot-path updates are single atomic ops — cheap enough for
+//!   per-packet instrumentation.
+//! - [`registry`]: a named [`Registry`] handing out `Arc` handles and
+//!   producing point-in-time [`Snapshot`]s.
+//! - [`journal`]: [`EventJournal`], a fixed-capacity ring buffer that
+//!   keeps the most recent structured events ([`FilterEvent`]).
+//! - [`export`]: Prometheus text exposition (with a validating
+//!   parser), JSON, and a human-readable interval report.
+//!
+//! Metric names follow `upbound_<crate>_<name>`, e.g.
+//! `upbound_core_inbound_drops_total`.
+//!
+//! # Example
+//!
+//! ```
+//! use upbound_telemetry::{export, Registry};
+//!
+//! let registry = Registry::new();
+//! let drops = registry.counter("upbound_core_inbound_drops_total", "Dropped inbound packets");
+//! drops.inc();
+//! let text = export::prometheus::render(&registry.snapshot());
+//! assert!(text.contains("upbound_core_inbound_drops_total 1"));
+//! ```
+
+pub mod events;
+pub mod export;
+pub mod journal;
+pub mod metrics;
+pub mod registry;
+
+pub use events::{DropReason, FilterEvent, FilterEventKind};
+pub use journal::EventJournal;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{MetricSample, MetricValue, Registry, Snapshot};

@@ -1,0 +1,265 @@
+//! Named metric registry and point-in-time snapshots.
+//!
+//! Registration takes a short mutex hold (it happens a handful of times
+//! at startup); after that, every handle is an `Arc` to a lock-free
+//! instrument from [`crate::metrics`], so recording values never
+//! contends on the registry. Metric names follow the workspace
+//! convention `upbound_<crate>_<name>` (checked loosely at
+//! registration: lowercase identifiers and underscores only).
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::sync::{Arc, Mutex};
+
+/// The value kinds a registry can hold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Instantaneous gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Full metric name (`upbound_<crate>_<name>`).
+    pub name: String,
+    /// One-line description, exported as Prometheus `# HELP`.
+    pub help: String,
+    /// The recorded value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time view of every registered metric, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// All samples, ordered by metric name.
+    pub samples: Vec<MetricSample>,
+}
+
+impl Snapshot {
+    /// Looks up a sample by full name.
+    pub fn get(&self, name: &str) -> Option<&MetricSample> {
+        self.samples.iter().find(|s| s.name == name)
+    }
+
+    /// Convenience: the value of a counter metric, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)?.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the value of a gauge metric, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)?.value {
+            MetricValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    instrument: Instrument,
+}
+
+/// A named collection of metrics.
+///
+/// Cloning the registry (via [`Registry::clone`]) shares the underlying
+/// metric set, so producers and exporters can hold it independently.
+#[derive(Clone, Default)]
+pub struct Registry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("Registry")
+            .field("metrics", &entries.len())
+            .finish()
+    }
+}
+
+fn assert_valid_name(name: &str) {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !name.starts_with(|c: char| c.is_ascii_digit());
+    assert!(
+        ok,
+        "metric name {name:?} must be lowercase snake_case (convention: upbound_<crate>_<name>)"
+    );
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register<T, F: FnOnce() -> Instrument>(
+        &self,
+        name: &str,
+        help: &str,
+        matching: impl Fn(&Instrument) -> Option<Arc<T>>,
+        make: F,
+    ) -> Arc<T> {
+        assert_valid_name(name);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = entries.iter().find(|e| e.name == name) {
+            return matching(&entry.instrument).unwrap_or_else(|| {
+                panic!("metric {name:?} already registered with a different type")
+            });
+        }
+        let instrument = make();
+        let handle = matching(&instrument).expect("freshly built instrument matches its own kind");
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            instrument,
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.register(
+            name,
+            help,
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || Instrument::Counter(Arc::new(Counter::new())),
+        )
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.register(
+            name,
+            help,
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || Instrument::Gauge(Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Registers (or retrieves) a histogram with the given bucket bounds.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.register(
+            name,
+            help,
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || Instrument::Histogram(Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Captures every metric's current value, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut samples: Vec<MetricSample> = entries
+            .iter()
+            .map(|e| MetricSample {
+                name: e.name.clone(),
+                help: e.help.clone(),
+                value: match &e.instrument {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram(h.load()),
+                },
+            })
+            .collect();
+        samples.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let registry = Registry::new();
+        let a = registry.counter("upbound_test_events_total", "events");
+        let b = registry.counter("upbound_test_events_total", "events");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(
+            registry.snapshot().counter("upbound_test_events_total"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        let registry = Registry::new();
+        registry.gauge("upbound_test_z_gauge", "z").set(2.5);
+        registry.counter("upbound_test_a_counter", "a").add(7);
+        registry
+            .histogram("upbound_test_m_hist", "m", &[1.0, 2.0])
+            .observe(1.5);
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "upbound_test_a_counter",
+                "upbound_test_m_hist",
+                "upbound_test_z_gauge"
+            ]
+        );
+        assert_eq!(snap.counter("upbound_test_a_counter"), Some(7));
+        assert_eq!(snap.gauge("upbound_test_z_gauge"), Some(2.5));
+        assert_eq!(
+            snap.counter("upbound_test_z_gauge"),
+            None,
+            "type-checked access"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("upbound_test_dup", "x");
+        registry.gauge("upbound_test_dup", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "snake_case")]
+    fn bad_name_panics() {
+        Registry::new().counter("Upbound-Bad", "x");
+    }
+
+    #[test]
+    fn clones_share_metrics() {
+        let registry = Registry::new();
+        let cloned = registry.clone();
+        registry.counter("upbound_test_shared_total", "s").inc();
+        assert_eq!(
+            cloned.snapshot().counter("upbound_test_shared_total"),
+            Some(1)
+        );
+    }
+}

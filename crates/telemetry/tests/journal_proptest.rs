@@ -1,0 +1,53 @@
+//! Property tests for the ring-buffer event journal: for any capacity
+//! and any recorded sequence, the journal is exactly a sliding window
+//! over the tail of the sequence.
+
+use proptest::prelude::*;
+use upbound_telemetry::EventJournal;
+
+proptest! {
+    /// After recording any sequence, the journal holds exactly the last
+    /// `min(len, capacity)` events, oldest → newest, and its accounting
+    /// (total recorded / overwritten / last) is exact — across any
+    /// number of wrap-arounds.
+    #[test]
+    fn journal_is_a_sliding_window(
+        capacity in 1usize..=32,
+        events in proptest::collection::vec(any::<u32>(), 0..=200),
+    ) {
+        let mut journal = EventJournal::with_capacity(capacity);
+        for &event in &events {
+            journal.record(event);
+        }
+
+        let expected_len = events.len().min(capacity);
+        prop_assert_eq!(journal.capacity(), capacity);
+        prop_assert_eq!(journal.len(), expected_len);
+        prop_assert_eq!(journal.is_empty(), events.is_empty());
+        prop_assert_eq!(journal.total_recorded(), events.len() as u64);
+        prop_assert_eq!(
+            journal.overwritten(),
+            events.len().saturating_sub(capacity) as u64
+        );
+
+        let retained: Vec<u32> = journal.iter().copied().collect();
+        let expected: Vec<u32> = events[events.len() - expected_len..].to_vec();
+        prop_assert_eq!(retained, expected);
+        prop_assert_eq!(journal.last().copied(), events.last().copied());
+    }
+
+    /// Interleaving reads with writes never disturbs the window: after
+    /// every single record, the newest element is the one just written.
+    #[test]
+    fn newest_is_always_last_written(
+        capacity in 1usize..=8,
+        events in proptest::collection::vec(any::<u16>(), 1..=64),
+    ) {
+        let mut journal = EventJournal::with_capacity(capacity);
+        for (i, &event) in events.iter().enumerate() {
+            journal.record(event);
+            prop_assert_eq!(journal.last().copied(), Some(event));
+            prop_assert_eq!(journal.len(), (i + 1).min(capacity));
+        }
+    }
+}

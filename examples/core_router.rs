@@ -53,8 +53,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()?,
     );
     let merged: Vec<_> = upbound::net::merge_sorted(vec![
-        trace_a.raw_packets().cloned().collect::<Vec<_>>().into_iter(),
-        trace_b.raw_packets().cloned().collect::<Vec<_>>().into_iter(),
+        trace_a
+            .raw_packets()
+            .cloned()
+            .collect::<Vec<_>>()
+            .into_iter(),
+        trace_b
+            .raw_packets()
+            .cloned()
+            .collect::<Vec<_>>()
+            .into_iter(),
     ])
     .collect();
     println!(

@@ -17,9 +17,10 @@ use std::process::ExitCode;
 
 use upbound::analyzer::Analyzer;
 use upbound::core::params::{max_connections, optimal_hash_count, penetration_probability};
-use upbound::core::{BitmapFilter, BitmapFilterConfig, DropPolicy, Verdict};
+use upbound::core::{BitmapFilter, BitmapFilterConfig, DropPolicy, TelemetryObserver, Verdict};
 use upbound::net::pcap::{PcapReader, PcapWriter};
 use upbound::net::{Cidr, Direction, FiveTuple};
+use upbound::telemetry::{export, Registry, Snapshot};
 use upbound::traffic::{generate, TraceConfig};
 
 const USAGE: &str = "\
@@ -33,9 +34,31 @@ USAGE:
                      [--low-mbps <F>] [--high-mbps <F>] [--vector-bits <N>]
                      [--vectors <K>] [--rotate-secs <F>] [--hashes <M>]
                      [--hole-punching] [--no-block]
+                     [--metrics <FILE.prom|FILE.json>]
+                     [--metrics-interval <SECS>]
     upbound params   [--connections <N>]
     upbound help
 ";
+
+/// Flags each subcommand accepts; anything else is rejected up front.
+const GENERATE_FLAGS: &[&str] = &["out", "duration", "rate", "seed", "snaplen", "inside"];
+const ANALYZE_FLAGS: &[&str] = &["in", "inside"];
+const FILTER_FLAGS: &[&str] = &[
+    "in",
+    "out",
+    "inside",
+    "low-mbps",
+    "high-mbps",
+    "vector-bits",
+    "vectors",
+    "rotate-secs",
+    "hashes",
+    "hole-punching",
+    "no-block",
+    "metrics",
+    "metrics-interval",
+];
+const PARAMS_FLAGS: &[&str] = &["connections"];
 
 struct Args {
     flags: Vec<(String, Option<String>)>,
@@ -74,6 +97,24 @@ impl Args {
         self.flags.iter().any(|(n, _)| n == name)
     }
 
+    /// Rejects any flag the subcommand does not define, so typos fail
+    /// loudly instead of being silently ignored.
+    fn ensure_known(&self, command: &str, allowed: &[&str]) -> Result<(), String> {
+        for (name, _) in &self.flags {
+            if !allowed.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown flag --{name} for `upbound {command}` (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+
     fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
@@ -105,10 +146,18 @@ fn main() -> ExitCode {
         }
     };
     let result = match command {
-        "generate" => cmd_generate(&args),
-        "analyze" => cmd_analyze(&args),
-        "filter" => cmd_filter(&args),
-        "params" => cmd_params(&args),
+        "generate" => args
+            .ensure_known(command, GENERATE_FLAGS)
+            .and_then(|()| cmd_generate(&args)),
+        "analyze" => args
+            .ensure_known(command, ANALYZE_FLAGS)
+            .and_then(|()| cmd_analyze(&args)),
+        "filter" => args
+            .ensure_known(command, FILTER_FLAGS)
+            .and_then(|()| cmd_filter(&args)),
+        "params" => args
+            .ensure_known(command, PARAMS_FLAGS)
+            .and_then(|()| cmd_params(&args)),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {
@@ -209,11 +258,54 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Where `--metrics` wants the final snapshot written, decided by file
+/// extension.
+enum MetricsFormat {
+    Prometheus,
+    Json,
+}
+
+fn metrics_sink(args: &Args) -> Result<Option<(String, MetricsFormat)>, String> {
+    let Some(path) = args.get("metrics") else {
+        if args.has("metrics") {
+            return Err("--metrics requires a file path (.prom or .json)".to_owned());
+        }
+        return Ok(None);
+    };
+    let format = if path.ends_with(".prom") {
+        MetricsFormat::Prometheus
+    } else if path.ends_with(".json") {
+        MetricsFormat::Json
+    } else {
+        return Err(format!(
+            "--metrics expects a .prom or .json path, got {path:?}"
+        ));
+    };
+    Ok(Some((path.to_owned(), format)))
+}
+
+fn write_metrics(path: &str, format: &MetricsFormat, snapshot: &Snapshot) -> Result<(), String> {
+    let text = match format {
+        MetricsFormat::Prometheus => export::prometheus::render(snapshot),
+        MetricsFormat::Json => export::json::render(snapshot),
+    };
+    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote metrics snapshot to {path}");
+    Ok(())
+}
+
 fn cmd_filter(args: &Args) -> Result<(), String> {
     let in_path = args.get("in").ok_or("filter requires --in <FILE>")?;
     let inside = inside_of(args)?;
     let low: f64 = args.parse_num("low-mbps", 0.0)?;
     let high: f64 = args.parse_num("high-mbps", 0.0)?;
+    let metrics = metrics_sink(args)?;
+    let metrics_interval: f64 = args.parse_num("metrics-interval", 0.0)?;
+    if metrics_interval < 0.0 || !metrics_interval.is_finite() {
+        return Err(format!(
+            "--metrics-interval expects a non-negative number of seconds, got {metrics_interval}"
+        ));
+    }
 
     let mut builder = BitmapFilterConfig::builder();
     builder
@@ -234,7 +326,11 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
         config.expiry_timer().as_secs_f64(),
         config.hash_functions()
     );
-    let mut filter = BitmapFilter::new(config);
+    let registry = Registry::new();
+    let mut filter = BitmapFilter::with_observer(
+        config,
+        TelemetryObserver::with_default_journal(&registry, "core"),
+    );
 
     let file = File::open(in_path).map_err(|e| format!("{in_path}: {e}"))?;
     let mut reader = PcapReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
@@ -252,9 +348,27 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
     let (mut up_bits, mut up_kept) = (0u64, 0u64);
     let mut last_ts = upbound::net::Timestamp::ZERO;
 
+    // Interval reporting is keyed to trace time: a report is emitted
+    // each time packet timestamps cross the next interval boundary.
+    let mut next_report = (metrics_interval > 0.0).then_some(metrics_interval);
+    let mut prev_snapshot = registry.snapshot();
+
     while let Some(p) = reader.read_packet().map_err(|e| e.to_string())? {
         total += 1;
         last_ts = last_ts.max(p.ts());
+        while let Some(boundary) = next_report {
+            if p.ts().as_secs_f64() < boundary {
+                break;
+            }
+            let snapshot = registry.snapshot();
+            println!("--- metrics @ t={boundary:.1}s ---");
+            print!(
+                "{}",
+                export::human::render(&snapshot, Some((&prev_snapshot, metrics_interval)))
+            );
+            prev_snapshot = snapshot;
+            next_report = Some(boundary + metrics_interval);
+        }
         let direction = inside.direction_of(&p.tuple());
         if direction == Direction::Outbound {
             up_bits += p.wire_bits();
@@ -298,6 +412,9 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
         up_bits as f64 / span / 1e6,
         up_kept as f64 / span / 1e6
     );
+    if let Some((path, format)) = &metrics {
+        write_metrics(path, format, &registry.snapshot())?;
+    }
     Ok(())
 }
 

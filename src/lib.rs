@@ -22,6 +22,8 @@
 //! * [`spi`] — the stateful-packet-inspection baseline filter.
 //! * [`sim`] — trace-replay simulation harness (Figures 8 and 9).
 //! * [`stats`] — histograms, CDFs, EWMA, time series, ASCII plots.
+//! * [`telemetry`] — lock-free metrics registry, filter event journal,
+//!   and Prometheus/JSON/human exporters.
 //!
 //! # Quickstart
 //!
@@ -60,4 +62,5 @@ pub use upbound_pattern as pattern;
 pub use upbound_sim as sim;
 pub use upbound_spi as spi;
 pub use upbound_stats as stats;
+pub use upbound_telemetry as telemetry;
 pub use upbound_traffic as traffic;

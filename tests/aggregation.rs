@@ -46,8 +46,7 @@ fn bank_filtering_equals_independent_edge_filtering() {
 
     // Reference: independent edge filters.
     let edge_verdicts = |packets: &[Packet], inside: Cidr| -> Vec<Verdict> {
-        let mut filter =
-            upbound::core::BitmapFilter::new(BitmapFilterConfig::paper_evaluation());
+        let mut filter = upbound::core::BitmapFilter::new(BitmapFilterConfig::paper_evaluation());
         packets
             .iter()
             .map(|p| filter.process_packet(p, inside.direction_of(&p.tuple())))
@@ -60,7 +59,8 @@ fn bank_filtering_equals_independent_edge_filtering() {
     let mut bank = MultiNetworkFilter::new();
     bank.add_network(net_a, BitmapFilterConfig::paper_evaluation());
     bank.add_network(net_b, BitmapFilterConfig::paper_evaluation());
-    let merged: Vec<Packet> = merge_sorted(vec![a.clone().into_iter(), b.clone().into_iter()]).collect();
+    let merged: Vec<Packet> =
+        merge_sorted(vec![a.clone().into_iter(), b.clone().into_iter()]).collect();
     let mut got_a = Vec::new();
     let mut got_b = Vec::new();
     for packet in &merged {

@@ -147,6 +147,122 @@ fn filter_validates_thresholds() {
 }
 
 #[test]
+fn unknown_flags_are_rejected_per_subcommand() {
+    // A typo'd flag must fail loudly, naming the flag and the command.
+    let out = run(&["filter", "--in", "/tmp/x.pcap", "--metrics-intervall", "1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("unknown flag --metrics-intervall"), "{err}");
+    assert!(err.contains("upbound filter"), "{err}");
+    assert!(err.contains("--metrics-interval"), "{err}");
+
+    // Flags valid for one subcommand are still rejected on another.
+    let out = run(&["params", "--in", "/tmp/x.pcap"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --in"));
+
+    let out = run(&["generate", "--out", "/tmp/x.pcap", "--metrics", "m.prom"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --metrics"));
+}
+
+#[test]
+fn filter_metrics_exports_and_interval_reports() {
+    let trace = tmp("metrics-trace.pcap");
+    let prom = tmp("metrics.prom");
+    let json = tmp("metrics.json");
+    let trace_s = trace.to_str().expect("utf8 path");
+
+    let out = run(&[
+        "generate",
+        "--out",
+        trace_s,
+        "--duration",
+        "10",
+        "--rate",
+        "20",
+        "--seed",
+        "11",
+    ]);
+    assert!(out.status.success());
+
+    // --metrics-interval 1 emits one snapshot per second of trace time,
+    // carrying the live operating point and the filter counters.
+    let out = run(&[
+        "filter",
+        "--in",
+        trace_s,
+        "--low-mbps",
+        "0.1",
+        "--high-mbps",
+        "0.5",
+        "--metrics-interval",
+        "1",
+        "--metrics",
+        prom.to_str().expect("utf8 path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "filter: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    let reports = text.matches("--- metrics @ t=").count();
+    assert!(
+        reports >= 8,
+        "expected ~10 interval reports, got {reports}:\n{text}"
+    );
+    assert!(text.contains("upbound_core_drop_probability"));
+    assert!(text.contains("upbound_core_uplink_bps"));
+    assert!(text.contains("upbound_core_inbound_pass_total"));
+    assert!(text.contains("upbound_core_drops_unsolicited_total"));
+    assert!(text.contains("upbound_core_rotations_total"));
+
+    // The .prom file is valid Prometheus exposition text: the validating
+    // parser accepts it and the counters it carries are present.
+    let prom_text = std::fs::read_to_string(&prom).expect("read prom");
+    let snapshot =
+        upbound::telemetry::export::prometheus::parse(&prom_text).expect("valid Prometheus text");
+    assert!(
+        snapshot
+            .counter("upbound_core_outbound_packets_total")
+            .unwrap()
+            > 0
+    );
+    assert!(snapshot.counter("upbound_core_rotations_total").unwrap() > 0);
+    assert!(snapshot.gauge("upbound_core_drop_probability").is_some());
+
+    // Same run with a .json sink parses as JSON.
+    let out = run(&[
+        "filter",
+        "--in",
+        trace_s,
+        "--metrics",
+        json.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success());
+    let json_text = std::fs::read_to_string(&json).expect("read json");
+    let value = serde_json::from_str::<serde_json::Value>(&json_text).expect("valid JSON");
+    assert!(serde_json::to_string(&value)
+        .expect("serialize")
+        .contains("upbound_core"));
+
+    // An unrecognized extension is rejected up front.
+    let out = run(&["filter", "--in", trace_s, "--metrics", "/tmp/out.csv"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains(".prom or .json"));
+
+    // A valueless --metrics is an error, not a silent no-op.
+    let out = run(&["filter", "--in", trace_s, "--metrics"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--metrics requires a file path"));
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&prom);
+    let _ = std::fs::remove_file(&json);
+}
+
+#[test]
 fn analyze_missing_file_fails_cleanly() {
     let out = run(&["analyze", "--in", "/nonexistent/never.pcap"]);
     assert!(!out.status.success());

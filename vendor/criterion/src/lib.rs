@@ -1,0 +1,345 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the authoring surface (`criterion_group!`, benchmark groups,
+//! `Bencher::iter*`, throughput annotations) and actually measures:
+//! each benchmark is calibrated so one batch runs long enough to trust
+//! the clock, then the minimum over several batches is reported as
+//! ns/iter. No plotting, no statistics beyond min/mean, no CLI.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Default number of measured batches per benchmark.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Work-per-iteration annotation; turns ns/iter into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output `iter_batched` should amortize per batch.
+/// This stand-in re-runs setup for every batch regardless, so the
+/// variants only exist for source compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark's display identity: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id, for groups whose name already says what runs.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A set of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many measured batches each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates the work done by one iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures a closure.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_string(), &mut f);
+        self
+    }
+
+    /// Measures a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra; exists for compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(m) => {
+                let rate = match self.throughput {
+                    Some(Throughput::Bytes(bytes)) => {
+                        let gib = bytes as f64 / m.min_ns * 1e9 / (1u64 << 30) as f64;
+                        format!("  {gib:>9.3} GiB/s")
+                    }
+                    Some(Throughput::Elements(n)) => {
+                        let melem = n as f64 / m.min_ns * 1e9 / 1e6;
+                        format!("  {melem:>9.3} Melem/s")
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "{}/{:<40} {:>14} ns/iter (mean {}, {} samples x {} iters){}",
+                    self.name,
+                    id,
+                    format_ns(m.min_ns),
+                    format_ns(m.mean_ns),
+                    self.sample_size,
+                    m.iters_per_sample,
+                    rate
+                );
+            }
+            None => println!("{}/{id}: no measurement recorded", self.name),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    min_ns: f64,
+    mean_ns: f64,
+    iters_per_sample: u64,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else if ns >= 1.0 {
+        format!("{ns:.2}")
+    } else {
+        format!("{ns:.4}")
+    }
+}
+
+/// Target wall time for one measured batch; long enough that clock
+/// granularity is noise, short enough that suites stay fast.
+const BATCH_TARGET: Duration = Duration::from_millis(5);
+const MAX_CALIBRATION_ITERS: u64 = 1 << 28;
+
+/// Hands timing control to the benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times `f` in calibrated batches; the batch minimum is the result.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.iter_custom(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Like [`Bencher::iter`], but the body does its own timing and
+    /// reports the duration spent on `iters` iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it runs long enough to trust.
+        let mut iters: u64 = 1;
+        loop {
+            let elapsed = f(iters);
+            if elapsed >= BATCH_TARGET || iters >= MAX_CALIBRATION_ITERS {
+                break;
+            }
+            // Jump close to the target in one step once we have a rate.
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            let needed = if per_iter > 0.0 {
+                (BATCH_TARGET.as_secs_f64() / per_iter).ceil() as u64
+            } else {
+                iters * 8
+            };
+            iters = needed
+                .clamp(iters + 1, (iters * 16).max(2))
+                .min(MAX_CALIBRATION_ITERS);
+        }
+
+        let mut min_ns = f64::INFINITY;
+        let mut total_ns = 0.0;
+        for _ in 0..self.sample_size {
+            let ns = f(iters).as_secs_f64() * 1e9 / iters as f64;
+            min_ns = min_ns.min(ns);
+            total_ns += ns;
+        }
+        self.result = Some(Measurement {
+            min_ns,
+            mean_ns: total_ns / self.sample_size as f64,
+            iters_per_sample: iters,
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// measured. Every batch is a single iteration on a fresh input.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut min_ns = f64::INFINITY;
+        let mut total_ns = 0.0;
+        // One warmup round, then `sample_size` measured rounds.
+        let input = setup();
+        black_box(routine(input));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let ns = start.elapsed().as_secs_f64() * 1e9;
+            min_ns = min_ns.min(ns);
+            total_ns += ns;
+        }
+        self.result = Some(Measurement {
+            min_ns,
+            mean_ns: total_ns / self.sample_size as f64,
+            iters_per_sample: 1,
+        });
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (for `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes flags like `--bench`; nothing to do
+            // with them here, but accepting them keeps invocation alike.
+            let _ = ::std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("self_test");
+        group.sample_size(3);
+        let mut side_effect = 0u64;
+        group.bench_function("sum", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                side_effect = acc;
+                acc
+            })
+        });
+        group.finish();
+        assert_eq!(side_effect, 4950);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("self_test_batched");
+        group.sample_size(4);
+        let mut setups = 0u32;
+        group.bench_with_input(BenchmarkId::new("consume", 1), &1u32, |b, _| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        // warmup + measured rounds
+        assert_eq!(setups, 5);
+    }
+}

@@ -1,0 +1,278 @@
+//! Bounded MPMC channels with blocking send/recv and disconnect
+//! semantics, mirroring `crossbeam::channel`'s API subset used here
+//! (including `len`/`capacity`/`is_full`, which the pipeline telemetry
+//! uses for queue-depth gauges).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// Error returned when sending into a channel with no receivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned when receiving from an empty, disconnected channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is full (value handed back).
+    Full(T),
+    /// All receivers are gone (value handed back).
+    Disconnected(T),
+}
+
+/// The sending half of a bounded channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a bounded channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded channel with the given capacity (>= 1).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    // A zero-capacity rendezvous channel is not modeled; clamp to 1.
+    let capacity = capacity.max(1);
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::with_capacity(capacity)),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues `value`. Fails if every
+    /// receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            if queue.len() < self.shared.capacity {
+                queue.push_back(value);
+                drop(queue);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            queue = self.shared.not_full.wait(queue).expect("channel lock");
+        }
+    }
+
+    /// Enqueues without blocking, or reports why it could not.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if queue.len() >= self.shared.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        queue.push_back(value);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("channel lock").len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.shared.capacity
+    }
+
+    /// The channel's capacity.
+    pub fn capacity(&self) -> Option<usize> {
+        Some(self.shared.capacity)
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake blocked receivers so they observe EOF.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message is available or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if let Some(v) = queue.pop_front() {
+                drop(queue);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            queue = self.shared.not_empty.wait(queue).expect("channel lock");
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("channel lock").len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A blocking iterator that ends when the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last receiver gone: wake blocked senders so they fail fast.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+/// Borrowing blocking iterator over received messages.
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+/// Owning blocking iterator over received messages.
+pub struct IntoIter<T> {
+    receiver: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { receiver: self }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_eof() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).expect("send");
+        }
+        drop(tx);
+        assert_eq!(rx.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn capacity_one_backpressure() {
+        let (tx, rx) = bounded(1);
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).expect("send");
+            }
+        });
+        let got: Vec<i32> = rx.into_iter().collect();
+        h.join().expect("producer");
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

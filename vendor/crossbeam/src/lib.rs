@@ -1,0 +1,6 @@
+//! Offline stand-in for `crossbeam`: the scoped-thread and bounded-
+//! channel subset this workspace uses, built on `std::thread::scope`
+//! and a Mutex/Condvar ring buffer.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,255 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Same authoring surface (`proptest! { fn t(x in strat) { .. } }`,
+//! `Strategy`, `prop_oneof!`, `prop_assert*!`) backed by plain random
+//! sampling: each test runs `cases` iterations with a generator seeded
+//! deterministically from the test's name, so failures reproduce across
+//! runs. There is no shrinking — a failing case reports the assertion
+//! message and the case index only.
+
+pub mod strategy;
+
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+pub mod test_runner {
+    /// How many sampled cases each property test executes.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running exactly `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Lighter than upstream's 256: no shrinking means failures
+            // are already cheap to reproduce, and the whole workspace
+            // test suite runs these in debug builds.
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Seeds the per-test generator from the test's name (FNV-1a), so every
+/// run of a given test sees the same case stream.
+pub fn rng_for_test(name: &str) -> rand::rngs::StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    rand::SeedableRng::seed_from_u64(h)
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(512))]
+///     #[test]
+///     fn holds(x in 0u32..100, v in proptest::collection::vec(any::<u8>(), 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let result = (move || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(message) = result {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current proptest case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} ({})", stringify!($cond), ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  ({})",
+                stringify!($left), stringify!($right), l, r, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}\n  ({})",
+                stringify!($left), stringify!($right), l, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, f in -2.0f64..2.0, q in 0.0f64..=1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!((0.0..=1.0).contains(&q));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_respects_size_and_composes(
+            v in crate::collection::vec((any::<bool>(), 0u8..4), 2..6),
+            tag in prop_oneof![Just(1u8), Just(2u8), 3u8..5],
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (_, small) in &v {
+                prop_assert!(*small < 4);
+            }
+            prop_assert!((1..5).contains(&tag), "tag {}", tag);
+        }
+
+        #[test]
+        fn string_regex_subset(s in "[a-c]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.bytes().all(|b| (b'a'..=b'c').contains(&b)));
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn recursive_strategies_terminate(
+            t in (0u8..255).prop_map(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            })
+        ) {
+            prop_assert!(depth(&t) <= 4, "depth {}", depth(&t));
+        }
+    }
+
+    #[test]
+    fn same_test_name_same_stream() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 0..10);
+        let mut a = crate::rng_for_test("x");
+        let mut b = crate::rng_for_test("x");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,617 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the serde surface the workspace actually uses — `Serialize`,
+//! `Deserialize`, `de::DeserializeOwned`, and the two derive macros —
+//! over a simple self-describing [`Value`] data model instead of the
+//! real visitor machinery. `serde_json` (also vendored) renders a
+//! [`Value`] to JSON text and parses it back, which is the only data
+//! format the workspace touches.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized form: what a `Serialize` impl produces
+/// and a `Deserialize` impl consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this value is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this value is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "integer",
+            Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Looks up a struct field in a serialized map, yielding `Null` when the
+/// key is absent (so `Option` fields tolerate omission).
+pub fn map_field<'v>(entries: &'v [(String, Value)], key: &str) -> &'v Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::Null)
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`].
+///
+/// The `'de` lifetime exists for signature compatibility with real
+/// serde bounds (`for<'de> Deserialize<'de>`); this implementation has
+/// no borrowed deserialization.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from the data model.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// The `serde::de` namespace subset.
+pub mod de {
+    pub use super::Error;
+
+    /// Deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+// ===== primitive impls =====
+
+// Identity impls: a `Value` serializes to (and deserializes from)
+// itself, so callers can round-trip arbitrary documents.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("integer {n} out of range")))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(f) => Ok(*f),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            other => Err(Error::custom(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!(
+                "expected single-char string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let v: Vec<T> = Vec::from_value(value)?;
+        <[T; N]>::try_from(v)
+            .map_err(|v: Vec<T>| Error::custom(format!("expected {N} elements, got {}", v.len())))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$($idx),+].len();
+                let items = value
+                    .as_seq()
+                    .ok_or_else(|| Error::custom(format!("expected tuple, got {}", value.kind())))?;
+                if items.len() != LEN {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {LEN}, got {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Stable ordering on encoded values, used to make map serialization
+/// deterministic regardless of `HashMap` iteration order.
+fn value_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::I64(_) => 2,
+            Value::U64(_) => 3,
+            Value::F64(_) => 4,
+            Value::Str(_) => 5,
+            Value::Seq(_) => 6,
+            Value::Map(_) => 7,
+        }
+    }
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::I64(x), Value::I64(y)) => x.cmp(y),
+        (Value::U64(x), Value::U64(y)) => x.cmp(y),
+        (Value::F64(x), Value::F64(y)) => x.total_cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Seq(x), Value::Seq(y)) => {
+            for (xi, yi) in x.iter().zip(y.iter()) {
+                let ord = value_cmp(xi, yi);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Map(x), Value::Map(y)) => {
+            for ((kx, vx), (ky, vy)) in x.iter().zip(y.iter()) {
+                let ord = kx.cmp(ky).then_with(|| value_cmp(vx, vy));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+/// Maps encode as a sequence of `[key, value]` pairs (sorted by encoded
+/// key for determinism), which supports arbitrary serializable keys —
+/// unlike JSON objects, whose keys must be strings.
+fn map_to_value<'a, K, V>(entries: impl Iterator<Item = (&'a K, &'a V)>) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+{
+    let mut pairs: Vec<Value> = entries
+        .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+        .collect();
+    pairs.sort_by(value_cmp);
+    Value::Seq(pairs)
+}
+
+fn map_from_value<'de, K, V, M>(value: &Value) -> Result<M, Error>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+    M: FromIterator<(K, V)>,
+{
+    let pairs = value
+        .as_seq()
+        .ok_or_else(|| Error::custom(format!("expected map pair list, got {}", value.kind())))?;
+    pairs
+        .iter()
+        .map(|pair| {
+            let kv = pair
+                .as_seq()
+                .filter(|kv| kv.len() == 2)
+                .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+            Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+        })
+        .collect()
+}
+
+impl<K, V> Serialize for HashMap<K, V>
+where
+    K: Serialize,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        map_from_value(value)
+    }
+}
+
+impl<K, V> Serialize for BTreeMap<K, V>
+where
+    K: Serialize,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        map_from_value(value)
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + Hash> Deserialize<'de> for std::collections::HashSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let v: Vec<T> = Vec::from_value(value)?;
+        Ok(v.into_iter().collect())
+    }
+}
+
+// ===== std::net and time impls (string forms, like real serde) =====
+
+macro_rules! impl_serde_display_fromstr {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Str(self.to_string())
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Str(s) => s.parse().map_err(|e| {
+                        Error::custom(format!("bad {}: {e}", stringify!($t)))
+                    }),
+                    other => Err(Error::custom(format!(
+                        "expected string-encoded {}, got {}",
+                        stringify!($t),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_display_fromstr!(
+    std::net::Ipv4Addr,
+    std::net::Ipv6Addr,
+    std::net::IpAddr,
+    std::net::SocketAddrV4,
+    std::net::SocketAddrV6,
+    std::net::SocketAddr
+);
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_owned(), Value::U64(self.as_secs())),
+            ("nanos".to_owned(), Value::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| Error::custom("expected duration map"))?;
+        let secs = u64::from_value(map_field(entries, "secs"))?;
+        let nanos = u32::from_value(map_field(entries, "nanos"))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(
+            Option::<u32>::from_value(&None::<u32>.to_value()).unwrap(),
+            None
+        );
+        let v = Some(7u32).to_value();
+        assert_eq!(Option::<u32>::from_value(&v).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn socketaddr_as_string() {
+        let addr: std::net::SocketAddrV4 = "10.0.0.1:80".parse().unwrap();
+        let v = addr.to_value();
+        assert_eq!(v, Value::Str("10.0.0.1:80".to_owned()));
+        assert_eq!(std::net::SocketAddrV4::from_value(&v).unwrap(), addr);
+    }
+}

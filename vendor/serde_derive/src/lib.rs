@@ -1,0 +1,504 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! Parses the item with hand-rolled `TokenStream` walking (no `syn` —
+//! the environment is offline) and generates `to_value`/`from_value`
+//! impls over `serde::Value`. Supported shapes: named/tuple/unit
+//! structs and enums with unit, newtype, tuple, and struct variants.
+//! Generic items and `#[serde(...)]` field attributes are rejected
+//! loudly rather than miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { fields, .. } => struct_to_value(fields, "self"),
+        Item::Enum { name, variants } => enum_to_value(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = item_name(&item);
+    let body = match &item {
+        Item::Struct { name, fields } => struct_from_value(name, fields),
+        Item::Enum { name, variants } => enum_from_value(name, variants),
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } => name,
+        Item::Enum { name, .. } => name,
+    }
+}
+
+// ===== parsing =====
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive stand-in: generic types are not supported (type {name})");
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_items(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                other => panic!("serde derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde derive: expected struct or enum, got `{other}`"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes (rejecting #[serde(...)], which we cannot honor).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.next() {
+                let attr = g.stream().to_string();
+                if attr.starts_with("serde") {
+                    panic!("serde derive stand-in: field attribute #[{attr}] is not supported");
+                }
+            }
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("serde derive: expected field name, got {tree:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn count_top_level_items(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_token = false;
+    for tree in body {
+        if let TokenTree::Punct(p) = &tree {
+            let c = p.as_char();
+            if c == '<' {
+                depth += 1;
+            } else if c == '>' {
+                depth -= 1;
+            } else if c == ',' && depth == 0 {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            tokens.next();
+            tokens.next();
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tree else {
+            panic!("serde derive: expected variant name, got {tree:?}");
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                tokens.next();
+                Fields::Tuple(count_top_level_items(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+    }
+    variants
+}
+
+// ===== codegen: Serialize =====
+
+/// `access` is the expression prefix for fields: `self` for structs,
+/// or empty (bound names) for enum struct variants.
+fn struct_to_value(fields: &Fields, receiver: &str) -> String {
+    match fields {
+        Fields::Unit => "serde::Value::Null".to_owned(),
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), serde::Serialize::to_value(&{receiver}.{f}))")
+                })
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => format!("serde::Serialize::to_value(&{receiver}.0)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&{receiver}.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn enum_to_value(enum_name: &str, variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        let arm = match &v.fields {
+            Fields::Unit => {
+                format!("{enum_name}::{vn} => serde::Value::Str(String::from(\"{vn}\")),")
+            }
+            Fields::Tuple(1) => format!(
+                "{enum_name}::{vn}(f0) => serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                 serde::Serialize::to_value(f0))]),"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{enum_name}::{vn}({}) => serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                     serde::Value::Seq(vec![{}]))]),",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+            Fields::Named(names) => {
+                let binds = names.join(", ");
+                let entries: Vec<String> = names
+                    .iter()
+                    .map(|f| format!("(String::from(\"{f}\"), serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{enum_name}::{vn} {{ {binds} }} => serde::Value::Map(vec![\
+                     (String::from(\"{vn}\"), serde::Value::Map(vec![{}]))]),",
+                    entries.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+// ===== codegen: Deserialize =====
+
+fn struct_from_value(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "match value {{\n\
+                 serde::Value::Null => Ok({name}),\n\
+                 other => Err(serde::Error::custom(format!(\n\
+                     \"expected null for unit struct {name}, got {{}}\", other.kind()))),\n\
+             }}"
+        ),
+        Fields::Named(names) => {
+            let field_inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(serde::map_field(entries, \"{f}\"))\
+                         .map_err(|e| serde::Error::custom(format!(\"{name}.{f}: {{e}}\")))?,"
+                    )
+                })
+                .collect();
+            let binding = if names.is_empty() {
+                "_entries"
+            } else {
+                "entries"
+            };
+            format!(
+                "let {binding} = value.as_map().ok_or_else(|| serde::Error::custom(format!(\n\
+                     \"expected map for struct {name}, got {{}}\", value.kind())))?;\n\
+                 Ok({name} {{\n{}\n}})",
+                field_inits.join("\n")
+            )
+        }
+        Fields::Tuple(1) => format!(
+            "Ok({name}(serde::Deserialize::from_value(value)\
+             .map_err(|e| serde::Error::custom(format!(\"{name}: {{e}}\")))?))"
+        ),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "let items = value.as_seq().ok_or_else(|| serde::Error::custom(\n\
+                     \"expected sequence for tuple struct {name}\"))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(serde::Error::custom(format!(\n\
+                         \"expected {n} elements for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}(\n{}\n))",
+                items.join("\n")
+            )
+        }
+    }
+}
+
+fn enum_from_value(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as Str; payload variants as single-entry maps.
+    let mut unit_arms = Vec::new();
+    let mut payload_arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push(format!("\"{vn}\" => Ok({name}::{vn}),"));
+            }
+            Fields::Tuple(1) => {
+                payload_arms.push(format!(
+                    "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(payload)\
+                     .map_err(|e| serde::Error::custom(format!(\"{name}::{vn}: {{e}}\")))?)),"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?,"))
+                    .collect();
+                payload_arms.push(format!(
+                    "\"{vn}\" => {{\n\
+                         let items = payload.as_seq().ok_or_else(|| serde::Error::custom(\n\
+                             \"expected sequence payload for {name}::{vn}\"))?;\n\
+                         if items.len() != {n} {{\n\
+                             return Err(serde::Error::custom(format!(\n\
+                                 \"expected {n} elements for {name}::{vn}, got {{}}\", items.len())));\n\
+                         }}\n\
+                         Ok({name}::{vn}(\n{}\n))\n\
+                     }}",
+                    items.join("\n")
+                ));
+            }
+            Fields::Named(fields) => {
+                let field_inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: serde::Deserialize::from_value(serde::map_field(entries, \"{f}\"))\
+                             .map_err(|e| serde::Error::custom(format!(\"{name}::{vn}.{f}: {{e}}\")))?,"
+                        )
+                    })
+                    .collect();
+                payload_arms.push(format!(
+                    "\"{vn}\" => {{\n\
+                         let entries = payload.as_map().ok_or_else(|| serde::Error::custom(\n\
+                             \"expected map payload for {name}::{vn}\"))?;\n\
+                         Ok({name}::{vn} {{\n{}\n}})\n\
+                     }}",
+                    field_inits.join("\n")
+                ));
+            }
+        }
+    }
+    let map_arm = if payload_arms.is_empty() {
+        format!(
+            "serde::Value::Map(_) => Err(serde::Error::custom(\n\
+                 \"expected variant tag string for enum {name}\")),"
+        )
+    } else {
+        format!(
+            "serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                     {payload}\n\
+                     other => Err(serde::Error::custom(format!(\n\
+                         \"unknown variant {{other:?}} of enum {name}\"))),\n\
+                 }}\n\
+             }}",
+            payload = payload_arms.join("\n"),
+        )
+    };
+    format!(
+        "match value {{\n\
+             serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit}\n\
+                 other => Err(serde::Error::custom(format!(\n\
+                     \"unknown variant {{other:?}} of enum {name}\"))),\n\
+             }},\n\
+             {map_arm}\n\
+             other => Err(serde::Error::custom(format!(\n\
+                 \"expected enum {name}, got {{}}\", other.kind()))),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+    )
+}
