@@ -13,9 +13,9 @@
 //! false-negative rate (good traffic dropped).
 
 use upbound_bench::{pct, trace_from_args, TextTable};
-use upbound_core::{BitmapFilter, BitmapFilterConfig};
+use upbound_core::{BitmapFilter, BitmapFilterConfig, PacketFilter};
 use upbound_sim::sweep::run_sweep;
-use upbound_sim::{PacketFilter, ReplayConfig, ReplayEngine, ReplayResult};
+use upbound_sim::{ReplayConfig, ReplayEngine, ReplayResult};
 use upbound_spi::{SpiConfig, SpiFilter};
 
 fn replay<F: PacketFilter>(

@@ -1,0 +1,131 @@
+//! Shard-scaling contention benchmark.
+//!
+//! The old shared filter put every worker thread behind one mutex; the
+//! sharded engine partitions the five-tuple space so workers that
+//! partition packets by the same flow hash almost never contend. This
+//! bench quantifies that: W workers replay a pre-partitioned trace
+//! through a [`ShardedFilter`] with 1 (the single-lock baseline), 2, 4,
+//! and 8 shards, and we report packets/second per configuration.
+//!
+//! Results are printed as a table and written to
+//! `BENCH_shard_scaling.json` for the CI artifact.
+//!
+//! [`ShardedFilter`]: upbound_core::ShardedFilter
+
+use std::time::Instant;
+use upbound_bench::{is_quick, trace_from_args, TextTable};
+use upbound_core::{BitmapFilterConfig, ShardedFilter};
+use upbound_net::{Direction, Packet};
+
+/// One measured configuration.
+struct Sample {
+    shards: usize,
+    secs: f64,
+    pkts_per_sec: f64,
+}
+
+/// Replays every partition through `filter` from `workers` threads and
+/// returns the wall-clock seconds for the whole fan-out.
+fn run_once(filter: &ShardedFilter, partitions: &[Vec<(Packet, Direction)>], reps: usize) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for part in partitions {
+            let handle = filter.clone();
+            scope.spawn(move || {
+                for _ in 0..reps {
+                    for (packet, direction) in part {
+                        handle.process_packet(packet, *direction);
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let trace = trace_from_args();
+    let config = BitmapFilterConfig::paper_evaluation();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = cores.clamp(4, 8);
+    let reps = if is_quick() { 24 } else { 96 };
+    let iterations = 3; // best-of-N to shave scheduler noise
+
+    // Partition packets by the same direction-symmetric flow hash the
+    // shards use, so a flow's packets stay on one worker (the NIC-queue
+    // deployment shape) regardless of the shard count under test.
+    let probe = ShardedFilter::new(config.clone(), 1);
+    let flow = probe.flow_hash();
+    let mut partitions: Vec<Vec<(Packet, Direction)>> = vec![Vec::new(); workers];
+    for lp in &trace.packets {
+        let worker = (flow.key(&lp.packet.tuple(), lp.direction) % workers as u64) as usize;
+        partitions[worker].push((lp.packet.clone(), lp.direction));
+    }
+    let total_pkts = (trace.packets.len() * reps) as f64;
+
+    println!(
+        "Shard scaling: {} workers on {} core(s), {} packets x {} reps",
+        workers,
+        cores,
+        trace.packets.len(),
+        reps
+    );
+    if cores < 2 {
+        // Threads time-slice on one core, so even the single lock is
+        // handed off uncontended between quanta; expect flat numbers.
+        println!("note: single-core host — lock contention cannot manifest here");
+    }
+    println!();
+
+    let mut samples = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let mut best_secs = f64::INFINITY;
+        for _ in 0..iterations {
+            let filter = ShardedFilter::new(config.clone(), shards);
+            best_secs = best_secs.min(run_once(&filter, &partitions, reps));
+        }
+        samples.push(Sample {
+            shards,
+            secs: best_secs,
+            pkts_per_sec: total_pkts / best_secs,
+        });
+    }
+
+    let baseline = samples[0].pkts_per_sec;
+    let mut table = TextTable::new(["shards", "secs", "pkts/sec", "speedup vs 1 shard"]);
+    for s in &samples {
+        table.row([
+            s.shards.to_string(),
+            format!("{:.3}", s.secs),
+            format!("{:.0}", s.pkts_per_sec),
+            format!("{:.2}x", s.pkts_per_sec / baseline),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let results = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"shards\": {}, \"secs\": {:.6}, \"pkts_per_sec\": {:.1}, \"speedup\": {:.4}}}",
+                s.shards,
+                s.secs,
+                s.pkts_per_sec,
+                s.pkts_per_sec / baseline
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"shard_scaling\",\n  \"workers\": {},\n  \"cores\": {},\n  \"trace_packets\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        workers,
+        cores,
+        trace.packets.len(),
+        reps,
+        results
+    );
+    std::fs::write("BENCH_shard_scaling.json", json).expect("write BENCH_shard_scaling.json");
+    println!("\nwrote BENCH_shard_scaling.json");
+}

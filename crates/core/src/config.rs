@@ -150,6 +150,16 @@ impl BitmapFilterConfig {
     pub fn memory_bytes(&self) -> usize {
         self.vectors * (1usize << self.vector_bits) / 8
     }
+
+    /// The uplink [`ThroughputMonitor`](crate::ThroughputMonitor) a
+    /// filter built from this configuration measures `P_d` with:
+    /// one-second slots spanning one expiry timer `T_e` (at least one
+    /// slot). Shards of a [`ShardedFilter`](crate::ShardedFilter) share
+    /// a single such monitor so the policy sees the aggregate rate.
+    pub fn uplink_monitor(&self) -> crate::ThroughputMonitor {
+        let slots = (self.expiry_timer().as_secs_f64().ceil() as usize).max(1);
+        crate::ThroughputMonitor::new(TimeDelta::from_secs(1.0), slots)
+    }
 }
 
 /// Builder for [`BitmapFilterConfig`].

@@ -1,0 +1,326 @@
+//! The shared timestamp-driven machinery behind the production filters.
+//!
+//! [`BitmapFilter`](crate::BitmapFilter) and the SPI baseline used to
+//! carry the same loop around their data structures: a tick timer driven
+//! by packet timestamps (bitmap rotation / flow-table purge), a windowed
+//! uplink [`ThroughputMonitor`], the [`DropPolicy`] → `P_d` derivation of
+//! the paper's Equation 1, per-packet drop draws, and
+//! [`FilterObserver`] dispatch. [`FilterEngine`] hoists that loop into
+//! one component both filters are rebuilt on.
+//!
+//! # Deterministic, order-independent drop draws
+//!
+//! Drop decisions are not drawn from a sequential RNG stream; they are a
+//! pure function of `(seed, filter key, packet timestamp, draw index)`
+//! hashed through FNV-1a and a splitmix64 finalizer. Two consequences:
+//!
+//! * replays with the same seed are bit-for-bit reproducible, and
+//! * the draw a packet receives does not depend on how traffic from
+//!   other flows is interleaved around it — which is what lets a
+//!   [`ShardedFilter`](crate::ShardedFilter) partition the five-tuple
+//!   space over N shards and still produce verdicts identical to a
+//!   sequential run with the same seed.
+//!
+//! Statistically the draws remain independent uniform variates per
+//! `(key, timestamp, index)` triple, matching the per-packet
+//! independence the paper's Algorithm 2 assumes.
+
+use crate::hash::{fnv1a, splitmix64};
+use crate::observe::{FilterObserver, InboundDecision, RotationEvent};
+use crate::red::DropPolicy;
+use crate::{ThroughputMonitor, Verdict};
+use std::sync::Arc;
+use upbound_net::{FiveTuple, TimeDelta, Timestamp};
+
+/// Domain separator so drop draws never alias the bitmap's bit indexes,
+/// which are derived from the same FNV-1a base hash.
+const DRAW_DOMAIN: u64 = 0xd509_7cc9_44a5_1a27;
+
+/// Where the engine's uplink measurement lives: owned by this filter, or
+/// shared with sibling shards that together bound one client network.
+#[derive(Debug, Clone)]
+enum Uplink {
+    Local(ThroughputMonitor),
+    Shared(Arc<ThroughputMonitor>),
+}
+
+impl Uplink {
+    fn monitor(&self) -> &ThroughputMonitor {
+        match self {
+            Uplink::Local(m) => m,
+            Uplink::Shared(m) => m,
+        }
+    }
+}
+
+/// The engine loop shared by [`BitmapFilter`](crate::BitmapFilter) and
+/// the SPI baseline: tick scheduling, uplink throughput bookkeeping,
+/// `P_d` derivation, deterministic drop draws, and observer dispatch.
+///
+/// The filter that embeds an engine keeps only its data structure (the
+/// rotating bitmap, the flow table) and passes a closure to
+/// [`advance`](Self::advance) describing what one tick does to it.
+#[derive(Debug, Clone)]
+pub struct FilterEngine<O: FilterObserver> {
+    drop_policy: DropPolicy,
+    seed: u64,
+    tick_every: TimeDelta,
+    next_tick: Timestamp,
+    ticks: u64,
+    uplink: Uplink,
+    observer: O,
+}
+
+impl<O: FilterObserver> FilterEngine<O> {
+    /// Creates an engine ticking every `tick_every`, measuring uplink
+    /// throughput with `monitor`, deriving `P_d` from `drop_policy`, and
+    /// seeding drop draws with `seed`.
+    pub fn new(
+        tick_every: TimeDelta,
+        monitor: ThroughputMonitor,
+        drop_policy: DropPolicy,
+        seed: u64,
+        observer: O,
+    ) -> Self {
+        Self {
+            drop_policy,
+            seed,
+            tick_every,
+            next_tick: Timestamp::ZERO + tick_every,
+            ticks: 0,
+            uplink: Uplink::Local(monitor),
+            observer,
+        }
+    }
+
+    /// Rebinds the uplink measurement to a monitor shared with sibling
+    /// shards, so `P_d` derives from the *aggregate* upload rate of the
+    /// whole client network rather than this shard's slice of it.
+    pub fn share_uplink(&mut self, uplink: Arc<ThroughputMonitor>) {
+        self.uplink = Uplink::Shared(uplink);
+    }
+
+    /// The uplink throughput monitor (owned or shared).
+    pub fn monitor(&self) -> &ThroughputMonitor {
+        self.uplink.monitor()
+    }
+
+    /// The installed observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// The installed observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Ticks performed so far (rotations or purge sweeps).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The drop policy in force.
+    pub fn drop_policy(&self) -> DropPolicy {
+        self.drop_policy
+    }
+
+    /// Records `bytes` of uplink traffic at time `now`.
+    pub fn record_uplink(&self, now: Timestamp, bytes: u64) {
+        self.uplink.monitor().record(now, bytes);
+    }
+
+    /// The drop probability Equation 1 yields for the currently measured
+    /// uplink throughput.
+    pub fn drop_probability(&self, now: Timestamp) -> f64 {
+        self.drop_policy
+            .drop_probability(self.uplink.monitor().rate_bps(now))
+    }
+
+    /// Applies every tick due at or before `now`, calling `on_tick` with
+    /// the tick's scheduled timestamp (the `b.rotate` timer of paper
+    /// Algorithm 1, or the SPI purge sweep), then notifying the observer.
+    pub fn advance(&mut self, now: Timestamp, mut on_tick: impl FnMut(Timestamp)) {
+        while now >= self.next_tick {
+            let at = self.next_tick;
+            on_tick(at);
+            self.ticks += 1;
+            self.next_tick += self.tick_every;
+            // Ticks are rare (once per Δt), so the operating point is
+            // computed eagerly for the observer.
+            let monitor = self.uplink.monitor();
+            let p_d = self.drop_policy.drop_probability(monitor.rate_bps(at));
+            self.observer.on_rotation(&RotationEvent {
+                now: at,
+                rotations: self.ticks,
+                monitor,
+                p_d,
+            });
+        }
+    }
+
+    /// One deterministic drop draw for the packet identified by
+    /// `key_bytes` at time `now`: returns `true` (drop) with probability
+    /// `p_d`, independently per `draw` index.
+    ///
+    /// The draw is a pure function of `(seed, key, now, draw)` — see the
+    /// module docs for why that makes sharded and sequential runs
+    /// verdict-identical.
+    pub fn drop_draw(&self, key_bytes: &[u8], now: Timestamp, draw: u32, p_d: f64) -> bool {
+        if p_d <= 0.0 {
+            return false;
+        }
+        if p_d >= 1.0 {
+            return true;
+        }
+        unit_draw(self.seed, key_bytes, now, draw) < p_d
+    }
+
+    /// Reports an outbound observation to the observer.
+    pub fn notify_outbound(&mut self, tuple: &FiveTuple, now: Timestamp) {
+        self.observer.on_outbound(tuple, now);
+    }
+
+    /// Reports an inbound decision to the observer.
+    pub fn notify_inbound(
+        &mut self,
+        now: Timestamp,
+        verdict: Verdict,
+        p_d: f64,
+        known: bool,
+        drop_draws: usize,
+    ) {
+        self.observer.on_inbound(&InboundDecision {
+            now,
+            verdict,
+            p_d,
+            known,
+            drop_draws,
+            monitor: self.uplink.monitor(),
+        });
+    }
+
+    /// Clears tick phase and the uplink monitor.
+    ///
+    /// Note that with a [shared](Self::share_uplink) uplink this resets
+    /// the aggregate measurement for every sibling shard as well.
+    pub fn reset(&mut self) {
+        self.ticks = 0;
+        self.next_tick = Timestamp::ZERO + self.tick_every;
+        self.uplink.monitor().reset();
+    }
+}
+
+/// Maps `(seed, key, now, draw)` to a uniform variate in `[0, 1)`.
+fn unit_draw(seed: u64, key: &[u8], now: Timestamp, draw: u32) -> f64 {
+    let mut h = fnv1a(seed ^ DRAW_DOMAIN, key);
+    h = splitmix64(h ^ now.as_micros());
+    h = splitmix64(h.wrapping_add(u64::from(draw).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+    // Take the top 53 bits → exactly representable in f64, in [0, 1).
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::NoopObserver;
+
+    fn engine(seed: u64) -> FilterEngine<NoopObserver> {
+        FilterEngine::new(
+            TimeDelta::from_secs(5.0),
+            ThroughputMonitor::new(TimeDelta::from_secs(1.0), 20),
+            DropPolicy::drop_all(),
+            seed,
+            NoopObserver,
+        )
+    }
+
+    #[test]
+    fn advance_catches_up_all_due_ticks() {
+        let mut e = engine(0);
+        let mut fired = Vec::new();
+        e.advance(Timestamp::from_secs(17.0), |at| fired.push(at));
+        assert_eq!(e.ticks(), 3); // at 5, 10, 15 s
+        assert_eq!(
+            fired,
+            vec![
+                Timestamp::from_secs(5.0),
+                Timestamp::from_secs(10.0),
+                Timestamp::from_secs(15.0)
+            ]
+        );
+        e.advance(Timestamp::from_secs(17.0), |_| panic!("no tick due"));
+        assert_eq!(e.ticks(), 3);
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_seed_sensitive() {
+        let a = engine(1);
+        let b = engine(1);
+        let c = engine(2);
+        let now = Timestamp::from_secs(3.0);
+        let mut diverged = false;
+        for i in 0..256u32 {
+            let key = [i as u8, (i >> 8) as u8, 0xaa];
+            assert_eq!(
+                a.drop_draw(&key, now, 0, 0.5),
+                b.drop_draw(&key, now, 0, 0.5)
+            );
+            diverged |= a.drop_draw(&key, now, 0, 0.5) != c.drop_draw(&key, now, 0, 0.5);
+        }
+        assert!(diverged, "seeds 1 and 2 never disagreed over 256 keys");
+    }
+
+    #[test]
+    fn draw_indexes_are_independent() {
+        let e = engine(7);
+        let now = Timestamp::from_secs(1.0);
+        let mut drops = 0usize;
+        let trials = 20_000u32;
+        for i in 0..trials {
+            let key = i.to_le_bytes();
+            if e.drop_draw(&key, now, i % 3, 0.3) {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "draw rate {rate}");
+    }
+
+    #[test]
+    fn pd_edges_shortcut() {
+        let e = engine(0);
+        let now = Timestamp::from_secs(0.0);
+        for i in 0..64u32 {
+            assert!(!e.drop_draw(&i.to_le_bytes(), now, 0, 0.0));
+            assert!(e.drop_draw(&i.to_le_bytes(), now, 0, 1.0));
+        }
+    }
+
+    #[test]
+    fn shared_uplink_feeds_aggregate_rate() {
+        let shared = Arc::new(ThroughputMonitor::new(TimeDelta::from_secs(1.0), 4));
+        let mut a = engine(0);
+        let mut b = engine(0);
+        a.share_uplink(Arc::clone(&shared));
+        b.share_uplink(Arc::clone(&shared));
+        let now = Timestamp::from_secs(0.5);
+        a.record_uplink(now, 1000);
+        b.record_uplink(now, 500);
+        assert_eq!(shared.total_bytes(), 1500);
+        assert_eq!(a.monitor().total_bytes(), 1500);
+        assert!((a.monitor().rate_bps(now) - b.monitor().rate_bps(now)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_tick_phase() {
+        let mut e = engine(0);
+        e.advance(Timestamp::from_secs(12.0), |_| {});
+        assert_eq!(e.ticks(), 2);
+        e.reset();
+        assert_eq!(e.ticks(), 0);
+        let mut fired = 0;
+        e.advance(Timestamp::from_secs(5.0), |_| fired += 1);
+        assert_eq!(fired, 1);
+    }
+}

@@ -1,11 +1,12 @@
 //! The complete bitmap filter: bitmap + timer + throughput-driven `P_d`.
 
-use crate::observe::{FilterObserver, InboundDecision, NoopObserver, RotationEvent};
+use crate::engine::FilterEngine;
+use crate::observe::{FilterObserver, NoopObserver};
+use crate::pfilter::{MergeStats, PacketFilter};
 use crate::{Bitmap, BitmapFilterConfig, DropPolicy, ThroughputMonitor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use upbound_net::{Direction, FiveTuple, Packet, TimeDelta, Timestamp};
+use std::sync::Arc;
+use upbound_net::{Direction, FiveTuple, Packet, Timestamp};
 
 /// The decision of a filter for one packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -33,6 +34,31 @@ pub struct FilterStats {
     pub rotations: u64,
 }
 
+impl FilterStats {
+    /// Folds the counters of `other` into `self`.
+    ///
+    /// Packet counters are additive; `rotations` merges as the
+    /// **maximum**, because the shards of a
+    /// [`ShardedFilter`](crate::ShardedFilter) each advance lazily to
+    /// the last timestamp they saw — the furthest-advanced shard has
+    /// performed exactly the rotations a single sequential filter would
+    /// have.
+    pub fn merge(&mut self, other: &FilterStats) {
+        self.outbound_packets += other.outbound_packets;
+        self.inbound_packets += other.inbound_packets;
+        self.inbound_hits += other.inbound_hits;
+        self.inbound_misses += other.inbound_misses;
+        self.dropped += other.dropped;
+        self.rotations = self.rotations.max(other.rotations);
+    }
+}
+
+impl MergeStats for FilterStats {
+    fn merge(&mut self, other: &Self) {
+        FilterStats::merge(self, other);
+    }
+}
+
 /// The bitmap filter of the paper's Section 4: constant-space,
 /// constant-time bounding of unsolicited inbound (and therefore
 /// peer-to-peer upload) traffic.
@@ -46,25 +72,22 @@ pub struct FilterStats {
 ///
 /// Time is driven by packet timestamps: every entry point first applies
 /// any rotations that came due, so no external timer thread is needed in
-/// simulation. (For live deployments, [`SharedBitmapFilter`] adds a
-/// thread-safe handle; see its docs.)
+/// simulation. For live deployments,
+/// [`ShardedFilter`](crate::ShardedFilter) partitions the five-tuple
+/// space across independently locked shards and merges their statistics;
+/// see its docs.
 ///
 /// The filter is generic over a [`FilterObserver`] called on every
 /// packet decision and rotation. The default [`NoopObserver`]
 /// monomorphizes to nothing, so uninstrumented filters pay no cost;
 /// [`with_observer`](Self::with_observer) installs a real one (e.g.
 /// [`TelemetryObserver`](crate::TelemetryObserver)).
-///
-/// [`SharedBitmapFilter`]: crate::SharedBitmapFilter
 #[derive(Debug, Clone)]
 pub struct BitmapFilter<O: FilterObserver = NoopObserver> {
     config: BitmapFilterConfig,
     bitmap: Bitmap,
-    monitor: ThroughputMonitor,
-    rng: StdRng,
-    next_rotation: Timestamp,
+    engine: FilterEngine<O>,
     stats: FilterStats,
-    observer: O,
 }
 
 impl BitmapFilter {
@@ -79,29 +102,38 @@ impl<O: FilterObserver> BitmapFilter<O> {
     /// `observer`.
     pub fn with_observer(config: BitmapFilterConfig, observer: O) -> Self {
         let bitmap = Bitmap::new(config.vectors, config.vector_bits, config.hash_functions);
-        // Uplink throughput is measured over a window of one expiry
-        // timer, in one-second slots (clamped to at least one slot).
-        let slot = TimeDelta::from_secs(1.0);
-        let slots = (config.expiry_timer().as_secs_f64().ceil() as usize).max(1);
+        let engine = FilterEngine::new(
+            config.rotate_every,
+            config.uplink_monitor(),
+            config.drop_policy,
+            config.rng_seed,
+            observer,
+        );
         Self {
-            rng: StdRng::seed_from_u64(config.rng_seed),
-            next_rotation: Timestamp::ZERO + config.rotate_every,
             bitmap,
-            monitor: ThroughputMonitor::new(slot, slots),
+            engine,
             config,
             stats: FilterStats::default(),
-            observer,
         }
+    }
+
+    /// Rebinds the uplink measurement to a monitor shared with sibling
+    /// shards, so `P_d` derives from the aggregate upload rate of the
+    /// whole client network. Used by
+    /// [`ShardedFilter`](crate::ShardedFilter).
+    pub fn with_shared_uplink(mut self, uplink: Arc<ThroughputMonitor>) -> Self {
+        self.engine.share_uplink(uplink);
+        self
     }
 
     /// The installed observer.
     pub fn observer(&self) -> &O {
-        &self.observer
+        self.engine.observer()
     }
 
     /// The installed observer, mutably.
     pub fn observer_mut(&mut self) -> &mut O {
-        &mut self.observer
+        self.engine.observer_mut()
     }
 
     /// The configuration the filter was built with.
@@ -114,9 +146,10 @@ impl<O: FilterObserver> BitmapFilter<O> {
         &self.bitmap
     }
 
-    /// The uplink throughput monitor.
+    /// The uplink throughput monitor (owned, or shared with sibling
+    /// shards).
     pub fn monitor(&self) -> &ThroughputMonitor {
-        &self.monitor
+        self.engine.monitor()
     }
 
     /// Running counters.
@@ -132,24 +165,16 @@ impl<O: FilterObserver> BitmapFilter<O> {
     /// Applies every rotation due at or before `now` (the `b.rotate`
     /// timer, paper Algorithm 1).
     pub fn advance(&mut self, now: Timestamp) {
-        while now >= self.next_rotation {
-            let at = self.next_rotation;
-            self.bitmap.rotate();
-            self.stats.rotations += 1;
-            self.next_rotation += self.config.rotate_every;
-            // Rotations are rare (once per Δt), so the operating point
-            // is computed eagerly for the observer.
-            let p_d = self
-                .config
-                .drop_policy
-                .drop_probability(self.monitor.rate_bps(at));
-            self.observer.on_rotation(&RotationEvent {
-                now: at,
-                rotations: self.stats.rotations,
-                monitor: &self.monitor,
-                p_d,
-            });
-        }
+        let BitmapFilter {
+            engine,
+            bitmap,
+            stats,
+            ..
+        } = self;
+        engine.advance(now, |_at| {
+            bitmap.rotate();
+            stats.rotations += 1;
+        });
     }
 
     /// Records an outbound packet's tuple: marks its key in all bit
@@ -157,9 +182,9 @@ impl<O: FilterObserver> BitmapFilter<O> {
     pub fn observe_outbound(&mut self, tuple: &FiveTuple, now: Timestamp) {
         self.advance(now);
         self.stats.outbound_packets += 1;
-        let key = tuple.outbound_key(self.config.hole_punching);
+        let key = tuple.outbound_key(self.config.hole_punching());
         self.bitmap.mark(&key.to_bytes());
-        self.observer.on_outbound(tuple, now);
+        self.engine.notify_outbound(tuple, now);
     }
 
     /// Checks an inbound packet's tuple against the current bit vector
@@ -168,11 +193,14 @@ impl<O: FilterObserver> BitmapFilter<O> {
     /// Faithful to Algorithm 2: each of the `m` hashed bits that is
     /// *unmarked* gives an independent chance `p_d` to drop, so the
     /// overall drop probability of a fully unknown key is
-    /// `1 − (1 − p_d)^m`.
+    /// `1 − (1 − p_d)^m`. The draws are deterministic functions of
+    /// `(seed, key, timestamp, draw index)` — see
+    /// [`FilterEngine`](crate::FilterEngine) — so replays and sharded
+    /// runs reproduce exactly.
     pub fn check_inbound(&mut self, tuple: &FiveTuple, now: Timestamp, p_d: f64) -> Verdict {
         self.advance(now);
         self.stats.inbound_packets += 1;
-        let key = tuple.inbound_key(self.config.hole_punching);
+        let key = tuple.inbound_key(self.config.hole_punching());
         let key_bytes = key.to_bytes();
         let known = self.bitmap.lookup(&key_bytes);
         let (verdict, drop_draws) = if known {
@@ -185,8 +213,8 @@ impl<O: FilterObserver> BitmapFilter<O> {
             // drop.
             let unmarked = self.unmarked_bits(&key_bytes);
             let mut verdict = Verdict::Pass;
-            for _ in 0..unmarked {
-                if self.rng.gen::<f64>() < p_d {
+            for draw in 0..unmarked {
+                if self.engine.drop_draw(&key_bytes, now, draw as u32, p_d) {
                     verdict = Verdict::Drop;
                     break;
                 }
@@ -196,14 +224,8 @@ impl<O: FilterObserver> BitmapFilter<O> {
             }
             (verdict, unmarked)
         };
-        self.observer.on_inbound(&InboundDecision {
-            now,
-            verdict,
-            p_d,
-            known,
-            drop_draws,
-            monitor: &self.monitor,
-        });
+        self.engine
+            .notify_inbound(now, verdict, p_d, known, drop_draws);
         verdict
     }
 
@@ -218,9 +240,7 @@ impl<O: FilterObserver> BitmapFilter<O> {
     /// The drop probability Equation 1 yields for the current measured
     /// uplink throughput.
     pub fn drop_probability(&self, now: Timestamp) -> f64 {
-        self.config
-            .drop_policy
-            .drop_probability(self.monitor.rate_bps(now))
+        self.engine.drop_probability(now)
     }
 
     /// Full per-packet pipeline: outbound packets are marked, counted
@@ -231,7 +251,7 @@ impl<O: FilterObserver> BitmapFilter<O> {
         match direction {
             Direction::Outbound => {
                 self.observe_outbound(&packet.tuple(), now);
-                self.monitor.record(now, packet.wire_len() as u64);
+                self.engine.record_uplink(now, packet.wire_len() as u64);
                 Verdict::Pass
             }
             Direction::Inbound => {
@@ -243,16 +263,45 @@ impl<O: FilterObserver> BitmapFilter<O> {
 
     /// The drop policy in force.
     pub fn drop_policy(&self) -> DropPolicy {
-        self.config.drop_policy
+        self.engine.drop_policy()
     }
 
     /// Clears bitmap, monitor, statistics, and timer phase.
+    ///
+    /// With a [shared uplink](Self::with_shared_uplink) this also clears
+    /// the aggregate measurement for every sibling shard.
     pub fn reset(&mut self) {
         self.bitmap.reset();
-        self.monitor.reset();
         self.stats = FilterStats::default();
-        self.next_rotation = Timestamp::ZERO + self.config.rotate_every;
-        self.rng = StdRng::seed_from_u64(self.config.rng_seed);
+        self.engine.reset();
+    }
+}
+
+impl<O: FilterObserver> PacketFilter for BitmapFilter<O> {
+    type Stats = FilterStats;
+
+    fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
+        self.process_packet(packet, direction)
+    }
+
+    fn advance(&mut self, now: Timestamp) {
+        BitmapFilter::advance(self, now);
+    }
+
+    fn stats(&self) -> FilterStats {
+        BitmapFilter::stats(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        BitmapFilter::memory_bytes(self)
+    }
+
+    fn drop_probability(&self, now: Timestamp) -> f64 {
+        BitmapFilter::drop_probability(self, now)
+    }
+
+    fn name(&self) -> &str {
+        "bitmap"
     }
 }
 
@@ -392,6 +441,28 @@ mod tests {
     }
 
     #[test]
+    fn draws_do_not_depend_on_interleaved_flows() {
+        // The same unsolicited packet must get the same verdict whether
+        // or not unrelated flows were checked before it — the property
+        // that makes sharded runs equal sequential runs.
+        let config = || BitmapFilterConfig::builder().rng_seed(11).build().unwrap();
+        let t = Timestamp::from_secs(1.0);
+        let mut alone = BitmapFilter::new(config());
+        let expected: Vec<Verdict> = (0..100u16)
+            .map(|i| alone.check_inbound(&unsolicited(2000 + i), t, 0.5))
+            .collect();
+        let mut interleaved = BitmapFilter::new(config());
+        let got: Vec<Verdict> = (0..100u16)
+            .map(|i| {
+                // Unrelated flow checked in between must not shift draws.
+                interleaved.check_inbound(&unsolicited(30000 + i), t, 0.5);
+                interleaved.check_inbound(&unsolicited(2000 + i), t, 0.5)
+            })
+            .collect();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
     fn hole_punching_admits_other_remote_port() {
         let config = BitmapFilterConfig::builder()
             .hole_punching(true)
@@ -447,5 +518,55 @@ mod tests {
         assert_eq!(s.inbound_hits, 1);
         assert_eq!(s.inbound_misses, 2);
         assert_eq!(s.dropped, 1);
+    }
+
+    #[test]
+    fn merge_sums_packets_and_maxes_rotations() {
+        let mut a = FilterStats {
+            outbound_packets: 10,
+            inbound_packets: 5,
+            inbound_hits: 3,
+            inbound_misses: 2,
+            dropped: 1,
+            rotations: 4,
+        };
+        let b = FilterStats {
+            outbound_packets: 1,
+            inbound_packets: 7,
+            inbound_hits: 4,
+            inbound_misses: 3,
+            dropped: 2,
+            rotations: 2,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            FilterStats {
+                outbound_packets: 11,
+                inbound_packets: 12,
+                inbound_hits: 7,
+                inbound_misses: 5,
+                dropped: 3,
+                rotations: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let s = FilterStats {
+            outbound_packets: 2,
+            inbound_packets: 3,
+            inbound_hits: 1,
+            inbound_misses: 2,
+            dropped: 1,
+            rotations: 9,
+        };
+        let mut merged = s;
+        merged.merge(&FilterStats::default());
+        assert_eq!(merged, s);
+        let mut from_default = FilterStats::default();
+        from_default.merge(&s);
+        assert_eq!(from_default, s);
     }
 }

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 
-fn fnv1a(seed: u64, data: &[u8]) -> u64 {
+pub(crate) fn fnv1a(seed: u64, data: &[u8]) -> u64 {
     let mut h = seed;
     for &b in data {
         h ^= b as u64;
@@ -25,7 +25,7 @@ fn fnv1a(seed: u64, data: &[u8]) -> u64 {
     h
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

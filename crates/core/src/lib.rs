@@ -67,13 +67,15 @@ mod bitmap;
 mod bitvec;
 mod bloom;
 mod config;
+mod engine;
 mod filter;
 mod hash;
 mod multi;
 pub mod observe;
 pub mod params;
+mod pfilter;
 mod red;
-mod shared;
+mod sharded;
 mod throughput;
 
 pub use amortized::{AmortizedBitmap, DEFAULT_CLEAR_CHUNK_WORDS};
@@ -81,14 +83,18 @@ pub use bitmap::Bitmap;
 pub use bitvec::BitVec;
 pub use bloom::BloomFilter;
 pub use config::{BitmapFilterConfig, BitmapFilterConfigBuilder, ConfigError};
+pub use engine::FilterEngine;
 pub use filter::{BitmapFilter, FilterStats, Verdict};
 pub use hash::HashFamily;
 pub use multi::MultiNetworkFilter;
 pub use observe::{
     FilterObserver, InboundDecision, NoopObserver, RotationEvent, TelemetryObserver,
 };
+pub use pfilter::{MergeStats, PacketFilter};
 pub use red::DropPolicy;
-pub use shared::SharedBitmapFilter;
+#[allow(deprecated)]
+pub use sharded::SharedBitmapFilter;
+pub use sharded::{FlowHash, ShardedFilter};
 pub use throughput::ThroughputMonitor;
 
 pub use upbound_net::FilterKey;

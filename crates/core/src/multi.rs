@@ -5,16 +5,23 @@
 //! routers (one client network each) or on core routers that aggregate
 //! "two or more client networks". [`MultiNetworkFilter`] is that core
 //! deployment: it classifies each packet to the client network it
-//! belongs to and drives that network's own [`BitmapFilter`] — so each
-//! network gets its own throughput policy and its own bitmap, and
+//! belongs to and drives that network's own [`PacketFilter`] — so each
+//! network gets its own throughput policy and its own filter state, and
 //! traffic *between* two monitored networks is treated as outbound from
 //! its source network (never dropped, matching the positive-listing
 //! intent).
 
-use crate::{BitmapFilter, BitmapFilterConfig, FilterStats, Verdict};
+use crate::pfilter::{MergeStats, PacketFilter};
+use crate::{BitmapFilter, BitmapFilterConfig, Verdict};
 use upbound_net::{Cidr, Direction, Packet, Timestamp};
 
-/// A bank of per-client-network bitmap filters for an aggregation point.
+/// A bank of per-client-network filters for an aggregation point.
+///
+/// Generic over any [`PacketFilter`]; defaults to the bitmap filter.
+/// Use [`add_network`](Self::add_network) for the common bitmap case or
+/// [`add_network_filter`](Self::add_network_filter) to install any
+/// pre-built filter (an SPI baseline, a
+/// [`ShardedFilter`](crate::ShardedFilter), …).
 ///
 /// # Examples
 ///
@@ -40,23 +47,42 @@ use upbound_net::{Cidr, Direction, Packet, Timestamp};
 /// assert_eq!(bank.process_packet(&pkt), Verdict::Drop);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Default)]
-pub struct MultiNetworkFilter {
-    networks: Vec<(Cidr, BitmapFilter)>,
+#[derive(Debug, Clone)]
+pub struct MultiNetworkFilter<F: PacketFilter = BitmapFilter> {
+    networks: Vec<(Cidr, F)>,
 }
 
-impl MultiNetworkFilter {
+impl<F: PacketFilter> Default for MultiNetworkFilter<F> {
+    fn default() -> Self {
+        Self {
+            networks: Vec::new(),
+        }
+    }
+}
+
+impl MultiNetworkFilter<BitmapFilter> {
+    /// Registers a client network with its own bitmap-filter
+    /// configuration.
+    ///
+    /// Networks are matched in registration order; register more-specific
+    /// prefixes first if they overlap.
+    pub fn add_network(&mut self, network: Cidr, config: BitmapFilterConfig) -> &mut Self {
+        self.add_network_filter(network, BitmapFilter::new(config))
+    }
+}
+
+impl<F: PacketFilter> MultiNetworkFilter<F> {
     /// Creates an empty bank.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Registers a client network with its own filter configuration.
+    /// Registers a client network served by a pre-built filter.
     ///
     /// Networks are matched in registration order; register more-specific
     /// prefixes first if they overlap.
-    pub fn add_network(&mut self, network: Cidr, config: BitmapFilterConfig) -> &mut Self {
-        self.networks.push((network, BitmapFilter::new(config)));
+    pub fn add_network_filter(&mut self, network: Cidr, filter: F) -> &mut Self {
+        self.networks.push((network, filter));
         self
     }
 
@@ -87,9 +113,7 @@ impl MultiNetworkFilter {
     pub fn process_packet(&mut self, packet: &Packet) -> Verdict {
         let tuple = packet.tuple();
         if let Some(i) = self.network_of(*tuple.src().ip()) {
-            let verdict = self.networks[i]
-                .1
-                .process_packet(packet, Direction::Outbound);
+            let verdict = self.networks[i].1.decide(packet, Direction::Outbound);
             // If the destination is also monitored, let its filter learn
             // nothing (the packet is inbound there) but never drop
             // intra-ISP traffic that a client initiated.
@@ -97,14 +121,12 @@ impl MultiNetworkFilter {
             return verdict;
         }
         if let Some(i) = self.network_of(*tuple.dst().ip()) {
-            return self.networks[i]
-                .1
-                .process_packet(packet, Direction::Inbound);
+            return self.networks[i].1.decide(packet, Direction::Inbound);
         }
         Verdict::Pass // transit
     }
 
-    /// Applies due rotations on every member filter.
+    /// Applies due timer events on every member filter.
     pub fn advance(&mut self, now: Timestamp) {
         for (_, filter) in &mut self.networks {
             filter.advance(now);
@@ -112,14 +134,24 @@ impl MultiNetworkFilter {
     }
 
     /// Per-network statistics, in registration order.
-    pub fn stats(&self) -> Vec<(Cidr, FilterStats)> {
+    pub fn stats(&self) -> Vec<(Cidr, F::Stats)> {
         self.networks
             .iter()
             .map(|(net, f)| (*net, f.stats()))
             .collect()
     }
 
-    /// Total bitmap memory across all networks.
+    /// All member statistics folded into one aggregate (see
+    /// [`MergeStats::merge`] for the fold semantics).
+    pub fn merged_stats(&self) -> F::Stats {
+        let mut merged = F::Stats::default();
+        for (_, f) in &self.networks {
+            merged.merge(&f.stats());
+        }
+        merged
+    }
+
+    /// Total filter memory across all networks.
     pub fn memory_bytes(&self) -> usize {
         self.networks.iter().map(|(_, f)| f.memory_bytes()).sum()
     }
@@ -203,6 +235,10 @@ mod tests {
         assert_eq!(bank.memory_bytes(), 2 * 512 * 1024);
         assert_eq!(bank.len(), 2);
         assert!(!bank.is_empty());
+        // The fold view agrees with the per-network view.
+        let merged = bank.merged_stats();
+        assert_eq!(merged.outbound_packets, 1);
+        assert_eq!(merged.inbound_packets, 1);
     }
 
     #[test]
@@ -216,11 +252,27 @@ mod tests {
 
     #[test]
     fn empty_bank_passes_everything() {
-        let mut bank = MultiNetworkFilter::new();
+        let mut bank: MultiNetworkFilter = MultiNetworkFilter::new();
         assert!(bank.is_empty());
         assert_eq!(
             bank.process_packet(&pkt("1.2.3.4:1", "5.6.7.8:2", 0.0)),
             Verdict::Pass
         );
+    }
+
+    #[test]
+    fn bank_accepts_sharded_members() {
+        use crate::ShardedFilter;
+        let mut bank: MultiNetworkFilter<ShardedFilter> = MultiNetworkFilter::new();
+        bank.add_network_filter(
+            "10.1.0.0/16".parse().unwrap(),
+            ShardedFilter::new(BitmapFilterConfig::paper_evaluation(), 2),
+        );
+        bank.process_packet(&pkt("10.1.0.5:4000", "198.51.100.9:80", 1.0));
+        assert_eq!(
+            bank.process_packet(&pkt("198.51.100.9:80", "10.1.0.5:4000", 1.1)),
+            Verdict::Pass
+        );
+        assert_eq!(bank.merged_stats().outbound_packets, 1);
     }
 }

@@ -1,0 +1,58 @@
+//! The packet-filter abstraction every deployment surface drives.
+//!
+//! Hoisted out of the simulator so the replay engine, the sharded
+//! concurrent engine, the CLI, benches, and examples all program against
+//! one interface instead of special-casing `BitmapFilter` vs the SPI
+//! baseline.
+
+use crate::Verdict;
+use upbound_net::{Direction, Packet, Timestamp};
+
+/// Aggregate counters that can be folded across filter instances.
+///
+/// Needed wherever several filters jointly cover one client network:
+/// the shards of a [`ShardedFilter`](crate::ShardedFilter) and the
+/// per-network entries of a
+/// [`MultiNetworkFilter`](crate::MultiNetworkFilter).
+pub trait MergeStats: Default + Clone {
+    /// Folds `other`'s counters into `self`.
+    ///
+    /// Packet counters are additive. Timer counters (bitmap rotations,
+    /// SPI purge sweeps) merge as the **maximum**: sibling shards each
+    /// advance lazily to the last timestamp they saw, so the
+    /// furthest-advanced shard has performed exactly the ticks one
+    /// sequential filter would have.
+    fn merge(&mut self, other: &Self);
+}
+
+/// Anything that can decide, packet by packet, whether traffic crossing
+/// the client-network edge passes or drops.
+///
+/// Implementations must treat [`decide`](Self::decide) as the full
+/// per-packet pipeline: learn from outbound packets, measure uplink
+/// throughput, and judge inbound packets. Callers invoke it exactly once
+/// per packet, in timestamp order.
+pub trait PacketFilter {
+    /// The aggregate-counter type this filter reports.
+    type Stats: MergeStats;
+
+    /// Decides the fate of one packet.
+    fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict;
+
+    /// Applies every timer event (rotation, purge sweep) due at or
+    /// before `now` without processing a packet.
+    fn advance(&mut self, now: Timestamp);
+
+    /// A snapshot of the running counters.
+    fn stats(&self) -> Self::Stats;
+
+    /// Memory footprint of the filter state in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// The drop probability the filter's policy yields for its currently
+    /// measured uplink throughput.
+    fn drop_probability(&self, now: Timestamp) -> f64;
+
+    /// A short display name for reports.
+    fn name(&self) -> &str;
+}

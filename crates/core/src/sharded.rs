@@ -1,0 +1,478 @@
+//! Flow-hash sharding: the concurrent deployment surface.
+//!
+//! The paper's filter does O(1) work per packet, but a single filter
+//! behind a single lock serializes every packet and caps throughput at
+//! one core. [`ShardedFilter`] partitions the five-tuple space by a
+//! direction-symmetric [`FlowHash`] across N independently locked
+//! shards, so NIC-queue workers that partition packets the same way
+//! almost never contend.
+//!
+//! Three invariants make the sharded filter behave exactly like one big
+//! sequential filter:
+//!
+//! * **Flow-hash symmetry** — the outbound mark and the inbound lookup
+//!   of the same connection hash to the same shard, because
+//!   [`FlowHash::key`] hashes the direction-oriented [`FilterKey`]
+//!   (`outbound_key` for outbound, `inbound_key` for inbound), and those
+//!   are equal for one connection by construction.
+//! * **Global `P_d`** — every shard's engine reads one shared
+//!   [`ThroughputMonitor`], so the drop probability derives from the
+//!   *total* upload rate of the client network, not a shard's slice.
+//! * **Deterministic draws** — drop draws are a pure function of
+//!   `(seed, key, timestamp, draw index)`; all shards use the same
+//!   configured seed, so a packet draws identically no matter which
+//!   shard (or a sequential filter) decides it.
+//!
+//! [`FilterKey`]: upbound_net::FilterKey
+
+use crate::hash::{fnv1a, splitmix64};
+use crate::pfilter::{MergeStats, PacketFilter};
+use crate::{BitmapFilter, BitmapFilterConfig, ThroughputMonitor, Verdict};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+use upbound_net::{Direction, FiveTuple, Packet, Timestamp};
+
+/// Seed for the shard-selection hash; fixed and independent of the
+/// filter's draw seed so shard placement never correlates with drop
+/// draws.
+const FLOW_SEED: u64 = 0x51ab_efc1_37d4_90e3;
+
+/// The direction-symmetric flow hash that assigns packets to shards.
+///
+/// Both directions of one connection map to the same 64-bit key, so an
+/// outbound mark and the inbound lookup for its response always land on
+/// the same shard. With hole punching the remote port is omitted (as in
+/// the filter keys themselves), keeping hole-punched admits on the shard
+/// that holds the mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowHash {
+    hole_punching: bool,
+}
+
+impl FlowHash {
+    /// A flow hash matching the given hole-punching key derivation.
+    pub fn new(hole_punching: bool) -> Self {
+        Self { hole_punching }
+    }
+
+    /// A flow hash over exact five-tuples (no hole punching) — the
+    /// right choice for SPI-style filters that track full tuples.
+    pub fn exact() -> Self {
+        Self::new(false)
+    }
+
+    /// Whether the hash omits the remote port.
+    pub fn hole_punching(&self) -> bool {
+        self.hole_punching
+    }
+
+    /// The 64-bit flow key of `tuple` seen from `direction`; equal for
+    /// both directions of one connection.
+    pub fn key(&self, tuple: &FiveTuple, direction: Direction) -> u64 {
+        let key = match direction {
+            Direction::Outbound => tuple.outbound_key(self.hole_punching),
+            Direction::Inbound => tuple.inbound_key(self.hole_punching),
+        };
+        splitmix64(fnv1a(FLOW_SEED, &key.to_bytes()))
+    }
+}
+
+struct Inner<F> {
+    shards: Vec<Mutex<F>>,
+    flow: FlowHash,
+    uplink: Arc<ThroughputMonitor>,
+    name: String,
+}
+
+/// N independently locked filter shards jointly bounding one client
+/// network — the replacement for the old single-lock shared filter,
+/// which survives as the `N = 1` degenerate case.
+///
+/// The handle is `Clone + Send + Sync`; clones share the same shards, so
+/// one handle per worker thread is the intended deployment shape.
+/// Packets are routed by [`FlowHash`], statistics merge via
+/// [`MergeStats`], and `P_d` derives from the shared aggregate uplink
+/// monitor (see DESIGN.md's "Sharding model" section for why verdicts
+/// match a sequential run exactly).
+///
+/// # Examples
+///
+/// ```
+/// use upbound_core::{BitmapFilterConfig, ShardedFilter, Verdict};
+/// use upbound_net::{Direction, FiveTuple, Protocol, Timestamp};
+///
+/// let filter = ShardedFilter::new(BitmapFilterConfig::paper_evaluation(), 4);
+/// let conn = FiveTuple::new(
+///     Protocol::Tcp,
+///     "10.0.0.7:51000".parse()?,
+///     "203.0.113.4:6881".parse()?,
+/// );
+/// // Mark and lookup land on the same shard by flow-hash symmetry.
+/// assert_eq!(
+///     filter.shard_of(&conn, Direction::Outbound),
+///     filter.shard_of(&conn.inverse(), Direction::Inbound),
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ShardedFilter<F: PacketFilter + Send = BitmapFilter> {
+    inner: Arc<Inner<F>>,
+}
+
+impl<F: PacketFilter + Send> Clone for ShardedFilter<F> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<F: PacketFilter + Send> fmt::Debug for ShardedFilter<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedFilter")
+            .field("name", &self.inner.name)
+            .field("shards", &self.inner.shards.len())
+            .finish()
+    }
+}
+
+impl ShardedFilter<BitmapFilter> {
+    /// Creates `shards` bitmap-filter shards from one configuration, all
+    /// sharing a single aggregate uplink monitor and the configured draw
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(config: BitmapFilterConfig, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let uplink = Arc::new(config.uplink_monitor());
+        let flow = FlowHash::new(config.hole_punching());
+        let filters = (0..shards)
+            .map(|_| BitmapFilter::new(config.clone()).with_shared_uplink(Arc::clone(&uplink)))
+            .collect();
+        Self::from_shards(flow, uplink, filters)
+    }
+}
+
+impl<F: PacketFilter + Send> ShardedFilter<F> {
+    /// Assembles a sharded filter from pre-built shards.
+    ///
+    /// Every shard should already measure uplink throughput through
+    /// `uplink` (e.g. via `BitmapFilter::with_shared_uplink`) so the
+    /// drop policy sees the aggregate rate, and all shards should use
+    /// the same draw seed so verdicts match a sequential run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `filters` is empty.
+    pub fn from_shards(flow: FlowHash, uplink: Arc<ThroughputMonitor>, filters: Vec<F>) -> Self {
+        assert!(!filters.is_empty(), "need at least one shard");
+        let name = format!("sharded-{}x{}", filters[0].name(), filters.len());
+        Self {
+            inner: Arc::new(Inner {
+                shards: filters.into_iter().map(Mutex::new).collect(),
+                flow,
+                uplink,
+                name,
+            }),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The flow hash used for shard assignment.
+    pub fn flow_hash(&self) -> FlowHash {
+        self.inner.flow
+    }
+
+    /// The shared aggregate uplink monitor.
+    pub fn uplink(&self) -> &Arc<ThroughputMonitor> {
+        &self.inner.uplink
+    }
+
+    /// The shard index `tuple` maps to when seen from `direction`.
+    pub fn shard_of(&self, tuple: &FiveTuple, direction: Direction) -> usize {
+        (self.inner.flow.key(tuple, direction) % self.inner.shards.len() as u64) as usize
+    }
+
+    /// Runs the full per-packet pipeline on the packet's shard, locking
+    /// only that shard.
+    pub fn process_packet(&self, packet: &Packet, direction: Direction) -> Verdict {
+        let shard = self.shard_of(&packet.tuple(), direction);
+        self.inner.shards[shard].lock().decide(packet, direction)
+    }
+
+    /// Applies every timer event due at or before `now` on **all**
+    /// shards, bringing them to a common tick phase (e.g. before reading
+    /// [`stats`](Self::stats) at a trace boundary).
+    pub fn advance(&self, now: Timestamp) {
+        for shard in &self.inner.shards {
+            shard.lock().advance(now);
+        }
+    }
+
+    /// Merged statistics across all shards (see [`MergeStats::merge`]
+    /// for the fold semantics).
+    pub fn stats(&self) -> F::Stats {
+        let mut merged = F::Stats::default();
+        for shard in &self.inner.shards {
+            merged.merge(&shard.lock().stats());
+        }
+        merged
+    }
+
+    /// Total memory of all shards' filter state in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().memory_bytes())
+            .sum()
+    }
+
+    /// The drop probability derived from the shared aggregate uplink
+    /// rate — identical for every shard by construction.
+    pub fn drop_probability(&self, now: Timestamp) -> f64 {
+        self.inner.shards[0].lock().drop_probability(now)
+    }
+
+    /// Runs `f` with exclusive access to shard `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.shards()`.
+    pub fn with_shard<R>(&self, index: usize, f: impl FnOnce(&mut F) -> R) -> R {
+        f(&mut self.inner.shards[index].lock())
+    }
+
+    /// A short display name for reports.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+}
+
+impl<F: PacketFilter + Send> PacketFilter for ShardedFilter<F> {
+    type Stats = F::Stats;
+
+    fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
+        ShardedFilter::process_packet(self, packet, direction)
+    }
+
+    fn advance(&mut self, now: Timestamp) {
+        ShardedFilter::advance(self, now);
+    }
+
+    fn stats(&self) -> F::Stats {
+        ShardedFilter::stats(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        ShardedFilter::memory_bytes(self)
+    }
+
+    fn drop_probability(&self, now: Timestamp) -> f64 {
+        ShardedFilter::drop_probability(self, now)
+    }
+
+    fn name(&self) -> &str {
+        ShardedFilter::name(self)
+    }
+}
+
+/// The old single-lock shared filter, now the `N = 1` degenerate case of
+/// the sharded engine.
+#[deprecated(note = "use `ShardedFilter` (this alias is its N = 1 degenerate case)")]
+pub type SharedBitmapFilter = ShardedFilter<BitmapFilter>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FilterStats;
+    use upbound_net::{Protocol, TcpFlags};
+
+    fn handle(shards: usize) -> ShardedFilter {
+        ShardedFilter::new(BitmapFilterConfig::paper_evaluation(), shards)
+    }
+
+    fn out_tuple(port: u16) -> FiveTuple {
+        FiveTuple::new(
+            Protocol::Tcp,
+            format!("10.0.0.5:{port}").parse().unwrap(),
+            "203.0.113.9:80".parse().unwrap(),
+        )
+    }
+
+    fn outbound_packet(port: u16, t: f64) -> Packet {
+        Packet::tcp(
+            Timestamp::from_secs(t),
+            out_tuple(port),
+            TcpFlags::ACK,
+            &[][..],
+        )
+    }
+
+    #[test]
+    fn handle_is_send_sync_clone() {
+        fn assert_traits<T: Send + Sync + Clone>() {}
+        assert_traits::<ShardedFilter>();
+    }
+
+    #[test]
+    fn both_directions_map_to_the_same_shard() {
+        let f = handle(7);
+        for port in 1024..1224u16 {
+            let conn = out_tuple(port);
+            assert_eq!(
+                f.shard_of(&conn, Direction::Outbound),
+                f.shard_of(&conn.inverse(), Direction::Inbound),
+                "asymmetric shard for port {port}"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_are_used_roughly_evenly() {
+        let f = handle(4);
+        let mut counts = [0usize; 4];
+        for port in 1024..5024u16 {
+            counts[f.shard_of(&out_tuple(port), Direction::Outbound)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..=1300).contains(&c), "shard {i} got {c} of 4000 flows");
+        }
+    }
+
+    #[test]
+    fn concurrent_marks_are_all_visible() {
+        let f = handle(4);
+        std::thread::scope(|scope| {
+            for worker in 0..4u16 {
+                let f = f.clone();
+                scope.spawn(move || {
+                    for i in 0..100u16 {
+                        let port = 10_000 + worker * 1000 + i;
+                        f.process_packet(&outbound_packet(port, 1.0), Direction::Outbound);
+                    }
+                });
+            }
+        });
+        // Every response is recognized afterwards.
+        for worker in 0..4u16 {
+            for i in 0..100u16 {
+                let port = 10_000 + worker * 1000 + i;
+                let resp = Packet::tcp(
+                    Timestamp::from_secs(1.5),
+                    out_tuple(port).inverse(),
+                    TcpFlags::ACK,
+                    &[][..],
+                );
+                assert_eq!(f.process_packet(&resp, Direction::Inbound), Verdict::Pass);
+            }
+        }
+        let stats = f.stats();
+        assert_eq!(stats.outbound_packets, 400);
+        assert_eq!(stats.inbound_hits, 400);
+    }
+
+    #[test]
+    fn timer_thread_pattern_rotates_all_shards() {
+        let f = handle(3);
+        let ticker = f.clone();
+        let t = std::thread::spawn(move || {
+            ticker.advance(Timestamp::from_secs(17.0));
+        });
+        t.join().unwrap();
+        // Every shard rotated 3 times (5, 10, 15 s) → max-merge is 3.
+        assert_eq!(f.stats().rotations, 3);
+        for i in 0..3 {
+            assert_eq!(f.with_shard(i, |s| s.stats().rotations), 3);
+        }
+    }
+
+    #[test]
+    fn with_shard_gives_exclusive_access() {
+        let f = handle(2);
+        let bytes = f.with_shard(0, |s| s.memory_bytes());
+        assert_eq!(bytes, 512 * 1024);
+        assert_eq!(f.memory_bytes(), 2 * 512 * 1024);
+    }
+
+    #[test]
+    fn shared_uplink_drives_global_drop_probability() {
+        use crate::DropPolicy;
+        let config = BitmapFilterConfig::builder()
+            .drop_policy(DropPolicy::new(1_000.0, 10_000.0).unwrap())
+            .build()
+            .unwrap();
+        let f = ShardedFilter::new(config, 4);
+        // Spread outbound load across many flows → many shards. Each
+        // shard alone would sit below H, but the aggregate saturates.
+        for port in 0..200u16 {
+            let pkt = Packet::tcp(
+                Timestamp::from_secs(1.0),
+                out_tuple(10_000 + port),
+                TcpFlags::ACK,
+                vec![0u8; 1000],
+            );
+            f.process_packet(&pkt, Direction::Outbound);
+        }
+        let now = Timestamp::from_secs(2.0);
+        assert!(
+            f.drop_probability(now) > 0.99,
+            "aggregate rate must saturate the policy"
+        );
+        // And every shard reports the identical global value.
+        for i in 0..4 {
+            let p = f.with_shard(i, |s| s.drop_probability(now));
+            assert!((p - f.drop_probability(now)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merged_stats_equal_sequential_filter() {
+        let config = BitmapFilterConfig::paper_evaluation();
+        let mut seq = BitmapFilter::new(config.clone());
+        let sharded = handle(4);
+        let mut packets = Vec::new();
+        for i in 0..300u16 {
+            packets.push((
+                outbound_packet(1024 + i, 0.5 + i as f64 * 0.01),
+                Direction::Outbound,
+            ));
+        }
+        for i in 0..300u16 {
+            let tuple = out_tuple(1024 + i).inverse();
+            packets.push((
+                Packet::tcp(
+                    Timestamp::from_secs(4.0 + i as f64 * 0.01),
+                    tuple,
+                    TcpFlags::ACK,
+                    &[][..],
+                ),
+                Direction::Inbound,
+            ));
+        }
+        let mut seq_verdicts = Vec::new();
+        let mut sharded_verdicts = Vec::new();
+        for (pkt, dir) in &packets {
+            seq_verdicts.push(seq.process_packet(pkt, *dir));
+            sharded_verdicts.push(sharded.process_packet(pkt, *dir));
+        }
+        assert_eq!(seq_verdicts, sharded_verdicts);
+        let last = packets.last().unwrap().0.ts();
+        seq.advance(last);
+        sharded.advance(last);
+        let merged: FilterStats = sharded.stats();
+        assert_eq!(merged, seq.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedFilter::new(BitmapFilterConfig::paper_evaluation(), 0);
+    }
+}

@@ -1,7 +1,10 @@
 //! Windowed uplink-throughput measurement.
 
-use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use upbound_net::{TimeDelta, Timestamp};
+
+/// Sentinel slot id for "never written".
+const EMPTY_SLOT: u64 = u64::MAX;
 
 /// Measures throughput over a sliding window of fixed-width slots.
 ///
@@ -11,26 +14,64 @@ use upbound_net::{TimeDelta, Timestamp};
 /// recorded per slot; the rate is the byte total over the most recent
 /// full slots divided by the window span. Storage is O(#slots).
 ///
+/// The counters are interior-mutable atomics, so one monitor can be
+/// shared (behind an [`Arc`](std::sync::Arc)) by the shards of a
+/// [`ShardedFilter`](crate::ShardedFilter) to measure the *aggregate*
+/// uplink rate of a client network. Single-threaded use is exact; under
+/// concurrent recording, a slot that is being recycled may briefly
+/// absorb or shed a racing record, which is acceptable for a windowed
+/// rate estimate.
+///
 /// # Examples
 ///
 /// ```
 /// use upbound_core::ThroughputMonitor;
 /// use upbound_net::{TimeDelta, Timestamp};
 ///
-/// let mut mon = ThroughputMonitor::new(TimeDelta::from_secs(1.0), 4);
+/// let mon = ThroughputMonitor::new(TimeDelta::from_secs(1.0), 4);
 /// mon.record(Timestamp::from_secs(0.5), 125_000); // 1 Mbit in slot 0
 /// let rate = mon.rate_bps(Timestamp::from_secs(1.5));
 /// assert!(rate > 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct ThroughputMonitor {
     slot_width: TimeDelta,
-    /// Ring of byte counters; `slots[i]` holds bytes of absolute slot
-    /// number `slot_base + offset` — tracked via `slot_of` modular index.
-    slots: Vec<u64>,
+    /// Ring of byte counters; `slots[i]` holds bytes of the absolute
+    /// slot number currently stored in `slot_ids[i]`.
+    slots: Vec<AtomicU64>,
     /// Absolute slot number each ring entry currently represents.
-    slot_ids: Vec<u64>,
-    total_bytes: u64,
+    slot_ids: Vec<AtomicU64>,
+    total_bytes: AtomicU64,
+}
+
+impl Clone for ThroughputMonitor {
+    fn clone(&self) -> Self {
+        Self {
+            slot_width: self.slot_width,
+            slots: self
+                .slots
+                .iter()
+                .map(|s| AtomicU64::new(s.load(Ordering::Relaxed)))
+                .collect(),
+            slot_ids: self
+                .slot_ids
+                .iter()
+                .map(|s| AtomicU64::new(s.load(Ordering::Relaxed)))
+                .collect(),
+            total_bytes: AtomicU64::new(self.total_bytes.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for ThroughputMonitor {
+    fn eq(&self, other: &Self) -> bool {
+        let load =
+            |v: &[AtomicU64]| -> Vec<u64> { v.iter().map(|s| s.load(Ordering::Relaxed)).collect() };
+        self.slot_width == other.slot_width
+            && load(&self.slots) == load(&other.slots)
+            && load(&self.slot_ids) == load(&other.slot_ids)
+            && self.total_bytes.load(Ordering::Relaxed) == other.total_bytes.load(Ordering::Relaxed)
+    }
 }
 
 impl ThroughputMonitor {
@@ -44,9 +85,9 @@ impl ThroughputMonitor {
         assert!(n_slots > 0, "need at least one slot");
         Self {
             slot_width,
-            slots: vec![0; n_slots],
-            slot_ids: vec![u64::MAX; n_slots],
-            total_bytes: 0,
+            slots: (0..n_slots).map(|_| AtomicU64::new(0)).collect(),
+            slot_ids: (0..n_slots).map(|_| AtomicU64::new(EMPTY_SLOT)).collect(),
+            total_bytes: AtomicU64::new(0),
         }
     }
 
@@ -55,15 +96,20 @@ impl ThroughputMonitor {
     }
 
     /// Records `bytes` sent at time `ts`.
-    pub fn record(&mut self, ts: Timestamp, bytes: u64) {
+    pub fn record(&self, ts: Timestamp, bytes: u64) {
         let slot = self.slot_number(ts);
         let idx = (slot % self.slots.len() as u64) as usize;
-        if self.slot_ids[idx] != slot {
-            self.slot_ids[idx] = slot;
-            self.slots[idx] = 0;
+        let id = self.slot_ids[idx].load(Ordering::Acquire);
+        if id != slot
+            && self.slot_ids[idx]
+                .compare_exchange(id, slot, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            // This thread won the recycling race: clear the stale count.
+            self.slots[idx].store(0, Ordering::Release);
         }
-        self.slots[idx] += bytes;
-        self.total_bytes += bytes;
+        self.slots[idx].fetch_add(bytes, Ordering::AcqRel);
+        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// The measured throughput in bits per second at time `now`: the sum
@@ -76,8 +122,11 @@ impl ThroughputMonitor {
             .slot_ids
             .iter()
             .zip(&self.slots)
-            .filter(|(&id, _)| id != u64::MAX && id + n > current && id <= current)
-            .map(|(_, &b)| b)
+            .filter(|(id, _)| {
+                let id = id.load(Ordering::Acquire);
+                id != EMPTY_SLOT && id + n > current && id <= current
+            })
+            .map(|(_, b)| b.load(Ordering::Acquire))
             .sum();
         let window_secs = self.slot_width.as_secs_f64() * self.slots.len() as f64;
         (window_bytes as f64 * 8.0) / window_secs
@@ -85,7 +134,7 @@ impl ThroughputMonitor {
 
     /// Total bytes ever recorded.
     pub fn total_bytes(&self) -> u64 {
-        self.total_bytes
+        self.total_bytes.load(Ordering::Relaxed)
     }
 
     /// The window span covered by the monitor.
@@ -94,10 +143,14 @@ impl ThroughputMonitor {
     }
 
     /// Clears all recorded history.
-    pub fn reset(&mut self) {
-        self.slots.fill(0);
-        self.slot_ids.fill(u64::MAX);
-        self.total_bytes = 0;
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            slot.store(0, Ordering::Release);
+        }
+        for id in &self.slot_ids {
+            id.store(EMPTY_SLOT, Ordering::Release);
+        }
+        self.total_bytes.store(0, Ordering::Release);
     }
 }
 
@@ -111,7 +164,7 @@ mod tests {
 
     #[test]
     fn rate_reflects_recent_bytes() {
-        let mut m = monitor();
+        let m = monitor();
         // 4 Mbit spread over the window → 1 Mbps over 4 s.
         for s in 0..4 {
             m.record(Timestamp::from_secs(s as f64 + 0.5), 125_000);
@@ -122,7 +175,7 @@ mod tests {
 
     #[test]
     fn old_slots_age_out() {
-        let mut m = monitor();
+        let m = monitor();
         m.record(Timestamp::from_secs(0.5), 1_000_000);
         // Much later, the burst has left the window entirely.
         assert_eq!(m.rate_bps(Timestamp::from_secs(100.0)), 0.0);
@@ -130,7 +183,7 @@ mod tests {
 
     #[test]
     fn slot_reuse_overwrites_stale_counts() {
-        let mut m = monitor();
+        let m = monitor();
         m.record(Timestamp::from_secs(0.5), 1000);
         // Slot index 0 is reused at t≈4–5 s; stale data must not leak.
         m.record(Timestamp::from_secs(4.5), 500);
@@ -148,7 +201,7 @@ mod tests {
 
     #[test]
     fn total_bytes_accumulates() {
-        let mut m = monitor();
+        let m = monitor();
         m.record(Timestamp::from_secs(0.0), 100);
         m.record(Timestamp::from_secs(9.0), 200);
         assert_eq!(m.total_bytes(), 300);
@@ -161,11 +214,42 @@ mod tests {
 
     #[test]
     fn reset_clears_state() {
-        let mut m = monitor();
+        let m = monitor();
         m.record(Timestamp::from_secs(0.5), 1000);
         m.reset();
         assert_eq!(m.rate_bps(Timestamp::from_secs(0.6)), 0.0);
         assert_eq!(m.total_bytes(), 0);
+    }
+
+    #[test]
+    fn clone_snapshots_state() {
+        let m = monitor();
+        m.record(Timestamp::from_secs(0.5), 1000);
+        let snap = m.clone();
+        assert_eq!(snap, m);
+        m.record(Timestamp::from_secs(0.6), 1000);
+        assert_ne!(snap, m);
+        assert_eq!(snap.total_bytes(), 1000);
+    }
+
+    #[test]
+    fn shared_monitor_aggregates_across_threads() {
+        use std::sync::Arc;
+        let m = Arc::new(ThroughputMonitor::new(TimeDelta::from_secs(1.0), 8));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        m.record(Timestamp::from_secs((i % 4) as f64 + 0.1), 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.total_bytes(), 4 * 1000 * 10);
+        // All records landed in slots 0..4, still inside the window.
+        let rate = m.rate_bps(Timestamp::from_secs(4.0));
+        assert!((rate - (40_000.0 * 8.0 / 8.0)).abs() < 1e-6, "rate {rate}");
     }
 
     #[test]

@@ -91,7 +91,7 @@ proptest! {
         events in proptest::collection::vec((0u64..60_000_000, 0u64..100_000), 0..100),
         probe_us in 0u64..90_000_000,
     ) {
-        let mut mon = ThroughputMonitor::new(TimeDelta::from_secs(1.0), 10);
+        let mon = ThroughputMonitor::new(TimeDelta::from_secs(1.0), 10);
         let mut total = 0u64;
         for (us, bytes) in events {
             mon.record(Timestamp::from_micros(us), bytes);

@@ -4,7 +4,8 @@
 //! * [`PacketFilter`] — the common interface the [`BitmapFilter`] and the
 //!   [`SpiFilter`] baseline are driven through (plus [`OracleFilter`], an
 //!   exact infinite-memory reference used for false-positive/negative
-//!   scoring).
+//!   scoring). The trait itself now lives in `upbound_core` and is
+//!   re-exported here for compatibility.
 //! * [`ReplayEngine`] — replays a labeled packet stream through a filter,
 //!   maintaining the paper's blocked-connection store ("when an inbound
 //!   packet is decided to be dropped …, the socket pair σ of that packet
@@ -19,7 +20,9 @@
 //!   sweeps (ablations).
 //! * [`pipeline`] — a deployment-shaped three-stage threaded pipeline
 //!   (ingest → filter → account) over bounded crossbeam channels, with
-//!   verdicts proven identical to a sequential run.
+//!   verdicts proven identical to a sequential run; [`run_sharded_pipeline`]
+//!   scales the filter stage out to one worker per shard of a
+//!   [`ShardedFilter`](upbound_core::ShardedFilter).
 //!
 //! [`BitmapFilter`]: upbound_core::BitmapFilter
 //! [`SpiFilter`]: upbound_spi::SpiFilter
@@ -55,8 +58,9 @@ pub mod sweep;
 
 pub use compare::{compare, ComparisonResult};
 pub use oracle::OracleFilter;
-pub use pfilter::PacketFilter;
+pub use pfilter::{MergeStats, PacketFilter};
 pub use pipeline::{
-    run_pipeline, run_pipeline_instrumented, PipelineConfig, PipelineResult, PipelineTelemetry,
+    run_pipeline, run_pipeline_instrumented, run_sharded_pipeline, PipelineConfig, PipelineResult,
+    PipelineTelemetry,
 };
 pub use replay::{ReplayConfig, ReplayEngine, ReplayResult};

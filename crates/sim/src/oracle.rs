@@ -2,7 +2,7 @@
 
 use crate::PacketFilter;
 use std::collections::HashMap;
-use upbound_core::Verdict;
+use upbound_core::{FilterStats, Verdict};
 use upbound_net::{Direction, FiveTuple, Packet, TimeDelta, Timestamp};
 
 /// The idealized filter the bitmap filter approximates: exact,
@@ -18,6 +18,7 @@ use upbound_net::{Direction, FiveTuple, Packet, TimeDelta, Timestamp};
 pub struct OracleFilter {
     expiry: TimeDelta,
     last_outbound: HashMap<FiveTuple, Timestamp>,
+    stats: FilterStats,
 }
 
 impl OracleFilter {
@@ -26,6 +27,7 @@ impl OracleFilter {
         Self {
             expiry,
             last_outbound: HashMap::new(),
+            stats: FilterStats::default(),
         }
     }
 
@@ -45,21 +47,50 @@ impl OracleFilter {
 }
 
 impl PacketFilter for OracleFilter {
+    type Stats = FilterStats;
+
     fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
         let now = packet.ts();
         match direction {
             Direction::Outbound => {
+                self.stats.outbound_packets += 1;
                 self.last_outbound.insert(packet.tuple(), now);
                 Verdict::Pass
             }
             Direction::Inbound => {
+                self.stats.inbound_packets += 1;
                 if self.is_solicited(&packet.tuple(), now) {
+                    self.stats.inbound_hits += 1;
                     Verdict::Pass
                 } else {
+                    self.stats.inbound_misses += 1;
+                    self.stats.dropped += 1;
                     Verdict::Drop
                 }
             }
         }
+    }
+
+    fn advance(&mut self, now: Timestamp) {
+        // The oracle has no timer wheel; pruning expired entries here is
+        // purely a memory optimization and never changes verdicts, since
+        // `is_solicited` re-checks the window on every lookup.
+        let expiry = self.expiry;
+        self.last_outbound
+            .retain(|_, &mut t0| now.saturating_since(t0) <= expiry);
+    }
+
+    fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.last_outbound.len()
+            * (std::mem::size_of::<FiveTuple>() + std::mem::size_of::<Timestamp>())
+    }
+
+    fn drop_probability(&self, _now: Timestamp) -> f64 {
+        1.0 // the oracle drops every unsolicited packet unconditionally
     }
 
     fn name(&self) -> &str {
@@ -119,5 +150,28 @@ mod tests {
             o.decide(&pkt(conn().inverse(), 15.0), Direction::Inbound),
             Verdict::Pass
         );
+    }
+
+    #[test]
+    fn stats_and_memory_track_state() {
+        let mut o = OracleFilter::new(TimeDelta::from_secs(10.0));
+        o.decide(&pkt(conn(), 0.0), Direction::Outbound);
+        o.decide(&pkt(conn().inverse(), 1.0), Direction::Inbound);
+        let stranger = FiveTuple::new(
+            Protocol::Tcp,
+            "203.0.113.9:9999".parse().unwrap(),
+            "10.0.0.1:6881".parse().unwrap(),
+        );
+        o.decide(&pkt(stranger, 1.0), Direction::Inbound);
+        let s = o.stats();
+        assert_eq!(s.outbound_packets, 1);
+        assert_eq!(s.inbound_packets, 2);
+        assert_eq!(s.inbound_hits, 1);
+        assert_eq!(s.dropped, 1);
+        assert!(o.memory_bytes() > 0);
+        // Pruning far past the window empties the map.
+        o.advance(Timestamp::from_secs(100.0));
+        assert_eq!(o.memory_bytes(), 0);
+        assert_eq!(o.drop_probability(Timestamp::from_secs(100.0)), 1.0);
     }
 }

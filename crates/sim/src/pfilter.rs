@@ -1,51 +1,23 @@
-//! The common filter interface the replay engine drives.
+//! Compatibility re-exports: the filter abstraction now lives in
+//! [`upbound_core`].
+//!
+//! The trait used to be defined here with narrow `decide`/`name`
+//! methods; it has been hoisted into the core crate and widened
+//! (`advance`, `stats`, `memory_bytes`, `drop_probability`) so every
+//! deployment surface — the replay engine, the sharded concurrent
+//! engine, the CLI, benches — drives the same interface. Existing
+//! `upbound_sim::PacketFilter` imports keep working through this
+//! re-export.
 
-use upbound_core::observe::FilterObserver;
-use upbound_core::{BitmapFilter, Verdict};
-use upbound_net::{Direction, Packet};
-use upbound_spi::SpiFilter;
-
-/// Anything that can decide, packet by packet, whether traffic crossing
-/// the client-network edge passes or drops.
-///
-/// Implementations must treat `decide` as the full per-packet pipeline:
-/// learn from outbound packets, measure throughput, and judge inbound
-/// packets. The engine calls it exactly once per surviving packet, in
-/// timestamp order.
-pub trait PacketFilter {
-    /// Decides the fate of one packet.
-    fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict;
-
-    /// A short display name for reports.
-    fn name(&self) -> &str;
-}
-
-impl<O: FilterObserver> PacketFilter for BitmapFilter<O> {
-    fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
-        self.process_packet(packet, direction)
-    }
-
-    fn name(&self) -> &str {
-        "bitmap"
-    }
-}
-
-impl<O: FilterObserver> PacketFilter for SpiFilter<O> {
-    fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
-        self.process_packet(packet, direction)
-    }
-
-    fn name(&self) -> &str {
-        "spi"
-    }
-}
+pub use upbound_core::{MergeStats, PacketFilter};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use upbound_core::BitmapFilterConfig;
-    use upbound_net::{FiveTuple, Protocol, TcpFlags, Timestamp};
+    use upbound_core::{BitmapFilter, BitmapFilterConfig, Verdict};
+    use upbound_net::{Direction, FiveTuple, Packet, Protocol, TcpFlags, Timestamp};
     use upbound_spi::SpiConfig;
+    use upbound_spi::SpiFilter;
 
     fn packet(dir_src: &str, dir_dst: &str) -> Packet {
         Packet::tcp(
@@ -60,17 +32,25 @@ mod tests {
         )
     }
 
-    #[test]
-    fn both_filters_implement_the_trait_consistently() {
+    fn exercise<F: PacketFilter>(f: &mut F) {
         let outbound = packet("10.0.0.1:40000", "198.51.100.2:80");
         let unsolicited = packet("198.51.100.9:50000", "10.0.0.1:6881");
+        assert_eq!(f.decide(&outbound, Direction::Outbound), Verdict::Pass);
+        assert_eq!(f.decide(&unsolicited, Direction::Inbound), Verdict::Drop);
+        // The widened surface is available uniformly.
+        f.advance(Timestamp::from_secs(2.0));
+        assert!(f.memory_bytes() > 0);
+        assert!((0.0..=1.0).contains(&f.drop_probability(Timestamp::from_secs(2.0))));
+        let mut stats = f.stats();
+        stats.merge(&f.stats());
+    }
+
+    #[test]
+    fn both_filters_implement_the_trait_consistently() {
         let mut bitmap = BitmapFilter::new(BitmapFilterConfig::paper_evaluation());
         let mut spi = SpiFilter::new(SpiConfig::default());
-        let filters: [&mut dyn PacketFilter; 2] = [&mut bitmap, &mut spi];
-        for f in filters {
-            assert_eq!(f.decide(&outbound, Direction::Outbound), Verdict::Pass);
-            assert_eq!(f.decide(&unsolicited, Direction::Inbound), Verdict::Drop);
-        }
+        exercise(&mut bitmap);
+        exercise(&mut spi);
         assert_eq!(bitmap.name(), "bitmap");
         assert_eq!(spi.name(), "spi");
     }

@@ -15,13 +15,23 @@
 //! thread touches the filter in packet order, the pipeline's verdicts
 //! are **identical** to a sequential run — asserted by tests.
 //!
+//! [`run_sharded_pipeline`] is the scaled-out variant: the filter stage
+//! fans out to one worker per shard of a [`ShardedFilter`], packets are
+//! partitioned by the same direction-symmetric flow hash the shards use
+//! (so workers never contend on a shard lock), and verdicts are
+//! re-merged in timestamp order by sequence number before accounting.
+//! With the paper-default `P_d ≡ 1` policy, verdicts are again identical
+//! to a sequential run — asserted by tests.
+//!
 //! [`BitmapFilter`]: upbound_core::BitmapFilter
+//! [`ShardedFilter`]: upbound_core::ShardedFilter
 
 use crossbeam::channel::{bounded, Receiver, SendError, Sender, TrySendError};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use upbound_core::observe::FilterObserver;
-use upbound_core::{BitmapFilter, BitmapFilterConfig, FilterStats, Verdict};
+use upbound_core::{BitmapFilter, BitmapFilterConfig, FilterStats, ShardedFilter, Verdict};
 use upbound_net::{Cidr, Direction, Packet};
 use upbound_telemetry::{Counter, Gauge, Registry};
 
@@ -291,6 +301,122 @@ where
     .expect("pipeline scope panicked")
 }
 
+/// Tallies one merged verdict into the aggregate result.
+fn account(result: &mut PipelineResult, packet: &Packet, direction: Direction, verdict: Verdict) {
+    result.ingested += 1;
+    match verdict {
+        Verdict::Pass => {
+            result.passed += 1;
+            match direction {
+                Direction::Outbound => result.uplink_bytes += packet.wire_len() as u64,
+                Direction::Inbound => result.downlink_bytes += packet.wire_len() as u64,
+            }
+        }
+        Verdict::Drop => result.dropped += 1,
+    }
+}
+
+/// Runs `packets` through a [`ShardedFilter`] with one filter worker per
+/// shard:
+///
+/// ```text
+/// ingest ──► worker 0 (shard 0) ──┐
+///        ──► worker 1 (shard 1) ──┼──► merge (reorder) ──► account
+///        ──► …                  ──┘
+/// ```
+///
+/// The ingest stage tags each packet with a sequence number and routes
+/// it by [`ShardedFilter::shard_of`], so each worker only ever locks its
+/// own shard (uncontended on the hot path). The merge stage restores
+/// sequence order — which is timestamp order, since the input is sorted
+/// — before accounting, so downstream consumers see the same stream a
+/// sequential run would produce.
+///
+/// With the paper-default `P_d ≡ 1` policy the verdicts (and the merged
+/// [`FilterStats`]) are identical to a sequential [`run_pipeline`] run.
+/// Under a rate-dependent RED policy, concurrent uplink recording can
+/// skew individual `P_d` reads by a packet or two, so only statistical —
+/// not bit-exact — equivalence is guaranteed.
+pub fn run_sharded_pipeline<I>(
+    packets: I,
+    inside: Cidr,
+    filter_config: BitmapFilterConfig,
+    shards: usize,
+    pipeline_config: PipelineConfig,
+) -> PipelineResult
+where
+    I: IntoIterator<Item = Packet>,
+{
+    let sharded = ShardedFilter::new(filter_config, shards);
+    let (worker_txs, worker_rxs): (Vec<_>, Vec<_>) = (0..shards)
+        .map(|_| bounded::<(u64, Packet, Direction)>(pipeline_config.channel_capacity))
+        .unzip();
+    let (merge_tx, merge_rx): (Sender<(u64, Packet, Direction, Verdict)>, Receiver<_>) =
+        bounded(pipeline_config.channel_capacity);
+
+    crossbeam::thread::scope(|scope| {
+        // Filter workers: one per shard, each locking only its shard.
+        for rx in worker_rxs {
+            let handle = sharded.clone();
+            let merge_tx = merge_tx.clone();
+            scope.spawn(move |_| {
+                for (seq, packet, direction) in rx {
+                    let verdict = handle.process_packet(&packet, direction);
+                    if merge_tx.send((seq, packet, direction, verdict)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(merge_tx); // workers hold the only remaining senders
+
+        // Merge + account: restore sequence (= timestamp) order.
+        let merge_handle = scope.spawn(move |_| {
+            let mut result = PipelineResult {
+                ingested: 0,
+                passed: 0,
+                dropped: 0,
+                uplink_bytes: 0,
+                downlink_bytes: 0,
+                filter_stats: FilterStats::default(),
+            };
+            let mut next_seq = 0u64;
+            let mut pending: BTreeMap<u64, (Packet, Direction, Verdict)> = BTreeMap::new();
+            for (seq, packet, direction, verdict) in merge_rx {
+                pending.insert(seq, (packet, direction, verdict));
+                while let Some((packet, direction, verdict)) = pending.remove(&next_seq) {
+                    account(&mut result, &packet, direction, verdict);
+                    next_seq += 1;
+                }
+            }
+            // If the ingest stage stopped early, tail sequence numbers
+            // may be sparse; drain whatever arrived.
+            for (_, (packet, direction, verdict)) in pending {
+                account(&mut result, &packet, direction, verdict);
+            }
+            result
+        });
+
+        // Ingest on the calling thread: classify, tag, route by flow.
+        for (seq, packet) in packets.into_iter().enumerate() {
+            let direction = inside.direction_of(&packet.tuple());
+            let shard = sharded.shard_of(&packet.tuple(), direction);
+            if worker_txs[shard]
+                .send((seq as u64, packet, direction))
+                .is_err()
+            {
+                break;
+            }
+        }
+        drop(worker_txs); // signal end-of-stream to every worker
+
+        let mut result = merge_handle.join().expect("merge stage panicked");
+        result.filter_stats = sharded.stats();
+        result
+    })
+    .expect("pipeline scope panicked")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +562,60 @@ mod tests {
             std::iter::empty(),
             inside(),
             BitmapFilterConfig::paper_evaluation(),
+            PipelineConfig::default(),
+        );
+        assert_eq!(result.ingested, 0);
+        assert_eq!(result.passed, 0);
+        assert_eq!(result.dropped, 0);
+    }
+
+    #[test]
+    fn sharded_pipeline_matches_sequential_run() {
+        let trace = trace();
+        let config = BitmapFilterConfig::paper_evaluation();
+
+        let reference = run_pipeline(
+            trace.packets.iter().map(|lp| lp.packet.clone()),
+            inside(),
+            config.clone(),
+            PipelineConfig::default(),
+        );
+
+        for shards in [1usize, 4] {
+            let result = run_sharded_pipeline(
+                trace.packets.iter().map(|lp| lp.packet.clone()),
+                inside(),
+                config.clone(),
+                shards,
+                PipelineConfig::default(),
+            );
+            assert_eq!(result, reference, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_pipeline_tiny_channels_still_drain_everything() {
+        let trace = trace();
+        let result = run_sharded_pipeline(
+            trace.packets.iter().map(|lp| lp.packet.clone()),
+            inside(),
+            BitmapFilterConfig::paper_evaluation(),
+            3,
+            PipelineConfig {
+                channel_capacity: 1,
+            },
+        );
+        assert_eq!(result.ingested as usize, trace.packets.len());
+        assert_eq!(result.passed + result.dropped, result.ingested);
+    }
+
+    #[test]
+    fn sharded_pipeline_empty_input_shuts_down_cleanly() {
+        let result = run_sharded_pipeline(
+            std::iter::empty(),
+            inside(),
+            BitmapFilterConfig::paper_evaluation(),
+            4,
             PipelineConfig::default(),
         );
         assert_eq!(result.ingested, 0);

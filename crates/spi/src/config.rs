@@ -50,6 +50,14 @@ impl SpiConfig {
             ..Self::default()
         }
     }
+
+    /// The uplink [`ThroughputMonitor`](upbound_core::ThroughputMonitor)
+    /// a filter built from this configuration measures `P_d` with:
+    /// twenty one-second slots. Shards of a sharded deployment share a
+    /// single such monitor so the policy sees the aggregate rate.
+    pub fn uplink_monitor(&self) -> upbound_core::ThroughputMonitor {
+        upbound_core::ThroughputMonitor::new(TimeDelta::from_secs(1.0), 20)
+    }
 }
 
 #[cfg(test)]

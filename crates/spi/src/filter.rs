@@ -1,12 +1,11 @@
 //! The SPI filter: exact positive listing with per-flow state.
 
 use crate::{FlowTable, SpiConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use upbound_core::observe::{FilterObserver, InboundDecision, NoopObserver, RotationEvent};
-use upbound_core::{ThroughputMonitor, Verdict};
-use upbound_net::{Direction, FiveTuple, Packet, TcpFlags, TimeDelta, Timestamp};
+use std::sync::Arc;
+use upbound_core::observe::{FilterObserver, NoopObserver};
+use upbound_core::{FilterEngine, MergeStats, PacketFilter, ThroughputMonitor, Verdict};
+use upbound_net::{Direction, FiveTuple, Packet, TcpFlags, Timestamp};
 
 /// Running counters of an [`SpiFilter`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,6 +29,36 @@ pub struct SpiStats {
     pub untracked_flows: u64,
 }
 
+impl SpiStats {
+    /// Folds the counters of `other` into `self`.
+    ///
+    /// Packet and entry counters are additive; `purge_sweeps` merges as
+    /// the **maximum**, because shards of a sharded deployment each
+    /// sweep on the same schedule, advanced lazily to the last timestamp
+    /// they saw — the furthest-advanced shard has run exactly the sweeps
+    /// a single sequential filter would have.
+    ///
+    /// Note that when shards each enforce a `max_entries` cap, the caps
+    /// apply per shard, so a sharded deployment tracks up to
+    /// `N × max_entries` flows in total.
+    pub fn merge(&mut self, other: &SpiStats) {
+        self.outbound_packets += other.outbound_packets;
+        self.inbound_packets += other.inbound_packets;
+        self.inbound_hits += other.inbound_hits;
+        self.inbound_misses += other.inbound_misses;
+        self.dropped += other.dropped;
+        self.purged_entries += other.purged_entries;
+        self.purge_sweeps = self.purge_sweeps.max(other.purge_sweeps);
+        self.untracked_flows += other.untracked_flows;
+    }
+}
+
+impl MergeStats for SpiStats {
+    fn merge(&mut self, other: &Self) {
+        SpiStats::merge(self, other);
+    }
+}
+
 /// The exact stateful-packet-inspection filter the paper benchmarks the
 /// bitmap filter against (§5.3, Figure 8).
 ///
@@ -37,7 +66,9 @@ pub struct SpiStats {
 /// creates state; inbound passes only with state, else it is dropped with
 /// probability `P_d` — but the memory is an exact [`FlowTable`]: no false
 /// positives, precise close tracking, and O(flows) storage plus periodic
-/// O(flows) purge sweeps.
+/// O(flows) purge sweeps. Timer scheduling, uplink measurement, `P_d`
+/// derivation, and drop draws come from the shared
+/// [`FilterEngine`](upbound_core::FilterEngine).
 ///
 /// Like the bitmap filter, it is generic over a
 /// [`FilterObserver`](upbound_core::FilterObserver) (default
@@ -47,11 +78,8 @@ pub struct SpiStats {
 pub struct SpiFilter<O: FilterObserver = NoopObserver> {
     config: SpiConfig,
     table: FlowTable,
-    monitor: ThroughputMonitor,
-    rng: StdRng,
-    next_purge: Timestamp,
+    engine: FilterEngine<O>,
     stats: SpiStats,
-    observer: O,
 }
 
 impl SpiFilter {
@@ -65,25 +93,38 @@ impl<O: FilterObserver> SpiFilter<O> {
     /// Creates a filter that reports decisions and purge sweeps to
     /// `observer`.
     pub fn with_observer(config: SpiConfig, observer: O) -> Self {
+        let engine = FilterEngine::new(
+            config.purge_interval,
+            config.uplink_monitor(),
+            config.drop_policy,
+            config.rng_seed,
+            observer,
+        );
         Self {
-            rng: StdRng::seed_from_u64(config.rng_seed),
             table: FlowTable::new(),
-            monitor: ThroughputMonitor::new(TimeDelta::from_secs(1.0), 20),
-            next_purge: Timestamp::ZERO + config.purge_interval,
+            engine,
             stats: SpiStats::default(),
             config,
-            observer,
         }
+    }
+
+    /// Rebinds the uplink measurement to a monitor shared with sibling
+    /// shards, so `P_d` derives from the aggregate upload rate of the
+    /// whole client network. Used by
+    /// [`ShardedFilter`](upbound_core::ShardedFilter).
+    pub fn with_shared_uplink(mut self, uplink: Arc<ThroughputMonitor>) -> Self {
+        self.engine.share_uplink(uplink);
+        self
     }
 
     /// The installed observer.
     pub fn observer(&self) -> &O {
-        &self.observer
+        self.engine.observer()
     }
 
     /// The installed observer, mutably.
     pub fn observer_mut(&mut self) -> &mut O {
-        &mut self.observer
+        self.engine.observer_mut()
     }
 
     /// The configuration in force.
@@ -101,30 +142,25 @@ impl<O: FilterObserver> SpiFilter<O> {
         self.stats
     }
 
-    /// The uplink throughput monitor.
+    /// The uplink throughput monitor (owned, or shared with sibling
+    /// shards).
     pub fn monitor(&self) -> &ThroughputMonitor {
-        &self.monitor
+        self.engine.monitor()
     }
 
     /// Runs any purge sweep that came due at or before `now`.
     pub fn advance(&mut self, now: Timestamp) {
-        while now >= self.next_purge {
-            let at = self.next_purge;
-            let removed = self.table.purge(at, self.config.idle_timeout);
-            self.stats.purged_entries += removed as u64;
-            self.stats.purge_sweeps += 1;
-            self.next_purge += self.config.purge_interval;
-            let p_d = self
-                .config
-                .drop_policy
-                .drop_probability(self.monitor.rate_bps(at));
-            self.observer.on_rotation(&RotationEvent {
-                now: at,
-                rotations: self.stats.purge_sweeps,
-                monitor: &self.monitor,
-                p_d,
-            });
-        }
+        let SpiFilter {
+            engine,
+            table,
+            stats,
+            config,
+        } = self;
+        engine.advance(now, |at| {
+            let removed = table.purge(at, config.idle_timeout);
+            stats.purged_entries += removed as u64;
+            stats.purge_sweeps += 1;
+        });
     }
 
     /// Records an outbound packet: creates/refreshes flow state. Outbound
@@ -141,11 +177,16 @@ impl<O: FilterObserver> SpiFilter<O> {
             }
             None => self.table.touch_outbound(*tuple, flags, now),
         }
-        self.observer.on_outbound(tuple, now);
+        self.engine.notify_outbound(tuple, now);
     }
 
     /// Checks an inbound packet against the flow table with explicit drop
     /// probability `p_d`.
+    ///
+    /// The miss draw is a deterministic function of
+    /// `(seed, key, timestamp)` — see
+    /// [`FilterEngine`](upbound_core::FilterEngine) — so replays and
+    /// sharded runs reproduce exactly.
     pub fn check_inbound(
         &mut self,
         tuple: &FiveTuple,
@@ -167,31 +208,24 @@ impl<O: FilterObserver> SpiFilter<O> {
             Verdict::Pass
         } else {
             self.stats.inbound_misses += 1;
-            if self.rng.gen::<f64>() < p_d {
+            // An SPI miss is a single table lookup, hence one draw.
+            let key = tuple.inbound_key(false).to_bytes();
+            if self.engine.drop_draw(&key, now, 0, p_d) {
                 self.stats.dropped += 1;
                 Verdict::Drop
             } else {
                 Verdict::Pass
             }
         };
-        self.observer.on_inbound(&InboundDecision {
-            now,
-            verdict,
-            p_d,
-            known,
-            // An SPI miss is a single table lookup, hence one draw.
-            drop_draws: usize::from(!known),
-            monitor: &self.monitor,
-        });
+        self.engine
+            .notify_inbound(now, verdict, p_d, known, usize::from(!known));
         verdict
     }
 
     /// The drop probability Equation 1 yields for the current measured
     /// uplink throughput.
     pub fn drop_probability(&self, now: Timestamp) -> f64 {
-        self.config
-            .drop_policy
-            .drop_probability(self.monitor.rate_bps(now))
+        self.engine.drop_probability(now)
     }
 
     /// Full per-packet pipeline mirroring
@@ -201,7 +235,7 @@ impl<O: FilterObserver> SpiFilter<O> {
         match direction {
             Direction::Outbound => {
                 self.observe_outbound(&packet.tuple(), packet.tcp_flags(), now);
-                self.monitor.record(now, packet.wire_len() as u64);
+                self.engine.record_uplink(now, packet.wire_len() as u64);
                 Verdict::Pass
             }
             Direction::Inbound => {
@@ -212,12 +246,41 @@ impl<O: FilterObserver> SpiFilter<O> {
     }
 
     /// Clears table, monitor, statistics, and timers.
+    ///
+    /// With a [shared uplink](Self::with_shared_uplink) this also clears
+    /// the aggregate measurement for every sibling shard.
     pub fn reset(&mut self) {
         self.table.clear();
-        self.monitor.reset();
         self.stats = SpiStats::default();
-        self.next_purge = Timestamp::ZERO + self.config.purge_interval;
-        self.rng = StdRng::seed_from_u64(self.config.rng_seed);
+        self.engine.reset();
+    }
+}
+
+impl<O: FilterObserver> PacketFilter for SpiFilter<O> {
+    type Stats = SpiStats;
+
+    fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
+        self.process_packet(packet, direction)
+    }
+
+    fn advance(&mut self, now: Timestamp) {
+        SpiFilter::advance(self, now);
+    }
+
+    fn stats(&self) -> SpiStats {
+        SpiFilter::stats(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.table.approx_memory_bytes()
+    }
+
+    fn drop_probability(&self, now: Timestamp) -> f64 {
+        SpiFilter::drop_probability(self, now)
+    }
+
+    fn name(&self) -> &str {
+        "spi"
     }
 }
 
@@ -461,5 +524,60 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_sweeps() {
+        let mut a = SpiStats {
+            outbound_packets: 5,
+            inbound_packets: 4,
+            inbound_hits: 2,
+            inbound_misses: 2,
+            dropped: 1,
+            purged_entries: 3,
+            purge_sweeps: 6,
+            untracked_flows: 1,
+        };
+        let b = SpiStats {
+            outbound_packets: 2,
+            inbound_packets: 3,
+            inbound_hits: 1,
+            inbound_misses: 2,
+            dropped: 2,
+            purged_entries: 4,
+            purge_sweeps: 4,
+            untracked_flows: 0,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            SpiStats {
+                outbound_packets: 7,
+                inbound_packets: 7,
+                inbound_hits: 3,
+                inbound_misses: 4,
+                dropped: 3,
+                purged_entries: 7,
+                purge_sweeps: 6,
+                untracked_flows: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let s = SpiStats {
+            outbound_packets: 1,
+            inbound_packets: 2,
+            inbound_hits: 1,
+            inbound_misses: 1,
+            dropped: 1,
+            purged_entries: 5,
+            purge_sweeps: 3,
+            untracked_flows: 2,
+        };
+        let mut merged = s;
+        merged.merge(&SpiStats::default());
+        assert_eq!(merged, s);
     }
 }

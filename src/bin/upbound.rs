@@ -14,10 +14,14 @@ use std::collections::HashSet;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use upbound::analyzer::Analyzer;
 use upbound::core::params::{max_connections, optimal_hash_count, penetration_probability};
-use upbound::core::{BitmapFilter, BitmapFilterConfig, DropPolicy, TelemetryObserver, Verdict};
+use upbound::core::{
+    BitmapFilter, BitmapFilterConfig, DropPolicy, FlowHash, ShardedFilter, TelemetryObserver,
+    Verdict,
+};
 use upbound::net::pcap::{PcapReader, PcapWriter};
 use upbound::net::{Cidr, Direction, FiveTuple};
 use upbound::telemetry::{export, Registry, Snapshot};
@@ -33,7 +37,7 @@ USAGE:
     upbound filter   --in <FILE> [--out <FILE>] [--inside <CIDR>]
                      [--low-mbps <F>] [--high-mbps <F>] [--vector-bits <N>]
                      [--vectors <K>] [--rotate-secs <F>] [--hashes <M>]
-                     [--hole-punching] [--no-block]
+                     [--hole-punching] [--no-block] [--shards <N>]
                      [--metrics <FILE.prom|FILE.json>]
                      [--metrics-interval <SECS>]
     upbound params   [--connections <N>]
@@ -55,6 +59,7 @@ const FILTER_FLAGS: &[&str] = &[
     "hashes",
     "hole-punching",
     "no-block",
+    "shards",
     "metrics",
     "metrics-interval",
 ];
@@ -318,19 +323,39 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
         builder.drop_policy(DropPolicy::new(low * 1e6, high * 1e6).map_err(|e| e.to_string())?);
     }
     let config = builder.build().map_err(|e| e.to_string())?;
+    let shards: usize = args.parse_num("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards expects at least 1".to_owned());
+    }
     println!(
-        "bitmap filter: {{{} x 2^{}}} = {} KiB, T_e = {:.0} s, m = {}",
+        "bitmap filter: {{{} x 2^{}}} = {} KiB, T_e = {:.0} s, m = {}{}",
         config.vectors(),
         config.vector_bits(),
         config.memory_bytes() / 1024,
         config.expiry_timer().as_secs_f64(),
-        config.hash_functions()
+        config.hash_functions(),
+        if shards > 1 {
+            format!(", {shards} shards")
+        } else {
+            String::new()
+        }
     );
     let registry = Registry::new();
-    let mut filter = BitmapFilter::with_observer(
-        config,
-        TelemetryObserver::with_default_journal(&registry, "core"),
-    );
+    // All shards share one uplink monitor (global P_d) and publish into
+    // the same registry — `counter()` is get-or-create, so the per-shard
+    // observers merge into one set of metrics.
+    let uplink = Arc::new(config.uplink_monitor());
+    let shard_filters = (0..shards)
+        .map(|_| {
+            BitmapFilter::with_observer(
+                config.clone(),
+                TelemetryObserver::with_default_journal(&registry, "core"),
+            )
+            .with_shared_uplink(Arc::clone(&uplink))
+        })
+        .collect();
+    let filter =
+        ShardedFilter::from_shards(FlowHash::new(config.hole_punching()), uplink, shard_filters);
 
     let file = File::open(in_path).map_err(|e| format!("{in_path}: {e}"))?;
     let mut reader = PcapReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;

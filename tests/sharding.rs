@@ -1,0 +1,152 @@
+//! Property tests for the sharded filter's determinism contract:
+//! driven sequentially, a [`ShardedFilter`] with any shard count
+//! produces the exact verdict stream and merged statistics of one
+//! sequential [`BitmapFilter`] — for drop-all, RED, and hole-punching
+//! configurations alike.
+//!
+//! [`ShardedFilter`]: upbound::core::ShardedFilter
+//! [`BitmapFilter`]: upbound::core::BitmapFilter
+
+use proptest::prelude::*;
+use upbound::core::{BitmapFilter, BitmapFilterConfig, DropPolicy, FilterStats, ShardedFilter};
+use upbound::net::{Direction, FiveTuple, Packet, Protocol, TcpFlags, Timestamp};
+
+/// Shard counts under test: the degenerate single-lock case, powers of
+/// two, and a prime that exercises uneven modulo placement.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Client-side connections: a small pool so inbound events frequently
+/// match an earlier outbound mark (both verdict branches are exercised).
+fn arb_connection() -> impl Strategy<Value = FiveTuple> {
+    (any::<bool>(), 0u8..8, 1024u16..1040, 0u8..8, 1u16..5).prop_map(
+        |(tcp, src_host, src_port, dst_host, dst_port)| {
+            FiveTuple::new(
+                if tcp { Protocol::Tcp } else { Protocol::Udp },
+                std::net::SocketAddrV4::new([10, 0, 0, src_host].into(), src_port),
+                std::net::SocketAddrV4::new([203, 0, 113, dst_host].into(), dst_port * 1000),
+            )
+        },
+    )
+}
+
+/// A workload: timestamp-ordered packets with explicit directions.
+fn arb_workload() -> impl Strategy<Value = Vec<(Packet, Direction)>> {
+    (
+        proptest::collection::vec(arb_connection(), 1..12),
+        proptest::collection::vec((0usize..1_000_000, any::<bool>(), 0u64..800_000), 1..120),
+    )
+        .prop_map(|(pool, events)| {
+            let mut now_micros = 0u64;
+            events
+                .into_iter()
+                .map(|(idx, outbound, dt)| {
+                    now_micros += dt;
+                    let ts = Timestamp::from_micros(now_micros);
+                    let conn = pool[idx % pool.len()];
+                    let tuple = if outbound { conn } else { conn.inverse() };
+                    let packet = match tuple.protocol() {
+                        Protocol::Tcp => Packet::tcp(ts, tuple, TcpFlags::ACK, vec![0u8; 200]),
+                        Protocol::Udp => Packet::udp(ts, tuple, vec![0u8; 200]),
+                    };
+                    let direction = if outbound {
+                        Direction::Outbound
+                    } else {
+                        Direction::Inbound
+                    };
+                    (packet, direction)
+                })
+                .collect()
+        })
+}
+
+/// Drives `workload` through one sequential filter and through sharded
+/// filters of every count in [`SHARD_COUNTS`], asserting identical
+/// verdict streams and identical merged stats.
+fn assert_sharding_transparent(
+    config: &BitmapFilterConfig,
+    workload: &[(Packet, Direction)],
+) -> Result<(), String> {
+    let mut sequential = BitmapFilter::new(config.clone());
+    let mut seq_verdicts = Vec::with_capacity(workload.len());
+    for (packet, direction) in workload {
+        seq_verdicts.push(sequential.process_packet(packet, *direction));
+    }
+    let end = workload
+        .last()
+        .map(|(p, _)| p.ts())
+        .unwrap_or(Timestamp::ZERO);
+    sequential.advance(end);
+    let seq_stats = sequential.stats();
+
+    for shards in SHARD_COUNTS {
+        let sharded = ShardedFilter::new(config.clone(), shards);
+        for (i, (packet, direction)) in workload.iter().enumerate() {
+            let verdict = sharded.process_packet(packet, *direction);
+            prop_assert_eq!(
+                verdict,
+                seq_verdicts[i],
+                "verdict #{} diverged at {} shards",
+                i,
+                shards
+            );
+        }
+        sharded.advance(end);
+        let merged: FilterStats = sharded.stats();
+        prop_assert_eq!(
+            merged,
+            seq_stats,
+            "merged stats diverged at {} shards",
+            shards
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Paper defaults (`P_d ≡ 1`): sharding is invisible.
+    #[test]
+    fn sharded_equals_sequential_drop_all(
+        workload in arb_workload(),
+        seed in any::<u64>(),
+    ) {
+        let config = BitmapFilterConfig::builder()
+            .rng_seed(seed)
+            .build()
+            .expect("valid");
+        assert_sharding_transparent(&config, &workload)?;
+    }
+
+    /// A RED policy in its probabilistic region: the keyed drop draws
+    /// must land identically on every shard layout.
+    #[test]
+    fn sharded_equals_sequential_red_policy(
+        workload in arb_workload(),
+        seed in any::<u64>(),
+    ) {
+        // Thresholds low enough that the workload's own uplink rate
+        // lands P_d strictly inside (0, 1) at least part of the time.
+        let config = BitmapFilterConfig::builder()
+            .drop_policy(DropPolicy::new(1_000.0, 2_000_000.0).expect("valid"))
+            .rng_seed(seed)
+            .build()
+            .expect("valid");
+        assert_sharding_transparent(&config, &workload)?;
+    }
+
+    /// Hole punching changes the filter keys *and* the flow hash; both
+    /// sides must stay consistent.
+    #[test]
+    fn sharded_equals_sequential_hole_punching(
+        workload in arb_workload(),
+        seed in any::<u64>(),
+    ) {
+        let config = BitmapFilterConfig::builder()
+            .hole_punching(true)
+            .rng_seed(seed)
+            .build()
+            .expect("valid");
+        assert_sharding_transparent(&config, &workload)?;
+    }
+}

@@ -263,7 +263,7 @@ impl_tuple_strategy! {
 
 // ===== collections =====
 
-/// An element-count range for [`vec`].
+/// An element-count range for `vec()` (see the `collection` module).
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,
