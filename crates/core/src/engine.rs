@@ -137,10 +137,34 @@ impl<O: FilterObserver> FilterEngine<O> {
             .drop_probability(self.uplink.monitor().rate_bps(now))
     }
 
+    /// The most ticks [`advance`](Self::advance) will *execute* for one
+    /// call. A far-future timestamp (clock glitch, corrupt trace record)
+    /// can put millions of ticks in arrears; executing each one would
+    /// stall the filter for minutes. After `k` consecutive rotations
+    /// every bitmap vector has been cleared once, so any state the
+    /// skipped ticks would have produced is already all-zero — the engine
+    /// jumps the tick counter and runs only the trailing
+    /// `MAX_TICK_CATCHUP` ticks (enough for every practical `k`).
+    pub const MAX_TICK_CATCHUP: u64 = 64;
+
     /// Applies every tick due at or before `now`, calling `on_tick` with
     /// the tick's scheduled timestamp (the `b.rotate` timer of paper
     /// Algorithm 1, or the SPI purge sweep), then notifying the observer.
+    ///
+    /// Backward timestamps are a no-op (no tick is due), and far-future
+    /// timestamps are bounded by [`MAX_TICK_CATCHUP`](Self::MAX_TICK_CATCHUP):
+    /// the arrears beyond that bound are skipped in O(1) rather than
+    /// executed one by one.
     pub fn advance(&mut self, now: Timestamp, mut on_tick: impl FnMut(Timestamp)) {
+        if now >= self.next_tick {
+            let every = self.tick_every.as_micros();
+            let due = (now.as_micros() - self.next_tick.as_micros()) / every + 1;
+            if due > Self::MAX_TICK_CATCHUP {
+                let skipped = due - Self::MAX_TICK_CATCHUP;
+                self.ticks += skipped;
+                self.next_tick += self.tick_every.times(skipped);
+            }
+        }
         while now >= self.next_tick {
             let at = self.next_tick;
             on_tick(at);
@@ -251,6 +275,33 @@ mod tests {
         );
         e.advance(Timestamp::from_secs(17.0), |_| panic!("no tick due"));
         assert_eq!(e.ticks(), 3);
+    }
+
+    #[test]
+    fn far_future_advance_is_bounded() {
+        let mut e = engine(0); // ticks every 5 s
+        let mut fired = 0u64;
+        // 20 million ticks in arrears; only the trailing window executes.
+        e.advance(Timestamp::from_secs(1e8), |_| fired += 1);
+        assert_eq!(fired, FilterEngine::<NoopObserver>::MAX_TICK_CATCHUP);
+        // The tick counter still reflects every due tick.
+        assert_eq!(e.ticks(), 20_000_000);
+        // The phase is fully caught up afterwards.
+        e.advance(Timestamp::from_secs(1e8), |_| panic!("no tick due"));
+        let mut later = Vec::new();
+        e.advance(Timestamp::from_secs(1e8 + 5.0), |at| later.push(at));
+        assert_eq!(later, vec![Timestamp::from_secs(1e8 + 5.0)]);
+    }
+
+    #[test]
+    fn backward_now_never_ticks() {
+        let mut e = engine(0);
+        e.advance(Timestamp::from_secs(12.0), |_| {});
+        assert_eq!(e.ticks(), 2);
+        e.advance(Timestamp::from_secs(3.0), |_| {
+            panic!("backward time must not tick")
+        });
+        assert_eq!(e.ticks(), 2);
     }
 
     #[test]

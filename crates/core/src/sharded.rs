@@ -206,6 +206,29 @@ impl<F: PacketFilter + Send> ShardedFilter<F> {
         self.inner.shards[shard].lock().decide(packet, direction)
     }
 
+    /// Like [`process_packet`](Self::process_packet), but first brings
+    /// the packet's shard to the tick phase of `watermark` — the running
+    /// *maximum* timestamp the caller has ingested so far.
+    ///
+    /// On a trace with non-monotonic timestamps, each shard only ever
+    /// sees its own packets' clocks, so shard tick phases drift apart
+    /// from what a sequential filter (whose phase tracks the running
+    /// maximum across *all* packets) would hold, and verdicts diverge.
+    /// Passing the ingest-side watermark pins every shard to the
+    /// sequential phase: timer state is a pure function of the maximum
+    /// timestamp seen, and drop draws are order-independent already.
+    pub fn process_packet_at(
+        &self,
+        packet: &Packet,
+        direction: Direction,
+        watermark: Timestamp,
+    ) -> Verdict {
+        let shard = self.shard_of(&packet.tuple(), direction);
+        let mut guard = self.inner.shards[shard].lock();
+        guard.advance(watermark);
+        guard.decide(packet, direction)
+    }
+
     /// Applies every timer event due at or before `now` on **all**
     /// shards, bringing them to a common tick phase (e.g. before reading
     /// [`stats`](Self::stats) at a trace boundary).
@@ -468,6 +491,39 @@ mod tests {
         sharded.advance(last);
         let merged: FilterStats = sharded.stats();
         assert_eq!(merged, seq.stats());
+    }
+
+    #[test]
+    fn watermark_keeps_nonmonotonic_verdicts_sequential() {
+        let config = BitmapFilterConfig::paper_evaluation();
+        // A trace whose clock jumps backward and forward: outbound marks
+        // and inbound lookups interleaved in a scrambled time order,
+        // plus one far-future outlier mid-stream.
+        let mut packets = Vec::new();
+        for i in 0..120u16 {
+            let t = ((i as u64 * 37) % 29) as f64 + (i as f64) * 0.001;
+            packets.push((outbound_packet(2000 + i, t), Direction::Outbound));
+            let tuple = out_tuple(2000 + i).inverse();
+            let t_in = ((i as u64 * 53) % 31) as f64 + 0.4;
+            packets.push((
+                Packet::tcp(Timestamp::from_secs(t_in), tuple, TcpFlags::ACK, &[][..]),
+                Direction::Inbound,
+            ));
+            if i == 60 {
+                packets.push((outbound_packet(9999, 5_000.0), Direction::Outbound));
+            }
+        }
+        for shards in [1usize, 4] {
+            let mut seq = BitmapFilter::new(config.clone());
+            let sharded = ShardedFilter::new(config.clone(), shards);
+            let mut watermark = Timestamp::ZERO;
+            for (i, (pkt, dir)) in packets.iter().enumerate() {
+                watermark = watermark.max(pkt.ts());
+                let a = seq.process_packet(pkt, *dir);
+                let b = sharded.process_packet_at(pkt, *dir, watermark);
+                assert_eq!(a, b, "verdict diverged at packet {i} with {shards} shards");
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct ThroughputMonitor {
     slots: Vec<AtomicU64>,
     /// Absolute slot number each ring entry currently represents.
     slot_ids: Vec<AtomicU64>,
+    /// Smallest absolute slot number ever recorded ([`EMPTY_SLOT`] until
+    /// the first record). Bounds the measurement span during warm-up so
+    /// the first seconds of a trace are not averaged over slots that
+    /// never existed.
+    first_slot: AtomicU64,
     total_bytes: AtomicU64,
 }
 
@@ -58,6 +63,7 @@ impl Clone for ThroughputMonitor {
                 .iter()
                 .map(|s| AtomicU64::new(s.load(Ordering::Relaxed)))
                 .collect(),
+            first_slot: AtomicU64::new(self.first_slot.load(Ordering::Relaxed)),
             total_bytes: AtomicU64::new(self.total_bytes.load(Ordering::Relaxed)),
         }
     }
@@ -70,6 +76,7 @@ impl PartialEq for ThroughputMonitor {
         self.slot_width == other.slot_width
             && load(&self.slots) == load(&other.slots)
             && load(&self.slot_ids) == load(&other.slot_ids)
+            && self.first_slot.load(Ordering::Relaxed) == other.first_slot.load(Ordering::Relaxed)
             && self.total_bytes.load(Ordering::Relaxed) == other.total_bytes.load(Ordering::Relaxed)
     }
 }
@@ -87,6 +94,7 @@ impl ThroughputMonitor {
             slot_width,
             slots: (0..n_slots).map(|_| AtomicU64::new(0)).collect(),
             slot_ids: (0..n_slots).map(|_| AtomicU64::new(EMPTY_SLOT)).collect(),
+            first_slot: AtomicU64::new(EMPTY_SLOT),
             total_bytes: AtomicU64::new(0),
         }
     }
@@ -109,12 +117,20 @@ impl ThroughputMonitor {
             self.slots[idx].store(0, Ordering::Release);
         }
         self.slots[idx].fetch_add(bytes, Ordering::AcqRel);
+        self.first_slot.fetch_min(slot, Ordering::AcqRel);
         self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// The measured throughput in bits per second at time `now`: the sum
     /// of bytes in the window's still-valid slots (excluding slots that
-    /// have aged out) over the window span.
+    /// have aged out) over the measurement span.
+    ///
+    /// During warm-up — before a full window has elapsed since the first
+    /// record — the span is the slots elapsed so far, not the whole
+    /// window, so early-trace rates are not diluted by slots that never
+    /// existed. Far-future or backward `now` values are safe: stale slots
+    /// age out (the validity test is overflow-free) and the span never
+    /// collapses below one slot.
     pub fn rate_bps(&self, now: Timestamp) -> f64 {
         let current = self.slot_number(now);
         let n = self.slots.len() as u64;
@@ -124,11 +140,17 @@ impl ThroughputMonitor {
             .zip(&self.slots)
             .filter(|(id, _)| {
                 let id = id.load(Ordering::Acquire);
-                id != EMPTY_SLOT && id + n > current && id <= current
+                id != EMPTY_SLOT && id <= current && current - id < n
             })
             .map(|(_, b)| b.load(Ordering::Acquire))
             .sum();
-        let window_secs = self.slot_width.as_secs_f64() * self.slots.len() as f64;
+        let first = self.first_slot.load(Ordering::Acquire);
+        let span_slots = if first == EMPTY_SLOT || first >= current {
+            1
+        } else {
+            (current - first + 1).min(n)
+        };
+        let window_secs = self.slot_width.as_secs_f64() * span_slots as f64;
         (window_bytes as f64 * 8.0) / window_secs
     }
 
@@ -150,6 +172,7 @@ impl ThroughputMonitor {
         for id in &self.slot_ids {
             id.store(EMPTY_SLOT, Ordering::Release);
         }
+        self.first_slot.store(EMPTY_SLOT, Ordering::Release);
         self.total_bytes.store(0, Ordering::Release);
     }
 }
@@ -247,9 +270,48 @@ mod tests {
             }
         });
         assert_eq!(m.total_bytes(), 4 * 1000 * 10);
-        // All records landed in slots 0..4, still inside the window.
+        // All records landed in slots 0..4; at t = 4.0 only five slots
+        // have elapsed, so the warm-up span is 5 s, not the full 8 s.
         let rate = m.rate_bps(Timestamp::from_secs(4.0));
-        assert!((rate - (40_000.0 * 8.0 / 8.0)).abs() < 1e-6, "rate {rate}");
+        assert!((rate - (40_000.0 * 8.0 / 5.0)).abs() < 1e-6, "rate {rate}");
+    }
+
+    #[test]
+    fn warm_up_rate_is_not_diluted_by_unelapsed_slots() {
+        let m = monitor();
+        // 1 Mbit in the first second of a 4 s window.
+        m.record(Timestamp::from_secs(0.5), 125_000);
+        // Still inside slot 0: the span is one slot, so the rate is the
+        // full 1 Mbps, not 1/4 of it.
+        let rate = m.rate_bps(Timestamp::from_secs(0.9));
+        assert!((rate - 1e6).abs() < 1e-6, "rate {rate}");
+        // One more second elapsed: averaged over 2 s.
+        let rate = m.rate_bps(Timestamp::from_secs(1.5));
+        assert!((rate - 5e5).abs() < 1e-6, "rate {rate}");
+    }
+
+    #[test]
+    fn far_future_now_is_overflow_safe() {
+        // One-microsecond slots make absolute slot numbers huge, so a
+        // far-future timestamp exercises the `id + n` overflow that the
+        // old validity check performed.
+        let m = ThroughputMonitor::new(TimeDelta::from_micros(1), 4);
+        let late = Timestamp::from_micros(u64::MAX - 10);
+        m.record(late, 1000);
+        assert!(m.rate_bps(late) > 0.0);
+        // A later probe ages the slot out without panicking.
+        assert_eq!(m.rate_bps(Timestamp::from_micros(u64::MAX)), 0.0);
+    }
+
+    #[test]
+    fn backward_now_does_not_poison_rate() {
+        let m = monitor();
+        m.record(Timestamp::from_secs(2.5), 125_000);
+        // A probe earlier than every record sees no valid slots and a
+        // floor span of one slot: zero rate, no panic, no division hazard.
+        assert_eq!(m.rate_bps(Timestamp::from_secs(0.5)), 0.0);
+        // Probing at the recorded time still works afterwards.
+        assert!(m.rate_bps(Timestamp::from_secs(2.9)) > 0.0);
     }
 
     #[test]

@@ -35,8 +35,105 @@ pub enum NetError {
     BadMagic(u32),
     /// The packet uses a protocol the substrate does not model.
     UnsupportedProtocol(u8),
+    /// A declared length exceeds the sanity ceiling the reader enforces
+    /// (e.g. a crafted pcap global header announcing a multi-gigabyte
+    /// snaplen). Distinct from [`NetError::InvalidField`] so callers can
+    /// tell "structurally impossible" from "merely hostile".
+    Oversized {
+        /// What carried the oversized length.
+        context: &'static str,
+        /// The declared length.
+        len: u64,
+        /// The enforced ceiling.
+        limit: u64,
+    },
     /// An underlying I/O error from reading or writing a trace file.
     Io(std::io::Error),
+}
+
+/// The stable classification of a [`NetError`] — the ingestion-error
+/// taxonomy used for per-reason telemetry counters and skip accounting
+/// in the recovering pcap reader.
+///
+/// Every error the trace-ingestion path can produce maps to exactly one
+/// reason via [`NetError::reason`], and [`IngestReason::ALL`] enumerates
+/// them in a fixed order so counters can be stored in a flat array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IngestReason {
+    /// Bytes ran out inside a header, record, or payload.
+    Truncated,
+    /// A header field held an unrepresentable or inconsistent value.
+    InvalidField,
+    /// A checksum failed to verify.
+    BadChecksum,
+    /// The capture did not start with a recognized magic number.
+    BadMagic,
+    /// A transport protocol the substrate does not model.
+    UnsupportedProtocol,
+    /// A declared length exceeded the reader's sanity ceiling.
+    Oversized,
+    /// An I/O error from the underlying reader or writer.
+    Io,
+}
+
+impl IngestReason {
+    /// Every reason, in the order counters are stored and exported.
+    pub const ALL: [IngestReason; 7] = [
+        IngestReason::Truncated,
+        IngestReason::InvalidField,
+        IngestReason::BadChecksum,
+        IngestReason::BadMagic,
+        IngestReason::UnsupportedProtocol,
+        IngestReason::Oversized,
+        IngestReason::Io,
+    ];
+
+    /// A stable snake_case label, usable as a metric-name suffix.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            IngestReason::Truncated => "truncated",
+            IngestReason::InvalidField => "invalid_field",
+            IngestReason::BadChecksum => "bad_checksum",
+            IngestReason::BadMagic => "bad_magic",
+            IngestReason::UnsupportedProtocol => "unsupported_protocol",
+            IngestReason::Oversized => "oversized",
+            IngestReason::Io => "io",
+        }
+    }
+
+    /// The position of this reason inside [`IngestReason::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            IngestReason::Truncated => 0,
+            IngestReason::InvalidField => 1,
+            IngestReason::BadChecksum => 2,
+            IngestReason::BadMagic => 3,
+            IngestReason::UnsupportedProtocol => 4,
+            IngestReason::Oversized => 5,
+            IngestReason::Io => 6,
+        }
+    }
+}
+
+impl fmt::Display for IngestReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl NetError {
+    /// The taxonomy bucket this error falls into.
+    pub fn reason(&self) -> IngestReason {
+        match self {
+            NetError::Truncated { .. } => IngestReason::Truncated,
+            NetError::InvalidField { .. } => IngestReason::InvalidField,
+            NetError::BadChecksum { .. } => IngestReason::BadChecksum,
+            NetError::BadMagic(_) => IngestReason::BadMagic,
+            NetError::UnsupportedProtocol(_) => IngestReason::UnsupportedProtocol,
+            NetError::Oversized { .. } => IngestReason::Oversized,
+            NetError::Io(_) => IngestReason::Io,
+        }
+    }
 }
 
 impl fmt::Display for NetError {
@@ -56,6 +153,11 @@ impl fmt::Display for NetError {
             NetError::BadChecksum { layer } => write!(f, "{layer} checksum mismatch"),
             NetError::BadMagic(magic) => write!(f, "unrecognized pcap magic {magic:#010x}"),
             NetError::UnsupportedProtocol(p) => write!(f, "unsupported IP protocol {p}"),
+            NetError::Oversized {
+                context,
+                len,
+                limit,
+            } => write!(f, "oversized {context}: {len} exceeds the {limit} ceiling"),
             NetError::Io(e) => write!(f, "trace I/O error: {e}"),
         }
     }
@@ -111,5 +213,73 @@ mod tests {
     fn error_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<NetError>();
+    }
+
+    #[test]
+    fn oversized_display_names_both_lengths() {
+        let e = NetError::Oversized {
+            context: "pcap snaplen",
+            len: 4_294_967_295,
+            limit: 262_144,
+        };
+        let text = format!("{e}");
+        assert!(text.contains("4294967295"), "{text}");
+        assert!(text.contains("262144"), "{text}");
+    }
+
+    #[test]
+    fn every_variant_maps_to_one_reason() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let cases: Vec<(NetError, IngestReason)> = vec![
+            (
+                NetError::Truncated {
+                    context: "x",
+                    needed: 1,
+                    available: 0,
+                },
+                IngestReason::Truncated,
+            ),
+            (
+                NetError::InvalidField {
+                    field: "x",
+                    value: 0,
+                },
+                IngestReason::InvalidField,
+            ),
+            (
+                NetError::BadChecksum { layer: "TCP" },
+                IngestReason::BadChecksum,
+            ),
+            (NetError::BadMagic(0), IngestReason::BadMagic),
+            (
+                NetError::UnsupportedProtocol(1),
+                IngestReason::UnsupportedProtocol,
+            ),
+            (
+                NetError::Oversized {
+                    context: "x",
+                    len: 2,
+                    limit: 1,
+                },
+                IngestReason::Oversized,
+            ),
+            (NetError::Io(io), IngestReason::Io),
+        ];
+        for (err, reason) in cases {
+            assert_eq!(err.reason(), reason, "{err}");
+        }
+    }
+
+    #[test]
+    fn reason_indexes_match_all_order() {
+        for (i, reason) in IngestReason::ALL.into_iter().enumerate() {
+            assert_eq!(reason.index(), i);
+            assert_eq!(format!("{reason}"), reason.as_str());
+            // Labels are valid metric-name fragments.
+            assert!(reason
+                .as_str()
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
     }
 }

@@ -49,7 +49,7 @@ mod tuple;
 pub mod wire;
 
 pub use clock::{TimeDelta, Timestamp};
-pub use error::NetError;
+pub use error::{IngestReason, NetError};
 pub use merge::{merge_sorted, MergeSorted};
 pub use packet::{Direction, Packet};
 pub use protocol::Protocol;

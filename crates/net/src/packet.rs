@@ -119,6 +119,13 @@ impl Packet {
         self
     }
 
+    /// Returns the packet re-stamped at `ts`, e.g. when rebasing or
+    /// perturbing trace clocks.
+    pub fn with_ts(mut self, ts: Timestamp) -> Self {
+        self.ts = ts;
+        self
+    }
+
     /// Capture timestamp.
     pub const fn ts(&self) -> Timestamp {
         self.ts

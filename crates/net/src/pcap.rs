@@ -40,8 +40,10 @@
 //! ```
 
 use crate::wire::{self, ChecksumPolicy};
-use crate::{NetError, Packet, Timestamp};
+use crate::{IngestReason, NetError, Packet, Timestamp};
 use std::io::{Read, Write};
+use std::sync::Arc;
+use upbound_telemetry::{Counter, Registry};
 
 /// Native-order pcap magic number (microsecond timestamps).
 pub const MAGIC: u32 = 0xa1b2_c3d4;
@@ -53,6 +55,11 @@ pub const LINKTYPE_ETHERNET: u32 = 1;
 /// A snaplen that keeps exactly the Ethernet + IPv4 + TCP headers —
 /// the paper's "layer 2 to layer 4 packet headers" trace format.
 pub const HEADER_SNAPLEN: u32 = 54;
+/// The largest snaplen (and therefore per-record allocation) the reader
+/// accepts — tcpdump's own `MAXIMUM_SNAPLEN`. A crafted global header
+/// declaring, say, `0xFFFFFFFF` would otherwise let a single record
+/// header demand a ~4 GiB buffer.
+pub const MAX_SNAPLEN: u32 = 262_144;
 
 /// Streaming pcap writer over any [`Write`].
 ///
@@ -122,58 +129,228 @@ impl<W: Write> PcapWriter<W> {
     }
 }
 
+/// What the reader does when it meets a malformed record mid-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Surface the first malformed record as an error (classic behavior).
+    #[default]
+    Strict,
+    /// Count the error, skip past the corrupt bytes, and resynchronize on
+    /// the next decodable record. `read_packet` then never fails except
+    /// for I/O errors and only returns `Ok(None)` at end of input.
+    Skip,
+}
+
+/// Running ingestion accounting kept by [`PcapReader`].
+///
+/// `records_skipped` counts *corrupt regions*: a region opened by one
+/// malformed record may swallow several original records before the
+/// reader resynchronizes, and the bytes it covered are summed in
+/// `bytes_skipped`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Records successfully decoded into packets.
+    pub records_ok: u64,
+    /// Corrupt regions skipped (only ever non-zero under
+    /// [`RecoveryPolicy::Skip`]).
+    pub records_skipped: u64,
+    /// Bytes discarded while skipping corrupt regions.
+    pub bytes_skipped: u64,
+    errors: [u64; IngestReason::ALL.len()],
+}
+
+impl IngestStats {
+    /// How many errors of `reason` were observed.
+    pub fn errors_for(&self, reason: IngestReason) -> u64 {
+        self.errors[reason.index()]
+    }
+
+    /// Total errors observed across every reason.
+    pub fn errors_total(&self) -> u64 {
+        self.errors.iter().sum()
+    }
+
+    /// Iterates `(reason, count)` pairs in [`IngestReason::ALL`] order.
+    pub fn by_reason(&self) -> impl Iterator<Item = (IngestReason, u64)> + '_ {
+        IngestReason::ALL
+            .into_iter()
+            .map(move |r| (r, self.errors[r.index()]))
+    }
+
+    fn count(&mut self, reason: IngestReason) {
+        self.errors[reason.index()] += 1;
+    }
+}
+
+/// Per-reason ingestion counters backed by a telemetry [`Registry`].
+///
+/// Metric names follow the repo convention:
+/// `upbound_net_ingest_records_ok_total`,
+/// `upbound_net_ingest_records_skipped_total`,
+/// `upbound_net_ingest_bytes_skipped_total`, and one
+/// `upbound_net_ingest_errors_<reason>_total` per [`IngestReason`].
+#[derive(Debug, Clone)]
+pub struct IngestTelemetry {
+    records_ok: Arc<Counter>,
+    records_skipped: Arc<Counter>,
+    bytes_skipped: Arc<Counter>,
+    errors: [Arc<Counter>; IngestReason::ALL.len()],
+}
+
+impl IngestTelemetry {
+    /// Registers (or re-attaches to) the ingestion counters in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            records_ok: registry.counter(
+                "upbound_net_ingest_records_ok_total",
+                "pcap records successfully decoded into packets",
+            ),
+            records_skipped: registry.counter(
+                "upbound_net_ingest_records_skipped_total",
+                "corrupt pcap regions skipped by the recovering reader",
+            ),
+            bytes_skipped: registry.counter(
+                "upbound_net_ingest_bytes_skipped_total",
+                "bytes discarded while skipping corrupt pcap regions",
+            ),
+            errors: IngestReason::ALL.map(|r| {
+                registry.counter(
+                    &format!("upbound_net_ingest_errors_{}_total", r.as_str()),
+                    "ingestion errors observed, by taxonomy reason",
+                )
+            }),
+        }
+    }
+
+    /// Counts one error that happened outside a reader (e.g. a failed
+    /// [`PcapReader::new`], where no [`IngestStats`] exists yet).
+    pub fn record_error(&self, reason: IngestReason) {
+        self.errors[reason.index()].inc();
+    }
+
+    /// Adds a finished reader's [`IngestStats`] into the counters.
+    ///
+    /// Call once per completed ingestion pass; the counters are monotonic
+    /// and publishing the same stats twice double-counts.
+    pub fn publish(&self, stats: &IngestStats) {
+        self.records_ok.add(stats.records_ok);
+        self.records_skipped.add(stats.records_skipped);
+        self.bytes_skipped.add(stats.bytes_skipped);
+        for (reason, n) in stats.by_reason() {
+            self.errors[reason.index()].add(n);
+        }
+    }
+}
+
+const GLOBAL_HDR_LEN: usize = 24;
+const REC_HDR_LEN: usize = 16;
+/// Consumed-prefix length above which `fill` compacts the buffer, so a
+/// byte-at-a-time resync stays amortized O(1) per byte instead of
+/// re-shifting the buffer on every slide.
+const COMPACT_THRESHOLD: usize = 4096;
+
+struct RecHeader {
+    sec: u32,
+    usec: u32,
+    incl_len: usize,
+    orig_len: u32,
+}
+
 /// Streaming pcap reader over any [`Read`].
 ///
 /// Checksums are *not* verified while reading (truncated captures cannot
 /// verify); pass decoded frames through [`wire::decode`] with
 /// [`ChecksumPolicy::Verify`] if verification is required.
+///
+/// The reader buffers internally so it can look ahead without committing:
+/// under [`RecoveryPolicy::Skip`] a malformed record is counted in
+/// [`IngestStats`], its bytes are discarded, and reading resumes at the
+/// next position that both looks like a plausible record header *and*
+/// whose body actually wire-decodes.
 #[derive(Debug)]
 pub struct PcapReader<R: Read> {
     input: R,
     swapped: bool,
     snaplen: u32,
     records: u64,
+    policy: RecoveryPolicy,
+    stats: IngestStats,
+    buf: Vec<u8>,
+    pos: usize,
+    eof: bool,
 }
 
 impl<R: Read> PcapReader<R> {
-    /// Reads and validates the global header.
+    /// Reads and validates the global header with [`RecoveryPolicy::Strict`].
     ///
     /// # Errors
     ///
+    /// See [`PcapReader::with_policy`].
+    pub fn new(input: R) -> Result<Self, NetError> {
+        Self::with_policy(input, RecoveryPolicy::Strict)
+    }
+
+    /// Reads and validates the global header.
+    ///
+    /// The recovery policy only governs per-record handling: a capture
+    /// whose *global* header is unusable cannot be resynchronized and
+    /// fails under either policy.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::Truncated`] when the input ends inside the 24-byte
+    ///   global header.
     /// * [`NetError::BadMagic`] for an unrecognized magic number.
+    /// * [`NetError::Oversized`] for a snaplen above [`MAX_SNAPLEN`].
     /// * [`NetError::InvalidField`] for a non-Ethernet linktype.
     /// * I/O errors from the underlying reader.
-    pub fn new(mut input: R) -> Result<Self, NetError> {
-        let mut header = [0u8; 24];
-        input.read_exact(&mut header)?;
+    pub fn with_policy(input: R, policy: RecoveryPolicy) -> Result<Self, NetError> {
+        let mut reader = Self {
+            input,
+            swapped: false,
+            snaplen: 0,
+            records: 0,
+            policy,
+            stats: IngestStats::default(),
+            buf: Vec::new(),
+            pos: 0,
+            eof: false,
+        };
+        reader.fill(GLOBAL_HDR_LEN)?;
+        let avail = reader.available();
+        if avail < GLOBAL_HDR_LEN {
+            return Err(NetError::Truncated {
+                context: "pcap global header",
+                needed: GLOBAL_HDR_LEN,
+                available: avail,
+            });
+        }
+        let mut header = [0u8; GLOBAL_HDR_LEN];
+        header.copy_from_slice(&reader.buf[reader.pos..reader.pos + GLOBAL_HDR_LEN]);
         let raw_magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
-        let swapped = match raw_magic {
+        reader.swapped = match raw_magic {
             MAGIC => false,
             MAGIC_SWAPPED => true,
             other => return Err(NetError::BadMagic(other)),
         };
-        let read_u32 = |bytes: &[u8]| {
-            let arr = [bytes[0], bytes[1], bytes[2], bytes[3]];
-            if swapped {
-                u32::from_be_bytes(arr)
-            } else {
-                u32::from_le_bytes(arr)
-            }
-        };
-        let snaplen = read_u32(&header[16..20]);
-        let linktype = read_u32(&header[20..24]);
+        let snaplen = reader.read_u32(&header[16..20]);
+        let linktype = reader.read_u32(&header[20..24]);
+        if snaplen > MAX_SNAPLEN {
+            return Err(NetError::Oversized {
+                context: "pcap snaplen",
+                len: snaplen as u64,
+                limit: MAX_SNAPLEN as u64,
+            });
+        }
         if linktype != LINKTYPE_ETHERNET {
             return Err(NetError::InvalidField {
                 field: "linktype",
                 value: linktype as u64,
             });
         }
-        Ok(Self {
-            input,
-            swapped,
-            snaplen,
-            records: 0,
-        })
+        reader.snaplen = snaplen;
+        reader.consume(GLOBAL_HDR_LEN);
+        Ok(reader)
     }
 
     fn read_u32(&self, bytes: &[u8]) -> u32 {
@@ -195,55 +372,219 @@ impl<R: Read> PcapReader<R> {
         self.records
     }
 
-    /// Reads the next record, returning `Ok(None)` at a clean end of file.
+    /// The recovery policy this reader was built with.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Ingestion accounting: decoded records, skipped regions/bytes, and
+    /// per-reason error counts.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    fn available(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Buffers input until at least `want` bytes are available or the
+    /// input is exhausted. Callers re-check [`PcapReader::available`].
+    fn fill(&mut self, want: usize) -> Result<(), NetError> {
+        if self.pos >= COMPACT_THRESHOLD || self.pos == self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        let mut chunk = [0u8; 8192];
+        while !self.eof && self.available() < want {
+            match self.input.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+        Ok(())
+    }
+
+    fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.available());
+        self.pos += n;
+    }
+
+    fn parse_rec_header(&self) -> RecHeader {
+        let b = &self.buf[self.pos..self.pos + REC_HDR_LEN];
+        RecHeader {
+            sec: self.read_u32(&b[0..4]),
+            usec: self.read_u32(&b[4..8]),
+            incl_len: self.read_u32(&b[8..12]) as usize,
+            orig_len: self.read_u32(&b[12..16]),
+        }
+    }
+
+    /// Reads the next record, returning `Ok(None)` at end of input.
+    ///
+    /// Under [`RecoveryPolicy::Skip`] malformed records are counted and
+    /// skipped instead of reported, so the only errors are I/O errors.
     ///
     /// # Errors
     ///
-    /// * [`NetError::Truncated`] when the file ends inside a record.
+    /// (Strict mode.)
+    ///
+    /// * [`NetError::Truncated`] when the file ends inside a record, with
+    ///   the actual byte counts observed.
+    /// * [`NetError::InvalidField`] when a record's `incl_len` exceeds
+    ///   the declared snaplen.
     /// * Frame decode errors from [`wire::decode`] (checksum verification
     ///   disabled).
     pub fn read_packet(&mut self) -> Result<Option<Packet>, NetError> {
-        let mut rec = [0u8; 16];
-        match self.input.read(&mut rec[..1])? {
-            0 => return Ok(None), // clean EOF
-            _ => self
-                .input
-                .read_exact(&mut rec[1..])
-                .map_err(|_| NetError::Truncated {
-                    context: "pcap record header",
-                    needed: 16,
-                    available: 1,
-                })?,
+        match self.policy {
+            RecoveryPolicy::Strict => {
+                let r = self.next_record_strict();
+                if let Err(e) = &r {
+                    self.stats.count(e.reason());
+                }
+                r
+            }
+            RecoveryPolicy::Skip => self.next_record_skip(),
         }
-        let sec = self.read_u32(&rec[0..4]);
-        let usec = self.read_u32(&rec[4..8]);
-        let incl_len = self.read_u32(&rec[8..12]) as usize;
-        let orig_len = self.read_u32(&rec[12..16]);
-        if incl_len > self.snaplen as usize {
-            return Err(NetError::InvalidField {
-                field: "incl_len",
-                value: incl_len as u64,
+    }
+
+    fn next_record_strict(&mut self) -> Result<Option<Packet>, NetError> {
+        self.fill(REC_HDR_LEN)?;
+        let avail = self.available();
+        if avail == 0 {
+            return Ok(None); // clean EOF
+        }
+        if avail < REC_HDR_LEN {
+            return Err(NetError::Truncated {
+                context: "pcap record header",
+                needed: REC_HDR_LEN,
+                available: avail,
             });
         }
-        let mut frame = vec![0u8; incl_len];
-        self.input
-            .read_exact(&mut frame)
-            .map_err(|_| NetError::Truncated {
+        let hdr = self.parse_rec_header();
+        if hdr.incl_len > self.snaplen as usize {
+            return Err(NetError::InvalidField {
+                field: "incl_len",
+                value: hdr.incl_len as u64,
+            });
+        }
+        let total = REC_HDR_LEN + hdr.incl_len;
+        self.fill(total)?;
+        let avail = self.available();
+        if avail < total {
+            return Err(NetError::Truncated {
                 context: "pcap record body",
-                needed: incl_len,
-                available: 0,
-            })?;
-        let ts = Timestamp::from_sec_usec(sec, usec);
-        let packet = wire::decode(&frame, ts, orig_len, ChecksumPolicy::Ignore)?;
+                needed: hdr.incl_len,
+                available: avail - REC_HDR_LEN,
+            });
+        }
+        let ts = Timestamp::from_sec_usec(hdr.sec, hdr.usec);
+        let frame = &self.buf[self.pos + REC_HDR_LEN..self.pos + total];
+        let packet = wire::decode(frame, ts, hdr.orig_len, ChecksumPolicy::Ignore)?;
+        self.consume(total);
         self.records += 1;
+        self.stats.records_ok += 1;
         Ok(Some(packet))
+    }
+
+    /// Skip-mode reading: trust plausible framing, otherwise slide.
+    ///
+    /// Two regimes, tracked by `resync`:
+    ///
+    /// * **Aligned** (`resync == false`): the cursor sits where a record
+    ///   header should be. A header within snaplen is trusted, so a body
+    ///   that fails to decode skips exactly that record and stays
+    ///   aligned.
+    /// * **Resynchronizing** (`resync == true`): framing has been lost;
+    ///   the reader slides one byte at a time and only accepts an offset
+    ///   whose header passes *stricter* plausibility (valid microseconds,
+    ///   non-empty body, `orig_len >= incl_len`) **and** whose body
+    ///   actually wire-decodes.
+    fn next_record_skip(&mut self) -> Result<Option<Packet>, NetError> {
+        let mut resync = false;
+        // Every iteration either returns or consumes at least one byte,
+        // so the loop terminates on any input.
+        loop {
+            self.fill(REC_HDR_LEN)?;
+            let avail = self.available();
+            if avail == 0 {
+                return Ok(None);
+            }
+            if avail < REC_HDR_LEN {
+                // Trailing partial header: nothing further can decode.
+                if !resync {
+                    self.stats.count(IngestReason::Truncated);
+                    self.stats.records_skipped += 1;
+                }
+                self.stats.bytes_skipped += avail as u64;
+                self.consume(avail);
+                return Ok(None);
+            }
+            let hdr = self.parse_rec_header();
+            let plausible = hdr.incl_len <= self.snaplen as usize
+                && (!resync
+                    || (hdr.usec < 1_000_000
+                        && hdr.incl_len > 0
+                        && hdr.orig_len as usize >= hdr.incl_len));
+            if !plausible {
+                if !resync {
+                    self.stats.count(IngestReason::InvalidField);
+                    self.stats.records_skipped += 1;
+                    resync = true;
+                }
+                self.consume(1);
+                self.stats.bytes_skipped += 1;
+                continue;
+            }
+            let total = REC_HDR_LEN + hdr.incl_len;
+            self.fill(total)?;
+            if self.available() < total {
+                // Header claims more bytes than remain. A shorter record
+                // may still start later in the tail, so keep sliding
+                // instead of discarding the tail wholesale.
+                if !resync {
+                    self.stats.count(IngestReason::Truncated);
+                    self.stats.records_skipped += 1;
+                    resync = true;
+                }
+                self.consume(1);
+                self.stats.bytes_skipped += 1;
+                continue;
+            }
+            let ts = Timestamp::from_sec_usec(hdr.sec, hdr.usec);
+            let frame = &self.buf[self.pos + REC_HDR_LEN..self.pos + total];
+            match wire::decode(frame, ts, hdr.orig_len, ChecksumPolicy::Ignore) {
+                Ok(packet) => {
+                    self.consume(total);
+                    self.records += 1;
+                    self.stats.records_ok += 1;
+                    return Ok(Some(packet));
+                }
+                Err(e) => {
+                    if resync {
+                        self.consume(1);
+                        self.stats.bytes_skipped += 1;
+                    } else {
+                        // Aligned header within snaplen: trust its
+                        // framing and skip exactly this record.
+                        self.stats.count(e.reason());
+                        self.stats.records_skipped += 1;
+                        self.consume(total);
+                        self.stats.bytes_skipped += total as u64;
+                    }
+                }
+            }
+        }
     }
 
     /// Reads every remaining record into a vector.
     ///
     /// # Errors
     ///
-    /// Stops at the first malformed record and returns its error.
+    /// Under [`RecoveryPolicy::Strict`], stops at the first malformed
+    /// record and returns its error; under [`RecoveryPolicy::Skip`], only
+    /// I/O errors are possible.
     pub fn read_all(&mut self) -> Result<Vec<Packet>, NetError> {
         let mut out = Vec::new();
         while let Some(p) = self.read_packet()? {
@@ -278,6 +619,21 @@ pub fn to_bytes<'a, I: IntoIterator<Item = &'a Packet>>(
 /// Fails on a bad global header or any malformed record.
 pub fn from_bytes(bytes: &[u8]) -> Result<Vec<Packet>, NetError> {
     PcapReader::new(bytes)?.read_all()
+}
+
+/// Convenience: parses an in-memory pcap byte buffer under
+/// [`RecoveryPolicy::Skip`], returning every record that survived
+/// recovery together with the ingestion accounting.
+///
+/// # Errors
+///
+/// Fails only on an unusable *global* header (see
+/// [`PcapReader::with_policy`]); per-record corruption is skipped and
+/// counted instead.
+pub fn from_bytes_recovering(bytes: &[u8]) -> Result<(Vec<Packet>, IngestStats), NetError> {
+    let mut reader = PcapReader::with_policy(bytes, RecoveryPolicy::Skip)?;
+    let packets = reader.read_all()?;
+    Ok((packets, *reader.stats()))
 }
 
 #[cfg(test)]
@@ -421,6 +777,220 @@ mod tests {
     fn empty_capture_yields_no_packets() {
         let bytes = to_bytes(std::iter::empty(), 65535).unwrap();
         assert!(from_bytes(&bytes).unwrap().is_empty());
+    }
+
+    /// Byte offsets of each record (and its body) inside `to_bytes`
+    /// output for `sample_packets()` at snaplen 65535: records are 16
+    /// bytes of header plus the full frame.
+    fn record_offsets(packets: &[Packet]) -> Vec<(usize, usize)> {
+        let mut offsets = Vec::new();
+        let mut at = 24;
+        for p in packets {
+            let frame_len = wire::encode(p).len();
+            offsets.push((at, 16 + frame_len));
+            at += 16 + frame_len;
+        }
+        offsets
+    }
+
+    #[test]
+    fn truncated_header_reports_real_counts() {
+        let bytes = to_bytes(&sample_packets()[..1], 65535).unwrap();
+        let cut = &bytes[..24 + 7];
+        let mut reader = PcapReader::new(cut).unwrap();
+        match reader.read_packet() {
+            Err(NetError::Truncated {
+                context,
+                needed,
+                available,
+            }) => {
+                assert_eq!(context, "pcap record header");
+                assert_eq!(needed, 16);
+                assert_eq!(available, 7);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        assert_eq!(reader.stats().errors_for(IngestReason::Truncated), 1);
+    }
+
+    #[test]
+    fn truncated_body_reports_real_counts() {
+        let packets = sample_packets();
+        let frame_len = wire::encode(&packets[0]).len();
+        let bytes = to_bytes(&packets[..1], 65535).unwrap();
+        let cut = &bytes[..bytes.len() - 3];
+        let mut reader = PcapReader::new(cut).unwrap();
+        match reader.read_packet() {
+            Err(NetError::Truncated {
+                context,
+                needed,
+                available,
+            }) => {
+                assert_eq!(context, "pcap record body");
+                assert_eq!(needed, frame_len);
+                assert_eq!(available, frame_len - 3);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_global_header_reports_real_counts() {
+        let bytes = to_bytes(&sample_packets()[..1], 65535).unwrap();
+        match PcapReader::new(&bytes[..10]) {
+            Err(NetError::Truncated {
+                context,
+                needed,
+                available,
+            }) => {
+                assert_eq!(context, "pcap global header");
+                assert_eq!(needed, 24);
+                assert_eq!(available, 10);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_snaplen_is_rejected() {
+        let mut bytes = to_bytes(&sample_packets()[..1], 65535).unwrap();
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        match PcapReader::new(&bytes[..]) {
+            Err(NetError::Oversized {
+                context,
+                len,
+                limit,
+            }) => {
+                assert_eq!(context, "pcap snaplen");
+                assert_eq!(len, u32::MAX as u64);
+                assert_eq!(limit, MAX_SNAPLEN as u64);
+            }
+            other => panic!("expected oversized, got {other:?}"),
+        }
+        // The same file is rejected under Skip too: the global header is
+        // not recoverable.
+        assert!(matches!(
+            PcapReader::with_policy(&bytes[..], RecoveryPolicy::Skip),
+            Err(NetError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn max_snaplen_itself_is_accepted() {
+        let packets = sample_packets();
+        let bytes = to_bytes(&packets, MAX_SNAPLEN).unwrap();
+        assert_eq!(from_bytes(&bytes).unwrap(), packets);
+    }
+
+    #[test]
+    fn skip_mode_on_clean_capture_matches_strict() {
+        let packets = sample_packets();
+        let bytes = to_bytes(&packets, 65535).unwrap();
+        let (restored, stats) = from_bytes_recovering(&bytes).unwrap();
+        assert_eq!(restored, packets);
+        assert_eq!(stats.records_ok, 3);
+        assert_eq!(stats.records_skipped, 0);
+        assert_eq!(stats.bytes_skipped, 0);
+        assert_eq!(stats.errors_total(), 0);
+    }
+
+    #[test]
+    fn skip_mode_skips_record_with_corrupt_body() {
+        let packets = sample_packets();
+        let mut bytes = to_bytes(&packets, 65535).unwrap();
+        let offsets = record_offsets(&packets);
+        // Destroy record 1's ethertype so its body no longer decodes;
+        // the header stays intact, so exactly that record is skipped.
+        let (rec1, rec1_len) = offsets[1];
+        bytes[rec1 + 16 + 12] = 0xFF;
+        bytes[rec1 + 16 + 13] = 0xFF;
+        let (restored, stats) = from_bytes_recovering(&bytes).unwrap();
+        assert_eq!(restored, vec![packets[0].clone(), packets[2].clone()]);
+        assert_eq!(stats.records_ok, 2);
+        assert_eq!(stats.records_skipped, 1);
+        assert_eq!(stats.bytes_skipped, rec1_len as u64);
+        assert_eq!(stats.errors_total(), 1);
+    }
+
+    #[test]
+    fn skip_mode_resyncs_past_corrupt_record_header() {
+        let packets = sample_packets();
+        let mut bytes = to_bytes(&packets, 65535).unwrap();
+        let offsets = record_offsets(&packets);
+        // Claim an impossible incl_len in record 1's header: framing is
+        // lost and the reader must resynchronize on record 2.
+        let (rec1, rec1_len) = offsets[1];
+        bytes[rec1 + 8..rec1 + 12].copy_from_slice(&0x00FF_FFFFu32.to_le_bytes());
+        let (restored, stats) = from_bytes_recovering(&bytes).unwrap();
+        assert_eq!(restored, vec![packets[0].clone(), packets[2].clone()]);
+        assert_eq!(stats.records_ok, 2);
+        assert_eq!(stats.records_skipped, 1);
+        assert_eq!(stats.bytes_skipped, rec1_len as u64);
+        assert_eq!(stats.errors_for(IngestReason::InvalidField), 1);
+    }
+
+    #[test]
+    fn skip_mode_truncated_tail_yields_decodable_prefix() {
+        let packets = sample_packets();
+        let bytes = to_bytes(&packets, 65535).unwrap();
+        let cut = &bytes[..bytes.len() - 5];
+        let mut reader = PcapReader::with_policy(cut, RecoveryPolicy::Skip).unwrap();
+        let restored = reader.read_all().unwrap();
+        assert_eq!(restored, packets[..2]);
+        let stats = reader.stats();
+        assert_eq!(stats.records_ok, 2);
+        assert_eq!(stats.records_skipped, 1);
+        assert_eq!(stats.errors_for(IngestReason::Truncated), 1);
+        // Everything after the decodable prefix was discarded.
+        let tail = bytes.len() - 5 - record_offsets(&packets)[2].0;
+        assert_eq!(stats.bytes_skipped, tail as u64);
+    }
+
+    #[test]
+    fn skip_mode_garbage_between_records_is_crossed() {
+        let packets = sample_packets();
+        let bytes = to_bytes(&packets, 65535).unwrap();
+        let offsets = record_offsets(&packets);
+        // Splice 33 bytes of garbage between records 0 and 1.
+        let (rec1, _) = offsets[1];
+        let mut spliced = bytes[..rec1].to_vec();
+        spliced.extend(std::iter::repeat_n(0xAB, 33));
+        spliced.extend_from_slice(&bytes[rec1..]);
+        let (restored, stats) = from_bytes_recovering(&spliced).unwrap();
+        assert_eq!(restored, packets);
+        assert_eq!(stats.records_ok, 3);
+        assert_eq!(stats.records_skipped, 1);
+        assert_eq!(stats.bytes_skipped, 33);
+    }
+
+    #[test]
+    fn ingest_telemetry_publishes_counters() {
+        let packets = sample_packets();
+        let mut bytes = to_bytes(&packets, 65535).unwrap();
+        let (rec1, _) = record_offsets(&packets)[1];
+        bytes[rec1 + 16 + 12] = 0xFF;
+        bytes[rec1 + 16 + 13] = 0xFF;
+        let (_, stats) = from_bytes_recovering(&bytes).unwrap();
+
+        let registry = Registry::new();
+        let telemetry = IngestTelemetry::register(&registry);
+        telemetry.publish(&stats);
+        telemetry.record_error(IngestReason::BadMagic);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("upbound_net_ingest_records_ok_total"), Some(2));
+        assert_eq!(
+            snap.counter("upbound_net_ingest_records_skipped_total"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("upbound_net_ingest_errors_bad_magic_total"),
+            Some(1)
+        );
+        let skipped = snap
+            .counter("upbound_net_ingest_bytes_skipped_total")
+            .unwrap();
+        assert!(skipped > 0);
     }
 
     #[test]

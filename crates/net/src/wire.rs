@@ -185,6 +185,15 @@ pub fn decode(
         return Err(NetError::BadChecksum { layer: "IPv4" });
     }
     let total_len = u16::from_be_bytes([ip[2], ip[3]]) as usize;
+    if total_len < IPV4_HDR_LEN {
+        // A total length shorter than the header itself is structurally
+        // impossible; without this check the transport slice below would
+        // panic on `[IPV4_HDR_LEN..total_len]`.
+        return Err(NetError::InvalidField {
+            field: "ip total length",
+            value: total_len as u64,
+        });
+    }
     let truncated = ip.len() < total_len;
     if truncated && policy == ChecksumPolicy::Verify {
         // A snaplen-truncated frame cannot verify its transport checksum.
@@ -280,6 +289,27 @@ mod tests {
             "192.0.2.9:53".parse().unwrap(),
         );
         Packet::udp(Timestamp::from_secs(2.0), tuple, payload.to_vec())
+    }
+
+    #[test]
+    fn undersized_ip_total_length_is_invalid_not_a_panic() {
+        // A single bit-flip in the IP total-length field of a valid frame
+        // can declare fewer bytes than the IPv4 header itself; the slice
+        // `[IPV4_HDR_LEN..total_len]` used to panic on that.
+        let p = tcp_packet(b"data");
+        let mut frame = encode(&p).to_vec();
+        frame[ETH_HDR_LEN + 2] = 0;
+        frame[ETH_HDR_LEN + 3] = 10; // total_len = 10 < 20
+        for policy in [ChecksumPolicy::Ignore, ChecksumPolicy::Verify] {
+            match decode(&frame, p.ts(), p.wire_len(), policy) {
+                Err(NetError::InvalidField { field, value }) => {
+                    assert_eq!(field, "ip total length");
+                    assert_eq!(value, 10);
+                }
+                Err(NetError::BadChecksum { .. }) if policy == ChecksumPolicy::Verify => {}
+                other => panic!("expected invalid field, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -146,3 +146,205 @@ proptest! {
         prop_assert_eq!(Timestamp::from_sec_usec(s, u), t);
     }
 }
+
+/// Byte-swaps a little-endian capture into its big-endian twin: the
+/// global-header and record-header fields are reversed in place, frame
+/// bytes (network order already) are untouched.
+fn swap_capture(le: &[u8]) -> Vec<u8> {
+    let mut out = le.to_vec();
+    out[0..4].reverse(); // magic
+    out[4..6].reverse(); // version major
+    out[6..8].reverse(); // version minor
+    for field in [8usize, 12, 16, 20] {
+        out[field..field + 4].reverse();
+    }
+    let mut off = 24;
+    while off + 16 <= le.len() {
+        let incl = u32::from_le_bytes(le[off + 8..off + 12].try_into().expect("4 bytes")) as usize;
+        for field in 0..4 {
+            out[off + field * 4..off + (field + 1) * 4].reverse();
+        }
+        off += 16 + incl;
+    }
+    out
+}
+
+/// Per-record `(offset, total_len)` of a little-endian capture.
+fn record_layout(le: &[u8]) -> Vec<(usize, usize)> {
+    let mut layout = Vec::new();
+    let mut off = 24;
+    while off + 16 <= le.len() {
+        let incl = u32::from_le_bytes(le[off + 8..off + 12].try_into().expect("4 bytes")) as usize;
+        layout.push((off, 16 + incl));
+        off += 16 + incl;
+    }
+    layout
+}
+
+/// What a strict read of the first `cut` bytes must produce: either a
+/// clean EOF after `n` records, or an exact truncation error after `n`
+/// complete records.
+enum ExpectedCut {
+    Clean(usize),
+    Error {
+        complete: usize,
+        context: &'static str,
+        needed: usize,
+        available: usize,
+    },
+}
+
+fn expected_at_cut(le: &[u8], cut: usize) -> ExpectedCut {
+    if cut < 24 {
+        return ExpectedCut::Error {
+            complete: 0,
+            context: "pcap global header",
+            needed: 24,
+            available: cut,
+        };
+    }
+    let mut off = 24;
+    let mut complete = 0;
+    loop {
+        if off == cut {
+            return ExpectedCut::Clean(complete);
+        }
+        if cut - off < 16 {
+            return ExpectedCut::Error {
+                complete,
+                context: "pcap record header",
+                needed: 16,
+                available: cut - off,
+            };
+        }
+        let incl = u32::from_le_bytes(le[off + 8..off + 12].try_into().expect("4 bytes")) as usize;
+        if cut - off < 16 + incl {
+            return ExpectedCut::Error {
+                complete,
+                context: "pcap record body",
+                needed: incl,
+                available: cut - off - 16,
+            };
+        }
+        off += 16 + incl;
+        complete += 1;
+    }
+}
+
+/// Strict read to the first error: decodable prefix plus the error.
+fn strict_prefix(bytes: &[u8]) -> (Vec<Packet>, Option<upbound_net::NetError>) {
+    let mut reader = match pcap::PcapReader::new(bytes) {
+        Ok(r) => r,
+        Err(e) => return (Vec::new(), Some(e)),
+    };
+    let mut out = Vec::new();
+    loop {
+        match reader.read_packet() {
+            Ok(Some(p)) => out.push(p),
+            Ok(None) => return (out, None),
+            Err(e) => return (out, Some(e)),
+        }
+    }
+}
+
+proptest! {
+    /// Truncating a valid capture at ANY offset — in either byte order —
+    /// makes the strict reader decode exactly the complete records and
+    /// then report a `Truncated` error whose context, `needed`, and
+    /// `available` fields are byte-accurate.
+    #[test]
+    fn truncation_reports_exact_error_fields(
+        pkts in proptest::collection::vec(arb_packet(), 1..5),
+        cut_frac in 0.0f64..1.0,
+        swapped in any::<bool>(),
+    ) {
+        let le = pcap::to_bytes(&pkts, 65_535).expect("write");
+        let cut = (le.len() as f64 * cut_frac) as usize;
+        let bytes = if swapped { swap_capture(&le) } else { le.clone() };
+        let (prefix, err) = strict_prefix(&bytes[..cut]);
+        match expected_at_cut(&le, cut) {
+            ExpectedCut::Clean(n) => {
+                prop_assert!(err.is_none(), "clean cut errored: {err:?}");
+                prop_assert_eq!(prefix.len(), n);
+                prop_assert_eq!(&prefix[..], &pkts[..n]);
+            }
+            ExpectedCut::Error { complete, context, needed, available } => {
+                prop_assert_eq!(prefix.len(), complete);
+                prop_assert_eq!(&prefix[..], &pkts[..complete]);
+                match err {
+                    Some(upbound_net::NetError::Truncated {
+                        context: c,
+                        needed: n,
+                        available: a,
+                    }) => {
+                        prop_assert_eq!(c, context);
+                        prop_assert_eq!(n, needed);
+                        prop_assert_eq!(a, available);
+                    }
+                    other => prop_assert!(false, "expected Truncated, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Flipping one bit anywhere — in either byte order — never panics
+    /// either reader, and the recovering reader's output always begins
+    /// with the strict reader's decodable prefix.
+    #[test]
+    fn bit_flip_differential_holds(
+        pkts in proptest::collection::vec(arb_packet(), 1..5),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+        swapped in any::<bool>(),
+    ) {
+        let le = pcap::to_bytes(&pkts, 65_535).expect("write");
+        let mut bytes = if swapped { swap_capture(&le) } else { le };
+        let i = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[i] ^= 1 << bit;
+
+        let (prefix, strict_err) = strict_prefix(&bytes);
+        match pcap::from_bytes_recovering(&bytes) {
+            Err(_) => {
+                // Only an unusable global header stops recovery, and then
+                // strict reading failed before producing anything too.
+                prop_assert!(prefix.is_empty() && strict_err.is_some());
+            }
+            Ok((recovered, stats)) => {
+                prop_assert_eq!(stats.records_ok, recovered.len() as u64);
+                prop_assert!(recovered.len() >= prefix.len());
+                prop_assert_eq!(&recovered[..prefix.len()], &prefix[..]);
+                if strict_err.is_none() {
+                    prop_assert_eq!(recovered.len(), prefix.len());
+                    prop_assert_eq!(stats.records_skipped, 0);
+                    prop_assert_eq!(stats.bytes_skipped, 0);
+                }
+            }
+        }
+    }
+
+    /// Corrupting one record's body (header framing intact) makes the
+    /// recovering reader yield exactly the other records — the decodable
+    /// prefix AND suffix — while accounting for the one discarded region.
+    #[test]
+    fn recovering_reader_drops_exactly_the_corrupt_record(
+        pkts in proptest::collection::vec(arb_packet(), 2..6),
+        which_frac in 0.0f64..1.0,
+    ) {
+        let mut bytes = pcap::to_bytes(&pkts, 65_535).expect("write");
+        let layout = record_layout(&bytes);
+        let r = ((layout.len() - 1) as f64 * which_frac) as usize;
+        let (off, total) = layout[r];
+        // An impossible ethertype: the record header stays trusted, the
+        // body can no longer decode.
+        bytes[off + 16 + 12] = 0xFF;
+        bytes[off + 16 + 13] = 0xFF;
+
+        let (recovered, stats) = pcap::from_bytes_recovering(&bytes).expect("header intact");
+        let mut expected = pkts.clone();
+        expected.remove(r);
+        prop_assert_eq!(recovered, expected);
+        prop_assert_eq!(stats.records_skipped, 1);
+        prop_assert_eq!(stats.bytes_skipped, total as u64);
+        prop_assert_eq!(stats.errors_total(), 1);
+    }
+}

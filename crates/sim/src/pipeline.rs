@@ -32,7 +32,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use upbound_core::observe::FilterObserver;
 use upbound_core::{BitmapFilter, BitmapFilterConfig, FilterStats, ShardedFilter, Verdict};
-use upbound_net::{Cidr, Direction, Packet};
+use upbound_net::{Cidr, Direction, Packet, Timestamp};
 use upbound_telemetry::{Counter, Gauge, Registry};
 
 /// Pipeline tuning knobs.
@@ -325,12 +325,16 @@ fn account(result: &mut PipelineResult, packet: &Packet, direction: Direction, v
 ///        ──► …                  ──┘
 /// ```
 ///
-/// The ingest stage tags each packet with a sequence number and routes
+/// The ingest stage tags each packet with a sequence number and the
+/// running *maximum* timestamp seen so far (the watermark), and routes
 /// it by [`ShardedFilter::shard_of`], so each worker only ever locks its
-/// own shard (uncontended on the hot path). The merge stage restores
-/// sequence order — which is timestamp order, since the input is sorted
-/// — before accounting, so downstream consumers see the same stream a
-/// sequential run would produce.
+/// own shard (uncontended on the hot path). Workers decide via
+/// [`ShardedFilter::process_packet_at`], which first advances the shard
+/// to the watermark — on a trace with non-monotonic timestamps this pins
+/// every shard to the tick phase a sequential filter would hold, instead
+/// of each shard drifting on its own packets' clocks. The merge stage
+/// restores sequence order before accounting, so downstream consumers
+/// see the same stream a sequential run would produce.
 ///
 /// With the paper-default `P_d ≡ 1` policy the verdicts (and the merged
 /// [`FilterStats`]) are identical to a sequential [`run_pipeline`] run.
@@ -349,7 +353,7 @@ where
 {
     let sharded = ShardedFilter::new(filter_config, shards);
     let (worker_txs, worker_rxs): (Vec<_>, Vec<_>) = (0..shards)
-        .map(|_| bounded::<(u64, Packet, Direction)>(pipeline_config.channel_capacity))
+        .map(|_| bounded::<(u64, Packet, Direction, Timestamp)>(pipeline_config.channel_capacity))
         .unzip();
     let (merge_tx, merge_rx): (Sender<(u64, Packet, Direction, Verdict)>, Receiver<_>) =
         bounded(pipeline_config.channel_capacity);
@@ -360,8 +364,8 @@ where
             let handle = sharded.clone();
             let merge_tx = merge_tx.clone();
             scope.spawn(move |_| {
-                for (seq, packet, direction) in rx {
-                    let verdict = handle.process_packet(&packet, direction);
+                for (seq, packet, direction, watermark) in rx {
+                    let verdict = handle.process_packet_at(&packet, direction, watermark);
                     if merge_tx.send((seq, packet, direction, verdict)).is_err() {
                         break;
                     }
@@ -397,12 +401,15 @@ where
             result
         });
 
-        // Ingest on the calling thread: classify, tag, route by flow.
+        // Ingest on the calling thread: classify, tag with the running
+        // max-timestamp watermark, route by flow.
+        let mut watermark = Timestamp::ZERO;
         for (seq, packet) in packets.into_iter().enumerate() {
             let direction = inside.direction_of(&packet.tuple());
             let shard = sharded.shard_of(&packet.tuple(), direction);
+            watermark = watermark.max(packet.ts());
             if worker_txs[shard]
-                .send((seq as u64, packet, direction))
+                .send((seq as u64, packet, direction, watermark))
                 .is_err()
             {
                 break;
@@ -590,6 +597,51 @@ mod tests {
                 PipelineConfig::default(),
             );
             assert_eq!(result, reference, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_pipeline_matches_sequential_on_nonmonotonic_trace() {
+        // Deterministically scramble the trace's timestamp order (swap
+        // timestamps pairwise within a stride) and inject a far-future
+        // outlier, then assert the sharded pipeline still produces the
+        // sequential verdict stream for shards ∈ {1, 4}.
+        let trace = trace();
+        let config = BitmapFilterConfig::paper_evaluation();
+        let mut packets: Vec<Packet> = trace.packets.iter().map(|lp| lp.packet.clone()).collect();
+        for i in (0..packets.len().saturating_sub(7)).step_by(7) {
+            let a = packets[i].ts();
+            let b = packets[i + 6].ts();
+            packets[i] = packets[i].clone().with_ts(b);
+            packets[i + 6] = packets[i + 6].clone().with_ts(a);
+        }
+        let mid = packets.len() / 2;
+        let far = packets[mid].ts() + upbound_net::TimeDelta::from_secs(40_000.0);
+        packets[mid] = packets[mid].clone().with_ts(far);
+
+        // Sequential reference over the scrambled stream.
+        let mut reference = BitmapFilter::new(config.clone());
+        let mut seq_passed = 0u64;
+        let mut seq_dropped = 0u64;
+        for packet in &packets {
+            let direction = inside().direction_of(&packet.tuple());
+            match reference.process_packet(packet, direction) {
+                Verdict::Pass => seq_passed += 1,
+                Verdict::Drop => seq_dropped += 1,
+            }
+        }
+
+        for shards in [1usize, 4] {
+            let result = run_sharded_pipeline(
+                packets.iter().cloned(),
+                inside(),
+                config.clone(),
+                shards,
+                PipelineConfig::default(),
+            );
+            assert_eq!(result.ingested as usize, packets.len());
+            assert_eq!(result.passed, seq_passed, "shards = {shards}");
+            assert_eq!(result.dropped, seq_dropped, "shards = {shards}");
         }
     }
 

@@ -2,9 +2,11 @@
 
 use crate::{OracleFilter, PacketFilter};
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 use std::collections::HashSet;
 use upbound_core::Verdict;
-use upbound_net::{Direction, FiveTuple, TimeDelta};
+use upbound_net::pcap::{IngestStats, PcapReader};
+use upbound_net::{Cidr, Direction, FiveTuple, NetError, Packet, TimeDelta};
 use upbound_stats::BinnedSeries;
 use upbound_traffic::SyntheticTrace;
 
@@ -137,6 +139,47 @@ impl ReplayEngine {
     /// cannot "un-trigger" them, but suppressing them reproduces the
     /// bandwidth effect of the block).
     pub fn run<F: PacketFilter>(&self, trace: &SyntheticTrace, filter: &mut F) -> ReplayResult {
+        self.run_iter(
+            filter,
+            trace.packets.iter().map(|lp| (&lp.packet, lp.direction)),
+        )
+    }
+
+    /// Replays the remaining records of a pcap `reader` through `filter`,
+    /// classifying direction against `client_net` (source inside →
+    /// outbound), and returns the replay metrics together with the
+    /// reader's ingestion accounting.
+    ///
+    /// Under [`RecoveryPolicy::Skip`](upbound_net::pcap::RecoveryPolicy)
+    /// corrupt records are skipped and counted in the returned
+    /// [`IngestStats`] rather than aborting the replay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors: any malformed record under
+    /// [`RecoveryPolicy::Strict`](upbound_net::pcap::RecoveryPolicy),
+    /// only I/O errors under `Skip`.
+    pub fn run_capture<F: PacketFilter, R: std::io::Read>(
+        &self,
+        reader: &mut PcapReader<R>,
+        client_net: Cidr,
+        filter: &mut F,
+    ) -> Result<(ReplayResult, IngestStats), NetError> {
+        let mut packets: Vec<(Packet, Direction)> = Vec::new();
+        while let Some(packet) = reader.read_packet()? {
+            let direction = client_net.direction_of(&packet.tuple());
+            packets.push((packet, direction));
+        }
+        let result = self.run_iter(filter, packets);
+        Ok((result, *reader.stats()))
+    }
+
+    fn run_iter<F, P, I>(&self, filter: &mut F, packets: I) -> ReplayResult
+    where
+        F: PacketFilter,
+        P: Borrow<Packet>,
+        I: IntoIterator<Item = (P, Direction)>,
+    {
         let bin = self.config.bin_secs;
         let mut result = ReplayResult {
             filter_name: filter.name().to_owned(),
@@ -156,11 +199,12 @@ impl ReplayEngine {
         let mut oracle = OracleFilter::new(self.config.oracle_expiry);
         let mut blocked: HashSet<FiveTuple> = HashSet::new();
 
-        for lp in &trace.packets {
-            let t = lp.packet.ts().as_secs_f64();
-            let bits = lp.packet.wire_bits() as f64;
+        for (packet, direction) in packets {
+            let packet = packet.borrow();
+            let t = packet.ts().as_secs_f64();
+            let bits = packet.wire_bits() as f64;
             result.total_packets += 1;
-            match lp.direction {
+            match direction {
                 Direction::Outbound => result.pre_uplink.add(t, bits),
                 Direction::Inbound => {
                     result.pre_downlink.add(t, bits);
@@ -169,15 +213,15 @@ impl ReplayEngine {
                 }
             }
 
-            let tuple = lp.packet.tuple();
+            let tuple = packet.tuple();
             let is_blocked = self.config.block_connections
                 && (blocked.contains(&tuple) || blocked.contains(&tuple.inverse()));
 
             // The oracle scores every inbound packet, blocked or not.
-            let oracle_verdict = oracle.decide(&lp.packet, lp.direction);
+            let oracle_verdict = oracle.decide(packet, direction);
 
             if is_blocked {
-                if lp.direction == Direction::Inbound {
+                if direction == Direction::Inbound {
                     result.total_dropped_packets += 1;
                     result.inbound_dropped.add(t, 1.0);
                     if oracle_verdict == Verdict::Pass {
@@ -188,8 +232,8 @@ impl ReplayEngine {
                 continue;
             }
 
-            let verdict = filter.decide(&lp.packet, lp.direction);
-            match (lp.direction, verdict) {
+            let verdict = filter.decide(packet, direction);
+            match (direction, verdict) {
                 (Direction::Outbound, _) => result.post_uplink.add(t, bits),
                 (Direction::Inbound, Verdict::Pass) => {
                     result.post_downlink.add(t, bits);
@@ -302,6 +346,45 @@ mod tests {
         let series = result.drop_rate_series();
         assert!(!series.is_empty());
         assert!(series.iter().all(|&(_, r)| (0.0..=1.0).contains(&r)));
+    }
+
+    #[test]
+    fn run_capture_matches_in_memory_replay() {
+        let trace = trace(7);
+        let bytes =
+            upbound_net::pcap::to_bytes(trace.packets.iter().map(|lp| &lp.packet), 65535).unwrap();
+        let net: Cidr = "10.0.0.0/16".parse().unwrap();
+        let engine = ReplayEngine::new(ReplayConfig::default());
+        let expected = engine.run(&trace, &mut bitmap());
+        let mut reader = PcapReader::new(&bytes[..]).unwrap();
+        let (result, stats) = engine.run_capture(&mut reader, net, &mut bitmap()).unwrap();
+        assert_eq!(result, expected);
+        assert_eq!(stats.records_ok, trace.packets.len() as u64);
+        assert_eq!(stats.errors_total(), 0);
+    }
+
+    #[test]
+    fn run_capture_recovers_past_corruption() {
+        use upbound_net::pcap::RecoveryPolicy;
+        let trace = trace(8);
+        let bytes =
+            upbound_net::pcap::to_bytes(trace.packets.iter().map(|lp| &lp.packet), 65535).unwrap();
+        // Cut into the last record's body: strict aborts, skip recovers
+        // the decodable prefix and accounts for the loss.
+        let cut = &bytes[..bytes.len() - 7];
+        let net: Cidr = "10.0.0.0/16".parse().unwrap();
+        let engine = ReplayEngine::new(ReplayConfig::default());
+
+        let mut strict = PcapReader::new(cut).unwrap();
+        assert!(engine.run_capture(&mut strict, net, &mut bitmap()).is_err());
+
+        let mut skip = PcapReader::with_policy(cut, RecoveryPolicy::Skip).unwrap();
+        let (result, stats) = engine.run_capture(&mut skip, net, &mut bitmap()).unwrap();
+        let n = trace.packets.len() as u64;
+        assert_eq!(stats.records_ok, n - 1);
+        assert_eq!(result.total_packets, n - 1);
+        assert_eq!(stats.records_skipped, 1);
+        assert!(stats.bytes_skipped > 0);
     }
 
     #[test]

@@ -60,14 +60,22 @@ impl BinnedSeries {
         }
     }
 
+    /// The most bins a series will materialize. A single far-future
+    /// timestamp (e.g. from a corrupt trace record) would otherwise make
+    /// `add` resize the bin vector to gigabytes; events past the ceiling
+    /// accumulate into the terminal bin instead.
+    pub const MAX_BINS: usize = 1 << 20;
+
     /// Adds `amount` at time `t_secs` (seconds from the series origin).
     ///
     /// Events at negative times or with non-finite values are ignored.
+    /// Events beyond [`MAX_BINS`](Self::MAX_BINS) bins land in the last
+    /// bin, bounding memory against corrupt timestamps.
     pub fn add(&mut self, t_secs: f64, amount: f64) {
         if !t_secs.is_finite() || t_secs < 0.0 || !amount.is_finite() {
             return;
         }
-        let idx = (t_secs / self.bin_secs) as usize;
+        let idx = ((t_secs / self.bin_secs) as usize).min(Self::MAX_BINS - 1);
         if idx >= self.bins.len() {
             self.bins.resize(idx + 1, 0.0);
         }
@@ -181,6 +189,16 @@ mod tests {
         assert_eq!(s.peak_rate(), 30.0);
         assert_eq!(s.fraction_above(15.0), 0.5);
         assert_eq!(s.fraction_above(100.0), 0.0);
+    }
+
+    #[test]
+    fn far_future_event_is_clamped_to_terminal_bin() {
+        let mut s = BinnedSeries::new(1.0);
+        // Without the clamp this would try to materialize ~3e16 bins.
+        s.add(3.0e16, 7.0);
+        assert_eq!(s.n_bins(), BinnedSeries::MAX_BINS);
+        assert_eq!(s.bin_total(BinnedSeries::MAX_BINS - 1), 7.0);
+        assert_eq!(s.total(), 7.0);
     }
 
     #[test]

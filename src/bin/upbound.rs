@@ -22,7 +22,7 @@ use upbound::core::{
     BitmapFilter, BitmapFilterConfig, DropPolicy, FlowHash, ShardedFilter, TelemetryObserver,
     Verdict,
 };
-use upbound::net::pcap::{PcapReader, PcapWriter};
+use upbound::net::pcap::{IngestStats, IngestTelemetry, PcapReader, PcapWriter, RecoveryPolicy};
 use upbound::net::{Cidr, Direction, FiveTuple};
 use upbound::telemetry::{export, Registry, Snapshot};
 use upbound::traffic::{generate, TraceConfig};
@@ -33,11 +33,12 @@ upbound — bound peer-to-peer upload traffic without payload inspection
 USAGE:
     upbound generate --out <FILE> [--duration <SECS>] [--rate <FLOWS/S>]
                      [--seed <N>] [--snaplen <BYTES>] [--inside <CIDR>]
-    upbound analyze  --in <FILE> [--inside <CIDR>]
+    upbound analyze  --in <FILE> [--inside <CIDR>] [--on-corrupt strict|skip]
     upbound filter   --in <FILE> [--out <FILE>] [--inside <CIDR>]
                      [--low-mbps <F>] [--high-mbps <F>] [--vector-bits <N>]
                      [--vectors <K>] [--rotate-secs <F>] [--hashes <M>]
                      [--hole-punching] [--no-block] [--shards <N>]
+                     [--on-corrupt strict|skip]
                      [--metrics <FILE.prom|FILE.json>]
                      [--metrics-interval <SECS>]
     upbound params   [--connections <N>]
@@ -46,7 +47,7 @@ USAGE:
 
 /// Flags each subcommand accepts; anything else is rejected up front.
 const GENERATE_FLAGS: &[&str] = &["out", "duration", "rate", "seed", "snaplen", "inside"];
-const ANALYZE_FLAGS: &[&str] = &["in", "inside"];
+const ANALYZE_FLAGS: &[&str] = &["in", "inside", "on-corrupt"];
 const FILTER_FLAGS: &[&str] = &[
     "in",
     "out",
@@ -60,6 +61,7 @@ const FILTER_FLAGS: &[&str] = &[
     "hole-punching",
     "no-block",
     "shards",
+    "on-corrupt",
     "metrics",
     "metrics-interval",
 ];
@@ -181,6 +183,35 @@ fn inside_of(args: &Args) -> Result<Cidr, String> {
         .map_err(|e| format!("--inside: {e}"))
 }
 
+fn recovery_policy_of(args: &Args) -> Result<RecoveryPolicy, String> {
+    match args.get("on-corrupt") {
+        None if args.has("on-corrupt") => Err("--on-corrupt expects `strict` or `skip`".to_owned()),
+        None | Some("strict") => Ok(RecoveryPolicy::Strict),
+        Some("skip") => Ok(RecoveryPolicy::Skip),
+        Some(other) => Err(format!(
+            "--on-corrupt expects `strict` or `skip`, got {other:?}"
+        )),
+    }
+}
+
+/// Prints what the recovering reader had to discard, if anything.
+fn report_skips(stats: &IngestStats) {
+    if stats.records_skipped == 0 {
+        return;
+    }
+    let by_reason: Vec<String> = stats
+        .by_reason()
+        .filter(|&(_, n)| n > 0)
+        .map(|(r, n)| format!("{r}={n}"))
+        .collect();
+    println!(
+        "skipped {} corrupt region(s) / {} byte(s) while reading ({})",
+        stats.records_skipped,
+        stats.bytes_skipped,
+        by_reason.join(", ")
+    );
+}
+
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let out_path = args.get("out").ok_or("generate requires --out <FILE>")?;
     let duration: f64 = args.parse_num("duration", 60.0)?;
@@ -217,12 +248,15 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let in_path = args.get("in").ok_or("analyze requires --in <FILE>")?;
     let inside = inside_of(args)?;
+    let policy = recovery_policy_of(args)?;
     let file = File::open(in_path).map_err(|e| format!("{in_path}: {e}"))?;
-    let mut reader = PcapReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let mut reader =
+        PcapReader::with_policy(BufReader::new(file), policy).map_err(|e| e.to_string())?;
     let mut analyzer = Analyzer::new(inside);
     while let Some(p) = reader.read_packet().map_err(|e| e.to_string())? {
         analyzer.process(&p);
     }
+    report_skips(reader.stats());
     let report = analyzer.finish();
 
     println!(
@@ -323,6 +357,7 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
         builder.drop_policy(DropPolicy::new(low * 1e6, high * 1e6).map_err(|e| e.to_string())?);
     }
     let config = builder.build().map_err(|e| e.to_string())?;
+    let policy = recovery_policy_of(args)?;
     let shards: usize = args.parse_num("shards", 1usize)?;
     if shards == 0 {
         return Err("--shards expects at least 1".to_owned());
@@ -357,8 +392,10 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
     let filter =
         ShardedFilter::from_shards(FlowHash::new(config.hole_punching()), uplink, shard_filters);
 
+    let ingest_metrics = IngestTelemetry::register(&registry);
     let file = File::open(in_path).map_err(|e| format!("{in_path}: {e}"))?;
-    let mut reader = PcapReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let mut reader =
+        PcapReader::with_policy(BufReader::new(file), policy).map_err(|e| e.to_string())?;
     let mut writer = match args.get("out") {
         Some(path) => {
             let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
@@ -381,18 +418,23 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
     while let Some(p) = reader.read_packet().map_err(|e| e.to_string())? {
         total += 1;
         last_ts = last_ts.max(p.ts());
-        while let Some(boundary) = next_report {
-            if p.ts().as_secs_f64() < boundary {
-                break;
+        if let Some(boundary) = next_report {
+            let t = p.ts().as_secs_f64();
+            if t >= boundary {
+                let snapshot = registry.snapshot();
+                println!("--- metrics @ t={boundary:.1}s ---");
+                print!(
+                    "{}",
+                    export::human::render(&snapshot, Some((&prev_snapshot, metrics_interval)))
+                );
+                prev_snapshot = snapshot;
+                // A single far-future timestamp (corrupt trace clock) may
+                // land millions of intervals ahead; jump straight to the
+                // first boundary past it instead of emitting one (empty)
+                // report per skipped interval.
+                let elapsed = ((t - boundary) / metrics_interval).floor() + 1.0;
+                next_report = Some(boundary + elapsed * metrics_interval);
             }
-            let snapshot = registry.snapshot();
-            println!("--- metrics @ t={boundary:.1}s ---");
-            print!(
-                "{}",
-                export::human::render(&snapshot, Some((&prev_snapshot, metrics_interval)))
-            );
-            prev_snapshot = snapshot;
-            next_report = Some(boundary + metrics_interval);
         }
         let direction = inside.direction_of(&p.tuple());
         if direction == Direction::Outbound {
@@ -423,6 +465,8 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
     if let Some(w) = writer {
         w.finish().map_err(|e| e.to_string())?;
     }
+    ingest_metrics.publish(reader.stats());
+    report_skips(reader.stats());
 
     let span = last_ts.as_secs_f64().max(1e-9);
     println!(

@@ -1,0 +1,290 @@
+//! Adversarial trace-ingestion harness.
+//!
+//! Replays thousands of randomly mutated pcap captures — truncations,
+//! bit flips, overwrites, insertions, deletions — through both the strict
+//! and the recovering reader, asserting the differential contract:
+//!
+//! * neither reader ever panics, whatever the bytes;
+//! * on the records both readers decode, they agree exactly (the
+//!   recovering reader's output always starts with the strict reader's
+//!   decodable prefix);
+//! * the recovering reader's accounting is consistent with its output;
+//! * the verdict stream of the sharded filter matches the sequential
+//!   filter over recovered records, including under shuffled
+//!   non-monotonic timestamps with far-future outliers, for 1 and 4
+//!   shards.
+//!
+//! Any corpus that violates a property is written to
+//! `target/adversarial-failures/<label>.pcap` before the test fails, so
+//! the exact bytes can be replayed offline.
+
+use std::panic::catch_unwind;
+use std::path::PathBuf;
+
+use rand::prelude::*;
+use upbound::core::{BitmapFilter, BitmapFilterConfig, DropPolicy, ShardedFilter, Verdict};
+use upbound::net::pcap::{self, PcapReader};
+use upbound::net::{Cidr, Direction, NetError, Packet, TimeDelta, Timestamp};
+use upbound::traffic::TraceConfig;
+
+/// Fixed seed: CI replays the same corpus every run.
+const CORPUS_SEED: u64 = 0x5eed_1e57_ab1e;
+/// Mutated captures replayed per base corpus.
+const MUTATIONS_PER_BASE: usize = 2_600;
+
+/// A small but realistic capture to mutate: the first `take` packets of a
+/// synthetic client-network trace, serialized at `snaplen`.
+fn base_capture(seed: u64, snaplen: u32, take: usize) -> Vec<u8> {
+    let config = TraceConfig::builder()
+        .duration_secs(4.0)
+        .flow_rate_per_sec(25.0)
+        .seed(seed)
+        .build()
+        .expect("valid trace config");
+    let trace = upbound::traffic::generate(&config);
+    let packets: Vec<&Packet> = trace
+        .packets
+        .iter()
+        .take(take)
+        .map(|lp| &lp.packet)
+        .collect();
+    assert!(
+        packets.len() >= 50,
+        "base corpus too small: {}",
+        packets.len()
+    );
+    pcap::to_bytes(packets, snaplen).expect("serialize base capture")
+}
+
+/// One random corruption of `bytes`. Every operator keeps the result
+/// non-empty so the reader always has something to chew on.
+fn mutate(bytes: &[u8], rng: &mut StdRng) -> Vec<u8> {
+    let mut b = bytes.to_vec();
+    let len = b.len();
+    match rng.gen_range(0u32..5) {
+        // Truncate at an arbitrary offset (mid-header, mid-body, ...).
+        0 => b.truncate(rng.gen_range(1..len)),
+        // Flip a handful of random bits.
+        1 => {
+            for _ in 0..rng.gen_range(1..9) {
+                let i = rng.gen_range(0..len);
+                b[i] ^= 1 << rng.gen_range(0..8u8);
+            }
+        }
+        // Stomp a random range with random bytes.
+        2 => {
+            let start = rng.gen_range(0..len);
+            let end = (start + rng.gen_range(1..64)).min(len);
+            for byte in &mut b[start..end] {
+                *byte = rng.gen::<u8>();
+            }
+        }
+        // Splice a run of garbage between two offsets.
+        3 => {
+            let at = rng.gen_range(0..=len);
+            let garbage: Vec<u8> = (0..rng.gen_range(1..48)).map(|_| rng.gen::<u8>()).collect();
+            b.splice(at..at, garbage);
+        }
+        // Delete a random range (shears record framing).
+        _ => {
+            let start = rng.gen_range(0..len);
+            let end = (start + rng.gen_range(1..64)).min(len);
+            b.drain(start..end);
+            if b.is_empty() {
+                b.push(0);
+            }
+        }
+    }
+    b
+}
+
+/// Strict read: the decodable prefix and the first error, if any.
+fn strict_prefix(bytes: &[u8]) -> (Vec<Packet>, Option<NetError>) {
+    let mut reader = match PcapReader::new(bytes) {
+        Ok(r) => r,
+        Err(e) => return (Vec::new(), Some(e)),
+    };
+    let mut out = Vec::new();
+    loop {
+        match reader.read_packet() {
+            Ok(Some(p)) => out.push(p),
+            Ok(None) => return (out, None),
+            Err(e) => return (out, Some(e)),
+        }
+    }
+}
+
+/// The differential property for one corpus. Panics on violation.
+fn check_corpus(bytes: &[u8]) {
+    let (prefix, strict_err) = strict_prefix(bytes);
+    match pcap::from_bytes_recovering(bytes) {
+        Err(global) => {
+            // Recovery gives up only on an unusable global header, and
+            // then the strict reader must have failed identically early.
+            assert!(
+                prefix.is_empty() && strict_err.is_some(),
+                "recovering reader rejected the file ({global}) but the \
+                 strict reader decoded {} records",
+                prefix.len()
+            );
+        }
+        Ok((recovered, stats)) => {
+            assert_eq!(
+                stats.records_ok,
+                recovered.len() as u64,
+                "accounting out of sync with output"
+            );
+            assert!(
+                recovered.len() >= prefix.len(),
+                "recovering reader lost strictly-decodable records: \
+                 strict={}, recovered={}",
+                prefix.len(),
+                recovered.len()
+            );
+            assert_eq!(
+                &recovered[..prefix.len()],
+                &prefix[..],
+                "readers disagree on commonly-decoded records"
+            );
+            if strict_err.is_none() {
+                // A clean capture must be bit-for-bit identical in both
+                // modes, with nothing skipped.
+                assert_eq!(recovered.len(), prefix.len());
+                assert_eq!(stats.records_skipped, 0, "skips on a clean capture");
+                assert_eq!(stats.bytes_skipped, 0);
+                assert_eq!(stats.errors_total(), 0);
+            }
+        }
+    }
+}
+
+fn failure_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("adversarial-failures");
+    std::fs::create_dir_all(&dir).expect("create failure dir");
+    dir
+}
+
+/// Runs `f` over the corpus; on panic, writes the corpus bytes out for
+/// offline replay and re-raises with the artifact path.
+fn with_artifact_on_failure(label: &str, bytes: &[u8], f: impl FnOnce() + std::panic::UnwindSafe) {
+    if let Err(cause) = catch_unwind(f) {
+        let path = failure_dir().join(format!("{label}.pcap"));
+        std::fs::write(&path, bytes).expect("write failing corpus");
+        panic!(
+            "adversarial corpus {label} failed (bytes saved to {}): {cause:?}",
+            path.display()
+        );
+    }
+}
+
+/// Tentpole harness: ≥ 5,000 mutated captures per run, zero panics, and
+/// the strict/recovering differential property on every one of them.
+#[test]
+fn mutated_corpora_never_panic_and_readers_agree() {
+    let bases = [
+        ("full", base_capture(CORPUS_SEED, 65_535, 150)),
+        ("headers-only", base_capture(CORPUS_SEED ^ 0xff, 54, 150)),
+    ];
+    let mut rng = StdRng::seed_from_u64(CORPUS_SEED);
+    let mut replayed = 0usize;
+    for (name, base) in &bases {
+        // The unmutated base must be clean in both modes.
+        with_artifact_on_failure(&format!("{name}-base"), base, {
+            let base = base.clone();
+            move || check_corpus(&base)
+        });
+        for i in 0..MUTATIONS_PER_BASE {
+            let corpus = mutate(base, &mut rng);
+            with_artifact_on_failure(&format!("{name}-{i}"), &corpus, {
+                let corpus = corpus.clone();
+                move || check_corpus(&corpus)
+            });
+            replayed += 1;
+        }
+    }
+    assert!(
+        replayed >= 5_000,
+        "harness must replay at least 5,000 mutated captures, got {replayed}"
+    );
+}
+
+/// Filter config small and hot enough that drops actually happen.
+fn differential_config() -> BitmapFilterConfig {
+    let mut builder = BitmapFilterConfig::builder();
+    builder
+        .vector_bits(12)
+        .vectors(4)
+        .rotate_every_secs(0.5)
+        .hash_functions(2)
+        .drop_policy(DropPolicy::new(1e3, 1e5).expect("valid thresholds"));
+    builder.build().expect("valid config")
+}
+
+/// Scrambles timestamps: pairwise swaps plus a far-future outlier, so the
+/// stream is non-monotonic and contains a corrupt-looking clock jump.
+fn scramble_timestamps(packets: &mut [Packet], rng: &mut StdRng) {
+    let n = packets.len();
+    for i in (0..n.saturating_sub(3)).step_by(3) {
+        if rng.gen::<bool>() {
+            let (a, b) = (packets[i].ts(), packets[i + 2].ts());
+            packets[i] = packets[i].clone().with_ts(b);
+            packets[i + 2] = packets[i + 2].clone().with_ts(a);
+        }
+    }
+    if n > 4 {
+        let mid = n / 2;
+        let far = packets[mid].ts() + TimeDelta::from_secs(50_000.0);
+        packets[mid] = packets[mid].clone().with_ts(far);
+    }
+}
+
+/// Differential: over records recovered from mutated captures — with
+/// shuffled non-monotonic timestamps — the sharded filter (N ∈ {1, 4})
+/// produces the exact verdict stream of the sequential filter.
+#[test]
+fn sharded_verdicts_match_sequential_on_recovered_records() {
+    let inside: Cidr = "10.0.0.0/16".parse().expect("valid cidr");
+    let base = base_capture(CORPUS_SEED ^ 0xd1ff, 65_535, 150);
+    let mut rng = StdRng::seed_from_u64(CORPUS_SEED ^ 0xd1ff);
+
+    let mut corpora_checked = 0usize;
+    while corpora_checked < 25 {
+        let corpus = mutate(&base, &mut rng);
+        let Ok((mut packets, _)) = pcap::from_bytes_recovering(&corpus) else {
+            continue;
+        };
+        if packets.len() < 20 {
+            continue;
+        }
+        scramble_timestamps(&mut packets, &mut rng);
+        let stream: Vec<(Packet, Direction)> = packets
+            .into_iter()
+            .map(|p| {
+                let d = inside.direction_of(&p.tuple());
+                (p, d)
+            })
+            .collect();
+
+        let mut seq = BitmapFilter::new(differential_config());
+        let reference: Vec<Verdict> = stream
+            .iter()
+            .map(|(p, d)| seq.process_packet(p, *d))
+            .collect();
+
+        for shards in [1usize, 4] {
+            let sharded = ShardedFilter::new(differential_config(), shards);
+            let mut watermark = Timestamp::ZERO;
+            for (i, (p, d)) in stream.iter().enumerate() {
+                watermark = watermark.max(p.ts());
+                let got = sharded.process_packet_at(p, *d, watermark);
+                assert_eq!(
+                    got, reference[i],
+                    "verdict diverged at packet {i} with {shards} shard(s)"
+                );
+            }
+        }
+        corpora_checked += 1;
+    }
+}

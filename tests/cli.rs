@@ -263,6 +263,67 @@ fn filter_metrics_exports_and_interval_reports() {
 }
 
 #[test]
+fn on_corrupt_skip_recovers_truncated_capture() {
+    let trace = tmp("truncated.pcap");
+    let trace_s = trace.to_str().expect("utf8 path");
+    let out = run(&[
+        "generate",
+        "--out",
+        trace_s,
+        "--duration",
+        "10",
+        "--rate",
+        "10",
+        "--seed",
+        "3",
+    ]);
+    assert!(out.status.success());
+
+    // Chop mid-record so the capture ends in a truncated body.
+    let mut bytes = std::fs::read(&trace).expect("read trace");
+    bytes.truncate(bytes.len() - 7);
+    std::fs::write(&trace, &bytes).expect("rewrite trace");
+
+    // Default (strict) aborts with a truncation error...
+    for args in [
+        vec!["filter", "--in", trace_s],
+        vec!["filter", "--in", trace_s, "--on-corrupt", "strict"],
+        vec!["analyze", "--in", trace_s],
+    ] {
+        let out = run(&args);
+        assert!(!out.status.success(), "{args:?} should fail strictly");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("truncated"),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // ...while --on-corrupt skip processes the decodable prefix and says
+    // what it discarded.
+    for cmd in ["filter", "analyze"] {
+        let out = run(&[cmd, "--in", trace_s, "--on-corrupt", "skip"]);
+        assert!(
+            out.status.success(),
+            "{cmd}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = stdout(&out);
+        assert!(text.contains("skipped 1 corrupt region"), "{text}");
+    }
+
+    // Bad values are rejected up front.
+    let out = run(&["filter", "--in", trace_s, "--on-corrupt", "lenient"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("`strict` or `skip`"));
+    let out = run(&["filter", "--in", trace_s, "--on-corrupt"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("`strict` or `skip`"));
+
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
 fn analyze_missing_file_fails_cleanly() {
     let out = run(&["analyze", "--in", "/nonexistent/never.pcap"]);
     assert!(!out.status.success());
