@@ -145,6 +145,35 @@ impl Bitmap {
         self.idx = 0;
         self.rotations = 0;
     }
+
+    /// Exports `(vectors, current index, rotations)` for snapshot
+    /// encoding.
+    pub(crate) fn snapshot_fields(&self) -> (&[BitVec], usize, u64) {
+        (&self.vectors, self.idx, self.rotations)
+    }
+
+    /// Overwrites the bit-vector contents and rotation clock from
+    /// snapshot fields. Returns `false` (leaving the bitmap untouched
+    /// beyond vectors already applied — callers must treat that as fatal
+    /// and rebuild) when the vector count, any vector's length, or the
+    /// index is inconsistent with this bitmap's geometry.
+    pub(crate) fn restore_fields(
+        &mut self,
+        vectors: Vec<BitVec>,
+        idx: usize,
+        rotations: u64,
+    ) -> bool {
+        if vectors.len() != self.vectors.len()
+            || idx >= vectors.len()
+            || vectors.iter().any(|v| v.len() != self.vector_len())
+        {
+            return false;
+        }
+        self.vectors = vectors;
+        self.idx = idx;
+        self.rotations = rotations;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -117,6 +117,31 @@ impl BitVec {
     pub fn memory_bytes(&self) -> usize {
         self.words.len() * 8
     }
+
+    /// The backing word array (snapshot encoding).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a vector of `len` bits from a backing word array, as
+    /// captured by [`words`](Self::words). Returns `None` when the word
+    /// count does not match `len` or a bit beyond `len` is set — both
+    /// impossible for data this type produced, so a mismatch means the
+    /// input is corrupt. The ones-count is recomputed from the words.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Option<Self> {
+        if len == 0 || words.len() != len.div_ceil(64) {
+            return None;
+        }
+        let tail_bits = len % 64;
+        if tail_bits != 0 {
+            let stray = words[words.len() - 1] & !((1u64 << tail_bits) - 1);
+            if stray != 0 {
+                return None;
+            }
+        }
+        let ones = words.iter().map(|w| w.count_ones() as usize).sum();
+        Some(Self { words, len, ones })
+    }
 }
 
 #[cfg(test)]
@@ -225,5 +250,28 @@ mod tests {
     #[should_panic(expected = "at least one bit")]
     fn empty_vector_panics() {
         let _ = BitVec::new(0);
+    }
+
+    #[test]
+    fn from_words_roundtrips() {
+        let mut v = BitVec::new(130);
+        for i in [0, 64, 129] {
+            v.set(i);
+        }
+        let rebuilt = BitVec::from_words(130, v.words().to_vec()).unwrap();
+        assert_eq!(rebuilt, v);
+        assert_eq!(rebuilt.count_ones(), 3);
+    }
+
+    #[test]
+    fn from_words_rejects_corrupt_input() {
+        // Wrong word count.
+        assert!(BitVec::from_words(130, vec![0; 2]).is_none());
+        // Stray bit beyond len.
+        assert!(BitVec::from_words(130, vec![0, 0, 1 << 2]).is_none());
+        // Zero length.
+        assert!(BitVec::from_words(0, vec![]).is_none());
+        // Exact word multiple has no tail mask to trip on.
+        assert!(BitVec::from_words(128, vec![u64::MAX, u64::MAX]).is_some());
     }
 }

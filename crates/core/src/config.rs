@@ -47,6 +47,49 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// What a filter does with a would-be drop while its memory is cold.
+///
+/// After a restart the bitmap is empty, so every inbound packet of an
+/// established flow looks unsolicited until the filter has re-observed
+/// one full expiry window `T_e = k·Δt` of outbound traffic — the
+/// false-positive regime the paper's §4 works to avoid. `FailMode`
+/// decides whether that window punishes users:
+///
+/// * [`Closed`](FailMode::Closed) (default): drops apply immediately —
+///   the paper's behavior, right for evaluation and for deployments
+///   that prioritize bounding over availability.
+/// * [`Open`](FailMode::Open): a cold filter passes everything until it
+///   has observed `T_e` of trace time (one full rotation cycle), then
+///   arms. Suppressed drops are counted, not silently lost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailMode {
+    /// Drop verdicts apply from the first packet, cold memory or not.
+    #[default]
+    Closed,
+    /// Suppress drops until one expiry window of trace time has passed
+    /// since the (re)start, then arm.
+    Open,
+}
+
+impl FailMode {
+    /// Parses the CLI spelling (`"open"` / `"closed"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "open" => Some(FailMode::Open),
+            "closed" => Some(FailMode::Closed),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailMode::Open => "open",
+            FailMode::Closed => "closed",
+        }
+    }
+}
+
 /// Complete configuration of a [`BitmapFilter`](crate::BitmapFilter).
 ///
 /// Built with [`BitmapFilterConfig::builder`]; see the paper's §4.3 for
@@ -78,6 +121,7 @@ pub struct BitmapFilterConfig {
     pub(crate) hole_punching: bool,
     pub(crate) drop_policy: DropPolicy,
     pub(crate) rng_seed: u64,
+    pub(crate) fail_mode: FailMode,
 }
 
 impl BitmapFilterConfig {
@@ -92,18 +136,22 @@ impl BitmapFilterConfig {
     /// `{4 × 2^20}` bitmap, `Δt = 5 s` (`T_e = 20 s`), 3 hash functions,
     /// dropping every unknown inbound packet.
     pub fn paper_evaluation() -> Self {
-        Self::builder()
-            .build()
-            .expect("paper configuration is valid")
+        match Self::builder().build() {
+            Ok(config) => config,
+            Err(_) => unreachable!("the paper configuration is valid by construction"),
+        }
     }
 
     /// The Figure 9 limiter setup: paper evaluation parameters with the
     /// RED policy `L = 50 Mbps`, `H = 100 Mbps`.
     pub fn paper_limiter() -> Self {
-        Self::builder()
+        match Self::builder()
             .drop_policy(DropPolicy::paper_figure9())
             .build()
-            .expect("paper configuration is valid")
+        {
+            Ok(config) => config,
+            Err(_) => unreachable!("the paper configuration is valid by construction"),
+        }
     }
 
     /// Bit-vector size exponent `n` (each vector has `2^n` bits).
@@ -141,6 +189,21 @@ impl BitmapFilterConfig {
         self.rng_seed
     }
 
+    /// What a cold-memory filter does with would-be drops.
+    pub fn fail_mode(&self) -> FailMode {
+        self.fail_mode
+    }
+
+    /// Returns this configuration with a different [`FailMode`].
+    ///
+    /// Used by the shard supervisor, which rebuilds a quarantined shard
+    /// fail-open so the rebuilt (empty) memory never falsely drops
+    /// while it warms back up.
+    pub fn with_fail_mode(mut self, mode: FailMode) -> Self {
+        self.fail_mode = mode;
+        self
+    }
+
     /// The mark expiry timer `T_e = k·Δt` (§4.3).
     pub fn expiry_timer(&self) -> TimeDelta {
         self.rotate_every.times(self.vectors as u64)
@@ -172,6 +235,7 @@ pub struct BitmapFilterConfigBuilder {
     hole_punching: bool,
     drop_policy: DropPolicy,
     rng_seed: u64,
+    fail_mode: FailMode,
 }
 
 impl Default for BitmapFilterConfigBuilder {
@@ -184,6 +248,7 @@ impl Default for BitmapFilterConfigBuilder {
             hole_punching: false,
             drop_policy: DropPolicy::drop_all(),
             rng_seed: 0,
+            fail_mode: FailMode::Closed,
         }
     }
 }
@@ -237,6 +302,12 @@ impl BitmapFilterConfigBuilder {
         self
     }
 
+    /// Sets the cold-memory behavior (default [`FailMode::Closed`]).
+    pub fn fail_mode(&mut self, mode: FailMode) -> &mut Self {
+        self.fail_mode = mode;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -263,6 +334,7 @@ impl BitmapFilterConfigBuilder {
             hole_punching: self.hole_punching,
             drop_policy: self.drop_policy,
             rng_seed: self.rng_seed,
+            fail_mode: self.fail_mode,
         })
     }
 }
@@ -335,6 +407,23 @@ mod tests {
                 .build(),
             Err(ConfigError::ZeroRotateInterval)
         );
+    }
+
+    #[test]
+    fn fail_mode_defaults_closed_and_parses() {
+        assert_eq!(
+            BitmapFilterConfig::paper_evaluation().fail_mode(),
+            FailMode::Closed
+        );
+        let open = BitmapFilterConfig::builder()
+            .fail_mode(FailMode::Open)
+            .build()
+            .unwrap();
+        assert_eq!(open.fail_mode(), FailMode::Open);
+        assert_eq!(FailMode::parse("open"), Some(FailMode::Open));
+        assert_eq!(FailMode::parse("closed"), Some(FailMode::Closed));
+        assert_eq!(FailMode::parse("ajar"), None);
+        assert_eq!(FailMode::Open.label(), "open");
     }
 
     #[test]

@@ -205,7 +205,9 @@ impl<O: FilterObserver> FilterEngine<O> {
         self.observer.on_outbound(tuple, now);
     }
 
-    /// Reports an inbound decision to the observer.
+    /// Reports an inbound decision to the observer. `fail_open` marks a
+    /// would-be drop that passed because the filter was still in its
+    /// warm-up grace period.
     pub fn notify_inbound(
         &mut self,
         now: Timestamp,
@@ -213,6 +215,7 @@ impl<O: FilterObserver> FilterEngine<O> {
         p_d: f64,
         known: bool,
         drop_draws: usize,
+        fail_open: bool,
     ) {
         self.observer.on_inbound(&InboundDecision {
             now,
@@ -220,8 +223,35 @@ impl<O: FilterObserver> FilterEngine<O> {
             p_d,
             known,
             drop_draws,
+            fail_open,
             monitor: self.uplink.monitor(),
         });
+    }
+
+    /// Reports a cold start (fresh filter or stale-snapshot restart) to
+    /// the observer: the filter memory is empty and, under fail-open,
+    /// drops are suppressed until `armed_at`.
+    pub fn notify_cold_start(&mut self, now: Timestamp, armed_at: Timestamp) {
+        self.observer.on_cold_start(now, armed_at);
+    }
+
+    /// Reports that the warm-up grace period ended and drops are armed.
+    pub fn notify_armed(&mut self, now: Timestamp) {
+        self.observer.on_armed(now);
+    }
+
+    /// Exports the tick phase `(ticks, next_tick)` for snapshot encoding.
+    pub fn tick_phase(&self) -> (u64, Timestamp) {
+        (self.ticks, self.next_tick)
+    }
+
+    /// Restores a tick phase captured by [`tick_phase`](Self::tick_phase).
+    /// A restored `next_tick` far behind the next packet is harmless:
+    /// [`advance`](Self::advance) catches up in O(1) past
+    /// [`MAX_TICK_CATCHUP`](Self::MAX_TICK_CATCHUP).
+    pub fn restore_tick_phase(&mut self, ticks: u64, next_tick: Timestamp) {
+        self.ticks = ticks;
+        self.next_tick = next_tick;
     }
 
     /// Clears tick phase and the uplink monitor.

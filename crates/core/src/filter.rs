@@ -1,9 +1,11 @@
 //! The complete bitmap filter: bitmap + timer + throughput-driven `P_d`.
 
+use crate::config::FailMode;
 use crate::engine::FilterEngine;
 use crate::observe::{FilterObserver, NoopObserver};
 use crate::pfilter::{MergeStats, PacketFilter};
-use crate::{Bitmap, BitmapFilterConfig, DropPolicy, ThroughputMonitor};
+use crate::snapshot::{self, ByteReader, ByteWriter, RestoreMode, SnapshotError, Snapshottable};
+use crate::{BitVec, Bitmap, BitmapFilterConfig, DropPolicy, ThroughputMonitor};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use upbound_net::{Direction, FiveTuple, Packet, Timestamp};
@@ -30,6 +32,9 @@ pub struct FilterStats {
     pub inbound_misses: u64,
     /// Inbound packets dropped.
     pub dropped: u64,
+    /// Would-be drops passed because the filter was inside its warm-up
+    /// grace period ([`FailMode::Open`], not yet armed).
+    pub fail_open_passes: u64,
     /// Bitmap rotations performed by the timer.
     pub rotations: u64,
 }
@@ -49,6 +54,7 @@ impl FilterStats {
         self.inbound_hits += other.inbound_hits;
         self.inbound_misses += other.inbound_misses;
         self.dropped += other.dropped;
+        self.fail_open_passes += other.fail_open_passes;
         self.rotations = self.rotations.max(other.rotations);
     }
 }
@@ -88,6 +94,19 @@ pub struct BitmapFilter<O: FilterObserver = NoopObserver> {
     bitmap: Bitmap,
     engine: FilterEngine<O>,
     stats: FilterStats,
+    /// Under [`FailMode::Open`], the trace time at which drops arm
+    /// (one expiry window past the cold start). `None` until the warm-up
+    /// clock has been anchored — by [`start_cold_at`](Snapshottable::start_cold_at),
+    /// a warm restore, or lazily by the first packet.
+    ///
+    /// Arming is a *pure function* of `(arm_at, now)` — there is no
+    /// sticky armed flag — so verdicts stay independent of packet
+    /// interleaving and a [`ShardedFilter`](crate::ShardedFilter) whose
+    /// shards share one `arm_at` anchor matches a sequential run.
+    arm_at: Option<Timestamp>,
+    /// Whether the one-shot [`on_armed`](FilterObserver::on_armed)
+    /// notification has fired (telemetry only; never affects verdicts).
+    arm_notified: bool,
 }
 
 impl BitmapFilter {
@@ -114,6 +133,8 @@ impl<O: FilterObserver> BitmapFilter<O> {
             engine,
             config,
             stats: FilterStats::default(),
+            arm_at: None,
+            arm_notified: false,
         }
     }
 
@@ -177,10 +198,55 @@ impl<O: FilterObserver> BitmapFilter<O> {
         });
     }
 
+    /// `true` when drop verdicts apply at `now`. Always `true` under
+    /// [`FailMode::Closed`]; under [`FailMode::Open`] only once the
+    /// warm-up clock has been anchored *and* `now` has reached it.
+    pub fn is_armed(&self, now: Timestamp) -> bool {
+        match self.config.fail_mode() {
+            FailMode::Closed => true,
+            FailMode::Open => self.arm_at.is_some_and(|at| now >= at),
+        }
+    }
+
+    /// The trace time at which drops arm, once the warm-up clock has
+    /// been anchored. `None` for a fail-open filter that has seen no
+    /// packet and no explicit cold start yet.
+    pub fn armed_at(&self) -> Option<Timestamp> {
+        self.arm_at
+    }
+
+    /// Anchors the warm-up clock lazily at the first packet a fail-open
+    /// filter sees. Standalone fallback only: a sharded deployment must
+    /// anchor every shard uniformly (via
+    /// [`start_cold_at`](Snapshottable::start_cold_at) at the first
+    /// packet's timestamp) or shard verdicts diverge from a sequential
+    /// run during warm-up.
+    fn anchor_warmup(&mut self, now: Timestamp) {
+        if self.config.fail_mode() == FailMode::Open && self.arm_at.is_none() {
+            let armed_at = now + self.config.expiry_timer();
+            self.arm_at = Some(armed_at);
+            self.arm_notified = false;
+            self.engine.notify_cold_start(now, armed_at);
+        }
+    }
+
+    /// Fires the one-shot armed notification when warm-up has elapsed.
+    fn maybe_notify_armed(&mut self, now: Timestamp) {
+        if !self.arm_notified
+            && self.config.fail_mode() == FailMode::Open
+            && self.arm_at.is_some_and(|at| now >= at)
+        {
+            self.arm_notified = true;
+            self.engine.notify_armed(now);
+        }
+    }
+
     /// Records an outbound packet's tuple: marks its key in all bit
     /// vectors. Outbound packets are always passed (Algorithm 2).
     pub fn observe_outbound(&mut self, tuple: &FiveTuple, now: Timestamp) {
         self.advance(now);
+        self.anchor_warmup(now);
+        self.maybe_notify_armed(now);
         self.stats.outbound_packets += 1;
         let key = tuple.outbound_key(self.config.hole_punching());
         self.bitmap.mark(&key.to_bytes());
@@ -199,33 +265,43 @@ impl<O: FilterObserver> BitmapFilter<O> {
     /// runs reproduce exactly.
     pub fn check_inbound(&mut self, tuple: &FiveTuple, now: Timestamp, p_d: f64) -> Verdict {
         self.advance(now);
+        self.anchor_warmup(now);
+        self.maybe_notify_armed(now);
         self.stats.inbound_packets += 1;
         let key = tuple.inbound_key(self.config.hole_punching());
         let key_bytes = key.to_bytes();
         let known = self.bitmap.lookup(&key_bytes);
-        let (verdict, drop_draws) = if known {
+        let (verdict, drop_draws, fail_open) = if known {
             self.stats.inbound_hits += 1;
-            (Verdict::Pass, 0)
+            (Verdict::Pass, 0, false)
         } else {
             self.stats.inbound_misses += 1;
             // Per-bit drop draws of Algorithm 2 (lines 9–13): every
             // unmarked hashed bit gives an independent chance `p_d` to
             // drop.
             let unmarked = self.unmarked_bits(&key_bytes);
-            let mut verdict = Verdict::Pass;
+            let mut would_drop = false;
             for draw in 0..unmarked {
                 if self.engine.drop_draw(&key_bytes, now, draw as u32, p_d) {
-                    verdict = Verdict::Drop;
+                    would_drop = true;
                     break;
                 }
             }
-            if verdict == Verdict::Drop {
+            if would_drop && self.is_armed(now) {
                 self.stats.dropped += 1;
+                (Verdict::Drop, unmarked, false)
+            } else if would_drop {
+                // Warm-up grace: the draws said drop, but the filter's
+                // memory is too cold to trust — pass, and account the
+                // override so degradation stays observable.
+                self.stats.fail_open_passes += 1;
+                (Verdict::Pass, unmarked, true)
+            } else {
+                (Verdict::Pass, unmarked, false)
             }
-            (verdict, unmarked)
         };
         self.engine
-            .notify_inbound(now, verdict, p_d, known, drop_draws);
+            .notify_inbound(now, verdict, p_d, known, drop_draws, fail_open);
         verdict
     }
 
@@ -274,6 +350,144 @@ impl<O: FilterObserver> BitmapFilter<O> {
         self.bitmap.reset();
         self.stats = FilterStats::default();
         self.engine.reset();
+        self.arm_at = None;
+        self.arm_notified = false;
+    }
+}
+
+impl<O: FilterObserver> Snapshottable for BitmapFilter<O> {
+    const SNAPSHOT_KIND: u32 = 1;
+
+    fn encode_snapshot(&self, w: &mut ByteWriter) {
+        // Configuration guard: a snapshot only restores into a filter
+        // whose geometry, clock, and seed produce identical behavior.
+        // `fail_mode` is deliberately not guarded — an operator may
+        // restart with a different --fail-mode.
+        w.put_u32(self.config.vector_bits());
+        w.put_u32(self.config.vectors() as u32);
+        w.put_u32(self.config.hash_functions() as u32);
+        w.put_u64(self.config.rotate_every().as_micros());
+        w.put_bool(self.config.hole_punching());
+        w.put_u64(self.config.rng_seed());
+        // Engine tick phase.
+        let (ticks, next_tick) = self.engine.tick_phase();
+        w.put_u64(ticks);
+        w.put_u64(next_tick.as_micros());
+        // Uplink measurement window.
+        snapshot::encode_monitor(self.engine.monitor(), w);
+        // Bitmap: rotation clock plus every vector's backing words.
+        let (vectors, idx, rotations) = self.bitmap.snapshot_fields();
+        w.put_u32(idx as u32);
+        w.put_u64(rotations);
+        for v in vectors {
+            w.put_u64(v.words().len() as u64);
+            for word in v.words() {
+                w.put_u64(*word);
+            }
+        }
+        // Running statistics.
+        w.put_u64(self.stats.outbound_packets);
+        w.put_u64(self.stats.inbound_packets);
+        w.put_u64(self.stats.inbound_hits);
+        w.put_u64(self.stats.inbound_misses);
+        w.put_u64(self.stats.dropped);
+        w.put_u64(self.stats.fail_open_passes);
+        w.put_u64(self.stats.rotations);
+        // Warm-up clock.
+        match self.arm_at {
+            Some(at) => {
+                w.put_bool(true);
+                w.put_u64(at.as_micros());
+            }
+            None => {
+                w.put_bool(false);
+                w.put_u64(0);
+            }
+        }
+    }
+
+    fn restore_snapshot(
+        &mut self,
+        r: &mut ByteReader<'_>,
+        mode: RestoreMode,
+    ) -> Result<(), SnapshotError> {
+        if r.u32()? != self.config.vector_bits() {
+            return Err(SnapshotError::ConfigMismatch("vector_bits"));
+        }
+        if r.u32()? != self.config.vectors() as u32 {
+            return Err(SnapshotError::ConfigMismatch("vectors"));
+        }
+        if r.u32()? != self.config.hash_functions() as u32 {
+            return Err(SnapshotError::ConfigMismatch("hash_functions"));
+        }
+        if r.u64()? != self.config.rotate_every().as_micros() {
+            return Err(SnapshotError::ConfigMismatch("rotate_every"));
+        }
+        if r.bool()? != self.config.hole_punching() {
+            return Err(SnapshotError::ConfigMismatch("hole_punching"));
+        }
+        if r.u64()? != self.config.rng_seed() {
+            return Err(SnapshotError::ConfigMismatch("rng_seed"));
+        }
+        let ticks = r.u64()?;
+        let next_tick = Timestamp::from_micros(r.u64()?);
+        self.engine.restore_tick_phase(ticks, next_tick);
+        snapshot::restore_monitor(self.engine.monitor(), r)?;
+        let idx = r.u32()? as usize;
+        let rotations = r.u64()?;
+        let k = self.config.vectors();
+        let mut vectors = Vec::with_capacity(if mode == RestoreMode::Full { k } else { 0 });
+        for _ in 0..k {
+            let word_count = r.u64()? as usize;
+            if word_count != self.bitmap.vector_len().div_ceil(64) {
+                return Err(SnapshotError::Malformed("bit-vector word count"));
+            }
+            if mode == RestoreMode::Full {
+                let mut words = Vec::with_capacity(word_count);
+                for _ in 0..word_count {
+                    words.push(r.u64()?);
+                }
+                vectors.push(
+                    BitVec::from_words(self.bitmap.vector_len(), words)
+                        .ok_or(SnapshotError::Malformed("bit-vector contents"))?,
+                );
+            } else {
+                // Stale snapshot: the bits expired with it; parse past
+                // them (the layout is checksummed whole) and discard.
+                for _ in 0..word_count {
+                    r.u64()?;
+                }
+            }
+        }
+        if mode == RestoreMode::Full && !self.bitmap.restore_fields(vectors, idx, rotations) {
+            return Err(SnapshotError::Malformed("bitmap geometry"));
+        }
+        self.stats = FilterStats {
+            outbound_packets: r.u64()?,
+            inbound_packets: r.u64()?,
+            inbound_hits: r.u64()?,
+            inbound_misses: r.u64()?,
+            dropped: r.u64()?,
+            fail_open_passes: r.u64()?,
+            rotations: r.u64()?,
+        };
+        let arm_set = r.bool()?;
+        let arm_micros = r.u64()?;
+        if mode == RestoreMode::Full {
+            self.arm_at = arm_set.then(|| Timestamp::from_micros(arm_micros));
+            // Re-fire the armed notification on the restored process if
+            // warm-up has not provably completed (telemetry only).
+            self.arm_notified = self.arm_at.is_none();
+        }
+        Ok(())
+    }
+
+    fn start_cold_at(&mut self, epoch: Timestamp) {
+        self.bitmap.reset();
+        let armed_at = epoch + self.config.expiry_timer();
+        self.arm_at = Some(armed_at);
+        self.arm_notified = false;
+        self.engine.notify_cold_start(epoch, armed_at);
     }
 }
 
@@ -308,7 +522,7 @@ impl<O: FilterObserver> PacketFilter for BitmapFilter<O> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use upbound_net::{Protocol, TcpFlags};
+    use upbound_net::{Protocol, TcpFlags, TimeDelta};
 
     fn out_tuple(port: u16) -> FiveTuple {
         FiveTuple::new(
@@ -528,6 +742,7 @@ mod tests {
             inbound_hits: 3,
             inbound_misses: 2,
             dropped: 1,
+            fail_open_passes: 1,
             rotations: 4,
         };
         let b = FilterStats {
@@ -536,6 +751,7 @@ mod tests {
             inbound_hits: 4,
             inbound_misses: 3,
             dropped: 2,
+            fail_open_passes: 2,
             rotations: 2,
         };
         a.merge(&b);
@@ -547,9 +763,164 @@ mod tests {
                 inbound_hits: 7,
                 inbound_misses: 5,
                 dropped: 3,
+                fail_open_passes: 3,
                 rotations: 4,
             }
         );
+    }
+
+    #[test]
+    fn fail_open_passes_everything_until_armed() {
+        let config = BitmapFilterConfig::builder()
+            .fail_mode(FailMode::Open)
+            .build()
+            .unwrap();
+        let mut f = BitmapFilter::new(config);
+        // First packet at t=1 anchors warm-up: arms at 1 + T_e = 21 s.
+        assert_eq!(
+            f.check_inbound(&unsolicited(50000), Timestamp::from_secs(1.0), 1.0),
+            Verdict::Pass
+        );
+        assert_eq!(f.armed_at(), Some(Timestamp::from_secs(21.0)));
+        assert!(!f.is_armed(Timestamp::from_secs(20.9)));
+        assert_eq!(
+            f.check_inbound(&unsolicited(50001), Timestamp::from_secs(20.9), 1.0),
+            Verdict::Pass
+        );
+        assert_eq!(f.stats().fail_open_passes, 2);
+        assert_eq!(f.stats().dropped, 0);
+        // Past the arming time the same traffic drops.
+        assert!(f.is_armed(Timestamp::from_secs(21.0)));
+        assert_eq!(
+            f.check_inbound(&unsolicited(50002), Timestamp::from_secs(21.5), 1.0),
+            Verdict::Drop
+        );
+        assert_eq!(f.stats().dropped, 1);
+        assert_eq!(f.stats().fail_open_passes, 2);
+    }
+
+    #[test]
+    fn fail_closed_is_armed_immediately() {
+        let mut f = filter();
+        assert!(f.is_armed(Timestamp::ZERO));
+        assert_eq!(
+            f.check_inbound(&unsolicited(50000), Timestamp::ZERO, 1.0),
+            Verdict::Drop
+        );
+        assert_eq!(f.stats().fail_open_passes, 0);
+    }
+
+    #[test]
+    fn snapshot_restores_exact_state() {
+        let mut f = filter();
+        let t = Timestamp::from_secs(1.0);
+        f.observe_outbound(&out_tuple(40000), t);
+        f.check_inbound(&unsolicited(50000), t, 1.0);
+        f.advance(Timestamp::from_secs(6.0));
+        let watermark = Timestamp::from_secs(6.0);
+        let bytes = f.snapshot_bytes(watermark);
+
+        let mut restored = filter();
+        let outcome = restored
+            .restore_bytes(&bytes, watermark, f.config().expiry_timer())
+            .unwrap();
+        assert_eq!(outcome, crate::RestoreOutcome::Warm);
+        assert_eq!(restored.stats(), f.stats());
+        assert_eq!(restored.bitmap(), f.bitmap());
+        // The restored filter recognizes the pre-crash flow.
+        assert_eq!(
+            restored.check_inbound(&out_tuple(40000).inverse(), watermark, 1.0),
+            Verdict::Pass
+        );
+    }
+
+    #[test]
+    fn stale_snapshot_restores_stats_but_goes_cold() {
+        let config = BitmapFilterConfig::builder()
+            .fail_mode(FailMode::Open)
+            .build()
+            .unwrap();
+        let mut f = BitmapFilter::new(config.clone());
+        let t = Timestamp::from_secs(1.0);
+        f.observe_outbound(&out_tuple(40000), t);
+        let bytes = f.snapshot_bytes(t);
+
+        // Restore far beyond T_e = 20 s: marks would all have expired.
+        let late = Timestamp::from_secs(300.0);
+        let mut restored = BitmapFilter::new(config);
+        let outcome = restored
+            .restore_bytes(&bytes, late, restored.config().expiry_timer())
+            .unwrap();
+        assert_eq!(outcome, crate::RestoreOutcome::Cold);
+        // Stats survived; bitmap memory did not.
+        assert_eq!(restored.stats().outbound_packets, 1);
+        assert_eq!(restored.bitmap().utilization(), 0.0);
+        // Warm-up grace re-anchored at the restore time.
+        assert_eq!(
+            restored.armed_at(),
+            Some(late + restored.config().expiry_timer())
+        );
+        assert_eq!(
+            restored.check_inbound(&unsolicited(50000), late, 1.0),
+            Verdict::Pass
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_config() {
+        let f = filter();
+        let bytes = f.snapshot_bytes(Timestamp::ZERO);
+        let other = BitmapFilterConfig::builder().rng_seed(1).build().unwrap();
+        let mut restored = BitmapFilter::new(other);
+        assert!(matches!(
+            restored.restore_bytes(&bytes, Timestamp::ZERO, TimeDelta::from_secs(20.0)),
+            Err(SnapshotError::ConfigMismatch("rng_seed"))
+        ));
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_kind_and_corruption() {
+        let f = filter();
+        let watermark = Timestamp::ZERO;
+        let mut bytes = f.snapshot_bytes(watermark);
+        // Corrupt one payload byte.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let mut restored = filter();
+        assert!(restored
+            .restore_bytes(&bytes, watermark, TimeDelta::from_secs(20.0))
+            .is_err());
+    }
+
+    #[test]
+    fn restored_filter_produces_identical_verdicts() {
+        // The bar for warm restart: post-restore verdicts must be
+        // bit-for-bit the verdicts the uninterrupted filter produces.
+        let mut live = filter();
+        for i in 0..50u16 {
+            live.observe_outbound(&out_tuple(30000 + i), Timestamp::from_secs(i as f64 * 0.1));
+        }
+        let watermark = Timestamp::from_secs(5.0);
+        live.advance(watermark);
+        let bytes = live.snapshot_bytes(watermark);
+        let mut restored = filter();
+        restored
+            .restore_bytes(&bytes, watermark, TimeDelta::from_secs(20.0))
+            .unwrap();
+        for i in 0..200u16 {
+            let t = Timestamp::from_secs(5.0 + i as f64 * 0.05);
+            let probe = if i % 3 == 0 {
+                out_tuple(30000 + (i % 50)).inverse()
+            } else {
+                unsolicited(1024 + i)
+            };
+            assert_eq!(
+                live.check_inbound(&probe, t, 0.5),
+                restored.check_inbound(&probe, t, 0.5),
+                "diverged at probe {i}"
+            );
+        }
+        assert_eq!(live.stats(), restored.stats());
     }
 
     #[test]
@@ -560,6 +931,7 @@ mod tests {
             inbound_hits: 1,
             inbound_misses: 2,
             dropped: 1,
+            fail_open_passes: 1,
             rotations: 9,
         };
         let mut merged = s;

@@ -76,13 +76,14 @@ pub mod params;
 mod pfilter;
 mod red;
 mod sharded;
+pub mod snapshot;
 mod throughput;
 
 pub use amortized::{AmortizedBitmap, DEFAULT_CLEAR_CHUNK_WORDS};
 pub use bitmap::Bitmap;
 pub use bitvec::BitVec;
 pub use bloom::BloomFilter;
-pub use config::{BitmapFilterConfig, BitmapFilterConfigBuilder, ConfigError};
+pub use config::{BitmapFilterConfig, BitmapFilterConfigBuilder, ConfigError, FailMode};
 pub use engine::FilterEngine;
 pub use filter::{BitmapFilter, FilterStats, Verdict};
 pub use hash::HashFamily;
@@ -95,6 +96,9 @@ pub use red::DropPolicy;
 #[allow(deprecated)]
 pub use sharded::SharedBitmapFilter;
 pub use sharded::{FlowHash, ShardedFilter};
+pub use snapshot::{
+    ByteReader, ByteWriter, RestoreMode, RestoreOutcome, SnapshotError, Snapshottable,
+};
 pub use throughput::ThroughputMonitor;
 
 pub use upbound_net::FilterKey;

@@ -41,6 +41,10 @@ pub struct InboundDecision<'a> {
     /// unmarked hashed bits for the bitmap filter (Algorithm 2), or 1
     /// for an SPI table miss. Zero for hits.
     pub drop_draws: usize,
+    /// `true` when the draws said *drop* but the packet passed anyway
+    /// because the filter was inside its warm-up grace period
+    /// ([`FailMode::Open`](crate::FailMode), not yet armed).
+    pub fail_open: bool,
     /// The filter's uplink throughput monitor.
     pub monitor: &'a ThroughputMonitor,
 }
@@ -96,6 +100,19 @@ pub trait FilterObserver {
     fn on_rotation(&mut self, rotation: &RotationEvent<'_>) {
         let _ = rotation;
     }
+
+    /// The filter (re)started with empty memory at `now`; under
+    /// fail-open it suppresses drops until `armed_at`.
+    #[inline]
+    fn on_cold_start(&mut self, now: Timestamp, armed_at: Timestamp) {
+        let _ = (now, armed_at);
+    }
+
+    /// The warm-up grace period ended at `now`; drops are armed.
+    #[inline]
+    fn on_armed(&mut self, now: Timestamp) {
+        let _ = now;
+    }
 }
 
 /// The zero-cost default observer: every hook is an empty `#[inline]`
@@ -120,6 +137,9 @@ pub struct TelemetryObserver {
     drops_unsolicited_total: Arc<Counter>,
     drops_red_total: Arc<Counter>,
     rotations_total: Arc<Counter>,
+    fail_open_passes_total: Arc<Counter>,
+    cold_starts_total: Arc<Counter>,
+    warmup_armed_total: Arc<Counter>,
     drop_probability: Arc<Gauge>,
     uplink_bps: Arc<Gauge>,
 }
@@ -158,6 +178,18 @@ impl TelemetryObserver {
                 &name("rotations_total"),
                 "Bitmap rotations (or SPI purge sweeps) performed",
             ),
+            fail_open_passes_total: registry.counter(
+                &name("fail_open_passes_total"),
+                "Would-be drops passed because the filter was in warm-up grace (fail-open)",
+            ),
+            cold_starts_total: registry.counter(
+                &name("cold_starts_total"),
+                "Cold starts: fresh or stale-snapshot restarts with empty filter memory",
+            ),
+            warmup_armed_total: registry.counter(
+                &name("warmup_armed_total"),
+                "Warm-up grace periods that ended (filter armed)",
+            ),
             drop_probability: registry.gauge(
                 &name("drop_probability"),
                 "Live drop probability P_d derived from measured uplink throughput",
@@ -189,6 +221,9 @@ impl FilterObserver for TelemetryObserver {
         let uplink = decision.monitor.rate_bps(decision.now);
         self.drop_probability.set(decision.p_d);
         self.uplink_bps.set(uplink);
+        if decision.fail_open {
+            self.fail_open_passes_total.inc();
+        }
         let kind = match decision.drop_reason() {
             None => {
                 self.inbound_pass_total.inc();
@@ -227,6 +262,28 @@ impl FilterObserver for TelemetryObserver {
             },
             drop_probability: rotation.p_d,
             uplink_bps: uplink,
+        });
+    }
+
+    fn on_cold_start(&mut self, now: Timestamp, armed_at: Timestamp) {
+        self.cold_starts_total.inc();
+        self.journal.record(FilterEvent {
+            at_micros: now.as_micros(),
+            kind: FilterEventKind::ColdStart {
+                armed_at_micros: armed_at.as_micros(),
+            },
+            drop_probability: 0.0,
+            uplink_bps: 0.0,
+        });
+    }
+
+    fn on_armed(&mut self, now: Timestamp) {
+        self.warmup_armed_total.inc();
+        self.journal.record(FilterEvent {
+            at_micros: now.as_micros(),
+            kind: FilterEventKind::Armed,
+            drop_probability: 0.0,
+            uplink_bps: 0.0,
         });
     }
 }

@@ -27,11 +27,16 @@
 
 use crate::hash::{fnv1a, splitmix64};
 use crate::pfilter::{MergeStats, PacketFilter};
+use crate::snapshot::{
+    self, ByteReader, ByteWriter, RestoreMode, RestoreOutcome, SnapshotError, Snapshottable,
+    SHARDED_KIND_FLAG,
+};
 use crate::{BitmapFilter, BitmapFilterConfig, ThroughputMonitor, Verdict};
 use parking_lot::Mutex;
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
-use upbound_net::{Direction, FiveTuple, Packet, Timestamp};
+use upbound_net::{Direction, FiveTuple, Packet, TimeDelta, Timestamp};
 
 /// Seed for the shard-selection hash; fixed and independent of the
 /// filter's draw seed so shard placement never correlates with drop
@@ -272,9 +277,150 @@ impl<F: PacketFilter + Send> ShardedFilter<F> {
         f(&mut self.inner.shards[index].lock())
     }
 
+    /// Swaps shard `index` for `filter`, discarding the old shard state.
+    ///
+    /// This is the supervisor's quarantine-and-rebuild primitive: when a
+    /// shard worker panics mid-decision the shard's internal state is
+    /// suspect (parking_lot mutexes do not poison), so the supervisor
+    /// installs a fresh, empty replacement — typically one anchored with
+    /// [`Snapshottable::start_cold_at`] so it fails open through its own
+    /// warm-up while the other shards keep filtering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.shards()`.
+    pub fn replace_shard(&self, index: usize, filter: F) {
+        *self.inner.shards[index].lock() = filter;
+    }
+
     /// A short display name for reports.
     pub fn name(&self) -> &str {
         &self.inner.name
+    }
+}
+
+impl<F: PacketFilter + Send + Snapshottable> ShardedFilter<F> {
+    /// The container kind a sharded checkpoint of this filter type uses:
+    /// the shard kind with [`SHARDED_KIND_FLAG`] set.
+    pub fn snapshot_kind() -> u32 {
+        F::SNAPSHOT_KIND | SHARDED_KIND_FLAG
+    }
+
+    /// Serializes every shard into one container valid at trace time
+    /// `watermark`.
+    ///
+    /// All shard locks are held simultaneously while encoding, and each
+    /// shard is first advanced to `watermark`, so the checkpoint is a
+    /// *consistent cut*: every shard's timer phase and bitmap state
+    /// correspond to the same instant, exactly as a sequential filter
+    /// would have been at `watermark`.
+    pub fn checkpoint_bytes(&self, watermark: Timestamp) -> Vec<u8> {
+        let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
+        let mut w = ByteWriter::new();
+        w.put_u32(guards.len() as u32);
+        for guard in &mut guards {
+            guard.advance(watermark);
+            let mut shard_w = ByteWriter::new();
+            guard.encode_snapshot(&mut shard_w);
+            let bytes = shard_w.into_bytes();
+            w.put_u64(bytes.len() as u64);
+            w.put_slice(&bytes);
+        }
+        snapshot::encode_container(Self::snapshot_kind(), watermark, w.as_slice())
+    }
+
+    /// Writes a [`checkpoint_bytes`](Self::checkpoint_bytes) image to
+    /// `path` atomically (temp file + fsync + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures as [`SnapshotError::Io`].
+    pub fn checkpoint_to(&self, path: &Path, watermark: Timestamp) -> Result<(), SnapshotError> {
+        snapshot::write_atomic(path, &self.checkpoint_bytes(watermark))
+    }
+
+    /// Validates `bytes` and restores every shard from it, holding all
+    /// shard locks for the duration. A snapshot whose watermark is more
+    /// than `stale_after` behind `now` restores statistics only and
+    /// restarts every shard cold at `now` (returning
+    /// [`RestoreOutcome::Cold`]).
+    ///
+    /// # Errors
+    ///
+    /// Container defects, kind mismatches, shard-count mismatches, and
+    /// per-shard configuration mismatches map to the corresponding
+    /// [`SnapshotError`]. On error some shards may already hold restored
+    /// state; callers should treat the filter as unusable and either
+    /// retry with a good snapshot or [`start_cold_at`](Self::start_cold_at).
+    pub fn restore_bytes(
+        &self,
+        bytes: &[u8],
+        now: Timestamp,
+        stale_after: TimeDelta,
+    ) -> Result<RestoreOutcome, SnapshotError> {
+        let view = snapshot::decode_container(bytes)?;
+        if view.kind != Self::snapshot_kind() {
+            return Err(SnapshotError::KindMismatch {
+                expected: Self::snapshot_kind(),
+                found: view.kind,
+            });
+        }
+        let mut r = ByteReader::new(view.payload);
+        if r.u32()? as usize != self.inner.shards.len() {
+            return Err(SnapshotError::ConfigMismatch("shard count"));
+        }
+        let stale = now.saturating_since(view.watermark) > stale_after;
+        let mode = if stale {
+            RestoreMode::StatsOnly
+        } else {
+            RestoreMode::Full
+        };
+        let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
+        for guard in guards.iter_mut() {
+            let len = r.u64()? as usize;
+            let payload = r.take(len)?;
+            let mut shard_r = ByteReader::new(payload);
+            guard.restore_snapshot(&mut shard_r, mode)?;
+            if !shard_r.is_empty() {
+                return Err(SnapshotError::Malformed("shard payload has trailing bytes"));
+            }
+        }
+        if !r.is_empty() {
+            return Err(SnapshotError::Malformed("payload has trailing bytes"));
+        }
+        if stale {
+            for guard in guards.iter_mut() {
+                guard.start_cold_at(now);
+            }
+            Ok(RestoreOutcome::Cold)
+        } else {
+            Ok(RestoreOutcome::Warm)
+        }
+    }
+
+    /// Reads and restores a checkpoint file written by
+    /// [`checkpoint_to`](Self::checkpoint_to).
+    ///
+    /// # Errors
+    ///
+    /// See [`restore_bytes`](Self::restore_bytes); file reads fail as
+    /// [`SnapshotError::Io`].
+    pub fn restore_from(
+        &self,
+        path: &Path,
+        now: Timestamp,
+        stale_after: TimeDelta,
+    ) -> Result<RestoreOutcome, SnapshotError> {
+        self.restore_bytes(&snapshot::read_file(path)?, now, stale_after)
+    }
+
+    /// Restarts every shard cold with its warm-up clock anchored at
+    /// `epoch` — the uniform anchor that keeps sharded fail-open
+    /// verdicts identical to a sequential filter's.
+    pub fn start_cold_at(&self, epoch: Timestamp) {
+        for shard in &self.inner.shards {
+            shard.lock().start_cold_at(epoch);
+        }
     }
 }
 
@@ -530,5 +676,145 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = ShardedFilter::new(BitmapFilterConfig::paper_evaluation(), 0);
+    }
+
+    #[test]
+    fn sharded_checkpoint_roundtrips_verdicts_and_stats() {
+        let config = BitmapFilterConfig::paper_evaluation();
+        let original = ShardedFilter::new(config.clone(), 4);
+        for i in 0..200u16 {
+            original.process_packet(
+                &outbound_packet(1024 + i, 0.5 + i as f64 * 0.01),
+                Direction::Outbound,
+            );
+        }
+        let watermark = Timestamp::from_secs(3.0);
+        let bytes = original.checkpoint_bytes(watermark);
+
+        let restored = ShardedFilter::new(config.clone(), 4);
+        let outcome = restored
+            .restore_bytes(&bytes, watermark, config.expiry_timer())
+            .unwrap();
+        assert_eq!(outcome, RestoreOutcome::Warm);
+        assert_eq!(restored.stats(), original.stats());
+        // Identical verdicts on a mixed probe stream.
+        for i in 0..200u16 {
+            let tuple = out_tuple(1024 + i).inverse();
+            let pkt = Packet::tcp(
+                Timestamp::from_secs(4.0 + i as f64 * 0.01),
+                tuple,
+                TcpFlags::ACK,
+                &[][..],
+            );
+            assert_eq!(
+                original.process_packet(&pkt, Direction::Inbound),
+                restored.process_packet(&pkt, Direction::Inbound),
+                "diverged at probe {i}"
+            );
+        }
+        assert_eq!(restored.stats(), original.stats());
+    }
+
+    #[test]
+    fn sharded_restore_rejects_shard_count_mismatch() {
+        let config = BitmapFilterConfig::paper_evaluation();
+        let bytes = ShardedFilter::new(config.clone(), 4).checkpoint_bytes(Timestamp::ZERO);
+        let other = ShardedFilter::new(config.clone(), 2);
+        assert!(matches!(
+            other.restore_bytes(&bytes, Timestamp::ZERO, config.expiry_timer()),
+            Err(SnapshotError::ConfigMismatch("shard count"))
+        ));
+    }
+
+    #[test]
+    fn sharded_restore_rejects_single_filter_snapshot() {
+        let config = BitmapFilterConfig::paper_evaluation();
+        let single = BitmapFilter::new(config.clone()).snapshot_bytes(Timestamp::ZERO);
+        let sharded = ShardedFilter::new(config.clone(), 2);
+        assert!(matches!(
+            sharded.restore_bytes(&single, Timestamp::ZERO, config.expiry_timer()),
+            Err(SnapshotError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_sharded_checkpoint_goes_cold_uniformly() {
+        let config = BitmapFilterConfig::builder()
+            .fail_mode(crate::FailMode::Open)
+            .build()
+            .unwrap();
+        let original = ShardedFilter::new(config.clone(), 3);
+        for i in 0..60u16 {
+            original.process_packet(&outbound_packet(1024 + i, 1.0), Direction::Outbound);
+        }
+        let bytes = original.checkpoint_bytes(Timestamp::from_secs(1.0));
+        let restored = ShardedFilter::new(config.clone(), 3);
+        let late = Timestamp::from_secs(500.0);
+        let outcome = restored
+            .restore_bytes(&bytes, late, config.expiry_timer())
+            .unwrap();
+        assert_eq!(outcome, RestoreOutcome::Cold);
+        // Stats survived, bitmap memory did not, and every shard arms at
+        // the same uniform instant.
+        assert_eq!(restored.stats().outbound_packets, 60);
+        let expect_arm = late + config.expiry_timer();
+        for i in 0..3 {
+            assert_eq!(restored.with_shard(i, |s| s.armed_at()), Some(expect_arm));
+            assert_eq!(restored.with_shard(i, |s| s.bitmap().utilization()), 0.0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip_is_atomic() {
+        let dir = std::env::temp_dir().join(format!("upbound-shard-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("filter.snap");
+        let config = BitmapFilterConfig::paper_evaluation();
+        let original = ShardedFilter::new(config.clone(), 2);
+        original.process_packet(&outbound_packet(2000, 1.0), Direction::Outbound);
+        let watermark = Timestamp::from_secs(1.0);
+        original.checkpoint_to(&path, watermark).unwrap();
+        assert!(!dir.join("filter.snap.tmp").exists());
+        let restored = ShardedFilter::new(config.clone(), 2);
+        assert_eq!(
+            restored
+                .restore_from(&path, watermark, config.expiry_timer())
+                .unwrap(),
+            RestoreOutcome::Warm
+        );
+        assert_eq!(restored.stats(), original.stats());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replace_shard_installs_fresh_state() {
+        let f = handle(3);
+        for i in 0..120u16 {
+            f.process_packet(&outbound_packet(1024 + i, 1.0), Direction::Outbound);
+        }
+        let victim = f.shard_of(&out_tuple(1030), Direction::Outbound);
+        let fresh = BitmapFilter::new(BitmapFilterConfig::paper_evaluation())
+            .with_shared_uplink(Arc::clone(f.uplink()));
+        f.replace_shard(victim, fresh);
+        assert_eq!(f.with_shard(victim, |s| s.stats()), FilterStats::default());
+        // The replaced shard forgot its marks; other shards kept theirs.
+        let resp = Packet::tcp(
+            Timestamp::from_secs(1.5),
+            out_tuple(1030).inverse(),
+            TcpFlags::ACK,
+            &[][..],
+        );
+        assert_eq!(f.process_packet(&resp, Direction::Inbound), Verdict::Drop);
+        let survivor = (0..120u16)
+            .map(|i| out_tuple(1024 + i))
+            .find(|t| f.shard_of(t, Direction::Outbound) != victim)
+            .unwrap();
+        let resp = Packet::tcp(
+            Timestamp::from_secs(1.5),
+            survivor.inverse(),
+            TcpFlags::ACK,
+            &[][..],
+        );
+        assert_eq!(f.process_packet(&resp, Direction::Inbound), Verdict::Pass);
     }
 }

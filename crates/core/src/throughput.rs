@@ -164,6 +164,43 @@ impl ThroughputMonitor {
         self.slot_width.times(self.slots.len() as u64)
     }
 
+    /// Exports the full counter state for snapshot encoding:
+    /// `(slot_width, slots, slot_ids, first_slot, total_bytes)`.
+    pub(crate) fn snapshot_fields(&self) -> (TimeDelta, Vec<u64>, Vec<u64>, u64, u64) {
+        let load =
+            |v: &[AtomicU64]| -> Vec<u64> { v.iter().map(|s| s.load(Ordering::Acquire)).collect() };
+        (
+            self.slot_width,
+            load(&self.slots),
+            load(&self.slot_ids),
+            self.first_slot.load(Ordering::Acquire),
+            self.total_bytes.load(Ordering::Acquire),
+        )
+    }
+
+    /// Overwrites the counter state from snapshot fields. Interior
+    /// mutability means a monitor shared behind an `Arc` restores in
+    /// place for every holder. Callers must have validated that the slot
+    /// vectors match this monitor's geometry.
+    pub(crate) fn restore_fields(
+        &self,
+        slots: &[u64],
+        slot_ids: &[u64],
+        first_slot: u64,
+        total_bytes: u64,
+    ) {
+        debug_assert_eq!(slots.len(), self.slots.len());
+        debug_assert_eq!(slot_ids.len(), self.slot_ids.len());
+        for (dst, src) in self.slots.iter().zip(slots) {
+            dst.store(*src, Ordering::Release);
+        }
+        for (dst, src) in self.slot_ids.iter().zip(slot_ids) {
+            dst.store(*src, Ordering::Release);
+        }
+        self.first_slot.store(first_slot, Ordering::Release);
+        self.total_bytes.store(total_bytes, Ordering::Release);
+    }
+
     /// Clears all recorded history.
     pub fn reset(&self) {
         for slot in &self.slots {

@@ -1,6 +1,8 @@
 //! Property tests on the packet substrate: codec round-trips, fuzz
 //! robustness, and structural invariants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use upbound_net::pcap;
 use upbound_net::{wire, Cidr, FiveTuple, Packet, Protocol, TcpFlags, TimeDelta, Timestamp};

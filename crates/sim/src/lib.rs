@@ -22,7 +22,10 @@
 //!   (ingest → filter → account) over bounded crossbeam channels, with
 //!   verdicts proven identical to a sequential run; [`run_sharded_pipeline`]
 //!   scales the filter stage out to one worker per shard of a
-//!   [`ShardedFilter`](upbound_core::ShardedFilter).
+//!   [`ShardedFilter`](upbound_core::ShardedFilter), and
+//!   [`run_supervised_pipeline`] additionally catches worker panics,
+//!   quarantining and rebuilding the poisoned shard fail-open while the
+//!   surviving shards keep filtering.
 //!
 //! [`BitmapFilter`]: upbound_core::BitmapFilter
 //! [`SpiFilter`]: upbound_spi::SpiFilter
@@ -60,7 +63,8 @@ pub use compare::{compare, ComparisonResult};
 pub use oracle::OracleFilter;
 pub use pfilter::{MergeStats, PacketFilter};
 pub use pipeline::{
-    run_pipeline, run_pipeline_instrumented, run_sharded_pipeline, PipelineConfig, PipelineResult,
-    PipelineTelemetry,
+    run_pipeline, run_pipeline_instrumented, run_sharded_pipeline, run_supervised_pipeline,
+    run_supervised_pipeline_with, PipelineConfig, PipelineResult, PipelineTelemetry, ShardIncident,
+    SupervisedResult, SupervisorReport,
 };
 pub use replay::{ReplayConfig, ReplayEngine, ReplayResult};

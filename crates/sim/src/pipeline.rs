@@ -29,11 +29,21 @@
 use crossbeam::channel::{bounded, Receiver, SendError, Sender, TrySendError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use upbound_core::observe::FilterObserver;
-use upbound_core::{BitmapFilter, BitmapFilterConfig, FilterStats, ShardedFilter, Verdict};
-use upbound_net::{Cidr, Direction, Packet, Timestamp};
+use upbound_core::{
+    BitmapFilter, BitmapFilterConfig, FailMode, FilterStats, PacketFilter, ShardedFilter,
+    Snapshottable, Verdict,
+};
+use upbound_net::{Cidr, Direction, Packet, TimeDelta, Timestamp};
 use upbound_telemetry::{Counter, Gauge, Registry};
+
+/// Unwraps a worker-thread join, re-raising the worker's panic on the
+/// caller thread instead of replacing it with a generic message.
+fn join_or_propagate<T>(joined: std::thread::Result<T>) -> T {
+    joined.unwrap_or_else(|payload| resume_unwind(payload))
+}
 
 /// Pipeline tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -208,7 +218,7 @@ where
     let (to_stats_tx, to_stats_rx): (Sender<(Packet, Direction, Verdict)>, Receiver<_>) =
         bounded(pipeline_config.channel_capacity);
 
-    crossbeam::thread::scope(|scope| {
+    let scope_result = crossbeam::thread::scope(|scope| {
         // Stage 2: the filter thread — exclusive owner of the bitmap.
         let filter_handle = scope.spawn(move |_| {
             for (packet, direction) in to_filter_rx {
@@ -293,12 +303,12 @@ where
         }
         drop(to_filter_tx); // signal end-of-stream downstream
 
-        let filter = filter_handle.join().expect("filter stage panicked");
-        let mut result = stats_handle.join().expect("stats stage panicked");
+        let filter = join_or_propagate(filter_handle.join());
+        let mut result = join_or_propagate(stats_handle.join());
         result.filter_stats = filter.stats();
         (result, filter)
-    })
-    .expect("pipeline scope panicked")
+    });
+    join_or_propagate(scope_result)
 }
 
 /// Tallies one merged verdict into the aggregate result.
@@ -358,7 +368,7 @@ where
     let (merge_tx, merge_rx): (Sender<(u64, Packet, Direction, Verdict)>, Receiver<_>) =
         bounded(pipeline_config.channel_capacity);
 
-    crossbeam::thread::scope(|scope| {
+    let scope_result = crossbeam::thread::scope(|scope| {
         // Filter workers: one per shard, each locking only its shard.
         for rx in worker_rxs {
             let handle = sharded.clone();
@@ -417,11 +427,211 @@ where
         }
         drop(worker_txs); // signal end-of-stream to every worker
 
-        let mut result = merge_handle.join().expect("merge stage panicked");
+        let mut result = join_or_propagate(merge_handle.join());
         result.filter_stats = sharded.stats();
         result
-    })
-    .expect("pipeline scope panicked")
+    });
+    join_or_propagate(scope_result)
+}
+
+/// One quarantine event recorded by the shard supervisor: worker
+/// `shard` panicked while deciding a packet at watermark `at`, its
+/// filter was rebuilt empty, and the rebuilt memory is not trustworthy
+/// (still warming up) until `quarantined_until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardIncident {
+    /// Index of the shard that panicked.
+    pub shard: usize,
+    /// Ingest watermark when the panic was caught.
+    pub at: Timestamp,
+    /// End of the rebuilt shard's warm-up window (`at` + quarantine).
+    pub quarantined_until: Timestamp,
+}
+
+/// Aggregate record of everything the shard supervisor had to do during
+/// a [`run_supervised_pipeline`] run. All zeros/empty on a clean run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisorReport {
+    /// Worker panics caught.
+    pub panics: u64,
+    /// Shards rebuilt empty (one per caught panic).
+    pub restarts: u64,
+    /// Per-event detail, in watermark order.
+    pub incidents: Vec<ShardIncident>,
+}
+
+/// Output of [`run_supervised_pipeline`]: the pipeline aggregate plus
+/// the supervisor's incident record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisedResult {
+    /// The usual pipeline aggregate.
+    pub pipeline: PipelineResult,
+    /// What the supervisor caught and rebuilt.
+    pub supervisor: SupervisorReport,
+}
+
+/// [`run_sharded_pipeline`] with supervised workers: a panic inside a
+/// shard's decision path is caught, the poisoned shard is quarantined
+/// and rebuilt **empty and fail-open** (so its warm-up never falsely
+/// drops), and the packet that triggered the panic passes fail-open.
+/// The other `N − 1` shards keep filtering untouched, and because every
+/// sequence number still reaches the merge stage, a poisoned shard can
+/// never wedge the reorder buffer.
+pub fn run_supervised_pipeline<I>(
+    packets: I,
+    inside: Cidr,
+    filter_config: BitmapFilterConfig,
+    shards: usize,
+    pipeline_config: PipelineConfig,
+) -> SupervisedResult
+where
+    I: IntoIterator<Item = Packet>,
+{
+    let sharded = ShardedFilter::new(filter_config.clone(), shards);
+    let uplink = Arc::clone(sharded.uplink());
+    let quarantine = filter_config.expiry_timer();
+    let rebuild_config = filter_config.with_fail_mode(FailMode::Open);
+    let rebuild = move |_shard: usize, at: Timestamp| {
+        let mut fresh =
+            BitmapFilter::new(rebuild_config.clone()).with_shared_uplink(Arc::clone(&uplink));
+        fresh.start_cold_at(at);
+        fresh
+    };
+    run_supervised_pipeline_with(
+        packets,
+        inside,
+        sharded,
+        rebuild,
+        quarantine,
+        pipeline_config,
+    )
+}
+
+/// [`run_supervised_pipeline`] over a caller-built [`ShardedFilter`]
+/// and rebuild policy.
+///
+/// `rebuild(shard, at)` must produce a replacement filter ready to take
+/// over shard `shard` at watermark `at` — typically empty, sharing the
+/// sharded filter's uplink monitor, and fail-open until it has observed
+/// `quarantine` worth of traffic. The caller keeps (a clone of)
+/// `sharded`, so per-shard state remains inspectable after the run.
+pub fn run_supervised_pipeline_with<I, F, R>(
+    packets: I,
+    inside: Cidr,
+    sharded: ShardedFilter<F>,
+    rebuild: R,
+    quarantine: TimeDelta,
+    pipeline_config: PipelineConfig,
+) -> SupervisedResult
+where
+    I: IntoIterator<Item = Packet>,
+    F: PacketFilter<Stats = FilterStats> + Send,
+    R: Fn(usize, Timestamp) -> F + Sync,
+{
+    let (worker_txs, worker_rxs): (Vec<_>, Vec<_>) = (0..sharded.shards())
+        .map(|_| bounded::<(u64, Packet, Direction, Timestamp)>(pipeline_config.channel_capacity))
+        .unzip();
+    let (merge_tx, merge_rx): (Sender<(u64, Packet, Direction, Verdict)>, Receiver<_>) =
+        bounded(pipeline_config.channel_capacity);
+    let rebuild = &rebuild;
+
+    let scope_result = crossbeam::thread::scope(|scope| {
+        // Supervised filter workers: one per shard. A panic inside the
+        // decision path unwinds out of the shard's lock guard
+        // (parking_lot does not poison), so the shard stays lockable
+        // but its state is suspect — quarantine it by swapping in a
+        // rebuilt filter, and let the offending packet pass fail-open
+        // so its sequence number still reaches the merge stage.
+        let worker_handles: Vec<_> = worker_rxs
+            .into_iter()
+            .map(|rx: Receiver<(u64, Packet, Direction, Timestamp)>| {
+                let handle = sharded.clone();
+                let merge_tx = merge_tx.clone();
+                scope.spawn(move |_| {
+                    let mut incidents = Vec::new();
+                    for (seq, packet, direction, watermark) in rx {
+                        let decided = catch_unwind(AssertUnwindSafe(|| {
+                            handle.process_packet_at(&packet, direction, watermark)
+                        }));
+                        let verdict = match decided {
+                            Ok(verdict) => verdict,
+                            Err(_panic) => {
+                                let shard = handle.shard_of(&packet.tuple(), direction);
+                                handle.replace_shard(shard, rebuild(shard, watermark));
+                                incidents.push(ShardIncident {
+                                    shard,
+                                    at: watermark,
+                                    quarantined_until: watermark + quarantine,
+                                });
+                                Verdict::Pass
+                            }
+                        };
+                        if merge_tx.send((seq, packet, direction, verdict)).is_err() {
+                            break;
+                        }
+                    }
+                    incidents
+                })
+            })
+            .collect();
+        drop(merge_tx); // workers hold the only remaining senders
+
+        // Merge + account: identical to the unsupervised variant.
+        let merge_handle = scope.spawn(move |_| {
+            let mut result = PipelineResult {
+                ingested: 0,
+                passed: 0,
+                dropped: 0,
+                uplink_bytes: 0,
+                downlink_bytes: 0,
+                filter_stats: FilterStats::default(),
+            };
+            let mut next_seq = 0u64;
+            let mut pending: BTreeMap<u64, (Packet, Direction, Verdict)> = BTreeMap::new();
+            for (seq, packet, direction, verdict) in merge_rx {
+                pending.insert(seq, (packet, direction, verdict));
+                while let Some((packet, direction, verdict)) = pending.remove(&next_seq) {
+                    account(&mut result, &packet, direction, verdict);
+                    next_seq += 1;
+                }
+            }
+            for (_, (packet, direction, verdict)) in pending {
+                account(&mut result, &packet, direction, verdict);
+            }
+            result
+        });
+
+        let mut watermark = Timestamp::ZERO;
+        for (seq, packet) in packets.into_iter().enumerate() {
+            let direction = inside.direction_of(&packet.tuple());
+            let shard = sharded.shard_of(&packet.tuple(), direction);
+            watermark = watermark.max(packet.ts());
+            if worker_txs[shard]
+                .send((seq as u64, packet, direction, watermark))
+                .is_err()
+            {
+                break;
+            }
+        }
+        drop(worker_txs); // signal end-of-stream to every worker
+
+        let mut incidents: Vec<ShardIncident> = Vec::new();
+        for handle in worker_handles {
+            incidents.extend(join_or_propagate(handle.join()));
+        }
+        incidents.sort_by_key(|i| (i.at, i.shard));
+        let mut pipeline = join_or_propagate(merge_handle.join());
+        pipeline.filter_stats = sharded.stats();
+        SupervisedResult {
+            pipeline,
+            supervisor: SupervisorReport {
+                panics: incidents.len() as u64,
+                restarts: incidents.len() as u64,
+                incidents,
+            },
+        }
+    });
+    join_or_propagate(scope_result)
 }
 
 #[cfg(test)]
@@ -673,6 +883,173 @@ mod tests {
         assert_eq!(result.ingested, 0);
         assert_eq!(result.passed, 0);
         assert_eq!(result.dropped, 0);
+    }
+
+    #[test]
+    fn supervised_pipeline_without_panics_matches_sharded() {
+        let trace = trace();
+        let config = BitmapFilterConfig::paper_evaluation();
+        let reference = run_sharded_pipeline(
+            trace.packets.iter().map(|lp| lp.packet.clone()),
+            inside(),
+            config.clone(),
+            4,
+            PipelineConfig::default(),
+        );
+        let supervised = run_supervised_pipeline(
+            trace.packets.iter().map(|lp| lp.packet.clone()),
+            inside(),
+            config,
+            4,
+            PipelineConfig::default(),
+        );
+        assert_eq!(supervised.pipeline, reference);
+        assert_eq!(supervised.supervisor, SupervisorReport::default());
+    }
+
+    /// A filter that delegates to an inner [`BitmapFilter`] but panics
+    /// when asked to decide a packet touching `trip_port` — the fault
+    /// injection for supervisor tests.
+    struct Grenade {
+        inner: BitmapFilter,
+        trip_port: Option<u16>,
+    }
+
+    impl PacketFilter for Grenade {
+        type Stats = FilterStats;
+
+        fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
+            let tuple = packet.tuple();
+            if let Some(port) = self.trip_port {
+                if tuple.src().port() == port || tuple.dst().port() == port {
+                    panic!("injected shard fault");
+                }
+            }
+            self.inner.decide(packet, direction)
+        }
+
+        fn advance(&mut self, now: Timestamp) {
+            self.inner.advance(now);
+        }
+
+        fn stats(&self) -> FilterStats {
+            self.inner.stats()
+        }
+
+        fn memory_bytes(&self) -> usize {
+            self.inner.memory_bytes()
+        }
+
+        fn drop_probability(&self, now: Timestamp) -> f64 {
+            self.inner.drop_probability(now)
+        }
+
+        fn name(&self) -> &str {
+            "grenade"
+        }
+    }
+
+    fn grenade_shards(
+        config: &BitmapFilterConfig,
+        shards: usize,
+        trip_port: Option<u16>,
+    ) -> ShardedFilter<Grenade> {
+        let uplink = Arc::new(config.uplink_monitor());
+        let filters = (0..shards)
+            .map(|_| Grenade {
+                inner: BitmapFilter::new(config.clone()).with_shared_uplink(Arc::clone(&uplink)),
+                trip_port,
+            })
+            .collect();
+        ShardedFilter::from_shards(
+            upbound_core::FlowHash::new(config.hole_punching()),
+            uplink,
+            filters,
+        )
+    }
+
+    #[test]
+    fn shard_panic_degrades_only_that_shard() {
+        let trace = trace();
+        let config = BitmapFilterConfig::paper_evaluation();
+        let shards = 4usize;
+        let packets: Vec<Packet> = trace.packets.iter().map(|lp| lp.packet.clone()).collect();
+
+        // Pick a trip wire: an inbound packet about two-thirds in, so
+        // the victim shard has state worth poisoning.
+        let trip_at = packets.len() * 2 / 3;
+        let trip_packet = packets[trip_at..]
+            .iter()
+            .find(|p| inside().direction_of(&p.tuple()) == Direction::Inbound)
+            .expect("trace has inbound packets");
+        let trip_port = trip_packet.tuple().src().port();
+        let victim = grenade_shards(&config, shards, Some(trip_port))
+            .shard_of(&trip_packet.tuple(), Direction::Inbound);
+
+        let rebuild_config = config.clone().with_fail_mode(FailMode::Open);
+        let run = |trip: Option<u16>| {
+            let sharded = grenade_shards(&config, shards, trip);
+            let uplink = Arc::clone(sharded.uplink());
+            let rebuild_config = rebuild_config.clone();
+            let rebuild = move |_shard: usize, at: Timestamp| {
+                let mut inner = BitmapFilter::new(rebuild_config.clone())
+                    .with_shared_uplink(Arc::clone(&uplink));
+                inner.start_cold_at(at);
+                Grenade {
+                    inner,
+                    trip_port: None,
+                }
+            };
+            let result = run_supervised_pipeline_with(
+                packets.iter().cloned(),
+                inside(),
+                sharded.clone(),
+                rebuild,
+                config.expiry_timer(),
+                PipelineConfig::default(),
+            );
+            let shard_stats: Vec<FilterStats> = (0..shards)
+                .map(|i| sharded.with_shard(i, |f| f.stats()))
+                .collect();
+            (result, shard_stats)
+        };
+
+        let (clean, clean_stats) = run(None);
+        let (faulted, faulted_stats) = run(Some(trip_port));
+
+        // The supervisor caught at least one panic, quarantined only
+        // the victim shard, and every packet still drained through the
+        // merge stage (nothing wedged, nothing lost).
+        assert!(faulted.supervisor.panics >= 1);
+        assert_eq!(faulted.supervisor.panics, faulted.supervisor.restarts);
+        assert!(faulted
+            .supervisor
+            .incidents
+            .iter()
+            .all(|i| i.shard == victim));
+        assert!(faulted
+            .supervisor
+            .incidents
+            .iter()
+            .all(|i| i.quarantined_until == i.at + config.expiry_timer()));
+        assert_eq!(faulted.pipeline.ingested as usize, packets.len());
+        assert_eq!(
+            faulted.pipeline.passed + faulted.pipeline.dropped,
+            faulted.pipeline.ingested
+        );
+        assert_eq!(clean.supervisor, SupervisorReport::default());
+
+        // Sequential-equivalence for survivors: every shard except the
+        // victim ends with byte-identical counters to the clean run.
+        for (i, (clean_s, faulted_s)) in clean_stats.iter().zip(&faulted_stats).enumerate() {
+            if i != victim {
+                assert_eq!(clean_s, faulted_s, "survivor shard {i} diverged");
+            }
+        }
+        // The victim really was degraded (rebuilt mid-run), and its
+        // rebuilt filter was armed fail-open: it never falsely dropped
+        // while cold unless it had warmed back up.
+        assert_ne!(clean_stats[victim], faulted_stats[victim]);
     }
 
     #[test]

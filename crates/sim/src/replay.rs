@@ -4,9 +4,10 @@ use crate::{OracleFilter, PacketFilter};
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
 use std::collections::HashSet;
-use upbound_core::Verdict;
+use std::path::Path;
+use upbound_core::{snapshot, SnapshotError, Snapshottable, Verdict};
 use upbound_net::pcap::{IngestStats, PcapReader};
-use upbound_net::{Cidr, Direction, FiveTuple, NetError, Packet, TimeDelta};
+use upbound_net::{Cidr, Direction, FiveTuple, NetError, Packet, TimeDelta, Timestamp};
 use upbound_stats::BinnedSeries;
 use upbound_traffic::SyntheticTrace;
 
@@ -145,6 +146,62 @@ impl ReplayEngine {
         )
     }
 
+    /// Like [`run`](Self::run), but additionally writes an atomic
+    /// checkpoint of `filter` to `path` every `every` of **trace time**
+    /// (the cadence a crash-safe deployment would use), plus one final
+    /// checkpoint at end-of-trace. Returns the replay metrics and how
+    /// many checkpoints were written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first checkpoint write failure as
+    /// [`SnapshotError::Io`]; the replay stops at the failing packet.
+    pub fn run_checkpointed<F>(
+        &self,
+        trace: &SyntheticTrace,
+        filter: &mut F,
+        path: &Path,
+        every: TimeDelta,
+    ) -> Result<(ReplayResult, u64), SnapshotError>
+    where
+        F: PacketFilter + Snapshottable,
+    {
+        let mut written = 0u64;
+        let mut failure: Option<SnapshotError> = None;
+        let mut next_due: Option<Timestamp> = None;
+        let mut watermark = Timestamp::ZERO;
+        let result = self.run_iter_with(
+            filter,
+            trace.packets.iter().map(|lp| (&lp.packet, lp.direction)),
+            |f, now| {
+                if failure.is_some() {
+                    return false;
+                }
+                watermark = watermark.max(now);
+                let due = *next_due.get_or_insert(watermark + every);
+                if watermark >= due {
+                    match snapshot::write_atomic(path, &f.snapshot_bytes(watermark)) {
+                        Ok(()) => {
+                            written += 1;
+                            next_due = Some(due + every);
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            return false;
+                        }
+                    }
+                }
+                true
+            },
+        );
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        snapshot::write_atomic(path, &filter.snapshot_bytes(watermark))?;
+        written += 1;
+        Ok((result, written))
+    }
+
     /// Replays the remaining records of a pcap `reader` through `filter`,
     /// classifying direction against `client_net` (source inside →
     /// outbound), and returns the replay metrics together with the
@@ -175,6 +232,23 @@ impl ReplayEngine {
     }
 
     fn run_iter<F, P, I>(&self, filter: &mut F, packets: I) -> ReplayResult
+    where
+        F: PacketFilter,
+        P: Borrow<Packet>,
+        I: IntoIterator<Item = (P, Direction)>,
+    {
+        self.run_iter_with(filter, packets, |_, _| true)
+    }
+
+    /// The replay loop with a per-packet hook: after each packet is
+    /// accounted, `tick(filter, packet_ts)` runs; returning `false`
+    /// stops the replay early (used to abort on checkpoint failures).
+    fn run_iter_with<F, P, I>(
+        &self,
+        filter: &mut F,
+        packets: I,
+        mut tick: impl FnMut(&mut F, Timestamp) -> bool,
+    ) -> ReplayResult
     where
         F: PacketFilter,
         P: Borrow<Packet>,
@@ -228,29 +302,32 @@ impl ReplayEngine {
                         result.false_negatives += 1;
                     }
                 }
-                // Outbound packets of blocked connections are suppressed.
-                continue;
+                // Outbound packets of blocked connections are
+                // suppressed: they never reach the filter.
+            } else {
+                let verdict = filter.decide(packet, direction);
+                match (direction, verdict) {
+                    (Direction::Outbound, _) => result.post_uplink.add(t, bits),
+                    (Direction::Inbound, Verdict::Pass) => {
+                        result.post_downlink.add(t, bits);
+                        if oracle_verdict == Verdict::Drop {
+                            result.false_positives += 1;
+                        }
+                    }
+                    (Direction::Inbound, Verdict::Drop) => {
+                        result.total_dropped_packets += 1;
+                        result.inbound_dropped.add(t, 1.0);
+                        if oracle_verdict == Verdict::Pass {
+                            result.false_negatives += 1;
+                        }
+                        if self.config.block_connections && blocked.insert(tuple.canonical()) {
+                            result.blocked_connections += 1;
+                        }
+                    }
+                }
             }
-
-            let verdict = filter.decide(packet, direction);
-            match (direction, verdict) {
-                (Direction::Outbound, _) => result.post_uplink.add(t, bits),
-                (Direction::Inbound, Verdict::Pass) => {
-                    result.post_downlink.add(t, bits);
-                    if oracle_verdict == Verdict::Drop {
-                        result.false_positives += 1;
-                    }
-                }
-                (Direction::Inbound, Verdict::Drop) => {
-                    result.total_dropped_packets += 1;
-                    result.inbound_dropped.add(t, 1.0);
-                    if oracle_verdict == Verdict::Pass {
-                        result.false_negatives += 1;
-                    }
-                    if self.config.block_connections && blocked.insert(tuple.canonical()) {
-                        result.blocked_connections += 1;
-                    }
-                }
+            if !tick(filter, packet.ts()) {
+                break;
             }
         }
         result
@@ -385,6 +462,38 @@ mod tests {
         assert_eq!(result.total_packets, n - 1);
         assert_eq!(stats.records_skipped, 1);
         assert!(stats.bytes_skipped > 0);
+    }
+
+    #[test]
+    fn checkpointed_replay_matches_plain_and_restores() {
+        let trace = trace(9);
+        let engine = ReplayEngine::new(ReplayConfig::default());
+        let expected = engine.run(&trace, &mut bitmap());
+
+        let dir = std::env::temp_dir().join(format!("upbound-replay-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("filter.snap");
+
+        let mut filter = bitmap();
+        let (result, written) = engine
+            .run_checkpointed(&trace, &mut filter, &path, TimeDelta::from_secs(10.0))
+            .unwrap();
+        // The checkpoint hook must not perturb the replay itself.
+        assert_eq!(result, expected);
+        // A 60 s trace at a 10 s cadence: several periodic checkpoints
+        // plus the final one.
+        assert!(written >= 4, "only {written} checkpoints written");
+
+        // The final checkpoint restores to the exact end-of-trace state.
+        let bytes = std::fs::read(&path).unwrap();
+        let mut restored = bitmap();
+        let end = trace.packets.last().unwrap().packet.ts();
+        let outcome = restored
+            .restore_bytes(&bytes, end, TimeDelta::from_secs(3600.0))
+            .unwrap();
+        assert_eq!(outcome, upbound_core::RestoreOutcome::Warm);
+        assert_eq!(restored.stats(), filter.stats());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

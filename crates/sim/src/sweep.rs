@@ -36,7 +36,7 @@ where
     let chunk = inputs.len().div_ceil(workers);
     let mut outputs: Vec<Option<O>> = (0..inputs.len()).map(|_| None).collect();
 
-    thread::scope(|scope| {
+    let scope_result = thread::scope(|scope| {
         for (slot_chunk, input_chunk) in outputs.chunks_mut(chunk).zip(inputs.chunks(chunk)) {
             let f = &f;
             scope.spawn(move |_| {
@@ -45,12 +45,17 @@ where
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
+    if let Err(payload) = scope_result {
+        std::panic::resume_unwind(payload);
+    }
 
     outputs
         .into_iter()
-        .map(|o| o.expect("every slot filled"))
+        .map(|o| match o {
+            Some(value) => value,
+            None => unreachable!("the scope joined every worker, so every slot is filled"),
+        })
         .collect()
 }
 

@@ -1,11 +1,15 @@
 //! The SPI filter: exact positive listing with per-flow state.
 
-use crate::{FlowTable, SpiConfig};
+use crate::{FlowEntry, FlowTable, SpiConfig};
 use serde::{Deserialize, Serialize};
+use std::net::{Ipv4Addr, SocketAddrV4};
 use std::sync::Arc;
 use upbound_core::observe::{FilterObserver, NoopObserver};
-use upbound_core::{FilterEngine, MergeStats, PacketFilter, ThroughputMonitor, Verdict};
-use upbound_net::{Direction, FiveTuple, Packet, TcpFlags, Timestamp};
+use upbound_core::snapshot::{self, ByteReader, ByteWriter, RestoreMode, SnapshotError};
+use upbound_core::{
+    FilterEngine, MergeStats, PacketFilter, Snapshottable, ThroughputMonitor, Verdict,
+};
+use upbound_net::{Direction, FiveTuple, Packet, Protocol, TcpConnState, TcpFlags, Timestamp};
 
 /// Running counters of an [`SpiFilter`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -218,7 +222,7 @@ impl<O: FilterObserver> SpiFilter<O> {
             }
         };
         self.engine
-            .notify_inbound(now, verdict, p_d, known, usize::from(!known));
+            .notify_inbound(now, verdict, p_d, known, usize::from(!known), false);
         verdict
     }
 
@@ -256,6 +260,174 @@ impl<O: FilterObserver> SpiFilter<O> {
     }
 }
 
+/// Encodes an optional TCP state machine position as one byte.
+fn tcp_state_byte(state: Option<TcpConnState>) -> u8 {
+    match state {
+        None => 0,
+        Some(TcpConnState::SynSent) => 1,
+        Some(TcpConnState::Established) => 2,
+        Some(TcpConnState::FinWait) => 3,
+        Some(TcpConnState::Closed) => 4,
+    }
+}
+
+/// Decodes [`tcp_state_byte`]'s encoding.
+fn tcp_state_from_byte(b: u8) -> Result<Option<TcpConnState>, SnapshotError> {
+    Ok(match b {
+        0 => None,
+        1 => Some(TcpConnState::SynSent),
+        2 => Some(TcpConnState::Established),
+        3 => Some(TcpConnState::FinWait),
+        4 => Some(TcpConnState::Closed),
+        _ => return Err(SnapshotError::Malformed("tcp state tag")),
+    })
+}
+
+fn encode_addr(w: &mut ByteWriter, addr: SocketAddrV4) {
+    w.put_slice(&addr.ip().octets());
+    w.put_u16(addr.port());
+}
+
+fn decode_addr(r: &mut ByteReader<'_>) -> Result<SocketAddrV4, SnapshotError> {
+    let octets = r.take(4)?;
+    let ip = Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]);
+    Ok(SocketAddrV4::new(ip, r.u16()?))
+}
+
+impl<O: FilterObserver> Snapshottable for SpiFilter<O> {
+    const SNAPSHOT_KIND: u32 = 2;
+
+    fn encode_snapshot(&self, w: &mut ByteWriter) {
+        // Configuration guard: behavioral parameters only. The drop
+        // policy is not guarded — `P_d` is supplied per call and an
+        // operator may restart with a different limiter curve.
+        w.put_u64(self.config.idle_timeout.as_micros());
+        w.put_bool(self.config.tcp_aware);
+        w.put_u64(self.config.rng_seed);
+        w.put_u64(self.config.purge_interval.as_micros());
+        match self.config.max_entries {
+            Some(cap) => {
+                w.put_bool(true);
+                w.put_u64(cap as u64);
+            }
+            None => {
+                w.put_bool(false);
+                w.put_u64(0);
+            }
+        }
+        // Engine tick phase (purge sweep schedule).
+        let (ticks, next_tick) = self.engine.tick_phase();
+        w.put_u64(ticks);
+        w.put_u64(next_tick.as_micros());
+        // Uplink measurement window.
+        snapshot::encode_monitor(self.engine.monitor(), w);
+        // Flow table. Entries are sorted by their wire encoding so the
+        // same table always produces the same snapshot bytes.
+        w.put_u64(self.table.peak_entries() as u64);
+        w.put_u64(self.table.len() as u64);
+        let mut entries: Vec<(&FiveTuple, &FlowEntry)> = self.table.entries().collect();
+        entries.sort_by_key(|(t, _)| {
+            (
+                t.protocol().ip_number(),
+                t.src().ip().octets(),
+                t.src().port(),
+                t.dst().ip().octets(),
+                t.dst().port(),
+            )
+        });
+        for (tuple, entry) in entries {
+            w.put_u8(tuple.protocol().ip_number());
+            encode_addr(w, tuple.src());
+            encode_addr(w, tuple.dst());
+            w.put_u64(entry.last_seen().as_micros());
+            w.put_u8(tcp_state_byte(entry.tcp_state()));
+        }
+        // Running statistics.
+        w.put_u64(self.stats.outbound_packets);
+        w.put_u64(self.stats.inbound_packets);
+        w.put_u64(self.stats.inbound_hits);
+        w.put_u64(self.stats.inbound_misses);
+        w.put_u64(self.stats.dropped);
+        w.put_u64(self.stats.purged_entries);
+        w.put_u64(self.stats.purge_sweeps);
+        w.put_u64(self.stats.untracked_flows);
+    }
+
+    fn restore_snapshot(
+        &mut self,
+        r: &mut ByteReader<'_>,
+        mode: RestoreMode,
+    ) -> Result<(), SnapshotError> {
+        if r.u64()? != self.config.idle_timeout.as_micros() {
+            return Err(SnapshotError::ConfigMismatch("idle_timeout"));
+        }
+        if r.bool()? != self.config.tcp_aware {
+            return Err(SnapshotError::ConfigMismatch("tcp_aware"));
+        }
+        if r.u64()? != self.config.rng_seed {
+            return Err(SnapshotError::ConfigMismatch("rng_seed"));
+        }
+        if r.u64()? != self.config.purge_interval.as_micros() {
+            return Err(SnapshotError::ConfigMismatch("purge_interval"));
+        }
+        let cap_set = r.bool()?;
+        let cap = r.u64()?;
+        if cap_set.then_some(cap as usize) != self.config.max_entries {
+            return Err(SnapshotError::ConfigMismatch("max_entries"));
+        }
+        let ticks = r.u64()?;
+        let next_tick = Timestamp::from_micros(r.u64()?);
+        self.engine.restore_tick_phase(ticks, next_tick);
+        snapshot::restore_monitor(self.engine.monitor(), r)?;
+        let peak = r.u64()? as usize;
+        let count = r.u64()?;
+        let mut entries = Vec::with_capacity(if mode == RestoreMode::Full {
+            count as usize
+        } else {
+            0
+        });
+        for _ in 0..count {
+            let protocol = match r.u8()? {
+                6 => Protocol::Tcp,
+                17 => Protocol::Udp,
+                _ => return Err(SnapshotError::Malformed("protocol number")),
+            };
+            let src = decode_addr(r)?;
+            let dst = decode_addr(r)?;
+            let last_seen = Timestamp::from_micros(r.u64()?);
+            let tcp_state = tcp_state_from_byte(r.u8()?)?;
+            if mode == RestoreMode::Full {
+                entries.push((
+                    FiveTuple::new(protocol, src, dst),
+                    FlowEntry::from_parts(last_seen, tcp_state),
+                ));
+            }
+        }
+        if mode == RestoreMode::Full {
+            self.table.restore(entries, peak);
+        }
+        self.stats = SpiStats {
+            outbound_packets: r.u64()?,
+            inbound_packets: r.u64()?,
+            inbound_hits: r.u64()?,
+            inbound_misses: r.u64()?,
+            dropped: r.u64()?,
+            purged_entries: r.u64()?,
+            purge_sweeps: r.u64()?,
+            untracked_flows: r.u64()?,
+        };
+        Ok(())
+    }
+
+    fn start_cold_at(&mut self, epoch: Timestamp) {
+        // An exact filter has no warm-up grace: a cold table simply
+        // forgets pre-crash flows, and their responses are treated as
+        // unsolicited — the bounded-false-drop cost of a stale snapshot.
+        self.table.clear();
+        self.engine.notify_cold_start(epoch, epoch);
+    }
+}
+
 impl<O: FilterObserver> PacketFilter for SpiFilter<O> {
     type Stats = SpiStats;
 
@@ -287,7 +459,7 @@ impl<O: FilterObserver> PacketFilter for SpiFilter<O> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use upbound_net::Protocol;
+    use upbound_net::{Protocol, TimeDelta};
 
     fn conn(port: u16) -> FiveTuple {
         FiveTuple::new(
@@ -562,6 +734,103 @@ mod tests {
                 untracked_flows: 1,
             }
         );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_table_and_stats() {
+        let mut f = spi();
+        let t0 = Timestamp::from_secs(10.0);
+        for p in 0..50u16 {
+            f.observe_outbound(&conn(20_000 + p), Some(TcpFlags::SYN), t0);
+        }
+        f.check_inbound(&conn(20_000).inverse(), Some(TcpFlags::ACK), t0, 1.0);
+        f.check_inbound(&stranger(9), None, t0, 1.0);
+        let bytes = f.snapshot_bytes(t0);
+
+        let mut g = spi();
+        let outcome = g
+            .restore_bytes(&bytes, t0, TimeDelta::from_secs(240.0))
+            .unwrap();
+        assert_eq!(outcome, upbound_core::RestoreOutcome::Warm);
+        assert_eq!(g.stats(), f.stats());
+        assert_eq!(g.table().len(), f.table().len());
+        assert_eq!(g.table().peak_entries(), f.table().peak_entries());
+        // Restored state answers exactly like the original.
+        for p in 0..50u16 {
+            assert_eq!(
+                g.check_inbound(&conn(20_000 + p).inverse(), None, t0, 1.0),
+                Verdict::Pass,
+            );
+        }
+        assert_eq!(g.check_inbound(&stranger(10), None, t0, 1.0), Verdict::Drop);
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let build = || {
+            let mut f = spi();
+            for p in 0..100u16 {
+                f.observe_outbound(
+                    &conn(30_000 + p),
+                    Some(TcpFlags::SYN),
+                    Timestamp::from_secs(1.0),
+                );
+            }
+            f
+        };
+        // HashMap iteration order varies between instances; the sorted
+        // encoding must not.
+        assert_eq!(
+            build().snapshot_bytes(Timestamp::from_secs(1.0)),
+            build().snapshot_bytes(Timestamp::from_secs(1.0)),
+        );
+    }
+
+    #[test]
+    fn stale_snapshot_restores_stats_with_cold_table() {
+        let mut f = spi();
+        let t0 = Timestamp::from_secs(0.0);
+        f.observe_outbound(&conn(4000), None, t0);
+        let bytes = f.snapshot_bytes(t0);
+
+        let mut g = spi();
+        let late = Timestamp::from_secs(10_000.0);
+        let outcome = g
+            .restore_bytes(&bytes, late, TimeDelta::from_secs(240.0))
+            .unwrap();
+        assert_eq!(outcome, upbound_core::RestoreOutcome::Cold);
+        assert_eq!(g.stats().outbound_packets, 1);
+        assert!(g.table().is_empty(), "stale table must start cold");
+        assert_eq!(
+            g.check_inbound(&conn(4000).inverse(), None, late, 1.0),
+            Verdict::Drop,
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_config() {
+        let f = spi();
+        let bytes = f.snapshot_bytes(Timestamp::ZERO);
+        let mut other = SpiFilter::new(SpiConfig {
+            max_entries: Some(64),
+            ..SpiConfig::default()
+        });
+        assert!(matches!(
+            other.restore_bytes(&bytes, Timestamp::ZERO, TimeDelta::from_secs(240.0)),
+            Err(upbound_core::SnapshotError::ConfigMismatch("max_entries")),
+        ));
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let f = spi();
+        let mut bytes = f.snapshot_bytes(Timestamp::ZERO);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let mut g = spi();
+        assert!(g
+            .restore_bytes(&bytes, Timestamp::ZERO, TimeDelta::from_secs(240.0))
+            .is_err());
     }
 
     #[test]

@@ -12,6 +12,16 @@ pub struct FlowEntry {
 }
 
 impl FlowEntry {
+    /// Reassembles an entry from its captured parts — the inverse of
+    /// [`last_seen`](Self::last_seen) / [`tcp_state`](Self::tcp_state),
+    /// used when restoring a table from a snapshot.
+    pub fn from_parts(last_seen: Timestamp, tcp_state: Option<TcpConnState>) -> Self {
+        Self {
+            last_seen,
+            tcp_state,
+        }
+    }
+
     /// Timestamp of the most recent packet in either direction.
     pub fn last_seen(&self) -> Timestamp {
         self.last_seen
@@ -171,6 +181,23 @@ impl FlowTable {
     pub fn clear(&mut self) {
         self.flows.clear();
         self.peak_entries = 0;
+    }
+
+    /// Iterates over every tracked flow, in unspecified order.
+    pub fn entries(&self) -> impl Iterator<Item = (&FiveTuple, &FlowEntry)> {
+        self.flows.iter()
+    }
+
+    /// Replaces the table's contents with `entries` and restores the
+    /// high-water mark (clamped up to the restored entry count), as when
+    /// rebuilding from a snapshot.
+    pub fn restore(
+        &mut self,
+        entries: impl IntoIterator<Item = (FiveTuple, FlowEntry)>,
+        peak_entries: usize,
+    ) {
+        self.flows = entries.into_iter().collect();
+        self.peak_entries = peak_entries.max(self.flows.len());
     }
 }
 

@@ -2,6 +2,8 @@
 //! its verdicts coincide with a brute-force reference over arbitrary
 //! packet schedules.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use std::collections::HashMap;
 use upbound_core::Verdict;

@@ -42,6 +42,14 @@ pub enum FilterEventKind {
         /// Why it was dropped.
         reason: DropReason,
     },
+    /// The filter (re)started with empty memory; under fail-open it
+    /// passes everything until `armed_at_micros`.
+    ColdStart {
+        /// Trace time at which the warm-up grace period ends.
+        armed_at_micros: u64,
+    },
+    /// The warm-up grace period ended; drops are armed.
+    Armed,
 }
 
 /// One journal entry: when, what, and the filter's live operating point.
@@ -64,6 +72,13 @@ impl FilterEvent {
             FilterEventKind::Rotation { rotations } => format!("rotation #{rotations}"),
             FilterEventKind::Pass => "pass".to_string(),
             FilterEventKind::Drop { reason } => format!("drop ({})", reason.label()),
+            FilterEventKind::ColdStart { armed_at_micros } => {
+                format!(
+                    "cold start (arms at t={:.6}s)",
+                    armed_at_micros as f64 / 1e6
+                )
+            }
+            FilterEventKind::Armed => "armed".to_string(),
         };
         format!(
             "t={:.6}s {what} P_d={:.4} uplink={:.1} kbit/s",

@@ -27,6 +27,8 @@ pub mod prometheus {
     use super::*;
 
     /// Renders a snapshot in Prometheus text exposition format.
+    // `fmt::Write` into a `String` cannot fail.
+    #[allow(clippy::unwrap_used)]
     pub fn render(snapshot: &Snapshot) -> String {
         let mut out = String::new();
         for sample in &snapshot.samples {
@@ -292,6 +294,8 @@ pub mod prometheus {
 pub mod json {
     use super::*;
 
+    // `fmt::Write` into a `String` cannot fail.
+    #[allow(clippy::unwrap_used)]
     fn escape(s: &str, out: &mut String) {
         out.push('"');
         for c in s.chars() {
@@ -326,6 +330,8 @@ pub mod json {
 
     /// Renders a snapshot as a JSON document:
     /// `{"metrics": [{"name", "help", "type", ...}, ...]}`.
+    // `fmt::Write` into a `String` cannot fail.
+    #[allow(clippy::unwrap_used)]
     pub fn render(snapshot: &Snapshot) -> String {
         let mut out = String::from("{\"metrics\":[");
         for (i, sample) in snapshot.samples.iter().enumerate() {
@@ -376,6 +382,8 @@ pub mod human {
     /// given along with the elapsed trace seconds since it was taken,
     /// counters additionally show their delta and rate over the
     /// interval.
+    // `fmt::Write` into a `String` cannot fail.
+    #[allow(clippy::unwrap_used)]
     pub fn render(snapshot: &Snapshot, previous: Option<(&Snapshot, f64)>) -> String {
         let width = snapshot
             .samples

@@ -69,10 +69,9 @@ impl<T> EventJournal<T> {
         let cap = self.slots.len();
         // Oldest retained event sits `len` slots behind the write head.
         let start = (self.head + cap - self.len) % cap;
-        (0..self.len).map(move |i| {
-            self.slots[(start + i) % cap]
-                .as_ref()
-                .expect("retained slot is populated")
+        (0..self.len).map(move |i| match self.slots[(start + i) % cap].as_ref() {
+            Some(event) => event,
+            None => unreachable!("retained slots are populated by push before len grows"),
         })
     }
 

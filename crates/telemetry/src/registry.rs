@@ -125,7 +125,10 @@ impl Registry {
             });
         }
         let instrument = make();
-        let handle = matching(&instrument).expect("freshly built instrument matches its own kind");
+        let handle = match matching(&instrument) {
+            Some(handle) => handle,
+            None => unreachable!("a freshly built instrument matches its own kind"),
+        };
         entries.push(Entry {
             name: name.to_string(),
             help: help.to_string(),

@@ -9,18 +9,22 @@
 //! * `params`   — capacity planning with the §5.1 equations.
 //!
 //! Run `upbound help` (or any subcommand with `--help`) for usage.
+//!
+//! Exit codes: `0` success, `1` runtime failure, `2` usage error,
+//! `130` clean shutdown after SIGINT/SIGTERM.
 
 use std::collections::HashSet;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use upbound::analyzer::Analyzer;
 use upbound::core::params::{max_connections, optimal_hash_count, penetration_probability};
 use upbound::core::{
-    BitmapFilter, BitmapFilterConfig, DropPolicy, FlowHash, ShardedFilter, TelemetryObserver,
-    Verdict,
+    BitmapFilter, BitmapFilterConfig, DropPolicy, FailMode, FlowHash, RestoreOutcome,
+    ShardedFilter, TelemetryObserver, Verdict,
 };
 use upbound::net::pcap::{IngestStats, IngestTelemetry, PcapReader, PcapWriter, RecoveryPolicy};
 use upbound::net::{Cidr, Direction, FiveTuple};
@@ -38,12 +42,84 @@ USAGE:
                      [--low-mbps <F>] [--high-mbps <F>] [--vector-bits <N>]
                      [--vectors <K>] [--rotate-secs <F>] [--hashes <M>]
                      [--hole-punching] [--no-block] [--shards <N>]
+                     [--fail-mode open|closed]
+                     [--checkpoint <FILE>] [--checkpoint-interval <SECS>]
                      [--on-corrupt strict|skip]
                      [--metrics <FILE.prom|FILE.json>]
                      [--metrics-interval <SECS>]
     upbound params   [--connections <N>]
     upbound help
+
+EXIT CODES:
+    0 success; 1 runtime failure; 2 usage error;
+    130 clean shutdown after SIGINT/SIGTERM (final checkpoint and
+    metrics snapshot are still written).
 ";
+
+/// A CLI failure, split by who is at fault: `Usage` problems (bad flags
+/// or values) exit 2, `Runtime` problems (I/O, corrupt inputs, failed
+/// checkpoints) exit 1.
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+/// How a subcommand finished: normally, or cut short by a signal (exit
+/// code 130 after all shutdown work — final checkpoint, metrics — has
+/// been done).
+#[derive(PartialEq)]
+enum Outcome {
+    Done,
+    Interrupted,
+}
+
+/// SIGINT/SIGTERM latching. The handler only sets an atomic flag
+/// (async-signal-safe); the main loops poll it between packets and run
+/// an orderly shutdown.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn latch(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGPIPE: i32 = 13;
+        const SIGTERM: i32 = 15;
+        const SIG_DFL: usize = 0;
+        // SAFETY: the handler is async-signal-safe (a single atomic
+        // store) and `latch` has the C ABI `signal` expects. SIGPIPE is
+        // reset to the default disposition so piping into a pager that
+        // exits early terminates the process quietly (the Unix
+        // convention) instead of panicking on the next stdout write.
+        unsafe {
+            signal(SIGINT, latch as extern "C" fn(i32) as usize);
+            signal(SIGTERM, latch as extern "C" fn(i32) as usize);
+            signal(SIGPIPE, SIG_DFL);
+        }
+    }
+
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+
+    pub fn interrupted() -> bool {
+        false
+    }
+}
 
 /// Flags each subcommand accepts; anything else is rejected up front.
 const GENERATE_FLAGS: &[&str] = &["out", "duration", "rate", "seed", "snaplen", "inside"];
@@ -61,6 +137,9 @@ const FILTER_FLAGS: &[&str] = &[
     "hole-punching",
     "no-block",
     "shards",
+    "fail-mode",
+    "checkpoint",
+    "checkpoint-interval",
     "on-corrupt",
     "metrics",
     "metrics-interval",
@@ -132,13 +211,27 @@ impl Args {
     }
 }
 
+/// Exit code for a clean signal-initiated shutdown (128 + SIGINT).
+const EXIT_INTERRUPTED: u8 = 130;
+/// Exit code for usage errors (bad flags or values).
+const EXIT_USAGE: u8 = 2;
+
+fn usage(message: impl Into<String>) -> CliError {
+    CliError::Usage(message.into())
+}
+
+fn runtime(message: impl Into<String>) -> CliError {
+    CliError::Runtime(message.into())
+}
+
 fn main() -> ExitCode {
+    signals::install();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (command, rest) = match argv.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
         None => {
             eprint!("{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     if command == "help" || rest.iter().any(|a| a == "--help") {
@@ -149,27 +242,39 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let result = match command {
         "generate" => args
             .ensure_known(command, GENERATE_FLAGS)
+            .map_err(usage)
             .and_then(|()| cmd_generate(&args)),
         "analyze" => args
             .ensure_known(command, ANALYZE_FLAGS)
+            .map_err(usage)
             .and_then(|()| cmd_analyze(&args)),
         "filter" => args
             .ensure_known(command, FILTER_FLAGS)
+            .map_err(usage)
             .and_then(|()| cmd_filter(&args)),
         "params" => args
             .ensure_known(command, PARAMS_FLAGS)
+            .map_err(usage)
             .and_then(|()| cmd_params(&args)),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(usage(format!("unknown command {other:?}"))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Ok(Outcome::Done) => ExitCode::SUCCESS,
+        Ok(Outcome::Interrupted) => {
+            eprintln!("interrupted: shut down cleanly");
+            ExitCode::from(EXIT_INTERRUPTED)
+        }
+        Err(CliError::Usage(e)) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::from(EXIT_USAGE)
+        }
+        Err(CliError::Runtime(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
@@ -212,13 +317,15 @@ fn report_skips(stats: &IngestStats) {
     );
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
-    let out_path = args.get("out").ok_or("generate requires --out <FILE>")?;
-    let duration: f64 = args.parse_num("duration", 60.0)?;
-    let rate: f64 = args.parse_num("rate", 40.0)?;
-    let seed: u64 = args.parse_num("seed", 42u64)?;
-    let snaplen: u32 = args.parse_num("snaplen", 65_535u32)?;
-    let inside = inside_of(args)?;
+fn cmd_generate(args: &Args) -> Result<Outcome, CliError> {
+    let out_path = args
+        .get("out")
+        .ok_or_else(|| usage("generate requires --out <FILE>"))?;
+    let duration: f64 = args.parse_num("duration", 60.0).map_err(usage)?;
+    let rate: f64 = args.parse_num("rate", 40.0).map_err(usage)?;
+    let seed: u64 = args.parse_num("seed", 42u64).map_err(usage)?;
+    let snaplen: u32 = args.parse_num("snaplen", 65_535u32).map_err(usage)?;
+    let inside = inside_of(args).map_err(usage)?;
 
     let config = TraceConfig::builder()
         .duration_secs(duration)
@@ -226,15 +333,18 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         .seed(seed)
         .inside(inside)
         .build()
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| usage(e.to_string()))?;
     let trace = generate(&config);
 
-    let file = File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
-    let mut writer = PcapWriter::new(BufWriter::new(file), snaplen).map_err(|e| e.to_string())?;
+    let file = File::create(out_path).map_err(|e| runtime(format!("{out_path}: {e}")))?;
+    let mut writer =
+        PcapWriter::new(BufWriter::new(file), snaplen).map_err(|e| runtime(e.to_string()))?;
     for lp in &trace.packets {
-        writer.write_packet(&lp.packet).map_err(|e| e.to_string())?;
+        writer
+            .write_packet(&lp.packet)
+            .map_err(|e| runtime(e.to_string()))?;
     }
-    writer.finish().map_err(|e| e.to_string())?;
+    writer.finish().map_err(|e| runtime(e.to_string()))?;
     println!(
         "wrote {} packets / {} connections ({:.1} s of traffic) to {}",
         trace.packets.len(),
@@ -242,18 +352,26 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         duration,
         out_path
     );
-    Ok(())
+    Ok(Outcome::Done)
 }
 
-fn cmd_analyze(args: &Args) -> Result<(), String> {
-    let in_path = args.get("in").ok_or("analyze requires --in <FILE>")?;
-    let inside = inside_of(args)?;
-    let policy = recovery_policy_of(args)?;
-    let file = File::open(in_path).map_err(|e| format!("{in_path}: {e}"))?;
-    let mut reader =
-        PcapReader::with_policy(BufReader::new(file), policy).map_err(|e| e.to_string())?;
+fn cmd_analyze(args: &Args) -> Result<Outcome, CliError> {
+    let in_path = args
+        .get("in")
+        .ok_or_else(|| usage("analyze requires --in <FILE>"))?;
+    let inside = inside_of(args).map_err(usage)?;
+    let policy = recovery_policy_of(args).map_err(usage)?;
+    let file = File::open(in_path).map_err(|e| runtime(format!("{in_path}: {e}")))?;
+    let mut reader = PcapReader::with_policy(BufReader::new(file), policy)
+        .map_err(|e| runtime(e.to_string()))?;
     let mut analyzer = Analyzer::new(inside);
-    while let Some(p) = reader.read_packet().map_err(|e| e.to_string())? {
+    let mut outcome = Outcome::Done;
+    while let Some(p) = reader.read_packet().map_err(|e| runtime(e.to_string()))? {
+        if signals::interrupted() {
+            // Report on whatever was ingested before the signal.
+            outcome = Outcome::Interrupted;
+            break;
+        }
         analyzer.process(&p);
     }
     report_skips(reader.stats());
@@ -294,7 +412,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
             bytes as f64 / (1024.0 * 1024.0)
         );
     }
-    Ok(())
+    Ok(outcome)
 }
 
 /// Where `--metrics` wants the final snapshot written, decided by file
@@ -333,37 +451,64 @@ fn write_metrics(path: &str, format: &MetricsFormat, snapshot: &Snapshot) -> Res
     Ok(())
 }
 
-fn cmd_filter(args: &Args) -> Result<(), String> {
-    let in_path = args.get("in").ok_or("filter requires --in <FILE>")?;
-    let inside = inside_of(args)?;
-    let low: f64 = args.parse_num("low-mbps", 0.0)?;
-    let high: f64 = args.parse_num("high-mbps", 0.0)?;
-    let metrics = metrics_sink(args)?;
-    let metrics_interval: f64 = args.parse_num("metrics-interval", 0.0)?;
+fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
+    let in_path = args
+        .get("in")
+        .ok_or_else(|| usage("filter requires --in <FILE>"))?;
+    let inside = inside_of(args).map_err(usage)?;
+    let low: f64 = args.parse_num("low-mbps", 0.0).map_err(usage)?;
+    let high: f64 = args.parse_num("high-mbps", 0.0).map_err(usage)?;
+    let metrics = metrics_sink(args).map_err(usage)?;
+    let metrics_interval: f64 = args.parse_num("metrics-interval", 0.0).map_err(usage)?;
     if metrics_interval < 0.0 || !metrics_interval.is_finite() {
-        return Err(format!(
+        return Err(usage(format!(
             "--metrics-interval expects a non-negative number of seconds, got {metrics_interval}"
-        ));
+        )));
+    }
+    let fail_mode = match args.get("fail-mode") {
+        None if args.has("fail-mode") => {
+            return Err(usage("--fail-mode expects `open` or `closed`"));
+        }
+        None => FailMode::Closed,
+        Some(v) => FailMode::parse(v)
+            .ok_or_else(|| usage(format!("--fail-mode expects `open` or `closed`, got {v:?}")))?,
+    };
+    let checkpoint = match args.get("checkpoint") {
+        None if args.has("checkpoint") => {
+            return Err(usage("--checkpoint requires a file path"));
+        }
+        other => other.map(str::to_owned),
+    };
+    let checkpoint_interval: f64 = args.parse_num("checkpoint-interval", 30.0).map_err(usage)?;
+    if checkpoint_interval <= 0.0 || !checkpoint_interval.is_finite() {
+        return Err(usage(format!(
+            "--checkpoint-interval expects a positive number of seconds, got {checkpoint_interval}"
+        )));
+    }
+    if args.has("checkpoint-interval") && checkpoint.is_none() {
+        return Err(usage("--checkpoint-interval requires --checkpoint <FILE>"));
     }
 
     let mut builder = BitmapFilterConfig::builder();
     builder
-        .vector_bits(args.parse_num("vector-bits", 20u32)?)
-        .vectors(args.parse_num("vectors", 4usize)?)
-        .rotate_every_secs(args.parse_num("rotate-secs", 5.0f64)?)
-        .hash_functions(args.parse_num("hashes", 3usize)?)
-        .hole_punching(args.has("hole-punching"));
+        .vector_bits(args.parse_num("vector-bits", 20u32).map_err(usage)?)
+        .vectors(args.parse_num("vectors", 4usize).map_err(usage)?)
+        .rotate_every_secs(args.parse_num("rotate-secs", 5.0f64).map_err(usage)?)
+        .hash_functions(args.parse_num("hashes", 3usize).map_err(usage)?)
+        .hole_punching(args.has("hole-punching"))
+        .fail_mode(fail_mode);
     if high > 0.0 {
-        builder.drop_policy(DropPolicy::new(low * 1e6, high * 1e6).map_err(|e| e.to_string())?);
+        builder
+            .drop_policy(DropPolicy::new(low * 1e6, high * 1e6).map_err(|e| usage(e.to_string()))?);
     }
-    let config = builder.build().map_err(|e| e.to_string())?;
-    let policy = recovery_policy_of(args)?;
-    let shards: usize = args.parse_num("shards", 1usize)?;
+    let config = builder.build().map_err(|e| usage(e.to_string()))?;
+    let policy = recovery_policy_of(args).map_err(usage)?;
+    let shards: usize = args.parse_num("shards", 1usize).map_err(usage)?;
     if shards == 0 {
-        return Err("--shards expects at least 1".to_owned());
+        return Err(usage("--shards expects at least 1"));
     }
     println!(
-        "bitmap filter: {{{} x 2^{}}} = {} KiB, T_e = {:.0} s, m = {}{}",
+        "bitmap filter: {{{} x 2^{}}} = {} KiB, T_e = {:.0} s, m = {}{}{}",
         config.vectors(),
         config.vector_bits(),
         config.memory_bytes() / 1024,
@@ -373,6 +518,11 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
             format!(", {shards} shards")
         } else {
             String::new()
+        },
+        if fail_mode == FailMode::Open {
+            ", fail-open"
+        } else {
+            ""
         }
     );
     let registry = Registry::new();
@@ -393,13 +543,13 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
         ShardedFilter::from_shards(FlowHash::new(config.hole_punching()), uplink, shard_filters);
 
     let ingest_metrics = IngestTelemetry::register(&registry);
-    let file = File::open(in_path).map_err(|e| format!("{in_path}: {e}"))?;
-    let mut reader =
-        PcapReader::with_policy(BufReader::new(file), policy).map_err(|e| e.to_string())?;
+    let file = File::open(in_path).map_err(|e| runtime(format!("{in_path}: {e}")))?;
+    let mut reader = PcapReader::with_policy(BufReader::new(file), policy)
+        .map_err(|e| runtime(e.to_string()))?;
     let mut writer = match args.get("out") {
         Some(path) => {
-            let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
-            Some(PcapWriter::new(BufWriter::new(f), 65_535).map_err(|e| e.to_string())?)
+            let f = File::create(path).map_err(|e| runtime(format!("{path}: {e}")))?;
+            Some(PcapWriter::new(BufWriter::new(f), 65_535).map_err(|e| runtime(e.to_string()))?)
         }
         None => None,
     };
@@ -409,15 +559,59 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
     let (mut total, mut dropped) = (0u64, 0u64);
     let (mut up_bits, mut up_kept) = (0u64, 0u64);
     let mut last_ts = upbound::net::Timestamp::ZERO;
+    let mut outcome = Outcome::Done;
+
+    // Restore is deferred to the first packet so staleness is judged
+    // against *trace time* (the clock the filter runs on), not the
+    // wall clock of the restarted process. A missing file is a normal
+    // cold start, not an error.
+    let mut pending_restore = checkpoint.as_deref().is_some_and(|p| Path::new(p).exists());
+    // Periodic checkpoints are keyed to trace time, like metrics.
+    let mut next_checkpoint: Option<f64> = checkpoint.as_ref().map(|_| checkpoint_interval);
+    let mut checkpoints_written = 0u64;
 
     // Interval reporting is keyed to trace time: a report is emitted
     // each time packet timestamps cross the next interval boundary.
     let mut next_report = (metrics_interval > 0.0).then_some(metrics_interval);
     let mut prev_snapshot = registry.snapshot();
 
-    while let Some(p) = reader.read_packet().map_err(|e| e.to_string())? {
+    while let Some(p) = reader.read_packet().map_err(|e| runtime(e.to_string()))? {
+        if signals::interrupted() {
+            outcome = Outcome::Interrupted;
+            break;
+        }
         total += 1;
         last_ts = last_ts.max(p.ts());
+        if pending_restore {
+            pending_restore = false;
+            let path = checkpoint.as_deref().unwrap_or_default();
+            match filter.restore_from(Path::new(path), p.ts(), config.expiry_timer()) {
+                Ok(RestoreOutcome::Warm) => {
+                    println!("restored warm filter state from checkpoint {path}");
+                }
+                Ok(RestoreOutcome::Cold) => {
+                    println!(
+                        "checkpoint {path} is older than T_e; restored statistics, \
+                         bitmap starts cold"
+                    );
+                }
+                Err(e) => {
+                    return Err(runtime(format!("{path}: checkpoint restore failed: {e}")));
+                }
+            }
+        }
+        if let Some(boundary) = next_checkpoint {
+            let t = p.ts().as_secs_f64();
+            if t >= boundary {
+                let path = checkpoint.as_deref().unwrap_or_default();
+                filter
+                    .checkpoint_to(Path::new(path), last_ts)
+                    .map_err(|e| runtime(format!("{path}: checkpoint write failed: {e}")))?;
+                checkpoints_written += 1;
+                let elapsed = ((t - boundary) / checkpoint_interval).floor() + 1.0;
+                next_checkpoint = Some(boundary + elapsed * checkpoint_interval);
+            }
+        }
         if let Some(boundary) = next_report {
             let t = p.ts().as_secs_f64();
             if t >= boundary {
@@ -456,17 +650,33 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
                     up_kept += p.wire_bits();
                 }
                 if let Some(w) = writer.as_mut() {
-                    w.write_packet(&p).map_err(|e| e.to_string())?;
+                    w.write_packet(&p).map_err(|e| runtime(e.to_string()))?;
                 }
             }
             Verdict::Drop => dropped += 1,
         }
     }
     if let Some(w) = writer {
-        w.finish().map_err(|e| e.to_string())?;
+        w.finish().map_err(|e| runtime(e.to_string()))?;
     }
     ingest_metrics.publish(reader.stats());
     report_skips(reader.stats());
+
+    // Checkpoint-on-shutdown: persist the final state both on normal
+    // end-of-trace and on signal-initiated shutdown. Skipped when no
+    // packet was processed, so an existing checkpoint is never
+    // clobbered with fresh empty state.
+    if let Some(path) = checkpoint.as_deref() {
+        if total > 0 {
+            filter
+                .checkpoint_to(Path::new(path), last_ts)
+                .map_err(|e| runtime(format!("{path}: final checkpoint failed: {e}")))?;
+            checkpoints_written += 1;
+            println!(
+                "wrote final checkpoint to {path} ({checkpoints_written} checkpoint(s) total)"
+            );
+        }
+    }
 
     let span = last_ts.as_secs_f64().max(1e-9);
     println!(
@@ -482,13 +692,13 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
         up_kept as f64 / span / 1e6
     );
     if let Some((path, format)) = &metrics {
-        write_metrics(path, format, &registry.snapshot())?;
+        write_metrics(path, format, &registry.snapshot()).map_err(runtime)?;
     }
-    Ok(())
+    Ok(outcome)
 }
 
-fn cmd_params(args: &Args) -> Result<(), String> {
-    let c: f64 = args.parse_num("connections", 15_000.0)?;
+fn cmd_params(args: &Args) -> Result<Outcome, CliError> {
+    let c: f64 = args.parse_num("connections", 15_000.0).map_err(usage)?;
     println!("capacity planning for ~{c:.0} active connections per expiry window\n");
     println!(
         "{:>4} {:>10} {:>8} {:>14} {:>14}",
@@ -506,5 +716,5 @@ fn cmd_params(args: &Args) -> Result<(), String> {
             max_connections(0.05, size) / 1000.0
         );
     }
-    Ok(())
+    Ok(Outcome::Done)
 }

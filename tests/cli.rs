@@ -372,3 +372,108 @@ fn header_only_snaplen_capture_analyzes() {
     assert!(stdout(&out).contains("UNKNOWN"));
     let _ = std::fs::remove_file(&trace);
 }
+
+#[test]
+fn filter_checkpoint_writes_and_restores_through_the_binary() {
+    let trace = tmp("ckpt-trace.pcap");
+    let ckpt = tmp("filter.ckpt");
+    let trace_s = trace.to_str().expect("utf8 path");
+    let ckpt_s = ckpt.to_str().expect("utf8 path");
+
+    let out = run(&[
+        "generate",
+        "--out",
+        trace_s,
+        "--duration",
+        "30",
+        "--rate",
+        "15",
+        "--seed",
+        "5",
+    ]);
+    assert!(out.status.success());
+
+    // First run writes periodic checkpoints plus a final one on exit.
+    let out = run(&[
+        "filter",
+        "--in",
+        trace_s,
+        "--checkpoint",
+        ckpt_s,
+        "--checkpoint-interval",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("checkpoint"));
+    let bytes = std::fs::read(&ckpt).expect("checkpoint file exists");
+    assert!(bytes.starts_with(b"UPBSNAP1"), "container magic missing");
+
+    // Second run restores warm from the same file (the trace replays the
+    // same time span, so the snapshot is fresh in trace time).
+    let out = run(&["filter", "--in", trace_s, "--checkpoint", ckpt_s]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("restored warm filter state"));
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn filter_corrupt_checkpoint_fails_with_runtime_exit_code() {
+    let trace = tmp("bad-ckpt-trace.pcap");
+    let ckpt = tmp("bad-filter.ckpt");
+    let trace_s = trace.to_str().expect("utf8 path");
+    let ckpt_s = ckpt.to_str().expect("utf8 path");
+
+    let out = run(&[
+        "generate",
+        "--out",
+        trace_s,
+        "--duration",
+        "5",
+        "--rate",
+        "10",
+        "--seed",
+        "6",
+    ]);
+    assert!(out.status.success());
+    std::fs::write(&ckpt, b"UPBSNAP1 this is not a valid container").expect("write junk");
+
+    let out = run(&["filter", "--in", trace_s, "--checkpoint", ckpt_s]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "corrupt checkpoint is a runtime error"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("checkpoint"));
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn filter_fail_mode_flag_is_validated() {
+    let out = run(&["filter", "--in", "nowhere.pcap", "--fail-mode", "sideways"]);
+    assert_eq!(out.status.code(), Some(2), "bad fail-mode is a usage error");
+
+    let out = run(&[
+        "filter",
+        "--in",
+        "nowhere.pcap",
+        "--checkpoint-interval",
+        "5",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--checkpoint-interval without --checkpoint is a usage error"
+    );
+}

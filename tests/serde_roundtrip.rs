@@ -79,7 +79,8 @@ fn verdicts_and_stats_roundtrip() {
         inbound_hits: 3,
         inbound_misses: 4,
         dropped: 5,
-        rotations: 6,
+        fail_open_passes: 6,
+        rotations: 7,
     };
     assert_eq!(json_roundtrip(&stats), stats);
 }
