@@ -1,0 +1,155 @@
+//! Batched decision-path throughput benchmark.
+//!
+//! Quantifies the payoff of [`ShardedFilter::process_batch`] over the
+//! per-packet path that takes a shard lock for every single decision:
+//! W workers replay the trace concurrently through one sharded filter
+//! at batch sizes 1, 4, 16, 64, and 256. Batch size 1 degenerates to a
+//! lock acquisition per packet (the pre-batching hot path); larger
+//! batches acquire every shard lock once up front and decide the whole
+//! batch in input order, so both the acquisition cost and the
+//! cache-line bouncing of a contended mutex are amortized across the
+//! whole batch.
+//!
+//! Every worker replays the *full* trace (no flow partitioning), which
+//! is the worst case for the per-packet path: all workers contend on
+//! the same few shard locks. Results are printed as a table and written
+//! to `BENCH_batch_throughput.json` for the CI artifact; the headline
+//! number is the batch-64 speedup over batch-1.
+//!
+//! [`ShardedFilter::process_batch`]: upbound_core::ShardedFilter::process_batch
+
+use std::time::Instant;
+use upbound_bench::{is_quick, trace_from_args, TextTable};
+use upbound_core::{BitmapFilterConfig, ShardedFilter, Verdict};
+use upbound_net::{Direction, Packet};
+
+/// One measured configuration.
+struct Sample {
+    batch: usize,
+    secs: f64,
+    pkts_per_sec: f64,
+}
+
+/// Replays the trace through `filter` from `workers` threads, `reps`
+/// passes each, deciding `batch` packets per `process_batch` call, and
+/// returns the wall-clock seconds for the whole fan-out.
+fn run_once(
+    filter: &ShardedFilter,
+    packets: &[(Packet, Direction)],
+    batch: usize,
+    reps: usize,
+    workers: usize,
+) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let handle = filter.clone();
+            scope.spawn(move || {
+                let mut verdicts: Vec<Verdict> = Vec::with_capacity(batch);
+                for _ in 0..reps {
+                    for chunk in packets.chunks(batch) {
+                        verdicts.clear();
+                        handle.process_batch(chunk, &mut verdicts);
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let trace = trace_from_args();
+    let config = BitmapFilterConfig::paper_evaluation();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = cores.clamp(4, 8);
+    // Few shards relative to workers keeps the locks contended — the
+    // deployment regime where batching matters most.
+    let shards = 2usize;
+    let reps = if is_quick() { 4 } else { 16 };
+    let iterations = 3; // best-of-N to shave scheduler noise
+
+    let packets: Vec<(Packet, Direction)> = trace
+        .packets
+        .iter()
+        .map(|lp| (lp.packet.clone(), lp.direction))
+        .collect();
+    let total_pkts = (packets.len() * reps * workers) as f64;
+
+    println!(
+        "Batch throughput: {} workers on {} core(s), {} shards, {} packets x {} reps",
+        workers,
+        cores,
+        shards,
+        packets.len(),
+        reps
+    );
+    if cores < 2 {
+        println!("note: single-core host — lock contention cannot manifest here");
+    }
+    println!();
+
+    let mut samples = Vec::new();
+    for batch in [1usize, 4, 16, 64, 256] {
+        let mut best_secs = f64::INFINITY;
+        for _ in 0..iterations {
+            let filter = ShardedFilter::builder(config.clone())
+                .shards(shards)
+                .build()
+                .expect("shard count is positive");
+            best_secs = best_secs.min(run_once(&filter, &packets, batch, reps, workers));
+        }
+        samples.push(Sample {
+            batch,
+            secs: best_secs,
+            pkts_per_sec: total_pkts / best_secs,
+        });
+    }
+
+    let baseline = samples[0].pkts_per_sec;
+    let mut table = TextTable::new(["batch", "secs", "pkts/sec", "speedup vs batch 1"]);
+    for s in &samples {
+        table.row([
+            s.batch.to_string(),
+            format!("{:.3}", s.secs),
+            format!("{:.0}", s.pkts_per_sec),
+            format!("{:.2}x", s.pkts_per_sec / baseline),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let speedup_64 = samples
+        .iter()
+        .find(|s| s.batch == 64)
+        .map(|s| s.pkts_per_sec / baseline)
+        .unwrap_or(0.0);
+    println!("\nbatch 64 vs batch 1: {speedup_64:.2}x");
+
+    let results = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"batch\": {}, \"secs\": {:.6}, \"pkts_per_sec\": {:.1}, \"speedup\": {:.4}}}",
+                s.batch,
+                s.secs,
+                s.pkts_per_sec,
+                s.pkts_per_sec / baseline
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"batch_throughput\",\n  \"workers\": {},\n  \"cores\": {},\n  \"shards\": {},\n  \"trace_packets\": {},\n  \"reps\": {},\n  \"speedup_64_vs_1\": {:.4},\n  \"results\": [\n{}\n  ]\n}}\n",
+        workers,
+        cores,
+        shards,
+        packets.len(),
+        reps,
+        speedup_64,
+        results
+    );
+    std::fs::write("BENCH_batch_throughput.json", json).expect("write BENCH_batch_throughput.json");
+    println!("wrote BENCH_batch_throughput.json");
+}

@@ -56,7 +56,9 @@ fn main() {
     // Partition packets by the same direction-symmetric flow hash the
     // shards use, so a flow's packets stay on one worker (the NIC-queue
     // deployment shape) regardless of the shard count under test.
-    let probe = ShardedFilter::new(config.clone(), 1);
+    let probe = ShardedFilter::builder(config.clone())
+        .build()
+        .expect("one shard is valid");
     let flow = probe.flow_hash();
     let mut partitions: Vec<Vec<(Packet, Direction)>> = vec![Vec::new(); workers];
     for lp in &trace.packets {
@@ -83,7 +85,10 @@ fn main() {
     for shards in [1usize, 2, 4, 8] {
         let mut best_secs = f64::INFINITY;
         for _ in 0..iterations {
-            let filter = ShardedFilter::new(config.clone(), shards);
+            let filter = ShardedFilter::builder(config.clone())
+                .shards(shards)
+                .build()
+                .expect("shard count is positive");
             best_secs = best_secs.min(run_once(&filter, &partitions, reps));
         }
         samples.push(Sample {

@@ -24,6 +24,8 @@ pub enum ConfigError {
         /// The offending upper threshold.
         high_bps: f64,
     },
+    /// A sharded filter needs at least one shard.
+    ZeroShards,
 }
 
 impl fmt::Display for ConfigError {
@@ -41,6 +43,7 @@ impl fmt::Display for ConfigError {
                 f,
                 "drop thresholds must satisfy 0 <= L < H, got L={low_bps} H={high_bps}"
             ),
+            ConfigError::ZeroShards => write!(f, "need at least one shard"),
         }
     }
 }

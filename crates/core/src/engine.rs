@@ -125,6 +125,16 @@ impl<O: FilterObserver> FilterEngine<O> {
         self.drop_policy
     }
 
+    /// `true` when at least one tick is due at or before `now`.
+    ///
+    /// The cheap guard batched decision paths use to skip the full
+    /// [`advance`](Self::advance) bookkeeping between ticks: ticks come
+    /// once per `Δt` (seconds), packets come millions per second, so the
+    /// common case is a single comparison.
+    pub fn tick_due(&self, now: Timestamp) -> bool {
+        now >= self.next_tick
+    }
+
     /// Records `bytes` of uplink traffic at time `now`.
     pub fn record_uplink(&self, now: Timestamp, bytes: u64) {
         self.uplink.monitor().record(now, bytes);

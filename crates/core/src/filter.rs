@@ -186,6 +186,9 @@ impl<O: FilterObserver> BitmapFilter<O> {
     /// Applies every rotation due at or before `now` (the `b.rotate`
     /// timer, paper Algorithm 1).
     pub fn advance(&mut self, now: Timestamp) {
+        if !self.engine.tick_due(now) {
+            return;
+        }
         let BitmapFilter {
             engine,
             bitmap,
@@ -496,6 +499,19 @@ impl<O: FilterObserver> PacketFilter for BitmapFilter<O> {
 
     fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
         self.process_packet(packet, direction)
+    }
+
+    fn decide_batch(&mut self, packets: &[(Packet, Direction)], verdicts: &mut Vec<Verdict>) {
+        // Rotation checks are amortized by `FilterEngine::tick_due`: the
+        // per-packet `advance` inside `process_packet` reduces to one
+        // timestamp comparison between ticks, so the batch loop carries
+        // no duplicated timer arithmetic. Everything else (warm-up
+        // anchoring, drop draws) is a pure function of the packet
+        // timestamp and must run per packet for verdict identity.
+        verdicts.reserve(packets.len());
+        for (packet, direction) in packets {
+            verdicts.push(self.process_packet(packet, *direction));
+        }
     }
 
     fn advance(&mut self, now: Timestamp) {

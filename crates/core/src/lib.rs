@@ -93,9 +93,7 @@ pub use observe::{
 };
 pub use pfilter::{MergeStats, PacketFilter};
 pub use red::DropPolicy;
-#[allow(deprecated)]
-pub use sharded::SharedBitmapFilter;
-pub use sharded::{FlowHash, ShardedFilter};
+pub use sharded::{FlowHash, ShardIndexError, ShardedFilter, ShardedFilterBuilder};
 pub use snapshot::{
     ByteReader, ByteWriter, RestoreMode, RestoreOutcome, SnapshotError, Snapshottable,
 };

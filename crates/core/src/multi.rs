@@ -266,7 +266,10 @@ mod tests {
         let mut bank: MultiNetworkFilter<ShardedFilter> = MultiNetworkFilter::new();
         bank.add_network_filter(
             "10.1.0.0/16".parse().unwrap(),
-            ShardedFilter::new(BitmapFilterConfig::paper_evaluation(), 2),
+            ShardedFilter::builder(BitmapFilterConfig::paper_evaluation())
+                .shards(2)
+                .build()
+                .unwrap(),
         );
         bank.process_packet(&pkt("10.1.0.5:4000", "198.51.100.9:80", 1.0));
         assert_eq!(

@@ -39,6 +39,23 @@ pub trait PacketFilter {
     /// Decides the fate of one packet.
     fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict;
 
+    /// Decides a batch of packets, appending one verdict per packet to
+    /// `verdicts` in input order.
+    ///
+    /// Semantically identical to calling [`decide`](Self::decide) once
+    /// per packet in slice order — the default implementation does
+    /// exactly that. Specialized implementations may amortize per-packet
+    /// overhead (rotation checks, hashing, locking) but must preserve
+    /// byte-identical verdicts and statistics; see
+    /// [`ShardedFilter::process_batch`](crate::ShardedFilter::process_batch)
+    /// for the lock-amortizing sharded variant.
+    fn decide_batch(&mut self, packets: &[(Packet, Direction)], verdicts: &mut Vec<Verdict>) {
+        verdicts.reserve(packets.len());
+        for (packet, direction) in packets {
+            verdicts.push(self.decide(packet, *direction));
+        }
+    }
+
     /// Applies every timer event (rotation, purge sweep) due at or
     /// before `now` without processing a packet.
     fn advance(&mut self, now: Timestamp);

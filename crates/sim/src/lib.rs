@@ -4,8 +4,8 @@
 //! * [`PacketFilter`] — the common interface the [`BitmapFilter`] and the
 //!   [`SpiFilter`] baseline are driven through (plus [`OracleFilter`], an
 //!   exact infinite-memory reference used for false-positive/negative
-//!   scoring). The trait itself now lives in `upbound_core` and is
-//!   re-exported here for compatibility.
+//!   scoring). The trait lives in `upbound_core`; this crate re-exports
+//!   it so simulation code imports one crate.
 //! * [`ReplayEngine`] — replays a labeled packet stream through a filter,
 //!   maintaining the paper's blocked-connection store ("when an inbound
 //!   packet is decided to be dropped …, the socket pair σ of that packet
@@ -54,17 +54,16 @@
 
 mod compare;
 mod oracle;
-mod pfilter;
 pub mod pipeline;
 mod replay;
 pub mod sweep;
 
 pub use compare::{compare, ComparisonResult};
 pub use oracle::OracleFilter;
-pub use pfilter::{MergeStats, PacketFilter};
 pub use pipeline::{
     run_pipeline, run_pipeline_instrumented, run_sharded_pipeline, run_supervised_pipeline,
     run_supervised_pipeline_with, PipelineConfig, PipelineResult, PipelineTelemetry, ShardIncident,
     SupervisedResult, SupervisorReport,
 };
 pub use replay::{ReplayConfig, ReplayEngine, ReplayResult};
+pub use upbound_core::{MergeStats, PacketFilter};

@@ -50,12 +50,26 @@ fn join_or_propagate<T>(joined: std::thread::Result<T>) -> T {
 pub struct PipelineConfig {
     /// Capacity of each inter-stage channel (backpressure bound).
     pub channel_capacity: usize,
+    /// Maximum packets a filter worker pulls per batch before deciding
+    /// them in one [`PacketFilter::decide_batch`] call (sharded workers
+    /// additionally take their shard lock once per batch). Workers never
+    /// wait to fill a batch — they drain whatever is queued, up to this
+    /// bound — so latency under light load is unchanged. `1` restores
+    /// the per-packet path; `0` is treated as `1`.
+    pub batch_size: usize,
+}
+
+/// The default filter-stage batch size, chosen from the
+/// `batch_throughput` bench's sweet spot (see BENCH_batch_throughput.json).
+fn default_batch_size() -> usize {
+    64
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
         Self {
             channel_capacity: 1024,
+            batch_size: default_batch_size(),
         }
     }
 }
@@ -218,30 +232,49 @@ where
     let (to_stats_tx, to_stats_rx): (Sender<(Packet, Direction, Verdict)>, Receiver<_>) =
         bounded(pipeline_config.channel_capacity);
 
+    let batch_size = pipeline_config.batch_size.max(1);
     let scope_result = crossbeam::thread::scope(|scope| {
         // Stage 2: the filter thread — exclusive owner of the bitmap.
+        // Packets are pulled in batches of up to `batch_size` (blocking
+        // only for the first of each batch) and decided via
+        // `decide_batch`, which amortizes the rotation check; verdict
+        // order is the channel's FIFO order, so the stream downstream is
+        // identical to the per-packet path.
         let filter_handle = scope.spawn(move |_| {
-            for (packet, direction) in to_filter_rx {
-                let verdict = filter.process_packet(&packet, direction);
-                if let Some(t) = telemetry {
-                    t.filter_packets.inc();
-                    t.filter_bytes.add(packet.wire_len() as u64);
-                }
-                // A closed stats stage means shutdown was requested.
-                let sent = match telemetry {
-                    Some(t) => {
-                        let sent = send_counting_stalls(
-                            &to_stats_tx,
-                            (packet, direction, verdict),
-                            &t.filter_stalls,
-                        );
-                        t.filter_queue_depth.set_u64(to_stats_tx.len() as u64);
-                        sent
+            let mut batch: Vec<(Packet, Direction)> = Vec::with_capacity(batch_size);
+            let mut verdicts: Vec<Verdict> = Vec::with_capacity(batch_size);
+            'stream: while let Ok(first) = to_filter_rx.recv() {
+                batch.clear();
+                verdicts.clear();
+                batch.push(first);
+                while batch.len() < batch_size {
+                    match to_filter_rx.try_recv() {
+                        Ok(message) => batch.push(message),
+                        Err(_) => break,
                     }
-                    None => to_stats_tx.send((packet, direction, verdict)),
-                };
-                if sent.is_err() {
-                    break;
+                }
+                filter.decide_batch(&batch, &mut verdicts);
+                for ((packet, direction), verdict) in batch.drain(..).zip(verdicts.drain(..)) {
+                    if let Some(t) = telemetry {
+                        t.filter_packets.inc();
+                        t.filter_bytes.add(packet.wire_len() as u64);
+                    }
+                    // A closed stats stage means shutdown was requested.
+                    let sent = match telemetry {
+                        Some(t) => {
+                            let sent = send_counting_stalls(
+                                &to_stats_tx,
+                                (packet, direction, verdict),
+                                &t.filter_stalls,
+                            );
+                            t.filter_queue_depth.set_u64(to_stats_tx.len() as u64);
+                            sent
+                        }
+                        None => to_stats_tx.send((packet, direction, verdict)),
+                    };
+                    if sent.is_err() {
+                        break 'stream;
+                    }
                 }
             }
             filter
@@ -361,7 +394,11 @@ pub fn run_sharded_pipeline<I>(
 where
     I: IntoIterator<Item = Packet>,
 {
-    let sharded = ShardedFilter::new(filter_config, shards);
+    let sharded = match ShardedFilter::builder(filter_config).shards(shards).build() {
+        Ok(sharded) => sharded,
+        Err(err) => panic!("{err}"),
+    };
+    let batch_size = pipeline_config.batch_size.max(1);
     let (worker_txs, worker_rxs): (Vec<_>, Vec<_>) = (0..shards)
         .map(|_| bounded::<(u64, Packet, Direction, Timestamp)>(pipeline_config.channel_capacity))
         .unzip();
@@ -369,15 +406,47 @@ where
         bounded(pipeline_config.channel_capacity);
 
     let scope_result = crossbeam::thread::scope(|scope| {
-        // Filter workers: one per shard, each locking only its shard.
+        // Filter workers: one per shard. Each pulls up to `batch_size`
+        // queued packets (blocking only for the first), then takes its
+        // shard lock once for the whole batch — the per-packet
+        // advance-to-watermark + decide inside the single critical
+        // section is exactly the `process_packet_at` sequence, so
+        // verdicts are unchanged; only the locking is amortized.
         for rx in worker_rxs {
             let handle = sharded.clone();
             let merge_tx = merge_tx.clone();
             scope.spawn(move |_| {
-                for (seq, packet, direction, watermark) in rx {
-                    let verdict = handle.process_packet_at(&packet, direction, watermark);
-                    if merge_tx.send((seq, packet, direction, verdict)).is_err() {
+                let mut batch: Vec<(u64, Packet, Direction, Timestamp)> =
+                    Vec::with_capacity(batch_size);
+                'stream: while let Ok(first) = rx.recv() {
+                    batch.clear();
+                    batch.push(first);
+                    while batch.len() < batch_size {
+                        match rx.try_recv() {
+                            Ok(message) => batch.push(message),
+                            Err(_) => break,
+                        }
+                    }
+                    // Every packet on this channel routes to one shard.
+                    let shard = handle.shard_of(&batch[0].1.tuple(), batch[0].2);
+                    let decided = handle.with_shard(shard, |f| {
+                        batch
+                            .iter()
+                            .map(|(_, packet, direction, watermark)| {
+                                f.advance(*watermark);
+                                f.decide(packet, *direction)
+                            })
+                            .collect::<Vec<_>>()
+                    });
+                    let Ok(verdicts) = decided else {
+                        // Unreachable: `shard_of` is in range by
+                        // construction. Stop cleanly rather than panic.
                         break;
+                    };
+                    for ((seq, packet, direction, _), verdict) in batch.drain(..).zip(verdicts) {
+                        if merge_tx.send((seq, packet, direction, verdict)).is_err() {
+                            break 'stream;
+                        }
                     }
                 }
             });
@@ -487,7 +556,13 @@ pub fn run_supervised_pipeline<I>(
 where
     I: IntoIterator<Item = Packet>,
 {
-    let sharded = ShardedFilter::new(filter_config.clone(), shards);
+    let sharded = match ShardedFilter::builder(filter_config.clone())
+        .shards(shards)
+        .build()
+    {
+        Ok(sharded) => sharded,
+        Err(err) => panic!("{err}"),
+    };
     let uplink = Arc::clone(sharded.uplink());
     let quarantine = filter_config.expiry_timer();
     let rebuild_config = filter_config.with_fail_mode(FailMode::Open);
@@ -557,7 +632,9 @@ where
                             Ok(verdict) => verdict,
                             Err(_panic) => {
                                 let shard = handle.shard_of(&packet.tuple(), direction);
-                                handle.replace_shard(shard, rebuild(shard, watermark));
+                                // `shard_of` is in range, so the swap
+                                // cannot fail.
+                                let _ = handle.replace_shard(shard, rebuild(shard, watermark));
                                 incidents.push(ShardIncident {
                                     shard,
                                     at: watermark,
@@ -714,6 +791,7 @@ mod tests {
                 // A tiny channel forces backpressure, exercising the
                 // stall-counting send path without changing verdicts.
                 channel_capacity: 2,
+                ..PipelineConfig::default()
             },
             &telemetry,
         );
@@ -767,6 +845,7 @@ mod tests {
             BitmapFilterConfig::paper_evaluation(),
             PipelineConfig {
                 channel_capacity: 1,
+                ..PipelineConfig::default()
             },
         );
         assert_eq!(result.ingested as usize, trace.packets.len());
@@ -807,6 +886,42 @@ mod tests {
                 PipelineConfig::default(),
             );
             assert_eq!(result, reference, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let trace = trace();
+        let config = BitmapFilterConfig::paper_evaluation();
+        let reference = run_pipeline(
+            trace.packets.iter().map(|lp| lp.packet.clone()),
+            inside(),
+            config.clone(),
+            PipelineConfig {
+                batch_size: 1,
+                ..PipelineConfig::default()
+            },
+        );
+        for batch_size in [0usize, 3, 64, 4096] {
+            let pipeline_config = PipelineConfig {
+                batch_size,
+                ..PipelineConfig::default()
+            };
+            let single = run_pipeline(
+                trace.packets.iter().map(|lp| lp.packet.clone()),
+                inside(),
+                config.clone(),
+                pipeline_config,
+            );
+            assert_eq!(single, reference, "batch_size = {batch_size}");
+            let sharded = run_sharded_pipeline(
+                trace.packets.iter().map(|lp| lp.packet.clone()),
+                inside(),
+                config.clone(),
+                4,
+                pipeline_config,
+            );
+            assert_eq!(sharded, reference, "sharded batch_size = {batch_size}");
         }
     }
 
@@ -865,6 +980,7 @@ mod tests {
             3,
             PipelineConfig {
                 channel_capacity: 1,
+                ..PipelineConfig::default()
             },
         );
         assert_eq!(result.ingested as usize, trace.packets.len());
@@ -1009,7 +1125,7 @@ mod tests {
                 PipelineConfig::default(),
             );
             let shard_stats: Vec<FilterStats> = (0..shards)
-                .map(|i| sharded.with_shard(i, |f| f.stats()))
+                .map(|i| sharded.with_shard(i, |f| f.stats()).unwrap())
                 .collect();
             (result, shard_stats)
         };

@@ -24,6 +24,13 @@ pub struct ReplayConfig {
     /// Expiry window of the error-accounting oracle (should equal the
     /// filter's `T_e`).
     pub oracle_expiry: TimeDelta,
+    /// Maximum packets decided per [`PacketFilter::decide_batch`] call.
+    /// The engine flushes a partial batch whenever a packet's connection
+    /// matches an inbound packet already pending (its verdict may block
+    /// the newcomer), so results are byte-identical to the per-packet
+    /// path at every batch size. `1` restores the per-packet path; `0`
+    /// is treated as `1`.
+    pub batch_size: usize,
 }
 
 impl Default for ReplayConfig {
@@ -32,6 +39,7 @@ impl Default for ReplayConfig {
             bin_secs: 10.0,
             block_connections: true,
             oracle_expiry: TimeDelta::from_secs(20.0),
+            batch_size: 64,
         }
     }
 }
@@ -240,9 +248,20 @@ impl ReplayEngine {
         self.run_iter_with(filter, packets, |_, _| true)
     }
 
-    /// The replay loop with a per-packet hook: after each packet is
-    /// accounted, `tick(filter, packet_ts)` runs; returning `false`
-    /// stops the replay early (used to abort on checkpoint failures).
+    /// The replay loop with a flush hook: after each decided batch is
+    /// accounted, `tick(filter, last_ts)` runs with the timestamp of the
+    /// batch's last packet; returning `false` stops the replay early
+    /// (used to abort on checkpoint failures).
+    ///
+    /// Packets are staged into a batch and decided via
+    /// [`PacketFilter::decide_batch`]. The blocked-σ store feeds back
+    /// into which packets reach the filter at all, so the batch is
+    /// flushed early whenever an arriving packet's connection matches an
+    /// inbound packet already staged — the staged packet's verdict may
+    /// block the newcomer. That hazard rule (plus oracle scoring and
+    /// pre-filter accounting at staging time, both independent of the
+    /// filter) makes the batched loop byte-identical to the per-packet
+    /// loop at every batch size.
     fn run_iter_with<F, P, I>(
         &self,
         filter: &mut F,
@@ -273,8 +292,82 @@ impl ReplayEngine {
         let mut oracle = OracleFilter::new(self.config.oracle_expiry);
         let mut blocked: HashSet<FiveTuple> = HashSet::new();
 
+        let batch_limit = self.config.batch_size.max(1);
+        let mut staged: Vec<(Packet, Direction)> = Vec::with_capacity(batch_limit);
+        let mut staged_oracle: Vec<Verdict> = Vec::with_capacity(batch_limit);
+        let mut staged_inbound: HashSet<FiveTuple> = HashSet::new();
+        let mut verdicts: Vec<Verdict> = Vec::with_capacity(batch_limit);
+
+        // Decides and accounts everything staged; returns `false` when
+        // the tick hook asks to stop.
+        let mut flush = |filter: &mut F,
+                         staged: &mut Vec<(Packet, Direction)>,
+                         staged_oracle: &mut Vec<Verdict>,
+                         staged_inbound: &mut HashSet<FiveTuple>,
+                         blocked: &mut HashSet<FiveTuple>,
+                         result: &mut ReplayResult|
+         -> bool {
+            if staged.is_empty() {
+                return true;
+            }
+            verdicts.clear();
+            filter.decide_batch(staged, &mut verdicts);
+            let last_ts = staged[staged.len() - 1].0.ts();
+            for ((packet, direction), (verdict, oracle_verdict)) in staged
+                .drain(..)
+                .zip(verdicts.drain(..).zip(staged_oracle.drain(..)))
+            {
+                let t = packet.ts().as_secs_f64();
+                let bits = packet.wire_bits() as f64;
+                match (direction, verdict) {
+                    (Direction::Outbound, _) => result.post_uplink.add(t, bits),
+                    (Direction::Inbound, Verdict::Pass) => {
+                        result.post_downlink.add(t, bits);
+                        if oracle_verdict == Verdict::Drop {
+                            result.false_positives += 1;
+                        }
+                    }
+                    (Direction::Inbound, Verdict::Drop) => {
+                        result.total_dropped_packets += 1;
+                        result.inbound_dropped.add(t, 1.0);
+                        if oracle_verdict == Verdict::Pass {
+                            result.false_negatives += 1;
+                        }
+                        if self.config.block_connections
+                            && blocked.insert(packet.tuple().canonical())
+                        {
+                            result.blocked_connections += 1;
+                        }
+                    }
+                }
+            }
+            staged_inbound.clear();
+            tick(filter, last_ts)
+        };
+
         for (packet, direction) in packets {
             let packet = packet.borrow();
+            let tuple = packet.tuple();
+            let canonical = tuple.canonical();
+
+            // Hazard: a staged inbound packet of this connection may be
+            // about to create the block that should suppress this
+            // packet. Flush so the blocked store is current.
+            if self.config.block_connections
+                && !staged.is_empty()
+                && staged_inbound.contains(&canonical)
+                && !flush(
+                    filter,
+                    &mut staged,
+                    &mut staged_oracle,
+                    &mut staged_inbound,
+                    &mut blocked,
+                    &mut result,
+                )
+            {
+                return result;
+            }
+
             let t = packet.ts().as_secs_f64();
             let bits = packet.wire_bits() as f64;
             result.total_packets += 1;
@@ -287,7 +380,6 @@ impl ReplayEngine {
                 }
             }
 
-            let tuple = packet.tuple();
             let is_blocked = self.config.block_connections
                 && (blocked.contains(&tuple) || blocked.contains(&tuple.inverse()));
 
@@ -305,31 +397,33 @@ impl ReplayEngine {
                 // Outbound packets of blocked connections are
                 // suppressed: they never reach the filter.
             } else {
-                let verdict = filter.decide(packet, direction);
-                match (direction, verdict) {
-                    (Direction::Outbound, _) => result.post_uplink.add(t, bits),
-                    (Direction::Inbound, Verdict::Pass) => {
-                        result.post_downlink.add(t, bits);
-                        if oracle_verdict == Verdict::Drop {
-                            result.false_positives += 1;
-                        }
-                    }
-                    (Direction::Inbound, Verdict::Drop) => {
-                        result.total_dropped_packets += 1;
-                        result.inbound_dropped.add(t, 1.0);
-                        if oracle_verdict == Verdict::Pass {
-                            result.false_negatives += 1;
-                        }
-                        if self.config.block_connections && blocked.insert(tuple.canonical()) {
-                            result.blocked_connections += 1;
-                        }
-                    }
+                if direction == Direction::Inbound {
+                    staged_inbound.insert(canonical);
+                }
+                staged.push((packet.clone(), direction));
+                staged_oracle.push(oracle_verdict);
+                if staged.len() >= batch_limit
+                    && !flush(
+                        filter,
+                        &mut staged,
+                        &mut staged_oracle,
+                        &mut staged_inbound,
+                        &mut blocked,
+                        &mut result,
+                    )
+                {
+                    return result;
                 }
             }
-            if !tick(filter, packet.ts()) {
-                break;
-            }
         }
+        flush(
+            filter,
+            &mut staged,
+            &mut staged_oracle,
+            &mut staged_inbound,
+            &mut blocked,
+            &mut result,
+        );
         result
     }
 }
@@ -494,6 +588,31 @@ mod tests {
         assert_eq!(outcome, upbound_core::RestoreOutcome::Warm);
         assert_eq!(restored.stats(), filter.stats());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_size_never_changes_replay_results() {
+        let trace = trace(11);
+        for block_connections in [true, false] {
+            let reference = ReplayEngine::new(ReplayConfig {
+                block_connections,
+                batch_size: 1,
+                ..ReplayConfig::default()
+            })
+            .run(&trace, &mut bitmap());
+            for batch_size in [0usize, 7, 64, 4096] {
+                let result = ReplayEngine::new(ReplayConfig {
+                    block_connections,
+                    batch_size,
+                    ..ReplayConfig::default()
+                })
+                .run(&trace, &mut bitmap());
+                assert_eq!(
+                    result, reference,
+                    "batch {batch_size}, blocking {block_connections}"
+                );
+            }
+        }
     }
 
     #[test]

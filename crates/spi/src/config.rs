@@ -1,8 +1,43 @@
 //! SPI filter configuration.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use upbound_core::DropPolicy;
 use upbound_net::TimeDelta;
+
+/// Rejected [`SpiConfigBuilder`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SpiConfigError {
+    /// `idle_timeout` must be positive: a zero timeout would expire
+    /// every entry instantly and drop all inbound traffic.
+    BadIdleTimeout(TimeDelta),
+    /// `purge_interval` must be positive, or the purge timer never fires.
+    BadPurgeInterval(TimeDelta),
+    /// `max_entries = Some(0)` tracks nothing; use `None` for unlimited.
+    ZeroMaxEntries,
+}
+
+impl fmt::Display for SpiConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiConfigError::BadIdleTimeout(t) => {
+                write!(f, "idle timeout must be positive, got {t:?}")
+            }
+            SpiConfigError::BadPurgeInterval(t) => {
+                write!(f, "purge interval must be positive, got {t:?}")
+            }
+            SpiConfigError::ZeroMaxEntries => {
+                write!(
+                    f,
+                    "max_entries of zero tracks nothing; use None for unlimited"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpiConfigError {}
 
 /// Configuration of an [`SpiFilter`](crate::SpiFilter).
 ///
@@ -43,6 +78,30 @@ impl Default for SpiConfig {
 }
 
 impl SpiConfig {
+    /// Starts an [`SpiConfigBuilder`] from the paper's Figure 8 defaults,
+    /// validating parameters at [`build`](SpiConfigBuilder::build) time
+    /// instead of producing a filter that silently drops everything.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use upbound_spi::SpiConfig;
+    /// use upbound_net::TimeDelta;
+    ///
+    /// let config = SpiConfig::builder()
+    ///     .idle_timeout(TimeDelta::from_secs(60.0))
+    ///     .tcp_aware(false)
+    ///     .max_entries(Some(10_000))
+    ///     .build()?;
+    /// assert_eq!(config.idle_timeout, TimeDelta::from_secs(60.0));
+    /// # Ok::<(), upbound_spi::SpiConfigError>(())
+    /// ```
+    pub fn builder() -> SpiConfigBuilder {
+        SpiConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
     /// The Figure 9-style limiter variant (`L = 50 Mbps`, `H = 100 Mbps`).
     pub fn limiter() -> Self {
         Self {
@@ -57,6 +116,67 @@ impl SpiConfig {
     /// single such monitor so the policy sees the aggregate rate.
     pub fn uplink_monitor(&self) -> upbound_core::ThroughputMonitor {
         upbound_core::ThroughputMonitor::new(TimeDelta::from_secs(1.0), 20)
+    }
+}
+
+/// Builder for [`SpiConfig`]; every setter takes the value the field of
+/// the same name would, and [`build`](Self::build) rejects combinations
+/// that could not run (non-positive timers, a zero-capacity table).
+#[derive(Debug, Clone)]
+pub struct SpiConfigBuilder {
+    config: SpiConfig,
+}
+
+impl SpiConfigBuilder {
+    /// Idle timeout after which a flow entry is deleted.
+    pub fn idle_timeout(&mut self, timeout: TimeDelta) -> &mut Self {
+        self.config.idle_timeout = timeout;
+        self
+    }
+
+    /// Track TCP FIN/RST and delete closed connections immediately.
+    pub fn tcp_aware(&mut self, tcp_aware: bool) -> &mut Self {
+        self.config.tcp_aware = tcp_aware;
+        self
+    }
+
+    /// Drop policy for unknown inbound packets (paper Equation 1).
+    pub fn drop_policy(&mut self, policy: DropPolicy) -> &mut Self {
+        self.config.drop_policy = policy;
+        self
+    }
+
+    /// Seed for the drop-decision RNG.
+    pub fn rng_seed(&mut self, seed: u64) -> &mut Self {
+        self.config.rng_seed = seed;
+        self
+    }
+
+    /// How often the table is swept for expired entries.
+    pub fn purge_interval(&mut self, interval: TimeDelta) -> &mut Self {
+        self.config.purge_interval = interval;
+        self
+    }
+
+    /// Hard cap on tracked flows; `None` means unlimited.
+    pub fn max_entries(&mut self, cap: Option<usize>) -> &mut Self {
+        self.config.max_entries = cap;
+        self
+    }
+
+    /// Validates the accumulated parameters and returns the config.
+    pub fn build(&self) -> Result<SpiConfig, SpiConfigError> {
+        let c = &self.config;
+        if c.idle_timeout.as_micros() == 0 {
+            return Err(SpiConfigError::BadIdleTimeout(c.idle_timeout));
+        }
+        if c.purge_interval.as_micros() == 0 {
+            return Err(SpiConfigError::BadPurgeInterval(c.purge_interval));
+        }
+        if c.max_entries == Some(0) {
+            return Err(SpiConfigError::ZeroMaxEntries);
+        }
+        Ok(self.config.clone())
     }
 }
 
@@ -76,5 +196,53 @@ mod tests {
     fn limiter_uses_red_policy() {
         let c = SpiConfig::limiter();
         assert_eq!(c.drop_policy.drop_probability(75e6), 0.5);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(SpiConfig::builder().build().unwrap(), SpiConfig::default());
+    }
+
+    #[test]
+    fn builder_rejects_nonpositive_timers_and_zero_cap() {
+        assert_eq!(
+            SpiConfig::builder()
+                .idle_timeout(TimeDelta::from_secs(0.0))
+                .build()
+                .unwrap_err(),
+            SpiConfigError::BadIdleTimeout(TimeDelta::from_secs(0.0))
+        );
+        assert_eq!(
+            SpiConfig::builder()
+                .purge_interval(TimeDelta::ZERO)
+                .build()
+                .unwrap_err(),
+            SpiConfigError::BadPurgeInterval(TimeDelta::ZERO)
+        );
+        assert_eq!(
+            SpiConfig::builder()
+                .max_entries(Some(0))
+                .build()
+                .unwrap_err(),
+            SpiConfigError::ZeroMaxEntries
+        );
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let c = SpiConfig::builder()
+            .idle_timeout(TimeDelta::from_secs(12.0))
+            .tcp_aware(false)
+            .drop_policy(DropPolicy::paper_figure9())
+            .rng_seed(7)
+            .purge_interval(TimeDelta::from_secs(3.0))
+            .max_entries(Some(99))
+            .build()
+            .unwrap();
+        assert_eq!(c.idle_timeout, TimeDelta::from_secs(12.0));
+        assert!(!c.tcp_aware);
+        assert_eq!(c.rng_seed, 7);
+        assert_eq!(c.purge_interval, TimeDelta::from_secs(3.0));
+        assert_eq!(c.max_entries, Some(99));
     }
 }

@@ -154,6 +154,9 @@ impl<O: FilterObserver> SpiFilter<O> {
 
     /// Runs any purge sweep that came due at or before `now`.
     pub fn advance(&mut self, now: Timestamp) {
+        if !self.engine.tick_due(now) {
+            return;
+        }
         let SpiFilter {
             engine,
             table,
@@ -433,6 +436,18 @@ impl<O: FilterObserver> PacketFilter for SpiFilter<O> {
 
     fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
         self.process_packet(packet, direction)
+    }
+
+    fn decide_batch(&mut self, packets: &[(Packet, Direction)], verdicts: &mut Vec<Verdict>) {
+        // Purge-sweep checks are amortized by `FilterEngine::tick_due`:
+        // between sweeps the per-packet `advance` reduces to one
+        // timestamp comparison. Table lookups and miss draws are pure
+        // functions of the packet and must run per packet for verdict
+        // identity with the sequential path.
+        verdicts.reserve(packets.len());
+        for (packet, direction) in packets {
+            verdicts.push(self.process_packet(packet, *direction));
+        }
     }
 
     fn advance(&mut self, now: Timestamp) {

@@ -42,6 +42,6 @@ mod config;
 mod filter;
 mod table;
 
-pub use config::SpiConfig;
+pub use config::{SpiConfig, SpiConfigBuilder, SpiConfigError};
 pub use filter::{SpiFilter, SpiStats};
 pub use table::{FlowEntry, FlowTable};

@@ -274,7 +274,10 @@ fn sharded_verdicts_match_sequential_on_recovered_records() {
             .collect();
 
         for shards in [1usize, 4] {
-            let sharded = ShardedFilter::new(differential_config(), shards);
+            let sharded = ShardedFilter::builder(differential_config())
+                .shards(shards)
+                .build()
+                .expect("shard count is positive");
             let mut watermark = Timestamp::ZERO;
             for (i, (p, d)) in stream.iter().enumerate() {
                 watermark = watermark.max(p.ts());

@@ -385,7 +385,10 @@ fn sharded_checkpoint_file_roundtrip_is_warm_and_exact() {
     let packets = labeled_packets(23, 30.0);
     let cfg = config();
 
-    let sharded = ShardedFilter::new(cfg.clone(), 4);
+    let sharded = ShardedFilter::builder(cfg.clone())
+        .shards(4)
+        .build()
+        .expect("shard count is positive");
     for (p, d) in &packets {
         sharded.process_packet(p, *d);
     }
@@ -398,7 +401,10 @@ fn sharded_checkpoint_file_roundtrip_is_warm_and_exact() {
         .checkpoint_to(&path, watermark)
         .expect("checkpoint writes");
 
-    let fresh = ShardedFilter::new(cfg.clone(), 4);
+    let fresh = ShardedFilter::builder(cfg.clone())
+        .shards(4)
+        .build()
+        .expect("shard count is positive");
     let outcome = fresh
         .restore_from(&path, watermark, cfg.expiry_timer())
         .expect("checkpoint restores");

@@ -79,7 +79,10 @@ fn assert_sharding_transparent(
     let seq_stats = sequential.stats();
 
     for shards in SHARD_COUNTS {
-        let sharded = ShardedFilter::new(config.clone(), shards);
+        let sharded = ShardedFilter::builder(config.clone())
+            .shards(shards)
+            .build()
+            .expect("shard count is positive");
         for (i, (packet, direction)) in workload.iter().enumerate() {
             let verdict = sharded.process_packet(packet, *direction);
             prop_assert_eq!(

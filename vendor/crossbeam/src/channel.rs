@@ -48,6 +48,15 @@ pub enum TrySendError<T> {
     Disconnected(T),
 }
 
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// All senders are gone and the queue is drained.
+    Disconnected,
+}
+
 /// The sending half of a bounded channel.
 pub struct Sender<T> {
     shared: Arc<Shared<T>>,
@@ -168,6 +177,20 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Dequeues without blocking, or reports why it could not.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        if let Some(v) = queue.pop_front() {
+            drop(queue);
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if self.shared.senders.load(Ordering::SeqCst) == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
     /// Number of messages currently queued.
     pub fn len(&self) -> usize {
         self.shared.queue.lock().expect("channel lock").len()
@@ -267,6 +290,16 @@ mod tests {
         let got: Vec<i32> = rx.into_iter().collect();
         h.join().expect("producer");
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).expect("send");
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 
     #[test]
