@@ -19,9 +19,12 @@
 //! [`ShardedFilter::process_batch`]: upbound_core::ShardedFilter::process_batch
 
 use std::time::Instant;
-use upbound_bench::{is_quick, trace_from_args, TextTable};
+use upbound_bench::{
+    detect_parallelism, is_quick, trace_from_args, write_metrics_artifact, TextTable,
+};
 use upbound_core::{BitmapFilterConfig, ShardedFilter, Verdict};
 use upbound_net::{Direction, Packet};
+use upbound_telemetry::{Registry, Stage, StageTracer};
 
 /// One measured configuration.
 struct Sample {
@@ -32,13 +35,16 @@ struct Sample {
 
 /// Replays the trace through `filter` from `workers` threads, `reps`
 /// passes each, deciding `batch` packets per `process_batch` call, and
-/// returns the wall-clock seconds for the whole fan-out.
+/// returns the wall-clock seconds for the whole fan-out. When `tracer`
+/// is set, each `process_batch` call runs under a latency scope — the
+/// exact instrumentation `--trace-latency` adds to the CLI hot path.
 fn run_once(
     filter: &ShardedFilter,
     packets: &[(Packet, Direction)],
     batch: usize,
     reps: usize,
     workers: usize,
+    tracer: Option<&StageTracer>,
 ) -> f64 {
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -49,6 +55,7 @@ fn run_once(
                 for _ in 0..reps {
                     for chunk in packets.chunks(batch) {
                         verdicts.clear();
+                        let _t = tracer.map(|t| t.scope(Stage::Decide));
                         handle.process_batch(chunk, &mut verdicts);
                     }
                 }
@@ -61,9 +68,8 @@ fn run_once(
 fn main() {
     let trace = trace_from_args();
     let config = BitmapFilterConfig::paper_evaluation();
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let parallelism = detect_parallelism();
+    let cores = parallelism.effective;
     let workers = cores.clamp(4, 8);
     // Few shards relative to workers keeps the locks contended — the
     // deployment regime where batching matters most.
@@ -99,7 +105,7 @@ fn main() {
                 .shards(shards)
                 .build()
                 .expect("shard count is positive");
-            best_secs = best_secs.min(run_once(&filter, &packets, batch, reps, workers));
+            best_secs = best_secs.min(run_once(&filter, &packets, batch, reps, workers, None));
         }
         samples.push(Sample {
             batch,
@@ -141,9 +147,10 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"batch_throughput\",\n  \"workers\": {},\n  \"cores\": {},\n  \"shards\": {},\n  \"trace_packets\": {},\n  \"reps\": {},\n  \"speedup_64_vs_1\": {:.4},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"batch_throughput\",\n  \"workers\": {},\n  \"cores\": {},\n  \"parallelism\": {},\n  \"shards\": {},\n  \"trace_packets\": {},\n  \"reps\": {},\n  \"speedup_64_vs_1\": {:.4},\n  \"results\": [\n{}\n  ]\n}}\n",
         workers,
         cores,
+        parallelism.json_fragment(),
         shards,
         packets.len(),
         reps,
@@ -152,4 +159,87 @@ fn main() {
     );
     std::fs::write("BENCH_batch_throughput.json", json).expect("write BENCH_batch_throughput.json");
     println!("wrote BENCH_batch_throughput.json");
+
+    // Observer-overhead gate: batch-64 throughput with the latency
+    // tracer in the hot path vs without. The scope timer is the whole
+    // cost of --trace-latency, so this bounds what observability steals
+    // from the decision path. UPBOUND_OVERHEAD_GATE_PCT (default 5)
+    // fails the run when exceeded and UPBOUND_OVERHEAD_GATE=1 is set.
+    let registry = Registry::new();
+    registry.build_info(
+        env!("CARGO_PKG_VERSION"),
+        option_env!("UPBOUND_GIT_DESCRIBE"),
+    );
+    let tracer = StageTracer::new(&registry, "bench");
+    let overhead_batch = 64usize;
+    let (mut off_secs, mut on_secs) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..iterations {
+        let filter = ShardedFilter::builder(config.clone())
+            .shards(shards)
+            .build()
+            .expect("shard count is positive");
+        off_secs = off_secs.min(run_once(
+            &filter,
+            &packets,
+            overhead_batch,
+            reps,
+            workers,
+            None,
+        ));
+        on_secs = on_secs.min(run_once(
+            &filter,
+            &packets,
+            overhead_batch,
+            reps,
+            workers,
+            Some(&tracer),
+        ));
+    }
+    let off_pps = total_pkts / off_secs;
+    let on_pps = total_pkts / on_secs;
+    let overhead_pct = (off_pps - on_pps) / off_pps * 100.0;
+    let gate_pct: f64 = std::env::var("UPBOUND_OVERHEAD_GATE_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    let gate_enabled = std::env::var("UPBOUND_OVERHEAD_GATE").map(|v| v == "1") == Ok(true);
+    let pass = overhead_pct <= gate_pct;
+    println!(
+        "\nobserver overhead @ batch {overhead_batch}: {off_pps:.0} pkts/s off, \
+         {on_pps:.0} pkts/s on -> {overhead_pct:.2}% (gate {gate_pct:.1}%: {})",
+        if pass { "pass" } else { "FAIL" }
+    );
+    let overhead_json = format!(
+        "{{\n  \"bench\": \"observer_overhead\",\n  \"workers\": {},\n  \"parallelism\": {},\n  \"batch\": {},\n  \"pkts_per_sec_tracing_off\": {:.1},\n  \"pkts_per_sec_tracing_on\": {:.1},\n  \"overhead_pct\": {:.4},\n  \"gate_pct\": {:.1},\n  \"pass\": {}\n}}\n",
+        workers,
+        parallelism.json_fragment(),
+        overhead_batch,
+        off_pps,
+        on_pps,
+        overhead_pct,
+        gate_pct,
+        pass
+    );
+    std::fs::write("BENCH_observer_overhead.json", overhead_json)
+        .expect("write BENCH_observer_overhead.json");
+    println!("wrote BENCH_observer_overhead.json");
+
+    let gauge = |name: &str, help: &str, v: f64| registry.gauge(name, help).set(v);
+    gauge(
+        "upbound_bench_overhead_pct",
+        "Throughput cost of hot-path latency tracing, percent",
+        overhead_pct,
+    );
+    gauge(
+        "upbound_bench_batch64_pkts_per_sec",
+        "Batch-64 throughput with tracing off",
+        off_pps,
+    );
+    let artifact = write_metrics_artifact("batch_throughput", &registry);
+    println!("wrote {artifact}");
+
+    if gate_enabled && !pass {
+        eprintln!("error: observer overhead {overhead_pct:.2}% exceeds the {gate_pct:.1}% gate");
+        std::process::exit(1);
+    }
 }

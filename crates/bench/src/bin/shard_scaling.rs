@@ -13,9 +13,12 @@
 //! [`ShardedFilter`]: upbound_core::ShardedFilter
 
 use std::time::Instant;
-use upbound_bench::{is_quick, trace_from_args, TextTable};
+use upbound_bench::{
+    detect_parallelism, is_quick, trace_from_args, write_metrics_artifact, TextTable,
+};
 use upbound_core::{BitmapFilterConfig, ShardedFilter};
 use upbound_net::{Direction, Packet};
+use upbound_telemetry::Registry;
 
 /// One measured configuration.
 struct Sample {
@@ -46,9 +49,8 @@ fn run_once(filter: &ShardedFilter, partitions: &[Vec<(Packet, Direction)>], rep
 fn main() {
     let trace = trace_from_args();
     let config = BitmapFilterConfig::paper_evaluation();
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let parallelism = detect_parallelism();
+    let cores = parallelism.effective;
     let workers = cores.clamp(4, 8);
     let reps = if is_quick() { 24 } else { 96 };
     let iterations = 3; // best-of-N to shave scheduler noise
@@ -124,13 +126,30 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"shard_scaling\",\n  \"workers\": {},\n  \"cores\": {},\n  \"trace_packets\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"shard_scaling\",\n  \"workers\": {},\n  \"cores\": {},\n  \"parallelism\": {},\n  \"trace_packets\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         workers,
         cores,
+        parallelism.json_fragment(),
         trace.packets.len(),
         reps,
         results
     );
     std::fs::write("BENCH_shard_scaling.json", json).expect("write BENCH_shard_scaling.json");
     println!("\nwrote BENCH_shard_scaling.json");
+
+    let registry = Registry::new();
+    registry.build_info(
+        env!("CARGO_PKG_VERSION"),
+        option_env!("UPBOUND_GIT_DESCRIBE"),
+    );
+    for s in &samples {
+        registry
+            .gauge(
+                &format!("upbound_bench_shards_{}_pkts_per_sec", s.shards),
+                "Shard-scaling throughput for this shard count",
+            )
+            .set(s.pkts_per_sec);
+    }
+    let artifact = write_metrics_artifact("shard_scaling", &registry);
+    println!("wrote {artifact}");
 }

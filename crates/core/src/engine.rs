@@ -217,7 +217,11 @@ impl<O: FilterObserver> FilterEngine<O> {
 
     /// Reports an inbound decision to the observer. `fail_open` marks a
     /// would-be drop that passed because the filter was still in its
-    /// warm-up grace period.
+    /// warm-up grace period; `warming` marks any decision taken inside
+    /// the warm-up window (forensics context); `key` is the filter key
+    /// the decision hashed (borrowed, hashed only by forensic
+    /// observers).
+    #[allow(clippy::too_many_arguments)]
     pub fn notify_inbound(
         &mut self,
         now: Timestamp,
@@ -226,6 +230,8 @@ impl<O: FilterObserver> FilterEngine<O> {
         known: bool,
         drop_draws: usize,
         fail_open: bool,
+        warming: bool,
+        key: &[u8],
     ) {
         self.observer.on_inbound(&InboundDecision {
             now,
@@ -234,6 +240,9 @@ impl<O: FilterObserver> FilterEngine<O> {
             known,
             drop_draws,
             fail_open,
+            warming,
+            key,
+            rotation_epoch: self.ticks,
             monitor: self.uplink.monitor(),
         });
     }

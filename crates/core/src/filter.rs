@@ -107,6 +107,14 @@ pub struct BitmapFilter<O: FilterObserver = NoopObserver> {
     /// Whether the one-shot [`on_armed`](FilterObserver::on_armed)
     /// notification has fired (telemetry only; never affects verdicts).
     arm_notified: bool,
+    /// End of the warm-up window after a cold start, tracked for *both*
+    /// fail modes (telemetry only; never affects verdicts). Under
+    /// fail-closed this lets observers attribute early drops to empty
+    /// post-restart state ([`ForensicReason::FailClosedWarmup`]
+    /// (upbound_telemetry::ForensicReason::FailClosedWarmup)) instead
+    /// of genuinely unsolicited traffic. `Some(Timestamp::ZERO)` marks
+    /// a warm restore: the window is considered already elapsed.
+    warm_until: Option<Timestamp>,
 }
 
 impl BitmapFilter {
@@ -135,6 +143,7 @@ impl<O: FilterObserver> BitmapFilter<O> {
             stats: FilterStats::default(),
             arm_at: None,
             arm_notified: false,
+            warm_until: None,
         }
     }
 
@@ -225,12 +234,22 @@ impl<O: FilterObserver> BitmapFilter<O> {
     /// packet's timestamp) or shard verdicts diverge from a sequential
     /// run during warm-up.
     fn anchor_warmup(&mut self, now: Timestamp) {
+        // Telemetry-only warm-window anchor, kept for both fail modes.
+        if self.warm_until.is_none() {
+            self.warm_until = Some(now + self.config.expiry_timer());
+        }
         if self.config.fail_mode() == FailMode::Open && self.arm_at.is_none() {
             let armed_at = now + self.config.expiry_timer();
             self.arm_at = Some(armed_at);
             self.arm_notified = false;
             self.engine.notify_cold_start(now, armed_at);
         }
+    }
+
+    /// `true` while `now` is inside the warm-up window after a cold
+    /// start (telemetry only; never affects verdicts).
+    pub fn is_warming(&self, now: Timestamp) -> bool {
+        self.warm_until.is_some_and(|until| now < until)
     }
 
     /// Fires the one-shot armed notification when warm-up has elapsed.
@@ -303,8 +322,10 @@ impl<O: FilterObserver> BitmapFilter<O> {
                 (Verdict::Pass, unmarked, false)
             }
         };
-        self.engine
-            .notify_inbound(now, verdict, p_d, known, drop_draws, fail_open);
+        let warming = self.is_warming(now);
+        self.engine.notify_inbound(
+            now, verdict, p_d, known, drop_draws, fail_open, warming, &key_bytes,
+        );
         verdict
     }
 
@@ -355,6 +376,7 @@ impl<O: FilterObserver> BitmapFilter<O> {
         self.engine.reset();
         self.arm_at = None;
         self.arm_notified = false;
+        self.warm_until = None;
     }
 }
 
@@ -481,6 +503,10 @@ impl<O: FilterObserver> Snapshottable for BitmapFilter<O> {
             // Re-fire the armed notification on the restored process if
             // warm-up has not provably completed (telemetry only).
             self.arm_notified = self.arm_at.is_none();
+            // A warm restore carries real filter state: treat the warm
+            // window as elapsed unless the restored arm clock says
+            // otherwise.
+            self.warm_until = Some(self.arm_at.unwrap_or(Timestamp::ZERO));
         }
         Ok(())
     }
@@ -490,6 +516,7 @@ impl<O: FilterObserver> Snapshottable for BitmapFilter<O> {
         let armed_at = epoch + self.config.expiry_timer();
         self.arm_at = Some(armed_at);
         self.arm_notified = false;
+        self.warm_until = Some(armed_at);
         self.engine.notify_cold_start(epoch, armed_at);
     }
 }

@@ -16,7 +16,8 @@ use crate::{ThroughputMonitor, Verdict};
 use std::sync::Arc;
 use upbound_net::{FiveTuple, Timestamp};
 use upbound_telemetry::{
-    Counter, DropReason, EventJournal, FilterEvent, FilterEventKind, Gauge, Registry,
+    flow_hash, Counter, DropForensics, DropReason, EventJournal, FilterEvent, FilterEventKind,
+    FlightRecorder, ForensicReason, Gauge, Registry,
 };
 
 /// Context handed to [`FilterObserver::on_inbound`] for every inbound
@@ -45,6 +46,16 @@ pub struct InboundDecision<'a> {
     /// because the filter was inside its warm-up grace period
     /// ([`FailMode::Open`](crate::FailMode), not yet armed).
     pub fail_open: bool,
+    /// `true` while the filter is inside its warm-up window after a
+    /// cold start (either fail mode). Under fail-closed this tags
+    /// drops whose real cause is empty post-restart state rather than
+    /// genuinely unsolicited traffic.
+    pub warming: bool,
+    /// The filter key the decision hashed (borrowed; observers that
+    /// ignore it pay nothing, forensic observers hash it on drops).
+    pub key: &'a [u8],
+    /// Bitmap rotation epoch (engine tick count) at decision time.
+    pub rotation_epoch: u64,
     /// The filter's uplink throughput monitor.
     pub monitor: &'a ThroughputMonitor,
 }
@@ -58,6 +69,30 @@ impl InboundDecision<'_> {
             Verdict::Pass => None,
             Verdict::Drop if self.p_d >= 1.0 => Some(DropReason::UnsolicitedMiss),
             Verdict::Drop => Some(DropReason::RandomEarlyDrop),
+        }
+    }
+
+    /// Forensics-grade attribution: why this decision is worth a
+    /// [`DropForensics`] record. `None` for plain passes.
+    ///
+    /// Drops during the warm-up window are attributed to
+    /// [`ForensicReason::FailClosedWarmup`] (empty post-restart state,
+    /// only reachable under fail-closed policy — fail-open passes
+    /// instead); would-be drops passed inside a fail-open grace window
+    /// are recorded as [`ForensicReason::QuarantineFailOpen`] so the
+    /// degraded window stays auditable.
+    pub fn forensic_reason(&self) -> Option<ForensicReason> {
+        match self.verdict {
+            // A hard-limit drop during the warm window is attributable
+            // to empty post-restart state; a RED draw is still the
+            // draw's doing regardless of warm-up.
+            Verdict::Drop if self.p_d >= 1.0 && self.warming => {
+                Some(ForensicReason::FailClosedWarmup)
+            }
+            Verdict::Drop if self.p_d >= 1.0 => Some(ForensicReason::BitmapMiss),
+            Verdict::Drop => Some(ForensicReason::PdDraw),
+            Verdict::Pass if self.fail_open => Some(ForensicReason::QuarantineFailOpen),
+            Verdict::Pass => None,
         }
     }
 }
@@ -132,6 +167,8 @@ impl FilterObserver for NoopObserver {}
 #[derive(Debug, Clone)]
 pub struct TelemetryObserver {
     journal: EventJournal<FilterEvent>,
+    forensics: EventJournal<DropForensics>,
+    flight: Option<FlightRecorder>,
     outbound_total: Arc<Counter>,
     inbound_pass_total: Arc<Counter>,
     drops_unsolicited_total: Arc<Counter>,
@@ -160,6 +197,8 @@ impl TelemetryObserver {
         let name = |metric: &str| format!("upbound_{scope}_{metric}");
         TelemetryObserver {
             journal: EventJournal::with_capacity(journal_capacity),
+            forensics: EventJournal::with_capacity(journal_capacity),
+            flight: None,
             outbound_total: registry.counter(
                 &name("outbound_packets_total"),
                 "Outbound packets observed (marked and passed)",
@@ -206,9 +245,28 @@ impl TelemetryObserver {
         TelemetryObserver::new(registry, scope, DEFAULT_JOURNAL_CAPACITY)
     }
 
+    /// Tees every journaled event and forensics record into `flight`,
+    /// so the black box sees the same history this observer retains.
+    pub fn with_flight_recorder(mut self, flight: FlightRecorder) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
     /// The recorded event journal (oldest → newest).
     pub fn journal(&self) -> &EventJournal<FilterEvent> {
         &self.journal
+    }
+
+    /// The recorded drop-forensics journal (oldest → newest).
+    pub fn forensics(&self) -> &EventJournal<DropForensics> {
+        &self.forensics
+    }
+
+    fn journal_event(&mut self, event: FilterEvent) {
+        if let Some(flight) = &self.flight {
+            flight.record_event(event);
+        }
+        self.journal.record(event);
     }
 }
 
@@ -241,12 +299,29 @@ impl FilterObserver for TelemetryObserver {
         // counters; the journal keeps the decisions worth replaying —
         // drops — plus rotations (recorded below).
         if !matches!(kind, FilterEventKind::Pass) {
-            self.journal.record(FilterEvent {
+            self.journal_event(FilterEvent {
                 at_micros: decision.now.as_micros(),
                 kind,
                 drop_probability: decision.p_d,
                 uplink_bps: uplink,
             });
+        }
+        // Forensics: drops plus fail-open would-be drops. The flow key
+        // is hashed only here, so the common pass path never pays.
+        if let Some(reason) = decision.forensic_reason() {
+            let record = DropForensics {
+                at_micros: decision.now.as_micros(),
+                flow_hash: flow_hash(decision.key),
+                inbound: true,
+                reason,
+                drop_probability: decision.p_d,
+                rotation_epoch: decision.rotation_epoch,
+                uplink_bps: uplink,
+            };
+            if let Some(flight) = &self.flight {
+                flight.record_forensics(record);
+            }
+            self.forensics.record(record);
         }
     }
 
@@ -255,7 +330,7 @@ impl FilterObserver for TelemetryObserver {
         let uplink = rotation.monitor.rate_bps(rotation.now);
         self.drop_probability.set(rotation.p_d);
         self.uplink_bps.set(uplink);
-        self.journal.record(FilterEvent {
+        self.journal_event(FilterEvent {
             at_micros: rotation.now.as_micros(),
             kind: FilterEventKind::Rotation {
                 rotations: rotation.rotations,
@@ -267,7 +342,7 @@ impl FilterObserver for TelemetryObserver {
 
     fn on_cold_start(&mut self, now: Timestamp, armed_at: Timestamp) {
         self.cold_starts_total.inc();
-        self.journal.record(FilterEvent {
+        self.journal_event(FilterEvent {
             at_micros: now.as_micros(),
             kind: FilterEventKind::ColdStart {
                 armed_at_micros: armed_at.as_micros(),
@@ -279,7 +354,7 @@ impl FilterObserver for TelemetryObserver {
 
     fn on_armed(&mut self, now: Timestamp) {
         self.warmup_armed_total.inc();
-        self.journal.record(FilterEvent {
+        self.journal_event(FilterEvent {
             at_micros: now.as_micros(),
             kind: FilterEventKind::Armed,
             drop_probability: 0.0,
@@ -385,6 +460,42 @@ mod tests {
                 reason: DropReason::RandomEarlyDrop
             }
         )));
+    }
+
+    #[test]
+    fn forensics_attribute_drops_and_tee_into_flight_recorder() {
+        use upbound_telemetry::{FlightRecorder, ForensicReason};
+
+        let registry = Registry::new();
+        let flight = FlightRecorder::new(16, 16);
+        let observer =
+            TelemetryObserver::new(&registry, "core", 16).with_flight_recorder(flight.clone());
+        let mut filter =
+            BitmapFilter::with_observer(BitmapFilterConfig::paper_evaluation(), observer);
+        let t0 = Timestamp::from_secs(1.0);
+        // First packet anchors the warm window; the paper config is
+        // fail-closed, so this hard drop attributes to warm-up.
+        assert_eq!(
+            filter.check_inbound(&stranger(50000), t0, 1.0),
+            Verdict::Drop
+        );
+        // Well past the warm window: a plain bitmap miss.
+        let later = Timestamp::from_secs(120.0);
+        assert_eq!(
+            filter.check_inbound(&stranger(50001), later, 1.0),
+            Verdict::Drop
+        );
+
+        let records: Vec<_> = filter.observer().forensics().iter().copied().collect();
+        assert_eq!(records.len(), 2, "{records:?}");
+        assert_eq!(records[0].reason, ForensicReason::FailClosedWarmup);
+        assert_eq!(records[1].reason, ForensicReason::BitmapMiss);
+        assert!(records[1].rotation_epoch > 0, "rotations due by t=120s");
+        assert_ne!(records[0].flow_hash, records[1].flow_hash);
+        assert!(records.iter().all(|r| r.inbound));
+        // The flight recorder saw the same history.
+        assert_eq!(flight.forensics_recorded(), 2);
+        assert!(flight.events_recorded() >= 2, "drop events teed");
     }
 
     #[test]

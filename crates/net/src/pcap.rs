@@ -43,7 +43,7 @@ use crate::wire::{self, ChecksumPolicy};
 use crate::{IngestReason, NetError, Packet, Timestamp};
 use std::io::{Read, Write};
 use std::sync::Arc;
-use upbound_telemetry::{Counter, Registry};
+use upbound_telemetry::{Counter, LatencyRecorder, Registry};
 
 /// Native-order pcap magic number (microsecond timestamps).
 pub const MAGIC: u32 = 0xa1b2_c3d4;
@@ -195,6 +195,7 @@ pub struct IngestTelemetry {
     records_skipped: Arc<Counter>,
     bytes_skipped: Arc<Counter>,
     errors: [Arc<Counter>; IngestReason::ALL.len()],
+    read_latency: Arc<LatencyRecorder>,
 }
 
 impl IngestTelemetry {
@@ -219,7 +220,22 @@ impl IngestTelemetry {
                     "ingestion errors observed, by taxonomy reason",
                 )
             }),
+            read_latency: registry.latency(
+                "upbound_net_ingest_read_latency_seconds",
+                "Wall-clock latency of reading/decoding one trace batch",
+            ),
         }
+    }
+
+    /// The ingest-stage latency recorder (the pipeline's ingest scope
+    /// feeds it; exported as a Prometheus histogram).
+    pub fn read_latency(&self) -> &Arc<LatencyRecorder> {
+        &self.read_latency
+    }
+
+    /// Records the wall-clock time one read/decode step took.
+    pub fn record_read_latency(&self, elapsed: std::time::Duration) {
+        self.read_latency.record(elapsed);
     }
 
     /// Counts one error that happened outside a reader (e.g. a failed

@@ -31,13 +31,17 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::sync::Mutex;
 use upbound_core::observe::FilterObserver;
 use upbound_core::{
     BitmapFilter, BitmapFilterConfig, FailMode, FilterStats, PacketFilter, ShardedFilter,
     Snapshottable, Verdict,
 };
 use upbound_net::{Cidr, Direction, Packet, TimeDelta, Timestamp};
-use upbound_telemetry::{Counter, Gauge, Registry};
+use upbound_telemetry::{
+    Counter, DumpTrigger, FlightRecorder, Gauge, HealthState, Registry, ShardStatus, Stage,
+    StageTracer,
+};
 
 /// Unwraps a worker-thread join, re-raising the worker's panic on the
 /// caller thread instead of replacing it with a generic message.
@@ -539,6 +543,155 @@ pub struct SupervisedResult {
     pub supervisor: SupervisorReport,
 }
 
+/// Registry-backed export of the shard supervisor's state
+/// (`upbound_sim_shard_*`), so quarantines are visible to every
+/// exporter and the `/metrics` endpoint — not just in the in-memory
+/// [`SupervisorReport`].
+#[derive(Debug, Clone)]
+pub struct SupervisorTelemetry {
+    panics_total: Arc<Counter>,
+    restarts_total: Arc<Counter>,
+    incidents_total: Arc<Counter>,
+    quarantined: Arc<Gauge>,
+    state: Arc<Mutex<BTreeMap<usize, ShardStatus>>>,
+    quarantined_until: Arc<Mutex<BTreeMap<usize, Timestamp>>>,
+}
+
+impl SupervisorTelemetry {
+    /// Registers the supervisor metrics in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            panics_total: registry.counter(
+                "upbound_sim_shard_panics_total",
+                "Shard worker panics caught by the supervisor",
+            ),
+            restarts_total: registry.counter(
+                "upbound_sim_shard_restarts_total",
+                "Shards rebuilt empty after quarantine",
+            ),
+            incidents_total: registry.counter(
+                "upbound_sim_shard_incidents_total",
+                "Quarantine incidents recorded by the supervisor",
+            ),
+            quarantined: registry.gauge(
+                "upbound_sim_shards_quarantined",
+                "Shards currently inside their quarantine window",
+            ),
+            state: Arc::new(Mutex::new(BTreeMap::new())),
+            quarantined_until: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    fn lock<'a, T>(m: &'a Arc<Mutex<T>>) -> std::sync::MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one quarantine incident; returns the shard's updated
+    /// status (for teeing into a flight recorder / health doc).
+    pub fn record_incident(&self, incident: &ShardIncident) -> ShardStatus {
+        self.panics_total.inc();
+        self.restarts_total.inc();
+        self.incidents_total.inc();
+        let status = {
+            let mut state = Self::lock(&self.state);
+            let entry = state.entry(incident.shard).or_insert(ShardStatus {
+                shard: incident.shard,
+                quarantined: false,
+                panics: 0,
+                restarts: 0,
+            });
+            entry.panics += 1;
+            entry.restarts += 1;
+            entry.quarantined = true;
+            *entry
+        };
+        let live = {
+            let mut until = Self::lock(&self.quarantined_until);
+            until.insert(incident.shard, incident.quarantined_until);
+            until.values().filter(|&&t| t > incident.at).count()
+        };
+        self.quarantined.set_u64(live as u64);
+        status
+    }
+
+    /// Re-evaluates quarantine windows against `watermark` (typically
+    /// the final ingest watermark) and returns every shard's settled
+    /// status.
+    pub fn settle(&self, watermark: Timestamp) -> Vec<ShardStatus> {
+        let until = Self::lock(&self.quarantined_until);
+        let mut state = Self::lock(&self.state);
+        let mut live = 0u64;
+        for (shard, entry) in state.iter_mut() {
+            entry.quarantined = until.get(shard).is_some_and(|&t| t > watermark);
+            if entry.quarantined {
+                live += 1;
+            }
+        }
+        self.quarantined.set_u64(live);
+        state.values().copied().collect()
+    }
+}
+
+/// Optional observability hooks threaded through
+/// [`run_supervised_pipeline_observed`]: per-stage latency tracing,
+/// supervisor metric export, flight-recorder mirroring, and `/health`
+/// state. Every part is independent; [`Default`] is fully disabled
+/// (zero overhead beyond an `Option` check per hook site).
+#[derive(Debug, Clone, Default)]
+pub struct PipelineObservability {
+    /// Shard supervisor metric export.
+    pub supervisor: Option<SupervisorTelemetry>,
+    /// Per-stage latency recorders (`upbound_sim_stage_*`).
+    pub tracer: Option<StageTracer>,
+    /// Black box mirroring shard state; dumped on worker panic.
+    pub flight: Option<FlightRecorder>,
+    /// Live `/health` document state.
+    pub health: Option<HealthState>,
+}
+
+impl PipelineObservability {
+    /// Supervisor export plus stage tracing registered in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            supervisor: Some(SupervisorTelemetry::new(registry)),
+            tracer: Some(StageTracer::new(registry, "sim")),
+            flight: None,
+            health: None,
+        }
+    }
+
+    /// Mirrors shard incidents into `flight` and dumps on panic.
+    pub fn with_flight_recorder(mut self, flight: FlightRecorder) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// Publishes watermark/shard state into `health`.
+    pub fn with_health(mut self, health: HealthState) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// Drops the latency tracer (the overhead-gate bench compares this
+    /// configuration against the traced one).
+    pub fn without_tracing(mut self) -> Self {
+        self.tracer = None;
+        self
+    }
+
+    fn shard_status_for(&self, incident: &ShardIncident) -> ShardStatus {
+        match &self.supervisor {
+            Some(sup) => sup.record_incident(incident),
+            None => ShardStatus {
+                shard: incident.shard,
+                quarantined: true,
+                panics: 1,
+                restarts: 1,
+            },
+        }
+    }
+}
+
 /// [`run_sharded_pipeline`] with supervised workers: a panic inside a
 /// shard's decision path is caught, the poisoned shard is quarantined
 /// and rebuilt **empty and fail-open** (so its warm-up never falsely
@@ -603,6 +756,43 @@ where
     F: PacketFilter<Stats = FilterStats> + Send,
     R: Fn(usize, Timestamp) -> F + Sync,
 {
+    run_supervised_pipeline_observed(
+        packets,
+        inside,
+        sharded,
+        rebuild,
+        quarantine,
+        pipeline_config,
+        &PipelineObservability::default(),
+    )
+}
+
+/// How many packets the ingest loop admits between `/health` watermark
+/// refreshes. Coarse on purpose: the watermark is diagnostic, and the
+/// hot loop should not take the health lock per packet.
+const HEALTH_WATERMARK_STRIDE: u64 = 1024;
+
+/// [`run_supervised_pipeline_with`] plus observability hooks: per-stage
+/// latency scopes (ingest → dispatch → decide → merge → emit),
+/// supervisor metric export, flight-recorder mirroring (with an
+/// automatic dump on each caught worker panic), and live `/health`
+/// watermark + shard state. Every hook is optional; a default
+/// [`PipelineObservability`] makes this identical to the unobserved
+/// variant.
+pub fn run_supervised_pipeline_observed<I, F, R>(
+    packets: I,
+    inside: Cidr,
+    sharded: ShardedFilter<F>,
+    rebuild: R,
+    quarantine: TimeDelta,
+    pipeline_config: PipelineConfig,
+    obs: &PipelineObservability,
+) -> SupervisedResult
+where
+    I: IntoIterator<Item = Packet>,
+    F: PacketFilter<Stats = FilterStats> + Send,
+    R: Fn(usize, Timestamp) -> F + Sync,
+{
     let (worker_txs, worker_rxs): (Vec<_>, Vec<_>) = (0..sharded.shards())
         .map(|_| bounded::<(u64, Packet, Direction, Timestamp)>(pipeline_config.channel_capacity))
         .unzip();
@@ -625,9 +815,12 @@ where
                 scope.spawn(move |_| {
                     let mut incidents = Vec::new();
                     for (seq, packet, direction, watermark) in rx {
-                        let decided = catch_unwind(AssertUnwindSafe(|| {
-                            handle.process_packet_at(&packet, direction, watermark)
-                        }));
+                        let decided = {
+                            let _t = obs.tracer.as_ref().map(|t| t.scope(Stage::Decide));
+                            catch_unwind(AssertUnwindSafe(|| {
+                                handle.process_packet_at(&packet, direction, watermark)
+                            }))
+                        };
                         let verdict = match decided {
                             Ok(verdict) => verdict,
                             Err(_panic) => {
@@ -635,11 +828,25 @@ where
                                 // `shard_of` is in range, so the swap
                                 // cannot fail.
                                 let _ = handle.replace_shard(shard, rebuild(shard, watermark));
-                                incidents.push(ShardIncident {
+                                let incident = ShardIncident {
                                     shard,
                                     at: watermark,
                                     quarantined_until: watermark + quarantine,
-                                });
+                                };
+                                let status = obs.shard_status_for(&incident);
+                                if let Some(health) = &obs.health {
+                                    health.update_shard(status);
+                                }
+                                if let Some(flight) = &obs.flight {
+                                    flight.update_shard(status);
+                                    flight.set_meta("last_panic_shard", &shard.to_string());
+                                    flight.set_meta(
+                                        "last_panic_watermark_us",
+                                        &incident.at.as_micros().to_string(),
+                                    );
+                                    let _ = flight.dump_now(DumpTrigger::Panic);
+                                }
+                                incidents.push(incident);
                                 Verdict::Pass
                             }
                         };
@@ -666,28 +873,47 @@ where
             let mut next_seq = 0u64;
             let mut pending: BTreeMap<u64, (Packet, Direction, Verdict)> = BTreeMap::new();
             for (seq, packet, direction, verdict) in merge_rx {
-                pending.insert(seq, (packet, direction, verdict));
+                {
+                    let _t = obs.tracer.as_ref().map(|t| t.scope(Stage::Merge));
+                    pending.insert(seq, (packet, direction, verdict));
+                }
                 while let Some((packet, direction, verdict)) = pending.remove(&next_seq) {
+                    let _t = obs.tracer.as_ref().map(|t| t.scope(Stage::Emit));
                     account(&mut result, &packet, direction, verdict);
                     next_seq += 1;
                 }
             }
             for (_, (packet, direction, verdict)) in pending {
+                let _t = obs.tracer.as_ref().map(|t| t.scope(Stage::Emit));
                 account(&mut result, &packet, direction, verdict);
             }
             result
         });
 
         let mut watermark = Timestamp::ZERO;
+        let mut admitted = 0u64;
         for (seq, packet) in packets.into_iter().enumerate() {
-            let direction = inside.direction_of(&packet.tuple());
-            let shard = sharded.shard_of(&packet.tuple(), direction);
-            watermark = watermark.max(packet.ts());
-            if worker_txs[shard]
-                .send((seq as u64, packet, direction, watermark))
-                .is_err()
-            {
+            let (shard, direction) = {
+                let _t = obs.tracer.as_ref().map(|t| t.scope(Stage::Ingest));
+                let direction = inside.direction_of(&packet.tuple());
+                let shard = sharded.shard_of(&packet.tuple(), direction);
+                watermark = watermark.max(packet.ts());
+                (shard, direction)
+            };
+            let sent = {
+                let _t = obs.tracer.as_ref().map(|t| t.scope(Stage::Dispatch));
+                worker_txs[shard]
+                    .send((seq as u64, packet, direction, watermark))
+                    .is_ok()
+            };
+            if !sent {
                 break;
+            }
+            admitted += 1;
+            if admitted.is_multiple_of(HEALTH_WATERMARK_STRIDE) {
+                if let Some(health) = &obs.health {
+                    health.set_watermark(watermark.as_micros());
+                }
             }
         }
         drop(worker_txs); // signal end-of-stream to every worker
@@ -699,6 +925,19 @@ where
         incidents.sort_by_key(|i| (i.at, i.shard));
         let mut pipeline = join_or_propagate(merge_handle.join());
         pipeline.filter_stats = sharded.stats();
+        if let Some(health) = &obs.health {
+            health.set_watermark(watermark.as_micros());
+        }
+        if let Some(sup) = &obs.supervisor {
+            for status in sup.settle(watermark) {
+                if let Some(health) = &obs.health {
+                    health.update_shard(status);
+                }
+                if let Some(flight) = &obs.flight {
+                    flight.update_shard(status);
+                }
+            }
+        }
         SupervisedResult {
             pipeline,
             supervisor: SupervisorReport {
@@ -1166,6 +1405,104 @@ mod tests {
         // rebuilt filter was armed fail-open: it never falsely dropped
         // while cold unless it had warmed back up.
         assert_ne!(clean_stats[victim], faulted_stats[victim]);
+    }
+
+    #[test]
+    fn observed_pipeline_exports_supervisor_metrics_and_dumps_on_panic() {
+        use upbound_telemetry::MetricValue;
+
+        let trace = trace();
+        let config = BitmapFilterConfig::paper_evaluation();
+        let shards = 4usize;
+        let packets: Vec<Packet> = trace.packets.iter().map(|lp| lp.packet.clone()).collect();
+        let trip_packet = packets[packets.len() / 2..]
+            .iter()
+            .find(|p| inside().direction_of(&p.tuple()) == Direction::Inbound)
+            .expect("trace has inbound packets");
+        let trip_port = trip_packet.tuple().src().port();
+
+        let registry = Registry::new();
+        let flight = FlightRecorder::default();
+        let dump_path =
+            std::env::temp_dir().join(format!("upbound-sim-observed-{}.dump", std::process::id()));
+        let _ = std::fs::remove_file(&dump_path);
+        flight.set_dump_path(&dump_path);
+        flight.attach_registry(registry.clone());
+        let health = HealthState::new();
+        let obs = PipelineObservability::new(&registry)
+            .with_flight_recorder(flight.clone())
+            .with_health(health.clone());
+
+        let sharded = grenade_shards(&config, shards, Some(trip_port));
+        let uplink = Arc::clone(sharded.uplink());
+        let rebuild_config = config.clone().with_fail_mode(FailMode::Open);
+        let rebuild = move |_shard: usize, at: Timestamp| {
+            let mut inner =
+                BitmapFilter::new(rebuild_config.clone()).with_shared_uplink(Arc::clone(&uplink));
+            inner.start_cold_at(at);
+            Grenade {
+                inner,
+                trip_port: None,
+            }
+        };
+        let result = run_supervised_pipeline_observed(
+            packets.iter().cloned(),
+            inside(),
+            sharded,
+            rebuild,
+            config.expiry_timer(),
+            PipelineConfig::default(),
+            &obs,
+        );
+        assert!(result.supervisor.panics >= 1);
+
+        // Supervisor counters mirror the in-memory report.
+        let snapshot = registry.snapshot();
+        let counter = |name: &str| match snapshot.get(name).map(|s| &s.value) {
+            Some(MetricValue::Counter(v)) => *v,
+            other => panic!("{name} missing or not a counter: {other:?}"),
+        };
+        assert_eq!(
+            counter("upbound_sim_shard_panics_total"),
+            result.supervisor.panics
+        );
+        assert_eq!(
+            counter("upbound_sim_shard_restarts_total"),
+            result.supervisor.restarts
+        );
+        assert_eq!(
+            counter("upbound_sim_shard_incidents_total"),
+            result.supervisor.incidents.len() as u64
+        );
+
+        // Stage tracing recorded latency for every stage that saw work.
+        for stage in [Stage::Ingest, Stage::Dispatch, Stage::Decide, Stage::Emit] {
+            let name = format!("upbound_sim_stage_{}_latency_seconds", stage.label());
+            match snapshot.get(&name).map(|s| &s.value) {
+                Some(MetricValue::Histogram(h)) => {
+                    assert!(h.count > 0, "{name} recorded nothing")
+                }
+                other => panic!("{name} missing or not a histogram: {other:?}"),
+            }
+        }
+
+        // The panic path wrote a dump that parses and names the shard.
+        assert!(flight.dumps_written() >= 1, "no dump written on panic");
+        let text = std::fs::read_to_string(&dump_path).expect("dump file");
+        let dump = upbound_telemetry::FlightRecorder::parse(&text).expect("dump parses");
+        assert_eq!(dump.trigger, upbound_telemetry::DumpTrigger::Panic);
+        assert!(!dump.shards.is_empty());
+        assert!(dump.shards.iter().any(|s| s.panics >= 1));
+        assert!(dump.meta.iter().any(|(k, _)| k == "last_panic_shard"));
+        let _ = std::fs::remove_file(&dump_path);
+
+        // Health carries the final watermark and the quarantine record.
+        let doc = health.render();
+        assert!(doc.contains("\"watermark_micros\""));
+        assert!(
+            doc.contains("\"panics\":"),
+            "health doc lacks shard state: {doc}"
+        );
     }
 
     #[test]

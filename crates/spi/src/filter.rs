@@ -208,6 +208,7 @@ impl<O: FilterObserver> SpiFilter<O> {
             .table
             .lookup(&outbound, now, self.config.idle_timeout)
             .is_some();
+        let key = tuple.inbound_key(false).to_bytes();
         let verdict = if known {
             self.stats.inbound_hits += 1;
             let flags = if self.config.tcp_aware { flags } else { None };
@@ -216,7 +217,6 @@ impl<O: FilterObserver> SpiFilter<O> {
         } else {
             self.stats.inbound_misses += 1;
             // An SPI miss is a single table lookup, hence one draw.
-            let key = tuple.inbound_key(false).to_bytes();
             if self.engine.drop_draw(&key, now, 0, p_d) {
                 self.stats.dropped += 1;
                 Verdict::Drop
@@ -224,8 +224,16 @@ impl<O: FilterObserver> SpiFilter<O> {
                 Verdict::Pass
             }
         };
-        self.engine
-            .notify_inbound(now, verdict, p_d, known, usize::from(!known), false);
+        self.engine.notify_inbound(
+            now,
+            verdict,
+            p_d,
+            known,
+            usize::from(!known),
+            false,
+            false,
+            &key,
+        );
         verdict
     }
 

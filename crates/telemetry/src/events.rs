@@ -89,9 +89,134 @@ impl FilterEvent {
     }
 }
 
+/// Why a packet was dropped, with enough context to attribute the
+/// decision after the fact (forensics-grade, superset of [`DropReason`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForensicReason {
+    /// No bitmap/table state admitted the packet and `P_d` had reached
+    /// the hard limit.
+    BitmapMiss,
+    /// Lost the random-early-drop coin flip (`0 < P_d < 1`).
+    PdDraw,
+    /// Dropped because the filter was still warming up under
+    /// fail-closed policy (empty state treated as unsolicited).
+    FailClosedWarmup,
+    /// Passed-through or dropped while a quarantined shard was running
+    /// fail-open (recorded so operators can audit the degraded window).
+    QuarantineFailOpen,
+}
+
+impl ForensicReason {
+    /// Short machine-friendly label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ForensicReason::BitmapMiss => "bitmap_miss",
+            ForensicReason::PdDraw => "p_d_draw",
+            ForensicReason::FailClosedWarmup => "fail_closed_warmup",
+            ForensicReason::QuarantineFailOpen => "quarantine_fail_open",
+        }
+    }
+
+    /// Parses a [`ForensicReason::label`] back (used by the dump reader).
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "bitmap_miss" => Some(ForensicReason::BitmapMiss),
+            "p_d_draw" => Some(ForensicReason::PdDraw),
+            "fail_closed_warmup" => Some(ForensicReason::FailClosedWarmup),
+            "quarantine_fail_open" => Some(ForensicReason::QuarantineFailOpen),
+            _ => None,
+        }
+    }
+}
+
+/// Structured per-drop forensics record: who was dropped, why, and what
+/// the filter's operating point was at that instant. These flow into a
+/// dedicated journal and the flight recorder, separate from the
+/// coarser [`FilterEvent`] stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropForensics {
+    /// Trace time, microseconds since the trace epoch.
+    pub at_micros: u64,
+    /// FNV-1a hash of the flow key (the key itself is not retained).
+    pub flow_hash: u64,
+    /// `true` for inbound (the filtered direction).
+    pub inbound: bool,
+    /// Why the packet was dropped.
+    pub reason: ForensicReason,
+    /// Drop probability `P_d` in effect.
+    pub drop_probability: f64,
+    /// Bitmap rotation epoch (engine tick count) at decision time.
+    pub rotation_epoch: u64,
+    /// Estimated uplink rate (bits/second) over the monitor window.
+    pub uplink_bps: f64,
+}
+
+impl DropForensics {
+    /// One-line human rendering (also the flight-recorder dump format).
+    pub fn describe(&self) -> String {
+        format!(
+            "t={:.6}s flow={:016x} dir={} reason={} P_d={:.4} epoch={} uplink={:.1} kbit/s",
+            self.at_micros as f64 / 1e6,
+            self.flow_hash,
+            if self.inbound { "in" } else { "out" },
+            self.reason.label(),
+            self.drop_probability,
+            self.rotation_epoch,
+            self.uplink_bps / 1e3,
+        )
+    }
+}
+
+/// FNV-1a over a flow key; the hash used for [`DropForensics::flow_hash`].
+pub fn flow_hash(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn forensic_labels_round_trip() {
+        for r in [
+            ForensicReason::BitmapMiss,
+            ForensicReason::PdDraw,
+            ForensicReason::FailClosedWarmup,
+            ForensicReason::QuarantineFailOpen,
+        ] {
+            assert_eq!(ForensicReason::from_label(r.label()), Some(r));
+        }
+        assert_eq!(ForensicReason::from_label("nope"), None);
+    }
+
+    #[test]
+    fn forensics_describe_is_stable() {
+        let f = DropForensics {
+            at_micros: 2_000_000,
+            flow_hash: 0xdead_beef,
+            inbound: true,
+            reason: ForensicReason::PdDraw,
+            drop_probability: 0.25,
+            rotation_epoch: 7,
+            uplink_bps: 64_000.0,
+        };
+        assert_eq!(
+            f.describe(),
+            "t=2.000000s flow=00000000deadbeef dir=in reason=p_d_draw P_d=0.2500 epoch=7 uplink=64.0 kbit/s"
+        );
+    }
+
+    #[test]
+    fn flow_hash_is_fnv1a() {
+        // FNV-1a test vector: empty input hashes to the offset basis.
+        assert_eq!(flow_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(flow_hash(b"a"), flow_hash(b"b"));
+    }
 
     #[test]
     fn describe_is_stable() {

@@ -26,6 +26,33 @@ fn fmt_f64(v: f64) -> String {
 pub mod prometheus {
     use super::*;
 
+    /// Escapes a label value per the exposition format: backslash,
+    /// double quote, and newline must be backslash-escaped.
+    pub fn escape_label_value(v: &str) -> String {
+        let mut out = String::with_capacity(v.len());
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    fn render_series(name: &str, labels: &[(String, String)]) -> String {
+        if labels.is_empty() {
+            return name.to_string();
+        }
+        let body = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{name}{{{body}}}")
+    }
+
     /// Renders a snapshot in Prometheus text exposition format.
     // `fmt::Write` into a `String` cannot fail.
     #[allow(clippy::unwrap_used)]
@@ -33,15 +60,16 @@ pub mod prometheus {
         let mut out = String::new();
         for sample in &snapshot.samples {
             let name = &sample.name;
+            let series = render_series(name, &sample.labels);
             writeln!(out, "# HELP {name} {}", sample.help.replace('\n', " ")).unwrap();
             match &sample.value {
                 MetricValue::Counter(v) => {
                     writeln!(out, "# TYPE {name} counter").unwrap();
-                    writeln!(out, "{name} {v}").unwrap();
+                    writeln!(out, "{series} {v}").unwrap();
                 }
                 MetricValue::Gauge(v) => {
                     writeln!(out, "# TYPE {name} gauge").unwrap();
-                    writeln!(out, "{name} {}", fmt_f64(*v)).unwrap();
+                    writeln!(out, "{series} {}", fmt_f64(*v)).unwrap();
                 }
                 MetricValue::Histogram(h) => {
                     writeln!(out, "# TYPE {name} histogram").unwrap();
@@ -109,6 +137,72 @@ pub mod prometheus {
         Ok(Snapshot { samples })
     }
 
+    /// Parses the interior of a `{...}` label set, unescaping values.
+    fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+        let mut labels = Vec::new();
+        let mut chars = body.chars().peekable();
+        loop {
+            let mut key = String::new();
+            for c in chars.by_ref() {
+                if c == '=' {
+                    break;
+                }
+                key.push(c);
+            }
+            if key.is_empty() {
+                return Err("empty label name".to_string());
+            }
+            if !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(format!("bad label name {key:?}"));
+            }
+            if chars.next() != Some('"') {
+                return Err(format!("label {key:?} value must be quoted"));
+            }
+            let mut value = String::new();
+            let mut closed = false;
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    '\\' => match chars.next() {
+                        Some('\\') => value.push('\\'),
+                        Some('"') => value.push('"'),
+                        Some('n') => value.push('\n'),
+                        other => return Err(format!("bad escape {other:?} in label {key:?}")),
+                    },
+                    c => value.push(c),
+                }
+            }
+            if !closed {
+                return Err(format!("unterminated value for label {key:?}"));
+            }
+            labels.push((key, value));
+            match chars.next() {
+                None => return Ok(labels),
+                Some(',') => continue,
+                Some(c) => return Err(format!("unexpected {c:?} after label value")),
+            }
+        }
+    }
+
+    /// Parsed labels of one series: `(key, value)` pairs in input order.
+    type ParsedLabels = Vec<(String, String)>;
+
+    /// Splits a sample series into `(name, labels)`.
+    fn parse_series(series: &str) -> Result<(&str, ParsedLabels), String> {
+        match series.split_once('{') {
+            None => Ok((series, Vec::new())),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("unterminated label set in {series:?}"))?;
+                Ok((name, parse_labels(body)?))
+            }
+        }
+    }
+
     fn parse_value(text: &str) -> Result<f64, String> {
         match text {
             "+Inf" => Ok(f64::INFINITY),
@@ -121,8 +215,8 @@ pub mod prometheus {
     }
 
     enum PendingKind {
-        Counter(Option<u64>),
-        Gauge(Option<f64>),
+        Counter(Option<(u64, Vec<(String, String)>)>),
+        Gauge(Option<(f64, Vec<(String, String)>)>),
         Histogram {
             bounds: Vec<f64>,
             cumulative: Vec<u64>,
@@ -172,20 +266,22 @@ pub mod prometheus {
         ) -> Result<(), String> {
             match &mut self.kind {
                 PendingKind::Counter(slot) => {
-                    if series != self.name || slot.is_some() {
+                    let (name, labels) = parse_series(series).map_err(|e| err(&e))?;
+                    if name != self.name || slot.is_some() {
                         return Err(err("unexpected counter sample"));
                     }
-                    *slot = Some(
-                        value
-                            .parse::<u64>()
-                            .map_err(|e| err(&format!("counter must be a u64: {e}")))?,
-                    );
+                    let v = value
+                        .parse::<u64>()
+                        .map_err(|e| err(&format!("counter must be a u64: {e}")))?;
+                    *slot = Some((v, labels));
                 }
                 PendingKind::Gauge(slot) => {
-                    if series != self.name || slot.is_some() {
+                    let (name, labels) = parse_series(series).map_err(|e| err(&e))?;
+                    if name != self.name || slot.is_some() {
                         return Err(err("unexpected gauge sample"));
                     }
-                    *slot = Some(parse_value(value).map_err(|e| err(&e))?);
+                    let v = parse_value(value).map_err(|e| err(&e))?;
+                    *slot = Some((v, labels));
                 }
                 PendingKind::Histogram {
                     bounds,
@@ -236,13 +332,18 @@ pub mod prometheus {
         }
 
         fn finish(self) -> Result<MetricSample, String> {
+            let mut labels = Vec::new();
             let value = match self.kind {
-                PendingKind::Counter(v) => MetricValue::Counter(
-                    v.ok_or_else(|| format!("counter {} has no sample", self.name))?,
-                ),
-                PendingKind::Gauge(v) => MetricValue::Gauge(
-                    v.ok_or_else(|| format!("gauge {} has no sample", self.name))?,
-                ),
+                PendingKind::Counter(v) => {
+                    let (v, l) = v.ok_or_else(|| format!("counter {} has no sample", self.name))?;
+                    labels = l;
+                    MetricValue::Counter(v)
+                }
+                PendingKind::Gauge(v) => {
+                    let (v, l) = v.ok_or_else(|| format!("gauge {} has no sample", self.name))?;
+                    labels = l;
+                    MetricValue::Gauge(v)
+                }
                 PendingKind::Histogram {
                     bounds,
                     cumulative,
@@ -284,6 +385,7 @@ pub mod prometheus {
             Ok(MetricSample {
                 name: self.name,
                 help: self.help,
+                labels,
                 value,
             })
         }
@@ -342,6 +444,18 @@ pub mod json {
             escape(&sample.name, &mut out);
             out.push_str(",\"help\":");
             escape(&sample.help, &mut out);
+            if !sample.labels.is_empty() {
+                out.push_str(",\"labels\":{");
+                for (j, (k, v)) in sample.labels.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    escape(k, &mut out);
+                    out.push(':');
+                    escape(v, &mut out);
+                }
+                out.push('}');
+            }
             match &sample.value {
                 MetricValue::Counter(v) => {
                     write!(out, ",\"type\":\"counter\",\"value\":{v}").unwrap();
@@ -417,7 +531,7 @@ pub mod human {
                     } else {
                         0.0
                     };
-                    writeln!(
+                    write!(
                         out,
                         "{:<width$} count={} sum={} mean={}",
                         sample.name,
@@ -426,6 +540,20 @@ pub mod human {
                         fmt_f64(mean)
                     )
                     .unwrap();
+                    // Quantile summary (bucket-upper-bound estimates).
+                    if let (Some(p50), Some(p90), Some(p99)) =
+                        (h.quantile(0.50), h.quantile(0.90), h.quantile(0.99))
+                    {
+                        write!(
+                            out,
+                            "  p50<={} p90<={} p99<={}",
+                            fmt_f64(p50),
+                            fmt_f64(p90),
+                            fmt_f64(p99)
+                        )
+                        .unwrap();
+                    }
+                    out.push('\n');
                 }
             }
         }
@@ -495,6 +623,63 @@ upbound_y_count 5
 ";
         let e = prometheus::parse(bad_inf).unwrap_err();
         assert!(e.contains("+Inf"), "{e}");
+    }
+
+    #[test]
+    fn labeled_samples_round_trip_with_escaping() {
+        let registry = Registry::new();
+        registry.build_info("1.2.3", Some("v1.2.3-4-gabcdef"));
+        registry
+            .labeled_gauge(
+                "upbound_test_weird",
+                "weird label",
+                &[("note", "a\"b\\c\nd")],
+            )
+            .set(2.0);
+        let snapshot = registry.snapshot();
+        let text = prometheus::render(&snapshot);
+        assert!(
+            text.contains("upbound_build_info{version=\"1.2.3\",revision=\"v1.2.3-4-gabcdef\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("upbound_test_weird{note=\"a\\\"b\\\\c\\nd\"} 2"),
+            "{text}"
+        );
+        let parsed = prometheus::parse(&text).expect("rendered labeled output parses");
+        assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_labels() {
+        for bad in [
+            "# TYPE upbound_x gauge\nupbound_x{note=\"unterminated} 1\n",
+            "# TYPE upbound_x gauge\nupbound_x{=\"v\"} 1\n",
+            "# TYPE upbound_x gauge\nupbound_x{note=unquoted} 1\n",
+        ] {
+            assert!(prometheus::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn latency_recorder_exports_and_round_trips() {
+        let registry = Registry::new();
+        let r = registry.latency("upbound_test_stage_latency_seconds", "Stage latency");
+        r.record_nanos(500);
+        r.record_nanos(2_000_000);
+        let snapshot = registry.snapshot();
+        let text = prometheus::render(&snapshot);
+        let parsed = prometheus::parse(&text).expect("latency histogram parses");
+        assert_eq!(parsed, snapshot);
+        assert!(text.contains("# TYPE upbound_test_stage_latency_seconds histogram"));
+        assert!(text.contains("upbound_test_stage_latency_seconds_count 2"));
+    }
+
+    #[test]
+    fn human_report_shows_quantiles() {
+        let report = human::render(&sample_registry().snapshot(), None);
+        assert!(report.contains("p50<="), "{report}");
+        assert!(report.contains("p99<="), "{report}");
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Minimal std-only HTTP/1.1 listener serving `/metrics` and `/health`.
+//!
+//! This is deliberately not a web framework: one accept loop on a
+//! background thread, one short-lived connection per request,
+//! `Connection: close`. It exists so a running replay/live pipeline is
+//! scrapeable (Prometheus `/metrics`) and probeable (`/health` JSON)
+//! without pulling in an async runtime — ROADMAP item 3's control
+//! plane can replace it later without changing the registry side.
+
+use crate::recorder::ShardStatus;
+use crate::registry::Registry;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shared liveness/health state published by the pipeline and served
+/// as the `/health` JSON document. Cloning shares the state.
+#[derive(Clone)]
+pub struct HealthState {
+    started: Instant,
+    inner: Arc<Mutex<HealthInner>>,
+}
+
+struct HealthInner {
+    watermark_micros: u64,
+    fail_mode: String,
+    shards: BTreeMap<usize, ShardStatus>,
+}
+
+impl std::fmt::Debug for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("HealthState")
+            .field("uptime_secs", &self.started.elapsed().as_secs())
+            .field("watermark_micros", &inner.watermark_micros)
+            .field("fail_mode", &inner.fail_mode)
+            .field("shards", &inner.shards.len())
+            .finish()
+    }
+}
+
+impl Default for HealthState {
+    fn default() -> Self {
+        HealthState::new()
+    }
+}
+
+impl HealthState {
+    /// Fresh state; uptime is measured from this call.
+    pub fn new() -> Self {
+        HealthState {
+            started: Instant::now(),
+            inner: Arc::new(Mutex::new(HealthInner {
+                watermark_micros: 0,
+                fail_mode: "closed".to_string(),
+                shards: BTreeMap::new(),
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HealthInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Publishes the trace-time high watermark (microseconds).
+    pub fn set_watermark(&self, micros: u64) {
+        self.lock().watermark_micros = micros;
+    }
+
+    /// Publishes the configured fail mode (`"open"` / `"closed"`).
+    pub fn set_fail_mode(&self, mode: &str) {
+        self.lock().fail_mode = mode.to_string();
+    }
+
+    /// Publishes per-shard supervisor state.
+    pub fn update_shard(&self, status: ShardStatus) {
+        self.lock().shards.insert(status.shard, status);
+    }
+
+    /// Renders the `/health` JSON document.
+    pub fn render(&self) -> String {
+        let inner = self.lock();
+        let quarantined = inner.shards.values().filter(|s| s.quarantined).count();
+        let status = if quarantined == 0 { "ok" } else { "degraded" };
+        let mut shards = String::new();
+        for (i, s) in inner.shards.values().enumerate() {
+            if i > 0 {
+                shards.push(',');
+            }
+            shards.push_str(&format!(
+                "{{\"shard\":{},\"quarantined\":{},\"panics\":{},\"restarts\":{}}}",
+                s.shard, s.quarantined, s.panics, s.restarts
+            ));
+        }
+        format!(
+            "{{\"status\":\"{status}\",\"uptime_secs\":{:.3},\"watermark_micros\":{},\"fail_mode\":\"{}\",\"shards\":[{shards}]}}",
+            self.started.elapsed().as_secs_f64(),
+            inner.watermark_micros,
+            inner.fail_mode,
+        )
+    }
+}
+
+/// A running `/metrics` + `/health` listener.
+///
+/// Dropping the handle signals the accept loop to stop and joins it.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9090`, port 0 for ephemeral) and
+    /// starts serving `registry` and `health` on a background thread.
+    pub fn start(
+        addr: &str,
+        registry: Registry,
+        health: HealthState,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("upbound-metrics-http".to_string())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Serve inline: requests are tiny and the
+                            // responses are rendered strings.
+                            let _ = serve_one(stream, &registry, &health);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &Registry,
+    health: &HealthState,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_nonblocking(false)?;
+    let mut buf = [0u8; 2048];
+    let mut read = 0;
+    // Read until end-of-headers (or the buffer fills; request lines we
+    // care about fit in the first bytes anyway).
+    while read < buf.len() {
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                read += n;
+                if buf[..read].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..read]);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                crate::export::prometheus::render(&registry.snapshot()),
+            ),
+            "/health" | "/healthz" => {
+                let mut doc = health.render();
+                doc.push('\n');
+                ("200 OK", "application/json", doc)
+            }
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found (try /metrics or /health)\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has headers");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_health() {
+        let registry = Registry::new();
+        registry
+            .counter("upbound_test_http_hits_total", "hits")
+            .add(3);
+        let health = HealthState::new();
+        health.set_watermark(42_000_000);
+        health.set_fail_mode("open");
+        health.update_shard(ShardStatus {
+            shard: 0,
+            quarantined: false,
+            panics: 0,
+            restarts: 0,
+        });
+        let server = MetricsServer::start("127.0.0.1:0", registry, health).expect("bind ephemeral");
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("upbound_test_http_hits_total 3"), "{body}");
+        crate::export::prometheus::parse(&body).expect("served metrics parse");
+
+        let (head, body) = get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"watermark_micros\":42000000"), "{body}");
+        assert!(body.contains("\"fail_mode\":\"open\""), "{body}");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_degrades_when_quarantined() {
+        let health = HealthState::new();
+        health.update_shard(ShardStatus {
+            shard: 2,
+            quarantined: true,
+            panics: 1,
+            restarts: 1,
+        });
+        let doc = health.render();
+        assert!(doc.contains("\"status\":\"degraded\""), "{doc}");
+        assert!(doc.contains("\"shard\":2"), "{doc}");
+    }
+}

@@ -13,6 +13,12 @@
 //!   keeps the most recent structured events ([`FilterEvent`]).
 //! - [`export`]: Prometheus text exposition (with a validating
 //!   parser), JSON, and a human-readable interval report.
+//! - [`latency`]: [`LatencyRecorder`], an HDR-style log-bucketed
+//!   latency histogram, and [`StageTracer`] per-stage scope timers.
+//! - [`recorder`]: [`FlightRecorder`], a fixed-size black box that
+//!   dumps recent events/forensics/metrics on panic or signal.
+//! - [`http`]: [`MetricsServer`], a std-only `/metrics` + `/health`
+//!   HTTP listener.
 //!
 //! Metric names follow `upbound_<crate>_<name>`, e.g.
 //! `upbound_core_inbound_drops_total`.
@@ -31,11 +37,19 @@
 
 pub mod events;
 pub mod export;
+pub mod http;
 pub mod journal;
+pub mod latency;
 pub mod metrics;
+pub mod recorder;
 pub mod registry;
 
-pub use events::{DropReason, FilterEvent, FilterEventKind};
+pub use events::{
+    flow_hash, DropForensics, DropReason, FilterEvent, FilterEventKind, ForensicReason,
+};
+pub use http::{HealthState, MetricsServer};
 pub use journal::EventJournal;
+pub use latency::{LatencyRecorder, LatencySnapshot, ScopeTimer, Stage, StageTracer};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use recorder::{DumpTrigger, FlightDump, FlightRecorder, ShardStatus};
 pub use registry::{MetricSample, MetricValue, Registry, Snapshot};

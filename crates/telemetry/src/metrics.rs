@@ -215,6 +215,25 @@ impl HistogramSnapshot {
             })
             .collect()
     }
+
+    /// Approximate quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// first bucket whose cumulative count reaches `ceil(q * count)`,
+    /// or `+Inf` when the rank falls above the last finite bound.
+    /// `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (bound, c) in self.bounds.iter().zip(&self.counts) {
+            seen += c;
+            if seen >= rank {
+                return Some(*bound);
+            }
+        }
+        Some(f64::INFINITY)
+    }
 }
 
 #[cfg(test)]

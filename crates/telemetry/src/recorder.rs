@@ -1,0 +1,592 @@
+//! Flight recorder: a fixed-size black box for post-incident analysis.
+//!
+//! The recorder continuously mirrors the most recent filter events,
+//! per-drop forensics, per-shard supervisor state, and (optionally) a
+//! live metrics [`crate::Registry`]. On a trigger — shard panic,
+//! SIGUSR1, fail-open arming, or an explicit request — it renders a
+//! self-describing text dump and writes it to a configured path. The
+//! dump is designed to be readable with `less` *and* round-trippable:
+//! [`parse`](FlightRecorder::parse) reads a dump back into structured
+//! form (the `upbound debug read-dump` subcommand builds on it).
+//!
+//! Dump format (version 1):
+//!
+//! ```text
+//! UPBOUND-FLIGHT-RECORDER v1
+//! trigger=panic
+//! [meta]
+//! key=value
+//! [shards]
+//! shard=0 quarantined=true panics=1 restarts=1
+//! [events] total=41 overwritten=9
+//! t=1.500000s drop (unsolicited_miss) P_d=1.0000 uplink=128.0 kbit/s
+//! [forensics] total=12 overwritten=0
+//! at_us=1500000 flow=00000000deadbeef dir=in reason=bitmap_miss p_d=1 epoch=3 uplink_bps=128000
+//! [metrics]
+//! # HELP ...
+//! [end]
+//! ```
+
+use crate::events::{DropForensics, FilterEvent, FilterEventKind, ForensicReason};
+use crate::journal::EventJournal;
+use crate::registry::{Registry, Snapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// What caused a dump to be written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DumpTrigger {
+    /// A shard worker panicked (the supervisor quarantine path).
+    Panic,
+    /// SIGUSR1 (operator-requested snapshot).
+    Signal,
+    /// The filter armed while running fail-open (degraded window).
+    FailOpen,
+    /// Explicit programmatic request.
+    Manual,
+}
+
+impl DumpTrigger {
+    /// Short machine-friendly label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DumpTrigger::Panic => "panic",
+            DumpTrigger::Signal => "signal",
+            DumpTrigger::FailOpen => "fail_open",
+            DumpTrigger::Manual => "manual",
+        }
+    }
+
+    /// Parses a [`DumpTrigger::label`] back.
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "panic" => Some(DumpTrigger::Panic),
+            "signal" => Some(DumpTrigger::Signal),
+            "fail_open" => Some(DumpTrigger::FailOpen),
+            "manual" => Some(DumpTrigger::Manual),
+            _ => None,
+        }
+    }
+}
+
+/// Per-shard supervisor state mirrored into the recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// `true` while the shard is quarantined (running rebuilt/fail-open).
+    pub quarantined: bool,
+    /// Panics observed on this shard so far.
+    pub panics: u64,
+    /// Times the shard was rebuilt after quarantine.
+    pub restarts: u64,
+}
+
+/// A parsed flight-recorder dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// What triggered the dump.
+    pub trigger: DumpTrigger,
+    /// Free-form metadata (`[meta]` section), insertion order.
+    pub meta: Vec<(String, String)>,
+    /// Per-shard supervisor state.
+    pub shards: Vec<ShardStatus>,
+    /// Human-rendered recent filter events (oldest → newest).
+    pub events: Vec<String>,
+    /// Events recorded over the whole run (including overwritten).
+    pub events_total: u64,
+    /// Structured recent drop forensics (oldest → newest).
+    pub forensics: Vec<DropForensics>,
+    /// Forensics recorded over the whole run (including overwritten).
+    pub forensics_total: u64,
+    /// Metrics snapshot at dump time, if a registry was attached.
+    pub metrics: Option<Snapshot>,
+}
+
+struct Inner {
+    events: EventJournal<FilterEvent>,
+    forensics: EventJournal<DropForensics>,
+    shards: BTreeMap<usize, ShardStatus>,
+    meta: Vec<(String, String)>,
+    registry: Option<Registry>,
+    dump_path: Option<PathBuf>,
+    dump_on_armed: bool,
+    dumps_written: u64,
+}
+
+/// The black box. Cloning shares the underlying state, so observers,
+/// supervisors, and signal handlers can each hold a handle.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("FlightRecorder")
+            .field("events", &inner.events.len())
+            .field("forensics", &inner.forensics.len())
+            .field("shards", &inner.shards.len())
+            .field("dumps_written", &inner.dumps_written)
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(256, 256)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the most recent `event_capacity` filter
+    /// events and `forensics_capacity` drop-forensics records.
+    pub fn new(event_capacity: usize, forensics_capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(Inner {
+                events: EventJournal::with_capacity(event_capacity),
+                forensics: EventJournal::with_capacity(forensics_capacity),
+                shards: BTreeMap::new(),
+                meta: Vec::new(),
+                registry: None,
+                dump_path: None,
+                dump_on_armed: false,
+                dumps_written: 0,
+            })),
+        }
+    }
+
+    // The recorder must stay usable on the panic path (a catch_unwind
+    // may have poisoned the lock), so always recover the guard.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attaches a registry; dumps will embed a fresh metrics snapshot.
+    pub fn attach_registry(&self, registry: Registry) {
+        self.lock().registry = Some(registry);
+    }
+
+    /// Sets (or replaces) the file the next dump is written to.
+    pub fn set_dump_path(&self, path: impl Into<PathBuf>) {
+        self.lock().dump_path = Some(path.into());
+    }
+
+    /// When enabled, an [`FilterEventKind::Armed`] event triggers an
+    /// automatic dump (used for the fail-open arming trigger).
+    pub fn set_dump_on_armed(&self, on: bool) {
+        self.lock().dump_on_armed = on;
+    }
+
+    /// Adds a metadata line to the `[meta]` section (replaces an
+    /// existing key).
+    pub fn set_meta(&self, key: &str, value: &str) {
+        let mut inner = self.lock();
+        if let Some(slot) = inner.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value.to_string();
+        } else {
+            inner.meta.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Mirrors one filter event. May write a dump (fail-open arming).
+    pub fn record_event(&self, event: FilterEvent) {
+        let dump = {
+            let mut inner = self.lock();
+            let arm = matches!(event.kind, FilterEventKind::Armed) && inner.dump_on_armed;
+            inner.events.record(event);
+            arm
+        };
+        if dump {
+            let _ = self.dump_now(DumpTrigger::FailOpen);
+        }
+    }
+
+    /// Mirrors one drop-forensics record.
+    pub fn record_forensics(&self, f: DropForensics) {
+        self.lock().forensics.record(f);
+    }
+
+    /// Mirrors per-shard supervisor state (keyed by shard index).
+    pub fn update_shard(&self, status: ShardStatus) {
+        self.lock().shards.insert(status.shard, status);
+    }
+
+    /// Events mirrored so far (including overwritten).
+    pub fn events_recorded(&self) -> u64 {
+        self.lock().events.total_recorded()
+    }
+
+    /// Forensics mirrored so far (including overwritten).
+    pub fn forensics_recorded(&self) -> u64 {
+        self.lock().forensics.total_recorded()
+    }
+
+    /// Dumps written so far.
+    pub fn dumps_written(&self) -> u64 {
+        self.lock().dumps_written
+    }
+
+    /// Renders the dump text without writing it anywhere.
+    // `fmt::Write` into a `String` cannot fail.
+    #[allow(clippy::unwrap_used)]
+    pub fn render(&self, trigger: DumpTrigger) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        writeln!(out, "UPBOUND-FLIGHT-RECORDER v1").unwrap();
+        writeln!(out, "trigger={}", trigger.label()).unwrap();
+        writeln!(out, "[meta]").unwrap();
+        for (k, v) in &inner.meta {
+            writeln!(out, "{k}={}", v.replace('\n', " ")).unwrap();
+        }
+        writeln!(out, "[shards]").unwrap();
+        for s in inner.shards.values() {
+            writeln!(
+                out,
+                "shard={} quarantined={} panics={} restarts={}",
+                s.shard, s.quarantined, s.panics, s.restarts
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "[events] total={} overwritten={}",
+            inner.events.total_recorded(),
+            inner.events.overwritten()
+        )
+        .unwrap();
+        for e in inner.events.iter() {
+            writeln!(out, "{}", e.describe()).unwrap();
+        }
+        writeln!(
+            out,
+            "[forensics] total={} overwritten={}",
+            inner.forensics.total_recorded(),
+            inner.forensics.overwritten()
+        )
+        .unwrap();
+        for f in inner.forensics.iter() {
+            writeln!(
+                out,
+                "at_us={} flow={:016x} dir={} reason={} p_d={} epoch={} uplink_bps={}",
+                f.at_micros,
+                f.flow_hash,
+                if f.inbound { "in" } else { "out" },
+                f.reason.label(),
+                f.drop_probability,
+                f.rotation_epoch,
+                f.uplink_bps
+            )
+            .unwrap();
+        }
+        writeln!(out, "[metrics]").unwrap();
+        if let Some(registry) = &inner.registry {
+            out.push_str(&crate::export::prometheus::render(&registry.snapshot()));
+        }
+        writeln!(out, "[end]").unwrap();
+        out
+    }
+
+    /// Renders and writes the dump to the configured path. Returns the
+    /// path written, or `None` when no path is configured.
+    pub fn dump_now(&self, trigger: DumpTrigger) -> std::io::Result<Option<PathBuf>> {
+        let path = match self.lock().dump_path.clone() {
+            Some(p) => p,
+            None => return Ok(None),
+        };
+        let text = self.render(trigger);
+        std::fs::write(&path, text)?;
+        self.lock().dumps_written += 1;
+        Ok(Some(path))
+    }
+
+    /// Parses a dump file's text back into structured form.
+    pub fn parse(text: &str) -> Result<FlightDump, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("UPBOUND-FLIGHT-RECORDER v1") => {}
+            other => return Err(format!("not a flight-recorder dump (header {other:?})")),
+        }
+        let trigger = lines
+            .next()
+            .and_then(|l| l.strip_prefix("trigger="))
+            .and_then(DumpTrigger::from_label)
+            .ok_or("missing or unknown trigger line")?;
+
+        let mut dump = FlightDump {
+            trigger,
+            meta: Vec::new(),
+            shards: Vec::new(),
+            events: Vec::new(),
+            events_total: 0,
+            forensics: Vec::new(),
+            forensics_total: 0,
+            metrics: None,
+        };
+        let mut section = String::new();
+        let mut metrics_text = String::new();
+        for line in lines {
+            if line == "[end]" {
+                section = "end".to_string();
+                continue;
+            }
+            if line == "[meta]" || line == "[shards]" || line == "[metrics]" {
+                section = line.trim_matches(['[', ']']).to_string();
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("[events] ") {
+                section = "events".to_string();
+                dump.events_total = parse_total(rest, "events")?;
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("[forensics] ") {
+                section = "forensics".to_string();
+                dump.forensics_total = parse_total(rest, "forensics")?;
+                continue;
+            }
+            match section.as_str() {
+                "meta" => {
+                    let (k, v) = line
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad meta line {line:?}"))?;
+                    dump.meta.push((k.to_string(), v.to_string()));
+                }
+                "shards" => dump.shards.push(parse_shard_line(line)?),
+                "events" => dump.events.push(line.to_string()),
+                "forensics" => dump.forensics.push(parse_forensics_line(line)?),
+                "metrics" => {
+                    metrics_text.push_str(line);
+                    metrics_text.push('\n');
+                }
+                "end" => return Err(format!("content after [end]: {line:?}")),
+                _ => return Err(format!("line outside any section: {line:?}")),
+            }
+        }
+        if section != "end" {
+            return Err("dump is truncated (no [end] marker)".to_string());
+        }
+        if !metrics_text.is_empty() {
+            dump.metrics = Some(
+                crate::export::prometheus::parse(&metrics_text)
+                    .map_err(|e| format!("embedded metrics: {e}"))?,
+            );
+        }
+        Ok(dump)
+    }
+}
+
+fn parse_total(rest: &str, what: &str) -> Result<u64, String> {
+    rest.split_whitespace()
+        .find_map(|tok| tok.strip_prefix("total="))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("bad [{what}] header: {rest:?}"))
+}
+
+fn kv<'a>(tok: &'a str, key: &str) -> Result<&'a str, String> {
+    tok.strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=..., got {tok:?}"))
+}
+
+fn parse_shard_line(line: &str) -> Result<ShardStatus, String> {
+    let mut toks = line.split_whitespace();
+    let mut next = || {
+        toks.next()
+            .ok_or_else(|| format!("short shard line {line:?}"))
+    };
+    let shard = kv(next()?, "shard")?
+        .parse()
+        .map_err(|e| format!("bad shard index: {e}"))?;
+    let quarantined = kv(next()?, "quarantined")?
+        .parse()
+        .map_err(|e| format!("bad quarantined flag: {e}"))?;
+    let panics = kv(next()?, "panics")?
+        .parse()
+        .map_err(|e| format!("bad panics count: {e}"))?;
+    let restarts = kv(next()?, "restarts")?
+        .parse()
+        .map_err(|e| format!("bad restarts count: {e}"))?;
+    Ok(ShardStatus {
+        shard,
+        quarantined,
+        panics,
+        restarts,
+    })
+}
+
+fn parse_forensics_line(line: &str) -> Result<DropForensics, String> {
+    let mut toks = line.split_whitespace();
+    let mut next = || {
+        toks.next()
+            .ok_or_else(|| format!("short forensics line {line:?}"))
+    };
+    let at_micros = kv(next()?, "at_us")?
+        .parse()
+        .map_err(|e| format!("bad at_us: {e}"))?;
+    let flow_hash =
+        u64::from_str_radix(kv(next()?, "flow")?, 16).map_err(|e| format!("bad flow hash: {e}"))?;
+    let inbound = match kv(next()?, "dir")? {
+        "in" => true,
+        "out" => false,
+        other => return Err(format!("bad direction {other:?}")),
+    };
+    let reason = ForensicReason::from_label(kv(next()?, "reason")?)
+        .ok_or_else(|| format!("unknown forensic reason in {line:?}"))?;
+    let drop_probability = kv(next()?, "p_d")?
+        .parse()
+        .map_err(|e| format!("bad p_d: {e}"))?;
+    let rotation_epoch = kv(next()?, "epoch")?
+        .parse()
+        .map_err(|e| format!("bad epoch: {e}"))?;
+    let uplink_bps = kv(next()?, "uplink_bps")?
+        .parse()
+        .map_err(|e| format!("bad uplink_bps: {e}"))?;
+    Ok(DropForensics {
+        at_micros,
+        flow_hash,
+        inbound,
+        reason,
+        drop_probability,
+        rotation_epoch,
+        uplink_bps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::DropReason;
+
+    fn sample_event(at: u64) -> FilterEvent {
+        FilterEvent {
+            at_micros: at,
+            kind: FilterEventKind::Drop {
+                reason: DropReason::RandomEarlyDrop,
+            },
+            drop_probability: 0.5,
+            uplink_bps: 96_000.0,
+        }
+    }
+
+    fn sample_forensics(at: u64) -> DropForensics {
+        DropForensics {
+            at_micros: at,
+            flow_hash: 0x1234_5678_9abc_def0,
+            inbound: true,
+            reason: ForensicReason::PdDraw,
+            drop_probability: 0.5,
+            rotation_epoch: 3,
+            uplink_bps: 96_000.0,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let fr = FlightRecorder::new(8, 8);
+        fr.set_meta("trace", "paper.pcap");
+        fr.set_meta("shards", "4");
+        fr.record_event(sample_event(1_000));
+        fr.record_event(sample_event(2_000));
+        fr.record_forensics(sample_forensics(2_000));
+        fr.update_shard(ShardStatus {
+            shard: 1,
+            quarantined: true,
+            panics: 2,
+            restarts: 1,
+        });
+        let registry = Registry::new();
+        registry.counter("upbound_test_total", "t").add(5);
+        fr.attach_registry(registry);
+
+        let text = fr.render(DumpTrigger::Panic);
+        let dump = FlightRecorder::parse(&text).expect("dump parses");
+        assert_eq!(dump.trigger, DumpTrigger::Panic);
+        assert_eq!(dump.meta.len(), 2);
+        assert_eq!(dump.events.len(), 2);
+        assert_eq!(dump.events_total, 2);
+        assert_eq!(dump.forensics, vec![sample_forensics(2_000)]);
+        assert_eq!(
+            dump.shards,
+            vec![ShardStatus {
+                shard: 1,
+                quarantined: true,
+                panics: 2,
+                restarts: 1,
+            }]
+        );
+        let metrics = dump.metrics.expect("metrics embedded");
+        assert_eq!(metrics.counter("upbound_test_total"), Some(5));
+    }
+
+    #[test]
+    fn journal_overflow_keeps_newest_and_counts_loss() {
+        let fr = FlightRecorder::new(4, 4);
+        for i in 0..10u64 {
+            fr.record_event(sample_event(i * 1_000));
+        }
+        let text = fr.render(DumpTrigger::Manual);
+        let dump = FlightRecorder::parse(&text).expect("parses");
+        assert_eq!(dump.events.len(), 4);
+        assert_eq!(dump.events_total, 10);
+        // Oldest retained is event #6 (t=0.006s), newest #9.
+        assert!(
+            dump.events[0].starts_with("t=0.006000s"),
+            "{:?}",
+            dump.events
+        );
+        assert!(
+            dump.events[3].starts_with("t=0.009000s"),
+            "{:?}",
+            dump.events
+        );
+    }
+
+    #[test]
+    fn dump_now_writes_configured_path() {
+        let fr = FlightRecorder::new(4, 4);
+        assert_eq!(fr.dump_now(DumpTrigger::Manual).expect("ok"), None);
+        let path =
+            std::env::temp_dir().join(format!("upbound-flight-test-{}.dump", std::process::id()));
+        fr.set_dump_path(&path);
+        fr.record_event(sample_event(1));
+        let written = fr
+            .dump_now(DumpTrigger::Signal)
+            .expect("write ok")
+            .expect("path configured");
+        let text = std::fs::read_to_string(&written).expect("readable");
+        assert!(text.starts_with("UPBOUND-FLIGHT-RECORDER v1"));
+        assert_eq!(fr.dumps_written(), 1);
+        let _ = std::fs::remove_file(&written);
+    }
+
+    #[test]
+    fn armed_event_triggers_fail_open_dump() {
+        let fr = FlightRecorder::new(4, 4);
+        let path =
+            std::env::temp_dir().join(format!("upbound-flight-armed-{}.dump", std::process::id()));
+        fr.set_dump_path(&path);
+        fr.set_dump_on_armed(true);
+        fr.record_event(FilterEvent {
+            at_micros: 5_000_000,
+            kind: FilterEventKind::Armed,
+            drop_probability: 0.0,
+            uplink_bps: 0.0,
+        });
+        let text = std::fs::read_to_string(&path).expect("dump written on arming");
+        let dump = FlightRecorder::parse(&text).expect("parses");
+        assert_eq!(dump.trigger, DumpTrigger::FailOpen);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_rejects_truncation_and_junk() {
+        assert!(FlightRecorder::parse("not a dump").is_err());
+        let fr = FlightRecorder::new(2, 2);
+        let text = fr.render(DumpTrigger::Manual);
+        let truncated = &text[..text.len() - "[end]\n".len()];
+        assert!(FlightRecorder::parse(truncated).is_err());
+    }
+}

@@ -7,6 +7,7 @@
 //! convention `upbound_<crate>_<name>` (checked loosely at
 //! registration: lowercase identifiers and underscores only).
 
+use crate::latency::LatencyRecorder;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use std::sync::{Arc, Mutex};
 
@@ -28,6 +29,9 @@ pub struct MetricSample {
     pub name: String,
     /// One-line description, exported as Prometheus `# HELP`.
     pub help: String,
+    /// Constant label set (empty for most metrics; used by e.g.
+    /// `upbound_build_info`). Exported as `name{k="v",...}`.
+    pub labels: Vec<(String, String)>,
     /// The recorded value.
     pub value: MetricValue,
 }
@@ -66,11 +70,13 @@ enum Instrument {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    Latency(Arc<LatencyRecorder>),
 }
 
 struct Entry {
     name: String,
     help: String,
+    labels: Vec<(String, String)>,
     instrument: Instrument,
 }
 
@@ -132,6 +138,7 @@ impl Registry {
         entries.push(Entry {
             name: name.to_string(),
             help: help.to_string(),
+            labels: Vec::new(),
             instrument,
         });
         handle
@@ -176,6 +183,62 @@ impl Registry {
         )
     }
 
+    /// Registers (or retrieves) a log-bucketed latency recorder. It
+    /// snapshots as an ordinary histogram (seconds), so exporters need
+    /// no special handling; the name should end in `_seconds`.
+    pub fn latency(&self, name: &str, help: &str) -> Arc<LatencyRecorder> {
+        self.register(
+            name,
+            help,
+            |i| match i {
+                Instrument::Latency(r) => Some(Arc::clone(r)),
+                _ => None,
+            },
+            || Instrument::Latency(Arc::new(LatencyRecorder::new())),
+        )
+    }
+
+    /// Registers (or retrieves) a gauge carrying a constant label set.
+    /// Keyed by name only — re-registering the same name returns the
+    /// original handle and keeps the original labels.
+    pub fn labeled_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        assert_valid_name(name);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = entries.iter().find(|e| e.name == name) {
+            return match &entry.instrument {
+                Instrument::Gauge(g) => Arc::clone(g),
+                _ => panic!("metric {name:?} already registered with a different type"),
+            };
+        }
+        let gauge = Arc::new(Gauge::new());
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            instrument: Instrument::Gauge(Arc::clone(&gauge)),
+        });
+        gauge
+    }
+
+    /// Registers the standard `upbound_build_info` gauge (constant 1,
+    /// labels `version` and `revision`).
+    pub fn build_info(&self, version: &str, revision: Option<&str>) -> Arc<Gauge> {
+        let mut labels = vec![("version", version)];
+        if let Some(rev) = revision {
+            labels.push(("revision", rev));
+        }
+        let g = self.labeled_gauge(
+            "upbound_build_info",
+            "Build metadata; value is always 1",
+            &labels,
+        );
+        g.set(1.0);
+        g
+    }
+
     /// Captures every metric's current value, sorted by name.
     pub fn snapshot(&self) -> Snapshot {
         let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
@@ -184,10 +247,14 @@ impl Registry {
             .map(|e| MetricSample {
                 name: e.name.clone(),
                 help: e.help.clone(),
+                labels: e.labels.clone(),
                 value: match &e.instrument {
                     Instrument::Counter(c) => MetricValue::Counter(c.get()),
                     Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
                     Instrument::Histogram(h) => MetricValue::Histogram(h.load()),
+                    Instrument::Latency(r) => {
+                        MetricValue::Histogram(r.load().to_histogram_snapshot())
+                    }
                 },
             })
             .collect();

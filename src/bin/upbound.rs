@@ -7,6 +7,9 @@
 //! * `filter`   — replay a pcap through the bitmap filter, writing the
 //!   surviving packets to a new pcap and printing throughput/drop stats.
 //! * `params`   — capacity planning with the §5.1 equations.
+//! * `debug`    — operator tooling: pretty-print a flight-recorder dump
+//!   (`read-dump`) or validate a Prometheus exposition file
+//!   (`parse-metrics`).
 //!
 //! Run `upbound help` (or any subcommand with `--help`) for usage.
 //!
@@ -19,6 +22,7 @@ use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use upbound::analyzer::Analyzer;
 use upbound::core::params::{max_connections, optimal_hash_count, penetration_probability};
@@ -28,7 +32,10 @@ use upbound::core::{
 };
 use upbound::net::pcap::{IngestStats, IngestTelemetry, PcapReader, PcapWriter, RecoveryPolicy};
 use upbound::net::{Cidr, Direction, FiveTuple, Packet};
-use upbound::telemetry::{export, Registry, Snapshot};
+use upbound::telemetry::{
+    export, DumpTrigger, FlightRecorder, HealthState, MetricsServer, Registry, Snapshot, Stage,
+    StageTracer,
+};
 use upbound::traffic::{generate, TraceConfig};
 
 const USAGE: &str = "\
@@ -47,8 +54,21 @@ USAGE:
                      [--on-corrupt strict|skip]
                      [--metrics <FILE.prom|FILE.json>]
                      [--metrics-interval <SECS>]
+                     [--metrics-addr <HOST:PORT>] [--flight-dump <FILE>]
+                     [--trace-latency] [--serve-grace <SECS>]
     upbound params   [--connections <N>]
+    upbound debug    read-dump <FILE> | parse-metrics <FILE>
     upbound help
+
+OBSERVABILITY (filter):
+    --metrics-addr serves live GET /metrics (Prometheus) and
+    GET /health (JSON) over HTTP while the replay runs.
+    --flight-dump names the black-box file; it is written on panic,
+    on SIGUSR1, and when a fail-open filter arms while degraded.
+    --trace-latency records per-stage latency histograms
+    (upbound_cli_stage_*) at a small per-packet cost.
+    --serve-grace keeps the HTTP endpoint up for N seconds after the
+    replay finishes (SIGINT/SIGTERM ends the grace period early).
 
 EXIT CODES:
     0 success; 1 runtime failure; 2 usage error;
@@ -81,9 +101,14 @@ mod signals {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+    static DUMP_REQUESTED: AtomicBool = AtomicBool::new(false);
 
     extern "C" fn latch(_signum: i32) {
         INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" fn latch_dump(_signum: i32) {
+        DUMP_REQUESTED.store(true, Ordering::SeqCst);
     }
 
     extern "C" {
@@ -92,23 +117,32 @@ mod signals {
 
     pub fn install() {
         const SIGINT: i32 = 2;
+        const SIGUSR1: i32 = 10;
         const SIGPIPE: i32 = 13;
         const SIGTERM: i32 = 15;
         const SIG_DFL: usize = 0;
-        // SAFETY: the handler is async-signal-safe (a single atomic
-        // store) and `latch` has the C ABI `signal` expects. SIGPIPE is
+        // SAFETY: both handlers are async-signal-safe (a single atomic
+        // store each) and have the C ABI `signal` expects. SIGPIPE is
         // reset to the default disposition so piping into a pager that
         // exits early terminates the process quietly (the Unix
         // convention) instead of panicking on the next stdout write.
+        // SIGUSR1 latches a flight-recorder dump request, which the
+        // filter loop services between packets.
         unsafe {
             signal(SIGINT, latch as extern "C" fn(i32) as usize);
             signal(SIGTERM, latch as extern "C" fn(i32) as usize);
+            signal(SIGUSR1, latch_dump as extern "C" fn(i32) as usize);
             signal(SIGPIPE, SIG_DFL);
         }
     }
 
     pub fn interrupted() -> bool {
         INTERRUPTED.load(Ordering::SeqCst)
+    }
+
+    /// Takes (and clears) a pending SIGUSR1 dump request.
+    pub fn dump_requested() -> bool {
+        DUMP_REQUESTED.swap(false, Ordering::SeqCst)
     }
 }
 
@@ -117,6 +151,10 @@ mod signals {
     pub fn install() {}
 
     pub fn interrupted() -> bool {
+        false
+    }
+
+    pub fn dump_requested() -> bool {
         false
     }
 }
@@ -144,6 +182,10 @@ const FILTER_FLAGS: &[&str] = &[
     "on-corrupt",
     "metrics",
     "metrics-interval",
+    "metrics-addr",
+    "flight-dump",
+    "trace-latency",
+    "serve-grace",
 ];
 const PARAMS_FLAGS: &[&str] = &["connections"];
 
@@ -238,6 +280,20 @@ fn main() -> ExitCode {
     if command == "help" || rest.iter().any(|a| a == "--help") {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
+    }
+    // `debug` takes positional operands, not `--` flags.
+    if command == "debug" {
+        return match cmd_debug(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(CliError::Usage(e)) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::from(EXIT_USAGE)
+            }
+            Err(CliError::Runtime(e)) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let args = match Args::parse(rest) {
         Ok(a) => a,
@@ -469,12 +525,17 @@ fn flush_staged<F: PacketFilter + Send>(
     dropped: &mut u64,
     up_kept: &mut u64,
     writer: &mut Option<PcapWriter<BufWriter<File>>>,
+    tracer: Option<&StageTracer>,
 ) -> Result<(), CliError> {
     if staged.is_empty() {
         return Ok(());
     }
     verdicts.clear();
-    filter.process_batch(staged, verdicts);
+    {
+        let _t = tracer.map(|t| t.scope(Stage::Decide));
+        filter.process_batch(staged, verdicts);
+    }
+    let _t = tracer.map(|t| t.scope(Stage::Emit));
     for ((packet, direction), verdict) in staged.drain(..).zip(verdicts.drain(..)) {
         match verdict {
             Verdict::Pass => {
@@ -511,6 +572,28 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
         return Err(usage(format!(
             "--metrics-interval expects a non-negative number of seconds, got {metrics_interval}"
         )));
+    }
+    let metrics_addr = match args.get("metrics-addr") {
+        None if args.has("metrics-addr") => {
+            return Err(usage("--metrics-addr expects <HOST:PORT>"));
+        }
+        other => other.map(str::to_owned),
+    };
+    let flight_dump = match args.get("flight-dump") {
+        None if args.has("flight-dump") => {
+            return Err(usage("--flight-dump requires a file path"));
+        }
+        other => other.map(str::to_owned),
+    };
+    let trace_latency = args.has("trace-latency");
+    let serve_grace: f64 = args.parse_num("serve-grace", 0.0).map_err(usage)?;
+    if serve_grace < 0.0 || !serve_grace.is_finite() {
+        return Err(usage(format!(
+            "--serve-grace expects a non-negative number of seconds, got {serve_grace}"
+        )));
+    }
+    if serve_grace > 0.0 && metrics_addr.is_none() {
+        return Err(usage("--serve-grace requires --metrics-addr <HOST:PORT>"));
     }
     let fail_mode = match args.get("fail-mode") {
         None if args.has("fail-mode") => {
@@ -579,6 +662,39 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
         }
     );
     let registry = Registry::new();
+    registry.build_info(
+        env!("CARGO_PKG_VERSION"),
+        option_env!("UPBOUND_GIT_DESCRIBE"),
+    );
+
+    // The black box rides along on every run (it is just a pair of ring
+    // buffers); only --flight-dump gives it somewhere to land. Dumps
+    // fire on panic, on SIGUSR1, and — fail-open deployments' scariest
+    // moment — when a degraded filter arms.
+    let fail_mode_label = if fail_mode == FailMode::Open {
+        "open"
+    } else {
+        "closed"
+    };
+    let flight = FlightRecorder::default();
+    flight.attach_registry(registry.clone());
+    flight.set_meta("input", in_path);
+    flight.set_meta("shards", &shards.to_string());
+    flight.set_meta("fail_mode", fail_mode_label);
+    flight.set_dump_on_armed(true);
+    if let Some(path) = &flight_dump {
+        flight.set_dump_path(path);
+        let hook_flight = flight.clone();
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = hook_flight.dump_now(DumpTrigger::Panic);
+            previous(info);
+        }));
+    }
+    let health = HealthState::new();
+    health.set_fail_mode(fail_mode_label);
+    let tracer = trace_latency.then(|| StageTracer::new(&registry, "cli"));
+
     // All shards share one uplink monitor (global P_d) and publish into
     // the same registry — `counter()` is get-or-create, so the per-shard
     // observers merge into one set of metrics.
@@ -587,13 +703,27 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
         .map(|_| {
             BitmapFilter::with_observer(
                 config.clone(),
-                TelemetryObserver::with_default_journal(&registry, "core"),
+                TelemetryObserver::with_default_journal(&registry, "core")
+                    .with_flight_recorder(flight.clone()),
             )
             .with_shared_uplink(Arc::clone(&uplink))
         })
         .collect();
     let filter =
         ShardedFilter::from_shards(FlowHash::new(config.hole_punching()), uplink, shard_filters);
+
+    let server = match &metrics_addr {
+        Some(addr) => {
+            let server = MetricsServer::start(addr, registry.clone(), health.clone())
+                .map_err(|e| runtime(format!("--metrics-addr {addr}: {e}")))?;
+            println!(
+                "serving /metrics and /health on http://{}",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
 
     let ingest_metrics = IngestTelemetry::register(&registry);
     let file = File::open(in_path).map_err(|e| runtime(format!("{in_path}: {e}")))?;
@@ -638,7 +768,17 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
     let mut staged_conns: HashSet<FiveTuple> = HashSet::new();
     let mut verdicts: Vec<Verdict> = Vec::with_capacity(batch_size);
 
-    while let Some(p) = reader.read_packet().map_err(|e| runtime(e.to_string()))? {
+    loop {
+        let p = {
+            let _t = tracer.as_ref().map(|t| t.scope(Stage::Ingest));
+            let started = trace_latency.then(std::time::Instant::now);
+            let p = reader.read_packet().map_err(|e| runtime(e.to_string()))?;
+            if let Some(started) = started {
+                ingest_metrics.record_read_latency(started.elapsed());
+            }
+            p
+        };
+        let Some(p) = p else { break };
         if signals::interrupted() {
             flush_staged(
                 &filter,
@@ -650,12 +790,35 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
                 &mut dropped,
                 &mut up_kept,
                 &mut writer,
+                tracer.as_ref(),
             )?;
             outcome = Outcome::Interrupted;
             break;
         }
+        if signals::dump_requested() {
+            flush_staged(
+                &filter,
+                &mut staged,
+                &mut staged_conns,
+                &mut verdicts,
+                block,
+                &mut blocked,
+                &mut dropped,
+                &mut up_kept,
+                &mut writer,
+                tracer.as_ref(),
+            )?;
+            match flight.dump_now(DumpTrigger::Signal) {
+                Ok(Some(path)) => println!("SIGUSR1: wrote flight dump to {}", path.display()),
+                Ok(None) => eprintln!("SIGUSR1 received, but no --flight-dump path configured"),
+                Err(e) => eprintln!("SIGUSR1: flight dump failed: {e}"),
+            }
+        }
         total += 1;
         last_ts = last_ts.max(p.ts());
+        if total % 1024 == 0 {
+            health.set_watermark(last_ts.as_micros());
+        }
         if pending_restore {
             pending_restore = false;
             let path = checkpoint.as_deref().unwrap_or_default();
@@ -687,6 +850,7 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
                     &mut dropped,
                     &mut up_kept,
                     &mut writer,
+                    tracer.as_ref(),
                 )?;
                 let path = checkpoint.as_deref().unwrap_or_default();
                 filter
@@ -710,6 +874,7 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
                     &mut dropped,
                     &mut up_kept,
                     &mut writer,
+                    tracer.as_ref(),
                 )?;
                 let snapshot = registry.snapshot();
                 println!("--- metrics @ t={boundary:.1}s ---");
@@ -744,6 +909,7 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
                 &mut dropped,
                 &mut up_kept,
                 &mut writer,
+                tracer.as_ref(),
             )?;
         }
         if block && (blocked.contains(&tuple) || blocked.contains(&tuple.inverse())) {
@@ -764,6 +930,7 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
                     &mut dropped,
                     &mut up_kept,
                     &mut writer,
+                    tracer.as_ref(),
                 )?;
             }
         }
@@ -778,6 +945,7 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
         &mut dropped,
         &mut up_kept,
         &mut writer,
+        tracer.as_ref(),
     )?;
     if let Some(w) = writer {
         w.finish().map_err(|e| runtime(e.to_string()))?;
@@ -817,7 +985,128 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
     if let Some((path, format)) = &metrics {
         write_metrics(path, format, &registry.snapshot()).map_err(runtime)?;
     }
+
+    health.set_watermark(last_ts.as_micros());
+    // Keep the HTTP endpoint up through the grace window so scrapers
+    // (and the CI smoke test) can read the final state of a short
+    // replay; a signal ends the wait early.
+    if let Some(server) = server {
+        if serve_grace > 0.0 && outcome == Outcome::Done {
+            let deadline = std::time::Instant::now() + Duration::from_secs_f64(serve_grace);
+            while std::time::Instant::now() < deadline {
+                if signals::interrupted() {
+                    outcome = Outcome::Interrupted;
+                    break;
+                }
+                if signals::dump_requested() {
+                    match flight.dump_now(DumpTrigger::Signal) {
+                        Ok(Some(path)) => {
+                            println!("SIGUSR1: wrote flight dump to {}", path.display())
+                        }
+                        Ok(None) => {
+                            eprintln!("SIGUSR1 received, but no --flight-dump path configured")
+                        }
+                        Err(e) => eprintln!("SIGUSR1: flight dump failed: {e}"),
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        server.shutdown();
+    }
+    if flight.dumps_written() > 0 {
+        if let Some(path) = &flight_dump {
+            println!(
+                "flight recorder wrote {} dump(s) to {path}",
+                flight.dumps_written()
+            );
+        }
+    }
     Ok(outcome)
+}
+
+/// `upbound debug <read-dump|parse-metrics> <FILE>` — operator tooling
+/// over the observability artifacts.
+fn cmd_debug(rest: &[String]) -> Result<(), CliError> {
+    let (sub, path) = match rest {
+        [sub, path] => (sub.as_str(), path.as_str()),
+        _ => {
+            return Err(usage(
+                "debug expects `read-dump <FILE>` or `parse-metrics <FILE>`",
+            ))
+        }
+    };
+    if !matches!(sub, "read-dump" | "parse-metrics") {
+        return Err(usage(format!(
+            "unknown debug subcommand {sub:?} (expected read-dump or parse-metrics)"
+        )));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| runtime(format!("{path}: {e}")))?;
+    match sub {
+        "read-dump" => {
+            let dump = FlightRecorder::parse(&text)
+                .map_err(|e| runtime(format!("{path}: invalid dump: {e}")))?;
+            println!("flight-recorder dump: {path}");
+            println!("trigger: {}", dump.trigger.label());
+            if !dump.meta.is_empty() {
+                println!("\nmetadata:");
+                for (k, v) in &dump.meta {
+                    println!("  {k} = {v}");
+                }
+            }
+            if !dump.shards.is_empty() {
+                println!("\nshards:");
+                for s in &dump.shards {
+                    println!(
+                        "  shard {:<3} {} panics={} restarts={}",
+                        s.shard,
+                        if s.quarantined {
+                            "QUARANTINED"
+                        } else {
+                            "healthy"
+                        },
+                        s.panics,
+                        s.restarts
+                    );
+                }
+            }
+            println!(
+                "\nevents: {} retained of {} recorded ({} overwritten)",
+                dump.events.len(),
+                dump.events_total,
+                dump.events_total - dump.events.len() as u64
+            );
+            for e in &dump.events {
+                println!("  {e}");
+            }
+            println!(
+                "\ndrop forensics: {} retained of {} recorded",
+                dump.forensics.len(),
+                dump.forensics_total
+            );
+            for f in &dump.forensics {
+                println!("  {}", f.describe());
+            }
+            match &dump.metrics {
+                Some(snapshot) => {
+                    println!("\nmetrics at dump time:");
+                    print!("{}", export::human::render(snapshot, None));
+                }
+                None => println!("\n(no metrics snapshot embedded)"),
+            }
+            Ok(())
+        }
+        "parse-metrics" => {
+            let snapshot = export::prometheus::parse(&text)
+                .map_err(|e| runtime(format!("{path}: invalid Prometheus exposition: {e}")))?;
+            println!(
+                "{path}: valid Prometheus exposition ({} metric(s))",
+                snapshot.samples.len()
+            );
+            Ok(())
+        }
+        _ => unreachable!("subcommand validated above"),
+    }
 }
 
 fn cmd_params(args: &Args) -> Result<Outcome, CliError> {
