@@ -1,0 +1,227 @@
+//! Subscriber-table scaling benchmark.
+//!
+//! The multi-tenant engine promises two things as the provisioned
+//! subscriber count grows: dispatch cost that stays flat (the LPM trie
+//! walk is bounded by prefix length, not tenant count) and resident
+//! memory proportional to the *active* tenant set (dormant tenants hold
+//! no bit vectors). This bench measures both across 10 / 100 / 1 000 /
+//! 10 000 provisioned tenants with ~5% of them active, plus the full
+//! vs. delta checkpoint sizes at each scale (~1% of tenants dirtied
+//! between checkpoints).
+//!
+//! Results are printed as a table and written to
+//! `BENCH_subscriber_scaling.json` for the CI artifact.
+
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::time::Instant;
+
+use upbound_bench::{is_quick, write_metrics_artifact, TextTable};
+use upbound_core::{BitmapFilterConfig, Snapshottable, SubscriberTable};
+use upbound_net::{Cidr, Direction, FiveTuple, Packet, Protocol, TcpFlags, Timestamp};
+use upbound_telemetry::Registry;
+
+/// One measured scale.
+struct Sample {
+    provisioned: usize,
+    active: usize,
+    secs: f64,
+    pkts_per_sec: f64,
+    resident_bytes: usize,
+    full_snapshot_bytes: usize,
+    delta_snapshot_bytes: usize,
+    delta_tenants: usize,
+}
+
+fn tenant_config() -> BitmapFilterConfig {
+    // {4 × 2^12} per tenant = 2 KiB resident when active.
+    BitmapFilterConfig::builder()
+        .vector_bits(12)
+        .vectors(4)
+        .hash_functions(3)
+        .rotate_every_secs(5.0)
+        .rng_seed(2007)
+        .build()
+        .expect("static config is valid")
+}
+
+/// Tenant `i` owns `10.(i >> 8).(i & 255).0/24`.
+fn tenant_prefix(i: usize) -> Cidr {
+    Cidr::new(Ipv4Addr::new(10, (i >> 8) as u8, (i & 255) as u8, 0), 24)
+        .expect("/24 is a valid prefix length")
+}
+
+fn provision(n: usize) -> SubscriberTable {
+    let mut table = SubscriberTable::new();
+    for i in 0..n {
+        table
+            .add_subscriber(tenant_prefix(i), tenant_config())
+            .expect("prefixes are distinct");
+    }
+    table
+}
+
+/// A deterministic workload of `pkts` packets spread round-robin over
+/// the first `active` tenants, alternating outbound uploads and inbound
+/// probes, pre-labeled with the direction the classifier assigns.
+fn build_workload(table: &SubscriberTable, active: usize, pkts: usize) -> Vec<(Packet, Direction)> {
+    let classifier = table.classifier();
+    (0..pkts)
+        .map(|j| {
+            let t = j % active;
+            let inside = SocketAddrV4::new(
+                Ipv4Addr::new(10, (t >> 8) as u8, (t & 255) as u8, 1 + (j % 200) as u8),
+                10_000 + (j % 5_000) as u16,
+            );
+            let remote = SocketAddrV4::new(
+                Ipv4Addr::new(203, 0, (j % 113) as u8, 1 + (j % 251) as u8),
+                6_881,
+            );
+            let tuple = if j % 2 == 0 {
+                FiveTuple::new(Protocol::Tcp, inside, remote)
+            } else {
+                FiveTuple::new(Protocol::Tcp, remote, inside)
+            };
+            let packet = Packet::tcp(
+                Timestamp::from_secs(j as f64 * 1e-4),
+                tuple,
+                TcpFlags::ACK,
+                &[][..],
+            );
+            let direction = classifier.direction_of(&packet);
+            (packet, direction)
+        })
+        .collect()
+}
+
+fn run_once(table: &mut SubscriberTable, workload: &[(Packet, Direction)]) -> f64 {
+    let mut verdicts = Vec::with_capacity(256);
+    let start = Instant::now();
+    for batch in workload.chunks(256) {
+        table.process_batch(batch, &mut verdicts);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let pkts = if is_quick() { 40_000 } else { 400_000 };
+    let iterations = if is_quick() { 2 } else { 3 };
+    let scales = [10usize, 100, 1_000, 10_000];
+
+    println!(
+        "Subscriber scaling: {} packets per scale, ~5% of tenants active, best of {}",
+        pkts, iterations
+    );
+    println!();
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for provisioned in scales {
+        let active = (provisioned / 20).max(1);
+        let workload = build_workload(&provision(provisioned), active, pkts);
+
+        let mut best_secs = f64::INFINITY;
+        let mut table = provision(provisioned);
+        for _ in 0..iterations {
+            // Rebuild per iteration so every run starts from dormant
+            // tenants and pays the same activation cost.
+            table = provision(provisioned);
+            best_secs = best_secs.min(run_once(&mut table, &workload));
+        }
+        let resident_bytes = table.memory_bytes();
+
+        // Checkpoint sizes: a full snapshot (marks every tenant clean),
+        // then ~1% of tenants touched before the delta.
+        let watermark = Timestamp::from_secs(pkts as f64 * 1e-4);
+        let full = table.snapshot_bytes(watermark).len();
+        let dirtied = (provisioned / 100).max(1).min(active);
+        let touch = build_workload(&table, dirtied, 2 * dirtied);
+        let mut verdicts = Vec::new();
+        table.process_batch(&touch, &mut verdicts);
+        let delta = table.delta_bytes(watermark).len();
+        let delta_tenants = table.last_checkpoint_tenants();
+
+        samples.push(Sample {
+            provisioned,
+            active,
+            secs: best_secs,
+            pkts_per_sec: pkts as f64 / best_secs,
+            resident_bytes,
+            full_snapshot_bytes: full,
+            delta_snapshot_bytes: delta,
+            delta_tenants,
+        });
+    }
+
+    let baseline = samples[0].pkts_per_sec;
+    let mut text = TextTable::new([
+        "provisioned",
+        "active",
+        "pkts/sec",
+        "cost vs 10",
+        "resident",
+        "full ckpt",
+        "delta ckpt",
+    ]);
+    for s in &samples {
+        text.row([
+            s.provisioned.to_string(),
+            s.active.to_string(),
+            format!("{:.0}", s.pkts_per_sec),
+            format!("{:.2}x", baseline / s.pkts_per_sec),
+            format!("{} KiB", s.resident_bytes / 1024),
+            format!("{} B", s.full_snapshot_bytes),
+            format!("{} B ({} tenants)", s.delta_snapshot_bytes, s.delta_tenants),
+        ]);
+    }
+    print!("{}", text.render());
+
+    let results = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"provisioned\": {}, \"active\": {}, \"secs\": {:.6}, \
+                 \"pkts_per_sec\": {:.1}, \"cost_vs_baseline\": {:.4}, \
+                 \"resident_bytes\": {}, \"full_snapshot_bytes\": {}, \
+                 \"delta_snapshot_bytes\": {}, \"delta_tenants\": {}}}",
+                s.provisioned,
+                s.active,
+                s.secs,
+                s.pkts_per_sec,
+                baseline / s.pkts_per_sec,
+                s.resident_bytes,
+                s.full_snapshot_bytes,
+                s.delta_snapshot_bytes,
+                s.delta_tenants
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"subscriber_scaling\",\n  \"packets\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        pkts, results
+    );
+    std::fs::write("BENCH_subscriber_scaling.json", json)
+        .expect("write BENCH_subscriber_scaling.json");
+    println!("\nwrote BENCH_subscriber_scaling.json");
+
+    let registry = Registry::new();
+    registry.build_info(
+        env!("CARGO_PKG_VERSION"),
+        option_env!("UPBOUND_GIT_DESCRIBE"),
+    );
+    for s in &samples {
+        registry
+            .gauge(
+                &format!("upbound_bench_subscribers_{}_pkts_per_sec", s.provisioned),
+                "Subscriber-scaling throughput at this provisioned count",
+            )
+            .set(s.pkts_per_sec);
+        registry
+            .gauge(
+                &format!("upbound_bench_subscribers_{}_resident_bytes", s.provisioned),
+                "Resident tenant filter memory at this provisioned count",
+            )
+            .set(s.resident_bytes as f64);
+    }
+    let artifact = write_metrics_artifact("subscriber_scaling", &registry);
+    println!("wrote {artifact}");
+}

@@ -122,6 +122,37 @@ impl BitmapFilter {
     pub fn new(config: BitmapFilterConfig) -> Self {
         BitmapFilter::with_observer(config, NoopObserver)
     }
+
+    /// Creates a *parked* filter: engine, monitor and statistics are all
+    /// live, but the bitmap has no bit storage yet. Used by
+    /// [`SubscriberTable`](crate::SubscriberTable), whose arena attaches
+    /// zeroed word buffers via [`unpark_storage`](Self::unpark_storage)
+    /// on the tenant's first packet. Until then the filter must not
+    /// decide packets; rotation ([`advance`](Self::advance)) is safe (a
+    /// parked vector clears as a no-op).
+    pub(crate) fn new_parked(config: BitmapFilterConfig) -> Self {
+        let bitmap = Bitmap::new_parked(
+            config.vectors(),
+            config.vector_bits(),
+            config.hash_functions(),
+        );
+        let engine = FilterEngine::new(
+            config.rotate_every(),
+            config.uplink_monitor(),
+            config.drop_policy(),
+            config.rng_seed(),
+            NoopObserver,
+        );
+        Self {
+            bitmap,
+            engine,
+            config,
+            stats: FilterStats::default(),
+            arm_at: None,
+            arm_notified: false,
+            warm_until: None,
+        }
+    }
 }
 
 impl<O: FilterObserver> BitmapFilter<O> {
@@ -366,6 +397,29 @@ impl<O: FilterObserver> BitmapFilter<O> {
         self.engine.drop_policy()
     }
 
+    /// Detaches and returns the bitmap's word buffers, leaving the
+    /// filter parked (engine, monitor and statistics stay live; rotation
+    /// remains safe). The buffers are returned as-is — the arena zeroes
+    /// them before reuse.
+    pub(crate) fn park_storage(&mut self) -> Vec<Vec<u64>> {
+        self.bitmap.park()
+    }
+
+    /// Re-attaches **zeroed** word buffers to a parked filter's bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter is not parked or the buffer geometry does not
+    /// match the configuration.
+    pub(crate) fn unpark_storage(&mut self, buffers: Vec<Vec<u64>>) {
+        self.bitmap.unpark(buffers);
+    }
+
+    /// `true` when the bitmap currently has no bit storage.
+    pub(crate) fn is_parked(&self) -> bool {
+        self.bitmap.is_parked()
+    }
+
     /// Clears bitmap, monitor, statistics, and timer phase.
     ///
     /// With a [shared uplink](Self::with_shared_uplink) this also clears
@@ -461,10 +515,20 @@ impl<O: FilterObserver> Snapshottable for BitmapFilter<O> {
         let idx = r.u32()? as usize;
         let rotations = r.u64()?;
         let k = self.config.vectors();
+        let expected_words = self.bitmap.vector_len().div_ceil(64);
         let mut vectors = Vec::with_capacity(if mode == RestoreMode::Full { k } else { 0 });
+        let mut parked_vectors = 0usize;
         for _ in 0..k {
             let word_count = r.u64()? as usize;
-            if word_count != self.bitmap.vector_len().div_ceil(64) {
+            if word_count == 0 {
+                // A parked filter (storage evicted to a
+                // [`SubscriberTable`](crate::SubscriberTable) arena)
+                // snapshots without words; its bits are semantically
+                // all-zero.
+                parked_vectors += 1;
+                continue;
+            }
+            if word_count != expected_words {
                 return Err(SnapshotError::Malformed("bit-vector word count"));
             }
             if mode == RestoreMode::Full {
@@ -484,8 +548,21 @@ impl<O: FilterObserver> Snapshottable for BitmapFilter<O> {
                 }
             }
         }
-        if mode == RestoreMode::Full && !self.bitmap.restore_fields(vectors, idx, rotations) {
-            return Err(SnapshotError::Malformed("bitmap geometry"));
+        if parked_vectors != 0 && parked_vectors != k {
+            return Err(SnapshotError::Malformed("mixed parked bit vectors"));
+        }
+        if mode == RestoreMode::Full {
+            if parked_vectors == k {
+                // All bits were zero: clear whatever storage this filter
+                // has (a no-op when it is itself parked) and adopt the
+                // snapshot's rotation clock.
+                self.bitmap.reset();
+                if !self.bitmap.set_clock(idx, rotations) {
+                    return Err(SnapshotError::Malformed("bitmap geometry"));
+                }
+            } else if !self.bitmap.restore_fields(vectors, idx, rotations) {
+                return Err(SnapshotError::Malformed("bitmap geometry"));
+            }
         }
         self.stats = FilterStats {
             outbound_packets: r.u64()?,

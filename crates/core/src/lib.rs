@@ -77,6 +77,7 @@ mod pfilter;
 mod red;
 mod sharded;
 pub mod snapshot;
+mod subscriber;
 mod throughput;
 
 pub use amortized::{AmortizedBitmap, DEFAULT_CLEAR_CHUNK_WORDS};
@@ -87,6 +88,7 @@ pub use config::{BitmapFilterConfig, BitmapFilterConfigBuilder, ConfigError, Fai
 pub use engine::FilterEngine;
 pub use filter::{BitmapFilter, FilterStats, Verdict};
 pub use hash::HashFamily;
+#[allow(deprecated)]
 pub use multi::MultiNetworkFilter;
 pub use observe::{
     FilterObserver, InboundDecision, NoopObserver, RotationEvent, TelemetryObserver,
@@ -96,6 +98,10 @@ pub use red::DropPolicy;
 pub use sharded::{FlowHash, ShardIndexError, ShardedFilter, ShardedFilterBuilder};
 pub use snapshot::{
     ByteReader, ByteWriter, RestoreMode, RestoreOutcome, SnapshotError, Snapshottable,
+};
+pub use subscriber::{
+    LpmTrie, SubscriberClassifier, SubscriberError, SubscriberState, SubscriberTable,
+    SubscriberTelemetry, SUBSCRIBER_DELTA_KIND,
 };
 pub use throughput::ThroughputMonitor;
 

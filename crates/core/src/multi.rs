@@ -3,29 +3,32 @@
 //!
 //! The paper's Figure 6 shows bitmap filters installed either on edge
 //! routers (one client network each) or on core routers that aggregate
-//! "two or more client networks". [`MultiNetworkFilter`] is that core
-//! deployment: it classifies each packet to the client network it
-//! belongs to and drives that network's own [`PacketFilter`] — so each
-//! network gets its own throughput policy and its own filter state, and
-//! traffic *between* two monitored networks is treated as outbound from
-//! its source network (never dropped, matching the positive-listing
-//! intent).
+//! "two or more client networks". [`MultiNetworkFilter`] was that core
+//! deployment; it is now a thin **deprecated** shim over
+//! [`SubscriberTable`](crate::SubscriberTable), which adds
+//! longest-prefix-match dispatch (no more registration-order matching),
+//! lazy activation with arena-backed eviction, per-tenant telemetry and
+//! incremental checkpoints. New code should use `SubscriberTable`
+//! directly.
 
-use crate::pfilter::{MergeStats, PacketFilter};
+use crate::pfilter::PacketFilter;
+use crate::subscriber::SubscriberTable;
 use crate::{BitmapFilter, BitmapFilterConfig, Verdict};
-use upbound_net::{Cidr, Direction, Packet, Timestamp};
+use upbound_net::{Cidr, Packet, Timestamp};
 
 /// A bank of per-client-network filters for an aggregation point.
 ///
-/// Generic over any [`PacketFilter`]; defaults to the bitmap filter.
-/// Use [`add_network`](Self::add_network) for the common bitmap case or
-/// [`add_network_filter`](Self::add_network_filter) to install any
-/// pre-built filter (an SPI baseline, a
-/// [`ShardedFilter`](crate::ShardedFilter), …).
+/// Deprecated shim: all behavior is delegated to a
+/// [`SubscriberTable`](crate::SubscriberTable) with eagerly installed
+/// filters. Prefix matching is longest-prefix-match, so overlapping
+/// networks resolve to the most specific prefix regardless of
+/// registration order (the old linear scan required registering
+/// more-specific prefixes first).
 ///
 /// # Examples
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use upbound_core::{MultiNetworkFilter, BitmapFilterConfig, Verdict};
 /// use upbound_net::{FiveTuple, Packet, Protocol, TcpFlags, Timestamp};
 ///
@@ -48,29 +51,39 @@ use upbound_net::{Cidr, Direction, Packet, Timestamp};
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
+#[deprecated(
+    since = "0.7.0",
+    note = "use `SubscriberTable`, which adds LPM dispatch, lazy activation and incremental checkpoints"
+)]
 pub struct MultiNetworkFilter<F: PacketFilter = BitmapFilter> {
-    networks: Vec<(Cidr, F)>,
+    table: SubscriberTable<F>,
 }
 
+#[allow(deprecated)]
 impl<F: PacketFilter> Default for MultiNetworkFilter<F> {
     fn default() -> Self {
         Self {
-            networks: Vec::new(),
+            table: SubscriberTable::with_filters(),
         }
     }
 }
 
+#[allow(deprecated)]
 impl MultiNetworkFilter<BitmapFilter> {
     /// Registers a client network with its own bitmap-filter
-    /// configuration.
+    /// configuration. The filter is built eagerly, preserving the
+    /// historical semantics of this type (memory O(provisioned); use
+    /// [`SubscriberTable::add_subscriber`] for lazy activation).
     ///
-    /// Networks are matched in registration order; register more-specific
-    /// prefixes first if they overlap.
+    /// # Panics
+    ///
+    /// Panics if the exact prefix is already registered.
     pub fn add_network(&mut self, network: Cidr, config: BitmapFilterConfig) -> &mut Self {
         self.add_network_filter(network, BitmapFilter::new(config))
     }
 }
 
+#[allow(deprecated)]
 impl<F: PacketFilter> MultiNetworkFilter<F> {
     /// Creates an empty bank.
     pub fn new() -> Self {
@@ -79,85 +92,65 @@ impl<F: PacketFilter> MultiNetworkFilter<F> {
 
     /// Registers a client network served by a pre-built filter.
     ///
-    /// Networks are matched in registration order; register more-specific
-    /// prefixes first if they overlap.
+    /// Overlapping prefixes resolve by longest prefix match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exact prefix is already registered.
     pub fn add_network_filter(&mut self, network: Cidr, filter: F) -> &mut Self {
-        self.networks.push((network, filter));
+        if let Err(e) = self.table.add_subscriber_filter(network, filter) {
+            panic!("cannot register network: {e}");
+        }
         self
     }
 
     /// Number of registered networks.
     pub fn len(&self) -> usize {
-        self.networks.len()
+        self.table.len()
     }
 
     /// `true` when no networks are registered.
     pub fn is_empty(&self) -> bool {
-        self.networks.is_empty()
+        self.table.is_empty()
     }
 
-    /// The network a source/destination address belongs to, if any.
-    fn network_of(&self, addr: std::net::Ipv4Addr) -> Option<usize> {
-        self.networks.iter().position(|(net, _)| net.contains(addr))
-    }
-
-    /// Processes one packet at the aggregation point.
-    ///
-    /// * Source inside a monitored network → outbound for that network:
-    ///   mark + measure, always pass (even if the destination is another
-    ///   monitored network — inter-network traffic is client-initiated
-    ///   from somewhere).
-    /// * Otherwise, destination inside a monitored network → inbound for
-    ///   that network: look up + RED-drop.
-    /// * Transit traffic touching no monitored network passes untouched.
+    /// Processes one packet at the aggregation point (see
+    /// [`SubscriberTable::process_packet`] for the classification
+    /// rules: outbound from a monitored source always passes, inbound
+    /// to a monitored destination is checked, transit passes).
     pub fn process_packet(&mut self, packet: &Packet) -> Verdict {
-        let tuple = packet.tuple();
-        if let Some(i) = self.network_of(*tuple.src().ip()) {
-            let verdict = self.networks[i].1.decide(packet, Direction::Outbound);
-            // If the destination is also monitored, let its filter learn
-            // nothing (the packet is inbound there) but never drop
-            // intra-ISP traffic that a client initiated.
-            debug_assert_eq!(verdict, Verdict::Pass);
-            return verdict;
-        }
-        if let Some(i) = self.network_of(*tuple.dst().ip()) {
-            return self.networks[i].1.decide(packet, Direction::Inbound);
-        }
-        Verdict::Pass // transit
+        self.table.process_packet(packet)
     }
 
     /// Applies due timer events on every member filter.
     pub fn advance(&mut self, now: Timestamp) {
-        for (_, filter) in &mut self.networks {
-            filter.advance(now);
-        }
+        self.table.advance(now);
     }
 
     /// Per-network statistics, in registration order.
     pub fn stats(&self) -> Vec<(Cidr, F::Stats)> {
-        self.networks
-            .iter()
-            .map(|(net, f)| (*net, f.stats()))
-            .collect()
+        self.table.per_subscriber_stats()
     }
 
     /// All member statistics folded into one aggregate (see
-    /// [`MergeStats::merge`] for the fold semantics).
+    /// [`crate::MergeStats::merge`] for the fold semantics).
     pub fn merged_stats(&self) -> F::Stats {
-        let mut merged = F::Stats::default();
-        for (_, f) in &self.networks {
-            merged.merge(&f.stats());
-        }
-        merged
+        self.table.merged_stats()
     }
 
     /// Total filter memory across all networks.
     pub fn memory_bytes(&self) -> usize {
-        self.networks.iter().map(|(_, f)| f.memory_bytes()).sum()
+        self.table.memory_bytes()
+    }
+
+    /// The underlying subscriber table, for migration.
+    pub fn as_subscriber_table(&self) -> &SubscriberTable<F> {
+        &self.table
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use upbound_net::{FiveTuple, Protocol, TcpFlags};
@@ -225,6 +218,7 @@ mod tests {
 
     #[test]
     fn stats_and_memory_aggregate() {
+        let config = BitmapFilterConfig::paper_evaluation();
         let mut bank = bank();
         bank.process_packet(&pkt("10.1.0.5:4000", "198.51.100.9:80", 1.0));
         bank.process_packet(&pkt("198.51.100.9:80", "10.2.0.5:4000", 1.0));
@@ -232,7 +226,9 @@ mod tests {
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].1.outbound_packets, 1);
         assert_eq!(stats[1].1.inbound_packets, 1);
-        assert_eq!(bank.memory_bytes(), 2 * 512 * 1024);
+        // Both members are eagerly resident; expected size derives from
+        // the configuration they were built with.
+        assert_eq!(bank.memory_bytes(), 2 * config.memory_bytes());
         assert_eq!(bank.len(), 2);
         assert!(!bank.is_empty());
         // The fold view agrees with the per-network view.
@@ -257,6 +253,39 @@ mod tests {
         assert_eq!(
             bank.process_packet(&pkt("1.2.3.4:1", "5.6.7.8:2", 0.0)),
             Verdict::Pass
+        );
+    }
+
+    #[test]
+    fn overlapping_prefixes_resolve_to_most_specific() {
+        // Registration order no longer matters: the /24 wins over the
+        // /16 even though it is registered second.
+        let mut bank = MultiNetworkFilter::new();
+        bank.add_network(
+            "10.1.0.0/16".parse().unwrap(),
+            BitmapFilterConfig::paper_evaluation(),
+        );
+        bank.add_network(
+            "10.1.7.0/24".parse().unwrap(),
+            BitmapFilterConfig::paper_evaluation(),
+        );
+        bank.process_packet(&pkt("10.1.7.5:4000", "198.51.100.9:80", 1.0));
+        let stats = bank.stats();
+        assert_eq!(stats[0].1.outbound_packets, 0);
+        assert_eq!(stats[1].1.outbound_packets, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_prefix_panics() {
+        let mut bank = MultiNetworkFilter::new();
+        bank.add_network(
+            "10.1.0.0/16".parse().unwrap(),
+            BitmapFilterConfig::paper_evaluation(),
+        );
+        bank.add_network(
+            "10.1.0.0/16".parse().unwrap(),
+            BitmapFilterConfig::paper_evaluation(),
         );
     }
 

@@ -177,21 +177,6 @@ impl ShardedFilter<BitmapFilter> {
     pub fn builder(config: BitmapFilterConfig) -> ShardedFilterBuilder {
         ShardedFilterBuilder { config, shards: 1 }
     }
-
-    /// Creates `shards` bitmap-filter shards from one configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shards == 0`. Use
-    /// [`builder`](Self::builder) instead, which reports the violation
-    /// as a [`ConfigError`] rather than panicking.
-    #[deprecated(note = "use `ShardedFilter::builder(config).shards(n).build()`")]
-    pub fn new(config: BitmapFilterConfig, shards: usize) -> Self {
-        match Self::builder(config).shards(shards).build() {
-            Ok(filter) => filter,
-            Err(err) => panic!("{err}"),
-        }
-    }
 }
 
 /// Builder for a bitmap-filter [`ShardedFilter`]; validates the shard
@@ -865,13 +850,6 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, crate::ConfigError::ZeroShards);
         assert!(err.to_string().contains("shard"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_still_builds() {
-        let f = ShardedFilter::new(BitmapFilterConfig::paper_evaluation(), 2);
-        assert_eq!(f.shards(), 2);
     }
 
     #[test]

@@ -61,10 +61,10 @@ pub mod sweep;
 pub use compare::{compare, ComparisonResult};
 pub use oracle::OracleFilter;
 pub use pipeline::{
-    run_pipeline, run_pipeline_instrumented, run_sharded_pipeline, run_supervised_pipeline,
-    run_supervised_pipeline_observed, run_supervised_pipeline_with, PipelineConfig,
-    PipelineObservability, PipelineResult, PipelineTelemetry, ShardIncident, SupervisedResult,
-    SupervisorReport, SupervisorTelemetry,
+    run_pipeline, run_pipeline_instrumented, run_sharded_pipeline, run_subscriber_pipeline,
+    run_supervised_pipeline, run_supervised_pipeline_observed, run_supervised_pipeline_with,
+    PipelineConfig, PipelineObservability, PipelineResult, PipelineTelemetry, ShardIncident,
+    SupervisedResult, SupervisorReport, SupervisorTelemetry,
 };
 pub use replay::{ReplayConfig, ReplayEngine, ReplayResult};
 pub use upbound_core::{MergeStats, PacketFilter};

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
 use std::collections::HashSet;
 use std::path::Path;
-use upbound_core::{snapshot, SnapshotError, Snapshottable, Verdict};
+use upbound_core::{snapshot, SnapshotError, Snapshottable, SubscriberTable, Verdict};
 use upbound_net::pcap::{IngestStats, PcapReader};
 use upbound_net::{Cidr, Direction, FiveTuple, NetError, Packet, TimeDelta, Timestamp};
 use upbound_stats::BinnedSeries;
@@ -208,6 +208,31 @@ impl ReplayEngine {
         snapshot::write_atomic(path, &filter.snapshot_bytes(watermark))?;
         written += 1;
         Ok((result, written))
+    }
+
+    /// Replays `trace` through a multi-tenant [`SubscriberTable`].
+    ///
+    /// The trace's own direction labels are ignored: each packet's
+    /// accounting direction comes from the table's classifier (source
+    /// inside any subscriber network → outbound, everything else →
+    /// inbound), and batches flow through the table's subscriber-grouped
+    /// dispatch, so one replay measures every provisioned tenant at
+    /// once. Per-tenant results remain available from the table
+    /// afterwards via
+    /// [`per_subscriber_stats`](SubscriberTable::per_subscriber_stats).
+    pub fn run_subscribers<F: PacketFilter>(
+        &self,
+        trace: &SyntheticTrace,
+        table: &mut SubscriberTable<F>,
+    ) -> ReplayResult {
+        let classifier = table.classifier();
+        self.run_iter(
+            table,
+            trace
+                .packets
+                .iter()
+                .map(move |lp| (&lp.packet, classifier.direction_of(&lp.packet))),
+        )
     }
 
     /// Replays the remaining records of a pcap `reader` through `filter`,
@@ -613,6 +638,41 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn subscriber_replay_matches_single_filter_when_one_tenant_owns_the_net() {
+        // With exactly one subscriber owning the trace's client network,
+        // the table's verdict stream is the standalone filter's.
+        let trace = trace(12);
+        let engine = ReplayEngine::new(ReplayConfig::default());
+        let expected = engine.run(&trace, &mut bitmap());
+
+        let mut table = SubscriberTable::new();
+        table
+            .add_subscriber(
+                "10.0.0.0/16".parse().unwrap(),
+                BitmapFilterConfig::paper_evaluation(),
+            )
+            .unwrap();
+        let result = engine.run_subscribers(&trace, &mut table);
+        assert_eq!(
+            result,
+            ReplayResult {
+                filter_name: "subscribers".to_owned(),
+                ..expected
+            }
+        );
+        assert_eq!(
+            table.per_subscriber_stats()[0].1,
+            bitmap_reference_stats(&trace)
+        );
+    }
+
+    fn bitmap_reference_stats(trace: &SyntheticTrace) -> upbound_core::FilterStats {
+        let mut filter = bitmap();
+        ReplayEngine::new(ReplayConfig::default()).run(trace, &mut filter);
+        filter.stats()
     }
 
     #[test]

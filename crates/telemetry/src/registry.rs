@@ -116,21 +116,36 @@ impl Registry {
         Registry::default()
     }
 
-    fn register<T, F: FnOnce() -> Instrument>(
+    fn register_labeled<T, F: FnOnce() -> Instrument>(
         &self,
         name: &str,
         help: &str,
+        labels: &[(&str, &str)],
         matching: impl Fn(&Instrument) -> Option<Arc<T>>,
         make: F,
     ) -> Arc<T> {
         assert_valid_name(name);
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(entry) = entries.iter().find(|e| e.name == name) {
+        if let Some(entry) = entries.iter().find(|e| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|((ek, ev), (k, v))| ek == k && ev == v)
+        }) {
             return matching(&entry.instrument).unwrap_or_else(|| {
                 panic!("metric {name:?} already registered with a different type")
             });
         }
+        // A metric name must keep one kind across all of its label sets
+        // (Prometheus requires one TYPE per family).
         let instrument = make();
+        if let Some(clashing) = entries.iter().find(|e| e.name == name) {
+            if std::mem::discriminant(&clashing.instrument) != std::mem::discriminant(&instrument) {
+                panic!("metric {name:?} already registered with a different type");
+            }
+        }
         let handle = match matching(&instrument) {
             Some(handle) => handle,
             None => unreachable!("a freshly built instrument matches its own kind"),
@@ -138,10 +153,23 @@ impl Registry {
         entries.push(Entry {
             name: name.to_string(),
             help: help.to_string(),
-            labels: Vec::new(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
             instrument,
         });
         handle
+    }
+
+    fn register<T, F: FnOnce() -> Instrument>(
+        &self,
+        name: &str,
+        help: &str,
+        matching: impl Fn(&Instrument) -> Option<Arc<T>>,
+        make: F,
+    ) -> Arc<T> {
+        self.register_labeled(name, help, &[], matching, make)
     }
 
     /// Registers (or retrieves) a counter.
@@ -199,28 +227,37 @@ impl Registry {
     }
 
     /// Registers (or retrieves) a gauge carrying a constant label set.
-    /// Keyed by name only — re-registering the same name returns the
-    /// original handle and keeps the original labels.
+    /// Keyed by `(name, labels)` — the same name with different label
+    /// values yields distinct series (e.g. one per subscriber), while
+    /// re-registering an identical `(name, labels)` pair returns the
+    /// original handle.
     pub fn labeled_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
-        assert_valid_name(name);
-        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(entry) = entries.iter().find(|e| e.name == name) {
-            return match &entry.instrument {
-                Instrument::Gauge(g) => Arc::clone(g),
-                _ => panic!("metric {name:?} already registered with a different type"),
-            };
-        }
-        let gauge = Arc::new(Gauge::new());
-        entries.push(Entry {
-            name: name.to_string(),
-            help: help.to_string(),
-            labels: labels
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.to_string()))
-                .collect(),
-            instrument: Instrument::Gauge(Arc::clone(&gauge)),
-        });
-        gauge
+        self.register_labeled(
+            name,
+            help,
+            labels,
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || Instrument::Gauge(Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Registers (or retrieves) a counter carrying a constant label
+    /// set, keyed by `(name, labels)` like
+    /// [`labeled_gauge`](Self::labeled_gauge).
+    pub fn labeled_counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.register_labeled(
+            name,
+            help,
+            labels,
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || Instrument::Counter(Arc::new(Counter::new())),
+        )
     }
 
     /// Registers the standard `upbound_build_info` gauge (constant 1,
@@ -258,7 +295,7 @@ impl Registry {
                 },
             })
             .collect();
-        samples.sort_by(|a, b| a.name.cmp(&b.name));
+        samples.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
         Snapshot { samples }
     }
 }
@@ -320,6 +357,37 @@ mod tests {
     #[should_panic(expected = "snake_case")]
     fn bad_name_panics() {
         Registry::new().counter("Upbound-Bad", "x");
+    }
+
+    #[test]
+    fn labeled_series_are_keyed_by_name_and_labels() {
+        let registry = Registry::new();
+        let a = registry.labeled_counter("upbound_test_tenant_total", "t", &[("subscriber", "a")]);
+        let b = registry.labeled_counter("upbound_test_tenant_total", "t", &[("subscriber", "b")]);
+        let a_again =
+            registry.labeled_counter("upbound_test_tenant_total", "t", &[("subscriber", "a")]);
+        a.inc();
+        a_again.inc();
+        b.add(5);
+        let snap = registry.snapshot();
+        let series: Vec<_> = snap
+            .samples
+            .iter()
+            .filter(|s| s.name == "upbound_test_tenant_total")
+            .collect();
+        assert_eq!(series.len(), 2, "one sample per label set");
+        assert_eq!(series[0].labels[0].1, "a");
+        assert_eq!(series[0].value, MetricValue::Counter(2));
+        assert_eq!(series[1].labels[0].1, "b");
+        assert_eq!(series[1].value, MetricValue::Counter(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn labeled_kind_mismatch_across_label_sets_panics() {
+        let registry = Registry::new();
+        registry.labeled_counter("upbound_test_mixed", "x", &[("a", "1")]);
+        registry.labeled_gauge("upbound_test_mixed", "x", &[("a", "2")]);
     }
 
     #[test]

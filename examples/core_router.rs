@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example core_router`
 
-use upbound::core::{BitmapFilterConfig, DropPolicy, MultiNetworkFilter, Verdict};
+use upbound::core::{BitmapFilterConfig, DropPolicy, SubscriberTable, Verdict};
 use upbound::net::Cidr;
 use upbound::sim::{run_pipeline, PipelineConfig};
 use upbound::traffic::{generate, TraceConfig};
@@ -14,22 +14,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net_b: Cidr = "10.2.0.0/16".parse()?;
 
     // Two client networks with different service levels: network A gets
-    // a generous bound, network B a strict one.
-    let mut bank = MultiNetworkFilter::new();
-    bank.add_network(
+    // a generous bound, network B a strict one. Tenants are dormant (no
+    // filter memory) until their first packet arrives.
+    let mut bank = SubscriberTable::new();
+    bank.add_subscriber(
         net_a,
         BitmapFilterConfig::builder()
             .drop_policy(DropPolicy::new(20e6, 40e6)?)
             .build()?,
-    );
-    bank.add_network(
+    )?;
+    bank.add_subscriber(
         net_b,
         BitmapFilterConfig::builder()
             .drop_policy(DropPolicy::new(5e6, 10e6)?)
             .build()?,
-    );
+    )?;
     println!(
-        "core router: {} networks, {} KiB of filter state total",
+        "core router: {} subscribers provisioned, {} KiB of filter state resident",
         bank.len(),
         bank.memory_bytes() / 1024
     );
@@ -79,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("aggregate: {passed} passed, {dropped} dropped");
-    for (net, stats) in bank.stats() {
+    for (net, stats) in bank.per_subscriber_stats() {
         println!(
             "  {net}: {} outbound, {} inbound, {} dropped ({} rotations)",
             stats.outbound_packets, stats.inbound_packets, stats.dropped, stats.rotations

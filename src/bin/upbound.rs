@@ -27,11 +27,12 @@ use std::time::Duration;
 use upbound::analyzer::Analyzer;
 use upbound::core::params::{max_connections, optimal_hash_count, penetration_probability};
 use upbound::core::{
-    BitmapFilter, BitmapFilterConfig, DropPolicy, FailMode, FlowHash, PacketFilter, RestoreOutcome,
-    ShardedFilter, TelemetryObserver, Verdict,
+    snapshot, BitmapFilter, BitmapFilterConfig, DropPolicy, FailMode, FlowHash, PacketFilter,
+    RestoreOutcome, ShardedFilter, Snapshottable, SubscriberState, SubscriberTable,
+    SubscriberTelemetry, TelemetryObserver, Verdict,
 };
 use upbound::net::pcap::{IngestStats, IngestTelemetry, PcapReader, PcapWriter, RecoveryPolicy};
-use upbound::net::{Cidr, Direction, FiveTuple, Packet};
+use upbound::net::{Cidr, Direction, FiveTuple, Packet, TimeDelta};
 use upbound::telemetry::{
     export, DumpTrigger, FlightRecorder, HealthState, MetricsServer, Registry, Snapshot, Stage,
     StageTracer,
@@ -56,9 +57,25 @@ USAGE:
                      [--metrics-interval <SECS>]
                      [--metrics-addr <HOST:PORT>] [--flight-dump <FILE>]
                      [--trace-latency] [--serve-grace <SECS>]
+                     [--subscribers <SPEC>] [--evict-idle <SECS>]
     upbound params   [--connections <N>]
     upbound debug    read-dump <FILE> | parse-metrics <FILE>
     upbound help
+
+MULTI-TENANT (filter):
+    --subscribers replays through a multi-tenant subscriber table
+    instead of one --inside network. <SPEC> is a text file, one
+    subscriber per line: `CIDR [key=value ...]` (# comments allowed).
+    Keys override the command-line filter defaults per tenant:
+    name, low-mbps, high-mbps, vector-bits, vectors, rotate-secs,
+    hashes, hole-punching, seed. Packets are classified by longest
+    prefix match; tenant filters materialize lazily on first packet.
+    --evict-idle recycles a tenant's bit storage through a shared
+    arena after it has been idle that many seconds (clamped up to
+    the tenant's expiry window T_e, so verdicts never change).
+    Interval reports (--metrics-interval) gain per-tenant columns.
+    Incompatible with --inside, --shards, --fail-mode open,
+    --metrics-addr, --flight-dump, --trace-latency, --serve-grace.
 
 OBSERVABILITY (filter):
     --metrics-addr serves live GET /metrics (Prometheus) and
@@ -186,6 +203,8 @@ const FILTER_FLAGS: &[&str] = &[
     "flight-dump",
     "trace-latency",
     "serve-grace",
+    "subscribers",
+    "evict-idle",
 ];
 const PARAMS_FLAGS: &[&str] = &["connections"];
 
@@ -559,7 +578,553 @@ fn flush_staged<F: PacketFilter + Send>(
     Ok(())
 }
 
+/// Per-tenant defaults taken from the command-line filter flags; a spec
+/// line's `key=value` tokens override them for that subscriber only.
+#[derive(Clone)]
+struct TenantDefaults {
+    low: f64,
+    high: f64,
+    vector_bits: u32,
+    vectors: usize,
+    rotate_secs: f64,
+    hashes: usize,
+    hole_punching: bool,
+}
+
+impl TenantDefaults {
+    fn of(args: &Args) -> Result<Self, CliError> {
+        Ok(Self {
+            low: args.parse_num("low-mbps", 0.0).map_err(usage)?,
+            high: args.parse_num("high-mbps", 0.0).map_err(usage)?,
+            vector_bits: args.parse_num("vector-bits", 20u32).map_err(usage)?,
+            vectors: args.parse_num("vectors", 4usize).map_err(usage)?,
+            rotate_secs: args.parse_num("rotate-secs", 5.0f64).map_err(usage)?,
+            hashes: args.parse_num("hashes", 3usize).map_err(usage)?,
+            hole_punching: args.has("hole-punching"),
+        })
+    }
+
+    fn build(&self, seed: Option<u64>) -> Result<BitmapFilterConfig, String> {
+        let mut builder = BitmapFilterConfig::builder();
+        builder
+            .vector_bits(self.vector_bits)
+            .vectors(self.vectors)
+            .rotate_every_secs(self.rotate_secs)
+            .hash_functions(self.hashes)
+            .hole_punching(self.hole_punching);
+        if let Some(seed) = seed {
+            builder.rng_seed(seed);
+        }
+        if self.high > 0.0 {
+            builder.drop_policy(
+                DropPolicy::new(self.low * 1e6, self.high * 1e6).map_err(|e| e.to_string())?,
+            );
+        }
+        builder.build().map_err(|e| e.to_string())
+    }
+}
+
+/// One parsed `--subscribers` spec line.
+struct TenantSpec {
+    name: String,
+    cidr: Cidr,
+    config: BitmapFilterConfig,
+}
+
+fn parse_spec_field<T: std::str::FromStr>(
+    key: &str,
+    value: &str,
+    lineno: usize,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse()
+        .map_err(|e| format!("line {lineno}: {key}={value:?}: {e}"))
+}
+
+/// Parses a subscriber spec: one subscriber per line, `CIDR [key=value
+/// ...]`, `#` starts a comment. Keys: `name`, `low-mbps`, `high-mbps`,
+/// `vector-bits`, `vectors`, `rotate-secs`, `hashes`, `hole-punching`,
+/// `seed`.
+fn parse_subscriber_spec(text: &str, defaults: &TenantDefaults) -> Result<Vec<TenantSpec>, String> {
+    let mut specs = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let Some(cidr_token) = tokens.next() else {
+            continue;
+        };
+        let cidr: Cidr = cidr_token
+            .parse()
+            .map_err(|e| format!("line {lineno}: {cidr_token:?}: {e}"))?;
+        let mut tenant = defaults.clone();
+        let mut name = cidr_token.to_owned();
+        let mut seed = None;
+        for token in tokens {
+            let Some((key, value)) = token.split_once('=') else {
+                return Err(format!("line {lineno}: expected key=value, got {token:?}"));
+            };
+            match key {
+                "name" => name = value.to_owned(),
+                "low-mbps" => tenant.low = parse_spec_field(key, value, lineno)?,
+                "high-mbps" => tenant.high = parse_spec_field(key, value, lineno)?,
+                "vector-bits" => tenant.vector_bits = parse_spec_field(key, value, lineno)?,
+                "vectors" => tenant.vectors = parse_spec_field(key, value, lineno)?,
+                "rotate-secs" => tenant.rotate_secs = parse_spec_field(key, value, lineno)?,
+                "hashes" => tenant.hashes = parse_spec_field(key, value, lineno)?,
+                "hole-punching" => tenant.hole_punching = parse_spec_field(key, value, lineno)?,
+                "seed" => seed = Some(parse_spec_field::<u64>(key, value, lineno)?),
+                other => return Err(format!("line {lineno}: unknown key {other:?}")),
+            }
+        }
+        let config = tenant
+            .build(seed)
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+        specs.push(TenantSpec { name, cidr, config });
+    }
+    if specs.is_empty() {
+        return Err("spec provisions no subscribers".to_owned());
+    }
+    Ok(specs)
+}
+
+/// Same contract as `flush_staged`, against the subscriber table: the
+/// staged batch is decided via grouped per-tenant dispatch, then the
+/// per-packet bookkeeping is applied in input order.
+#[allow(clippy::too_many_arguments)]
+fn flush_staged_subscribers(
+    table: &mut SubscriberTable<BitmapFilter>,
+    staged: &mut Vec<(Packet, Direction)>,
+    staged_conns: &mut HashSet<FiveTuple>,
+    verdicts: &mut Vec<Verdict>,
+    block: bool,
+    blocked: &mut HashSet<FiveTuple>,
+    dropped: &mut u64,
+    up_kept: &mut u64,
+    writer: &mut Option<PcapWriter<BufWriter<File>>>,
+) -> Result<(), CliError> {
+    if staged.is_empty() {
+        return Ok(());
+    }
+    verdicts.clear();
+    table.process_batch(staged, verdicts);
+    for ((packet, direction), verdict) in staged.drain(..).zip(verdicts.drain(..)) {
+        match verdict {
+            Verdict::Pass => {
+                if direction == Direction::Outbound {
+                    *up_kept += packet.wire_bits();
+                }
+                if let Some(w) = writer.as_mut() {
+                    w.write_packet(&packet)
+                        .map_err(|e| runtime(e.to_string()))?;
+                }
+            }
+            Verdict::Drop => {
+                if block {
+                    blocked.insert(packet.tuple().canonical());
+                }
+                *dropped += 1;
+            }
+        }
+    }
+    staged_conns.clear();
+    Ok(())
+}
+
+fn tenant_state_label(state: SubscriberState) -> &'static str {
+    match state {
+        SubscriberState::Dormant => "dormant",
+        SubscriberState::Parked => "parked",
+        SubscriberState::Active => "active",
+    }
+}
+
+/// Prints the per-tenant columns appended to interval reports and to the
+/// end-of-run summary.
+fn print_tenant_table(table: &SubscriberTable<BitmapFilter>) {
+    println!(
+        "    {:<16} {:<18} {:>8} {:>9} {:>9} {:>8} {:>9}",
+        "subscriber", "prefix", "state", "out", "in", "dropped", "mem KiB"
+    );
+    for id in 0..table.len() {
+        let name = table.subscriber_name(id).unwrap_or("?");
+        let prefix = table
+            .subscriber_cidr(id)
+            .map(|c| c.to_string())
+            .unwrap_or_default();
+        let state = table
+            .subscriber_state(id)
+            .map(tenant_state_label)
+            .unwrap_or("?");
+        let stats = table.subscriber_stats(id).unwrap_or_default();
+        let mem = table.subscriber_memory_bytes(id).unwrap_or(0);
+        println!(
+            "    {:<16} {:<18} {:>8} {:>9} {:>9} {:>8} {:>9}",
+            name,
+            prefix,
+            state,
+            stats.outbound_packets,
+            stats.inbound_packets,
+            stats.dropped,
+            mem / 1024
+        );
+    }
+}
+
+/// `upbound filter --subscribers <SPEC>` — replay through a multi-tenant
+/// [`SubscriberTable`] instead of a single `--inside` filter. Classification
+/// is longest prefix match over the spec's CIDRs; tenant filters
+/// materialize lazily on first packet and (with `--evict-idle`) recycle
+/// their bit storage through the shared arena while idle.
+fn cmd_filter_subscribers(args: &Args) -> Result<Outcome, CliError> {
+    let spec_path = args
+        .get("subscribers")
+        .ok_or_else(|| usage("--subscribers requires a spec file path"))?;
+    let in_path = args
+        .get("in")
+        .ok_or_else(|| usage("filter requires --in <FILE>"))?;
+    for flag in [
+        "inside",
+        "shards",
+        "metrics-addr",
+        "flight-dump",
+        "trace-latency",
+        "serve-grace",
+    ] {
+        if args.has(flag) {
+            return Err(usage(format!(
+                "--{flag} cannot be combined with --subscribers"
+            )));
+        }
+    }
+    match args.get("fail-mode") {
+        None if args.has("fail-mode") => {
+            return Err(usage("--fail-mode expects `open` or `closed`"));
+        }
+        None | Some("closed") => {}
+        Some(v) => match FailMode::parse(v) {
+            Some(FailMode::Open) => {
+                return Err(usage(
+                    "--fail-mode open cannot be combined with --subscribers \
+                     (idle tenants park only when their bitmaps are provably empty)",
+                ));
+            }
+            _ => {
+                return Err(usage(format!(
+                    "--fail-mode expects `open` or `closed`, got {v:?}"
+                )));
+            }
+        },
+    }
+
+    let metrics = metrics_sink(args).map_err(usage)?;
+    let metrics_interval: f64 = args.parse_num("metrics-interval", 0.0).map_err(usage)?;
+    if metrics_interval < 0.0 || !metrics_interval.is_finite() {
+        return Err(usage(format!(
+            "--metrics-interval expects a non-negative number of seconds, got {metrics_interval}"
+        )));
+    }
+    let checkpoint = match args.get("checkpoint") {
+        None if args.has("checkpoint") => {
+            return Err(usage("--checkpoint requires a file path"));
+        }
+        other => other.map(str::to_owned),
+    };
+    let checkpoint_interval: f64 = args.parse_num("checkpoint-interval", 30.0).map_err(usage)?;
+    if checkpoint_interval <= 0.0 || !checkpoint_interval.is_finite() {
+        return Err(usage(format!(
+            "--checkpoint-interval expects a positive number of seconds, got {checkpoint_interval}"
+        )));
+    }
+    if args.has("checkpoint-interval") && checkpoint.is_none() {
+        return Err(usage("--checkpoint-interval requires --checkpoint <FILE>"));
+    }
+    let batch_size: usize = args.parse_num("batch-size", 64usize).map_err(usage)?;
+    if batch_size == 0 {
+        return Err(usage("--batch-size expects at least 1"));
+    }
+
+    let defaults = TenantDefaults::of(args)?;
+    let spec_text =
+        std::fs::read_to_string(spec_path).map_err(|e| runtime(format!("{spec_path}: {e}")))?;
+    let specs = parse_subscriber_spec(&spec_text, &defaults)
+        .map_err(|e| usage(format!("--subscribers {spec_path}: {e}")))?;
+
+    let mut table = SubscriberTable::new();
+    let mut stale_after = TimeDelta::ZERO;
+    for spec in &specs {
+        stale_after = stale_after.max(spec.config.expiry_timer());
+        table
+            .add_named_subscriber(&spec.name, spec.cidr, spec.config.clone())
+            .map_err(|e| usage(format!("--subscribers {spec_path}: {}: {e}", spec.cidr)))?;
+    }
+    if args.has("evict-idle") {
+        let secs: f64 = args.parse_num("evict-idle", 0.0).map_err(usage)?;
+        if secs < 0.0 || !secs.is_finite() {
+            return Err(usage(format!(
+                "--evict-idle expects a non-negative number of seconds, got {secs}"
+            )));
+        }
+        table.evict_idle_after(TimeDelta::from_secs(secs));
+    }
+    let classifier = table.classifier();
+    println!(
+        "subscriber table: {} provisioned, defaults {{{} x 2^{}}}, T_e = {:.0} s default{}",
+        table.len(),
+        defaults.vectors,
+        defaults.vector_bits,
+        defaults.rotate_secs * defaults.vectors as f64,
+        if args.has("evict-idle") {
+            ", idle eviction on"
+        } else {
+            ""
+        }
+    );
+
+    let registry = Registry::new();
+    registry.build_info(
+        env!("CARGO_PKG_VERSION"),
+        option_env!("UPBOUND_GIT_DESCRIBE"),
+    );
+    let mut telemetry = SubscriberTelemetry::new(registry.clone());
+    let ingest_metrics = IngestTelemetry::register(&registry);
+
+    let policy = recovery_policy_of(args).map_err(usage)?;
+    let file = File::open(in_path).map_err(|e| runtime(format!("{in_path}: {e}")))?;
+    let mut reader = PcapReader::with_policy(BufReader::new(file), policy)
+        .map_err(|e| runtime(e.to_string()))?;
+    let mut writer = match args.get("out") {
+        Some(path) => {
+            let f = File::create(path).map_err(|e| runtime(format!("{path}: {e}")))?;
+            Some(PcapWriter::new(BufWriter::new(f), 65_535).map_err(|e| runtime(e.to_string()))?)
+        }
+        None => None,
+    };
+
+    let block = !args.has("no-block");
+    let mut blocked: HashSet<FiveTuple> = HashSet::new();
+    let (mut total, mut dropped) = (0u64, 0u64);
+    let (mut up_bits, mut up_kept) = (0u64, 0u64);
+    let mut last_ts = upbound::net::Timestamp::ZERO;
+    let mut outcome = Outcome::Done;
+
+    let mut pending_restore = checkpoint.as_deref().is_some_and(|p| Path::new(p).exists());
+    let mut next_checkpoint: Option<f64> = checkpoint.as_ref().map(|_| checkpoint_interval);
+    let mut checkpoints_written = 0u64;
+    let mut next_report = (metrics_interval > 0.0).then_some(metrics_interval);
+    let mut prev_snapshot = registry.snapshot();
+
+    let mut staged: Vec<(Packet, Direction)> = Vec::with_capacity(batch_size);
+    let mut staged_conns: HashSet<FiveTuple> = HashSet::new();
+    let mut verdicts: Vec<Verdict> = Vec::with_capacity(batch_size);
+
+    while let Some(p) = reader.read_packet().map_err(|e| runtime(e.to_string()))? {
+        if signals::interrupted() {
+            flush_staged_subscribers(
+                &mut table,
+                &mut staged,
+                &mut staged_conns,
+                &mut verdicts,
+                block,
+                &mut blocked,
+                &mut dropped,
+                &mut up_kept,
+                &mut writer,
+            )?;
+            outcome = Outcome::Interrupted;
+            break;
+        }
+        total += 1;
+        last_ts = last_ts.max(p.ts());
+        if pending_restore {
+            pending_restore = false;
+            let path = checkpoint.as_deref().unwrap_or_default();
+            let bytes = snapshot::read_file(Path::new(path))
+                .map_err(|e| runtime(format!("{path}: checkpoint restore failed: {e}")))?;
+            match table.restore_bytes(&bytes, p.ts(), stale_after) {
+                Ok(RestoreOutcome::Warm) => {
+                    println!("restored warm subscriber table from checkpoint {path}");
+                }
+                Ok(RestoreOutcome::Cold) => {
+                    println!(
+                        "checkpoint {path} is older than T_e; restored statistics, \
+                         tenants start cold"
+                    );
+                }
+                Err(e) => {
+                    return Err(runtime(format!("{path}: checkpoint restore failed: {e}")));
+                }
+            }
+        }
+        if let Some(boundary) = next_checkpoint {
+            let t = p.ts().as_secs_f64();
+            if t >= boundary {
+                flush_staged_subscribers(
+                    &mut table,
+                    &mut staged,
+                    &mut staged_conns,
+                    &mut verdicts,
+                    block,
+                    &mut blocked,
+                    &mut dropped,
+                    &mut up_kept,
+                    &mut writer,
+                )?;
+                table.advance(last_ts);
+                let path = checkpoint.as_deref().unwrap_or_default();
+                snapshot::write_atomic(Path::new(path), &table.snapshot_bytes(last_ts))
+                    .map_err(|e| runtime(format!("{path}: checkpoint write failed: {e}")))?;
+                checkpoints_written += 1;
+                let elapsed = ((t - boundary) / checkpoint_interval).floor() + 1.0;
+                next_checkpoint = Some(boundary + elapsed * checkpoint_interval);
+            }
+        }
+        if let Some(boundary) = next_report {
+            let t = p.ts().as_secs_f64();
+            if t >= boundary {
+                flush_staged_subscribers(
+                    &mut table,
+                    &mut staged,
+                    &mut staged_conns,
+                    &mut verdicts,
+                    block,
+                    &mut blocked,
+                    &mut dropped,
+                    &mut up_kept,
+                    &mut writer,
+                )?;
+                table.advance(last_ts);
+                telemetry.publish(&table);
+                let snapshot = registry.snapshot();
+                println!("--- metrics @ t={boundary:.1}s ---");
+                print!(
+                    "{}",
+                    export::human::render(&snapshot, Some((&prev_snapshot, metrics_interval)))
+                );
+                print_tenant_table(&table);
+                prev_snapshot = snapshot;
+                let elapsed = ((t - boundary) / metrics_interval).floor() + 1.0;
+                next_report = Some(boundary + elapsed * metrics_interval);
+            }
+        }
+        let direction = classifier.direction_of(&p);
+        if direction == Direction::Outbound {
+            up_bits += p.wire_bits();
+        }
+        let tuple = p.tuple();
+        if block && staged_conns.contains(&tuple.canonical()) {
+            flush_staged_subscribers(
+                &mut table,
+                &mut staged,
+                &mut staged_conns,
+                &mut verdicts,
+                block,
+                &mut blocked,
+                &mut dropped,
+                &mut up_kept,
+                &mut writer,
+            )?;
+        }
+        if block && (blocked.contains(&tuple) || blocked.contains(&tuple.inverse())) {
+            dropped += 1;
+        } else {
+            if block {
+                staged_conns.insert(tuple.canonical());
+            }
+            staged.push((p, direction));
+            if staged.len() >= batch_size {
+                flush_staged_subscribers(
+                    &mut table,
+                    &mut staged,
+                    &mut staged_conns,
+                    &mut verdicts,
+                    block,
+                    &mut blocked,
+                    &mut dropped,
+                    &mut up_kept,
+                    &mut writer,
+                )?;
+                table.advance(last_ts);
+            }
+        }
+    }
+    flush_staged_subscribers(
+        &mut table,
+        &mut staged,
+        &mut staged_conns,
+        &mut verdicts,
+        block,
+        &mut blocked,
+        &mut dropped,
+        &mut up_kept,
+        &mut writer,
+    )?;
+    table.advance(last_ts);
+    if let Some(w) = writer {
+        w.finish().map_err(|e| runtime(e.to_string()))?;
+    }
+    ingest_metrics.publish(reader.stats());
+    report_skips(reader.stats());
+
+    if let Some(path) = checkpoint.as_deref() {
+        if total > 0 {
+            snapshot::write_atomic(Path::new(path), &table.snapshot_bytes(last_ts))
+                .map_err(|e| runtime(format!("{path}: final checkpoint failed: {e}")))?;
+            checkpoints_written += 1;
+            println!(
+                "wrote final checkpoint to {path} ({checkpoints_written} checkpoint(s), \
+                 {} tenant(s) serialized)",
+                table.last_checkpoint_tenants()
+            );
+        }
+    }
+
+    let span = last_ts.as_secs_f64().max(1e-9);
+    println!(
+        "{} packets; dropped {} ({:.2}%); blocked {} connections",
+        total,
+        dropped,
+        dropped as f64 / total.max(1) as f64 * 100.0,
+        blocked.len()
+    );
+    println!(
+        "uplink: {:.2} Mbps offered -> {:.2} Mbps after filtering",
+        up_bits as f64 / span / 1e6,
+        up_kept as f64 / span / 1e6
+    );
+    let (reuses, fresh) = table.arena_counters();
+    println!(
+        "subscribers: {} active / {} provisioned; {} B resident, {} B pooled \
+         (arena: {} reuse(s), {} fresh); {} outbound drop anomaly(ies)",
+        table.active_subscribers(),
+        table.len(),
+        table.memory_bytes(),
+        table.arena_pooled_bytes(),
+        reuses,
+        fresh,
+        table.outbound_drop_anomalies()
+    );
+    print_tenant_table(&table);
+    if let Some((path, format)) = &metrics {
+        telemetry.publish(&table);
+        write_metrics(path, format, &registry.snapshot()).map_err(runtime)?;
+    }
+    Ok(outcome)
+}
+
 fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
+    if args.has("subscribers") {
+        return cmd_filter_subscribers(args);
+    }
+    if args.has("evict-idle") {
+        return Err(usage("--evict-idle requires --subscribers <SPEC>"));
+    }
     let in_path = args
         .get("in")
         .ok_or_else(|| usage("filter requires --in <FILE>"))?;

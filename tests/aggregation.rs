@@ -2,7 +2,7 @@
 //! networks' traces merged at a core router and filtered by a
 //! per-network filter bank.
 
-use upbound::core::{BitmapFilterConfig, MultiNetworkFilter, Verdict};
+use upbound::core::{BitmapFilterConfig, SubscriberTable, Verdict};
 use upbound::net::{merge_sorted, Cidr, Direction, Packet};
 use upbound::traffic::{generate, TraceConfig};
 
@@ -56,9 +56,11 @@ fn bank_filtering_equals_independent_edge_filtering() {
     let ref_b = edge_verdicts(&b, net_b);
 
     // Core router over the merge.
-    let mut bank = MultiNetworkFilter::new();
-    bank.add_network(net_a, BitmapFilterConfig::paper_evaluation());
-    bank.add_network(net_b, BitmapFilterConfig::paper_evaluation());
+    let mut bank = SubscriberTable::new();
+    bank.add_subscriber(net_a, BitmapFilterConfig::paper_evaluation())
+        .expect("distinct prefixes");
+    bank.add_subscriber(net_b, BitmapFilterConfig::paper_evaluation())
+        .expect("distinct prefixes");
     let merged: Vec<Packet> =
         merge_sorted(vec![a.clone().into_iter(), b.clone().into_iter()]).collect();
     let mut got_a = Vec::new();
@@ -81,13 +83,15 @@ fn per_network_statistics_are_isolated() {
     let net_a: Cidr = "10.1.0.0/16".parse().expect("cidr");
     let net_b: Cidr = "10.2.0.0/16".parse().expect("cidr");
     let a = trace_for(net_a, 5);
-    let mut bank = MultiNetworkFilter::new();
-    bank.add_network(net_a, BitmapFilterConfig::paper_evaluation());
-    bank.add_network(net_b, BitmapFilterConfig::paper_evaluation());
+    let mut bank = SubscriberTable::new();
+    bank.add_subscriber(net_a, BitmapFilterConfig::paper_evaluation())
+        .expect("distinct prefixes");
+    bank.add_subscriber(net_b, BitmapFilterConfig::paper_evaluation())
+        .expect("distinct prefixes");
     for packet in &a {
         bank.process_packet(packet);
     }
-    let stats = bank.stats();
+    let stats = bank.per_subscriber_stats();
     // Only network A saw traffic.
     let a_total = stats[0].1.outbound_packets + stats[0].1.inbound_packets;
     let b_total = stats[1].1.outbound_packets + stats[1].1.inbound_packets;
