@@ -10,6 +10,15 @@
 //! Results are printed as a table and written to
 //! `BENCH_shard_scaling.json` for the CI artifact.
 //!
+//! A run where the detected effective parallelism is below the worker
+//! count cannot exhibit contention (threads merely time-slice), so such
+//! runs are marked `"degraded": true` and publish **no** speedup claim —
+//! the per-shard `"speedup"` fields are `null`. Set
+//! `UPBOUND_SCALING_GATE=<shards>:<min_speedup>` (e.g. `4:2.0`) to turn
+//! the bench into a CI assertion: it exits nonzero when the measured
+//! speedup at `<shards>` is below `<min_speedup>`, or when the run is
+//! degraded (a degraded host can neither prove nor refute scaling).
+//!
 //! [`ShardedFilter`]: upbound_core::ShardedFilter
 
 use std::time::Instant;
@@ -25,6 +34,12 @@ struct Sample {
     shards: usize,
     secs: f64,
     pkts_per_sec: f64,
+}
+
+/// Parses a `<shards>:<min_speedup>` gate spec like `4:2.0`.
+fn parse_gate(spec: &str) -> Option<(usize, f64)> {
+    let (shards, speedup) = spec.split_once(':')?;
+    Some((shards.parse().ok()?, speedup.parse().ok()?))
 }
 
 /// Replays every partition through `filter` from `workers` threads and
@@ -69,6 +84,8 @@ fn main() {
     }
     let total_pkts = (trace.packets.len() * reps) as f64;
 
+    let degraded = parallelism.effective < workers;
+
     println!(
         "Shard scaling: {} workers on {} core(s), {} packets x {} reps",
         workers,
@@ -76,10 +93,14 @@ fn main() {
         trace.packets.len(),
         reps
     );
-    if cores < 2 {
-        // Threads time-slice on one core, so even the single lock is
-        // handed off uncontended between quanta; expect flat numbers.
-        println!("note: single-core host — lock contention cannot manifest here");
+    if degraded {
+        // Threads time-slice on too few cores, so workers cannot truly
+        // run in parallel; throughput ratios say nothing about scaling.
+        println!(
+            "note: degraded run — effective parallelism {} < {} workers; \
+             no speedup will be published",
+            parallelism.effective, workers
+        );
     }
     println!();
 
@@ -107,7 +128,11 @@ fn main() {
             s.shards.to_string(),
             format!("{:.3}", s.secs),
             format!("{:.0}", s.pkts_per_sec),
-            format!("{:.2}x", s.pkts_per_sec / baseline),
+            if degraded {
+                "n/a (degraded)".to_string()
+            } else {
+                format!("{:.2}x", s.pkts_per_sec / baseline)
+            },
         ]);
     }
     print!("{}", table.render());
@@ -115,20 +140,23 @@ fn main() {
     let results = samples
         .iter()
         .map(|s| {
+            let speedup = if degraded {
+                "null".to_string()
+            } else {
+                format!("{:.4}", s.pkts_per_sec / baseline)
+            };
             format!(
-                "    {{\"shards\": {}, \"secs\": {:.6}, \"pkts_per_sec\": {:.1}, \"speedup\": {:.4}}}",
-                s.shards,
-                s.secs,
-                s.pkts_per_sec,
-                s.pkts_per_sec / baseline
+                "    {{\"shards\": {}, \"secs\": {:.6}, \"pkts_per_sec\": {:.1}, \"speedup\": {speedup}}}",
+                s.shards, s.secs, s.pkts_per_sec,
             )
         })
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"shard_scaling\",\n  \"workers\": {},\n  \"cores\": {},\n  \"parallelism\": {},\n  \"trace_packets\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"shard_scaling\",\n  \"workers\": {},\n  \"cores\": {},\n  \"degraded\": {},\n  \"parallelism\": {},\n  \"trace_packets\": {},\n  \"reps\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         workers,
         cores,
+        degraded,
         parallelism.json_fragment(),
         trace.packets.len(),
         reps,
@@ -136,6 +164,34 @@ fn main() {
     );
     std::fs::write("BENCH_shard_scaling.json", json).expect("write BENCH_shard_scaling.json");
     println!("\nwrote BENCH_shard_scaling.json");
+
+    if let Ok(gate) = std::env::var("UPBOUND_SCALING_GATE") {
+        let (want_shards, min_speedup) = parse_gate(&gate)
+            .unwrap_or_else(|| panic!("UPBOUND_SCALING_GATE must look like 4:2.0, got {gate:?}"));
+        if degraded {
+            eprintln!(
+                "scaling gate FAILED: run is degraded (effective parallelism {} < {} workers); \
+                 cannot demonstrate scaling on this host",
+                parallelism.effective, workers
+            );
+            std::process::exit(1);
+        }
+        let sample = samples
+            .iter()
+            .find(|s| s.shards == want_shards)
+            .unwrap_or_else(|| panic!("gate shard count {want_shards} was not measured"));
+        let speedup = sample.pkts_per_sec / baseline;
+        if speedup < min_speedup {
+            eprintln!(
+                "scaling gate FAILED: {:.2}x at {} shards is below the required {:.2}x",
+                speedup, want_shards, min_speedup
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "scaling gate passed: {speedup:.2}x at {want_shards} shards (need {min_speedup:.2}x)"
+        );
+    }
 
     let registry = Registry::new();
     registry.build_info(

@@ -82,9 +82,15 @@ impl Bitmap {
     }
 
     /// Marks `key` in **all** `k` vectors (Algorithm 2, outbound path).
+    ///
+    /// Iterates vector-outer: all `m` bits of one vector are set before
+    /// moving to the next, so each vector's cache lines are touched in
+    /// one burst instead of interleaving accesses across `k` separate
+    /// `N`-bit tables per hash index.
     pub fn mark(&mut self, key: &[u8]) {
-        for bit in self.hashes.indexes(key) {
-            for v in &mut self.vectors {
+        let indexes = self.hashes.indexes(key);
+        for v in &mut self.vectors {
+            for bit in indexes.clone() {
                 v.set(bit);
             }
         }
@@ -146,82 +152,12 @@ impl Bitmap {
         self.rotations = 0;
     }
 
-    /// Creates a *parked* bitmap: full `{k × 2^n_bits}` geometry but no
-    /// bit storage. Rotation, reset and utilization queries all work (a
-    /// parked vector clears as a no-op and reads as all-zero utilization);
-    /// `mark`/`lookup` must not be called until
-    /// [`unpark`](Self::unpark) attaches buffers.
-    ///
-    /// # Panics
-    ///
-    /// Same bounds as [`Bitmap::new`].
-    pub(crate) fn new_parked(k: usize, n_bits: u32, m: usize) -> Self {
-        assert!(k >= 2, "need at least two bit vectors, got {k}");
-        let hashes = HashFamily::new(m, n_bits);
-        Self {
-            vectors: (0..k)
-                .map(|_| BitVec::new_parked(hashes.table_size()))
-                .collect(),
-            hashes,
-            idx: 0,
-            rotations: 0,
-        }
-    }
-
-    /// Detaches and returns the `k` word buffers, leaving the bitmap
-    /// parked. Buffers are returned as-is (not zeroed); the rotation
-    /// clock (`idx`, `rotations`) is preserved.
-    pub(crate) fn park(&mut self) -> Vec<Vec<u64>> {
-        self.vectors.iter_mut().map(BitVec::take_words).collect()
-    }
-
-    /// Re-attaches `k` **zeroed** word buffers to a parked bitmap.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the buffer count or any buffer size does not match the
-    /// bitmap's geometry, or the bitmap is not parked.
-    pub(crate) fn unpark(&mut self, buffers: Vec<Vec<u64>>) {
-        assert_eq!(buffers.len(), self.vectors.len(), "buffer count mismatch");
-        for (v, words) in self.vectors.iter_mut().zip(buffers) {
-            v.put_words(words);
-        }
-    }
-
-    /// `true` when the bitmap currently has no bit storage.
-    pub(crate) fn is_parked(&self) -> bool {
-        self.vectors.iter().any(BitVec::is_parked)
-    }
-
-    /// Overwrites the rotation clock without touching storage — used when
-    /// restoring a parked bitmap from a snapshot that carries only the
-    /// clock.
-    pub(crate) fn set_clock(&mut self, idx: usize, rotations: u64) -> bool {
-        if idx >= self.vectors.len() {
-            return false;
-        }
-        self.idx = idx;
-        self.rotations = rotations;
-        true
-    }
-
-    /// Exports `(vectors, current index, rotations)` for snapshot
-    /// encoding.
-    pub(crate) fn snapshot_fields(&self) -> (&[BitVec], usize, u64) {
-        (&self.vectors, self.idx, self.rotations)
-    }
-
     /// Overwrites the bit-vector contents and rotation clock from
-    /// snapshot fields. Returns `false` (leaving the bitmap untouched
-    /// beyond vectors already applied — callers must treat that as fatal
-    /// and rebuild) when the vector count, any vector's length, or the
-    /// index is inconsistent with this bitmap's geometry.
-    pub(crate) fn restore_fields(
-        &mut self,
-        vectors: Vec<BitVec>,
-        idx: usize,
-        rotations: u64,
-    ) -> bool {
+    /// snapshot fields. All geometry checks (vector count, each vector's
+    /// length, the index bound) run **before** any field is touched, so
+    /// a `false` return leaves the bitmap exactly as it was — callers
+    /// may keep using it or retry with a good snapshot.
+    pub fn restore_fields(&mut self, vectors: Vec<BitVec>, idx: usize, rotations: u64) -> bool {
         if vectors.len() != self.vectors.len()
             || idx >= vectors.len()
             || vectors.iter().any(|v| v.len() != self.vector_len())

@@ -123,46 +123,6 @@ impl BitVec {
         &self.words
     }
 
-    /// Creates a *parked* vector: `len` bits of addressable space but no
-    /// backing storage. A parked vector reports zero memory, clears as a
-    /// no-op, and must not be read or written until
-    /// [`put_words`](Self::put_words) re-attaches a buffer.
-    pub(crate) fn new_parked(len: usize) -> Self {
-        assert!(len > 0, "bit vector must have at least one bit");
-        Self {
-            words: Vec::new(),
-            len,
-            ones: 0,
-        }
-    }
-
-    /// Detaches and returns the backing word buffer, leaving the vector
-    /// parked (see [`new_parked`](Self::new_parked)). The buffer is
-    /// returned as-is — callers recycling it are responsible for zeroing.
-    pub(crate) fn take_words(&mut self) -> Vec<u64> {
-        self.ones = 0;
-        std::mem::take(&mut self.words)
-    }
-
-    /// Re-attaches a **zeroed** word buffer to a parked vector.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the vector is not parked or the buffer size does not
-    /// match the vector's length.
-    pub(crate) fn put_words(&mut self, words: Vec<u64>) {
-        assert!(self.words.is_empty(), "vector already has storage");
-        assert_eq!(words.len(), self.len.div_ceil(64), "buffer size mismatch");
-        debug_assert!(words.iter().all(|&w| w == 0), "buffer must be zeroed");
-        self.words = words;
-        self.ones = 0;
-    }
-
-    /// `true` when the vector currently has no backing storage.
-    pub(crate) fn is_parked(&self) -> bool {
-        self.words.is_empty()
-    }
-
     /// Rebuilds a vector of `len` bits from a backing word array, as
     /// captured by [`words`](Self::words). Returns `None` when the word
     /// count does not match `len` or a bit beyond `len` is set — both

@@ -38,14 +38,15 @@ const DRAW_DOMAIN: u64 = 0xd509_7cc9_44a5_1a27;
 
 /// Where the engine's uplink measurement lives: owned by this filter, or
 /// shared with sibling shards that together bound one client network.
+/// Shared between [`FilterEngine`] and the crate-internal `SharedEngine`.
 #[derive(Debug, Clone)]
-enum Uplink {
+pub(crate) enum Uplink {
     Local(ThroughputMonitor),
     Shared(Arc<ThroughputMonitor>),
 }
 
 impl Uplink {
-    fn monitor(&self) -> &ThroughputMonitor {
+    pub(crate) fn monitor(&self) -> &ThroughputMonitor {
         match self {
             Uplink::Local(m) => m,
             Uplink::Shared(m) => m,
@@ -155,7 +156,7 @@ impl<O: FilterObserver> FilterEngine<O> {
     /// skipped ticks would have produced is already all-zero — the engine
     /// jumps the tick counter and runs only the trailing
     /// `MAX_TICK_CATCHUP` ticks (enough for every practical `k`).
-    pub const MAX_TICK_CATCHUP: u64 = 64;
+    pub const MAX_TICK_CATCHUP: u64 = MAX_TICK_CATCHUP;
 
     /// Applies every tick due at or before `now`, calling `on_tick` with
     /// the tick's scheduled timestamp (the `b.rotate` timer of paper
@@ -284,8 +285,14 @@ impl<O: FilterObserver> FilterEngine<O> {
     }
 }
 
+/// Catch-up bound shared by [`FilterEngine`] and the crate-internal
+/// `SharedEngine` — see [`FilterEngine::MAX_TICK_CATCHUP`].
+pub(crate) const MAX_TICK_CATCHUP: u64 = 64;
+
 /// Maps `(seed, key, now, draw)` to a uniform variate in `[0, 1)`.
-fn unit_draw(seed: u64, key: &[u8], now: Timestamp, draw: u32) -> f64 {
+/// Shared with `SharedEngine` so concurrent and exclusive paths draw
+/// bit-identically.
+pub(crate) fn unit_draw(seed: u64, key: &[u8], now: Timestamp, draw: u32) -> f64 {
     let mut h = fnv1a(seed ^ DRAW_DOMAIN, key);
     h = splitmix64(h ^ now.as_micros());
     h = splitmix64(h.wrapping_add(u64::from(draw).wrapping_mul(0x9e37_79b9_7f4a_7c15)));

@@ -1,14 +1,18 @@
 //! The complete bitmap filter: bitmap + timer + throughput-driven `P_d`.
 
 use crate::config::FailMode;
-use crate::engine::FilterEngine;
-use crate::observe::{FilterObserver, NoopObserver};
+use crate::observe::{FilterObserver, InboundDecision, NoopObserver, RotationEvent};
 use crate::pfilter::{MergeStats, PacketFilter};
+use crate::shared_engine::SharedEngine;
 use crate::snapshot::{self, ByteReader, ByteWriter, RestoreMode, SnapshotError, Snapshottable};
-use crate::{BitVec, Bitmap, BitmapFilterConfig, DropPolicy, ThroughputMonitor};
+use crate::{AtomicBitVec, AtomicBitmap, BitmapFilterConfig, DropPolicy, ThroughputMonitor};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use upbound_net::{Direction, FiveTuple, Packet, Timestamp};
+
+/// Sentinel for "clock not anchored" in the atomic warm-up fields.
+const UNSET: u64 = u64::MAX;
 
 /// The decision of a filter for one packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -65,6 +69,115 @@ impl MergeStats for FilterStats {
     }
 }
 
+/// The atomic backing store of [`FilterStats`], so concurrent decision
+/// paths count through `&self`. Counters are `Relaxed`: each is
+/// independently monotone and only ever read as a snapshot.
+#[derive(Debug, Default)]
+struct SharedStats {
+    outbound_packets: AtomicU64,
+    inbound_packets: AtomicU64,
+    inbound_hits: AtomicU64,
+    inbound_misses: AtomicU64,
+    dropped: AtomicU64,
+    fail_open_passes: AtomicU64,
+    rotations: AtomicU64,
+}
+
+impl SharedStats {
+    fn load(&self) -> FilterStats {
+        FilterStats {
+            outbound_packets: self.outbound_packets.load(Ordering::Relaxed),
+            inbound_packets: self.inbound_packets.load(Ordering::Relaxed),
+            inbound_hits: self.inbound_hits.load(Ordering::Relaxed),
+            inbound_misses: self.inbound_misses.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            fail_open_passes: self.fail_open_passes.load(Ordering::Relaxed),
+            rotations: self.rotations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn store(&mut self, s: FilterStats) {
+        *self.outbound_packets.get_mut() = s.outbound_packets;
+        *self.inbound_packets.get_mut() = s.inbound_packets;
+        *self.inbound_hits.get_mut() = s.inbound_hits;
+        *self.inbound_misses.get_mut() = s.inbound_misses;
+        *self.dropped.get_mut() = s.dropped;
+        *self.fail_open_passes.get_mut() = s.fail_open_passes;
+        *self.rotations.get_mut() = s.rotations;
+    }
+}
+
+impl Clone for SharedStats {
+    fn clone(&self) -> Self {
+        let s = self.load();
+        let mut out = Self::default();
+        out.store(s);
+        out
+    }
+}
+
+/// The warm-up clock in atomic form, so anchoring and arming queries run
+/// through `&self`. Timestamps are stored as microseconds with
+/// [`UNSET`] (`u64::MAX`) standing in for `None`; anchoring is a
+/// compare-exchange from `UNSET`, so exactly one thread wins a racing
+/// first-packet anchor and the anchored value never moves afterwards —
+/// the same "pure function of `(arm_at, now)`" arming the exclusive
+/// filter had.
+#[derive(Debug)]
+struct WarmupClock {
+    /// Trace time at which drops arm (fail-open), `UNSET` until
+    /// anchored.
+    arm_at: AtomicU64,
+    /// End of the warm-up window (telemetry only), `UNSET` until
+    /// anchored.
+    warm_until: AtomicU64,
+    /// Whether the one-shot armed notification fired (telemetry only).
+    arm_notified: AtomicBool,
+}
+
+impl Default for WarmupClock {
+    fn default() -> Self {
+        Self {
+            arm_at: AtomicU64::new(UNSET),
+            warm_until: AtomicU64::new(UNSET),
+            arm_notified: AtomicBool::new(false),
+        }
+    }
+}
+
+impl WarmupClock {
+    fn arm_at(&self) -> Option<Timestamp> {
+        match self.arm_at.load(Ordering::Acquire) {
+            UNSET => None,
+            micros => Some(Timestamp::from_micros(micros)),
+        }
+    }
+
+    fn warm_until(&self) -> Option<Timestamp> {
+        match self.warm_until.load(Ordering::Acquire) {
+            UNSET => None,
+            micros => Some(Timestamp::from_micros(micros)),
+        }
+    }
+
+    /// Exclusive overwrite (restore / reset paths).
+    fn set(&mut self, arm_at: Option<Timestamp>, warm_until: Option<Timestamp>, notified: bool) {
+        *self.arm_at.get_mut() = arm_at.map_or(UNSET, Timestamp::as_micros);
+        *self.warm_until.get_mut() = warm_until.map_or(UNSET, Timestamp::as_micros);
+        *self.arm_notified.get_mut() = notified;
+    }
+}
+
+impl Clone for WarmupClock {
+    fn clone(&self) -> Self {
+        Self {
+            arm_at: AtomicU64::new(self.arm_at.load(Ordering::Acquire)),
+            warm_until: AtomicU64::new(self.warm_until.load(Ordering::Acquire)),
+            arm_notified: AtomicBool::new(self.arm_notified.load(Ordering::Acquire)),
+        }
+    }
+}
+
 /// The bitmap filter of the paper's Section 4: constant-space,
 /// constant-time bounding of unsolicited inbound (and therefore
 /// peer-to-peer upload) traffic.
@@ -88,33 +201,60 @@ impl MergeStats for FilterStats {
 /// monomorphizes to nothing, so uninstrumented filters pay no cost;
 /// [`with_observer`](Self::with_observer) installs a real one (e.g.
 /// [`TelemetryObserver`](crate::TelemetryObserver)).
-#[derive(Debug, Clone)]
+///
+/// # Concurrency
+///
+/// All state except the observer is atomic: the bitmap is an
+/// [`AtomicBitmap`], counters and the warm-up clock are atomics, and the
+/// tick scheduler is the crate-internal `SharedEngine`. An unobserved
+/// filter (`O = NoopObserver`, [`PacketFilter::CONCURRENT`]) can
+/// therefore be driven through `&self` from many threads at once via
+/// [`process_packet_shared`](Self::process_packet_shared) /
+/// [`advance_shared`](Self::advance_shared) with verdicts and statistics
+/// identical to the exclusive path — which is what lets
+/// [`ShardedFilter`](crate::ShardedFilter) decide packets under a shard
+/// *read* lock. Observed filters serialize through `&mut` as before, so
+/// observers never need to be `Sync`.
+#[derive(Debug)]
 pub struct BitmapFilter<O: FilterObserver = NoopObserver> {
     config: BitmapFilterConfig,
-    bitmap: Bitmap,
-    engine: FilterEngine<O>,
-    stats: FilterStats,
-    /// Under [`FailMode::Open`], the trace time at which drops arm
-    /// (one expiry window past the cold start). `None` until the warm-up
-    /// clock has been anchored — by [`start_cold_at`](Snapshottable::start_cold_at),
-    /// a warm restore, or lazily by the first packet.
+    bitmap: AtomicBitmap,
+    engine: SharedEngine,
+    observer: O,
+    stats: SharedStats,
+    /// The warm-up clock. `arm_at`: under [`FailMode::Open`], the trace
+    /// time at which drops arm (one expiry window past the cold start),
+    /// unset until anchored — by
+    /// [`start_cold_at`](Snapshottable::start_cold_at), a warm restore,
+    /// or lazily by the first packet.
     ///
     /// Arming is a *pure function* of `(arm_at, now)` — there is no
     /// sticky armed flag — so verdicts stay independent of packet
     /// interleaving and a [`ShardedFilter`](crate::ShardedFilter) whose
     /// shards share one `arm_at` anchor matches a sequential run.
-    arm_at: Option<Timestamp>,
-    /// Whether the one-shot [`on_armed`](FilterObserver::on_armed)
-    /// notification has fired (telemetry only; never affects verdicts).
-    arm_notified: bool,
-    /// End of the warm-up window after a cold start, tracked for *both*
-    /// fail modes (telemetry only; never affects verdicts). Under
-    /// fail-closed this lets observers attribute early drops to empty
-    /// post-restart state ([`ForensicReason::FailClosedWarmup`]
+    ///
+    /// `warm_until`: end of the warm-up window after a cold start,
+    /// tracked for *both* fail modes (telemetry only; never affects
+    /// verdicts). Under fail-closed this lets observers attribute early
+    /// drops to empty post-restart state
+    /// ([`ForensicReason::FailClosedWarmup`]
     /// (upbound_telemetry::ForensicReason::FailClosedWarmup)) instead
     /// of genuinely unsolicited traffic. `Some(Timestamp::ZERO)` marks
     /// a warm restore: the window is considered already elapsed.
-    warm_until: Option<Timestamp>,
+    warmup: WarmupClock,
+}
+
+impl<O: FilterObserver + Clone> Clone for BitmapFilter<O> {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            bitmap: self.bitmap.clone(),
+            engine: self.engine.clone(),
+            observer: self.observer.clone(),
+            stats: self.stats.clone(),
+            warmup: self.warmup.clone(),
+        }
+    }
 }
 
 impl BitmapFilter {
@@ -131,26 +271,24 @@ impl BitmapFilter {
     /// decide packets; rotation ([`advance`](Self::advance)) is safe (a
     /// parked vector clears as a no-op).
     pub(crate) fn new_parked(config: BitmapFilterConfig) -> Self {
-        let bitmap = Bitmap::new_parked(
+        let bitmap = AtomicBitmap::new_parked(
             config.vectors(),
             config.vector_bits(),
             config.hash_functions(),
         );
-        let engine = FilterEngine::new(
+        let engine = SharedEngine::new(
             config.rotate_every(),
             config.uplink_monitor(),
             config.drop_policy(),
             config.rng_seed(),
-            NoopObserver,
         );
         Self {
             bitmap,
             engine,
+            observer: NoopObserver,
             config,
-            stats: FilterStats::default(),
-            arm_at: None,
-            arm_notified: false,
-            warm_until: None,
+            stats: SharedStats::default(),
+            warmup: WarmupClock::default(),
         }
     }
 }
@@ -159,22 +297,20 @@ impl<O: FilterObserver> BitmapFilter<O> {
     /// Creates a filter that reports decisions and rotations to
     /// `observer`.
     pub fn with_observer(config: BitmapFilterConfig, observer: O) -> Self {
-        let bitmap = Bitmap::new(config.vectors, config.vector_bits, config.hash_functions);
-        let engine = FilterEngine::new(
+        let bitmap = AtomicBitmap::new(config.vectors, config.vector_bits, config.hash_functions);
+        let engine = SharedEngine::new(
             config.rotate_every,
             config.uplink_monitor(),
             config.drop_policy,
             config.rng_seed,
-            observer,
         );
         Self {
             bitmap,
             engine,
+            observer,
             config,
-            stats: FilterStats::default(),
-            arm_at: None,
-            arm_notified: false,
-            warm_until: None,
+            stats: SharedStats::default(),
+            warmup: WarmupClock::default(),
         }
     }
 
@@ -189,12 +325,12 @@ impl<O: FilterObserver> BitmapFilter<O> {
 
     /// The installed observer.
     pub fn observer(&self) -> &O {
-        self.engine.observer()
+        &self.observer
     }
 
     /// The installed observer, mutably.
     pub fn observer_mut(&mut self) -> &mut O {
-        self.engine.observer_mut()
+        &mut self.observer
     }
 
     /// The configuration the filter was built with.
@@ -203,7 +339,7 @@ impl<O: FilterObserver> BitmapFilter<O> {
     }
 
     /// The underlying `{k × N}` bitmap.
-    pub fn bitmap(&self) -> &Bitmap {
+    pub fn bitmap(&self) -> &AtomicBitmap {
         &self.bitmap
     }
 
@@ -215,7 +351,7 @@ impl<O: FilterObserver> BitmapFilter<O> {
 
     /// Running counters.
     pub fn stats(&self) -> FilterStats {
-        self.stats
+        self.stats.load()
     }
 
     /// Total memory of the bit storage in bytes.
@@ -233,11 +369,33 @@ impl<O: FilterObserver> BitmapFilter<O> {
             engine,
             bitmap,
             stats,
+            observer,
             ..
         } = self;
-        engine.advance(now, |_at| {
+        engine.advance(now, |at, ticks| {
             bitmap.rotate();
-            stats.rotations += 1;
+            stats.rotations.fetch_add(1, Ordering::Relaxed);
+            // Ticks are rare (once per Δt), so the operating point is
+            // computed eagerly for the observer.
+            let monitor = engine.monitor();
+            let p_d = engine.drop_policy().drop_probability(monitor.rate_bps(at));
+            observer.on_rotation(&RotationEvent {
+                now: at,
+                rotations: ticks,
+                monitor,
+                p_d,
+            });
+        });
+    }
+
+    /// Lock-free twin of [`advance`](Self::advance), skipping observer
+    /// dispatch — callers guarantee `O` is [`NoopObserver`]
+    /// ([`FilterObserver::IS_NOOP`]), so nothing observable is skipped.
+    pub fn advance_shared(&self, now: Timestamp) {
+        debug_assert!(O::IS_NOOP, "advance_shared requires a no-op observer");
+        self.engine.advance(now, |_at, _ticks| {
+            self.bitmap.rotate();
+            self.stats.rotations.fetch_add(1, Ordering::Relaxed);
         });
     }
 
@@ -247,7 +405,7 @@ impl<O: FilterObserver> BitmapFilter<O> {
     pub fn is_armed(&self, now: Timestamp) -> bool {
         match self.config.fail_mode() {
             FailMode::Closed => true,
-            FailMode::Open => self.arm_at.is_some_and(|at| now >= at),
+            FailMode::Open => self.warmup.arm_at().is_some_and(|at| now >= at),
         }
     }
 
@@ -255,42 +413,71 @@ impl<O: FilterObserver> BitmapFilter<O> {
     /// been anchored. `None` for a fail-open filter that has seen no
     /// packet and no explicit cold start yet.
     pub fn armed_at(&self) -> Option<Timestamp> {
-        self.arm_at
+        self.warmup.arm_at()
     }
 
     /// Anchors the warm-up clock lazily at the first packet a fail-open
-    /// filter sees. Standalone fallback only: a sharded deployment must
-    /// anchor every shard uniformly (via
+    /// filter sees, then fires the cold-start notification if this call
+    /// won the anchor. Standalone fallback only: a sharded deployment
+    /// must anchor every shard uniformly (via
     /// [`start_cold_at`](Snapshottable::start_cold_at) at the first
     /// packet's timestamp) or shard verdicts diverge from a sequential
     /// run during warm-up.
     fn anchor_warmup(&mut self, now: Timestamp) {
+        if let Some(armed_at) = self.anchor_warmup_shared(now) {
+            self.observer.on_cold_start(now, armed_at);
+        }
+    }
+
+    /// The anchoring itself, through `&self`: compare-exchange from the
+    /// unset sentinel, so racing first packets anchor exactly once.
+    /// Returns the arming time when *this call* won the fail-open
+    /// anchor (the `&mut` wrapper fires the observer then).
+    fn anchor_warmup_shared(&self, now: Timestamp) -> Option<Timestamp> {
         // Telemetry-only warm-window anchor, kept for both fail modes.
-        if self.warm_until.is_none() {
-            self.warm_until = Some(now + self.config.expiry_timer());
-        }
-        if self.config.fail_mode() == FailMode::Open && self.arm_at.is_none() {
+        let until = (now + self.config.expiry_timer()).as_micros();
+        let _ = self.warmup.warm_until.compare_exchange(
+            UNSET,
+            until,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+        if self.config.fail_mode() == FailMode::Open
+            && self.warmup.arm_at.load(Ordering::Acquire) == UNSET
+        {
             let armed_at = now + self.config.expiry_timer();
-            self.arm_at = Some(armed_at);
-            self.arm_notified = false;
-            self.engine.notify_cold_start(now, armed_at);
+            if self
+                .warmup
+                .arm_at
+                .compare_exchange(
+                    UNSET,
+                    armed_at.as_micros(),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                self.warmup.arm_notified.store(false, Ordering::Release);
+                return Some(armed_at);
+            }
         }
+        None
     }
 
     /// `true` while `now` is inside the warm-up window after a cold
     /// start (telemetry only; never affects verdicts).
     pub fn is_warming(&self, now: Timestamp) -> bool {
-        self.warm_until.is_some_and(|until| now < until)
+        self.warmup.warm_until().is_some_and(|until| now < until)
     }
 
     /// Fires the one-shot armed notification when warm-up has elapsed.
     fn maybe_notify_armed(&mut self, now: Timestamp) {
-        if !self.arm_notified
+        if !*self.warmup.arm_notified.get_mut()
             && self.config.fail_mode() == FailMode::Open
-            && self.arm_at.is_some_and(|at| now >= at)
+            && self.warmup.arm_at().is_some_and(|at| now >= at)
         {
-            self.arm_notified = true;
-            self.engine.notify_armed(now);
+            *self.warmup.arm_notified.get_mut() = true;
+            self.observer.on_armed(now);
         }
     }
 
@@ -300,10 +487,10 @@ impl<O: FilterObserver> BitmapFilter<O> {
         self.advance(now);
         self.anchor_warmup(now);
         self.maybe_notify_armed(now);
-        self.stats.outbound_packets += 1;
+        self.stats.outbound_packets.fetch_add(1, Ordering::Relaxed);
         let key = tuple.outbound_key(self.config.hole_punching());
         self.bitmap.mark(&key.to_bytes());
-        self.engine.notify_outbound(tuple, now);
+        self.observer.on_outbound(tuple, now);
     }
 
     /// Checks an inbound packet's tuple against the current bit vector
@@ -320,52 +507,64 @@ impl<O: FilterObserver> BitmapFilter<O> {
         self.advance(now);
         self.anchor_warmup(now);
         self.maybe_notify_armed(now);
-        self.stats.inbound_packets += 1;
+        self.stats.inbound_packets.fetch_add(1, Ordering::Relaxed);
         let key = tuple.inbound_key(self.config.hole_punching());
         let key_bytes = key.to_bytes();
-        let known = self.bitmap.lookup(&key_bytes);
-        let (verdict, drop_draws, fail_open) = if known {
-            self.stats.inbound_hits += 1;
-            (Verdict::Pass, 0, false)
-        } else {
-            self.stats.inbound_misses += 1;
-            // Per-bit drop draws of Algorithm 2 (lines 9–13): every
-            // unmarked hashed bit gives an independent chance `p_d` to
-            // drop.
-            let unmarked = self.unmarked_bits(&key_bytes);
-            let mut would_drop = false;
-            for draw in 0..unmarked {
-                if self.engine.drop_draw(&key_bytes, now, draw as u32, p_d) {
-                    would_drop = true;
-                    break;
-                }
-            }
-            if would_drop && self.is_armed(now) {
-                self.stats.dropped += 1;
-                (Verdict::Drop, unmarked, false)
-            } else if would_drop {
-                // Warm-up grace: the draws said drop, but the filter's
-                // memory is too cold to trust — pass, and account the
-                // override so degradation stays observable.
-                self.stats.fail_open_passes += 1;
-                (Verdict::Pass, unmarked, true)
-            } else {
-                (Verdict::Pass, unmarked, false)
-            }
-        };
+        let (verdict, known, drop_draws, fail_open) =
+            self.decide_inbound_core(&key_bytes, now, p_d);
         let warming = self.is_warming(now);
-        self.engine.notify_inbound(
-            now, verdict, p_d, known, drop_draws, fail_open, warming, &key_bytes,
-        );
+        self.observer.on_inbound(&InboundDecision {
+            now,
+            verdict,
+            p_d,
+            known,
+            drop_draws,
+            fail_open,
+            warming,
+            key: &key_bytes,
+            rotation_epoch: self.engine.ticks(),
+            monitor: self.engine.monitor(),
+        });
         verdict
     }
 
-    fn unmarked_bits(&self, key_bytes: &[u8]) -> usize {
-        let family = self.bitmap.hash_family();
-        family
-            .indexes(key_bytes)
-            .filter(|&bit| !self.bitmap.current_bit(bit))
-            .count()
+    /// The verdict logic shared by the exclusive and concurrent inbound
+    /// paths: one seqlock-consistent bitmap probe, then the per-bit drop
+    /// draws of Algorithm 2 (lines 9–13) — every unmarked hashed bit
+    /// gives an independent chance `p_d` to drop. Returns
+    /// `(verdict, known, drop_draws, fail_open)`.
+    fn decide_inbound_core(
+        &self,
+        key_bytes: &[u8],
+        now: Timestamp,
+        p_d: f64,
+    ) -> (Verdict, bool, usize, bool) {
+        let probe = self.bitmap.probe(key_bytes);
+        if probe.known {
+            self.stats.inbound_hits.fetch_add(1, Ordering::Relaxed);
+            return (Verdict::Pass, true, 0, false);
+        }
+        self.stats.inbound_misses.fetch_add(1, Ordering::Relaxed);
+        let unmarked = probe.unmarked;
+        let mut would_drop = false;
+        for draw in 0..unmarked {
+            if self.engine.drop_draw(key_bytes, now, draw as u32, p_d) {
+                would_drop = true;
+                break;
+            }
+        }
+        if would_drop && self.is_armed(now) {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            (Verdict::Drop, false, unmarked, false)
+        } else if would_drop {
+            // Warm-up grace: the draws said drop, but the filter's
+            // memory is too cold to trust — pass, and account the
+            // override so degradation stays observable.
+            self.stats.fail_open_passes.fetch_add(1, Ordering::Relaxed);
+            (Verdict::Pass, false, unmarked, true)
+        } else {
+            (Verdict::Pass, false, unmarked, false)
+        }
     }
 
     /// The drop probability Equation 1 yields for the current measured
@@ -388,6 +587,45 @@ impl<O: FilterObserver> BitmapFilter<O> {
             Direction::Inbound => {
                 let p_d = self.drop_probability(now);
                 self.check_inbound(&packet.tuple(), now, p_d)
+            }
+        }
+    }
+
+    /// Lock-free twin of [`process_packet`](Self::process_packet): the
+    /// full per-packet pipeline through `&self`, verdict- and
+    /// stats-identical to the exclusive path. Callers guarantee `O` is
+    /// [`NoopObserver`] ([`FilterObserver::IS_NOOP`]) — with no hooks to
+    /// serialize, skipping observer dispatch changes nothing observable.
+    ///
+    /// [`ShardedFilter`](crate::ShardedFilter) drives this under a shard
+    /// *read* lock, so any number of workers decide packets on the same
+    /// shard concurrently.
+    pub fn process_packet_shared(&self, packet: &Packet, direction: Direction) -> Verdict {
+        debug_assert!(
+            O::IS_NOOP,
+            "process_packet_shared requires a no-op observer"
+        );
+        let now = packet.ts();
+        match direction {
+            Direction::Outbound => {
+                self.advance_shared(now);
+                self.anchor_warmup_shared(now);
+                self.stats.outbound_packets.fetch_add(1, Ordering::Relaxed);
+                let key = packet.tuple().outbound_key(self.config.hole_punching());
+                self.bitmap.mark(&key.to_bytes());
+                self.engine.record_uplink(now, packet.wire_len() as u64);
+                Verdict::Pass
+            }
+            Direction::Inbound => {
+                // `P_d` is sampled before rotations are applied, exactly
+                // like the exclusive path (`process_packet` derives it
+                // before `check_inbound` advances the clock).
+                let p_d = self.drop_probability(now);
+                self.advance_shared(now);
+                self.anchor_warmup_shared(now);
+                self.stats.inbound_packets.fetch_add(1, Ordering::Relaxed);
+                let key = packet.tuple().inbound_key(self.config.hole_punching());
+                self.decide_inbound_core(&key.to_bytes(), now, p_d).0
             }
         }
     }
@@ -426,11 +664,9 @@ impl<O: FilterObserver> BitmapFilter<O> {
     /// the aggregate measurement for every sibling shard.
     pub fn reset(&mut self) {
         self.bitmap.reset();
-        self.stats = FilterStats::default();
+        self.stats.store(FilterStats::default());
         self.engine.reset();
-        self.arm_at = None;
-        self.arm_notified = false;
-        self.warm_until = None;
+        self.warmup.set(None, None, false);
     }
 }
 
@@ -454,26 +690,29 @@ impl<O: FilterObserver> Snapshottable for BitmapFilter<O> {
         w.put_u64(next_tick.as_micros());
         // Uplink measurement window.
         snapshot::encode_monitor(self.engine.monitor(), w);
-        // Bitmap: rotation clock plus every vector's backing words.
-        let (vectors, idx, rotations) = self.bitmap.snapshot_fields();
+        // Bitmap: rotation clock plus every vector's backing words, as
+        // one seqlock-consistent copy (parked vectors encode zero
+        // words).
+        let (vectors, idx, rotations) = self.bitmap.snapshot_words();
         w.put_u32(idx as u32);
         w.put_u64(rotations);
-        for v in vectors {
-            w.put_u64(v.words().len() as u64);
-            for word in v.words() {
-                w.put_u64(*word);
+        for words in vectors {
+            w.put_u64(words.len() as u64);
+            for word in words {
+                w.put_u64(word);
             }
         }
         // Running statistics.
-        w.put_u64(self.stats.outbound_packets);
-        w.put_u64(self.stats.inbound_packets);
-        w.put_u64(self.stats.inbound_hits);
-        w.put_u64(self.stats.inbound_misses);
-        w.put_u64(self.stats.dropped);
-        w.put_u64(self.stats.fail_open_passes);
-        w.put_u64(self.stats.rotations);
+        let stats = self.stats.load();
+        w.put_u64(stats.outbound_packets);
+        w.put_u64(stats.inbound_packets);
+        w.put_u64(stats.inbound_hits);
+        w.put_u64(stats.inbound_misses);
+        w.put_u64(stats.dropped);
+        w.put_u64(stats.fail_open_passes);
+        w.put_u64(stats.rotations);
         // Warm-up clock.
-        match self.arm_at {
+        match self.warmup.arm_at() {
             Some(at) => {
                 w.put_bool(true);
                 w.put_u64(at.as_micros());
@@ -537,7 +776,7 @@ impl<O: FilterObserver> Snapshottable for BitmapFilter<O> {
                     words.push(r.u64()?);
                 }
                 vectors.push(
-                    BitVec::from_words(self.bitmap.vector_len(), words)
+                    AtomicBitVec::from_words(self.bitmap.vector_len(), words)
                         .ok_or(SnapshotError::Malformed("bit-vector contents"))?,
                 );
             } else {
@@ -564,7 +803,7 @@ impl<O: FilterObserver> Snapshottable for BitmapFilter<O> {
                 return Err(SnapshotError::Malformed("bitmap geometry"));
             }
         }
-        self.stats = FilterStats {
+        self.stats.store(FilterStats {
             outbound_packets: r.u64()?,
             inbound_packets: r.u64()?,
             inbound_hits: r.u64()?,
@@ -572,18 +811,21 @@ impl<O: FilterObserver> Snapshottable for BitmapFilter<O> {
             dropped: r.u64()?,
             fail_open_passes: r.u64()?,
             rotations: r.u64()?,
-        };
+        });
         let arm_set = r.bool()?;
         let arm_micros = r.u64()?;
         if mode == RestoreMode::Full {
-            self.arm_at = arm_set.then(|| Timestamp::from_micros(arm_micros));
+            let arm_at = arm_set.then(|| Timestamp::from_micros(arm_micros));
             // Re-fire the armed notification on the restored process if
-            // warm-up has not provably completed (telemetry only).
-            self.arm_notified = self.arm_at.is_none();
-            // A warm restore carries real filter state: treat the warm
+            // warm-up has not provably completed (telemetry only). A
+            // warm restore carries real filter state: treat the warm
             // window as elapsed unless the restored arm clock says
             // otherwise.
-            self.warm_until = Some(self.arm_at.unwrap_or(Timestamp::ZERO));
+            self.warmup.set(
+                arm_at,
+                Some(arm_at.unwrap_or(Timestamp::ZERO)),
+                arm_at.is_none(),
+            );
         }
         Ok(())
     }
@@ -591,18 +833,29 @@ impl<O: FilterObserver> Snapshottable for BitmapFilter<O> {
     fn start_cold_at(&mut self, epoch: Timestamp) {
         self.bitmap.reset();
         let armed_at = epoch + self.config.expiry_timer();
-        self.arm_at = Some(armed_at);
-        self.arm_notified = false;
-        self.warm_until = Some(armed_at);
-        self.engine.notify_cold_start(epoch, armed_at);
+        self.warmup.set(Some(armed_at), Some(armed_at), false);
+        self.observer.on_cold_start(epoch, armed_at);
     }
 }
 
 impl<O: FilterObserver> PacketFilter for BitmapFilter<O> {
     type Stats = FilterStats;
 
+    /// Concurrent exactly when the observer is a no-op: with no hooks to
+    /// serialize, the atomic bitmap/counters make `&self` decisions
+    /// verdict-identical to `&mut` ones.
+    const CONCURRENT: bool = O::IS_NOOP;
+
     fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
         self.process_packet(packet, direction)
+    }
+
+    fn decide_shared(&self, packet: &Packet, direction: Direction) -> Verdict {
+        self.process_packet_shared(packet, direction)
+    }
+
+    fn advance_shared(&self, now: Timestamp) {
+        BitmapFilter::advance_shared(self, now);
     }
 
     fn decide_batch(&mut self, packets: &[(Packet, Direction)], verdicts: &mut Vec<Verdict>) {

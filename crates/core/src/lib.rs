@@ -63,6 +63,8 @@
 #![deny(unsafe_code)]
 
 mod amortized;
+mod atomic_bitmap;
+mod atomic_bitvec;
 mod bitmap;
 mod bitvec;
 mod bloom;
@@ -76,11 +78,14 @@ pub mod params;
 mod pfilter;
 mod red;
 mod sharded;
+mod shared_engine;
 pub mod snapshot;
 mod subscriber;
 mod throughput;
 
 pub use amortized::{AmortizedBitmap, DEFAULT_CLEAR_CHUNK_WORDS};
+pub use atomic_bitmap::{AtomicBitmap, BitmapProbe};
+pub use atomic_bitvec::AtomicBitVec;
 pub use bitmap::Bitmap;
 pub use bitvec::BitVec;
 pub use bloom::BloomFilter;

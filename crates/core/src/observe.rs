@@ -118,6 +118,13 @@ pub struct RotationEvent<'a> {
 /// All methods have empty default bodies, so an observer only
 /// implements what it cares about.
 pub trait FilterObserver {
+    /// `true` only for [`NoopObserver`]: every hook is a no-op, so the
+    /// filter may take concurrent (`&self`) decision paths that skip
+    /// observer dispatch entirely. Observers with real hooks keep the
+    /// default `false` and are driven exclusively through `&mut` entry
+    /// points.
+    const IS_NOOP: bool = false;
+
     /// An outbound packet was observed (always passed).
     #[inline]
     fn on_outbound(&mut self, tuple: &FiveTuple, now: Timestamp) {
@@ -156,7 +163,9 @@ pub trait FilterObserver {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NoopObserver;
 
-impl FilterObserver for NoopObserver {}
+impl FilterObserver for NoopObserver {
+    const IS_NOOP: bool = true;
+}
 
 /// Bridges filter events into `upbound-telemetry`: registry-backed
 /// counters/gauges plus a ring-buffer journal of [`FilterEvent`]s.

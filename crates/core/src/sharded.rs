@@ -3,9 +3,13 @@
 //! The paper's filter does O(1) work per packet, but a single filter
 //! behind a single lock serializes every packet and caps throughput at
 //! one core. [`ShardedFilter`] partitions the five-tuple space by a
-//! direction-symmetric [`FlowHash`] across N independently locked
-//! shards, so NIC-queue workers that partition packets the same way
-//! almost never contend.
+//! direction-symmetric [`FlowHash`] across N shards. For concurrent
+//! filters ([`PacketFilter::CONCURRENT`], i.e. the unobserved
+//! `BitmapFilter` with its atomic bitmap) the per-packet path takes only
+//! a shard *read* lock — any number of workers decide packets on any
+//! shard simultaneously, and the shard count controls data partitioning
+//! rather than lock granularity. Exclusive filters (SPI, observed
+//! filters) keep the original one-writer-per-shard locking.
 //!
 //! Three invariants make the sharded filter behave exactly like one big
 //! sequential filter:
@@ -31,8 +35,10 @@ use crate::snapshot::{
     self, ByteReader, ByteWriter, RestoreMode, RestoreOutcome, SnapshotError, Snapshottable,
     SHARDED_KIND_FLAG,
 };
-use crate::{BitmapFilter, BitmapFilterConfig, ConfigError, ThroughputMonitor, Verdict};
-use parking_lot::Mutex;
+use crate::{
+    BitmapFilter, BitmapFilterConfig, ConfigError, DropPolicy, ThroughputMonitor, Verdict,
+};
+use parking_lot::RwLock;
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -106,9 +112,15 @@ impl fmt::Display for ShardIndexError {
 impl std::error::Error for ShardIndexError {}
 
 struct Inner<F> {
-    shards: Vec<Mutex<F>>,
+    shards: Vec<RwLock<F>>,
     flow: FlowHash,
     uplink: Arc<ThroughputMonitor>,
+    /// The RED curve every shard applies, cached here so telemetry reads
+    /// of the global `P_d` derive it straight from the aggregate uplink
+    /// monitor without touching any shard lock. `None` for
+    /// [`ShardedFilter::from_shards`] assemblies, whose shards' policies
+    /// the container cannot see — those fall back to asking shard 0.
+    drop_policy: Option<DropPolicy>,
     name: String,
     /// Running-max timestamp (in microseconds) over every packet this
     /// handle has batched, persisted across [`ShardedFilter::process_batch`]
@@ -149,11 +161,11 @@ struct Inner<F> {
 /// );
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct ShardedFilter<F: PacketFilter + Send = BitmapFilter> {
+pub struct ShardedFilter<F: PacketFilter + Send + Sync = BitmapFilter> {
     inner: Arc<Inner<F>>,
 }
 
-impl<F: PacketFilter + Send> Clone for ShardedFilter<F> {
+impl<F: PacketFilter + Send + Sync> Clone for ShardedFilter<F> {
     fn clone(&self) -> Self {
         Self {
             inner: Arc::clone(&self.inner),
@@ -161,7 +173,7 @@ impl<F: PacketFilter + Send> Clone for ShardedFilter<F> {
     }
 }
 
-impl<F: PacketFilter + Send> fmt::Debug for ShardedFilter<F> {
+impl<F: PacketFilter + Send + Sync> fmt::Debug for ShardedFilter<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShardedFilter")
             .field("name", &self.inner.name)
@@ -220,11 +232,16 @@ impl ShardedFilterBuilder {
         let filters = (0..self.shards)
             .map(|_| BitmapFilter::new(self.config.clone()).with_shared_uplink(Arc::clone(&uplink)))
             .collect();
-        Ok(ShardedFilter::from_shards(flow, uplink, filters))
+        Ok(ShardedFilter::assemble(
+            flow,
+            uplink,
+            Some(self.config.drop_policy()),
+            filters,
+        ))
     }
 }
 
-impl<F: PacketFilter + Send> ShardedFilter<F> {
+impl<F: PacketFilter + Send + Sync> ShardedFilter<F> {
     /// Assembles a sharded filter from pre-built shards.
     ///
     /// Every shard should already measure uplink throughput through
@@ -236,13 +253,23 @@ impl<F: PacketFilter + Send> ShardedFilter<F> {
     ///
     /// Panics if `filters` is empty.
     pub fn from_shards(flow: FlowHash, uplink: Arc<ThroughputMonitor>, filters: Vec<F>) -> Self {
+        Self::assemble(flow, uplink, None, filters)
+    }
+
+    fn assemble(
+        flow: FlowHash,
+        uplink: Arc<ThroughputMonitor>,
+        drop_policy: Option<DropPolicy>,
+        filters: Vec<F>,
+    ) -> Self {
         assert!(!filters.is_empty(), "need at least one shard");
         let name = format!("sharded-{}x{}", filters[0].name(), filters.len());
         Self {
             inner: Arc::new(Inner {
-                shards: filters.into_iter().map(Mutex::new).collect(),
+                shards: filters.into_iter().map(RwLock::new).collect(),
                 flow,
                 uplink,
+                drop_policy,
                 name,
                 watermark: AtomicU64::new(0),
             }),
@@ -269,11 +296,21 @@ impl<F: PacketFilter + Send> ShardedFilter<F> {
         (self.inner.flow.key(tuple, direction) % self.inner.shards.len() as u64) as usize
     }
 
-    /// Runs the full per-packet pipeline on the packet's shard, locking
-    /// only that shard.
+    /// Runs the full per-packet pipeline on the packet's shard. For a
+    /// concurrent filter ([`PacketFilter::CONCURRENT`]) this takes only
+    /// the shard's *read* lock — the decision itself is lock-free on the
+    /// atomic bitmap, so workers on the same shard proceed in parallel;
+    /// exclusive filters take the write lock as before. The branch is on
+    /// an associated constant, so it folds away at monomorphization.
     pub fn process_packet(&self, packet: &Packet, direction: Direction) -> Verdict {
         let shard = self.shard_of(&packet.tuple(), direction);
-        self.inner.shards[shard].lock().decide(packet, direction)
+        if F::CONCURRENT {
+            self.inner.shards[shard]
+                .read()
+                .decide_shared(packet, direction)
+        } else {
+            self.inner.shards[shard].write().decide(packet, direction)
+        }
     }
 
     /// Like [`process_packet`](Self::process_packet), but first brings
@@ -294,9 +331,15 @@ impl<F: PacketFilter + Send> ShardedFilter<F> {
         watermark: Timestamp,
     ) -> Verdict {
         let shard = self.shard_of(&packet.tuple(), direction);
-        let mut guard = self.inner.shards[shard].lock();
-        guard.advance(watermark);
-        guard.decide(packet, direction)
+        if F::CONCURRENT {
+            let guard = self.inner.shards[shard].read();
+            guard.advance_shared(watermark);
+            guard.decide_shared(packet, direction)
+        } else {
+            let mut guard = self.inner.shards[shard].write();
+            guard.advance(watermark);
+            guard.decide(packet, direction)
+        }
     }
 
     /// Runs the full per-packet pipeline on a batch of packets,
@@ -305,10 +348,13 @@ impl<F: PacketFilter + Send> ShardedFilter<F> {
     /// Every shard lock is taken **once per batch** — up front, in
     /// shard-index order (the fixed hierarchy all multi-lock paths
     /// share, so concurrent batches cannot deadlock) — and the batch is
-    /// then decided strictly in input order. That amortizes the
-    /// lock/dispatch cost that dominates at high packet rates while
-    /// keeping verdicts byte-identical to feeding the same stream
-    /// through a sequential filter one packet at a time:
+    /// then decided strictly in input order. Concurrent filters
+    /// ([`PacketFilter::CONCURRENT`]) take *read* locks, so many worker
+    /// handles batch against the same shards simultaneously; exclusive
+    /// filters take write locks and serialize per shard. Either way the
+    /// amortized lock/dispatch cost keeps verdicts byte-identical to
+    /// feeding the same stream through a sequential filter one packet at
+    /// a time:
     ///
     /// * packets are decided in input order, so an inbound decision
     ///   observes exactly the uplink bytes recorded by the outbound
@@ -326,14 +372,31 @@ impl<F: PacketFilter + Send> ShardedFilter<F> {
         verdicts.reserve(packets.len());
         let shard_count = self.inner.shards.len();
         let mut wm = self.inner.watermark.load(Ordering::Relaxed);
-        let mut guards: Vec<_> = self.inner.shards.iter().map(|shard| shard.lock()).collect();
-        for (packet, direction) in packets {
-            wm = wm.max(packet.ts().as_micros());
-            let shard =
-                (self.inner.flow.key(&packet.tuple(), *direction) % shard_count as u64) as usize;
-            let guard = &mut guards[shard];
-            guard.advance(Timestamp::from_micros(wm));
-            verdicts.push(guard.decide(packet, *direction));
+        if F::CONCURRENT {
+            let guards: Vec<_> = self.inner.shards.iter().map(|shard| shard.read()).collect();
+            for (packet, direction) in packets {
+                wm = wm.max(packet.ts().as_micros());
+                let shard = (self.inner.flow.key(&packet.tuple(), *direction) % shard_count as u64)
+                    as usize;
+                let guard = &guards[shard];
+                guard.advance_shared(Timestamp::from_micros(wm));
+                verdicts.push(guard.decide_shared(packet, *direction));
+            }
+        } else {
+            let mut guards: Vec<_> = self
+                .inner
+                .shards
+                .iter()
+                .map(|shard| shard.write())
+                .collect();
+            for (packet, direction) in packets {
+                wm = wm.max(packet.ts().as_micros());
+                let shard = (self.inner.flow.key(&packet.tuple(), *direction) % shard_count as u64)
+                    as usize;
+                let guard = &mut guards[shard];
+                guard.advance(Timestamp::from_micros(wm));
+                verdicts.push(guard.decide(packet, *direction));
+            }
         }
         self.inner.watermark.fetch_max(wm, Ordering::Relaxed);
     }
@@ -342,8 +405,14 @@ impl<F: PacketFilter + Send> ShardedFilter<F> {
     /// shards, bringing them to a common tick phase (e.g. before reading
     /// [`stats`](Self::stats) at a trace boundary).
     pub fn advance(&self, now: Timestamp) {
-        for shard in &self.inner.shards {
-            shard.lock().advance(now);
+        if F::CONCURRENT {
+            for shard in &self.inner.shards {
+                shard.read().advance_shared(now);
+            }
+        } else {
+            for shard in &self.inner.shards {
+                shard.write().advance(now);
+            }
         }
     }
 
@@ -352,7 +421,7 @@ impl<F: PacketFilter + Send> ShardedFilter<F> {
     pub fn stats(&self) -> F::Stats {
         let mut merged = F::Stats::default();
         for shard in &self.inner.shards {
-            merged.merge(&shard.lock().stats());
+            merged.merge(&shard.read().stats());
         }
         merged
     }
@@ -362,14 +431,22 @@ impl<F: PacketFilter + Send> ShardedFilter<F> {
         self.inner
             .shards
             .iter()
-            .map(|s| s.lock().memory_bytes())
+            .map(|s| s.read().memory_bytes())
             .sum()
     }
 
     /// The drop probability derived from the shared aggregate uplink
     /// rate — identical for every shard by construction.
+    ///
+    /// Builder-assembled filters cache the RED curve and apply it to the
+    /// shared monitor directly, so this telemetry read touches no shard
+    /// lock; [`from_shards`](Self::from_shards) assemblies (whose
+    /// policies the container cannot see) fall back to asking shard 0.
     pub fn drop_probability(&self, now: Timestamp) -> f64 {
-        self.inner.shards[0].lock().drop_probability(now)
+        match &self.inner.drop_policy {
+            Some(policy) => policy.drop_probability(self.inner.uplink.rate_bps(now)),
+            None => self.inner.shards[0].read().drop_probability(now),
+        }
     }
 
     /// Runs `f` with exclusive access to shard `index`.
@@ -386,7 +463,7 @@ impl<F: PacketFilter + Send> ShardedFilter<F> {
             index,
             shards: self.inner.shards.len(),
         })?;
-        Ok(f(&mut shard.lock()))
+        Ok(f(&mut shard.write()))
     }
 
     /// Swaps shard `index` for `filter`, discarding the old shard state.
@@ -406,7 +483,7 @@ impl<F: PacketFilter + Send> ShardedFilter<F> {
             index,
             shards: self.inner.shards.len(),
         })?;
-        *shard.lock() = filter;
+        *shard.write() = filter;
         Ok(())
     }
 
@@ -416,7 +493,7 @@ impl<F: PacketFilter + Send> ShardedFilter<F> {
     }
 }
 
-impl<F: PacketFilter + Send + Snapshottable> ShardedFilter<F> {
+impl<F: PacketFilter + Send + Sync + Snapshottable> ShardedFilter<F> {
     /// The container kind a sharded checkpoint of this filter type uses:
     /// the shard kind with [`SHARDED_KIND_FLAG`] set.
     pub fn snapshot_kind() -> u32 {
@@ -432,7 +509,7 @@ impl<F: PacketFilter + Send + Snapshottable> ShardedFilter<F> {
     /// correspond to the same instant, exactly as a sequential filter
     /// would have been at `watermark`.
     pub fn checkpoint_bytes(&self, watermark: Timestamp) -> Vec<u8> {
-        let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
+        let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.write()).collect();
         let mut w = ByteWriter::new();
         w.put_u32(guards.len() as u32);
         for guard in &mut guards {
@@ -492,7 +569,7 @@ impl<F: PacketFilter + Send + Snapshottable> ShardedFilter<F> {
         } else {
             RestoreMode::Full
         };
-        let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
+        let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.write()).collect();
         for guard in guards.iter_mut() {
             let len = r.u64()? as usize;
             let payload = r.take(len)?;
@@ -536,15 +613,23 @@ impl<F: PacketFilter + Send + Snapshottable> ShardedFilter<F> {
     /// verdicts identical to a sequential filter's.
     pub fn start_cold_at(&self, epoch: Timestamp) {
         for shard in &self.inner.shards {
-            shard.lock().start_cold_at(epoch);
+            shard.write().start_cold_at(epoch);
         }
     }
 }
 
-impl<F: PacketFilter + Send> PacketFilter for ShardedFilter<F> {
+impl<F: PacketFilter + Send + Sync> PacketFilter for ShardedFilter<F> {
     type Stats = F::Stats;
 
+    /// The handle decides through `&self` already, so a sharded filter
+    /// is itself concurrent whenever its shards are.
+    const CONCURRENT: bool = F::CONCURRENT;
+
     fn decide(&mut self, packet: &Packet, direction: Direction) -> Verdict {
+        ShardedFilter::process_packet(self, packet, direction)
+    }
+
+    fn decide_shared(&self, packet: &Packet, direction: Direction) -> Verdict {
         ShardedFilter::process_packet(self, packet, direction)
     }
 
@@ -553,6 +638,10 @@ impl<F: PacketFilter + Send> PacketFilter for ShardedFilter<F> {
     }
 
     fn advance(&mut self, now: Timestamp) {
+        ShardedFilter::advance(self, now);
+    }
+
+    fn advance_shared(&self, now: Timestamp) {
         ShardedFilter::advance(self, now);
     }
 

@@ -1,0 +1,292 @@
+//! The `&self` twin of [`FilterEngine`](crate::FilterEngine): tick
+//! scheduling, uplink bookkeeping, `P_d` derivation and drop draws with
+//! atomic state, so concurrent deciders never take a lock between ticks.
+//!
+//! [`BitmapFilter`](crate::BitmapFilter) embeds a [`SharedEngine`]; the
+//! SPI baseline (whose flow table is inherently `&mut`) keeps the
+//! original [`FilterEngine`](crate::FilterEngine). Observer dispatch
+//! stays with the filter — the engine here is pure clockwork, which is
+//! what lets every method take `&self`.
+
+use crate::engine::{unit_draw, Uplink, MAX_TICK_CATCHUP};
+use crate::red::DropPolicy;
+use crate::ThroughputMonitor;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use upbound_net::{TimeDelta, Timestamp};
+
+/// Tick scheduling, uplink throughput bookkeeping, `P_d` derivation and
+/// deterministic drop draws — all through `&self`.
+///
+/// The tick phase lives in two atomics (`ticks`, `next_tick`) guarded by
+/// a mutex that only the thread *performing* a due tick takes; the
+/// packet-rate fast path is a single `Acquire` load comparing `now`
+/// against `next_tick`. Ticks come once per `Δt` (seconds) while
+/// packets come millions per second, so the lock is uncontended in any
+/// sane configuration and absent from the hot path entirely.
+#[derive(Debug)]
+pub(crate) struct SharedEngine {
+    drop_policy: DropPolicy,
+    seed: u64,
+    tick_every: TimeDelta,
+    /// Microseconds of the next due tick.
+    next_tick: AtomicU64,
+    /// Ticks performed (the rotation epoch reported to observers).
+    ticks: AtomicU64,
+    /// Serializes tick execution; never taken between ticks.
+    tick_lock: Mutex<()>,
+    uplink: Uplink,
+}
+
+impl SharedEngine {
+    /// Creates an engine ticking every `tick_every`, measuring uplink
+    /// throughput with `monitor`, deriving `P_d` from `drop_policy`, and
+    /// seeding drop draws with `seed`.
+    pub(crate) fn new(
+        tick_every: TimeDelta,
+        monitor: ThroughputMonitor,
+        drop_policy: DropPolicy,
+        seed: u64,
+    ) -> Self {
+        Self {
+            drop_policy,
+            seed,
+            tick_every,
+            next_tick: AtomicU64::new((Timestamp::ZERO + tick_every).as_micros()),
+            ticks: AtomicU64::new(0),
+            tick_lock: Mutex::new(()),
+            uplink: Uplink::Local(monitor),
+        }
+    }
+
+    /// Rebinds the uplink measurement to a monitor shared with sibling
+    /// shards (see [`FilterEngine::share_uplink`](crate::FilterEngine::share_uplink)).
+    pub(crate) fn share_uplink(&mut self, uplink: Arc<ThroughputMonitor>) {
+        self.uplink = Uplink::Shared(uplink);
+    }
+
+    /// The uplink throughput monitor (owned or shared).
+    pub(crate) fn monitor(&self) -> &ThroughputMonitor {
+        self.uplink.monitor()
+    }
+
+    /// Ticks performed so far.
+    pub(crate) fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Acquire)
+    }
+
+    /// The drop policy in force.
+    pub(crate) fn drop_policy(&self) -> DropPolicy {
+        self.drop_policy
+    }
+
+    /// `true` when at least one tick is due at or before `now` — the
+    /// single-load guard the per-packet path pays between ticks.
+    #[inline]
+    pub(crate) fn tick_due(&self, now: Timestamp) -> bool {
+        now.as_micros() >= self.next_tick.load(Ordering::Acquire)
+    }
+
+    /// Records `bytes` of uplink traffic at time `now`.
+    pub(crate) fn record_uplink(&self, now: Timestamp, bytes: u64) {
+        self.uplink.monitor().record(now, bytes);
+    }
+
+    /// The drop probability Equation 1 yields for the currently measured
+    /// uplink throughput.
+    pub(crate) fn drop_probability(&self, now: Timestamp) -> f64 {
+        self.drop_policy
+            .drop_probability(self.uplink.monitor().rate_bps(now))
+    }
+
+    /// Applies every tick due at or before `now`, calling
+    /// `on_tick(at, ticks_after)` with the tick's scheduled timestamp
+    /// and the tick count *including* that tick — the same values
+    /// [`FilterEngine::advance`](crate::FilterEngine::advance) exposes.
+    ///
+    /// Concurrent callers race benignly: one thread takes the tick lock
+    /// and performs the due ticks, the rest re-check under the lock and
+    /// find nothing due. Backward timestamps never tick, and far-future
+    /// arrears beyond `MAX_TICK_CATCHUP` are skipped in O(1) exactly
+    /// like the exclusive engine.
+    pub(crate) fn advance(&self, now: Timestamp, mut on_tick: impl FnMut(Timestamp, u64)) {
+        if !self.tick_due(now) {
+            return;
+        }
+        let _guard = self.tick_lock.lock();
+        let every = self.tick_every.as_micros();
+        let mut next = self.next_tick.load(Ordering::Acquire);
+        if now.as_micros() >= next {
+            let due = (now.as_micros() - next) / every + 1;
+            if due > MAX_TICK_CATCHUP {
+                let skipped = due - MAX_TICK_CATCHUP;
+                self.ticks.fetch_add(skipped, Ordering::Relaxed);
+                next += every * skipped;
+            }
+        }
+        while now.as_micros() >= next {
+            let at = Timestamp::from_micros(next);
+            let ticks_after = self.ticks.load(Ordering::Relaxed) + 1;
+            on_tick(at, ticks_after);
+            self.ticks.store(ticks_after, Ordering::Release);
+            next += every;
+            self.next_tick.store(next, Ordering::Release);
+        }
+    }
+
+    /// One deterministic drop draw (see
+    /// [`FilterEngine::drop_draw`](crate::FilterEngine::drop_draw) — the
+    /// function is identical, so sharded, concurrent and sequential runs
+    /// stay verdict-for-verdict equal).
+    pub(crate) fn drop_draw(&self, key_bytes: &[u8], now: Timestamp, draw: u32, p_d: f64) -> bool {
+        if p_d <= 0.0 {
+            return false;
+        }
+        if p_d >= 1.0 {
+            return true;
+        }
+        unit_draw(self.seed, key_bytes, now, draw) < p_d
+    }
+
+    /// Exports the tick phase `(ticks, next_tick)` for snapshot encoding.
+    pub(crate) fn tick_phase(&self) -> (u64, Timestamp) {
+        let _guard = self.tick_lock.lock();
+        (
+            self.ticks.load(Ordering::Relaxed),
+            Timestamp::from_micros(self.next_tick.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Restores a tick phase captured by [`tick_phase`](Self::tick_phase).
+    pub(crate) fn restore_tick_phase(&mut self, ticks: u64, next_tick: Timestamp) {
+        *self.ticks.get_mut() = ticks;
+        *self.next_tick.get_mut() = next_tick.as_micros();
+    }
+
+    /// Clears tick phase and the uplink monitor (shared-uplink caveat as
+    /// in [`FilterEngine::reset`](crate::FilterEngine::reset)).
+    pub(crate) fn reset(&mut self) {
+        *self.ticks.get_mut() = 0;
+        *self.next_tick.get_mut() = (Timestamp::ZERO + self.tick_every).as_micros();
+        self.uplink.monitor().reset();
+    }
+}
+
+impl Clone for SharedEngine {
+    fn clone(&self) -> Self {
+        let (ticks, next_tick) = self.tick_phase();
+        Self {
+            drop_policy: self.drop_policy,
+            seed: self.seed,
+            tick_every: self.tick_every,
+            next_tick: AtomicU64::new(next_tick.as_micros()),
+            ticks: AtomicU64::new(ticks),
+            tick_lock: Mutex::new(()),
+            uplink: self.uplink.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(seed: u64) -> SharedEngine {
+        SharedEngine::new(
+            TimeDelta::from_secs(5.0),
+            ThroughputMonitor::new(TimeDelta::from_secs(1.0), 20),
+            DropPolicy::drop_all(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn advance_matches_exclusive_engine_semantics() {
+        let e = engine(0);
+        let mut fired = Vec::new();
+        e.advance(Timestamp::from_secs(17.0), |at, ticks| {
+            fired.push((at, ticks));
+        });
+        assert_eq!(
+            fired,
+            vec![
+                (Timestamp::from_secs(5.0), 1),
+                (Timestamp::from_secs(10.0), 2),
+                (Timestamp::from_secs(15.0), 3),
+            ]
+        );
+        assert_eq!(e.ticks(), 3);
+        e.advance(Timestamp::from_secs(17.0), |_, _| panic!("no tick due"));
+        e.advance(Timestamp::from_secs(3.0), |_, _| {
+            panic!("backward time must not tick")
+        });
+    }
+
+    #[test]
+    fn far_future_advance_is_bounded() {
+        let e = engine(0);
+        let mut fired = 0u64;
+        e.advance(Timestamp::from_secs(1e8), |_, _| fired += 1);
+        assert_eq!(fired, MAX_TICK_CATCHUP);
+        assert_eq!(e.ticks(), 20_000_000);
+        e.advance(Timestamp::from_secs(1e8), |_, _| panic!("no tick due"));
+    }
+
+    #[test]
+    fn concurrent_advance_ticks_exactly_once() {
+        use std::sync::atomic::AtomicU64 as Counter;
+        let e = engine(0);
+        let fired = Counter::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (e, fired) = (&e, &fired);
+                scope.spawn(move || {
+                    for s in 1..=40u64 {
+                        e.advance(Timestamp::from_secs(s as f64), |_, _| {
+                            fired.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        // 40 s / 5 s = 8 due ticks, each performed by exactly one thread.
+        assert_eq!(fired.load(Ordering::Relaxed), 8);
+        assert_eq!(e.ticks(), 8);
+    }
+
+    #[test]
+    fn draws_match_the_exclusive_engine() {
+        use crate::observe::NoopObserver;
+        let shared = engine(42);
+        let exclusive = crate::FilterEngine::new(
+            TimeDelta::from_secs(5.0),
+            ThroughputMonitor::new(TimeDelta::from_secs(1.0), 20),
+            DropPolicy::drop_all(),
+            42,
+            NoopObserver,
+        );
+        let now = Timestamp::from_secs(3.0);
+        for i in 0..256u32 {
+            let key = i.to_le_bytes();
+            assert_eq!(
+                shared.drop_draw(&key, now, i % 3, 0.5),
+                exclusive.drop_draw(&key, now, i % 3, 0.5),
+            );
+        }
+    }
+
+    #[test]
+    fn tick_phase_roundtrips() {
+        let mut e = engine(0);
+        e.advance(Timestamp::from_secs(12.0), |_, _| {});
+        let (ticks, next) = e.tick_phase();
+        assert_eq!(ticks, 2);
+        let mut restored = engine(0);
+        restored.restore_tick_phase(ticks, next);
+        assert_eq!(restored.ticks(), 2);
+        restored.advance(Timestamp::from_secs(12.0), |_, _| panic!("caught up"));
+        e.reset();
+        assert_eq!(e.ticks(), 0);
+    }
+}

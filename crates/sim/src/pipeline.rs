@@ -372,7 +372,7 @@ pub fn run_subscriber_pipeline<I, F>(
 ) -> (PipelineResult, SubscriberTable<F>)
 where
     I: IntoIterator<Item = Packet>,
-    F: PacketFilter<Stats = FilterStats> + Send,
+    F: PacketFilter<Stats = FilterStats> + Send + Sync,
 {
     let classifier = table.classifier();
     let (to_filter_tx, to_filter_rx): (Sender<(Packet, Direction)>, Receiver<_>) =
@@ -465,14 +465,17 @@ fn account(result: &mut PipelineResult, packet: &Packet, direction: Direction, v
 ///
 /// The ingest stage tags each packet with a sequence number and the
 /// running *maximum* timestamp seen so far (the watermark), and routes
-/// it by [`ShardedFilter::shard_of`], so each worker only ever locks its
-/// own shard (uncontended on the hot path). Workers decide via
-/// [`ShardedFilter::process_packet_at`], which first advances the shard
-/// to the watermark — on a trace with non-monotonic timestamps this pins
-/// every shard to the tick phase a sequential filter would hold, instead
-/// of each shard drifting on its own packets' clocks. The merge stage
-/// restores sequence order before accounting, so downstream consumers
-/// see the same stream a sequential run would produce.
+/// it by [`ShardedFilter::shard_of`], so each worker only ever touches
+/// its own shard's state. Workers decide via
+/// [`ShardedFilter::process_packet_at`] — for the concurrent bitmap
+/// filter that is a shard *read* lock around lock-free atomic marks and
+/// lookups, so workers never serialize against each other — which first
+/// advances the shard to the watermark: on a trace with non-monotonic
+/// timestamps this pins every shard to the tick phase a sequential
+/// filter would hold, instead of each shard drifting on its own packets'
+/// clocks. The merge stage restores sequence order before accounting, so
+/// downstream consumers see the same stream a sequential run would
+/// produce.
 ///
 /// With the paper-default `P_d ≡ 1` policy the verdicts (and the merged
 /// [`FilterStats`]) are identical to a sequential [`run_pipeline`] run.
@@ -502,11 +505,11 @@ where
 
     let scope_result = crossbeam::thread::scope(|scope| {
         // Filter workers: one per shard. Each pulls up to `batch_size`
-        // queued packets (blocking only for the first), then takes its
-        // shard lock once for the whole batch — the per-packet
-        // advance-to-watermark + decide inside the single critical
-        // section is exactly the `process_packet_at` sequence, so
-        // verdicts are unchanged; only the locking is amortized.
+        // queued packets (blocking only for the first, to amortize the
+        // channel wakeup), then decides them one by one through
+        // `process_packet_at` — the bitmap filter's shared path, which
+        // marks and looks up the atomic bitmap under a shard read lock
+        // instead of serializing the batch behind a write lock.
         for rx in worker_rxs {
             let handle = sharded.clone();
             let merge_tx = merge_tx.clone();
@@ -522,23 +525,8 @@ where
                             Err(_) => break,
                         }
                     }
-                    // Every packet on this channel routes to one shard.
-                    let shard = handle.shard_of(&batch[0].1.tuple(), batch[0].2);
-                    let decided = handle.with_shard(shard, |f| {
-                        batch
-                            .iter()
-                            .map(|(_, packet, direction, watermark)| {
-                                f.advance(*watermark);
-                                f.decide(packet, *direction)
-                            })
-                            .collect::<Vec<_>>()
-                    });
-                    let Ok(verdicts) = decided else {
-                        // Unreachable: `shard_of` is in range by
-                        // construction. Stop cleanly rather than panic.
-                        break;
-                    };
-                    for ((seq, packet, direction, _), verdict) in batch.drain(..).zip(verdicts) {
+                    for (seq, packet, direction, watermark) in batch.drain(..) {
+                        let verdict = handle.process_packet_at(&packet, direction, watermark);
                         if merge_tx.send((seq, packet, direction, verdict)).is_err() {
                             break 'stream;
                         }
@@ -844,7 +832,7 @@ pub fn run_supervised_pipeline_with<I, F, R>(
 ) -> SupervisedResult
 where
     I: IntoIterator<Item = Packet>,
-    F: PacketFilter<Stats = FilterStats> + Send,
+    F: PacketFilter<Stats = FilterStats> + Send + Sync,
     R: Fn(usize, Timestamp) -> F + Sync,
 {
     run_supervised_pipeline_observed(
@@ -881,7 +869,7 @@ pub fn run_supervised_pipeline_observed<I, F, R>(
 ) -> SupervisedResult
 where
     I: IntoIterator<Item = Packet>,
-    F: PacketFilter<Stats = FilterStats> + Send,
+    F: PacketFilter<Stats = FilterStats> + Send + Sync,
     R: Fn(usize, Timestamp) -> F + Sync,
 {
     let (worker_txs, worker_rxs): (Vec<_>, Vec<_>) = (0..sharded.shards())

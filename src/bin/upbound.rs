@@ -534,7 +534,7 @@ fn write_metrics(path: &str, format: &MetricsFormat, snapshot: &Snapshot) -> Res
 /// hazard flush in `cmd_filter`), so this is byte-identical to deciding
 /// one packet at a time.
 #[allow(clippy::too_many_arguments)]
-fn flush_staged<F: PacketFilter + Send>(
+fn flush_staged<F: PacketFilter + Send + Sync>(
     filter: &ShardedFilter<F>,
     staged: &mut Vec<(Packet, Direction)>,
     staged_conns: &mut HashSet<FiveTuple>,

@@ -153,3 +153,69 @@ proptest! {
         assert_sharding_transparent(&config, &workload)?;
     }
 }
+
+/// Rotation-vs-mark race: workers mark flows through the lock-free
+/// shared path while a ticker drives epoch rotations underneath them.
+/// A mark whose epoch changed mid-write retries, so every *completed*
+/// mark lives in all `k` vectors of some epoch and survives the
+/// `< k − 1` rotations that follow — with `P_d ≡ 1`, any mark a
+/// rotation managed to eat would flip its response Pass→Drop, which is
+/// exactly what this asserts cannot happen.
+#[test]
+fn rotation_racing_marks_never_flips_pass_to_drop() {
+    use upbound::core::Verdict;
+
+    const WORKERS: u16 = 4;
+    const FLOWS: u16 = 200;
+    // Paper evaluation config: Δt = 5 s, k = 4, P_d ≡ 1.
+    let filter = ShardedFilter::builder(BitmapFilterConfig::paper_evaluation())
+        .shards(4)
+        .build()
+        .expect("shard count is positive");
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let f = filter.clone();
+            scope.spawn(move || {
+                for i in 0..FLOWS {
+                    let tuple = FiveTuple::new(
+                        Protocol::Tcp,
+                        std::net::SocketAddrV4::new([10, 0, 9, w as u8].into(), 40_000 + i),
+                        std::net::SocketAddrV4::new([203, 0, 113, 77].into(), 6881),
+                    );
+                    let pkt = Packet::tcp(Timestamp::from_secs(1.0), tuple, TcpFlags::ACK, &[][..]);
+                    f.process_packet(&pkt, Direction::Outbound);
+                }
+            });
+        }
+        // Two epoch swaps (t = 5 s, 10 s) racing the marks above —
+        // still < k − 1 = 3, so no completed mark may expire.
+        let ticker = filter.clone();
+        scope.spawn(move || {
+            ticker.advance(Timestamp::from_secs(6.0));
+            std::thread::yield_now();
+            ticker.advance(Timestamp::from_secs(11.0));
+        });
+    });
+    filter.advance(Timestamp::from_secs(11.0));
+    assert_eq!(filter.stats().rotations, 2);
+    for w in 0..WORKERS {
+        for i in 0..FLOWS {
+            let tuple = FiveTuple::new(
+                Protocol::Tcp,
+                std::net::SocketAddrV4::new([10, 0, 9, w as u8].into(), 40_000 + i),
+                std::net::SocketAddrV4::new([203, 0, 113, 77].into(), 6881),
+            );
+            let resp = Packet::tcp(
+                Timestamp::from_secs(11.5),
+                tuple.inverse(),
+                TcpFlags::ACK,
+                &[][..],
+            );
+            assert_eq!(
+                filter.process_packet(&resp, Direction::Inbound),
+                Verdict::Pass,
+                "rotation ate the mark for worker {w} flow {i}"
+            );
+        }
+    }
+}
