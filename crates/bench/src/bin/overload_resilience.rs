@@ -1,0 +1,271 @@
+//! Overload-resilience benchmark: false-positive rate under a SYN flood
+//! with the graceful-degradation ladder off vs on.
+//!
+//! The attack: every spoofed inbound SYN elicits an outbound RST, and
+//! outbound packets *mark* the bitmap, so a sustained flood drives the
+//! current vector's fill — and the false-positive probability `fill^m` —
+//! far above anything benign traffic produces. The measurement: a probe
+//! wave of fresh, never-answered inbound SYNs replayed at `P_d = 1`;
+//! every probe that passes is a realized false positive.
+//!
+//! The ladder's answer is early rotation (fill is shed a rotation
+//! earlier) plus the unsolicited-`P_d` clamp. Both arms replay the
+//! byte-identical trace; the only difference is `--overload-policy`.
+//! The bench also counts drops of *solicited* inbound packets (replies
+//! on flows the inside client opened) in both arms, because a ladder
+//! that shed false positives by dropping legitimate replies would be
+//! cheating — the run reports that number so regressions are visible.
+//!
+//! Results go to `BENCH_overload_resilience.json`. Set
+//! `UPBOUND_OVERLOAD_GATE=1` to fail the run (exit 1) unless the
+//! ladder-on arm shows strictly fewer false positives than ladder-off.
+
+use std::collections::HashSet;
+use upbound_bench::{is_quick, pct, write_metrics_artifact, TextTable};
+use upbound_core::{
+    BitmapFilter, BitmapFilterConfig, OverloadPolicy, OverloadState, PacketFilter, Verdict,
+};
+use upbound_net::{Direction, TimeDelta, Timestamp};
+use upbound_telemetry::Registry;
+use upbound_traffic::{attack, generate, AttackConfig, SyntheticTrace, TraceConfig};
+
+/// One replay arm.
+struct Arm {
+    label: &'static str,
+    probes: u64,
+    false_positives: u64,
+    solicited_inbound: u64,
+    solicited_drops: u64,
+    transitions: u64,
+    early_rotations: u64,
+    final_state: OverloadState,
+}
+
+/// The flood-sized filter: small enough that the flood actually
+/// saturates it within the trace, mirroring an embedded / per-subscriber
+/// deployment rather than the paper's 512 KiB core box.
+fn filter_config(vector_bits: u32) -> BitmapFilterConfig {
+    BitmapFilterConfig::builder()
+        .vector_bits(vector_bits)
+        .rng_seed(2007)
+        .build()
+        .expect("static config is valid")
+}
+
+fn build_trace(
+    duration: f64,
+    flood_rate: f64,
+) -> (SyntheticTrace, HashSet<upbound_net::FiveTuple>) {
+    let background = generate(
+        &TraceConfig::builder()
+            .duration_secs(duration)
+            .flow_rate_per_sec(20.0)
+            .seed(2007)
+            .build()
+            .expect("static config is valid"),
+    );
+    let victim = "10.0.0.9:6881".parse().expect("static addr");
+    let flood = attack::syn_flood(&AttackConfig {
+        seed: 2007,
+        start: Timestamp::from_secs(duration * 0.2),
+        duration: TimeDelta::from_secs(duration * 0.6),
+        rate_per_sec: flood_rate,
+        victim,
+    });
+    // The probe wave rides the tail of the flood, when fill is highest.
+    let probes = attack::probe_wave(&AttackConfig {
+        seed: 2008,
+        start: Timestamp::from_secs(duration * 0.5),
+        duration: TimeDelta::from_secs(duration * 0.3),
+        rate_per_sec: flood_rate / 4.0,
+        victim,
+    });
+    let probe_tuples: HashSet<_> = probes.packets.iter().map(|p| p.packet.tuple()).collect();
+    (attack::merge(vec![background, flood, probes]), probe_tuples)
+}
+
+fn run_arm(
+    label: &'static str,
+    trace: &SyntheticTrace,
+    probe_tuples: &HashSet<upbound_net::FiveTuple>,
+    config: BitmapFilterConfig,
+    policy: OverloadPolicy,
+) -> Arm {
+    let expiry = config.expiry_timer();
+    let mut filter = BitmapFilter::new(config).with_overload_policy(policy);
+    let mut arm = Arm {
+        label,
+        probes: 0,
+        false_positives: 0,
+        solicited_inbound: 0,
+        solicited_drops: 0,
+        transitions: 0,
+        early_rotations: 0,
+        final_state: OverloadState::Normal,
+    };
+    // Solicited = the canonical tuple sent an outbound packet within the
+    // expiry window — ground truth the filter only approximates.
+    let mut last_outbound: std::collections::HashMap<upbound_net::FiveTuple, Timestamp> =
+        std::collections::HashMap::new();
+    for lp in &trace.packets {
+        match lp.direction {
+            Direction::Outbound => {
+                last_outbound.insert(lp.packet.tuple().canonical(), lp.packet.ts());
+                filter.decide(&lp.packet, Direction::Outbound);
+            }
+            Direction::Inbound => {
+                let verdict = filter.decide(&lp.packet, Direction::Inbound);
+                if probe_tuples.contains(&lp.packet.tuple()) {
+                    arm.probes += 1;
+                    if verdict == Verdict::Pass {
+                        arm.false_positives += 1;
+                    }
+                } else if last_outbound
+                    .get(&lp.packet.tuple().canonical())
+                    .is_some_and(|&t| lp.packet.ts().saturating_since(t) < expiry)
+                {
+                    arm.solicited_inbound += 1;
+                    if verdict == Verdict::Drop {
+                        arm.solicited_drops += 1;
+                    }
+                }
+            }
+        }
+    }
+    arm.transitions = filter.overload().transitions();
+    arm.early_rotations = filter.overload().early_rotations();
+    arm.final_state = filter.overload_state();
+    arm
+}
+
+fn main() {
+    // Sized so the flood drives the off-arm solidly into `Saturated`
+    // (fill ≈ 0.9+) without pinning fill at 1.0 in both arms — the
+    // regime where one extra rotation per tick visibly sheds fill.
+    let (duration, flood_rate, vector_bits) = if is_quick() {
+        (40.0, 400.0, 13)
+    } else {
+        (120.0, 800.0, 14)
+    };
+    let (trace, probe_tuples) = build_trace(duration, flood_rate);
+    println!(
+        "Overload resilience: {} packets ({}s trace, flood {} SYN/s, {{4 x 2^{}}} bitmap)",
+        trace.packets.len(),
+        duration,
+        flood_rate,
+        vector_bits
+    );
+    println!();
+
+    let arms = [
+        run_arm(
+            "ladder off",
+            &trace,
+            &probe_tuples,
+            filter_config(vector_bits),
+            OverloadPolicy::off(),
+        ),
+        run_arm(
+            "ladder on (balanced)",
+            &trace,
+            &probe_tuples,
+            filter_config(vector_bits),
+            OverloadPolicy::balanced(),
+        ),
+    ];
+
+    let mut text = TextTable::new([
+        "arm",
+        "probes",
+        "false positives",
+        "fp rate",
+        "solicited drops",
+        "transitions",
+        "early rotations",
+        "final state",
+    ]);
+    for a in &arms {
+        text.row([
+            a.label.to_string(),
+            a.probes.to_string(),
+            a.false_positives.to_string(),
+            pct(a.false_positives as f64 / a.probes.max(1) as f64),
+            format!("{}/{}", a.solicited_drops, a.solicited_inbound),
+            a.transitions.to_string(),
+            a.early_rotations.to_string(),
+            a.final_state.label().to_string(),
+        ]);
+    }
+    print!("{}", text.render());
+
+    let results = arms
+        .iter()
+        .map(|a| {
+            format!(
+                "    {{\"arm\": \"{}\", \"probes\": {}, \"false_positives\": {}, \
+                 \"fp_rate\": {:.6}, \"solicited_inbound\": {}, \"solicited_drops\": {}, \
+                 \"transitions\": {}, \"early_rotations\": {}, \"final_state\": \"{}\"}}",
+                a.label,
+                a.probes,
+                a.false_positives,
+                a.false_positives as f64 / a.probes.max(1) as f64,
+                a.solicited_inbound,
+                a.solicited_drops,
+                a.transitions,
+                a.early_rotations,
+                a.final_state.label()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"overload_resilience\",\n  \"packets\": {},\n  \
+         \"flood_rate_per_sec\": {},\n  \"vector_bits\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        trace.packets.len(),
+        flood_rate,
+        vector_bits,
+        results
+    );
+    std::fs::write("BENCH_overload_resilience.json", json)
+        .expect("write BENCH_overload_resilience.json");
+    println!("\nwrote BENCH_overload_resilience.json");
+
+    let (off, on) = (&arms[0], &arms[1]);
+    if std::env::var("UPBOUND_OVERLOAD_GATE").map(|v| v == "1") == Ok(true) {
+        if on.false_positives >= off.false_positives {
+            eprintln!(
+                "overload gate FAILED: ladder on admitted {} false positives, \
+                 off admitted {} (need strictly fewer)",
+                on.false_positives, off.false_positives
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "overload gate passed: {} -> {} false positives with the ladder on",
+            off.false_positives, on.false_positives
+        );
+    }
+
+    let registry = Registry::new();
+    registry.build_info(
+        env!("CARGO_PKG_VERSION"),
+        option_env!("UPBOUND_GIT_DESCRIBE"),
+    );
+    for a in &arms {
+        let slug = if a.transitions == 0 { "off" } else { "on" };
+        registry
+            .gauge(
+                &format!("upbound_bench_overload_{slug}_false_positives"),
+                "Probe-wave false positives in this arm",
+            )
+            .set(a.false_positives as f64);
+        registry
+            .gauge(
+                &format!("upbound_bench_overload_{slug}_solicited_drops"),
+                "Solicited inbound packets dropped in this arm",
+            )
+            .set(a.solicited_drops as f64);
+    }
+    let artifact = write_metrics_artifact("overload_resilience", &registry);
+    println!("wrote {artifact}");
+}

@@ -2,6 +2,7 @@
 
 use crate::config::FailMode;
 use crate::observe::{FilterObserver, InboundDecision, NoopObserver, RotationEvent};
+use crate::overload::{OverloadLadder, OverloadPolicy, OverloadState};
 use crate::pfilter::{MergeStats, PacketFilter};
 use crate::shared_engine::SharedEngine;
 use crate::snapshot::{self, ByteReader, ByteWriter, RestoreMode, SnapshotError, Snapshottable};
@@ -242,6 +243,13 @@ pub struct BitmapFilter<O: FilterObserver = NoopObserver> {
     /// of genuinely unsolicited traffic. `Some(Timestamp::ZERO)` marks
     /// a warm restore: the window is considered already elapsed.
     warmup: WarmupClock,
+    /// The saturation sentinel and degradation ladder (see
+    /// [`crate::overload`]). Defaults to [`OverloadPolicy::off`], which
+    /// keeps every decision bit-identical to the paper's algorithm.
+    /// Ladder state is derived from the bitmap fill, so it is not part
+    /// of the snapshot format: a restored filter re-derives it from the
+    /// restored bitmap on its first packet.
+    overload: OverloadLadder,
 }
 
 impl<O: FilterObserver + Clone> Clone for BitmapFilter<O> {
@@ -253,6 +261,7 @@ impl<O: FilterObserver + Clone> Clone for BitmapFilter<O> {
             observer: self.observer.clone(),
             stats: self.stats.clone(),
             warmup: self.warmup.clone(),
+            overload: self.overload.clone(),
         }
     }
 }
@@ -289,6 +298,7 @@ impl BitmapFilter {
             config,
             stats: SharedStats::default(),
             warmup: WarmupClock::default(),
+            overload: OverloadLadder::new(OverloadPolicy::off()),
         }
     }
 }
@@ -311,6 +321,7 @@ impl<O: FilterObserver> BitmapFilter<O> {
             config,
             stats: SharedStats::default(),
             warmup: WarmupClock::default(),
+            overload: OverloadLadder::new(OverloadPolicy::off()),
         }
     }
 
@@ -321,6 +332,25 @@ impl<O: FilterObserver> BitmapFilter<O> {
     pub fn with_shared_uplink(mut self, uplink: Arc<ThroughputMonitor>) -> Self {
         self.engine.share_uplink(uplink);
         self
+    }
+
+    /// Installs an overload policy (see [`crate::overload`]). The
+    /// default is [`OverloadPolicy::off`]: the ladder never engages and
+    /// verdicts match the paper's algorithm exactly.
+    pub fn with_overload_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = OverloadLadder::new(policy);
+        self
+    }
+
+    /// The saturation sentinel / degradation ladder.
+    pub fn overload(&self) -> &OverloadLadder {
+        &self.overload
+    }
+
+    /// The ladder's current rung ([`OverloadState::Normal`] whenever the
+    /// policy is off).
+    pub fn overload_state(&self) -> OverloadState {
+        self.overload.state()
     }
 
     /// The installed observer.
@@ -370,11 +400,21 @@ impl<O: FilterObserver> BitmapFilter<O> {
             bitmap,
             stats,
             observer,
+            overload,
             ..
         } = self;
         engine.advance(now, |at, ticks| {
             bitmap.rotate();
             stats.rotations.fetch_add(1, Ordering::Relaxed);
+            // Graceful degradation: a Saturated ladder sheds marks at
+            // twice the configured rate — one extra rotation per tick,
+            // never more, so the ⌊(k−1)/2⌋·Δt mark-survival floor the
+            // overload docs promise stays intact.
+            if overload.wants_early_rotation() {
+                bitmap.rotate();
+                stats.rotations.fetch_add(1, Ordering::Relaxed);
+                overload.note_early_rotation();
+            }
             // Ticks are rare (once per Δt), so the operating point is
             // computed eagerly for the observer.
             let monitor = engine.monitor();
@@ -385,6 +425,11 @@ impl<O: FilterObserver> BitmapFilter<O> {
                 monitor,
                 p_d,
             });
+            // Rotations shed marks, so the ladder may de-escalate here
+            // rather than waiting for the next inbound packet.
+            if let Some(event) = overload.evaluate(bitmap, at) {
+                observer.on_overload(&event);
+            }
         });
     }
 
@@ -393,9 +438,15 @@ impl<O: FilterObserver> BitmapFilter<O> {
     /// ([`FilterObserver::IS_NOOP`]), so nothing observable is skipped.
     pub fn advance_shared(&self, now: Timestamp) {
         debug_assert!(O::IS_NOOP, "advance_shared requires a no-op observer");
-        self.engine.advance(now, |_at, _ticks| {
+        self.engine.advance(now, |at, _ticks| {
             self.bitmap.rotate();
             self.stats.rotations.fetch_add(1, Ordering::Relaxed);
+            if self.overload.wants_early_rotation() {
+                self.bitmap.rotate();
+                self.stats.rotations.fetch_add(1, Ordering::Relaxed);
+                self.overload.note_early_rotation();
+            }
+            self.overload.evaluate(&self.bitmap, at);
         });
     }
 
@@ -491,6 +542,11 @@ impl<O: FilterObserver> BitmapFilter<O> {
         let key = tuple.outbound_key(self.config.hole_punching());
         self.bitmap.mark(&key.to_bytes());
         self.observer.on_outbound(tuple, now);
+        // Outbound marks are what raise the fill (a SYN flood's elicited
+        // RSTs arrive here), so the sentinel samples after each mark.
+        if let Some(event) = self.overload.evaluate(&self.bitmap, now) {
+            self.observer.on_overload(&event);
+        }
     }
 
     /// Checks an inbound packet's tuple against the current bit vector
@@ -507,6 +563,15 @@ impl<O: FilterObserver> BitmapFilter<O> {
         self.advance(now);
         self.anchor_warmup(now);
         self.maybe_notify_armed(now);
+        if let Some(event) = self.overload.evaluate(&self.bitmap, now) {
+            self.observer.on_overload(&event);
+        }
+        // Degradation clamp: while the ladder is engaged, unmarked
+        // inbound packets face at least the rung's P_d. Applied before
+        // the probe, but structurally inert for marked (solicited)
+        // flows — `decide_inbound_core` passes known tuples before any
+        // drop draw consults `p_d`.
+        let p_d = p_d.max(self.overload.clamp(self.config.fail_mode()));
         self.stats.inbound_packets.fetch_add(1, Ordering::Relaxed);
         let key = tuple.inbound_key(self.config.hole_punching());
         let key_bytes = key.to_bytes();
@@ -614,6 +679,7 @@ impl<O: FilterObserver> BitmapFilter<O> {
                 let key = packet.tuple().outbound_key(self.config.hole_punching());
                 self.bitmap.mark(&key.to_bytes());
                 self.engine.record_uplink(now, packet.wire_len() as u64);
+                self.overload.evaluate(&self.bitmap, now);
                 Verdict::Pass
             }
             Direction::Inbound => {
@@ -623,6 +689,8 @@ impl<O: FilterObserver> BitmapFilter<O> {
                 let p_d = self.drop_probability(now);
                 self.advance_shared(now);
                 self.anchor_warmup_shared(now);
+                self.overload.evaluate(&self.bitmap, now);
+                let p_d = p_d.max(self.overload.clamp(self.config.fail_mode()));
                 self.stats.inbound_packets.fetch_add(1, Ordering::Relaxed);
                 let key = packet.tuple().inbound_key(self.config.hole_punching());
                 self.decide_inbound_core(&key.to_bytes(), now, p_d).0
@@ -667,6 +735,7 @@ impl<O: FilterObserver> BitmapFilter<O> {
         self.stats.store(FilterStats::default());
         self.engine.reset();
         self.warmup.set(None, None, false);
+        self.overload.reset();
     }
 }
 
@@ -832,6 +901,8 @@ impl<O: FilterObserver> Snapshottable for BitmapFilter<O> {
 
     fn start_cold_at(&mut self, epoch: Timestamp) {
         self.bitmap.reset();
+        // Derived state: an empty bitmap is by definition Normal.
+        self.overload.reset();
         let armed_at = epoch + self.config.expiry_timer();
         self.warmup.set(Some(armed_at), Some(armed_at), false);
         self.observer.on_cold_start(epoch, armed_at);
@@ -1294,6 +1365,93 @@ mod tests {
             );
         }
         assert_eq!(live.stats(), restored.stats());
+    }
+
+    fn tiny_overload_filter(vector_bits: u32, policy: crate::OverloadPolicy) -> BitmapFilter {
+        let config = BitmapFilterConfig::builder()
+            .vector_bits(vector_bits)
+            .build()
+            .unwrap();
+        BitmapFilter::new(config).with_overload_policy(policy)
+    }
+
+    #[test]
+    fn overload_ladder_escalates_from_outbound_marks() {
+        use crate::{OverloadPolicy, OverloadState};
+        // 2^4 = 16-bit vectors saturate after a handful of marks.
+        let mut f = tiny_overload_filter(4, OverloadPolicy::balanced());
+        assert_eq!(f.overload_state(), OverloadState::Normal);
+        let t = Timestamp::from_secs(1.0);
+        for i in 0..50u16 {
+            f.observe_outbound(&out_tuple(30000 + i), t);
+        }
+        assert_eq!(f.overload_state(), OverloadState::Saturated);
+        assert!(f.overload().transitions() >= 1);
+        // A marked flow still passes while saturated (structural: the
+        // probe hit returns before any drop draw).
+        assert_eq!(
+            f.check_inbound(&out_tuple(30000).inverse(), t, 1.0),
+            Verdict::Pass
+        );
+    }
+
+    #[test]
+    fn saturated_ladder_doubles_rotation_rate() {
+        use crate::{OverloadPolicy, OverloadState};
+        let mut f = tiny_overload_filter(4, OverloadPolicy::balanced());
+        let t = Timestamp::from_secs(1.0);
+        for i in 0..50u16 {
+            f.observe_outbound(&out_tuple(30000 + i), t);
+        }
+        assert_eq!(f.overload_state(), OverloadState::Saturated);
+        // One scheduled tick at 5 s performs the scheduled rotation plus
+        // one early rotation.
+        f.advance(Timestamp::from_secs(5.5));
+        assert_eq!(f.stats().rotations, 2);
+        assert_eq!(f.overload().early_rotations(), 1);
+    }
+
+    #[test]
+    fn pressure_clamp_drops_unmarked_at_pd_zero() {
+        use crate::OverloadPolicy;
+        // Raise the Saturated threshold out of reach so the ladder holds
+        // at Pressure (clamp 0.5) for a ~0.9 fill.
+        let policy = OverloadPolicy::parse("balanced,saturated=0.99").unwrap();
+        let mut armed = tiny_overload_filter(8, policy);
+        let mut off = tiny_overload_filter(8, OverloadPolicy::off());
+        let t = Timestamp::from_secs(1.0);
+        for i in 0..200u16 {
+            armed.observe_outbound(&out_tuple(20000 + i), t);
+            off.observe_outbound(&out_tuple(20000 + i), t);
+        }
+        assert_eq!(armed.overload_state(), crate::OverloadState::Pressure);
+        let mut armed_drops = 0;
+        let mut off_drops = 0;
+        for i in 0..500u16 {
+            // P_d = 0: absent the ladder, every miss passes.
+            if armed.check_inbound(&unsolicited(1024 + i), t, 0.0) == Verdict::Drop {
+                armed_drops += 1;
+            }
+            if off.check_inbound(&unsolicited(1024 + i), t, 0.0) == Verdict::Drop {
+                off_drops += 1;
+            }
+        }
+        assert_eq!(off_drops, 0, "no clamp without the ladder");
+        assert!(armed_drops > 0, "Pressure clamp must shed unmarked flows");
+    }
+
+    #[test]
+    fn reset_returns_ladder_to_normal() {
+        use crate::{OverloadPolicy, OverloadState};
+        let mut f = tiny_overload_filter(4, OverloadPolicy::balanced());
+        let t = Timestamp::from_secs(1.0);
+        for i in 0..50u16 {
+            f.observe_outbound(&out_tuple(30000 + i), t);
+        }
+        assert_eq!(f.overload_state(), OverloadState::Saturated);
+        f.reset();
+        assert_eq!(f.overload_state(), OverloadState::Normal);
+        assert_eq!(f.overload().transitions(), 0);
     }
 
     #[test]

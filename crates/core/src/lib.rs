@@ -74,6 +74,7 @@ mod filter;
 mod hash;
 mod multi;
 pub mod observe;
+pub mod overload;
 pub mod params;
 mod pfilter;
 mod red;
@@ -97,6 +98,9 @@ pub use hash::HashFamily;
 pub use multi::MultiNetworkFilter;
 pub use observe::{
     FilterObserver, InboundDecision, NoopObserver, RotationEvent, TelemetryObserver,
+};
+pub use overload::{
+    OverloadEvent, OverloadLadder, OverloadPolicy, OverloadPolicyError, OverloadState,
 };
 pub use pfilter::{MergeStats, PacketFilter};
 pub use red::DropPolicy;

@@ -12,12 +12,13 @@
 //! [`upbound_telemetry::Registry`] and appends structured
 //! [`FilterEvent`]s to a fixed-capacity ring-buffer journal.
 
+use crate::overload::{OverloadEvent, OverloadState};
 use crate::{ThroughputMonitor, Verdict};
 use std::sync::Arc;
 use upbound_net::{FiveTuple, Timestamp};
 use upbound_telemetry::{
-    flow_hash, Counter, DropForensics, DropReason, EventJournal, FilterEvent, FilterEventKind,
-    FlightRecorder, ForensicReason, Gauge, Registry,
+    flow_hash, Counter, DropForensics, DropReason, DumpTrigger, EventJournal, FilterEvent,
+    FilterEventKind, FlightRecorder, ForensicReason, Gauge, Registry,
 };
 
 /// Context handed to [`FilterObserver::on_inbound`] for every inbound
@@ -155,6 +156,12 @@ pub trait FilterObserver {
     fn on_armed(&mut self, now: Timestamp) {
         let _ = now;
     }
+
+    /// The overload ladder changed rung (see [`crate::overload`]).
+    #[inline]
+    fn on_overload(&mut self, event: &OverloadEvent) {
+        let _ = event;
+    }
 }
 
 /// The zero-cost default observer: every hook is an empty `#[inline]`
@@ -186,8 +193,10 @@ pub struct TelemetryObserver {
     fail_open_passes_total: Arc<Counter>,
     cold_starts_total: Arc<Counter>,
     warmup_armed_total: Arc<Counter>,
+    overload_transitions_total: Arc<Counter>,
     drop_probability: Arc<Gauge>,
     uplink_bps: Arc<Gauge>,
+    overload_state: Arc<Gauge>,
 }
 
 /// Default number of events the journal retains.
@@ -238,6 +247,10 @@ impl TelemetryObserver {
                 &name("warmup_armed_total"),
                 "Warm-up grace periods that ended (filter armed)",
             ),
+            overload_transitions_total: registry.counter(
+                &name("overload_transitions_total"),
+                "Overload-ladder rung transitions (saturation sentinel)",
+            ),
             drop_probability: registry.gauge(
                 &name("drop_probability"),
                 "Live drop probability P_d derived from measured uplink throughput",
@@ -245,6 +258,10 @@ impl TelemetryObserver {
             uplink_bps: registry.gauge(
                 &name("uplink_bps"),
                 "Estimated uplink throughput over the monitor window, bits/second",
+            ),
+            overload_state: registry.gauge(
+                &name("overload_state"),
+                "Overload-ladder rung (0 = normal, 1 = pressure, 2 = saturated)",
             ),
         }
     }
@@ -369,6 +386,29 @@ impl FilterObserver for TelemetryObserver {
             drop_probability: 0.0,
             uplink_bps: 0.0,
         });
+    }
+
+    fn on_overload(&mut self, event: &OverloadEvent) {
+        self.overload_transitions_total.inc();
+        self.overload_state.set(f64::from(event.to.as_u8()));
+        self.journal_event(FilterEvent {
+            at_micros: event.now.as_micros(),
+            kind: FilterEventKind::Overload {
+                from_state: event.from.as_u8(),
+                to_state: event.to.as_u8(),
+                fill: event.fill,
+                projected_fp: event.projected_fp,
+            },
+            drop_probability: 0.0,
+            uplink_bps: 0.0,
+        });
+        // Entering Saturated is the black-box moment: capture the
+        // recent history while it still shows the onset of the flood.
+        if event.to == OverloadState::Saturated {
+            if let Some(flight) = &self.flight {
+                let _ = flight.dump_now(DumpTrigger::Overload);
+            }
+        }
     }
 }
 

@@ -36,7 +36,8 @@ use crate::snapshot::{
     SHARDED_KIND_FLAG,
 };
 use crate::{
-    BitmapFilter, BitmapFilterConfig, ConfigError, DropPolicy, ThroughputMonitor, Verdict,
+    BitmapFilter, BitmapFilterConfig, ConfigError, DropPolicy, OverloadPolicy, ThroughputMonitor,
+    Verdict,
 };
 use parking_lot::RwLock;
 use std::fmt;
@@ -187,7 +188,11 @@ impl ShardedFilter<BitmapFilter> {
     /// from one configuration, all sharing a single aggregate uplink
     /// monitor and the configured draw seed. One shard by default.
     pub fn builder(config: BitmapFilterConfig) -> ShardedFilterBuilder {
-        ShardedFilterBuilder { config, shards: 1 }
+        ShardedFilterBuilder {
+            config,
+            shards: 1,
+            overload: OverloadPolicy::off(),
+        }
     }
 }
 
@@ -209,12 +214,21 @@ impl ShardedFilter<BitmapFilter> {
 pub struct ShardedFilterBuilder {
     config: BitmapFilterConfig,
     shards: usize,
+    overload: OverloadPolicy,
 }
 
 impl ShardedFilterBuilder {
     /// Sets the number of independently locked shards.
     pub fn shards(&mut self, shards: usize) -> &mut Self {
         self.shards = shards;
+        self
+    }
+
+    /// Arms the overload ladder on every shard (each shard's sentinel
+    /// watches its own bitmap, so a flood hashed across shards degrades
+    /// each one independently). Defaults to [`OverloadPolicy::off`].
+    pub fn overload_policy(&mut self, policy: OverloadPolicy) -> &mut Self {
+        self.overload = policy;
         self
     }
 
@@ -230,7 +244,11 @@ impl ShardedFilterBuilder {
         let uplink = Arc::new(self.config.uplink_monitor());
         let flow = FlowHash::new(self.config.hole_punching());
         let filters = (0..self.shards)
-            .map(|_| BitmapFilter::new(self.config.clone()).with_shared_uplink(Arc::clone(&uplink)))
+            .map(|_| {
+                BitmapFilter::new(self.config.clone())
+                    .with_shared_uplink(Arc::clone(&uplink))
+                    .with_overload_policy(self.overload.clone())
+            })
             .collect();
         Ok(ShardedFilter::assemble(
             flow,

@@ -26,6 +26,12 @@
 //!   [`run_supervised_pipeline`] additionally catches worker panics,
 //!   quarantining and rebuilding the poisoned shard fail-open while the
 //!   surviving shards keep filtering.
+//! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   describing stream corruption, reorder bursts, clock-skew spikes,
+//!   decide-path shard panics, and checkpoint I/O failures, applied via
+//!   [`run_faulted_pipeline`] / [`FaultingFilter`] /
+//!   [`CheckpointSink`], so every chaos run is reproducible from its
+//!   plan string.
 //!
 //! [`BitmapFilter`]: upbound_core::BitmapFilter
 //! [`SpiFilter`]: upbound_spi::SpiFilter
@@ -53,12 +59,18 @@
 #![deny(unsafe_code)]
 
 mod compare;
+pub mod fault;
 mod oracle;
 pub mod pipeline;
 mod replay;
 pub mod sweep;
 
 pub use compare::{compare, ComparisonResult};
+pub use fault::{
+    run_faulted_pipeline, AtomicCheckpointSink, CheckpointSink, DistortionReport, FaultInjector,
+    FaultPlan, FaultPlanError, FaultingCheckpointSink, FaultingFilter, NoopInjector,
+    PlannedInjector,
+};
 pub use oracle::OracleFilter;
 pub use pipeline::{
     run_pipeline, run_pipeline_instrumented, run_sharded_pipeline, run_subscriber_pipeline,

@@ -1,11 +1,12 @@
 //! The trace-replay engine.
 
+use crate::fault::{AtomicCheckpointSink, CheckpointSink};
 use crate::{OracleFilter, PacketFilter};
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
 use std::collections::HashSet;
 use std::path::Path;
-use upbound_core::{snapshot, SnapshotError, Snapshottable, SubscriberTable, Verdict};
+use upbound_core::{SnapshotError, Snapshottable, SubscriberTable, Verdict};
 use upbound_net::pcap::{IngestStats, PcapReader};
 use upbound_net::{Cidr, Direction, FiveTuple, NetError, Packet, TimeDelta, Timestamp};
 use upbound_stats::BinnedSeries;
@@ -174,6 +175,30 @@ impl ReplayEngine {
     where
         F: PacketFilter + Snapshottable,
     {
+        self.run_checkpointed_with(trace, filter, path, every, &mut AtomicCheckpointSink)
+    }
+
+    /// [`run_checkpointed`](Self::run_checkpointed) through a
+    /// caller-supplied [`CheckpointSink`] — the injectable write layer
+    /// the fault-injection subsystem uses to exercise checkpoint I/O
+    /// failure without touching the filesystem's failure modes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first checkpoint write failure from the sink; the
+    /// replay stops at the failing packet.
+    pub fn run_checkpointed_with<F, S>(
+        &self,
+        trace: &SyntheticTrace,
+        filter: &mut F,
+        path: &Path,
+        every: TimeDelta,
+        sink: &mut S,
+    ) -> Result<(ReplayResult, u64), SnapshotError>
+    where
+        F: PacketFilter + Snapshottable,
+        S: CheckpointSink,
+    {
         let mut written = 0u64;
         let mut failure: Option<SnapshotError> = None;
         let mut next_due: Option<Timestamp> = None;
@@ -188,7 +213,7 @@ impl ReplayEngine {
                 watermark = watermark.max(now);
                 let due = *next_due.get_or_insert(watermark + every);
                 if watermark >= due {
-                    match snapshot::write_atomic(path, &f.snapshot_bytes(watermark)) {
+                    match sink.write(path, &f.snapshot_bytes(watermark)) {
                         Ok(()) => {
                             written += 1;
                             next_due = Some(due + every);
@@ -205,7 +230,7 @@ impl ReplayEngine {
         if let Some(e) = failure {
             return Err(e);
         }
-        snapshot::write_atomic(path, &filter.snapshot_bytes(watermark))?;
+        sink.write(path, &filter.snapshot_bytes(watermark))?;
         written += 1;
         Ok((result, written))
     }

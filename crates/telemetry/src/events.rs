@@ -50,6 +50,18 @@ pub enum FilterEventKind {
     },
     /// The warm-up grace period ended; drops are armed.
     Armed,
+    /// The overload ladder changed rung (saturation sentinel).
+    Overload {
+        /// The rung left, stable numeric encoding (0 = normal,
+        /// 1 = pressure, 2 = saturated).
+        from_state: u8,
+        /// The rung entered, same encoding.
+        to_state: u8,
+        /// The sampled fill ratio of the current bit vector.
+        fill: f64,
+        /// The projected false-positive probability `fill^m`.
+        projected_fp: f64,
+    },
 }
 
 /// One journal entry: when, what, and the filter's live operating point.
@@ -79,6 +91,16 @@ impl FilterEvent {
                 )
             }
             FilterEventKind::Armed => "armed".to_string(),
+            FilterEventKind::Overload {
+                from_state,
+                to_state,
+                fill,
+                projected_fp,
+            } => format!(
+                "overload {}->{} (fill={fill:.3} fp={projected_fp:.3})",
+                overload_state_label(from_state),
+                overload_state_label(to_state),
+            ),
         };
         format!(
             "t={:.6}s {what} P_d={:.4} uplink={:.1} kbit/s",
@@ -86,6 +108,17 @@ impl FilterEvent {
             self.drop_probability,
             self.uplink_bps / 1e3,
         )
+    }
+}
+
+/// The stable spelling of an overload-ladder rung's numeric encoding
+/// (used by [`FilterEvent::describe`] and exporters; unknown values
+/// render as `saturated`, the safe reading of an unknown rung).
+pub fn overload_state_label(state: u8) -> &'static str {
+    match state {
+        0 => "normal",
+        1 => "pressure",
+        _ => "saturated",
     }
 }
 

@@ -182,30 +182,84 @@ impl Drop for MetricsServer {
     }
 }
 
+/// Hard ceiling on the bytes accepted for one request's request line +
+/// headers. Anything larger is answered with `431` and the connection
+/// is closed — the two endpoints this server knows about fit in the
+/// first line, so a bigger request is a client bug or abuse.
+const MAX_REQUEST_BYTES: usize = 2048;
+
+/// Total wall-clock budget for reading one request. A client that
+/// trickles bytes (slow-loris style) would otherwise hold the single
+/// accept thread indefinitely via the per-read timeout alone.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(1);
+
+/// Budget for writing the response; a client that stops reading must
+/// not wedge the accept loop.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
 fn serve_one(
     mut stream: TcpStream,
     registry: &Registry,
     health: &HealthState,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_nonblocking(false)?;
-    let mut buf = [0u8; 2048];
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let deadline = Instant::now() + REQUEST_DEADLINE;
+    let mut buf = [0u8; MAX_REQUEST_BYTES];
     let mut read = 0;
-    // Read until end-of-headers (or the buffer fills; request lines we
-    // care about fit in the first bytes anyway).
+    let mut complete = false;
+    let mut timed_out = false;
+    // Read until end-of-headers, the size ceiling, or the deadline.
     while read < buf.len() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            timed_out = true;
+            break;
+        }
+        stream.set_read_timeout(Some(remaining.min(Duration::from_millis(500))))?;
         match stream.read(&mut buf[read..]) {
             Ok(0) => break,
             Ok(n) => {
                 read += n;
                 if buf[..read].windows(4).any(|w| w == b"\r\n\r\n") {
+                    complete = true;
                     break;
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => break,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => continue,
             Err(e) => return Err(e),
         }
+    }
+    if timed_out && !complete {
+        return respond(
+            &mut stream,
+            "408 Request Timeout",
+            "text/plain; charset=utf-8",
+            "request timed out\n",
+        );
+    }
+    if !complete && read >= buf.len() {
+        respond(
+            &mut stream,
+            "431 Request Header Fields Too Large",
+            "text/plain; charset=utf-8",
+            "request too large\n",
+        )?;
+        // Discard (a bounded amount of) whatever else the client already
+        // sent: closing with unread bytes queued sends a TCP RST, which
+        // can wipe the 431 out of the client's receive buffer before it
+        // is read.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let mut sink = [0u8; 1024];
+        let mut drained = 0usize;
+        while drained < 64 * 1024 {
+            match stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n,
+            }
+        }
+        return Ok(());
     }
     let request = String::from_utf8_lossy(&buf[..read]);
     let mut parts = request.lines().next().unwrap_or("").split_whitespace();
@@ -238,6 +292,15 @@ fn serve_one(
             ),
         }
     };
+    respond(&mut stream, status, content_type, &body)
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
@@ -293,6 +356,43 @@ mod tests {
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_with_431() {
+        let server = MetricsServer::start("127.0.0.1:0", Registry::new(), HealthState::new())
+            .expect("bind ephemeral");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        // A header blob that overflows MAX_REQUEST_BYTES before the
+        // end-of-headers terminator ever arrives.
+        let filler = format!("GET /metrics HTTP/1.1\r\nX-Pad: {}\r\n", "a".repeat(4096));
+        stream.write_all(filler.as_bytes()).expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(
+            response.starts_with("HTTP/1.1 431"),
+            "expected 431, got: {}",
+            response.lines().next().unwrap_or("")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_request_is_rejected_with_408() {
+        let server = MetricsServer::start("127.0.0.1:0", Registry::new(), HealthState::new())
+            .expect("bind ephemeral");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        // Send an incomplete request and then stall; the server must cut
+        // us off at the request deadline instead of waiting forever.
+        stream.write_all(b"GET /metrics HT").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(
+            response.starts_with("HTTP/1.1 408"),
+            "expected 408, got: {}",
+            response.lines().next().unwrap_or("")
+        );
         server.shutdown();
     }
 

@@ -46,6 +46,8 @@ pub enum DumpTrigger {
     FailOpen,
     /// Explicit programmatic request.
     Manual,
+    /// The overload ladder entered `Saturated` (saturation sentinel).
+    Overload,
 }
 
 impl DumpTrigger {
@@ -56,6 +58,7 @@ impl DumpTrigger {
             DumpTrigger::Signal => "signal",
             DumpTrigger::FailOpen => "fail_open",
             DumpTrigger::Manual => "manual",
+            DumpTrigger::Overload => "overload",
         }
     }
 
@@ -66,6 +69,7 @@ impl DumpTrigger {
             "signal" => Some(DumpTrigger::Signal),
             "fail_open" => Some(DumpTrigger::FailOpen),
             "manual" => Some(DumpTrigger::Manual),
+            "overload" => Some(DumpTrigger::Overload),
             _ => None,
         }
     }

@@ -1,0 +1,405 @@
+//! Adversarial traffic: floods and evasion clients.
+//!
+//! The generator in [`crate::generate`] models the *benign* campus mix;
+//! this module models the attacker. Each function produces a
+//! [`SyntheticTrace`] fragment that [`merge`] folds into a background
+//! trace, so one stream carries both the workload and the attack.
+//!
+//! Why these three attacks:
+//!
+//! * [`syn_flood`] — the bitmap's worst case. Every spoofed inbound SYN
+//!   to a closed port elicits an outbound RST, and *outbound packets
+//!   mark the bitmap*: the attacker is effectively writing into the
+//!   filter's memory at wire speed, driving fill (and with it the
+//!   false-positive probability `fill^m`) toward 1. This is the load the
+//!   overload ladder exists to absorb.
+//! * [`udp_flood`] — volumetric unsolicited inbound with no elicited
+//!   response; it stresses the drop path but, crucially, does *not*
+//!   poison the bitmap. The contrast with the SYN flood separates
+//!   "under load" from "under pollution" in benchmarks.
+//! * [`hole_punch_evasion`] — an outside peer exploiting the
+//!   hole-punching relaxation (§4.3: inbound may match on `{proto, B,
+//!   A, x}`, remote port wildcarded): one solicited outbound packet
+//!   opens the door for inbound from *every* port of the remote host.
+//!
+//! [`probe_wave`] is not an attack but an instrument: a sheet of fresh,
+//! never-answered inbound SYNs whose pass count under `P_d = 1` is a
+//! direct false-positive measurement.
+//!
+//! All functions are deterministic in their config (seeded [`StdRng`]),
+//! so attack traces replay byte-identical — the property the chaos and
+//! bench harnesses rely on.
+
+use crate::{CloseKind, Initiator};
+use crate::{FlowSpec, FlowSummary, LabeledPacket, SyntheticTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::{Ipv4Addr, SocketAddrV4};
+use upbound_net::{Direction, FiveTuple, Packet, Protocol, TcpFlags, TimeDelta, Timestamp};
+use upbound_pattern::AppLabel;
+
+/// Flow ids of attack packets start here, far above anything the benign
+/// generator allocates, so attack and background flows never collide.
+const ATTACK_FLOW_BASE: u64 = 1 << 48;
+
+/// Shape of one attack episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackConfig {
+    /// RNG seed; equal configs give byte-identical fragments.
+    pub seed: u64,
+    /// First attack packet time.
+    pub start: Timestamp,
+    /// Attack duration.
+    pub duration: TimeDelta,
+    /// Attack events per second (one event = one spoofed tuple).
+    pub rate_per_sec: f64,
+    /// The targeted inside endpoint (host and port).
+    pub victim: SocketAddrV4,
+}
+
+impl AttackConfig {
+    /// A flood of `rate_per_sec` events against `victim` starting at
+    /// `start` for `duration`, seeded for reproducibility.
+    pub fn new(victim: SocketAddrV4) -> Self {
+        AttackConfig {
+            seed: 1337,
+            start: Timestamp::from_secs(5.0),
+            duration: TimeDelta::from_secs(60.0),
+            rate_per_sec: 200.0,
+            victim,
+        }
+    }
+
+    /// Number of attack events the config describes.
+    pub fn events(&self) -> u64 {
+        (self.duration.as_secs_f64() * self.rate_per_sec).max(1.0) as u64
+    }
+
+    fn event_time(&self, i: u64) -> Timestamp {
+        let step = self.duration.as_secs_f64() / self.events() as f64;
+        self.start + TimeDelta::from_secs(step * i as f64)
+    }
+}
+
+/// A spoofed source in the 198.18.0.0/16 slice of the benchmark range —
+/// outside any plausible client network, distinct from [`probe_wave`]'s
+/// 198.19.0.0/16 slice so flood tuples and probe tuples never alias at
+/// the five-tuple level.
+fn spoofed_source(rng: &mut StdRng, third_octet_base: u8) -> SocketAddrV4 {
+    SocketAddrV4::new(
+        Ipv4Addr::new(198, third_octet_base, rng.gen::<u8>(), rng.gen::<u8>()),
+        rng.gen::<u16>() | 0x400, // ≥ 1024: plausible ephemeral ports
+    )
+}
+
+fn attack_summary(
+    flow_id: u64,
+    protocol: Protocol,
+    cfg: &AttackConfig,
+    remote: SocketAddrV4,
+    packets: &[LabeledPacket],
+) -> FlowSummary {
+    let bytes = |dir: Direction| -> u64 {
+        packets
+            .iter()
+            .filter(|p| p.direction == dir)
+            .map(|p| p.packet.wire_len() as u64)
+            .sum()
+    };
+    FlowSummary {
+        spec: FlowSpec {
+            flow_id,
+            app: AppLabel::Unknown,
+            protocol,
+            initiator: Initiator::Outside,
+            client: cfg.victim,
+            remote,
+            start: cfg.start,
+            lifetime: cfg.duration,
+            upload_bytes: bytes(Direction::Outbound),
+            download_bytes: bytes(Direction::Inbound),
+            close: CloseKind::None,
+        },
+        packets: packets.len() as u32,
+    }
+}
+
+/// An inbound TCP SYN flood from spoofed sources, *with* the victim
+/// stack's elicited `RST|ACK` replies.
+///
+/// The replies are the payload of the attack: each outbound RST marks
+/// its spoofed five-tuple in the bitmap, so a sustained flood inflates
+/// the current vector's fill — and therefore the false-positive
+/// probability `fill^m` — far beyond what benign traffic produces.
+pub fn syn_flood(cfg: &AttackConfig) -> SyntheticTrace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5f00d);
+    let mut packets = Vec::new();
+    let mut first_remote = None;
+    for i in 0..cfg.events() {
+        let src = spoofed_source(&mut rng, 18);
+        first_remote.get_or_insert(src);
+        let t = cfg.event_time(i);
+        let syn = FiveTuple::new(Protocol::Tcp, src, cfg.victim);
+        let flow_id = ATTACK_FLOW_BASE + i;
+        packets.push(LabeledPacket {
+            packet: Packet::tcp(t, syn, TcpFlags::SYN, Vec::new()),
+            direction: Direction::Inbound,
+            app: AppLabel::Unknown,
+            flow_id,
+            outside_initiated: true,
+        });
+        // The victim's TCP stack answers a closed port immediately.
+        packets.push(LabeledPacket {
+            packet: Packet::tcp(
+                t + TimeDelta::from_micros(150),
+                syn.inverse(),
+                TcpFlags::RST | TcpFlags::ACK,
+                Vec::new(),
+            ),
+            direction: Direction::Outbound,
+            app: AppLabel::Unknown,
+            flow_id,
+            outside_initiated: true,
+        });
+    }
+    let remote = first_remote.unwrap_or(cfg.victim);
+    let flows = vec![attack_summary(
+        ATTACK_FLOW_BASE,
+        Protocol::Tcp,
+        cfg,
+        remote,
+        &packets,
+    )];
+    SyntheticTrace { packets, flows }
+}
+
+/// A volumetric inbound UDP flood from spoofed sources. No elicited
+/// replies: pure unsolicited load on the drop path that leaves the
+/// bitmap clean — the control contrast to [`syn_flood`].
+pub fn udp_flood(cfg: &AttackConfig) -> SyntheticTrace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf100d);
+    let mut packets = Vec::new();
+    let mut first_remote = None;
+    for i in 0..cfg.events() {
+        let src = spoofed_source(&mut rng, 18);
+        first_remote.get_or_insert(src);
+        let payload = vec![0x7B; 64 + (rng.gen::<u8>() as usize & 0x3f)];
+        packets.push(LabeledPacket {
+            packet: Packet::udp(
+                cfg.event_time(i),
+                FiveTuple::new(Protocol::Udp, src, cfg.victim),
+                payload,
+            ),
+            direction: Direction::Inbound,
+            app: AppLabel::Unknown,
+            flow_id: ATTACK_FLOW_BASE + i,
+            outside_initiated: true,
+        });
+    }
+    let remote = first_remote.unwrap_or(cfg.victim);
+    let flows = vec![attack_summary(
+        ATTACK_FLOW_BASE,
+        Protocol::Udp,
+        cfg,
+        remote,
+        &packets,
+    )];
+    SyntheticTrace { packets, flows }
+}
+
+/// A hole-punch evasion client: the inside victim sends *one* outbound
+/// UDP datagram to a rendezvous peer, then that peer's host sprays
+/// inbound datagrams from every source port.
+///
+/// Under the §4.3 hole-punching relaxation (remote port wildcarded on
+/// inbound lookup) the single outbound packet admits the entire spray;
+/// under exact matching only the true inverse tuple passes. The gap
+/// between the two is the price of supporting hole punching.
+pub fn hole_punch_evasion(cfg: &AttackConfig) -> SyntheticTrace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x401e);
+    let peer_host = Ipv4Addr::new(198, 18, 255, rng.gen::<u8>());
+    let rendezvous = SocketAddrV4::new(peer_host, 3478);
+    let out = FiveTuple::new(Protocol::Udp, cfg.victim, rendezvous);
+    let mut packets = vec![LabeledPacket {
+        packet: Packet::udp(cfg.start, out, vec![0x7B; 32]),
+        direction: Direction::Outbound,
+        app: AppLabel::Unknown,
+        flow_id: ATTACK_FLOW_BASE,
+        outside_initiated: false,
+    }];
+    for i in 0..cfg.events() {
+        let src = SocketAddrV4::new(peer_host, rng.gen::<u16>() | 0x400);
+        packets.push(LabeledPacket {
+            packet: Packet::udp(
+                cfg.event_time(i) + TimeDelta::from_micros(500),
+                FiveTuple::new(Protocol::Udp, src, cfg.victim),
+                vec![0x7B; 48],
+            ),
+            direction: Direction::Inbound,
+            app: AppLabel::Unknown,
+            flow_id: ATTACK_FLOW_BASE + 1 + i,
+            outside_initiated: true,
+        });
+    }
+    let flows = vec![attack_summary(
+        ATTACK_FLOW_BASE,
+        Protocol::Udp,
+        cfg,
+        rendezvous,
+        &packets,
+    )];
+    SyntheticTrace { packets, flows }
+}
+
+/// A measurement instrument, not an attack: fresh inbound TCP SYNs from
+/// the 198.19.0.0/16 slice, never answered, tuples never seen outbound.
+///
+/// Replayed with `P_d = 1`, every one of these *should* drop; each one
+/// that passes is a bitmap false positive. Counting passes over the wave
+/// turns the projected `fill^m` into an observed rate.
+pub fn probe_wave(cfg: &AttackConfig) -> SyntheticTrace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9806e);
+    let mut packets = Vec::new();
+    let mut first_remote = None;
+    for i in 0..cfg.events() {
+        let src = spoofed_source(&mut rng, 19);
+        first_remote.get_or_insert(src);
+        packets.push(LabeledPacket {
+            packet: Packet::tcp(
+                cfg.event_time(i),
+                FiveTuple::new(Protocol::Tcp, src, cfg.victim),
+                TcpFlags::SYN,
+                Vec::new(),
+            ),
+            direction: Direction::Inbound,
+            app: AppLabel::Unknown,
+            flow_id: ATTACK_FLOW_BASE + i,
+            outside_initiated: true,
+        });
+    }
+    let remote = first_remote.unwrap_or(cfg.victim);
+    let flows = vec![attack_summary(
+        ATTACK_FLOW_BASE,
+        Protocol::Tcp,
+        cfg,
+        remote,
+        &packets,
+    )];
+    SyntheticTrace { packets, flows }
+}
+
+/// Folds trace fragments into one time-sorted trace. Flow summaries are
+/// concatenated; packets are merged by timestamp (stable, so same-time
+/// packets keep fragment order).
+pub fn merge(fragments: Vec<SyntheticTrace>) -> SyntheticTrace {
+    let mut packets = Vec::new();
+    let mut flows = Vec::new();
+    for fragment in fragments {
+        packets.extend(fragment.packets);
+        flows.extend(fragment.flows);
+    }
+    packets.sort_by_key(|p| p.packet.ts());
+    SyntheticTrace { packets, flows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AttackConfig {
+        AttackConfig {
+            seed: 7,
+            start: Timestamp::from_secs(2.0),
+            duration: TimeDelta::from_secs(10.0),
+            rate_per_sec: 50.0,
+            victim: "10.0.0.9:6881".parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn syn_flood_pairs_each_syn_with_an_outbound_rst() {
+        let trace = syn_flood(&cfg());
+        assert_eq!(trace.packets.len() as u64, cfg().events() * 2);
+        let syns = trace
+            .packets
+            .iter()
+            .filter(|p| p.direction == Direction::Inbound)
+            .count();
+        let rsts = trace
+            .packets
+            .iter()
+            .filter(|p| {
+                p.direction == Direction::Outbound
+                    && p.packet
+                        .tcp_flags()
+                        .is_some_and(|f| f.contains(TcpFlags::RST))
+            })
+            .count();
+        assert_eq!(syns, rsts);
+        // Every RST is the inverse of some SYN: outbound src is the victim.
+        assert!(trace
+            .packets
+            .iter()
+            .filter(|p| p.direction == Direction::Outbound)
+            .all(|p| p.packet.tuple().src() == cfg().victim));
+        // Deterministic in the seed.
+        assert_eq!(syn_flood(&cfg()), syn_flood(&cfg()));
+    }
+
+    #[test]
+    fn udp_flood_is_pure_inbound() {
+        let trace = udp_flood(&cfg());
+        assert_eq!(trace.packets.len() as u64, cfg().events());
+        assert!(trace
+            .packets
+            .iter()
+            .all(|p| p.direction == Direction::Inbound && p.packet.tcp_flags().is_none()));
+    }
+
+    #[test]
+    fn hole_punch_spray_shares_the_remote_host() {
+        let trace = hole_punch_evasion(&cfg());
+        let out: Vec<_> = trace
+            .packets
+            .iter()
+            .filter(|p| p.direction == Direction::Outbound)
+            .collect();
+        assert_eq!(out.len(), 1);
+        let door = *out[0].packet.tuple().dst().ip();
+        assert!(trace
+            .packets
+            .iter()
+            .filter(|p| p.direction == Direction::Inbound)
+            .all(|p| *p.packet.tuple().src().ip() == door));
+    }
+
+    #[test]
+    fn probe_wave_tuples_are_disjoint_from_flood_tuples() {
+        let flood = syn_flood(&cfg());
+        let probes = probe_wave(&cfg());
+        let flood_tuples: std::collections::HashSet<_> = flood
+            .packets
+            .iter()
+            .map(|p| p.packet.tuple().canonical())
+            .collect();
+        assert!(!probes.packets.is_empty());
+        assert!(probes
+            .packets
+            .iter()
+            .all(|p| !flood_tuples.contains(&p.packet.tuple().canonical())));
+    }
+
+    #[test]
+    fn merge_is_time_sorted_and_keeps_everything() {
+        let a = syn_flood(&cfg());
+        let b = udp_flood(&cfg());
+        let total = a.packets.len() + b.packets.len();
+        let merged = merge(vec![a, b]);
+        assert_eq!(merged.packets.len(), total);
+        assert_eq!(merged.flows.len(), 2);
+        assert!(merged
+            .packets
+            .windows(2)
+            .all(|w| w[0].packet.ts() <= w[1].packet.ts()));
+    }
+}

@@ -23,6 +23,10 @@
 //! argument). Every packet carries ground-truth labels ([`LabeledPacket`])
 //! so simulations can score false positives/negatives exactly.
 //!
+//! The [`attack`] module supplies the adversarial side: seeded SYN/UDP
+//! floods, a hole-punch evasion client, and a false-positive probe wave,
+//! each a trace fragment [`attack::merge`]-able into a benign workload.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,11 +48,13 @@
 #![deny(unsafe_code)]
 
 pub mod apps;
+pub mod attack;
 mod dist;
 mod generator;
 mod profile;
 mod spec;
 
+pub use attack::{hole_punch_evasion, probe_wave, syn_flood, udp_flood, AttackConfig};
 pub use generator::{generate, SyntheticTrace, TraceConfig, TraceConfigBuilder, TraceConfigError};
 pub use profile::RateProfile;
 pub use spec::{CloseKind, FlowSpec, FlowSummary, Initiator, LabeledPacket};

@@ -27,12 +27,13 @@ use std::time::Duration;
 use upbound::analyzer::Analyzer;
 use upbound::core::params::{max_connections, optimal_hash_count, penetration_probability};
 use upbound::core::{
-    snapshot, BitmapFilter, BitmapFilterConfig, DropPolicy, FailMode, FlowHash, PacketFilter,
-    RestoreOutcome, ShardedFilter, Snapshottable, SubscriberState, SubscriberTable,
+    snapshot, BitmapFilter, BitmapFilterConfig, DropPolicy, FailMode, FlowHash, OverloadPolicy,
+    PacketFilter, RestoreOutcome, ShardedFilter, Snapshottable, SubscriberState, SubscriberTable,
     SubscriberTelemetry, TelemetryObserver, Verdict,
 };
 use upbound::net::pcap::{IngestStats, IngestTelemetry, PcapReader, PcapWriter, RecoveryPolicy};
 use upbound::net::{Cidr, Direction, FiveTuple, Packet, TimeDelta};
+use upbound::sim::{FaultInjector, FaultPlan, PlannedInjector};
 use upbound::telemetry::{
     export, DumpTrigger, FlightRecorder, HealthState, MetricsServer, Registry, Snapshot, Stage,
     StageTracer,
@@ -58,6 +59,7 @@ USAGE:
                      [--metrics-addr <HOST:PORT>] [--flight-dump <FILE>]
                      [--trace-latency] [--serve-grace <SECS>]
                      [--subscribers <SPEC>] [--evict-idle <SECS>]
+                     [--overload-policy <SPEC>] [--fault-plan <SPEC>]
     upbound params   [--connections <N>]
     upbound debug    read-dump <FILE> | parse-metrics <FILE>
     upbound help
@@ -75,7 +77,30 @@ MULTI-TENANT (filter):
     the tenant's expiry window T_e, so verdicts never change).
     Interval reports (--metrics-interval) gain per-tenant columns.
     Incompatible with --inside, --shards, --fail-mode open,
-    --metrics-addr, --flight-dump, --trace-latency, --serve-grace.
+    --metrics-addr, --flight-dump, --trace-latency, --serve-grace,
+    --overload-policy, --fault-plan.
+
+OVERLOAD RESILIENCE (filter):
+    --overload-policy arms the saturation sentinel and graceful-
+    degradation ladder (Normal -> Pressure -> Saturated on bitmap
+    fill, with hysteresis). <SPEC> is `off`, `balanced`, or `strict`,
+    optionally followed by comma-separated overrides: pressure,
+    saturated, hysteresis, pressure-clamp, saturated-clamp,
+    early-rotation (e.g. `balanced,saturated=0.8`). While degraded
+    the filter clamps unsolicited-inbound P_d upward (never touching
+    marked flows) and, when Saturated, rotates the bitmap at double
+    rate; with --fail-mode open the Saturated clamp is capped at the
+    Pressure level (emergency bypass). Transitions are exported as
+    metrics/journal events; entering Saturated dumps the black box.
+    --fault-plan injects deterministic faults for resilience drills:
+    `none` or comma-separated `key=value` of seed, corrupt
+    (per-mille packet corruption), reorder (bursts), skew (spikes),
+    skew-secs, ckpt (checkpoint write failures; periodic writes
+    retry with bounded backoff, then degrade to checkpointing-
+    disabled — final checkpoints stay fatal). panics=N is reserved
+    for the supervised pipeline (chaos harness), which catches and
+    quarantines them. Same plan + same input => same faults.
+    Incompatible with --subscribers.
 
 OBSERVABILITY (filter):
     --metrics-addr serves live GET /metrics (Prometheus) and
@@ -205,6 +230,8 @@ const FILTER_FLAGS: &[&str] = &[
     "serve-grace",
     "subscribers",
     "evict-idle",
+    "overload-policy",
+    "fault-plan",
 ];
 const PARAMS_FLAGS: &[&str] = &["connections"];
 
@@ -782,6 +809,59 @@ fn print_tenant_table(table: &SubscriberTable<BitmapFilter>) {
 /// is longest prefix match over the spec's CIDRs; tenant filters
 /// materialize lazily on first packet and (with `--evict-idle`) recycle
 /// their bit storage through the shared arena while idle.
+/// Retries a *periodic* checkpoint write with bounded exponential
+/// backoff (3 attempts, 50 ms then 200 ms between them), counting every
+/// retry in `upbound_cli_checkpoint_retries_total`. Returns the last
+/// error when all attempts failed; the caller then degrades to
+/// "checkpointing disabled" instead of aborting the replay. Final and
+/// shutdown checkpoints do not pass through here — their failures stay
+/// fatal (exit 1), because exiting without durable state is the one
+/// thing a crash-safe deployment must never do silently.
+fn checkpoint_with_backoff(
+    registry: &Registry,
+    mut attempt: impl FnMut() -> Result<(), String>,
+) -> Result<(), String> {
+    const ATTEMPTS: u32 = 3;
+    let mut delay = Duration::from_millis(50);
+    for remaining in (0..ATTEMPTS).rev() {
+        match attempt() {
+            Ok(()) => return Ok(()),
+            Err(e) if remaining == 0 => return Err(e),
+            Err(e) => {
+                registry
+                    .counter(
+                        "upbound_cli_checkpoint_retries_total",
+                        "Periodic checkpoint writes retried after a transient failure",
+                    )
+                    .inc();
+                eprintln!(
+                    "checkpoint write failed ({e}); retrying in {} ms",
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+                delay *= 4;
+            }
+        }
+    }
+    unreachable!("the final attempt returns above")
+}
+
+/// Records that periodic checkpointing has been disabled for the rest
+/// of the run (gauge + stderr); the replay itself continues.
+fn checkpointing_disabled(registry: &Registry, path: &str, error: &str) {
+    registry
+        .gauge(
+            "upbound_cli_checkpointing_disabled",
+            "1 when periodic checkpointing was disabled after repeated write failures",
+        )
+        .set(1.0);
+    eprintln!(
+        "{path}: periodic checkpoint failed after retries ({error}); \
+         periodic checkpointing disabled for the rest of the run \
+         (the final checkpoint will still be attempted)"
+    );
+}
+
 fn cmd_filter_subscribers(args: &Args) -> Result<Outcome, CliError> {
     let spec_path = args
         .get("subscribers")
@@ -796,6 +876,8 @@ fn cmd_filter_subscribers(args: &Args) -> Result<Outcome, CliError> {
         "flight-dump",
         "trace-latency",
         "serve-grace",
+        "overload-policy",
+        "fault-plan",
     ] {
         if args.has(flag) {
             return Err(usage(format!(
@@ -978,11 +1060,21 @@ fn cmd_filter_subscribers(args: &Args) -> Result<Outcome, CliError> {
                 )?;
                 table.advance(last_ts);
                 let path = checkpoint.as_deref().unwrap_or_default();
-                snapshot::write_atomic(Path::new(path), &table.snapshot_bytes(last_ts))
-                    .map_err(|e| runtime(format!("{path}: checkpoint write failed: {e}")))?;
-                checkpoints_written += 1;
-                let elapsed = ((t - boundary) / checkpoint_interval).floor() + 1.0;
-                next_checkpoint = Some(boundary + elapsed * checkpoint_interval);
+                let wrote = checkpoint_with_backoff(&registry, || {
+                    snapshot::write_atomic(Path::new(path), &table.snapshot_bytes(last_ts))
+                        .map_err(|e| e.to_string())
+                });
+                match wrote {
+                    Ok(()) => {
+                        checkpoints_written += 1;
+                        let elapsed = ((t - boundary) / checkpoint_interval).floor() + 1.0;
+                        next_checkpoint = Some(boundary + elapsed * checkpoint_interval);
+                    }
+                    Err(e) => {
+                        checkpointing_disabled(&registry, path, &e);
+                        next_checkpoint = None;
+                    }
+                }
             }
         }
         if let Some(boundary) = next_report {
@@ -1183,6 +1275,37 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
     if args.has("checkpoint-interval") && checkpoint.is_none() {
         return Err(usage("--checkpoint-interval requires --checkpoint <FILE>"));
     }
+    let overload = match args.get("overload-policy") {
+        None if args.has("overload-policy") => {
+            return Err(usage(
+                "--overload-policy expects off|balanced|strict[,key=value...]",
+            ));
+        }
+        None => OverloadPolicy::off(),
+        Some(spec) => {
+            OverloadPolicy::parse(spec).map_err(|e| usage(format!("--overload-policy: {e}")))?
+        }
+    };
+    let fault_plan = match args.get("fault-plan") {
+        None if args.has("fault-plan") => {
+            return Err(usage(
+                "--fault-plan expects `none` or key=value fields (seed, corrupt, \
+                 reorder, skew, skew-secs, panics, ckpt)",
+            ));
+        }
+        None => None,
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec).map_err(|e| usage(format!("--fault-plan: {e}")))?;
+            if plan.panics() > 0 {
+                return Err(usage(
+                    "--fault-plan panics=N needs a shard supervisor to catch them; \
+                     it is only supported by the supervised pipeline (chaos harness), \
+                     not the CLI replay path",
+                ));
+            }
+            (!plan.is_none()).then_some(plan)
+        }
+    };
 
     let mut builder = BitmapFilterConfig::builder();
     builder
@@ -1209,7 +1332,7 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
         return Err(usage("--batch-size expects at least 1"));
     }
     println!(
-        "bitmap filter: {{{} x 2^{}}} = {} KiB, T_e = {:.0} s, m = {}{}{}",
+        "bitmap filter: {{{} x 2^{}}} = {} KiB, T_e = {:.0} s, m = {}{}{}{}",
         config.vectors(),
         config.vector_bits(),
         config.memory_bytes() / 1024,
@@ -1222,6 +1345,11 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
         },
         if fail_mode == FailMode::Open {
             ", fail-open"
+        } else {
+            ""
+        },
+        if overload.enabled() {
+            ", overload ladder armed"
         } else {
             ""
         }
@@ -1272,6 +1400,7 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
                     .with_flight_recorder(flight.clone()),
             )
             .with_shared_uplink(Arc::clone(&uplink))
+            .with_overload_policy(overload.clone())
         })
         .collect();
     let filter =
@@ -1301,6 +1430,33 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
         }
         None => None,
     };
+
+    // A fault plan's stream faults (corruption, reorder bursts, skew
+    // spikes) need the whole stream, so the trace is drained up front
+    // and replayed from memory; without a plan the reader streams.
+    let mut distorted: Option<std::vec::IntoIter<Packet>> = match &fault_plan {
+        Some(plan) => {
+            let mut all = Vec::new();
+            while let Some(p) = reader.read_packet().map_err(|e| runtime(e.to_string()))? {
+                all.push(p);
+            }
+            let (stream, report) = plan.distort_stream(all);
+            println!(
+                "fault plan armed (seed {}): corrupted {} packet(s), {} reorder burst(s), \
+                 {} skewed packet(s)",
+                plan.seed(),
+                report.corrupted,
+                report.reorder_bursts,
+                report.skewed
+            );
+            Some(stream.into_iter())
+        }
+        None => None,
+    };
+    // Checkpoint-fault injection rides the same plan; periodic writes it
+    // fails go through the bounded-backoff retry path below.
+    let mut ckpt_injector: Option<PlannedInjector> = fault_plan.as_ref().map(FaultPlan::injector);
+    let mut ckpt_attempts = 0u64;
 
     let block = !args.has("no-block");
     let mut blocked: HashSet<FiveTuple> = HashSet::new();
@@ -1337,7 +1493,10 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
         let p = {
             let _t = tracer.as_ref().map(|t| t.scope(Stage::Ingest));
             let started = trace_latency.then(std::time::Instant::now);
-            let p = reader.read_packet().map_err(|e| runtime(e.to_string()))?;
+            let p = match distorted.as_mut() {
+                Some(iter) => iter.next(),
+                None => reader.read_packet().map_err(|e| runtime(e.to_string()))?,
+            };
             if let Some(started) = started {
                 ingest_metrics.record_read_latency(started.elapsed());
             }
@@ -1418,12 +1577,30 @@ fn cmd_filter(args: &Args) -> Result<Outcome, CliError> {
                     tracer.as_ref(),
                 )?;
                 let path = checkpoint.as_deref().unwrap_or_default();
-                filter
-                    .checkpoint_to(Path::new(path), last_ts)
-                    .map_err(|e| runtime(format!("{path}: checkpoint write failed: {e}")))?;
-                checkpoints_written += 1;
-                let elapsed = ((t - boundary) / checkpoint_interval).floor() + 1.0;
-                next_checkpoint = Some(boundary + elapsed * checkpoint_interval);
+                let wrote = checkpoint_with_backoff(&registry, || {
+                    let index = ckpt_attempts;
+                    ckpt_attempts += 1;
+                    if let Some(err) = ckpt_injector
+                        .as_mut()
+                        .and_then(|inj| inj.inject_checkpoint_error(index))
+                    {
+                        return Err(err.to_string());
+                    }
+                    filter
+                        .checkpoint_to(Path::new(path), last_ts)
+                        .map_err(|e| e.to_string())
+                });
+                match wrote {
+                    Ok(()) => {
+                        checkpoints_written += 1;
+                        let elapsed = ((t - boundary) / checkpoint_interval).floor() + 1.0;
+                        next_checkpoint = Some(boundary + elapsed * checkpoint_interval);
+                    }
+                    Err(e) => {
+                        checkpointing_disabled(&registry, path, &e);
+                        next_checkpoint = None;
+                    }
+                }
             }
         }
         if let Some(boundary) = next_report {
