@@ -4,6 +4,7 @@ use crate::config::FailMode;
 use crate::observe::{FilterObserver, InboundDecision, NoopObserver, RotationEvent};
 use crate::overload::{OverloadLadder, OverloadPolicy, OverloadState};
 use crate::pfilter::{MergeStats, PacketFilter};
+use crate::runtime::RuntimeOverrides;
 use crate::shared_engine::SharedEngine;
 use crate::snapshot::{self, ByteReader, ByteWriter, RestoreMode, SnapshotError, Snapshottable};
 use crate::{AtomicBitVec, AtomicBitmap, BitmapFilterConfig, DropPolicy, ThroughputMonitor};
@@ -340,6 +341,28 @@ impl<O: FilterObserver> BitmapFilter<O> {
     pub fn with_overload_policy(mut self, policy: OverloadPolicy) -> Self {
         self.overload = OverloadLadder::new(policy);
         self
+    }
+
+    /// Applies the filter-relevant fields of a [`RuntimeOverrides`]:
+    /// the `P_d` thresholds, the fail mode, and the overload policy.
+    /// `batch_size` is a dataplane-loop property and is ignored here.
+    ///
+    /// Exclusive access makes the swap atomic with respect to verdicts —
+    /// a control plane applies this between batches, at a rotation
+    /// boundary, so no packet is decided under a mixed configuration.
+    /// Bitmap contents, tick phase, stats and the ladder's rung all
+    /// survive: only the policy knobs change.
+    pub fn apply_overrides(&mut self, overrides: &RuntimeOverrides) {
+        if let Some(policy) = overrides.drop_policy {
+            self.config.drop_policy = policy;
+            self.engine.set_drop_policy(policy);
+        }
+        if let Some(mode) = overrides.fail_mode {
+            self.config.fail_mode = mode;
+        }
+        if let Some(policy) = &overrides.overload {
+            self.overload.set_policy(policy.clone());
+        }
     }
 
     /// The saturation sentinel / degradation ladder.

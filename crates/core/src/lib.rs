@@ -72,12 +72,12 @@ mod config;
 mod engine;
 mod filter;
 mod hash;
-mod multi;
 pub mod observe;
 pub mod overload;
 pub mod params;
 mod pfilter;
 mod red;
+mod runtime;
 mod sharded;
 mod shared_engine;
 pub mod snapshot;
@@ -94,8 +94,6 @@ pub use config::{BitmapFilterConfig, BitmapFilterConfigBuilder, ConfigError, Fai
 pub use engine::FilterEngine;
 pub use filter::{BitmapFilter, FilterStats, Verdict};
 pub use hash::HashFamily;
-#[allow(deprecated)]
-pub use multi::MultiNetworkFilter;
 pub use observe::{
     FilterObserver, InboundDecision, NoopObserver, RotationEvent, TelemetryObserver,
 };
@@ -104,6 +102,7 @@ pub use overload::{
 };
 pub use pfilter::{MergeStats, PacketFilter};
 pub use red::DropPolicy;
+pub use runtime::{ConfigCell, RuntimeOverrides};
 pub use sharded::{FlowHash, ShardIndexError, ShardedFilter, ShardedFilterBuilder};
 pub use snapshot::{
     ByteReader, ByteWriter, RestoreMode, RestoreOutcome, SnapshotError, Snapshottable,

@@ -382,6 +382,21 @@ impl OverloadLadder {
         &self.policy
     }
 
+    /// Replaces the policy without disturbing the rung or the
+    /// transition counters (runtime reconfiguration). The next
+    /// [`evaluate`](Self::evaluate) re-derives the rung under the new
+    /// thresholds, so a policy that no longer justifies the current
+    /// rung de-escalates on its own.
+    pub fn set_policy(&mut self, policy: OverloadPolicy) {
+        if !policy.enabled {
+            // A disabled ladder reports `Normal` everywhere clamps and
+            // rotation are derived; drop the stale rung too so state
+            // gauges agree.
+            *self.state.get_mut() = OverloadState::Normal.as_u8();
+        }
+        self.policy = policy;
+    }
+
     /// The current rung.
     pub fn state(&self) -> OverloadState {
         OverloadState::from_u8(self.state.load(Ordering::Relaxed))

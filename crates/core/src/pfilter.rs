@@ -12,8 +12,8 @@ use upbound_net::{Direction, Packet, Timestamp};
 ///
 /// Needed wherever several filters jointly cover one client network:
 /// the shards of a [`ShardedFilter`](crate::ShardedFilter) and the
-/// per-network entries of a
-/// [`MultiNetworkFilter`](crate::MultiNetworkFilter).
+/// per-tenant entries of a
+/// [`SubscriberTable`](crate::SubscriberTable).
 pub trait MergeStats: Default + Clone {
     /// Folds `other`'s counters into `self`.
     ///

@@ -1,0 +1,204 @@
+//! Runtime reconfiguration: atomic config cells for a live dataplane.
+//!
+//! A deployed filter cannot restart to change `P_d` thresholds or its
+//! fail mode — the uplink keeps carrying traffic. This module is the
+//! seam between a control plane (e.g. `upbound serve`'s `POST /config`)
+//! and the dataplane: the control side **stages** a [`RuntimeOverrides`]
+//! into a [`ConfigCell`]; the dataplane polls the cell's generation (one
+//! atomic load per batch — nothing on the per-packet path) and applies
+//! the staged overrides *between batches, at the next rotation-period
+//! boundary*. Applying at a rotation boundary means no batch is ever
+//! decided under a mixed configuration, and the swap lands at the same
+//! place in trace time where the filter already mutates itself (vector
+//! rotation), so snapshots and verdict accounting stay coherent.
+//!
+//! The cell itself is tiny: a generation counter plus a mutex-guarded
+//! staging slot. The mutex is only ever taken by the control plane and
+//! by the dataplane *after* the generation load says something changed,
+//! so steady-state cost on the hot loop is one `Acquire` load.
+
+use crate::{DropPolicy, FailMode, OverloadPolicy};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A sparse set of configuration fields to override at runtime.
+///
+/// `None` fields are left untouched, so a control plane can swap the
+/// `P_d` curve without knowing (or racing on) the current fail mode.
+/// `batch_size` is a dataplane-loop property rather than a filter
+/// property; [`BitmapFilter::apply_overrides`](crate::BitmapFilter::apply_overrides)
+/// ignores it and the loop that owns batching applies it itself.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuntimeOverrides {
+    /// New RED thresholds for Equation 1 (`L`/`H`).
+    pub drop_policy: Option<DropPolicy>,
+    /// New fail mode (`open`/`closed`).
+    pub fail_mode: Option<FailMode>,
+    /// New overload/degradation policy.
+    pub overload: Option<OverloadPolicy>,
+    /// New dataplane batch size (packets per `decide_batch` call).
+    pub batch_size: Option<usize>,
+}
+
+impl RuntimeOverrides {
+    /// `true` when no field is overridden.
+    pub fn is_empty(&self) -> bool {
+        *self == RuntimeOverrides::default()
+    }
+
+    /// Overlays `other` on top of `self`: fields set in `other` win.
+    pub fn merge(&mut self, other: RuntimeOverrides) {
+        if other.drop_policy.is_some() {
+            self.drop_policy = other.drop_policy;
+        }
+        if other.fail_mode.is_some() {
+            self.fail_mode = other.fail_mode;
+        }
+        if other.overload.is_some() {
+            self.overload = other.overload;
+        }
+        if other.batch_size.is_some() {
+            self.batch_size = other.batch_size;
+        }
+    }
+}
+
+/// The shared cell a control plane stages overrides into and a
+/// dataplane polls. Cloning shares the cell.
+///
+/// # Examples
+///
+/// ```
+/// use upbound_core::{ConfigCell, DropPolicy, RuntimeOverrides};
+///
+/// let cell = ConfigCell::new();
+/// let mut seen = cell.generation();
+///
+/// // Control plane stages a P_d swap…
+/// cell.stage(RuntimeOverrides {
+///     drop_policy: Some(DropPolicy::new(1e6, 2e6)?),
+///     ..RuntimeOverrides::default()
+/// });
+///
+/// // …the dataplane notices on its next batch boundary.
+/// let (gen, staged) = cell.poll(seen).expect("a change is pending");
+/// seen = gen;
+/// assert!(staged.drop_policy.is_some());
+/// assert!(cell.poll(seen).is_none(), "no further change pending");
+/// # Ok::<(), upbound_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConfigCell {
+    inner: Arc<CellInner>,
+}
+
+#[derive(Debug, Default)]
+struct CellInner {
+    /// Bumped after each stage; dataplanes compare against their last
+    /// seen value with one `Acquire` load.
+    generation: AtomicU64,
+    /// The accumulated override set — the *desired* state, so a
+    /// dataplane that starts late still converges to it.
+    staged: Mutex<RuntimeOverrides>,
+}
+
+impl ConfigCell {
+    /// A cell with nothing staged (generation 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current generation. Generation 0 means nothing was ever
+    /// staged.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::Acquire)
+    }
+
+    /// Merges `overrides` into the staged set and bumps the generation.
+    /// Returns the new generation.
+    pub fn stage(&self, overrides: RuntimeOverrides) -> u64 {
+        let mut staged = self.lock();
+        staged.merge(overrides);
+        drop(staged);
+        self.inner.generation.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// Returns the staged overrides if anything changed since `seen`,
+    /// along with the generation to remember. Cheap when nothing
+    /// changed: a single atomic load, no lock.
+    pub fn poll(&self, seen: u64) -> Option<(u64, RuntimeOverrides)> {
+        let generation = self.generation();
+        if generation == seen {
+            return None;
+        }
+        Some((generation, self.lock().clone()))
+    }
+
+    /// A snapshot of the accumulated override set, regardless of
+    /// generation (control-plane introspection).
+    pub fn snapshot(&self) -> RuntimeOverrides {
+        self.lock().clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RuntimeOverrides> {
+        self.inner.staged.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cell_has_nothing_pending() {
+        let cell = ConfigCell::new();
+        assert_eq!(cell.generation(), 0);
+        assert!(cell.poll(0).is_none());
+        assert!(cell.snapshot().is_empty());
+    }
+
+    #[test]
+    fn stage_bumps_generation_and_poll_drains_once() {
+        let cell = ConfigCell::new();
+        let g1 = cell.stage(RuntimeOverrides {
+            batch_size: Some(128),
+            ..RuntimeOverrides::default()
+        });
+        assert_eq!(g1, 1);
+        let (gen, staged) = cell.poll(0).expect("pending");
+        assert_eq!(gen, 1);
+        assert_eq!(staged.batch_size, Some(128));
+        assert!(cell.poll(gen).is_none());
+    }
+
+    #[test]
+    fn later_stages_overlay_earlier_fields() {
+        let cell = ConfigCell::new();
+        cell.stage(RuntimeOverrides {
+            drop_policy: Some(DropPolicy::drop_all()),
+            batch_size: Some(32),
+            ..RuntimeOverrides::default()
+        });
+        cell.stage(RuntimeOverrides {
+            batch_size: Some(64),
+            ..RuntimeOverrides::default()
+        });
+        let (gen, staged) = cell.poll(0).expect("pending");
+        assert_eq!(gen, 2);
+        // The untouched field survives, the restaged one is replaced.
+        assert_eq!(staged.drop_policy, Some(DropPolicy::drop_all()));
+        assert_eq!(staged.batch_size, Some(64));
+    }
+
+    #[test]
+    fn clones_share_the_cell() {
+        let cell = ConfigCell::new();
+        let control = cell.clone();
+        control.stage(RuntimeOverrides {
+            fail_mode: Some(FailMode::Open),
+            ..RuntimeOverrides::default()
+        });
+        let (_, staged) = cell.poll(0).expect("pending via clone");
+        assert_eq!(staged.fail_mode, Some(FailMode::Open));
+    }
+}

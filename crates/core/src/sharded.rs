@@ -30,7 +30,9 @@
 //! [`FilterKey`]: upbound_net::FilterKey
 
 use crate::hash::{fnv1a, splitmix64};
+use crate::observe::FilterObserver;
 use crate::pfilter::{MergeStats, PacketFilter};
+use crate::runtime::RuntimeOverrides;
 use crate::snapshot::{
     self, ByteReader, ByteWriter, RestoreMode, RestoreOutcome, SnapshotError, Snapshottable,
     SHARDED_KIND_FLAG,
@@ -121,7 +123,9 @@ struct Inner<F> {
     /// monitor without touching any shard lock. `None` for
     /// [`ShardedFilter::from_shards`] assemblies, whose shards' policies
     /// the container cannot see — those fall back to asking shard 0.
-    drop_policy: Option<DropPolicy>,
+    /// Behind its own lock (never a shard lock) so runtime
+    /// reconfiguration can swap the curve through a shared handle.
+    drop_policy: RwLock<Option<DropPolicy>>,
     name: String,
     /// Running-max timestamp (in microseconds) over every packet this
     /// handle has batched, persisted across [`ShardedFilter::process_batch`]
@@ -192,6 +196,33 @@ impl ShardedFilter<BitmapFilter> {
             config,
             shards: 1,
             overload: OverloadPolicy::off(),
+        }
+    }
+}
+
+impl<O: FilterObserver + Send + Sync> ShardedFilter<BitmapFilter<O>> {
+    /// Applies a [`RuntimeOverrides`] to every shard (see
+    /// [`BitmapFilter::apply_overrides`]) and to the cached telemetry
+    /// `P_d` curve, through a shared handle.
+    ///
+    /// Shards are updated one at a time under their write locks, so a
+    /// concurrent decider can observe shard `i` on the new curve while
+    /// shard `j` is still on the old one for the duration of this call.
+    /// The dataplane avoids even that window by applying overrides
+    /// between batches at a rotation boundary, when no decider is
+    /// in flight.
+    pub fn apply_overrides(&self, overrides: &RuntimeOverrides) {
+        if let Some(policy) = overrides.drop_policy {
+            let mut cached = self.inner.drop_policy.write();
+            // from_shards assemblies keep `None`: the container still
+            // cannot vouch for shard construction, but each shard now
+            // carries the override, so the shard-0 fallback stays right.
+            if cached.is_some() {
+                *cached = Some(policy);
+            }
+        }
+        for shard in &self.inner.shards {
+            shard.write().apply_overrides(overrides);
         }
     }
 }
@@ -287,7 +318,7 @@ impl<F: PacketFilter + Send + Sync> ShardedFilter<F> {
                 shards: filters.into_iter().map(RwLock::new).collect(),
                 flow,
                 uplink,
-                drop_policy,
+                drop_policy: RwLock::new(drop_policy),
                 name,
                 watermark: AtomicU64::new(0),
             }),
@@ -461,7 +492,7 @@ impl<F: PacketFilter + Send + Sync> ShardedFilter<F> {
     /// lock; [`from_shards`](Self::from_shards) assemblies (whose
     /// policies the container cannot see) fall back to asking shard 0.
     pub fn drop_probability(&self, now: Timestamp) -> f64 {
-        match &self.inner.drop_policy {
+        match *self.inner.drop_policy.read() {
             Some(policy) => policy.drop_probability(self.inner.uplink.rate_bps(now)),
             None => self.inner.shards[0].read().drop_probability(now),
         }

@@ -81,6 +81,13 @@ impl SharedEngine {
         self.drop_policy
     }
 
+    /// Replaces the drop policy (runtime reconfiguration). Exclusive
+    /// access guarantees no decider reads a half-swapped policy; the
+    /// dataplane applies this between batches at a rotation boundary.
+    pub(crate) fn set_drop_policy(&mut self, policy: DropPolicy) {
+        self.drop_policy = policy;
+    }
+
     /// `true` when at least one tick is due at or before `now` — the
     /// single-load guard the per-packet path pays between ticks.
     #[inline]

@@ -10,8 +10,8 @@
 //! * **LPM dispatch** — a binary trie ([`LpmTrie`]) maps an address to
 //!   its subscriber in O(32) regardless of how many prefixes are
 //!   provisioned, replacing the linear scan (and the "register
-//!   more-specific prefixes first" footgun) of the deprecated
-//!   [`MultiNetworkFilter`](crate::MultiNetworkFilter).
+//!   more-specific prefixes first" footgun) of the since-removed
+//!   `MultiNetworkFilter`.
 //! * **Lazy activation + idle eviction** — a tenant's filter is
 //!   materialized on its first packet and its bit storage is recycled
 //!   through a shared arena once the tenant has been idle for a full
@@ -297,9 +297,8 @@ struct BatchScratch {
 /// the source address (outbound leg: mark + measure, always pass) or,
 /// failing that, the destination address (inbound leg: look up +
 /// RED-drop). Transit traffic touching no subscriber passes untouched —
-/// the same semantics as the deprecated
-/// [`MultiNetworkFilter`](crate::MultiNetworkFilter), minus its linear
-/// scans and registration-order matching.
+/// the same semantics as the since-removed `MultiNetworkFilter`, minus
+/// its linear scans and registration-order matching.
 ///
 /// # Examples
 ///

@@ -74,11 +74,16 @@ pub enum IngestReason {
     Oversized,
     /// An I/O error from the underlying reader or writer.
     Io,
+    /// The kernel dropped packets on a live capture socket before
+    /// userspace could read them (e.g. `AF_PACKET` ring overrun under
+    /// load). Counted from the kernel's own statistics, not from a
+    /// decode failure, so no [`NetError`] variant maps here.
+    KernelDrop,
 }
 
 impl IngestReason {
     /// Every reason, in the order counters are stored and exported.
-    pub const ALL: [IngestReason; 7] = [
+    pub const ALL: [IngestReason; 8] = [
         IngestReason::Truncated,
         IngestReason::InvalidField,
         IngestReason::BadChecksum,
@@ -86,6 +91,7 @@ impl IngestReason {
         IngestReason::UnsupportedProtocol,
         IngestReason::Oversized,
         IngestReason::Io,
+        IngestReason::KernelDrop,
     ];
 
     /// A stable snake_case label, usable as a metric-name suffix.
@@ -98,6 +104,7 @@ impl IngestReason {
             IngestReason::UnsupportedProtocol => "unsupported_protocol",
             IngestReason::Oversized => "oversized",
             IngestReason::Io => "io",
+            IngestReason::KernelDrop => "kernel_drop",
         }
     }
 
@@ -111,6 +118,7 @@ impl IngestReason {
             IngestReason::UnsupportedProtocol => 4,
             IngestReason::Oversized => 5,
             IngestReason::Io => 6,
+            IngestReason::KernelDrop => 7,
         }
     }
 }

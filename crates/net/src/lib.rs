@@ -17,6 +17,9 @@
 //! * [`pcap`] — a from-scratch reader/writer for the classic libpcap file
 //!   format (both endiannesses, snaplen truncation), standing in for the
 //!   paper's tcpdump capture stage.
+//! * [`source`] — the [`PacketSource`] abstraction over packet
+//!   acquisition, with deterministic pcap replay and a Linux
+//!   `AF_PACKET` live-capture backend behind one contract.
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@ mod merge;
 mod packet;
 pub mod pcap;
 mod protocol;
+pub mod source;
 mod subnet;
 mod tcp;
 mod tuple;
@@ -53,6 +57,9 @@ pub use error::{IngestReason, NetError};
 pub use merge::{merge_sorted, MergeSorted};
 pub use packet::{Direction, Packet};
 pub use protocol::Protocol;
+pub use source::{
+    BufferedSource, LiveCaptureError, LiveConfig, LiveSource, PacketSource, PcapSource, SourcePoll,
+};
 pub use subnet::Cidr;
 pub use tcp::{TcpConnState, TcpFlags};
 pub use tuple::{FilterKey, FiveTuple};

@@ -41,6 +41,7 @@
 
 use crate::wire::{self, ChecksumPolicy};
 use crate::{IngestReason, NetError, Packet, Timestamp};
+use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::sync::Arc;
 use upbound_telemetry::{Counter, LatencyRecorder, Registry};
@@ -147,7 +148,7 @@ pub enum RecoveryPolicy {
 /// malformed record may swallow several original records before the
 /// reader resynchronizes, and the bytes it covered are summed in
 /// `bytes_skipped`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IngestStats {
     /// Records successfully decoded into packets.
     pub records_ok: u64,
@@ -177,8 +178,29 @@ impl IngestStats {
             .map(move |r| (r, self.errors[r.index()]))
     }
 
-    fn count(&mut self, reason: IngestReason) {
+    /// Counts one error of `reason`.
+    ///
+    /// Public so packet sources outside the pcap reader (e.g. the live
+    /// `AF_PACKET` source) can account decode failures in the same
+    /// taxonomy.
+    pub fn record_error(&mut self, reason: IngestReason) {
         self.errors[reason.index()] += 1;
+    }
+
+    /// Folds `n` kernel-side capture drops into the
+    /// [`IngestReason::KernelDrop`] bucket. Live sources call this with
+    /// the delta read from the kernel's own socket statistics.
+    pub fn record_kernel_drops(&mut self, n: u64) {
+        self.errors[IngestReason::KernelDrop.index()] += n;
+    }
+
+    /// Packets the kernel dropped before userspace could read them.
+    pub fn kernel_drops(&self) -> u64 {
+        self.errors_for(IngestReason::KernelDrop)
+    }
+
+    fn count(&mut self, reason: IngestReason) {
+        self.record_error(reason);
     }
 }
 

@@ -1,0 +1,854 @@
+//! Unified packet acquisition: the [`PacketSource`] abstraction and its
+//! backends.
+//!
+//! Everything downstream of ingestion — the replay engine, the threaded
+//! pipelines, the `upbound serve` dataplane — consumes timestamped,
+//! direction-labeled packets in batches. This module is the seam that
+//! lets those consumers run unchanged against either of two worlds:
+//!
+//! * **Deterministic replay** — [`PcapSource`] wraps the recovering
+//!   [`PcapReader`] and classifies direction against the client network,
+//!   byte-identical to the historical drain-then-replay path (asserted
+//!   by differential tests).
+//! * **Live capture** — [`LiveSource`] reads raw Ethernet frames from a
+//!   Linux `AF_PACKET` socket in `recvmmsg` batches, decodes them with
+//!   the same [`wire`](crate::wire) codec the pcap path uses, and folds
+//!   kernel-side capture drops into the [`IngestStats`] taxonomy
+//!   ([`IngestReason::KernelDrop`](crate::IngestReason)). On other
+//!   platforms [`LiveSource::open`] returns a structured
+//!   [`LiveCaptureError::Unsupported`] instead of failing to compile.
+//!
+//! [`BufferedSource`] rounds out the set: an in-memory source used for
+//! tests, fault-plan distortion (which needs the whole stream up front),
+//! and looped replay under `upbound serve`.
+
+use crate::pcap::{IngestStats, PcapReader};
+use crate::wire::ChecksumPolicy;
+use crate::{Cidr, Direction, NetError, Packet, TimeDelta, Timestamp};
+use std::fmt;
+use std::io::Read;
+
+/// What one [`PacketSource::next_batch`] call produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourcePoll {
+    /// `n` packets were appended to the output buffer. Live sources may
+    /// legitimately report `Batch(0)` when frames arrived but none
+    /// decoded; that is progress, not end-of-stream.
+    Batch(usize),
+    /// No packets are available right now, but more may arrive (live
+    /// sources only). Callers should check their stop conditions and
+    /// poll again, typically after a short sleep.
+    Idle,
+    /// The stream is exhausted; no further packets will ever arrive.
+    End,
+}
+
+/// A stream of timestamped, direction-labeled packets with ingestion
+/// accounting — the contract between packet acquisition and everything
+/// downstream.
+///
+/// Implementations must deliver packets in non-decreasing timestamp
+/// order (replay order for trace-backed sources, arrival order stamped
+/// from a monotonic clock for live sources) and keep [`stats`] current:
+/// after [`SourcePoll::End`] the stats must account for every record the
+/// source saw, including errors and kernel drops.
+///
+/// [`stats`]: PacketSource::stats
+pub trait PacketSource {
+    /// Appends up to `max` packets to `out` and says what happened.
+    ///
+    /// `out` is not cleared — callers own its lifecycle so they can
+    /// accumulate across polls. `max` is a per-call ceiling (typically
+    /// the pipeline batch size); implementations may return fewer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unrecoverable error (I/O failure, or a decode
+    /// error under a strict recovery policy). Recoverable decode errors
+    /// are counted in [`stats`](PacketSource::stats) instead.
+    fn next_batch(
+        &mut self,
+        out: &mut Vec<(Packet, Direction)>,
+        max: usize,
+    ) -> Result<SourcePoll, NetError>;
+
+    /// Current ingestion accounting (records decoded, skipped, per-reason
+    /// errors, kernel drops).
+    fn stats(&self) -> IngestStats;
+
+    /// A short display name ("pcap", "af_packet", …).
+    fn name(&self) -> &str;
+
+    /// Whether this source is clocked by the real world. Live sources
+    /// return `true`; consumers use this to decide between draining to
+    /// end-of-stream and polling with stop conditions.
+    fn is_live(&self) -> bool {
+        false
+    }
+}
+
+/// The deterministic replay backend: a [`PcapReader`] plus the client
+/// network used to label direction (source address inside → outbound).
+///
+/// Streaming through `next_batch` yields exactly the packets, order, and
+/// [`IngestStats`] of the historical "drain the reader, then replay"
+/// path, so replay results are byte-identical whichever way the engine
+/// is driven.
+#[derive(Debug)]
+pub struct PcapSource<R: Read> {
+    reader: PcapReader<R>,
+    client_net: Cidr,
+    done: bool,
+}
+
+impl<R: Read> PcapSource<R> {
+    /// Wraps an open reader; `client_net` labels packet direction.
+    pub fn new(reader: PcapReader<R>, client_net: Cidr) -> Self {
+        Self {
+            reader,
+            client_net,
+            done: false,
+        }
+    }
+
+    /// The client network used for direction labeling.
+    pub fn client_net(&self) -> Cidr {
+        self.client_net
+    }
+}
+
+impl<R: Read> PacketSource for PcapSource<R> {
+    fn next_batch(
+        &mut self,
+        out: &mut Vec<(Packet, Direction)>,
+        max: usize,
+    ) -> Result<SourcePoll, NetError> {
+        if self.done {
+            return Ok(SourcePoll::End);
+        }
+        let mut appended = 0;
+        while appended < max.max(1) {
+            match self.reader.read_packet()? {
+                Some(packet) => {
+                    let direction = self.client_net.direction_of(&packet.tuple());
+                    out.push((packet, direction));
+                    appended += 1;
+                }
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if appended == 0 {
+            Ok(SourcePoll::End)
+        } else {
+            Ok(SourcePoll::Batch(appended))
+        }
+    }
+
+    fn stats(&self) -> IngestStats {
+        *self.reader.stats()
+    }
+
+    fn name(&self) -> &str {
+        "pcap"
+    }
+}
+
+/// An in-memory source over pre-labeled packets.
+///
+/// Three jobs: test harness, carrier for fault-plan-distorted streams
+/// (distortion needs the whole stream up front), and looped replay —
+/// [`looped`](Self::looped) restamps each pass so trace time keeps
+/// advancing monotonically, which is how `upbound serve` turns a finite
+/// capture into an indefinite traffic generator.
+#[derive(Debug, Clone)]
+pub struct BufferedSource {
+    packets: Vec<(Packet, Direction)>,
+    stats: IngestStats,
+    pos: usize,
+    cycle: u64,
+    looped: bool,
+    period: TimeDelta,
+}
+
+impl BufferedSource {
+    /// Wraps pre-labeled packets. `stats` should carry the ingestion
+    /// accounting of wherever the packets came from
+    /// ([`IngestStats::default()`] for synthetic streams).
+    pub fn new(packets: Vec<(Packet, Direction)>, stats: IngestStats) -> Self {
+        let span = match (packets.first(), packets.last()) {
+            (Some((first, _)), Some((last, _))) => last.ts().saturating_since(first.ts()),
+            _ => TimeDelta::ZERO,
+        };
+        Self {
+            packets,
+            stats,
+            pos: 0,
+            cycle: 0,
+            looped: false,
+            // One microsecond of guard keeps restamped cycles strictly
+            // monotone even for single-packet streams.
+            period: TimeDelta::from_micros(span.as_micros() + 1),
+        }
+    }
+
+    /// Labels `packets` against `client_net` and wraps them.
+    pub fn labeled(packets: Vec<Packet>, client_net: Cidr) -> Self {
+        let labeled = packets
+            .into_iter()
+            .map(|p| {
+                let d = client_net.direction_of(&p.tuple());
+                (p, d)
+            })
+            .collect();
+        Self::new(labeled, IngestStats::default())
+    }
+
+    /// Drains `source` to end-of-stream and buffers everything it
+    /// produced, carrying over its final [`IngestStats`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first unrecoverable source error.
+    pub fn drain<S: PacketSource + ?Sized>(source: &mut S) -> Result<Self, NetError> {
+        let mut packets = Vec::new();
+        loop {
+            match source.next_batch(&mut packets, 1024)? {
+                SourcePoll::End => break,
+                SourcePoll::Batch(_) | SourcePoll::Idle => continue,
+            }
+        }
+        Ok(Self::new(packets, source.stats()))
+    }
+
+    /// Replays the buffer in a loop instead of ending: each pass is
+    /// restamped one whole trace-span later, so timestamps stay
+    /// monotone and rotation/expiry machinery keeps ticking forever.
+    pub fn looped(mut self, looped: bool) -> Self {
+        self.looped = looped;
+        self
+    }
+
+    /// Number of buffered packets per cycle.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+}
+
+impl PacketSource for BufferedSource {
+    fn next_batch(
+        &mut self,
+        out: &mut Vec<(Packet, Direction)>,
+        max: usize,
+    ) -> Result<SourcePoll, NetError> {
+        if self.packets.is_empty() {
+            return Ok(SourcePoll::End);
+        }
+        let mut appended = 0;
+        while appended < max.max(1) {
+            if self.pos >= self.packets.len() {
+                if !self.looped {
+                    break;
+                }
+                self.pos = 0;
+                self.cycle += 1;
+            }
+            let (packet, direction) = &self.packets[self.pos];
+            self.pos += 1;
+            let shift = self.period.as_micros() * self.cycle;
+            let restamped = if shift == 0 {
+                packet.clone()
+            } else {
+                packet
+                    .clone()
+                    .with_ts(Timestamp::from_micros(packet.ts().as_micros() + shift))
+            };
+            out.push((restamped, *direction));
+            appended += 1;
+        }
+        if appended == 0 {
+            Ok(SourcePoll::End)
+        } else {
+            Ok(SourcePoll::Batch(appended))
+        }
+    }
+
+    fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    fn name(&self) -> &str {
+        "buffered"
+    }
+}
+
+/// Why a live capture source could not be opened.
+///
+/// Structured so callers can branch without string matching: the CLI
+/// maps [`Unsupported`](Self::Unsupported) and
+/// [`PermissionDenied`](Self::PermissionDenied) to actionable usage
+/// messages, and tests use them to skip gracefully where `CAP_NET_RAW`
+/// is unavailable.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LiveCaptureError {
+    /// Live capture requires Linux `AF_PACKET`; this build targets a
+    /// platform without it.
+    Unsupported {
+        /// The compile-time target OS of this build.
+        platform: &'static str,
+    },
+    /// Opening the raw socket was refused — the process lacks
+    /// `CAP_NET_RAW` (or root).
+    PermissionDenied {
+        /// The interface that was being opened.
+        interface: String,
+    },
+    /// The named interface does not exist.
+    NoSuchInterface {
+        /// The requested interface name.
+        interface: String,
+    },
+    /// Any other socket-layer failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for LiveCaptureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveCaptureError::Unsupported { platform } => write!(
+                f,
+                "live capture is unsupported on {platform}: AF_PACKET raw sockets are Linux-only"
+            ),
+            LiveCaptureError::PermissionDenied { interface } => write!(
+                f,
+                "opening {interface} for live capture was denied: needs CAP_NET_RAW (or root)"
+            ),
+            LiveCaptureError::NoSuchInterface { interface } => {
+                write!(f, "no such capture interface: {interface}")
+            }
+            LiveCaptureError::Io(e) => write!(f, "live capture I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveCaptureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveCaptureError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of a [`LiveSource`].
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Interface to capture on (e.g. `"lo"`, `"eth0"`).
+    pub interface: String,
+    /// Client network for direction labeling (source inside → outbound).
+    pub client_net: Cidr,
+    /// Checksum handling for decoded frames. Live interfaces commonly
+    /// offload checksums (loopback never computes them), so
+    /// [`ChecksumPolicy::Ignore`] is the practical default.
+    pub checksum: ChecksumPolicy,
+}
+
+impl LiveConfig {
+    /// A config capturing `interface` with direction classified against
+    /// `client_net`, checksums ignored (offload-safe).
+    pub fn new(interface: impl Into<String>, client_net: Cidr) -> Self {
+        Self {
+            interface: interface.into(),
+            client_net,
+            checksum: ChecksumPolicy::Ignore,
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use af_packet::LiveSource;
+
+#[cfg(not(target_os = "linux"))]
+pub use unsupported::LiveSource;
+
+/// The Linux `AF_PACKET` live backend.
+///
+/// The raw-socket syscalls live behind a module-scoped
+/// `allow(unsafe_code)` — the only unsafe surface in this crate — and
+/// everything above the recvmmsg boundary (decoding, direction labeling,
+/// accounting) is shared safe code.
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod af_packet {
+    use super::*;
+    use crate::packet::ETH_HDR_LEN;
+    use crate::wire;
+    use std::time::Instant;
+
+    const AF_PACKET: i32 = 17;
+    const SOCK_RAW: i32 = 3;
+    const SOCK_CLOEXEC: i32 = 0x80000;
+    const ETH_P_ALL: u16 = 0x0003;
+    const SOL_PACKET: i32 = 263;
+    const PACKET_STATISTICS: i32 = 6;
+    const MSG_DONTWAIT: i32 = 0x40;
+
+    /// Frames pulled per `recvmmsg` call.
+    const FRAMES_PER_READ: usize = 32;
+    /// Per-frame buffer: loopback MTU (64 KiB) plus the Ethernet header.
+    const FRAME_CAP: usize = 65_536 + ETH_HDR_LEN;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct SockaddrLl {
+        sll_family: u16,
+        sll_protocol: u16,
+        sll_ifindex: i32,
+        sll_hatype: u16,
+        sll_pkttype: u8,
+        sll_halen: u8,
+        sll_addr: [u8; 8],
+    }
+
+    #[repr(C)]
+    struct IoVec {
+        base: *mut u8,
+        len: usize,
+    }
+
+    #[repr(C)]
+    struct MsgHdr {
+        name: *mut SockaddrLl,
+        namelen: u32,
+        iov: *mut IoVec,
+        iovlen: usize,
+        control: *mut u8,
+        controllen: usize,
+        flags: i32,
+    }
+
+    #[repr(C)]
+    struct MMsgHdr {
+        hdr: MsgHdr,
+        len: u32,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    struct TpacketStats {
+        packets: u32,
+        drops: u32,
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrLl, len: u32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn getsockopt(fd: i32, level: i32, name: i32, val: *mut TpacketStats, len: *mut u32)
+            -> i32;
+        fn recvmmsg(fd: i32, vec: *mut MMsgHdr, vlen: u32, flags: i32, timeout: *mut u8) -> i32;
+        fn if_nametoindex(name: *const u8) -> u32;
+    }
+
+    /// A live `AF_PACKET` capture on one interface.
+    ///
+    /// Frames are read in `recvmmsg` batches without blocking
+    /// (`MSG_DONTWAIT`); an empty queue reports [`SourcePoll::Idle`] so
+    /// the caller keeps control of its stop conditions. Each batch is
+    /// stamped once from a monotonic clock anchored at
+    /// [`open`](Self::open) — the dataplane runs on relative time, like
+    /// the replay path. Kernel-side drops (`PACKET_STATISTICS`) are
+    /// harvested on every poll and folded into the
+    /// [`IngestReason::KernelDrop`](crate::IngestReason) bucket.
+    pub struct LiveSource {
+        fd: i32,
+        interface: String,
+        client_net: Cidr,
+        checksum: ChecksumPolicy,
+        stats: IngestStats,
+        epoch: Instant,
+        frames: Vec<Vec<u8>>,
+    }
+
+    impl fmt::Debug for LiveSource {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("LiveSource")
+                .field("interface", &self.interface)
+                .field("client_net", &self.client_net)
+                .field("stats", &self.stats)
+                .finish()
+        }
+    }
+
+    impl LiveSource {
+        /// Opens a raw capture socket bound to `config.interface`.
+        ///
+        /// # Errors
+        ///
+        /// * [`LiveCaptureError::NoSuchInterface`] — unknown interface.
+        /// * [`LiveCaptureError::PermissionDenied`] — no `CAP_NET_RAW`.
+        /// * [`LiveCaptureError::Io`] — any other socket failure.
+        pub fn open(config: LiveConfig) -> Result<LiveSource, LiveCaptureError> {
+            let mut name = config.interface.clone().into_bytes();
+            if name.is_empty() || name.contains(&0) {
+                return Err(LiveCaptureError::NoSuchInterface {
+                    interface: config.interface,
+                });
+            }
+            name.push(0);
+            // SAFETY: `name` is a NUL-terminated byte string that
+            // outlives the call.
+            let ifindex = unsafe { if_nametoindex(name.as_ptr()) };
+            if ifindex == 0 {
+                return Err(LiveCaptureError::NoSuchInterface {
+                    interface: config.interface,
+                });
+            }
+            // SAFETY: plain socket(2) call; the fd is owned below.
+            let fd = unsafe {
+                socket(
+                    AF_PACKET,
+                    SOCK_RAW | SOCK_CLOEXEC,
+                    i32::from(ETH_P_ALL.to_be()),
+                )
+            };
+            if fd < 0 {
+                let err = std::io::Error::last_os_error();
+                return Err(match err.kind() {
+                    std::io::ErrorKind::PermissionDenied => LiveCaptureError::PermissionDenied {
+                        interface: config.interface,
+                    },
+                    _ => LiveCaptureError::Io(err),
+                });
+            }
+            let addr = SockaddrLl {
+                sll_family: AF_PACKET as u16,
+                sll_protocol: ETH_P_ALL.to_be(),
+                sll_ifindex: ifindex as i32,
+                sll_hatype: 0,
+                sll_pkttype: 0,
+                sll_halen: 0,
+                sll_addr: [0; 8],
+            };
+            // SAFETY: `addr` is a properly initialized sockaddr_ll and
+            // the length matches its size.
+            let rc = unsafe { bind(fd, &addr, std::mem::size_of::<SockaddrLl>() as u32) };
+            if rc != 0 {
+                let err = std::io::Error::last_os_error();
+                // SAFETY: fd came from socket(2) above and is not used
+                // after this close.
+                unsafe { close(fd) };
+                return Err(LiveCaptureError::Io(err));
+            }
+            Ok(LiveSource {
+                fd,
+                interface: config.interface,
+                client_net: config.client_net,
+                checksum: config.checksum,
+                stats: IngestStats::default(),
+                epoch: Instant::now(),
+                frames: (0..FRAMES_PER_READ).map(|_| vec![0u8; FRAME_CAP]).collect(),
+            })
+        }
+
+        /// The interface this source captures on.
+        pub fn interface(&self) -> &str {
+            &self.interface
+        }
+
+        /// Reads `PACKET_STATISTICS` (which the kernel resets on read)
+        /// and folds any drops into the stats taxonomy.
+        fn harvest_kernel_drops(&mut self) {
+            let mut raw = TpacketStats::default();
+            let mut len = std::mem::size_of::<TpacketStats>() as u32;
+            // SAFETY: `raw`/`len` are valid out-pointers sized for
+            // PACKET_STATISTICS.
+            let rc =
+                unsafe { getsockopt(self.fd, SOL_PACKET, PACKET_STATISTICS, &mut raw, &mut len) };
+            if rc == 0 && raw.drops > 0 {
+                self.stats.record_kernel_drops(u64::from(raw.drops));
+            }
+        }
+    }
+
+    impl Drop for LiveSource {
+        fn drop(&mut self) {
+            // SAFETY: fd is owned by this struct and closed exactly once.
+            unsafe { close(self.fd) };
+        }
+    }
+
+    impl PacketSource for LiveSource {
+        fn next_batch(
+            &mut self,
+            out: &mut Vec<(Packet, Direction)>,
+            max: usize,
+        ) -> Result<SourcePoll, NetError> {
+            let want = max.clamp(1, FRAMES_PER_READ);
+            let mut iovecs: Vec<IoVec> = self
+                .frames
+                .iter_mut()
+                .take(want)
+                .map(|buf| IoVec {
+                    base: buf.as_mut_ptr(),
+                    len: buf.len(),
+                })
+                .collect();
+            let mut msgs: Vec<MMsgHdr> = iovecs
+                .iter_mut()
+                .map(|iov| MMsgHdr {
+                    hdr: MsgHdr {
+                        name: std::ptr::null_mut(),
+                        namelen: 0,
+                        iov,
+                        iovlen: 1,
+                        control: std::ptr::null_mut(),
+                        controllen: 0,
+                        flags: 0,
+                    },
+                    len: 0,
+                })
+                .collect();
+            // SAFETY: every msg header points at one live iovec backed by
+            // an owned frame buffer; vlen matches the array length.
+            let n = unsafe {
+                recvmmsg(
+                    self.fd,
+                    msgs.as_mut_ptr(),
+                    msgs.len() as u32,
+                    MSG_DONTWAIT,
+                    std::ptr::null_mut(),
+                )
+            };
+            self.harvest_kernel_drops();
+            if n < 0 {
+                let err = std::io::Error::last_os_error();
+                return match err.kind() {
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted => {
+                        Ok(SourcePoll::Idle)
+                    }
+                    _ => Err(NetError::Io(err)),
+                };
+            }
+            if n == 0 {
+                return Ok(SourcePoll::Idle);
+            }
+            // One clock read per batch: frames share an arrival stamp,
+            // which keeps timestamps monotone and the hot path cheap.
+            let elapsed = self.epoch.elapsed();
+            let ts = Timestamp::from_micros(elapsed.as_micros().min(u64::MAX as u128) as u64);
+            let mut appended = 0;
+            for (i, msg) in msgs.iter().enumerate().take(n as usize) {
+                let len = (msg.len as usize).min(FRAME_CAP);
+                let frame = &self.frames[i][..len];
+                match wire::decode(frame, ts, len as u32, self.checksum) {
+                    Ok(packet) => {
+                        let direction = self.client_net.direction_of(&packet.tuple());
+                        out.push((packet, direction));
+                        self.stats.records_ok += 1;
+                        appended += 1;
+                    }
+                    Err(e) => {
+                        self.stats.record_error(e.reason());
+                        self.stats.records_skipped += 1;
+                        self.stats.bytes_skipped += len as u64;
+                    }
+                }
+            }
+            Ok(SourcePoll::Batch(appended))
+        }
+
+        fn stats(&self) -> IngestStats {
+            self.stats
+        }
+
+        fn name(&self) -> &str {
+            "af_packet"
+        }
+
+        fn is_live(&self) -> bool {
+            true
+        }
+    }
+}
+
+/// The stub that stands in for [`LiveSource`] on platforms without
+/// `AF_PACKET`: opening always fails with the structured
+/// [`LiveCaptureError::Unsupported`], and the type still implements
+/// [`PacketSource`] so downstream signatures stay portable.
+#[cfg(not(target_os = "linux"))]
+mod unsupported {
+    use super::*;
+
+    /// Placeholder live source on non-Linux targets. Cannot be
+    /// constructed: [`open`](Self::open) always returns
+    /// [`LiveCaptureError::Unsupported`].
+    #[derive(Debug)]
+    pub struct LiveSource {
+        never: std::convert::Infallible,
+    }
+
+    impl LiveSource {
+        /// Always fails: live capture needs Linux `AF_PACKET`.
+        ///
+        /// # Errors
+        ///
+        /// [`LiveCaptureError::Unsupported`], always.
+        pub fn open(_config: LiveConfig) -> Result<LiveSource, LiveCaptureError> {
+            Err(LiveCaptureError::Unsupported {
+                platform: std::env::consts::OS,
+            })
+        }
+
+        /// The interface this source captures on (uninhabited).
+        pub fn interface(&self) -> &str {
+            match self.never {}
+        }
+    }
+
+    impl PacketSource for LiveSource {
+        fn next_batch(
+            &mut self,
+            _out: &mut Vec<(Packet, Direction)>,
+            _max: usize,
+        ) -> Result<SourcePoll, NetError> {
+            match self.never {}
+        }
+
+        fn stats(&self) -> IngestStats {
+            match self.never {}
+        }
+
+        fn name(&self) -> &str {
+            match self.never {}
+        }
+
+        fn is_live(&self) -> bool {
+            match self.never {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcap;
+    use crate::{FiveTuple, Protocol, TcpFlags};
+
+    fn packet(secs: f64, src: &str, dst: &str) -> Packet {
+        Packet::tcp(
+            Timestamp::from_secs(secs),
+            FiveTuple::new(Protocol::Tcp, src.parse().unwrap(), dst.parse().unwrap()),
+            TcpFlags::SYN,
+            vec![0u8; 16],
+        )
+    }
+
+    fn sample_packets() -> Vec<Packet> {
+        (0..10)
+            .map(|i| {
+                packet(
+                    i as f64,
+                    &format!("10.0.0.{}:4000", i + 1),
+                    "198.51.100.9:6881",
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pcap_source_streams_and_labels_everything() {
+        let packets = sample_packets();
+        let bytes = pcap::to_bytes(packets.iter(), 65535).unwrap();
+        let net: Cidr = "10.0.0.0/16".parse().unwrap();
+        let mut source = PcapSource::new(PcapReader::new(&bytes[..]).unwrap(), net);
+        assert!(!source.is_live());
+
+        let mut out = Vec::new();
+        loop {
+            match source.next_batch(&mut out, 3).unwrap() {
+                SourcePoll::End => break,
+                SourcePoll::Batch(n) => assert!((1..=3).contains(&n)),
+                SourcePoll::Idle => panic!("pcap sources never idle"),
+            }
+        }
+        assert_eq!(out.len(), packets.len());
+        assert!(out.iter().all(|(_, d)| *d == Direction::Outbound));
+        assert_eq!(source.stats().records_ok, packets.len() as u64);
+        // Terminal polls stay End.
+        assert_eq!(source.next_batch(&mut out, 3).unwrap(), SourcePoll::End);
+    }
+
+    #[test]
+    fn buffered_source_drains_a_pcap_source_identically() {
+        let packets = sample_packets();
+        let bytes = pcap::to_bytes(packets.iter(), 65535).unwrap();
+        let net: Cidr = "10.0.0.0/16".parse().unwrap();
+        let mut pcap_source = PcapSource::new(PcapReader::new(&bytes[..]).unwrap(), net);
+        let mut buffered = BufferedSource::drain(&mut pcap_source).unwrap();
+        assert_eq!(buffered.len(), packets.len());
+        assert_eq!(buffered.stats(), pcap_source.stats());
+
+        let mut out = Vec::new();
+        assert_eq!(
+            buffered.next_batch(&mut out, usize::MAX).unwrap(),
+            SourcePoll::Batch(packets.len())
+        );
+        assert_eq!(buffered.next_batch(&mut out, 8).unwrap(), SourcePoll::End);
+    }
+
+    #[test]
+    fn looped_source_restamps_monotonically() {
+        let net: Cidr = "10.0.0.0/16".parse().unwrap();
+        let mut source = BufferedSource::labeled(sample_packets(), net).looped(true);
+        let mut out = Vec::new();
+        // Pull three full cycles worth.
+        while out.len() < 30 {
+            match source.next_batch(&mut out, 7).unwrap() {
+                SourcePoll::Batch(_) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let mut last = Timestamp::ZERO;
+        for (p, _) in &out {
+            assert!(p.ts() >= last, "timestamps must stay monotone");
+            last = p.ts();
+        }
+        // Cycle 2's first packet is one whole span later than cycle 1's.
+        assert!(out[10].0.ts() > out[9].0.ts());
+    }
+
+    #[test]
+    fn live_source_on_missing_interface_is_structured() {
+        let net: Cidr = "10.0.0.0/16".parse().unwrap();
+        let err = match LiveSource::open(LiveConfig::new("upbound-definitely-not-a-nic0", net)) {
+            Ok(_) => panic!("open of a nonexistent interface must fail"),
+            Err(err) => err,
+        };
+        match err {
+            LiveCaptureError::NoSuchInterface { interface } => {
+                assert_eq!(interface, "upbound-definitely-not-a-nic0");
+            }
+            // Without CAP_NET_RAW some kernels report the permission
+            // failure first; on non-Linux the platform gate fires first.
+            LiveCaptureError::PermissionDenied { .. } | LiveCaptureError::Unsupported { .. } => {}
+            LiveCaptureError::Io(e) => panic!("unexpected io error: {e}"),
+        }
+    }
+
+    #[test]
+    fn empty_buffered_source_ends_immediately() {
+        let mut source = BufferedSource::new(Vec::new(), IngestStats::default());
+        let mut out = Vec::new();
+        assert_eq!(source.next_batch(&mut out, 4).unwrap(), SourcePoll::End);
+        assert!(source.is_empty());
+    }
+}

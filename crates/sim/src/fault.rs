@@ -27,7 +27,7 @@
 //! [`run_faulted_pipeline`] composes all three against the supervised
 //! sharded pipeline, which is what the CI chaos matrix drives.
 
-use crate::pipeline::{run_supervised_pipeline_with, PipelineConfig, SupervisedResult};
+use crate::pipeline::{PipelineConfig, SupervisedResult};
 use std::path::Path;
 use std::sync::Arc;
 use upbound_core::{
@@ -465,6 +465,10 @@ impl<S: CheckpointSink, J: FaultInjector> CheckpointSink for FaultingCheckpointS
 /// with the plan's panic budget, and rebuilt shards come back disarmed
 /// and fail-open exactly like the production rebuild policy. Returns the
 /// supervised result plus what the distortion pass touched.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PipelineRunner::new(inside, config).shards(n).fault_plan(plan).run(packets)`"
+)]
 pub fn run_faulted_pipeline<I>(
     packets: I,
     inside: Cidr,
@@ -472,6 +476,29 @@ pub fn run_faulted_pipeline<I>(
     shards: usize,
     pipeline_config: PipelineConfig,
     plan: &FaultPlan,
+) -> (SupervisedResult, DistortionReport)
+where
+    I: IntoIterator<Item = Packet>,
+{
+    faulted_pipeline_impl(
+        packets,
+        inside,
+        filter_config,
+        shards,
+        pipeline_config,
+        plan,
+        &crate::PipelineObservability::default(),
+    )
+}
+
+pub(crate) fn faulted_pipeline_impl<I>(
+    packets: I,
+    inside: Cidr,
+    filter_config: BitmapFilterConfig,
+    shards: usize,
+    pipeline_config: PipelineConfig,
+    plan: &FaultPlan,
+    obs: &crate::PipelineObservability,
 ) -> (SupervisedResult, DistortionReport)
 where
     I: IntoIterator<Item = Packet>,
@@ -499,13 +526,14 @@ where
         fresh.start_cold_at(at);
         FaultingFilter::new(fresh, PlannedInjector::disarmed())
     };
-    let result = run_supervised_pipeline_with(
+    let result = crate::pipeline::supervised_pipeline_impl(
         packets,
         inside,
         sharded,
         rebuild,
         quarantine,
         pipeline_config,
+        obs,
     );
     (result, report)
 }
@@ -586,13 +614,14 @@ mod tests {
         let stream = packets(23);
         let inside: Cidr = "10.0.0.0/16".parse().unwrap();
         let plan = FaultPlan::parse("seed=11,corrupt=10,reorder=2,panics=1").unwrap();
-        let (result, report) = run_faulted_pipeline(
+        let (result, report) = faulted_pipeline_impl(
             stream.iter().cloned(),
             inside,
             BitmapFilterConfig::paper_evaluation(),
             4,
             PipelineConfig::default(),
             &plan,
+            &crate::PipelineObservability::default(),
         );
         assert!(report.corrupted > 0);
         // Every packet drained through the merge stage despite the

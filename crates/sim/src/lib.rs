@@ -18,18 +18,29 @@
 //!   (the Figure 8 scatter).
 //! * [`sweep`] — a small crossbeam-based parallel runner for parameter
 //!   sweeps (ablations).
+//! * [`PipelineRunner`] — the builder-style front door composing every
+//!   dataplane axis (sharding, supervision, overload policy, fault
+//!   plans, observability, checkpointing) with every execution engine:
+//!   the threaded pipeline ([`run`](PipelineRunner::run)), the replay
+//!   engine ([`measure`](PipelineRunner::measure)), streaming
+//!   [`PacketSource`](upbound_net::PacketSource) backends
+//!   ([`run_source`](PipelineRunner::run_source) /
+//!   [`measure_source`](PipelineRunner::measure_source)) and the
+//!   long-running, runtime-reconfigurable live loop
+//!   ([`serve`](PipelineRunner::serve)).
 //! * [`pipeline`] — a deployment-shaped three-stage threaded pipeline
 //!   (ingest → filter → account) over bounded crossbeam channels, with
-//!   verdicts proven identical to a sequential run; [`run_sharded_pipeline`]
-//!   scales the filter stage out to one worker per shard of a
-//!   [`ShardedFilter`](upbound_core::ShardedFilter), and
-//!   [`run_supervised_pipeline`] additionally catches worker panics,
-//!   quarantining and rebuilding the poisoned shard fail-open while the
-//!   surviving shards keep filtering.
+//!   verdicts proven identical to a sequential run; sharded and
+//!   supervised variants scale the filter stage out to one worker per
+//!   shard of a [`ShardedFilter`](upbound_core::ShardedFilter),
+//!   catching worker panics and quarantining/rebuilding the poisoned
+//!   shard fail-open while the surviving shards keep filtering. The
+//!   historical `run_*` free functions remain as deprecated shims over
+//!   [`PipelineRunner`].
 //! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
 //!   describing stream corruption, reorder bursts, clock-skew spikes,
 //!   decide-path shard panics, and checkpoint I/O failures, applied via
-//!   [`run_faulted_pipeline`] / [`FaultingFilter`] /
+//!   [`PipelineRunner::fault_plan`] / [`FaultingFilter`] /
 //!   [`CheckpointSink`], so every chaos run is reproducible from its
 //!   plan string.
 //!
@@ -63,20 +74,29 @@ pub mod fault;
 mod oracle;
 pub mod pipeline;
 mod replay;
+pub mod runner;
 pub mod sweep;
 
 pub use compare::{compare, ComparisonResult};
+#[allow(deprecated)]
+pub use fault::run_faulted_pipeline;
 pub use fault::{
-    run_faulted_pipeline, AtomicCheckpointSink, CheckpointSink, DistortionReport, FaultInjector,
-    FaultPlan, FaultPlanError, FaultingCheckpointSink, FaultingFilter, NoopInjector,
-    PlannedInjector,
+    AtomicCheckpointSink, CheckpointSink, DistortionReport, FaultInjector, FaultPlan,
+    FaultPlanError, FaultingCheckpointSink, FaultingFilter, NoopInjector, PlannedInjector,
 };
 pub use oracle::OracleFilter;
+#[allow(deprecated)]
 pub use pipeline::{
-    run_pipeline, run_pipeline_instrumented, run_sharded_pipeline, run_subscriber_pipeline,
-    run_supervised_pipeline, run_supervised_pipeline_observed, run_supervised_pipeline_with,
-    PipelineConfig, PipelineObservability, PipelineResult, PipelineTelemetry, ShardIncident,
-    SupervisedResult, SupervisorReport, SupervisorTelemetry,
+    run_pipeline, run_sharded_pipeline, run_subscriber_pipeline, run_supervised_pipeline,
+    run_supervised_pipeline_observed, run_supervised_pipeline_with,
+};
+pub use pipeline::{
+    run_pipeline_instrumented, PipelineConfig, PipelineObservability, PipelineResult,
+    PipelineTelemetry, ShardIncident, SupervisedResult, SupervisorReport, SupervisorTelemetry,
 };
 pub use replay::{ReplayConfig, ReplayEngine, ReplayResult};
+pub use runner::{
+    Measurement, PipelineRunner, RunReport, RunnerError, ServeControl, ServeExit, ServeReport,
+    ServeTelemetry,
+};
 pub use upbound_core::{MergeStats, PacketFilter};

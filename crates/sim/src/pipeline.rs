@@ -183,6 +183,10 @@ fn send_counting_stalls<T>(tx: &Sender<T>, value: T, stalls: &Counter) -> Result
 /// `packets` is consumed on the caller's thread (stage 1); stages 2 and
 /// 3 run on scoped worker threads. The function returns once every
 /// packet has drained through all stages.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PipelineRunner::new(inside, filter_config).run(packets)`"
+)]
 pub fn run_pipeline<I>(
     packets: I,
     inside: Cidr,
@@ -220,7 +224,7 @@ where
     run_pipeline_with(packets, inside, filter, pipeline_config, Some(telemetry))
 }
 
-fn run_pipeline_with<I, O>(
+pub(crate) fn run_pipeline_with<I, O>(
     packets: I,
     inside: Cidr,
     mut filter: BitmapFilter<O>,
@@ -365,7 +369,23 @@ where
 ///
 /// [`SubscriberTable`]: upbound_core::SubscriberTable
 /// [`SubscriberClassifier`]: upbound_core::SubscriberClassifier
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PipelineRunner::new(inside, filter_config).run_subscribers(packets, table)`"
+)]
 pub fn run_subscriber_pipeline<I, F>(
+    packets: I,
+    table: SubscriberTable<F>,
+    pipeline_config: PipelineConfig,
+) -> (PipelineResult, SubscriberTable<F>)
+where
+    I: IntoIterator<Item = Packet>,
+    F: PacketFilter<Stats = FilterStats> + Send + Sync,
+{
+    subscriber_pipeline_impl(packets, table, pipeline_config)
+}
+
+pub(crate) fn subscriber_pipeline_impl<I, F>(
     packets: I,
     mut table: SubscriberTable<F>,
     pipeline_config: PipelineConfig,
@@ -482,6 +502,10 @@ fn account(result: &mut PipelineResult, packet: &Packet, direction: Direction, v
 /// Under a rate-dependent RED policy, concurrent uplink recording can
 /// skew individual `P_d` reads by a packet or two, so only statistical —
 /// not bit-exact — equivalence is guaranteed.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PipelineRunner::new(inside, filter_config).shards(n).run(packets)`"
+)]
 pub fn run_sharded_pipeline<I>(
     packets: I,
     inside: Cidr,
@@ -496,6 +520,20 @@ where
         Ok(sharded) => sharded,
         Err(err) => panic!("{err}"),
     };
+    sharded_pipeline_impl(packets, inside, &sharded, pipeline_config)
+}
+
+pub(crate) fn sharded_pipeline_impl<I, F>(
+    packets: I,
+    inside: Cidr,
+    sharded: &ShardedFilter<F>,
+    pipeline_config: PipelineConfig,
+) -> PipelineResult
+where
+    I: IntoIterator<Item = Packet>,
+    F: PacketFilter<Stats = FilterStats> + Send + Sync,
+{
+    let shards = sharded.shards();
     let batch_size = pipeline_config.batch_size.max(1);
     let (worker_txs, worker_rxs): (Vec<_>, Vec<_>) = (0..shards)
         .map(|_| bounded::<(u64, Packet, Direction, Timestamp)>(pipeline_config.channel_capacity))
@@ -778,6 +816,10 @@ impl PipelineObservability {
 /// The other `N − 1` shards keep filtering untouched, and because every
 /// sequence number still reaches the merge stage, a poisoned shard can
 /// never wedge the reorder buffer.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PipelineRunner::new(inside, filter_config).shards(n).supervised(true).run(packets)`"
+)]
 pub fn run_supervised_pipeline<I>(
     packets: I,
     inside: Cidr,
@@ -804,13 +846,14 @@ where
         fresh.start_cold_at(at);
         fresh
     };
-    run_supervised_pipeline_with(
+    supervised_pipeline_impl(
         packets,
         inside,
         sharded,
         rebuild,
         quarantine,
         pipeline_config,
+        &PipelineObservability::default(),
     )
 }
 
@@ -822,6 +865,11 @@ where
 /// sharded filter's uplink monitor, and fail-open until it has observed
 /// `quarantine` worth of traffic. The caller keeps (a clone of)
 /// `sharded`, so per-shard state remains inspectable after the run.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PipelineRunner` (the fault plan and supervision options cover the common \
+            cases); caller-built shard banks keep working through this shim"
+)]
 pub fn run_supervised_pipeline_with<I, F, R>(
     packets: I,
     inside: Cidr,
@@ -835,7 +883,7 @@ where
     F: PacketFilter<Stats = FilterStats> + Send + Sync,
     R: Fn(usize, Timestamp) -> F + Sync,
 {
-    run_supervised_pipeline_observed(
+    supervised_pipeline_impl(
         packets,
         inside,
         sharded,
@@ -858,7 +906,37 @@ const HEALTH_WATERMARK_STRIDE: u64 = 1024;
 /// watermark + shard state. Every hook is optional; a default
 /// [`PipelineObservability`] makes this identical to the unobserved
 /// variant.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PipelineRunner::new(inside, filter_config).shards(n).supervised(true)\
+            .observability(obs).run(packets)`"
+)]
 pub fn run_supervised_pipeline_observed<I, F, R>(
+    packets: I,
+    inside: Cidr,
+    sharded: ShardedFilter<F>,
+    rebuild: R,
+    quarantine: TimeDelta,
+    pipeline_config: PipelineConfig,
+    obs: &PipelineObservability,
+) -> SupervisedResult
+where
+    I: IntoIterator<Item = Packet>,
+    F: PacketFilter<Stats = FilterStats> + Send + Sync,
+    R: Fn(usize, Timestamp) -> F + Sync,
+{
+    supervised_pipeline_impl(
+        packets,
+        inside,
+        sharded,
+        rebuild,
+        quarantine,
+        pipeline_config,
+        obs,
+    )
+}
+
+pub(crate) fn supervised_pipeline_impl<I, F, R>(
     packets: I,
     inside: Cidr,
     sharded: ShardedFilter<F>,
@@ -1032,6 +1110,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::PipelineRunner;
     use upbound_traffic::{generate, TraceConfig};
 
     fn trace() -> upbound_traffic::SyntheticTrace {
@@ -1047,6 +1126,40 @@ mod tests {
 
     fn inside() -> Cidr {
         "10.0.0.0/16".parse().expect("cidr")
+    }
+
+    /// The single-filter pipeline, driven through the internal impl so
+    /// these tests keep exercising the engine directly (the public
+    /// surface is [`PipelineRunner`], covered in `runner.rs`).
+    fn run_plain(
+        packets: impl IntoIterator<Item = Packet>,
+        config: BitmapFilterConfig,
+        pipeline_config: PipelineConfig,
+    ) -> PipelineResult {
+        run_pipeline_with(
+            packets,
+            inside(),
+            BitmapFilter::new(config),
+            pipeline_config,
+            None,
+        )
+        .0
+    }
+
+    /// The sharded pipeline over a freshly-built shard bank — keeps the
+    /// `shards == 1` sharded path testable (the runner routes 1 shard to
+    /// the single-filter pipeline instead).
+    fn run_sharded(
+        packets: impl IntoIterator<Item = Packet>,
+        config: BitmapFilterConfig,
+        shards: usize,
+        pipeline_config: PipelineConfig,
+    ) -> PipelineResult {
+        let sharded = ShardedFilter::builder(config)
+            .shards(shards)
+            .build()
+            .expect("shard bank");
+        sharded_pipeline_impl(packets, inside(), &sharded, pipeline_config)
     }
 
     #[test]
@@ -1065,9 +1178,8 @@ mod tests {
             }
         }
 
-        let result = run_pipeline(
+        let result = run_plain(
             trace.packets.iter().map(|lp| lp.packet.clone()),
-            inside(),
             config,
             PipelineConfig::default(),
         );
@@ -1075,6 +1187,57 @@ mod tests {
         assert_eq!(result.passed, seq_passed);
         assert_eq!(result.dropped, seq_dropped);
         assert_eq!(result.filter_stats, reference.stats());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_runner() {
+        // The `run_*` free functions are thin shims over the same impls
+        // `PipelineRunner` drives; keep them verdict-identical until
+        // they are removed.
+        let trace = trace();
+        let config = BitmapFilterConfig::paper_evaluation();
+        let packets = || trace.packets.iter().map(|lp| lp.packet.clone());
+
+        let shim = run_pipeline(
+            packets(),
+            inside(),
+            config.clone(),
+            PipelineConfig::default(),
+        );
+        let runner = PipelineRunner::new(inside(), config.clone())
+            .run(packets())
+            .expect("runner");
+        assert_eq!(shim, runner.pipeline);
+
+        let shim = run_sharded_pipeline(
+            packets(),
+            inside(),
+            config.clone(),
+            4,
+            PipelineConfig::default(),
+        );
+        let runner = PipelineRunner::new(inside(), config.clone())
+            .shards(4)
+            .run(packets())
+            .expect("runner");
+        assert_eq!(shim, runner.pipeline);
+
+        let shim = run_supervised_pipeline(
+            packets(),
+            inside(),
+            config.clone(),
+            4,
+            PipelineConfig::default(),
+        );
+        let runner = PipelineRunner::new(inside(), config)
+            .shards(4)
+            .supervised(true)
+            .run(packets())
+            .expect("runner");
+        assert_eq!(shim.pipeline, runner.pipeline);
+        assert_eq!(shim.supervisor, runner.supervisor);
+        assert_eq!(runner.distortion, None);
     }
 
     #[test]
@@ -1157,9 +1320,8 @@ mod tests {
     #[test]
     fn tiny_channels_still_drain_everything() {
         let trace = trace();
-        let result = run_pipeline(
+        let result = run_plain(
             trace.packets.iter().map(|lp| lp.packet.clone()),
-            inside(),
             BitmapFilterConfig::paper_evaluation(),
             PipelineConfig {
                 channel_capacity: 1,
@@ -1172,9 +1334,8 @@ mod tests {
 
     #[test]
     fn empty_input_shuts_down_cleanly() {
-        let result = run_pipeline(
+        let result = run_plain(
             std::iter::empty(),
-            inside(),
             BitmapFilterConfig::paper_evaluation(),
             PipelineConfig::default(),
         );
@@ -1188,17 +1349,15 @@ mod tests {
         let trace = trace();
         let config = BitmapFilterConfig::paper_evaluation();
 
-        let reference = run_pipeline(
+        let reference = run_plain(
             trace.packets.iter().map(|lp| lp.packet.clone()),
-            inside(),
             config.clone(),
             PipelineConfig::default(),
         );
 
         for shards in [1usize, 4] {
-            let result = run_sharded_pipeline(
+            let result = run_sharded(
                 trace.packets.iter().map(|lp| lp.packet.clone()),
-                inside(),
                 config.clone(),
                 shards,
                 PipelineConfig::default(),
@@ -1211,9 +1370,8 @@ mod tests {
     fn batch_size_does_not_change_results() {
         let trace = trace();
         let config = BitmapFilterConfig::paper_evaluation();
-        let reference = run_pipeline(
+        let reference = run_plain(
             trace.packets.iter().map(|lp| lp.packet.clone()),
-            inside(),
             config.clone(),
             PipelineConfig {
                 batch_size: 1,
@@ -1225,16 +1383,14 @@ mod tests {
                 batch_size,
                 ..PipelineConfig::default()
             };
-            let single = run_pipeline(
+            let single = run_plain(
                 trace.packets.iter().map(|lp| lp.packet.clone()),
-                inside(),
                 config.clone(),
                 pipeline_config,
             );
             assert_eq!(single, reference, "batch_size = {batch_size}");
-            let sharded = run_sharded_pipeline(
+            let sharded = run_sharded(
                 trace.packets.iter().map(|lp| lp.packet.clone()),
-                inside(),
                 config.clone(),
                 4,
                 pipeline_config,
@@ -1275,9 +1431,8 @@ mod tests {
         }
 
         for shards in [1usize, 4] {
-            let result = run_sharded_pipeline(
+            let result = run_sharded(
                 packets.iter().cloned(),
-                inside(),
                 config.clone(),
                 shards,
                 PipelineConfig::default(),
@@ -1291,9 +1446,8 @@ mod tests {
     #[test]
     fn sharded_pipeline_tiny_channels_still_drain_everything() {
         let trace = trace();
-        let result = run_sharded_pipeline(
+        let result = run_sharded(
             trace.packets.iter().map(|lp| lp.packet.clone()),
-            inside(),
             BitmapFilterConfig::paper_evaluation(),
             3,
             PipelineConfig {
@@ -1307,9 +1461,8 @@ mod tests {
 
     #[test]
     fn sharded_pipeline_empty_input_shuts_down_cleanly() {
-        let result = run_sharded_pipeline(
+        let result = run_sharded(
             std::iter::empty(),
-            inside(),
             BitmapFilterConfig::paper_evaluation(),
             4,
             PipelineConfig::default(),
@@ -1323,20 +1476,17 @@ mod tests {
     fn supervised_pipeline_without_panics_matches_sharded() {
         let trace = trace();
         let config = BitmapFilterConfig::paper_evaluation();
-        let reference = run_sharded_pipeline(
+        let reference = run_sharded(
             trace.packets.iter().map(|lp| lp.packet.clone()),
-            inside(),
             config.clone(),
             4,
             PipelineConfig::default(),
         );
-        let supervised = run_supervised_pipeline(
-            trace.packets.iter().map(|lp| lp.packet.clone()),
-            inside(),
-            config,
-            4,
-            PipelineConfig::default(),
-        );
+        let supervised = PipelineRunner::new(inside(), config)
+            .shards(4)
+            .supervised(true)
+            .run(trace.packets.iter().map(|lp| lp.packet.clone()))
+            .expect("runner");
         assert_eq!(supervised.pipeline, reference);
         assert_eq!(supervised.supervisor, SupervisorReport::default());
     }
@@ -1434,13 +1584,14 @@ mod tests {
                     trip_port: None,
                 }
             };
-            let result = run_supervised_pipeline_with(
+            let result = supervised_pipeline_impl(
                 packets.iter().cloned(),
                 inside(),
                 sharded.clone(),
                 rebuild,
                 config.expiry_timer(),
                 PipelineConfig::default(),
+                &PipelineObservability::default(),
             );
             let shard_stats: Vec<FilterStats> = (0..shards)
                 .map(|i| sharded.with_shard(i, |f| f.stats()).unwrap())
@@ -1524,7 +1675,7 @@ mod tests {
                 trip_port: None,
             }
         };
-        let result = run_supervised_pipeline_observed(
+        let result = supervised_pipeline_impl(
             packets.iter().cloned(),
             inside(),
             sharded,
@@ -1622,7 +1773,7 @@ mod tests {
         for batch_size in [1usize, 64] {
             let mut table = SubscriberTable::new();
             provision(&mut table);
-            let (result, table) = run_subscriber_pipeline(
+            let (result, table) = subscriber_pipeline_impl(
                 packets.iter().cloned(),
                 table,
                 PipelineConfig {
@@ -1647,9 +1798,8 @@ mod tests {
     #[test]
     fn byte_accounting_matches_directions() {
         let trace = trace();
-        let result = run_pipeline(
+        let result = run_plain(
             trace.packets.iter().map(|lp| lp.packet.clone()),
-            inside(),
             // Pd = 0 under no load (high thresholds): everything passes.
             BitmapFilterConfig::builder()
                 .drop_policy(upbound_core::DropPolicy::new(1e12, 2e12).expect("valid"))

@@ -8,7 +8,9 @@ use std::collections::HashSet;
 use std::path::Path;
 use upbound_core::{SnapshotError, Snapshottable, SubscriberTable, Verdict};
 use upbound_net::pcap::{IngestStats, PcapReader};
-use upbound_net::{Cidr, Direction, FiveTuple, NetError, Packet, TimeDelta, Timestamp};
+use upbound_net::{
+    Cidr, Direction, FiveTuple, NetError, Packet, PacketSource, SourcePoll, TimeDelta, Timestamp,
+};
 use upbound_stats::BinnedSeries;
 use upbound_traffic::SyntheticTrace;
 
@@ -165,6 +167,10 @@ impl ReplayEngine {
     ///
     /// Propagates the first checkpoint write failure as
     /// [`SnapshotError::Io`]; the replay stops at the failing packet.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PipelineRunner::new(inside, config).checkpoint(path, every).measure(trace)`"
+    )]
     pub fn run_checkpointed<F>(
         &self,
         trace: &SyntheticTrace,
@@ -175,7 +181,7 @@ impl ReplayEngine {
     where
         F: PacketFilter + Snapshottable,
     {
-        self.run_checkpointed_with(trace, filter, path, every, &mut AtomicCheckpointSink)
+        self.checkpointed_impl(trace, filter, path, every, &mut AtomicCheckpointSink)
     }
 
     /// [`run_checkpointed`](Self::run_checkpointed) through a
@@ -187,7 +193,27 @@ impl ReplayEngine {
     ///
     /// Propagates the first checkpoint write failure from the sink; the
     /// replay stops at the failing packet.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PipelineRunner::new(inside, config).checkpoint(path, every).measure(trace)`; \
+                fault-injection tests that need a custom sink call the internal impl"
+    )]
     pub fn run_checkpointed_with<F, S>(
+        &self,
+        trace: &SyntheticTrace,
+        filter: &mut F,
+        path: &Path,
+        every: TimeDelta,
+        sink: &mut S,
+    ) -> Result<(ReplayResult, u64), SnapshotError>
+    where
+        F: PacketFilter + Snapshottable,
+        S: CheckpointSink,
+    {
+        self.checkpointed_impl(trace, filter, path, every, sink)
+    }
+
+    pub(crate) fn checkpointed_impl<F, S>(
         &self,
         trace: &SyntheticTrace,
         filter: &mut F,
@@ -245,7 +271,19 @@ impl ReplayEngine {
     /// once. Per-tenant results remain available from the table
     /// afterwards via
     /// [`per_subscriber_stats`](SubscriberTable::per_subscriber_stats).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PipelineRunner::new(inside, config).measure_subscribers(trace, table)`"
+    )]
     pub fn run_subscribers<F: PacketFilter>(
+        &self,
+        trace: &SyntheticTrace,
+        table: &mut SubscriberTable<F>,
+    ) -> ReplayResult {
+        self.subscribers_impl(trace, table)
+    }
+
+    pub(crate) fn subscribers_impl<F: PacketFilter>(
         &self,
         trace: &SyntheticTrace,
         table: &mut SubscriberTable<F>,
@@ -274,12 +312,20 @@ impl ReplayEngine {
     /// Propagates reader errors: any malformed record under
     /// [`RecoveryPolicy::Strict`](upbound_net::pcap::RecoveryPolicy),
     /// only I/O errors under `Skip`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "wrap the reader in `upbound_net::PcapSource` and use `run_source` \
+                (or `PipelineRunner::measure_source`)"
+    )]
     pub fn run_capture<F: PacketFilter, R: std::io::Read>(
         &self,
         reader: &mut PcapReader<R>,
         client_net: Cidr,
         filter: &mut F,
     ) -> Result<(ReplayResult, IngestStats), NetError> {
+        // Deliberately NOT routed through `run_source`: this is the
+        // pre-`PacketSource` drain-then-replay loop, kept verbatim so the
+        // differential tests compare two genuinely distinct code paths.
         let mut packets: Vec<(Packet, Direction)> = Vec::new();
         while let Some(packet) = reader.read_packet()? {
             let direction = client_net.direction_of(&packet.tuple());
@@ -287,6 +333,61 @@ impl ReplayEngine {
         }
         let result = self.run_iter(filter, packets);
         Ok((result, *reader.stats()))
+    }
+
+    /// Replays a [`PacketSource`] through `filter` until the source
+    /// reports [`SourcePoll::End`], and returns the replay metrics
+    /// together with the source's final ingestion accounting.
+    ///
+    /// This is the unified dataplane entry point: pcap replay
+    /// ([`PcapSource`](upbound_net::PcapSource)), looped replay
+    /// ([`BufferedSource`](upbound_net::BufferedSource)) and live capture
+    /// ([`LiveSource`](upbound_net::LiveSource)) all drive the same
+    /// batched loop, so verdicts and statistics depend only on the packet
+    /// stream, never on the backend. [`SourcePoll::Idle`] polls sleep
+    /// briefly and retry, so live sources replay in (near) real time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first unrecoverable source error; metrics up to the
+    /// failing poll are discarded (use [`IngestStats`] for forensics).
+    pub fn run_source<F, S>(
+        &self,
+        source: &mut S,
+        filter: &mut F,
+    ) -> Result<(ReplayResult, IngestStats), NetError>
+    where
+        F: PacketFilter,
+        S: PacketSource + ?Sized,
+    {
+        self.run_source_with(source, filter, |_, _| true)
+    }
+
+    /// [`run_source`](Self::run_source) with the flush hook of
+    /// `run_iter_with`: `tick(filter, last_ts)` runs after each decided
+    /// batch; returning `false` stops the replay early.
+    pub(crate) fn run_source_with<F, S>(
+        &self,
+        source: &mut S,
+        filter: &mut F,
+        tick: impl FnMut(&mut F, Timestamp) -> bool,
+    ) -> Result<(ReplayResult, IngestStats), NetError>
+    where
+        F: PacketFilter,
+        S: PacketSource + ?Sized,
+    {
+        let mut error = None;
+        let iter = SourceIter {
+            source: &mut *source,
+            chunk: Vec::with_capacity(SOURCE_CHUNK),
+            buf: Vec::new(),
+            error: &mut error,
+        };
+        let result = self.run_iter_with(filter, iter, tick);
+        match error {
+            Some(err) => Err(err),
+            None => Ok((result, source.stats())),
+        }
     }
 
     fn run_iter<F, P, I>(&self, filter: &mut F, packets: I) -> ReplayResult
@@ -478,6 +579,50 @@ impl ReplayEngine {
     }
 }
 
+/// Packets pulled from a [`PacketSource`] per poll.
+const SOURCE_CHUNK: usize = 256;
+
+/// How long to sleep between polls when a live source reports
+/// [`SourcePoll::Idle`].
+const IDLE_SLEEP: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// Adapts a [`PacketSource`] to the `(Packet, Direction)` iterator the
+/// replay loop consumes. A source error ends the iteration and is parked
+/// in `error` for the caller to surface.
+struct SourceIter<'a, S: PacketSource + ?Sized> {
+    source: &'a mut S,
+    chunk: Vec<(Packet, Direction)>,
+    buf: Vec<(Packet, Direction)>,
+    error: &'a mut Option<NetError>,
+}
+
+impl<S: PacketSource + ?Sized> Iterator for SourceIter<'_, S> {
+    type Item = (Packet, Direction);
+
+    fn next(&mut self) -> Option<(Packet, Direction)> {
+        loop {
+            // `buf` holds the current chunk reversed so `pop` yields
+            // packets in source order without shifting the vector.
+            if let Some(item) = self.buf.pop() {
+                return Some(item);
+            }
+            self.chunk.clear();
+            match self.source.next_batch(&mut self.chunk, SOURCE_CHUNK) {
+                Ok(SourcePoll::Batch(_)) => {
+                    self.buf.append(&mut self.chunk);
+                    self.buf.reverse();
+                }
+                Ok(SourcePoll::Idle) => std::thread::sleep(IDLE_SLEEP),
+                Ok(SourcePoll::End) => return None,
+                Err(err) => {
+                    *self.error = Some(err);
+                    return None;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,6 +715,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn run_capture_matches_in_memory_replay() {
         let trace = trace(7);
         let bytes =
@@ -585,6 +731,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn run_capture_recovers_past_corruption() {
         use upbound_net::pcap::RecoveryPolicy;
         let trace = trace(8);
@@ -620,7 +767,13 @@ mod tests {
 
         let mut filter = bitmap();
         let (result, written) = engine
-            .run_checkpointed(&trace, &mut filter, &path, TimeDelta::from_secs(10.0))
+            .checkpointed_impl(
+                &trace,
+                &mut filter,
+                &path,
+                TimeDelta::from_secs(10.0),
+                &mut AtomicCheckpointSink,
+            )
             .unwrap();
         // The checkpoint hook must not perturb the replay itself.
         assert_eq!(result, expected);
@@ -680,7 +833,7 @@ mod tests {
                 BitmapFilterConfig::paper_evaluation(),
             )
             .unwrap();
-        let result = engine.run_subscribers(&trace, &mut table);
+        let result = engine.subscribers_impl(&trace, &mut table);
         assert_eq!(
             result,
             ReplayResult {
@@ -698,6 +851,77 @@ mod tests {
         let mut filter = bitmap();
         ReplayEngine::new(ReplayConfig::default()).run(trace, &mut filter);
         filter.stats()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn run_source_matches_run_capture_byte_for_byte() {
+        // The unified `PacketSource` replay path must be byte-identical
+        // to the historical drain-then-replay path on the same capture:
+        // same metrics, same ingestion accounting.
+        use upbound_net::PcapSource;
+        let trace = trace(13);
+        let bytes =
+            upbound_net::pcap::to_bytes(trace.packets.iter().map(|lp| &lp.packet), 65535).unwrap();
+        let net: Cidr = "10.0.0.0/16".parse().unwrap();
+        let engine = ReplayEngine::new(ReplayConfig::default());
+
+        let mut reader = PcapReader::new(&bytes[..]).unwrap();
+        let (old, old_stats) = engine.run_capture(&mut reader, net, &mut bitmap()).unwrap();
+
+        let mut source = PcapSource::new(PcapReader::new(&bytes[..]).unwrap(), net);
+        let (new, new_stats) = engine.run_source(&mut source, &mut bitmap()).unwrap();
+        assert_eq!(new, old);
+        assert_eq!(new_stats, old_stats);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn run_source_matches_run_capture_on_corrupt_capture() {
+        use upbound_net::pcap::RecoveryPolicy;
+        use upbound_net::PcapSource;
+        let trace = trace(14);
+        let bytes =
+            upbound_net::pcap::to_bytes(trace.packets.iter().map(|lp| &lp.packet), 65535).unwrap();
+        let cut = &bytes[..bytes.len() - 9];
+        let net: Cidr = "10.0.0.0/16".parse().unwrap();
+        let engine = ReplayEngine::new(ReplayConfig::default());
+
+        // Strict: both paths propagate the truncation error.
+        let mut strict = PcapReader::new(cut).unwrap();
+        assert!(engine.run_capture(&mut strict, net, &mut bitmap()).is_err());
+        let mut strict_source = PcapSource::new(PcapReader::new(cut).unwrap(), net);
+        assert!(engine
+            .run_source(&mut strict_source, &mut bitmap())
+            .is_err());
+
+        // Skip: both recover the decodable prefix with identical
+        // accounting.
+        let mut skip = PcapReader::with_policy(cut, RecoveryPolicy::Skip).unwrap();
+        let (old, old_stats) = engine.run_capture(&mut skip, net, &mut bitmap()).unwrap();
+        let mut source = PcapSource::new(
+            PcapReader::with_policy(cut, RecoveryPolicy::Skip).unwrap(),
+            net,
+        );
+        let (new, new_stats) = engine.run_source(&mut source, &mut bitmap()).unwrap();
+        assert_eq!(new, old);
+        assert_eq!(new_stats, old_stats);
+    }
+
+    #[test]
+    fn buffered_source_replay_matches_trace_replay() {
+        use upbound_net::BufferedSource;
+        let trace = trace(15);
+        let engine = ReplayEngine::new(ReplayConfig::default());
+        let expected = engine.run(&trace, &mut bitmap());
+        let packets: Vec<(Packet, Direction)> = trace
+            .packets
+            .iter()
+            .map(|lp| (lp.packet.clone(), lp.direction))
+            .collect();
+        let mut source = BufferedSource::new(packets, IngestStats::default());
+        let (result, _stats) = engine.run_source(&mut source, &mut bitmap()).unwrap();
+        assert_eq!(result, expected);
     }
 
     #[test]

@@ -1,11 +1,15 @@
-//! Minimal std-only HTTP/1.1 listener serving `/metrics` and `/health`.
+//! Minimal std-only HTTP/1.1 listener serving `/metrics` and `/health`,
+//! plus an optional POST control seam for runtime reconfiguration.
 //!
 //! This is deliberately not a web framework: one accept loop on a
 //! background thread, one short-lived connection per request,
 //! `Connection: close`. It exists so a running replay/live pipeline is
 //! scrapeable (Prometheus `/metrics`) and probeable (`/health` JSON)
-//! without pulling in an async runtime — ROADMAP item 3's control
-//! plane can replace it later without changing the registry side.
+//! without pulling in an async runtime. A [`ControlHandler`] installed
+//! via [`MetricsServer::start_with_control`] receives `POST` requests
+//! (path + body) so the embedding process — `upbound serve` — can wire
+//! `POST /config` and `POST /drain` without this crate knowing anything
+//! about filters.
 
 use crate::recorder::ShardStatus;
 use crate::registry::Registry;
@@ -104,6 +108,49 @@ impl HealthState {
     }
 }
 
+/// Outcome of a [`ControlHandler`] invocation, mapped onto the HTTP
+/// response: `status` is the numeric code (200/202/400/404/409), `body`
+/// the response document (served as `application/json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlResponse {
+    /// HTTP status code for the response.
+    pub status: u16,
+    /// Response body, served as `application/json`.
+    pub body: String,
+}
+
+impl ControlResponse {
+    /// A `200 OK` response with `body`.
+    pub fn ok(body: impl Into<String>) -> ControlResponse {
+        ControlResponse {
+            status: 200,
+            body: body.into(),
+        }
+    }
+
+    /// A `400 Bad Request` response with `body`.
+    pub fn bad_request(body: impl Into<String>) -> ControlResponse {
+        ControlResponse {
+            status: 400,
+            body: body.into(),
+        }
+    }
+
+    /// A `404 Not Found` response with `body`.
+    pub fn not_found(body: impl Into<String>) -> ControlResponse {
+        ControlResponse {
+            status: 404,
+            body: body.into(),
+        }
+    }
+}
+
+/// Callback invoked for each `POST` request: `(path, body) → response`.
+/// Runs on the accept thread, so it must be quick and non-blocking —
+/// staging an atomic config swap or flipping a drain latch, not doing
+/// the work itself.
+pub type ControlHandler = Arc<dyn Fn(&str, &str) -> ControlResponse + Send + Sync>;
+
 /// A running `/metrics` + `/health` listener.
 ///
 /// Dropping the handle signals the accept loop to stop and joins it.
@@ -129,6 +176,26 @@ impl MetricsServer {
         registry: Registry,
         health: HealthState,
     ) -> std::io::Result<MetricsServer> {
+        MetricsServer::launch(addr, registry, health, None)
+    }
+
+    /// Like [`start`](Self::start), but also routes `POST` requests to
+    /// `control`. Without a handler every `POST` is answered `405`.
+    pub fn start_with_control(
+        addr: &str,
+        registry: Registry,
+        health: HealthState,
+        control: ControlHandler,
+    ) -> std::io::Result<MetricsServer> {
+        MetricsServer::launch(addr, registry, health, Some(control))
+    }
+
+    fn launch(
+        addr: &str,
+        registry: Registry,
+        health: HealthState,
+        control: Option<ControlHandler>,
+    ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
@@ -142,7 +209,7 @@ impl MetricsServer {
                         Ok((stream, _)) => {
                             // Serve inline: requests are tiny and the
                             // responses are rendered strings.
-                            let _ = serve_one(stream, &registry, &health);
+                            let _ = serve_one(stream, &registry, &health, control.as_ref());
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(20));
@@ -188,6 +255,10 @@ impl Drop for MetricsServer {
 /// first line, so a bigger request is a client bug or abuse.
 const MAX_REQUEST_BYTES: usize = 2048;
 
+/// Hard ceiling on a `POST` body. Control documents are a handful of
+/// key/value pairs; anything larger is answered with `413`.
+const MAX_BODY_BYTES: usize = 8192;
+
 /// Total wall-clock budget for reading one request. A client that
 /// trickles bytes (slow-loris style) would otherwise hold the single
 /// accept thread indefinitely via the per-read timeout alone.
@@ -201,6 +272,7 @@ fn serve_one(
     mut stream: TcpStream,
     registry: &Registry,
     health: &HealthState,
+    control: Option<&ControlHandler>,
 ) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
@@ -250,22 +322,87 @@ fn serve_one(
         // sent: closing with unread bytes queued sends a TCP RST, which
         // can wipe the 431 out of the client's receive buffer before it
         // is read.
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-        let mut sink = [0u8; 1024];
-        let mut drained = 0usize;
-        while drained < 64 * 1024 {
-            match stream.read(&mut sink) {
-                Ok(0) | Err(_) => break,
-                Ok(n) => drained += n,
-            }
-        }
+        drain_bounded(&mut stream);
         return Ok(());
     }
-    let request = String::from_utf8_lossy(&buf[..read]);
+    let header_end = buf[..read]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .unwrap_or(read);
+    let request = String::from_utf8_lossy(&buf[..header_end]).into_owned();
     let mut parts = request.lines().next().unwrap_or("").split_whitespace();
-    let method = parts.next().unwrap_or("");
+    let method = parts.next().unwrap_or("").to_string();
     let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path);
+    let path = path.split('?').next().unwrap_or(path).to_string();
+
+    if method == "POST" {
+        if let Some(handler) = control {
+            let content_length = request
+                .lines()
+                .filter_map(|l| l.split_once(':'))
+                .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+                .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+                .unwrap_or(0);
+            if content_length > MAX_BODY_BYTES {
+                respond(
+                    &mut stream,
+                    "413 Content Too Large",
+                    "text/plain; charset=utf-8",
+                    "body too large\n",
+                )?;
+                // As with 431: drain what the client already sent so
+                // closing doesn't RST the response out of its buffer.
+                drain_bounded(&mut stream);
+                return Ok(());
+            }
+            // Whatever followed the header terminator in the first
+            // reads is already body; pull the rest off the socket.
+            let mut body = buf[header_end..read].to_vec();
+            while body.len() < content_length {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return respond(
+                        &mut stream,
+                        "408 Request Timeout",
+                        "text/plain; charset=utf-8",
+                        "request timed out\n",
+                    );
+                }
+                stream.set_read_timeout(Some(remaining.min(Duration::from_millis(500))))?;
+                let mut chunk = [0u8; 1024];
+                match stream.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => body.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+                    Err(e) if e.kind() == std::io::ErrorKind::TimedOut => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            body.truncate(content_length);
+            let body = String::from_utf8_lossy(&body);
+            let reply = handler(&path, &body);
+            let status = match reply.status {
+                200 => "200 OK".to_string(),
+                202 => "202 Accepted".to_string(),
+                400 => "400 Bad Request".to_string(),
+                404 => "404 Not Found".to_string(),
+                409 => "409 Conflict".to_string(),
+                other => format!("{other} Control"),
+            };
+            let mut doc = reply.body;
+            if !doc.ends_with('\n') {
+                doc.push('\n');
+            }
+            return respond(&mut stream, &status, "application/json", &doc);
+        }
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+    }
 
     let (status, content_type, body) = if method != "GET" {
         (
@@ -274,7 +411,7 @@ fn serve_one(
             "method not allowed\n".to_string(),
         )
     } else {
-        match path {
+        match path.as_str() {
             "/metrics" => (
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
@@ -293,6 +430,21 @@ fn serve_one(
         }
     };
     respond(&mut stream, status, content_type, &body)
+}
+
+/// Reads and discards up to 64 KiB of whatever the client already sent,
+/// so closing the socket doesn't RST an error response out of the
+/// client's receive buffer before it is read.
+fn drain_bounded(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 1024];
+    let mut drained = 0usize;
+    while drained < 64 * 1024 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
 }
 
 fn respond(
@@ -356,6 +508,96 @@ mod tests {
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
 
+        server.shutdown();
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has headers");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn post_without_a_handler_is_405() {
+        let server = MetricsServer::start("127.0.0.1:0", Registry::new(), HealthState::new())
+            .expect("bind ephemeral");
+        let (head, _) = post(server.local_addr(), "/config", "batch_size=8");
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_routes_body_to_the_control_handler() {
+        let seen: Arc<Mutex<Vec<(String, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&seen);
+        let handler: ControlHandler = Arc::new(move |path: &str, body: &str| {
+            log.lock()
+                .expect("lock")
+                .push((path.to_string(), body.to_string()));
+            match path {
+                "/config" => ControlResponse::ok(format!("{{\"staged\":\"{body}\"}}")),
+                "/drain" => ControlResponse {
+                    status: 202,
+                    body: "{\"draining\":true}".to_string(),
+                },
+                _ => ControlResponse::not_found("{\"error\":\"unknown endpoint\"}"),
+            }
+        });
+        let server = MetricsServer::start_with_control(
+            "127.0.0.1:0",
+            Registry::new(),
+            HealthState::new(),
+            handler,
+        )
+        .expect("bind ephemeral");
+        let addr = server.local_addr();
+
+        let (head, body) = post(addr, "/config", "drop_low_bps=1e6");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("drop_low_bps=1e6"), "{body}");
+
+        let (head, _) = post(addr, "/drain", "");
+        assert!(head.starts_with("HTTP/1.1 202"), "{head}");
+
+        let (head, _) = post(addr, "/nope", "x");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        // GETs still work alongside the control seam.
+        let (head, _) = get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+
+        let calls = seen.lock().expect("lock");
+        assert_eq!(calls.len(), 3);
+        assert_eq!(
+            calls[0],
+            ("/config".to_string(), "drop_low_bps=1e6".to_string())
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_post_body_is_rejected_with_413() {
+        let handler: ControlHandler = Arc::new(|_: &str, _: &str| ControlResponse::ok("{}"));
+        let server = MetricsServer::start_with_control(
+            "127.0.0.1:0",
+            Registry::new(),
+            HealthState::new(),
+            handler,
+        )
+        .expect("bind ephemeral");
+        let big = "x".repeat(MAX_BODY_BYTES + 1);
+        let (head, _) = post(server.local_addr(), "/config", &big);
+        assert!(head.starts_with("HTTP/1.1 413"), "{head}");
         server.shutdown();
     }
 

@@ -18,7 +18,8 @@
 //! - [`recorder`]: [`FlightRecorder`], a fixed-size black box that
 //!   dumps recent events/forensics/metrics on panic or signal.
 //! - [`http`]: [`MetricsServer`], a std-only `/metrics` + `/health`
-//!   HTTP listener.
+//!   HTTP listener with an optional `POST` [`ControlHandler`] seam for
+//!   runtime reconfiguration (`upbound serve`'s control plane).
 //!
 //! Metric names follow `upbound_<crate>_<name>`, e.g.
 //! `upbound_core_inbound_drops_total`.
@@ -47,7 +48,7 @@ pub mod registry;
 pub use events::{
     flow_hash, DropForensics, DropReason, FilterEvent, FilterEventKind, ForensicReason,
 };
-pub use http::{HealthState, MetricsServer};
+pub use http::{ControlHandler, ControlResponse, HealthState, MetricsServer};
 pub use journal::EventJournal;
 pub use latency::{LatencyRecorder, LatencySnapshot, ScopeTimer, Stage, StageTracer};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};

@@ -6,7 +6,7 @@
 
 use upbound::core::{BitmapFilterConfig, DropPolicy, SubscriberTable, Verdict};
 use upbound::net::Cidr;
-use upbound::sim::{run_pipeline, PipelineConfig};
+use upbound::sim::PipelineRunner;
 use upbound::traffic::{generate, TraceConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -89,15 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Bonus: run network A's stream through the threaded edge pipeline —
     // how a deployment would structure the per-edge data path.
-    let result = run_pipeline(
-        trace_a.raw_packets().cloned(),
-        net_a,
-        BitmapFilterConfig::paper_evaluation(),
-        PipelineConfig::default(),
-    );
+    let report = PipelineRunner::new(net_a, BitmapFilterConfig::paper_evaluation())
+        .run(trace_a.raw_packets().cloned())?;
     println!(
         "\nthreaded pipeline over network A: {} in, {} passed, {} dropped",
-        result.ingested, result.passed, result.dropped
+        report.pipeline.ingested, report.pipeline.passed, report.pipeline.dropped
     );
     Ok(())
 }

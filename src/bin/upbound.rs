@@ -21,6 +21,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,15 +29,21 @@ use upbound::analyzer::Analyzer;
 use upbound::core::params::{max_connections, optimal_hash_count, penetration_probability};
 use upbound::core::{
     snapshot, BitmapFilter, BitmapFilterConfig, DropPolicy, FailMode, FlowHash, OverloadPolicy,
-    PacketFilter, RestoreOutcome, ShardedFilter, Snapshottable, SubscriberState, SubscriberTable,
-    SubscriberTelemetry, TelemetryObserver, Verdict,
+    PacketFilter, RestoreOutcome, RuntimeOverrides, ShardedFilter, Snapshottable, SubscriberState,
+    SubscriberTable, SubscriberTelemetry, TelemetryObserver, Verdict,
 };
 use upbound::net::pcap::{IngestStats, IngestTelemetry, PcapReader, PcapWriter, RecoveryPolicy};
-use upbound::net::{Cidr, Direction, FiveTuple, Packet, TimeDelta};
-use upbound::sim::{FaultInjector, FaultPlan, PlannedInjector};
+use upbound::net::{
+    BufferedSource, Cidr, Direction, FiveTuple, LiveCaptureError, LiveConfig, LiveSource, Packet,
+    TimeDelta,
+};
+use upbound::sim::{
+    FaultInjector, FaultPlan, PipelineConfig, PipelineRunner, PlannedInjector, ServeControl,
+    ServeExit,
+};
 use upbound::telemetry::{
-    export, DumpTrigger, FlightRecorder, HealthState, MetricsServer, Registry, Snapshot, Stage,
-    StageTracer,
+    export, ControlHandler, ControlResponse, DumpTrigger, FlightRecorder, HealthState,
+    MetricsServer, Registry, Snapshot, Stage, StageTracer,
 };
 use upbound::traffic::{generate, TraceConfig};
 
@@ -60,6 +67,15 @@ USAGE:
                      [--trace-latency] [--serve-grace <SECS>]
                      [--subscribers <SPEC>] [--evict-idle <SECS>]
                      [--overload-policy <SPEC>] [--fault-plan <SPEC>]
+    upbound serve    (--in <FILE> [--loop] | --live <IFACE>)
+                     [--inside <CIDR>] [--listen <HOST:PORT>]
+                     [--low-mbps <F>] [--high-mbps <F>] [--vector-bits <N>]
+                     [--vectors <K>] [--rotate-secs <F>] [--hashes <M>]
+                     [--hole-punching] [--fail-mode open|closed]
+                     [--shards <N>] [--batch-size <N>]
+                     [--overload-policy <SPEC>]
+                     [--checkpoint <FILE>] [--checkpoint-interval <SECS>]
+                     [--on-corrupt strict|skip] [--fault-plan <SPEC>]
     upbound params   [--connections <N>]
     upbound debug    read-dump <FILE> | parse-metrics <FILE>
     upbound help
@@ -111,6 +127,28 @@ OBSERVABILITY (filter):
     (upbound_cli_stage_*) at a small per-packet cost.
     --serve-grace keeps the HTTP endpoint up for N seconds after the
     replay finishes (SIGINT/SIGTERM ends the grace period early).
+
+LIVE DATAPLANE (serve):
+    `serve` runs the filter as a long-lived dataplane over a unified
+    packet source: a pcap replay (--in; --loop restamps each pass so a
+    finite capture becomes an indefinite workload) or a Linux AF_PACKET
+    live capture (--live <IFACE>, needs CAP_NET_RAW or root).
+    --listen starts the control plane on <HOST:PORT> (port 0 picks an
+    ephemeral port, printed on startup):
+      GET  /metrics   Prometheus exposition (upbound_serve_* live state)
+      GET  /health    liveness JSON
+      POST /config    stage runtime overrides, applied at the next
+                      bitmap-rotation boundary without restart. Body is
+                      `key=value` pairs separated by newlines or `&`:
+                      low-mbps, high-mbps (both together swap the P_d
+                      curve), fail-mode=open|closed, batch-size=N,
+                      overload-policy=off|balanced|strict[,k=v...]
+      POST /drain     finish the in-flight batch, write the final
+                      checkpoint, exit 0
+    SIGINT/SIGTERM triggers the same graceful drain, then exits 130.
+    --fault-plan distorts a replayed stream deterministically before
+    serving (corrupt/reorder/skew only); it is incompatible with
+    --live — faults cannot be injected into a real interface.
 
 EXIT CODES:
     0 success; 1 runtime failure; 2 usage error;
@@ -234,6 +272,28 @@ const FILTER_FLAGS: &[&str] = &[
     "fault-plan",
 ];
 const PARAMS_FLAGS: &[&str] = &["connections"];
+const SERVE_FLAGS: &[&str] = &[
+    "in",
+    "live",
+    "loop",
+    "inside",
+    "listen",
+    "low-mbps",
+    "high-mbps",
+    "vector-bits",
+    "vectors",
+    "rotate-secs",
+    "hashes",
+    "hole-punching",
+    "fail-mode",
+    "shards",
+    "batch-size",
+    "overload-policy",
+    "checkpoint",
+    "checkpoint-interval",
+    "on-corrupt",
+    "fault-plan",
+];
 
 struct Args {
     flags: Vec<(String, Option<String>)>,
@@ -365,6 +425,10 @@ fn main() -> ExitCode {
             .ensure_known(command, PARAMS_FLAGS)
             .map_err(usage)
             .and_then(|()| cmd_params(&args)),
+        "serve" => args
+            .ensure_known(command, SERVE_FLAGS)
+            .map_err(usage)
+            .and_then(|()| cmd_serve(&args)),
         other => Err(usage(format!("unknown command {other:?}"))),
     };
     match result {
@@ -1848,6 +1912,368 @@ fn cmd_debug(rest: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         _ => unreachable!("subcommand validated above"),
+    }
+}
+
+/// Parses a `POST /config` body into [`RuntimeOverrides`]. The format
+/// mirrors the CLI flags: `key=value` pairs separated by newlines or
+/// `&` (commas stay available to `overload-policy` specs). Keys:
+/// `low-mbps` + `high-mbps` (both together swap the P_d curve),
+/// `fail-mode`, `batch-size`, `overload-policy`.
+fn parse_overrides(body: &str) -> Result<RuntimeOverrides, String> {
+    let mut overrides = RuntimeOverrides::default();
+    let mut low: Option<f64> = None;
+    let mut high: Option<f64> = None;
+    for token in body.split(['\n', '&']) {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(format!("expected key=value, got {token:?}"));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "low-mbps" => {
+                low = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("low-mbps expects a number, got {value:?}"))?,
+                );
+            }
+            "high-mbps" => {
+                high = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("high-mbps expects a number, got {value:?}"))?,
+                );
+            }
+            "fail-mode" => {
+                overrides.fail_mode = Some(FailMode::parse(value).ok_or_else(|| {
+                    format!("fail-mode expects `open` or `closed`, got {value:?}")
+                })?);
+            }
+            "batch-size" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("batch-size expects a number, got {value:?}"))?;
+                if n == 0 {
+                    return Err("batch-size expects at least 1".to_owned());
+                }
+                overrides.batch_size = Some(n);
+            }
+            "overload-policy" => {
+                overrides.overload = Some(
+                    OverloadPolicy::parse(value).map_err(|e| format!("overload-policy: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown override key {other:?}")),
+        }
+    }
+    match (low, high) {
+        (None, None) => {}
+        (Some(l), Some(h)) => {
+            overrides.drop_policy =
+                Some(DropPolicy::new(l * 1e6, h * 1e6).map_err(|e| e.to_string())?);
+        }
+        _ => return Err("low-mbps and high-mbps must be staged together".to_owned()),
+    }
+    if overrides.is_empty() {
+        return Err(
+            "no overrides in body (keys: low-mbps, high-mbps, fail-mode, batch-size, \
+             overload-policy)"
+                .to_owned(),
+        );
+    }
+    Ok(overrides)
+}
+
+/// `upbound serve` — the long-lived dataplane: one [`PacketSource`]
+/// (pcap replay, optionally looped, or AF_PACKET live capture) feeding
+/// [`PipelineRunner::serve`], with the control plane (`POST /config`,
+/// `POST /drain`) riding on the metrics listener.
+fn cmd_serve(args: &Args) -> Result<Outcome, CliError> {
+    let in_path = match args.get("in") {
+        None if args.has("in") => return Err(usage("--in requires a file path")),
+        other => other.map(str::to_owned),
+    };
+    let live_iface = match args.get("live") {
+        None if args.has("live") => return Err(usage("--live requires an interface name")),
+        other => other.map(str::to_owned),
+    };
+    match (&in_path, &live_iface) {
+        (Some(_), Some(_)) => {
+            return Err(usage(
+                "serve takes either --in <FILE> or --live <IFACE>, not both",
+            ))
+        }
+        (None, None) => return Err(usage("serve requires --in <FILE> or --live <IFACE>")),
+        _ => {}
+    }
+    if args.has("loop") && in_path.is_none() {
+        return Err(usage(
+            "--loop requires --in <FILE> (a live capture never ends)",
+        ));
+    }
+    if args.has("on-corrupt") && in_path.is_none() {
+        return Err(usage(
+            "--on-corrupt applies to pcap replay; it requires --in <FILE>",
+        ));
+    }
+    let fault_plan = match args.get("fault-plan") {
+        None if args.has("fault-plan") => {
+            return Err(usage(
+                "--fault-plan expects `none` or key=value fields (seed, corrupt, \
+                 reorder, skew, skew-secs)",
+            ));
+        }
+        None => None,
+        Some(spec) => {
+            if live_iface.is_some() {
+                return Err(usage(
+                    "--fault-plan is replay-only: faults are injected by distorting the \
+                     buffered stream, which is impossible on a live interface — drop \
+                     --live or drop --fault-plan",
+                ));
+            }
+            let plan = FaultPlan::parse(spec).map_err(|e| usage(format!("--fault-plan: {e}")))?;
+            if plan.panics() > 0 {
+                return Err(usage(
+                    "--fault-plan panics=N needs the supervised pipeline (chaos harness); \
+                     serve has no shard supervisor to catch them",
+                ));
+            }
+            if plan.ckpt_errors() > 0 {
+                return Err(usage(
+                    "--fault-plan ckpt=N needs a faulting checkpoint sink; serve writes \
+                     checkpoints directly",
+                ));
+            }
+            (!plan.is_none()).then_some(plan)
+        }
+    };
+    let listen = match args.get("listen") {
+        None if args.has("listen") => return Err(usage("--listen expects <HOST:PORT>")),
+        other => other.map(str::to_owned),
+    };
+    let inside = inside_of(args).map_err(usage)?;
+    let low: f64 = args.parse_num("low-mbps", 0.0).map_err(usage)?;
+    let high: f64 = args.parse_num("high-mbps", 0.0).map_err(usage)?;
+    let fail_mode = match args.get("fail-mode") {
+        None if args.has("fail-mode") => {
+            return Err(usage("--fail-mode expects `open` or `closed`"));
+        }
+        None => FailMode::Closed,
+        Some(v) => FailMode::parse(v)
+            .ok_or_else(|| usage(format!("--fail-mode expects `open` or `closed`, got {v:?}")))?,
+    };
+    let mut builder = BitmapFilterConfig::builder();
+    builder
+        .vector_bits(args.parse_num("vector-bits", 20u32).map_err(usage)?)
+        .vectors(args.parse_num("vectors", 4usize).map_err(usage)?)
+        .rotate_every_secs(args.parse_num("rotate-secs", 5.0f64).map_err(usage)?)
+        .hash_functions(args.parse_num("hashes", 3usize).map_err(usage)?)
+        .hole_punching(args.has("hole-punching"))
+        .fail_mode(fail_mode);
+    if high > 0.0 {
+        builder
+            .drop_policy(DropPolicy::new(low * 1e6, high * 1e6).map_err(|e| usage(e.to_string()))?);
+    }
+    let config = builder.build().map_err(|e| usage(e.to_string()))?;
+    let shards: usize = args.parse_num("shards", 1usize).map_err(usage)?;
+    if shards == 0 {
+        return Err(usage("--shards expects at least 1"));
+    }
+    let batch_size: usize = args.parse_num("batch-size", 64usize).map_err(usage)?;
+    if batch_size == 0 {
+        return Err(usage("--batch-size expects at least 1"));
+    }
+    let overload = match args.get("overload-policy") {
+        None if args.has("overload-policy") => {
+            return Err(usage(
+                "--overload-policy expects off|balanced|strict[,key=value...]",
+            ));
+        }
+        None => OverloadPolicy::off(),
+        Some(spec) => {
+            OverloadPolicy::parse(spec).map_err(|e| usage(format!("--overload-policy: {e}")))?
+        }
+    };
+    let checkpoint = match args.get("checkpoint") {
+        None if args.has("checkpoint") => {
+            return Err(usage("--checkpoint requires a file path"));
+        }
+        other => other.map(str::to_owned),
+    };
+    let checkpoint_interval: f64 = args.parse_num("checkpoint-interval", 30.0).map_err(usage)?;
+    if checkpoint_interval <= 0.0 || !checkpoint_interval.is_finite() {
+        return Err(usage(format!(
+            "--checkpoint-interval expects a positive number of seconds, got {checkpoint_interval}"
+        )));
+    }
+    if args.has("checkpoint-interval") && checkpoint.is_none() {
+        return Err(usage("--checkpoint-interval requires --checkpoint <FILE>"));
+    }
+
+    let mut runner = PipelineRunner::new(inside, config)
+        .shards(shards)
+        .overload_policy(overload)
+        .pipeline_config(PipelineConfig {
+            batch_size,
+            ..PipelineConfig::default()
+        });
+    if let Some(path) = &checkpoint {
+        runner = runner.checkpoint(path, TimeDelta::from_secs(checkpoint_interval));
+    }
+
+    let registry = Registry::new();
+    registry.build_info(
+        env!("CARGO_PKG_VERSION"),
+        option_env!("UPBOUND_GIT_DESCRIBE"),
+    );
+    let health = HealthState::new();
+    health.set_fail_mode(if fail_mode == FailMode::Open {
+        "open"
+    } else {
+        "closed"
+    });
+    let control = ServeControl::new().with_telemetry(&registry);
+
+    let server = match &listen {
+        Some(addr) => {
+            let handler_control = control.clone();
+            let handler: ControlHandler = Arc::new(move |path: &str, body: &str| match path {
+                "/config" => match parse_overrides(body) {
+                    Ok(overrides) => {
+                        let generation = handler_control.stage(overrides);
+                        ControlResponse::ok(format!(
+                            "{{\"staged\":true,\"generation\":{generation}}}"
+                        ))
+                    }
+                    Err(e) => ControlResponse::bad_request(format!("{{\"error\":{e:?}}}")),
+                },
+                "/drain" => {
+                    handler_control.request_drain();
+                    ControlResponse {
+                        status: 202,
+                        body: "{\"draining\":true}".to_owned(),
+                    }
+                }
+                other => ControlResponse::not_found(format!(
+                    "{{\"error\":\"unknown control endpoint {other} (try /config or /drain)\"}}"
+                )),
+            });
+            let server =
+                MetricsServer::start_with_control(addr, registry.clone(), health.clone(), handler)
+                    .map_err(|e| runtime(format!("--listen {addr}: {e}")))?;
+            println!("control plane listening on http://{}", server.local_addr());
+            Some(server)
+        }
+        None => {
+            println!("no control plane (--listen not set); drain with SIGINT/SIGTERM");
+            None
+        }
+    };
+
+    // serve() owns the calling thread, so a sidecar thread translates
+    // the SIGINT/SIGTERM latch into a drain request.
+    let watcher_control = control.clone();
+    let done = Arc::new(AtomicBool::new(false));
+    let watcher_done = Arc::clone(&done);
+    let watcher = std::thread::spawn(move || {
+        while !watcher_done.load(Ordering::Relaxed) {
+            if signals::interrupted() {
+                watcher_control.request_drain();
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    });
+
+    let served = if let Some(iface) = &live_iface {
+        let mut source = LiveSource::open(LiveConfig::new(iface.clone(), inside)).map_err(|e| {
+            match e {
+                // Actionable setup problems read as usage errors, per
+                // the LiveCaptureError contract.
+                LiveCaptureError::Unsupported { .. }
+                | LiveCaptureError::NoSuchInterface { .. }
+                | LiveCaptureError::PermissionDenied { .. } => usage(e.to_string()),
+                other => runtime(other.to_string()),
+            }
+        });
+        match source {
+            Ok(ref mut source) => {
+                println!("serving live capture on {}", source.interface());
+                runner
+                    .serve(source, &control)
+                    .map_err(|e| runtime(e.to_string()))
+            }
+            Err(e) => Err(e),
+        }
+    } else {
+        let in_path = in_path.as_deref().unwrap_or_default();
+        let policy = recovery_policy_of(args).map_err(usage)?;
+        let looped = args.has("loop");
+        let open = File::open(in_path).map_err(|e| runtime(format!("{in_path}: {e}")));
+        let buffered = open.and_then(|file| {
+            if let Some(plan) = &fault_plan {
+                let mut reader = PcapReader::with_policy(BufReader::new(file), policy)
+                    .map_err(|e| runtime(e.to_string()))?;
+                let mut packets = Vec::new();
+                while let Some(p) = reader.read_packet().map_err(|e| runtime(e.to_string()))? {
+                    packets.push(p);
+                }
+                report_skips(reader.stats());
+                let (distorted, distortion) = plan.distort_stream(packets);
+                println!(
+                    "fault plan armed: {} corrupted, {} reorder burst(s), {} skewed",
+                    distortion.corrupted, distortion.reorder_bursts, distortion.skewed
+                );
+                Ok(BufferedSource::labeled(distorted, inside))
+            } else {
+                let reader = PcapReader::with_policy(BufReader::new(file), policy)
+                    .map_err(|e| runtime(e.to_string()))?;
+                let mut pcap = upbound::net::PcapSource::new(reader, inside);
+                BufferedSource::drain(&mut pcap).map_err(|e| runtime(e.to_string()))
+            }
+        });
+        buffered.and_then(|buffered| {
+            let mut source = buffered.looped(looped);
+            println!(
+                "serving {} buffered packet(s){}",
+                source.len(),
+                if looped { ", looped" } else { "" }
+            );
+            runner
+                .serve(&mut source, &control)
+                .map_err(|e| runtime(e.to_string()))
+        })
+    };
+    done.store(true, Ordering::Relaxed);
+    let _ = watcher.join();
+    let report = served?;
+
+    health.set_watermark(report.watermark.as_micros());
+    report_skips(&report.ingest);
+    println!(
+        "serve finished ({}): {} packet(s), {} passed, {} dropped, {} reconfig(s) applied, \
+         {} checkpoint(s) written",
+        match report.exit {
+            ServeExit::SourceEnded => "source ended",
+            ServeExit::Drained => "drained",
+        },
+        report.packets,
+        report.passed,
+        report.dropped,
+        report.reconfigs_applied,
+        report.checkpoints_written,
+    );
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if signals::interrupted() {
+        Ok(Outcome::Interrupted)
+    } else {
+        Ok(Outcome::Done)
     }
 }
 
